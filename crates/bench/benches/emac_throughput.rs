@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the EMAC software models: exact MACs per
+//! second for each format family at 8 bits, plus the quire.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dp_emac::{Emac, FixedEmac, FloatEmac, PositEmac};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::{PositFormat, Quire};
+use std::time::Duration;
+
+const K: usize = 128;
+
+fn patterns(mask: u32, skip: u32) -> Vec<(u32, u32)> {
+    let mut s = 0xfeed_f00d_dead_beefu64;
+    (0..K)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let a = (s as u32) & mask;
+            let b = ((s >> 32) as u32) & mask;
+            (if a == skip { 0 } else { a }, if b == skip { 0 } else { b })
+        })
+        .collect()
+}
+
+fn bench_emacs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emac_throughput");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20)
+        .throughput(Throughput::Elements(K as u64));
+
+    let pfmt = PositFormat::new(8, 0).unwrap();
+    let pv = patterns(pfmt.mask(), pfmt.nar_bits());
+    g.bench_function("posit8_emac_dot128", |b| {
+        let mut e = PositEmac::new(pfmt, K as u64);
+        b.iter(|| {
+            e.reset();
+            for &(x, y) in &pv {
+                e.mac(black_box(x), black_box(y));
+            }
+            e.result()
+        })
+    });
+    g.bench_function("posit8_quire_dot128", |b| {
+        let mut q = Quire::new(pfmt, K as u64);
+        b.iter(|| {
+            q.clear();
+            for &(x, y) in &pv {
+                q.add_product(black_box(x), black_box(y));
+            }
+            q.to_posit()
+        })
+    });
+
+    let ffmt = FloatFormat::new(4, 3).unwrap();
+    let fv = patterns(ffmt.mask(), ffmt.nan_bits());
+    g.bench_function("float8_emac_dot128", |b| {
+        let mut e = FloatEmac::new(ffmt, K as u64);
+        b.iter(|| {
+            e.reset();
+            for &(x, y) in &fv {
+                e.mac(black_box(x), black_box(y));
+            }
+            e.result()
+        })
+    });
+
+    let xfmt = FixedFormat::new(8, 6).unwrap();
+    let xv = patterns(0xff, 0x100);
+    g.bench_function("fixed8_emac_dot128", |b| {
+        let mut e = FixedEmac::new(xfmt, K as u64);
+        b.iter(|| {
+            e.reset();
+            for &(x, y) in &xv {
+                e.mac(black_box(x), black_box(y));
+            }
+            e.result()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_emacs);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion benchmarks of whole-network EMAC inference per sample
+//! (Iris topology) across formats, plus the f32 baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deep_positron::experiments::paper_tasks;
+use deep_positron::{NumericFormat, QuantizedMlp};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+use std::time::Duration;
+
+fn bench_inference(c: &mut Criterion) {
+    let tasks = paper_tasks(true, 42);
+    let iris = &tasks[1];
+    let x = iris.split.test.features[0].clone();
+
+    let mut g = c.benchmark_group("inference_per_sample");
+    g.warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
+
+    let configs = [
+        ("posit8e0", NumericFormat::Posit(PositFormat::new(8, 0).unwrap())),
+        ("float8e4m3", NumericFormat::Float(FloatFormat::new(4, 3).unwrap())),
+        ("fixed8q6", NumericFormat::Fixed(FixedFormat::new(8, 6).unwrap())),
+    ];
+    for (name, fmt) in configs {
+        let q = QuantizedMlp::quantize(&iris.mlp, fmt);
+        g.bench_function(format!("{name}_emac"), |b| {
+            b.iter(|| q.infer(black_box(&x)))
+        });
+        g.bench_function(format!("{name}_per_op"), |b| {
+            b.iter(|| q.infer_inexact(black_box(&x)))
+        });
+    }
+    g.bench_function("f32_native", |b| {
+        b.iter(|| iris.mlp.predict(black_box(&x)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

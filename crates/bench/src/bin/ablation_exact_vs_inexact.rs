@@ -1,0 +1,60 @@
+//! Extension experiment (DESIGN.md E10): how much accuracy does the
+//! EMAC's *exact* accumulation buy over an ordinary per-op-rounding MAC?
+//! This quantifies the paper's §III-A motivation ("rounding or truncation
+//! within an EMAC unit is delayed until every product has been
+//! accumulated").
+//!
+//! Output: `results/ablation_exact_vs_inexact.csv`.
+
+use deep_positron::ablation::compare_exact_vs_inexact;
+use deep_positron::experiments::{candidate_formats, paper_tasks};
+use deep_positron::QuantizedMlp;
+use dp_bench::{render_table, write_csv};
+use dp_hw::Family;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let limit = if quick { 300 } else { 1000 };
+    eprintln!("training 32-bit float models...");
+    let tasks = paper_tasks(quick, 42);
+    let mut rows = Vec::new();
+    for task in &tasks {
+        for n in [5u32, 6, 7, 8] {
+            for family in [Family::Posit, Family::Float, Family::Fixed] {
+                for format in candidate_formats(family, n) {
+                    let q = QuantizedMlp::quantize(&task.mlp, format);
+                    let r = compare_exact_vs_inexact(&q, &task.split.test, limit);
+                    rows.push(vec![
+                        task.name.clone(),
+                        format.to_string(),
+                        format!("{:.4}", r.exact_accuracy),
+                        format!("{:.4}", r.inexact_accuracy),
+                        format!("{:+.2}", r.emac_gain_pct()),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("== Ablation: exact (EMAC) vs per-op-rounding MAC accuracy ==\n");
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "format", "exact_acc", "inexact_acc", "emac_gain_pp"],
+            &rows
+        )
+    );
+    let gains: Vec<f64> = rows
+        .iter()
+        .map(|r| r[4].parse::<f64>().unwrap())
+        .collect();
+    let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+    let max = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("mean EMAC gain {mean:+.2} pp; max {max:+.2} pp across {} configs", gains.len());
+    write_csv(
+        "results/ablation_exact_vs_inexact.csv",
+        &["dataset", "format", "exact_acc", "inexact_acc", "emac_gain_pp"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote results/ablation_exact_vs_inexact.csv");
+}

@@ -1,0 +1,67 @@
+//! Extension: whole-accelerator synthesis plan for each paper workload
+//! (paper Fig. 1 scaled out: one EMAC per neuron with local memories).
+//!
+//! Output: `results/accelerator_report.csv`.
+
+use dp_bench::{render_table, write_csv};
+use dp_fixed::FixedFormat;
+use dp_hw::{plan_accelerator, Calib, FormatSpec};
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+fn main() {
+    let calib = Calib::default();
+    let topologies: [(&str, Vec<u32>); 3] = [
+        ("WBC 30-16-2", vec![30, 16, 2]),
+        ("Iris 4-16-3", vec![4, 16, 3]),
+        ("Mushroom 117-24-2", vec![117, 24, 2]),
+    ];
+    let specs = [
+        FormatSpec::Posit(PositFormat::new(8, 0).unwrap()),
+        FormatSpec::Posit(PositFormat::new(8, 2).unwrap()),
+        FormatSpec::Float(FloatFormat::new(4, 3).unwrap()),
+        FormatSpec::Fixed(FixedFormat::new(8, 6).unwrap()),
+    ];
+    let mut rows = Vec::new();
+    println!("== Deep Positron accelerator plans (Virtex-7 model) ==\n");
+    for (name, dims) in &topologies {
+        for &spec in &specs {
+            let r = plan_accelerator(spec, dims, calib);
+            println!("{name}: {r}");
+            rows.push(vec![
+                name.to_string(),
+                spec.label(),
+                r.luts.to_string(),
+                r.ffs.to_string(),
+                r.dsps.to_string(),
+                format!("{:.1}", r.weight_memory_bits as f64 / 1000.0),
+                format!("{:.1}", r.fmax_hz / 1e6),
+                format!("{:.3}", r.latency_ns() / 1000.0),
+                format!("{:.1}", r.throughput_per_s() / 1e3),
+                format!("{:.2}", r.energy_per_inference_pj / 1000.0),
+                format!("{:.3e}", r.edp()),
+            ]);
+        }
+        println!();
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload", "format", "luts", "ffs", "dsps", "wmem_kb", "fmax_mhz",
+                "latency_us", "kinf_per_s", "nj_per_inf", "edp_js"
+            ],
+            &rows
+        )
+    );
+    write_csv(
+        "results/accelerator_report.csv",
+        &[
+            "workload", "format", "luts", "ffs", "dsps", "wmem_kb", "fmax_mhz", "latency_us",
+            "kinf_per_s", "nj_per_inf", "edp_js",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote results/accelerator_report.csv");
+}

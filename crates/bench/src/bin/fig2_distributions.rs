@@ -1,0 +1,67 @@
+//! Regenerates paper Fig. 2: (a) the value distribution of a 7-bit posit
+//! (es = 0) and (b) the weight distribution of a trained DNN — both
+//! cluster heavily in [−1, 1], the paper's motivation for posits as a DNN
+//! format.
+//!
+//! Output: `results/fig2_posit7_values.csv`, `results/fig2_weights.csv`.
+
+use deep_positron::experiments::{histogram, paper_tasks, posit_value_histogram};
+use dp_bench::{write_csv, Ascii};
+use dp_posit::PositFormat;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // (a) 7-bit posit value distribution.
+    let p7 = PositFormat::new(7, 0).unwrap();
+    let hist_a = posit_value_histogram(p7, -2.0, 2.0, 40);
+    println!("== Fig. 2a: 7-bit posit (es=0) representable values in [-2, 2) ==");
+    let plot_a = Ascii::new(60, 10, false).series(
+        '#',
+        "posit<7,0> values per bin",
+        hist_a.iter().map(|&(c, n)| (c, n as f64)),
+    );
+    println!("{}", plot_a.render());
+    let within: usize = hist_a
+        .iter()
+        .filter(|(c, _)| (-1.0..=1.0).contains(c))
+        .map(|(_, n)| n)
+        .sum();
+    let total = p7.reals().count();
+    println!(
+        "{}/{} representable values fall in [-1, 1] ({:.1}%)\n",
+        within,
+        total,
+        100.0 * within as f64 / total as f64
+    );
+
+    // (b) trained-network weight distribution (WBC stands in for AlexNet).
+    eprintln!("training the WBC model for the weight histogram...");
+    let tasks = paper_tasks(quick, 42);
+    let weights: Vec<f64> = tasks[0].mlp.all_weights().iter().map(|&w| w as f64).collect();
+    let hist_b = histogram(weights.iter().copied(), -2.0, 2.0, 40);
+    println!("== Fig. 2b: trained WBC MLP weight distribution ==");
+    let plot_b = Ascii::new(60, 10, false).series(
+        '#',
+        "weights per bin",
+        hist_b.iter().map(|&(c, n)| (c, n as f64)),
+    );
+    println!("{}", plot_b.render());
+    let w_within = weights.iter().filter(|w| w.abs() <= 1.0).count();
+    println!(
+        "{}/{} weights fall in [-1, 1] ({:.1}%)",
+        w_within,
+        weights.len(),
+        100.0 * w_within as f64 / weights.len() as f64
+    );
+
+    let to_rows = |h: &[(f64, usize)]| {
+        h.iter()
+            .map(|&(c, n)| vec![format!("{c:.4}"), n.to_string()])
+            .collect::<Vec<_>>()
+    };
+    write_csv("results/fig2_posit7_values.csv", &["bin_center", "count"], &to_rows(&hist_a))
+        .expect("write csv");
+    write_csv("results/fig2_weights.csv", &["bin_center", "count"], &to_rows(&hist_b))
+        .expect("write csv");
+    println!("\nwrote results/fig2_posit7_values.csv, results/fig2_weights.csv");
+}

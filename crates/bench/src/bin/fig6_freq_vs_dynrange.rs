@@ -1,0 +1,53 @@
+//! Regenerates paper Fig. 6: dynamic range vs maximum operating frequency
+//! for the fixed / float / posit EMACs on the synthesis model.
+//!
+//! Output: `results/fig6_freq_vs_dynrange.csv` + an ASCII plot.
+
+use dp_bench::{render_table, write_csv, Ascii};
+use dp_hw::{paper_grid, report, Calib, Family};
+
+fn main() {
+    let k = 128; // dot-product length the paper-scale layers use
+    let calib = Calib::default();
+    let mut rows = Vec::new();
+    let mut series: Vec<(Family, Vec<(f64, f64)>)> = vec![
+        (Family::Float, Vec::new()),
+        (Family::Fixed, Vec::new()),
+        (Family::Posit, Vec::new()),
+    ];
+    for n in 5..=8u32 {
+        for spec in paper_grid(n) {
+            let r = report(spec, k, calib);
+            rows.push(vec![
+                spec.label(),
+                format!("{n}"),
+                format!("{:.3}", r.dynamic_range_log10),
+                format!("{:.1}", r.fmax_hz / 1e6),
+                format!("{}", r.luts),
+            ]);
+            series
+                .iter_mut()
+                .find(|(f, _)| *f == spec.family())
+                .unwrap()
+                .1
+                .push((r.dynamic_range_log10, r.fmax_hz));
+        }
+    }
+    println!("== Fig. 6: dynamic range vs max operating frequency (k = {k}) ==\n");
+    println!(
+        "{}",
+        render_table(&["format", "n", "dyn_range_dec", "fmax_mhz", "luts"], &rows)
+    );
+    let plot = Ascii::new(64, 16, false)
+        .series('f', "float", series[0].1.clone())
+        .series('x', "fixed", series[1].1.clone())
+        .series('p', "posit", series[2].1.clone());
+    println!("{}", plot.render());
+    write_csv(
+        "results/fig6_freq_vs_dynrange.csv",
+        &["format", "n", "dyn_range_dec", "fmax_mhz", "luts"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote results/fig6_freq_vs_dynrange.csv");
+}

@@ -1,0 +1,53 @@
+//! Regenerates paper Fig. 7: bit width n vs energy-delay product for the
+//! three EMAC families (fixed point wins at every width).
+//!
+//! Output: `results/fig7_edp.csv` + an ASCII plot.
+
+use dp_bench::{render_table, write_csv, Ascii};
+use dp_hw::{report, representative, Calib, Family};
+
+fn main() {
+    let k = 128;
+    let calib = Calib::default();
+    let mut rows = Vec::new();
+    let mut series: Vec<(Family, Vec<(f64, f64)>)> = vec![
+        (Family::Float, Vec::new()),
+        (Family::Fixed, Vec::new()),
+        (Family::Posit, Vec::new()),
+    ];
+    for n in 5..=8u32 {
+        for (fam, pts) in series.iter_mut() {
+            let spec = representative(n, *fam);
+            let r = report(spec, k, calib);
+            rows.push(vec![
+                spec.label(),
+                n.to_string(),
+                format!("{:.3e}", r.edp),
+                format!("{:.2}", r.energy_per_mac_pj),
+                format!("{:.1}", r.fmax_hz / 1e6),
+            ]);
+            pts.push((n as f64, r.edp));
+        }
+    }
+    println!("== Fig. 7: n vs energy-delay product (k = {k} MAC dot product) ==\n");
+    println!(
+        "{}",
+        render_table(
+            &["format", "n", "edp_js", "energy_per_mac_pj", "fmax_mhz"],
+            &rows
+        )
+    );
+    let plot = Ascii::new(48, 14, true)
+        .series('f', "float", series[0].1.clone())
+        .series('x', "fixed", series[1].1.clone())
+        .series('p', "posit", series[2].1.clone());
+    println!("{}", plot.render());
+    println!("paper shape: fixed lowest EDP at every n; float ≈ posit.");
+    write_csv(
+        "results/fig7_edp.csv",
+        &["format", "n", "edp_js", "energy_per_mac_pj", "fmax_mhz"],
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote results/fig7_edp.csv");
+}

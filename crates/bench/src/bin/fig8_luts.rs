@@ -1,0 +1,55 @@
+//! Regenerates paper Fig. 8: bit width n vs LUT utilization for the three
+//! EMAC families (posit generally consumes the most resources).
+//!
+//! Output: `results/fig8_luts.csv` + an ASCII plot.
+
+use dp_bench::{render_table, write_csv, Ascii};
+use dp_hw::{emac_netlist, paper_grid, representative, Calib, Family};
+
+fn main() {
+    let k = 128;
+    let calib = Calib::default();
+    let mut rows = Vec::new();
+    let mut series: Vec<(Family, Vec<(f64, f64)>)> = vec![
+        (Family::Float, Vec::new()),
+        (Family::Fixed, Vec::new()),
+        (Family::Posit, Vec::new()),
+    ];
+    for n in 5..=8u32 {
+        for (fam, pts) in series.iter_mut() {
+            let spec = representative(n, *fam);
+            let nl = emac_netlist(spec, k, calib);
+            rows.push(vec![
+                spec.label(),
+                n.to_string(),
+                nl.luts().to_string(),
+                nl.ffs().to_string(),
+                nl.dsps().to_string(),
+            ]);
+            pts.push((n as f64, nl.luts() as f64));
+        }
+    }
+    println!("== Fig. 8: n vs LUT utilization (representative configs) ==\n");
+    println!(
+        "{}",
+        render_table(&["format", "n", "luts", "ffs", "dsps"], &rows)
+    );
+    let plot = Ascii::new(48, 14, false)
+        .series('f', "float", series[0].1.clone())
+        .series('x', "fixed", series[1].1.clone())
+        .series('p', "posit", series[2].1.clone());
+    println!("{}", plot.render());
+
+    // Full-grid dump (every es/we config) for the record.
+    let mut grid_rows = Vec::new();
+    for n in 5..=8u32 {
+        for spec in paper_grid(n) {
+            let nl = emac_netlist(spec, k, calib);
+            grid_rows.push(vec![spec.label(), n.to_string(), nl.luts().to_string()]);
+        }
+    }
+    write_csv("results/fig8_luts.csv", &["format", "n", "luts"], &grid_rows)
+        .expect("write csv");
+    println!("paper shape: posit > float > fixed at every n.");
+    println!("wrote results/fig8_luts.csv");
+}

@@ -1,0 +1,20 @@
+//! Developer utility: quick f32-baseline probe of the synthetic datasets'
+//! difficulty (used while calibrating the generators to the paper's
+//! Table II baselines; not part of the figure set).
+
+use deep_positron::experiments::paper_tasks;
+
+fn main() {
+    for seed in [42u64, 7, 123] {
+        println!("seed {seed}:");
+        for t in paper_tasks(false, seed) {
+            println!(
+                "  {:<26} f32 test accuracy {:.2}%  (train {} / test {})",
+                t.name,
+                100.0 * t.f32_test_accuracy,
+                t.split.train.len(),
+                t.split.test.len(),
+            );
+        }
+    }
+}

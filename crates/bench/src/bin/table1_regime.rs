@@ -1,0 +1,30 @@
+//! Regenerates paper Table I: interpretation of the posit regime
+//! run-length code.
+
+use dp_bench::render_table;
+use dp_posit::{decode, PositFormat};
+
+fn main() {
+    // Embed each regime string in a 6-bit es=0 posit body and decode.
+    let cases: [(&str, u32); 6] = [
+        ("0001", 0b0_00010),
+        ("001", 0b0_00100),
+        ("01", 0b0_01000),
+        ("10", 0b0_10000),
+        ("110", 0b0_11000),
+        ("1110", 0b0_11100),
+    ];
+    let fmt = PositFormat::new(6, 0).unwrap();
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|&(bits, pattern)| {
+            let k = dp_posit::decode::regime(fmt, pattern).unwrap();
+            let value = dp_posit::convert::to_f64(fmt, pattern);
+            vec![bits.to_string(), k.to_string(), format!("{value}")]
+        })
+        .collect();
+    println!("== Table I: regime interpretation (decoded by dp-posit) ==\n");
+    println!("{}", render_table(&["binary", "regime k", "value (p6e0)"], &rows));
+    println!("paper: 0001→-3, 001→-2, 01→-1, 10→0, 110→1, 1110→2");
+    let _ = decode(fmt, 0); // keep the import obviously exercised
+}

@@ -1,0 +1,234 @@
+//! Small table / CSV rendering helpers shared by the figure binaries.
+
+use std::fmt::Display;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders rows as an aligned ASCII table with a header.
+///
+/// ```
+/// let t = dp_bench::render_table(
+///     &["format", "luts"],
+///     &[vec!["posit<8,0>".to_string(), "652".to_string()]],
+/// );
+/// assert!(t.contains("posit<8,0>"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate().take(ncol) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Writes rows as CSV under `results/` (creates the directory if needed).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating the directory or writing the file.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut s = header.join(",");
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    fs::write(path, s)
+}
+
+/// A tiny ASCII scatter/line plot for terminal figure output.
+///
+/// Each series is a set of `(x, y)` points drawn with its own glyph on a
+/// shared log-or-linear canvas. This is deliberately minimal — the CSVs are
+/// the real artifact; the plot gives the figure's *shape* at a glance.
+#[derive(Debug, Clone)]
+pub struct Ascii {
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(char, String, Vec<(f64, f64)>)>,
+}
+
+impl Ascii {
+    /// Creates a canvas of `width × height` characters; `log_y` plots the
+    /// y axis in log10.
+    pub fn new(width: usize, height: usize, log_y: bool) -> Self {
+        Ascii {
+            width: width.max(16),
+            height: height.max(4),
+            log_y,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a named series drawn with `glyph`.
+    pub fn series<I: IntoIterator<Item = (f64, f64)>>(
+        mut self,
+        glyph: char,
+        name: &str,
+        pts: I,
+    ) -> Self {
+        self.series.push((glyph, name.to_string(), pts.into_iter().collect()));
+        self
+    }
+
+    /// Renders the canvas with axes and a legend.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, _, p)| p.iter().copied())
+            .map(|(x, y)| (x, if self.log_y { y.max(1e-300).log10() } else { y }))
+            .collect();
+        if pts.is_empty() {
+            return String::from("(empty plot)\n");
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, _, series) in &self.series {
+            for &(x, y) in series {
+                let yy = if self.log_y { y.max(1e-300).log10() } else { y };
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((yy - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                grid[row][cx.min(self.width - 1)] = *glyph;
+            }
+        }
+        let mut out = String::new();
+        let ylab = |v: f64| {
+            if self.log_y {
+                format!("1e{v:.1}")
+            } else {
+                format!("{v:.3}")
+            }
+        };
+        out.push_str(&format!("{:>10} +", ylab(y1)));
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == self.height - 1 {
+                format!("{:>10} |", ylab(y0))
+            } else {
+                format!("{:>10} |", "")
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>12}{:<.3} .. {:.3}\n",
+            "x: ", x0, x1
+        ));
+        for (glyph, name, _) in &self.series {
+            out.push_str(&format!("{:>12}{} = {}\n", "", glyph, name));
+        }
+        out
+    }
+}
+
+/// Formats a float with engineering-friendly precision for table cells.
+pub fn fmt_num<T: Display + Into<f64> + Copy>(v: T) -> String {
+    let f: f64 = v.into();
+    if f == 0.0 {
+        return "0".into();
+    }
+    let a = f.abs();
+    if !(1e-3..1e4).contains(&a) {
+        format!("{f:.3e}")
+    } else {
+        format!("{f:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[2].starts_with("x"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("dp_bench_test_csv");
+        let path = dir.join("t.csv");
+        write_csv(&path, &["x", "y"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let p = Ascii::new(20, 6, false)
+            .series('o', "s1", vec![(1.0, 1.0), (2.0, 2.0)])
+            .series('x', "s2", vec![(1.5, 1.5)]);
+        let s = p.render();
+        assert!(s.contains('o') && s.contains('x') && s.contains("s1"));
+        assert!(Ascii::new(10, 4, true).render().contains("empty"));
+    }
+
+    #[test]
+    fn fmt_num_ranges() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(1.5), "1.5000");
+        assert!(fmt_num(1e7).contains('e'));
+        assert!(fmt_num(1e-7).contains('e'));
+    }
+}

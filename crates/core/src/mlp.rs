@@ -1,0 +1,192 @@
+//! The 32-bit float MLP (training substrate and Table II baseline).
+//!
+//! Mirrors the paper's Deep Positron topology (Fig. 1): dense layers with
+//! ReLU activations throughout and an affine (identity) readout layer.
+
+use crate::tensor::{argmax, Matrix};
+use dp_datasets::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One dense layer: `y = W·x + b` with `W` of shape `out × in`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `out × in`.
+    pub w: Matrix,
+    /// Bias vector, length `out`.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    /// He-uniform initialization (appropriate for ReLU networks).
+    pub fn init(fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / fan_in as f32).sqrt();
+        let mut w = Matrix::zeros(fan_out, fan_in);
+        for v in w.as_mut_slice() {
+            *v = rng.gen_range(-bound..bound);
+        }
+        Dense {
+            w,
+            b: vec![0.0; fan_out],
+        }
+    }
+
+    /// Fan-in (input dimensionality).
+    pub fn fan_in(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Fan-out (neuron count).
+    pub fn fan_out(&self) -> usize {
+        self.w.rows()
+    }
+}
+
+/// A multi-layer perceptron with ReLU hidden layers and an identity
+/// readout (paper §III-E: "The ReLU activation is used throughout the
+/// network, except for the affine readout layer").
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Dense layers, input to output.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[30, 16, 2]`,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::init(w[0], w[1], &mut rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Layer widths `[in, hidden..., out]`.
+    pub fn dims(&self) -> Vec<usize> {
+        let mut d = vec![self.layers[0].fan_in()];
+        d.extend(self.layers.iter().map(|l| l.fan_out()));
+        d
+    }
+
+    /// Forward pass returning each layer's post-activation output
+    /// (`result[0]` is the input itself; the last entry is the logits).
+    pub fn forward(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        let mut acts = vec![x.to_vec()];
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.w.matvec(acts.last().unwrap());
+            for (zj, &bj) in z.iter_mut().zip(&layer.b) {
+                *zj += bj;
+            }
+            if i + 1 < self.layers.len() {
+                for v in &mut z {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            acts.push(z);
+        }
+        acts
+    }
+
+    /// Raw output logits for one input.
+    pub fn logits(&self, x: &[f32]) -> Vec<f32> {
+        self.forward(x).pop().expect("at least one layer")
+    }
+
+    /// Predicted class for one input.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.logits(x))
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// All weights flattened (for histograms, paper Fig. 2b).
+    pub fn all_weights(&self) -> Vec<f32> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.w.as_slice().iter().copied())
+            .collect()
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f32]) -> Vec<f32> {
+    let m = z.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|&v| (v - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_shapes() {
+        let mlp = Mlp::new(&[4, 8, 3], 1);
+        assert_eq!(mlp.dims(), vec![4, 8, 3]);
+        assert_eq!(mlp.layers[0].fan_in(), 4);
+        assert_eq!(mlp.layers[0].fan_out(), 8);
+        assert_eq!(mlp.layers[1].fan_out(), 3);
+    }
+
+    #[test]
+    fn forward_applies_relu_to_hidden_only() {
+        let mut mlp = Mlp::new(&[2, 2, 2], 2);
+        // Force negative pre-activations everywhere.
+        for l in &mut mlp.layers {
+            for v in l.w.as_mut_slice() {
+                *v = -1.0;
+            }
+            l.b.iter_mut().for_each(|b| *b = -0.5);
+        }
+        let acts = mlp.forward(&[1.0, 1.0]);
+        assert_eq!(acts[1], vec![0.0, 0.0], "hidden clamped by ReLU");
+        assert_eq!(acts[2], vec![-0.5, -0.5], "readout is affine");
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(&[3, 5, 2], 7);
+        let b = Mlp::new(&[3, 5, 2], 7);
+        let c = Mlp::new(&[3, 5, 2], 8);
+        assert_eq!(a.all_weights(), b.all_weights());
+        assert_ne!(a.all_weights(), c.all_weights());
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability under large inputs.
+        let q = softmax(&[1000.0, 1001.0]);
+        assert!(q[1] > q[0] && q.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn predict_uses_argmax_of_logits() {
+        let mlp = Mlp::new(&[4, 6, 3], 3);
+        let x = [0.1, 0.5, 0.9, 0.2];
+        assert_eq!(mlp.predict(&x), argmax(&mlp.logits(&x)));
+    }
+}

@@ -1,0 +1,174 @@
+//! A minimal row-major `f32` matrix — the only tensor the MLP needs.
+
+use std::fmt;
+
+/// A dense `rows × cols` matrix of `f32` in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use deep_positron::tensor::Matrix;
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        assert!(rows.iter().all(|x| x.len() == c), "ragged rows");
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Adds `v` to an element (gradient accumulation).
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = self · x` for a column vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .map(|(&w, &v)| w * v)
+                    .sum::<f32>()
+            })
+            .collect()
+    }
+
+    /// `y = selfᵀ · x` (used by backprop without materializing transposes).
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            for (c, yc) in y.iter_mut().enumerate() {
+                *yc += self.get(r, c) * xr;
+            }
+        }
+        y
+    }
+
+    /// Flat view of all elements.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat view of all elements.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}×{})", self.rows, self.cols)
+    }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.add_at(1, 2, 1.5);
+        assert_eq!(m.get(1, 2), 6.5);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matvec_checks_dims() {
+        Matrix::zeros(2, 3).matvec(&[1.0]);
+    }
+
+    #[test]
+    fn argmax_first_max() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+}

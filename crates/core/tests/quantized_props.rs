@@ -1,0 +1,117 @@
+//! Property tests on the quantized-network machinery: random tiny
+//! networks, random formats — streaming simulation must equal functional
+//! inference, and quantization must respect format saturation.
+
+use deep_positron::streaming::simulate;
+use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+use proptest::prelude::*;
+
+fn formats() -> impl Strategy<Value = NumericFormat> {
+    prop_oneof![
+        (5u32..=8, 0u32..=2)
+            .prop_map(|(n, es)| NumericFormat::Posit(PositFormat::new(n, es.min(n - 3)).unwrap())),
+        (2u32..=4, 2u32..=4)
+            .prop_map(|(we, wf)| NumericFormat::Float(FloatFormat::new(we, wf).unwrap())),
+        (5u32..=8, 2u32..=7)
+            .prop_map(|(n, q)| NumericFormat::Fixed(FixedFormat::new(n, q.min(n - 1)).unwrap())),
+    ]
+}
+
+prop_compose! {
+    fn tiny_network()(
+        seed in 0u64..10_000,
+        d_in in 1usize..6,
+        d_hidden in 1usize..6,
+        d_out in 2usize..4,
+    ) -> Mlp {
+        Mlp::new(&[d_in, d_hidden, d_out], seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn streaming_equals_functional_on_random_networks(
+        mlp in tiny_network(),
+        fmt in formats(),
+        inputs in prop::collection::vec(
+            prop::collection::vec(-1.5f32..1.5, 1..6), 1..6),
+    ) {
+        let d_in = mlp.layers[0].fan_in();
+        let inputs: Vec<Vec<f32>> = inputs
+            .into_iter()
+            .map(|mut v| { v.resize(d_in, 0.25); v })
+            .collect();
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        let (streamed, report) = simulate(&q, &inputs);
+        let functional: Vec<usize> = inputs.iter().map(|x| q.infer(x)).collect();
+        prop_assert_eq!(streamed, functional, "{}", fmt);
+        prop_assert!(report.total_cycles >= report.first_latency_cycles);
+        prop_assert_eq!(report.inferences, inputs.len());
+    }
+
+    #[test]
+    fn quantized_weights_are_within_format_range(
+        mlp in tiny_network(),
+        fmt in formats(),
+    ) {
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        // Two's-complement fixed point is asymmetric: |min| = max + 1 LSB.
+        let max = match fmt {
+            NumericFormat::F32 => f64::MAX,
+            NumericFormat::Posit(f) => f.max_value(),
+            NumericFormat::Float(f) => f.max_value(),
+            NumericFormat::Fixed(f) => f.to_f64(f.min_raw()).abs(),
+        };
+        for layer in &q.layers {
+            for row in &layer.weights {
+                for &w in row {
+                    let v = fmt.to_f64(w);
+                    prop_assert!(v.is_finite());
+                    prop_assert!(v.abs() <= max + 1e-9, "{}: {}", fmt, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_preserves_weight_sign(
+        mlp in tiny_network(),
+        fmt in formats(),
+    ) {
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        for (l, layer) in q.layers.iter().enumerate() {
+            for (j, row) in layer.weights.iter().enumerate() {
+                for (i, &wbits) in row.iter().enumerate() {
+                    let orig = mlp.layers[l].w.get(j, i) as f64;
+                    let quant = fmt.to_f64(wbits);
+                    // Rounding may flush tiny values to zero but must never
+                    // flip the sign.
+                    prop_assert!(
+                        quant == 0.0 || quant.signum() == orig.signum(),
+                        "{}: {} -> {}", fmt, orig, quant
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inference_is_deterministic(
+        mlp in tiny_network(),
+        fmt in formats(),
+        x in prop::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        let d_in = mlp.layers[0].fan_in();
+        let x = &x[..d_in.min(x.len())];
+        let mut x = x.to_vec();
+        x.resize(d_in, 0.0);
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        prop_assert_eq!(q.infer(&x), q.infer(&x));
+        prop_assert_eq!(q.infer_inexact(&x), q.infer_inexact(&x));
+    }
+}

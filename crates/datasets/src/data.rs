@@ -1,0 +1,270 @@
+//! Dataset container, stratified splitting and min-max normalization.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labelled classification dataset (row-major features).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (for reports).
+    pub name: String,
+    /// `len × dim` feature matrix, row per sample.
+    pub features: Vec<Vec<f32>>,
+    /// Class label per sample, in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent widths, labels mismatch the sample
+    /// count, or a label is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        features: Vec<Vec<f32>>,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "samples vs labels");
+        if let Some(first) = features.first() {
+            let d = first.len();
+            assert!(features.iter().all(|r| r.len() == d), "ragged rows");
+        }
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        Dataset {
+            name: name.into(),
+            features,
+            labels,
+            n_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |r| r.len())
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            c[l] += 1;
+        }
+        c
+    }
+
+    /// Stratified split reserving exactly `test_count` samples for the test
+    /// set (class proportions preserved to ±1), deterministically from
+    /// `seed`. Remaining samples form the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_count >= len()`.
+    pub fn split(&self, test_count: usize, seed: u64) -> TrainTest {
+        assert!(test_count < self.len(), "test_count too large");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5117_5eed);
+        // Group indices per class, shuffle each group.
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            per_class[l].push(i);
+        }
+        for group in &mut per_class {
+            group.shuffle(&mut rng);
+        }
+        // Allocate test slots proportionally (largest remainder).
+        let total = self.len() as f64;
+        let mut alloc: Vec<usize> = per_class
+            .iter()
+            .map(|g| (g.len() as f64 / total * test_count as f64).floor() as usize)
+            .collect();
+        let mut remaining = test_count - alloc.iter().sum::<usize>();
+        let mut order: Vec<usize> = (0..self.n_classes).collect();
+        order.sort_by(|&a, &b| {
+            let fa = per_class[a].len() as f64 / total * test_count as f64;
+            let fb = per_class[b].len() as f64 / total * test_count as f64;
+            (fb - fb.floor())
+                .partial_cmp(&(fa - fa.floor()))
+                .unwrap()
+        });
+        for &cls in &order {
+            if remaining == 0 {
+                break;
+            }
+            if alloc[cls] < per_class[cls].len() {
+                alloc[cls] += 1;
+                remaining -= 1;
+            }
+        }
+        let mut test_idx = Vec::new();
+        let mut train_idx = Vec::new();
+        for (cls, group) in per_class.iter().enumerate() {
+            test_idx.extend_from_slice(&group[..alloc[cls]]);
+            train_idx.extend_from_slice(&group[alloc[cls]..]);
+        }
+        train_idx.shuffle(&mut rng);
+        test_idx.shuffle(&mut rng);
+        let pick = |idx: &[usize]| Dataset {
+            name: self.name.clone(),
+            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            n_classes: self.n_classes,
+        };
+        TrainTest {
+            train: pick(&train_idx),
+            test: pick(&test_idx),
+        }
+    }
+}
+
+/// A train/test split of a [`Dataset`].
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out inference portion (paper's "inference size").
+    pub test: Dataset,
+}
+
+impl TrainTest {
+    /// Fits a min-max normalizer on the training set and applies it to
+    /// both portions, mapping features into `[0, 1]` (the input range the
+    /// paper's low-precision formats want; weights cluster in [−1, 1],
+    /// Fig. 2b).
+    pub fn normalized(mut self) -> TrainTest {
+        let norm = MinMaxNormalizer::fit(&self.train);
+        norm.apply(&mut self.train);
+        norm.apply(&mut self.test);
+        self
+    }
+}
+
+/// Min-max feature scaling fitted on training data.
+#[derive(Debug, Clone)]
+pub struct MinMaxNormalizer {
+    mins: Vec<f32>,
+    ranges: Vec<f32>,
+}
+
+impl MinMaxNormalizer {
+    /// Learns per-feature min/max from `data`.
+    pub fn fit(data: &Dataset) -> Self {
+        let d = data.dim();
+        let mut mins = vec![f32::INFINITY; d];
+        let mut maxs = vec![f32::NEG_INFINITY; d];
+        for row in &data.features {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        MinMaxNormalizer { mins, ranges }
+    }
+
+    /// Maps features into `[0, 1]` in place (clamping test outliers).
+    pub fn apply(&self, data: &mut Dataset) {
+        for row in &mut data.features {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = ((*v - self.mins[j]) / self.ranges[j]).clamp(0.0, 1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let features = (0..n).map(|i| vec![i as f32, (2 * i) as f32]).collect();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new("toy", features, labels, 3)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy(9);
+        assert_eq!(d.len(), 9);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), vec![3, 3, 3]);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        Dataset::new("bad", vec![vec![1.0]], vec![5], 3);
+    }
+
+    #[test]
+    fn stratified_split_counts() {
+        let d = toy(90);
+        let tt = d.split(30, 42);
+        assert_eq!(tt.test.len(), 30);
+        assert_eq!(tt.train.len(), 60);
+        assert_eq!(tt.test.class_counts(), vec![10, 10, 10]);
+        assert_eq!(tt.train.class_counts(), vec![20, 20, 20]);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = toy(60);
+        let a = d.split(20, 7);
+        let b = d.split(20, 7);
+        let c = d.split(20, 8);
+        assert_eq!(a.test.features, b.test.features);
+        assert_ne!(a.test.features, c.test.features);
+    }
+
+    #[test]
+    fn split_partitions_without_duplicates() {
+        let d = toy(30);
+        let tt = d.split(10, 3);
+        let mut all: Vec<Vec<f32>> = tt
+            .train
+            .features
+            .iter()
+            .chain(tt.test.features.iter())
+            .cloned()
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut orig = d.features.clone();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let d = toy(50);
+        let tt = d.split(10, 1).normalized();
+        for row in tt.train.features.iter().chain(&tt.test.features) {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        // Train min/max hit exactly 0 and 1 somewhere.
+        let col0: Vec<f32> = tt.train.features.iter().map(|r| r[0]).collect();
+        let min = col0.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = col0.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert_eq!(min, 0.0);
+        assert_eq!(max, 1.0);
+    }
+}

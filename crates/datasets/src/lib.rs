@@ -1,0 +1,40 @@
+//! # dp-datasets — synthetic stand-ins for the paper's UCI datasets
+//!
+//! The Deep Positron evaluation (paper Table II) uses three low-dimensional
+//! UCI datasets: **Wisconsin Breast Cancer** (569 × 30, inference size 190),
+//! **Iris** (150 × 4, inference size 50) and **Mushroom** (8124 × 22
+//! categorical → 117 one-hot, inference size 2708). This reproduction has
+//! no network access, so this crate provides **seeded synthetic
+//! generators** calibrated to each dataset's published structure:
+//!
+//! * [`iris`] — three 4-dimensional class-conditional Gaussians with
+//!   Fisher's per-class means/SDs and a shared size factor (setosa
+//!   linearly separable, versicolor/virginica overlapping).
+//! * [`wbc`] — ten cell-nucleus base features per class (radius, texture,
+//!   …, fractal dimension) with published benign/malignant statistics,
+//!   expanded to the WDBC 30-column mean/SE/worst layout.
+//! * [`mushroom`] — 22 categorical features with class-conditional tables;
+//!   odor is the dominant predictor (as in the real data, where it alone
+//!   reaches ≈ 98.5%), with a small odorless-poisonous overlap so the task
+//!   is not trivially separable.
+//!
+//! The substitution preserves what Table II measures: the *relative*
+//! accuracy of ≤8-bit formats against a 32-bit float upper bound on
+//! low-dimensional tasks. Same split sizes as the paper.
+//!
+//! ```
+//! use dp_datasets::{iris, TrainTest};
+//! let split: TrainTest = iris::load(7).split(50, 7); // 100 train / 50 test
+//! assert_eq!(split.test.len(), 50);
+//! assert_eq!(split.train.dim(), 4);
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod data;
+pub mod iris;
+pub mod mushroom;
+pub mod sampling;
+pub mod wbc;
+
+pub use data::{Dataset, MinMaxNormalizer, TrainTest};

@@ -1,0 +1,91 @@
+//! Deterministic sampling helpers (normal and categorical draws).
+//!
+//! `rand 0.8` ships uniform sampling only (the distributions live in the
+//! separate `rand_distr` crate, which is outside this project's offline
+//! dependency allow-list), so the two draws the generators need are
+//! implemented here.
+
+use rand::Rng;
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal draw with the given mean and standard deviation.
+pub fn normal_with<R: Rng>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * normal(rng)
+}
+
+/// Samples an index from unnormalized non-negative weights.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn categorical<R: Rng>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical needs positive total weight");
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_with_scales() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20000;
+        let draws: Vec<f64> = (0..n).map(|_| normal_with(&mut rng, 5.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.06);
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10000 {
+            counts[categorical(&mut rng, &w)] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let p2 = counts[2] as f64 / 10000.0;
+        assert!((p2 - 0.6).abs() < 0.03, "p2 {p2}");
+    }
+
+    #[test]
+    fn categorical_is_deterministic_per_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..20)
+                .map(|_| categorical(&mut rng, &[1.0, 1.0, 2.0]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+}

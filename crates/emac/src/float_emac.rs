@@ -1,0 +1,290 @@
+//! The floating-point EMAC (paper Fig. 4).
+
+use crate::ceil_log2;
+use crate::unit::Emac;
+use dp_minifloat::{decode, encode, FloatClass, FloatFormat};
+use dp_posit::WideInt;
+
+/// Exact floating-point multiply-and-accumulate.
+///
+/// Inputs are `(1, we, wf)` minifloats. The datapath mirrors paper Fig. 4:
+/// subnormal detection sets the hidden bit and adjusts the exponent;
+/// significands are multiplied exactly; the product is converted to a
+/// two's-complement fixed-point value by shifting with a biased scale
+/// factor, then accumulated. The register spans every bit any product can
+/// produce — paper eq. (3) with `⌈log2(max/min)⌉ = 2^we − 2 + wf`:
+///
+/// ```text
+/// wa = ⌈log2 k⌉ + 2·(2^we − 2 + wf) + 2
+/// ```
+///
+/// (plus the product fraction tail which eq. (3)'s ratio form folds into
+/// its ceiling). Readout applies inverse two's complement, normalizes,
+/// rounds to nearest even once, and **clips at ±max**: the paper's EMAC
+/// "does not overflow to infinity".
+///
+/// Inf/NaN inputs are outside the paper's operating envelope ("inputs
+/// don't have these values"); this model poisons the accumulator and
+/// returns NaN so misuse is visible rather than silent.
+///
+/// # Examples
+///
+/// ```
+/// use dp_emac::{Emac, FloatEmac};
+/// use dp_minifloat::FloatFormat;
+///
+/// let fmt = FloatFormat::new(4, 3)?;
+/// let mut emac = FloatEmac::new(fmt, 8);
+/// let x = dp_minifloat::convert::from_f64(fmt, 1.5);
+/// emac.mac(x, x); // 2.25
+/// emac.mac(x, x); // 2.25
+/// assert_eq!(dp_minifloat::convert::to_f64(fmt, emac.result()), 4.5);
+/// # Ok::<(), dp_minifloat::FormatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FloatEmac {
+    fmt: FloatFormat,
+    capacity: u64,
+    acc: WideInt,
+    /// Bit index of weight 2^0: products are multiples of min_subnormal².
+    offset: i32,
+    count: u64,
+    poisoned: bool,
+}
+
+impl FloatEmac {
+    /// Creates a unit for `fmt` sized for `capacity` accumulations.
+    pub fn new(fmt: FloatFormat, capacity: u64) -> Self {
+        let capacity = capacity.max(1);
+        // Smallest product bit: (2^(min_normal_scale - wf))² ; the offset
+        // makes that land at register bit 0.
+        let offset = 2 * (fmt.min_normal_scale() - fmt.wf() as i32);
+        let width = Self::accumulator_width_for(fmt, capacity) as usize + 64;
+        FloatEmac {
+            fmt,
+            capacity,
+            acc: WideInt::zero(width),
+            offset: -offset,
+            count: 0,
+            poisoned: false,
+        }
+    }
+
+    /// The format of this unit.
+    pub fn format(&self) -> FloatFormat {
+        self.fmt
+    }
+
+    /// Paper eq. (3) accumulator width for `k` accumulations.
+    pub fn accumulator_width_for(fmt: FloatFormat, k: u64) -> u32 {
+        let log_ratio = (1u32 << fmt.we()) - 2 + fmt.wf(); // ⌈log2(max/min)⌉
+        ceil_log2(k) + 2 * log_ratio + 2
+    }
+
+    fn add_value(&mut self, sign: bool, scale: i32, sig: u64) {
+        let tz = sig.trailing_zeros() as i32;
+        let pos = scale - 63 + tz + self.offset;
+        debug_assert!(pos >= 0, "float values are multiples of min_sub");
+        self.acc
+            .add_shifted_u128((sig >> tz) as u128, pos as usize, sign);
+    }
+}
+
+impl Emac for FloatEmac {
+    fn reset(&mut self) {
+        self.acc.clear();
+        self.count = 0;
+        self.poisoned = false;
+    }
+
+    fn set_bias(&mut self, bias: u32) {
+        self.reset();
+        match decode(self.fmt, bias) {
+            FloatClass::Zero(_) => {}
+            FloatClass::Finite(u) => self.add_value(u.sign, u.scale, u.sig),
+            _ => self.poisoned = true,
+        }
+    }
+
+    fn mac(&mut self, weight: u32, activation: u32) {
+        self.count += 1;
+        debug_assert!(self.count <= self.capacity, "float EMAC over capacity");
+        let (ua, ub) = match (decode(self.fmt, weight), decode(self.fmt, activation)) {
+            (FloatClass::NaN, _)
+            | (_, FloatClass::NaN)
+            | (FloatClass::Inf(_), _)
+            | (_, FloatClass::Inf(_)) => {
+                self.poisoned = true;
+                return;
+            }
+            (FloatClass::Zero(_), _) | (_, FloatClass::Zero(_)) => return,
+            (FloatClass::Finite(ua), FloatClass::Finite(ub)) => (ua, ub),
+        };
+        // Exact product of the two significands (Fig. 4 multiply stage).
+        let prod = (ua.sig as u128) * (ub.sig as u128); // [2^126, 2^128)
+        let tz = prod.trailing_zeros() as i32;
+        let pos = ua.scale + ub.scale - 126 + tz + self.offset;
+        debug_assert!(pos >= 0, "float products are multiples of min_sub²");
+        self.acc
+            .add_shifted_u128(prod >> tz, pos as usize, ua.sign ^ ub.sign);
+    }
+
+    fn result(&self) -> u32 {
+        if self.poisoned {
+            return self.fmt.nan_bits();
+        }
+        if self.acc.is_zero() {
+            return self.fmt.zero_bits(false);
+        }
+        // Fig. 4 readout: inverse 2's complement, LZD, normalize, round.
+        let sign = self.acc.is_negative();
+        let mag = self.acc.magnitude();
+        let msb = mag.msb_index().expect("nonzero accumulator");
+        let (sig, sticky) = mag.extract_window(msb);
+        let scale = msb as i32 - self.offset;
+        let rounded = encode(self.fmt, sign, scale, sig, sticky);
+        // Clip at the maximum magnitude: the EMAC never emits infinity.
+        match decode(self.fmt, rounded) {
+            FloatClass::Inf(s) => self.fmt.max_bits(s),
+            _ => rounded,
+        }
+    }
+
+    fn macs_done(&self) -> u64 {
+        self.count
+    }
+
+    fn pipeline_depth(&self) -> u32 {
+        4 // decode/multiply/shift → accumulate → normalize → round/clip
+    }
+
+    fn accumulator_width(&self) -> u32 {
+        Self::accumulator_width_for(self.fmt, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_minifloat::convert::{from_f64, to_f64};
+
+    fn fmt(we: u32, wf: u32) -> FloatFormat {
+        FloatFormat::new(we, wf).unwrap()
+    }
+
+    #[test]
+    fn accumulator_width_matches_eq3() {
+        // we=4, wf=3: log2(max/min) = 2^4 - 2 + 3 = 17; k=128 -> 7 + 34 + 2.
+        assert_eq!(FloatEmac::accumulator_width_for(fmt(4, 3), 128), 43);
+        assert_eq!(FloatEmac::accumulator_width_for(fmt(2, 2), 1), 2 * 4 + 2);
+    }
+
+    #[test]
+    fn exact_small_sums() {
+        let f = fmt(4, 3);
+        let mut e = FloatEmac::new(f, 8);
+        e.mac(from_f64(f, 0.5), from_f64(f, 0.5)); // 0.25
+        e.mac(from_f64(f, 1.5), from_f64(f, 2.0)); // 3.0
+        e.mac(from_f64(f, -1.0), from_f64(f, 0.25)); // -0.25
+        assert_eq!(to_f64(f, e.result()), 3.0);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_exact() {
+        let f = fmt(4, 3);
+        let mut e = FloatEmac::new(f, 4);
+        let max = f.max_bits(false);
+        let one = from_f64(f, 1.0);
+        let minsub = 0x01; // smallest subnormal
+        e.mac(max, one);
+        e.mac(max | (1 << 7), one); // -max × 1
+        e.mac(minsub, one);
+        assert_eq!(e.result(), minsub, "quire-style exactness");
+    }
+
+    #[test]
+    fn subnormal_products_accumulate() {
+        let f = fmt(4, 3);
+        let mut e = FloatEmac::new(f, 64);
+        let minsub = 0x01u32; // 2^-9
+        // 64 × (minsub × 1.0) = 2^-3
+        let one = from_f64(f, 1.0);
+        for _ in 0..64 {
+            e.mac(minsub, one);
+        }
+        assert_eq!(to_f64(f, e.result()), 2f64.powi(-3));
+    }
+
+    #[test]
+    fn clips_at_max_instead_of_inf() {
+        let f = fmt(4, 3);
+        let mut e = FloatEmac::new(f, 8);
+        let max = f.max_bits(false);
+        for _ in 0..8 {
+            e.mac(max, max);
+        }
+        assert_eq!(e.result(), max, "saturates, never Inf");
+        e.reset();
+        for _ in 0..8 {
+            e.mac(max | (1 << 7), max);
+        }
+        assert_eq!(e.result(), f.max_bits(true));
+    }
+
+    #[test]
+    fn bias_and_reset() {
+        let f = fmt(4, 3);
+        let mut e = FloatEmac::new(f, 4);
+        e.set_bias(from_f64(f, 2.0));
+        e.mac(from_f64(f, 1.0), from_f64(f, 0.5));
+        assert_eq!(to_f64(f, e.result()), 2.5);
+        e.reset();
+        assert_eq!(e.result(), 0);
+        assert_eq!(e.macs_done(), 0);
+    }
+
+    #[test]
+    fn nan_and_inf_poison() {
+        let f = fmt(4, 3);
+        let mut e = FloatEmac::new(f, 4);
+        e.mac(f.inf_bits(false), from_f64(f, 1.0));
+        assert_eq!(decode(f, e.result()), FloatClass::NaN);
+        e.reset();
+        e.mac(f.nan_bits(), from_f64(f, 1.0));
+        assert_eq!(decode(f, e.result()), FloatClass::NaN);
+    }
+
+    #[test]
+    fn single_product_equals_rounded_mul() {
+        // With one product the EMAC must equal the correctly rounded op
+        // (clipped at max instead of Inf).
+        for (we, wf) in [(2u32, 2u32), (3, 2), (4, 3), (5, 2)] {
+            let f = fmt(we, wf);
+            for a in f.finites() {
+                for b in [0x01u32, 0x11, 0x23, f.max_bits(false), f.zero_bits(true)] {
+                    let b = b & f.mask();
+                    if !matches!(
+                        decode(f, b),
+                        FloatClass::Finite(_) | FloatClass::Zero(_)
+                    ) {
+                        continue;
+                    }
+                    let mut e = FloatEmac::new(f, 1);
+                    e.mac(a, b);
+                    let direct = dp_minifloat::ops::mul(f, a, b);
+                    let zero_input = matches!(decode(f, a), FloatClass::Zero(_))
+                        || matches!(decode(f, b), FloatClass::Zero(_));
+                    let expect = match decode(f, direct) {
+                        FloatClass::Inf(s) => f.max_bits(s),
+                        // A zero *input* is skipped by the EMAC, whose empty
+                        // accumulator reads +0; a nonzero product that
+                        // underflows keeps IEEE's signed zero.
+                        FloatClass::Zero(_) if zero_input => 0,
+                        _ => direct,
+                    };
+                    assert_eq!(e.result(), expect, "{f}: {a:#x} × {b:#x}");
+                }
+            }
+        }
+    }
+}

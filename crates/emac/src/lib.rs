@@ -1,0 +1,61 @@
+//! # dp-emac — exact multiply-and-accumulate units
+//!
+//! Bit-accurate software models of the Deep Positron EMAC soft cores
+//! (paper §III, Figs. 3–5, Algorithms 1–2). An EMAC computes
+//!
+//! ```text
+//! out = round( bias + Σᵢ wᵢ · aᵢ )
+//! ```
+//!
+//! with **no intermediate rounding**: every product is converted to a wide
+//! fixed-point representation and accumulated in a register sized so that
+//! the sum is exact (paper eqs. 3–4); rounding/truncation happens once, at
+//! readout. This is what distinguishes an EMAC from an ordinary MAC and is
+//! the paper's central hardware idea.
+//!
+//! Three units are provided, one per numerical format at matched bit width:
+//!
+//! * [`FixedEmac`] — paper Fig. 3: 2n-bit products, `wa`-bit integer
+//!   accumulator, output shifted right by `q` and *truncated*, clipped.
+//! * [`FloatEmac`] — paper Fig. 4: subnormal-aware decode, exact product,
+//!   fixed-point conversion, single round-to-nearest-even, clipped at ±max
+//!   (the EMAC never overflows to infinity).
+//! * [`PositEmac`] — paper Fig. 5 + Algorithms 1–2: posit decode with a
+//!   single leading-zero detector, biased scale-factor fixed-point
+//!   conversion into a quire-style register, convergent rounding and
+//!   re-encode.
+//!
+//! All units implement the [`Emac`] trait over raw `u32` bit patterns and
+//! carry cycle metadata used by the `dp-hw` timing model and the
+//! `deep-positron` streaming simulator.
+//!
+//! ```
+//! use dp_emac::{Emac, PositEmac};
+//! use dp_posit::PositFormat;
+//!
+//! let fmt = PositFormat::new(8, 0)?;
+//! let mut emac = PositEmac::new(fmt, 16);
+//! let half = dp_posit::convert::from_f64(fmt, 0.5);
+//! let two = dp_posit::convert::from_f64(fmt, 2.0);
+//! emac.mac(half, two); // 1.0
+//! emac.mac(half, half); // 0.25
+//! assert_eq!(dp_posit::convert::to_f64(fmt, emac.result()), 1.25);
+//! # Ok::<(), dp_posit::FormatError>(())
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod fixed_emac;
+mod float_emac;
+mod posit_emac;
+mod unit;
+
+pub use fixed_emac::FixedEmac;
+pub use float_emac::FloatEmac;
+pub use posit_emac::PositEmac;
+pub use unit::{Emac, EmacUnit};
+
+/// ⌈log2 k⌉ for k ≥ 1 (accumulator growth bits, paper eqs. 3–4).
+pub(crate) fn ceil_log2(k: u64) -> u32 {
+    k.max(1).next_power_of_two().trailing_zeros()
+}

@@ -1,0 +1,329 @@
+//! The posit EMAC (paper Fig. 5, Algorithms 1–2).
+
+use crate::ceil_log2;
+use crate::unit::Emac;
+use dp_posit::{decode, encode, Decoded, PositFormat, WideInt};
+
+/// Exact posit multiply-and-accumulate.
+///
+/// The datapath mirrors paper Fig. 5 and Algorithm 2:
+///
+/// 1. **Decode** (Algorithm 1): sign, regime, exponent and fraction are
+///    extracted; the two's complement + regime-check inversion lets a
+///    single leading-zero detector handle both regime polarities
+///    (`dp_posit::decode` implements exactly this flow).
+/// 2. **Multiply**: the fixed-width significands (`F = n − 2 − es` bits,
+///    hidden bit included) multiply exactly; an overflow bit renormalizes
+///    and bumps the scale factor (Algorithm 2 lines 6–10).
+/// 3. **Accumulate**: the signed product is shifted by the *biased* scale
+///    factor `sf + 2^(es+1)(n−2)` so all shifts are non-negative
+///    (Algorithm 2 line 12) and added into a quire-style register
+///    (paper eq. 4 sizes the integer span; this model keeps the product
+///    fraction tail `2F − 2` explicitly, which the paper's ratio-of-extremes
+///    formulation folds away — both hold every product bit exactly).
+/// 4. **Round & encode** (Algorithm 2 lines 15–43): sign/magnitude split,
+///    leading-zero detection, window extraction and convergent
+///    (round-to-nearest-even on the pattern) re-encode.
+///
+/// Differentially tested against [`dp_posit::Quire`] — an independent
+/// implementation of the same semantics.
+///
+/// # Examples
+///
+/// ```
+/// use dp_emac::{Emac, PositEmac};
+/// use dp_posit::PositFormat;
+///
+/// let fmt = PositFormat::new(8, 2)?;
+/// let mut emac = PositEmac::new(fmt, 4);
+/// let maxpos = fmt.maxpos_bits();
+/// let neg_maxpos = maxpos.wrapping_neg() & fmt.mask(); // two's complement
+/// let minpos = fmt.minpos_bits();
+/// let one = fmt.one_bits();
+/// emac.mac(maxpos, one);
+/// emac.mac(neg_maxpos, one);
+/// emac.mac(minpos, one);
+/// assert_eq!(emac.result(), minpos); // survives catastrophic cancellation
+/// # Ok::<(), dp_posit::FormatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PositEmac {
+    fmt: PositFormat,
+    capacity: u64,
+    acc: WideInt,
+    /// `F`: significand width including the hidden bit, `n − 2 − es`.
+    fbits: u32,
+    /// Algorithm 2's `bias`: `2^(es+1) × (n − 2)` = 2 × max_scale.
+    sf_bias: i32,
+    count: u64,
+    nar: bool,
+}
+
+impl PositEmac {
+    /// Creates a unit for `fmt` sized for `capacity` accumulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `es > n − 3` (no significand bits: such formats have no
+    /// EMAC datapath in the paper).
+    pub fn new(fmt: PositFormat, capacity: u64) -> Self {
+        assert!(
+            fmt.es() <= fmt.n() - 3,
+            "posit EMAC requires es <= n-3 (paper datapath)"
+        );
+        let capacity = capacity.max(1);
+        let fbits = fmt.n() - 2 - fmt.es();
+        let width = Self::accumulator_width_for(fmt, capacity) as usize + 64;
+        PositEmac {
+            fmt,
+            capacity,
+            acc: WideInt::zero(width),
+            fbits,
+            sf_bias: 2 * fmt.max_scale(),
+            count: 0,
+            nar: false,
+        }
+    }
+
+    /// The format of this unit.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// Register width: paper eq. (4) plus the explicit product fraction
+    /// tail (`2F − 2` bits) this layout keeps below minpos².
+    pub fn accumulator_width_for(fmt: PositFormat, k: u64) -> u32 {
+        let qsize_eq4 = (1u32 << (fmt.es() + 2)) * (fmt.n() - 2) + 2 + ceil_log2(k);
+        let tail = 2 * (fmt.n() - 2 - fmt.es()) - 2;
+        qsize_eq4 + tail
+    }
+
+    /// Paper eq. (4) exactly, for reference and reporting.
+    pub fn paper_qsize(fmt: PositFormat, k: u64) -> u32 {
+        (1u32 << (fmt.es() + 2)) * (fmt.n() - 2) + 2 + ceil_log2(k)
+    }
+
+    /// Extracts the fixed-width `F`-bit significand (hidden bit at MSB)
+    /// from a decoded left-aligned significand.
+    fn field(&self, sig: u64) -> u64 {
+        sig >> (64 - self.fbits)
+    }
+
+    fn add_sig(&mut self, sign: bool, frac: u128, sf_lsb: i32) {
+        // Position of the value's LSB inside the register: biased shift.
+        debug_assert!(sf_lsb >= 0, "biased scale factor must be non-negative");
+        self.acc.add_shifted_u128(frac, sf_lsb as usize, sign);
+    }
+}
+
+impl Emac for PositEmac {
+    fn reset(&mut self) {
+        self.acc.clear();
+        self.count = 0;
+        self.nar = false;
+    }
+
+    fn set_bias(&mut self, bias: u32) {
+        self.reset();
+        match decode(self.fmt, bias) {
+            Decoded::Zero => {}
+            Decoded::NaR => self.nar = true,
+            Decoded::Finite(u) => {
+                // value = f × 2^(scale − F + 1) with f the F-bit significand;
+                // register bit b weighs 2^(b − sf_bias − (2F−2)), so the
+                // bias lands with its LSB at scale + F − 1 + sf_bias.
+                let f = self.field(u.sig) as u128;
+                let pos = u.scale + self.fbits as i32 - 1 + self.sf_bias;
+                self.add_sig(u.sign, f, pos);
+            }
+        }
+    }
+
+    fn mac(&mut self, weight: u32, activation: u32) {
+        self.count += 1;
+        debug_assert!(self.count <= self.capacity, "posit EMAC over capacity");
+        let (uw, ua) = match (decode(self.fmt, weight), decode(self.fmt, activation)) {
+            (Decoded::NaR, _) | (_, Decoded::NaR) => {
+                self.nar = true;
+                return;
+            }
+            (Decoded::Zero, _) | (_, Decoded::Zero) => return,
+            (Decoded::Finite(uw), Decoded::Finite(ua)) => (uw, ua),
+        };
+        // Algorithm 2, Multiplication: F-bit significand product. The
+        // overflow renormalization of lines 8–10 (`normfrac = prod >> ovf`,
+        // `sf += ovf`) is a no-op on the *value*; the hardware keeps the
+        // full 2F-bit product (Fig. 5 labels the path 2(n−2−es)+1 wide), so
+        // this model places the unshifted product at the unbumped scale —
+        // bit-identical, and provably lossless.
+        let fw = self.field(uw.sig);
+        let fa = self.field(ua.sig);
+        let prod = (fw as u128) * (fa as u128); // [2^(2F-2), 2^(2F))
+        let sf_mult = uw.scale + ua.scale;
+        // Accumulation (lines 11-14): biased shift, signed add.
+        let sf_biased = sf_mult + self.sf_bias; // line 12
+        self.add_sig(uw.sign ^ ua.sign, prod, sf_biased);
+    }
+
+    fn result(&self) -> u32 {
+        if self.nar {
+            return self.fmt.nar_bits();
+        }
+        if self.acc.is_zero() {
+            return self.fmt.zero_bits();
+        }
+        // Fraction & SF extraction (lines 15-19) + convergent rounding.
+        let sign = self.acc.is_negative();
+        let mag = self.acc.magnitude();
+        let msb = mag.msb_index().expect("nonzero accumulator");
+        let (sig, sticky) = mag.extract_window(msb);
+        // Register bit b has weight 2^(b − sf_bias − (2F−2)).
+        let scale = msb as i32 - self.sf_bias - (2 * self.fbits as i32 - 2);
+        encode(self.fmt, sign, scale, sig, sticky)
+    }
+
+    fn macs_done(&self) -> u64 {
+        self.count
+    }
+
+    fn pipeline_depth(&self) -> u32 {
+        5 // decode → multiply/shift → accumulate → extract → round/encode
+    }
+
+    fn accumulator_width(&self) -> u32 {
+        Self::accumulator_width_for(self.fmt, self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_posit::convert::{from_f64, to_f64};
+    use dp_posit::Quire;
+
+    fn fmt(n: u32, es: u32) -> PositFormat {
+        PositFormat::new(n, es).unwrap()
+    }
+
+    #[test]
+    fn widths_match_paper_eq4() {
+        assert_eq!(PositEmac::paper_qsize(fmt(8, 0), 1), 26);
+        assert_eq!(PositEmac::paper_qsize(fmt(8, 1), 128), 8 * 6 + 2 + 7);
+        assert_eq!(PositEmac::paper_qsize(fmt(16, 1), 16), 8 * 14 + 2 + 4);
+        assert!(PositEmac::accumulator_width_for(fmt(8, 0), 1) >= 26);
+    }
+
+    #[test]
+    fn simple_dot_products() {
+        let f = fmt(8, 0);
+        let mut e = PositEmac::new(f, 8);
+        e.mac(from_f64(f, 0.5), from_f64(f, 2.0));
+        e.mac(from_f64(f, 0.5), from_f64(f, 0.5));
+        assert_eq!(to_f64(f, e.result()), 1.25);
+        assert_eq!(e.macs_done(), 2);
+    }
+
+    #[test]
+    fn bias_seeding_matches_quire() {
+        let f = fmt(8, 1);
+        for bias_v in [-2.0, -0.25, 0.0, 0.125, 1.0, 3.5] {
+            let bias = from_f64(f, bias_v);
+            let mut e = PositEmac::new(f, 4);
+            e.set_bias(bias);
+            e.mac(from_f64(f, 1.5), from_f64(f, -0.5));
+            let mut q = Quire::new(f, 4);
+            q.add_posit(bias);
+            q.add_product(from_f64(f, 1.5), from_f64(f, -0.5));
+            assert_eq!(e.result(), q.to_posit(), "bias {bias_v}");
+        }
+    }
+
+    #[test]
+    fn nar_poisons() {
+        let f = fmt(8, 0);
+        let mut e = PositEmac::new(f, 4);
+        e.mac(f.nar_bits(), f.one_bits());
+        assert_eq!(e.result(), f.nar_bits());
+        e.reset();
+        assert_eq!(e.result(), 0);
+    }
+
+    #[test]
+    fn single_product_equals_rounded_mul_exhaustive_p8() {
+        for es in [0u32, 1, 2] {
+            let f = fmt(8, es);
+            for a in f.reals() {
+                for b in [0u32, 1, 0x23, 0x40, 0x55, 0x7f, 0x81, 0xc0, 0xff] {
+                    if b == f.nar_bits() {
+                        continue;
+                    }
+                    let mut e = PositEmac::new(f, 1);
+                    e.mac(a, b);
+                    assert_eq!(
+                        e.result(),
+                        dp_posit::ops::mul(f, a, b),
+                        "{f}: {a:#x} × {b:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_quire_on_random_dots() {
+        // The quire is an independently implemented accumulator with the
+        // same exactness contract; the Algorithm-2 datapath must agree.
+        let mut state = 0xfeed_beef_dead_cafeu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for (n, es) in [(5u32, 0u32), (6, 1), (7, 0), (8, 0), (8, 1), (8, 2), (12, 1), (16, 1)] {
+            let f = fmt(n, es);
+            for _ in 0..300 {
+                let len = (next() % 24 + 1) as usize;
+                let mut e = PositEmac::new(f, len as u64);
+                let mut q = Quire::new(f, len as u64);
+                for _ in 0..len {
+                    let mut w = (next() as u32) & f.mask();
+                    let mut a = (next() as u32) & f.mask();
+                    if w == f.nar_bits() {
+                        w = 0;
+                    }
+                    if a == f.nar_bits() {
+                        a = 0;
+                    }
+                    e.mac(w, a);
+                    q.add_product(w, a);
+                }
+                assert_eq!(e.result(), q.to_posit(), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturates_at_maxpos() {
+        let f = fmt(8, 0);
+        let mut e = PositEmac::new(f, 16);
+        for _ in 0..16 {
+            e.mac(f.maxpos_bits(), f.maxpos_bits());
+        }
+        assert_eq!(e.result(), f.maxpos_bits());
+    }
+
+    #[test]
+    fn minpos_squared_rounds_to_minpos_not_zero() {
+        let f = fmt(8, 2);
+        let mut e = PositEmac::new(f, 1);
+        e.mac(f.minpos_bits(), f.minpos_bits());
+        assert_eq!(e.result(), f.minpos_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "es <= n-3")]
+    fn rejects_formats_without_significand() {
+        PositEmac::new(fmt(8, 6), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! The [`Emac`] trait and the format-erased [`EmacUnit`].
+
+use crate::{FixedEmac, FloatEmac, PositEmac};
+
+/// Common interface of the three exact multiply-and-accumulate units.
+///
+/// Values are raw bit patterns of the unit's numerical format. A unit is
+/// used in three phases, mirroring the hardware control flow (paper §III-E):
+/// seed with a bias, stream `k` MAC operations (one per cycle), read the
+/// rounded result.
+pub trait Emac {
+    /// Clears the accumulator to zero (and any NaR/NaN poison state).
+    fn reset(&mut self);
+
+    /// Resets the accumulator to the fixed-point image of `bias` — the
+    /// paper's "the accumulator D flip-flop can be reset to the fixed-point
+    /// representation of the bias" (§III-A).
+    fn set_bias(&mut self, bias: u32);
+
+    /// Accumulates the exact product `weight × activation`.
+    fn mac(&mut self, weight: u32, activation: u32);
+
+    /// Rounds the accumulated sum once and returns its bit pattern.
+    fn result(&self) -> u32;
+
+    /// Number of MACs since the last reset.
+    fn macs_done(&self) -> u64;
+
+    /// Pipeline depth in cycles (decode/multiply → accumulate → round
+    /// stages), used by the streaming latency model.
+    fn pipeline_depth(&self) -> u32;
+
+    /// Accumulator register width in bits (paper eqs. 3–4 plus the
+    /// fraction tail; see each unit's documentation).
+    fn accumulator_width(&self) -> u32;
+}
+
+/// A format-erased EMAC, letting the DNN engine hold heterogeneous layers.
+#[derive(Debug, Clone)]
+pub enum EmacUnit {
+    /// Fixed-point unit (paper Fig. 3).
+    Fixed(FixedEmac),
+    /// Floating-point unit (paper Fig. 4).
+    Float(FloatEmac),
+    /// Posit unit (paper Fig. 5).
+    Posit(PositEmac),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $u:ident => $body:expr) => {
+        match $self {
+            EmacUnit::Fixed($u) => $body,
+            EmacUnit::Float($u) => $body,
+            EmacUnit::Posit($u) => $body,
+        }
+    };
+}
+
+impl Emac for EmacUnit {
+    fn reset(&mut self) {
+        dispatch!(self, u => u.reset())
+    }
+    fn set_bias(&mut self, bias: u32) {
+        dispatch!(self, u => u.set_bias(bias))
+    }
+    fn mac(&mut self, weight: u32, activation: u32) {
+        dispatch!(self, u => u.mac(weight, activation))
+    }
+    fn result(&self) -> u32 {
+        dispatch!(self, u => u.result())
+    }
+    fn macs_done(&self) -> u64 {
+        dispatch!(self, u => u.macs_done())
+    }
+    fn pipeline_depth(&self) -> u32 {
+        dispatch!(self, u => u.pipeline_depth())
+    }
+    fn accumulator_width(&self) -> u32 {
+        dispatch!(self, u => u.accumulator_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_fixed::FixedFormat;
+    use dp_minifloat::FloatFormat;
+    use dp_posit::PositFormat;
+
+    #[test]
+    fn dispatch_works_for_all_variants() {
+        let mut units = [
+            EmacUnit::Fixed(FixedEmac::new(FixedFormat::new(8, 4).unwrap(), 8)),
+            EmacUnit::Float(FloatEmac::new(FloatFormat::new(4, 3).unwrap(), 8)),
+            EmacUnit::Posit(PositEmac::new(PositFormat::new(8, 0).unwrap(), 8)),
+        ];
+        for u in &mut units {
+            u.reset();
+            assert_eq!(u.macs_done(), 0);
+            assert!(u.pipeline_depth() >= 3);
+            assert!(u.accumulator_width() > 16);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based differential tests for the EMAC units: random dot
+//! products across random formats must agree with independent references.
+
+use dp_emac::{Emac, FixedEmac, FloatEmac, PositEmac};
+use dp_fixed::FixedFormat;
+use dp_minifloat::{FloatClass, FloatFormat};
+use dp_posit::{PositFormat, Quire};
+use proptest::prelude::*;
+
+fn posit_formats() -> impl Strategy<Value = PositFormat> {
+    (5u32..=16, 0u32..=2).prop_map(|(n, es)| PositFormat::new(n, es.min(n - 3)).unwrap())
+}
+
+fn float_formats() -> impl Strategy<Value = FloatFormat> {
+    (2u32..=5, 1u32..=5).prop_map(|(we, wf)| FloatFormat::new(we, wf).unwrap())
+}
+
+fn fixed_formats() -> impl Strategy<Value = FixedFormat> {
+    (4u32..=12, 1u32..=11).prop_map(|(n, q)| FixedFormat::new(n, q.min(n - 1)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn posit_emac_equals_quire(
+        fmt in posit_formats(),
+        raw in prop::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 1..24),
+    ) {
+        let mut emac = PositEmac::new(fmt, raw.len() as u64);
+        let mut quire = Quire::new(fmt, raw.len() as u64);
+        for &(a, b) in &raw {
+            let (mut a, mut b) = (a & fmt.mask(), b & fmt.mask());
+            if a == fmt.nar_bits() { a = 0; }
+            if b == fmt.nar_bits() { b = 0; }
+            emac.mac(a, b);
+            quire.add_product(a, b);
+        }
+        prop_assert_eq!(emac.result(), quire.to_posit());
+    }
+
+    #[test]
+    fn posit_emac_with_bias_equals_quire(
+        fmt in posit_formats(),
+        bias in 0u32..=u32::MAX,
+        raw in prop::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 1..12),
+    ) {
+        let mut bias = bias & fmt.mask();
+        if bias == fmt.nar_bits() { bias = 0; }
+        let mut emac = PositEmac::new(fmt, raw.len() as u64);
+        emac.set_bias(bias);
+        let mut quire = Quire::new(fmt, raw.len() as u64);
+        quire.add_posit(bias);
+        for &(a, b) in &raw {
+            let (mut a, mut b) = (a & fmt.mask(), b & fmt.mask());
+            if a == fmt.nar_bits() { a = 0; }
+            if b == fmt.nar_bits() { b = 0; }
+            emac.mac(a, b);
+            quire.add_product(a, b);
+        }
+        prop_assert_eq!(emac.result(), quire.to_posit());
+    }
+
+    #[test]
+    fn float_emac_equals_f64_reference_for_narrow_formats(
+        fmt in float_formats(),
+        raw in prop::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 1..16),
+    ) {
+        // Sums of ≤16 products of (we ≤ 5, wf ≤ 5) floats are exact in f64.
+        let mut emac = FloatEmac::new(fmt, raw.len() as u64);
+        let mut reference = 0f64;
+        for &(a, b) in &raw {
+            let (a, b) = (a & fmt.mask(), b & fmt.mask());
+            let ca = dp_minifloat::decode(fmt, a);
+            let cb = dp_minifloat::decode(fmt, b);
+            let finite = |c: &FloatClass| matches!(c, FloatClass::Finite(_) | FloatClass::Zero(_));
+            if !finite(&ca) || !finite(&cb) {
+                continue;
+            }
+            emac.mac(a, b);
+            reference += dp_minifloat::convert::to_f64(fmt, a)
+                * dp_minifloat::convert::to_f64(fmt, b);
+        }
+        let got = dp_minifloat::convert::to_f64(fmt, emac.result());
+        let want = dp_minifloat::convert::to_f64(
+            fmt,
+            dp_minifloat::convert::from_f64_saturating(fmt, reference),
+        );
+        // The EMAC's empty/zero accumulator reads +0 where the reference
+        // may carry a signed zero.
+        prop_assert!(got == want || (got == 0.0 && want == 0.0),
+            "emac {} vs reference {}", got, want);
+    }
+
+    #[test]
+    fn fixed_emac_equals_i128_reference(
+        fmt in fixed_formats(),
+        raw in prop::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 1..32),
+    ) {
+        let mask = (1u64 << fmt.n()) - 1;
+        let sext = |b: u32| -> i128 {
+            let sh = 64 - fmt.n();
+            ((((b as u64) << sh) as i64) >> sh) as i128
+        };
+        let mut emac = FixedEmac::new(fmt, raw.len() as u64);
+        let mut acc: i128 = 0;
+        for &(a, b) in &raw {
+            let (a, b) = ((a as u64 & mask) as u32, (b as u64 & mask) as u32);
+            emac.mac(a, b);
+            acc += sext(a) * sext(b);
+        }
+        let want = (acc >> fmt.q()).clamp(fmt.min_raw() as i128, fmt.max_raw() as i128);
+        let got_bits = emac.result();
+        prop_assert_eq!(sext(got_bits), want);
+    }
+
+    #[test]
+    fn emac_order_invariance(
+        fmt in posit_formats(),
+        raw in prop::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 2..16),
+    ) {
+        let clean: Vec<(u32, u32)> = raw
+            .iter()
+            .map(|&(a, b)| {
+                let (a, b) = (a & fmt.mask(), b & fmt.mask());
+                (
+                    if a == fmt.nar_bits() { 0 } else { a },
+                    if b == fmt.nar_bits() { 0 } else { b },
+                )
+            })
+            .collect();
+        let mut fwd = PositEmac::new(fmt, clean.len() as u64);
+        let mut rev = PositEmac::new(fmt, clean.len() as u64);
+        for &(a, b) in &clean {
+            fwd.mac(a, b);
+        }
+        for &(a, b) in clean.iter().rev() {
+            rev.mac(a, b);
+        }
+        prop_assert_eq!(fwd.result(), rev.result(), "exactness implies order invariance");
+    }
+
+    #[test]
+    fn emac_reset_restores_zero(
+        fmt in posit_formats(),
+        a in 0u32..=u32::MAX,
+        b in 0u32..=u32::MAX,
+    ) {
+        let (mut a, mut b) = (a & fmt.mask(), b & fmt.mask());
+        if a == fmt.nar_bits() { a = 0; }
+        if b == fmt.nar_bits() { b = 0; }
+        let mut emac = PositEmac::new(fmt, 4);
+        emac.mac(a, b);
+        emac.reset();
+        prop_assert_eq!(emac.result(), 0);
+        prop_assert_eq!(emac.macs_done(), 0);
+    }
+}

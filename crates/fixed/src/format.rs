@@ -1,0 +1,316 @@
+//! Runtime-parameterized fixed-point format descriptor and raw-word ops.
+
+use std::fmt;
+
+/// Error returned when constructing an invalid [`FixedFormat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatError {
+    /// `n` outside the supported `2..=32` range.
+    WidthOutOfRange(u32),
+    /// `q` not strictly below `n`.
+    FractionTooWide {
+        /// Total width requested.
+        n: u32,
+        /// Fraction bits requested.
+        q: u32,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::WidthOutOfRange(n) => {
+                write!(f, "fixed-point width n={n} outside supported range 2..=32")
+            }
+            FormatError::FractionTooWide { n, q } => {
+                write!(f, "fixed-point fraction q={q} must be < n={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// An `n`-bit two's-complement fixed-point format with `q` fraction bits
+/// (Q(n−q).q). Raw words are carried sign-extended in an `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use dp_fixed::FixedFormat;
+/// let fmt = FixedFormat::new(8, 4)?;   // Q4.4
+/// assert_eq!(fmt.to_f64(fmt.from_f64(1.25)), 1.25);
+/// assert_eq!(fmt.from_f64(100.0), fmt.max_raw()); // clips
+/// # Ok::<(), dp_fixed::FormatError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FixedFormat {
+    n: u32,
+    q: u32,
+}
+
+impl FixedFormat {
+    /// Creates a Q(n−q).q format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] unless `2 <= n <= 32` and `q < n`.
+    pub const fn new(n: u32, q: u32) -> Result<Self, FormatError> {
+        if n < 2 || n > 32 {
+            return Err(FormatError::WidthOutOfRange(n));
+        }
+        if q >= n {
+            return Err(FormatError::FractionTooWide { n, q });
+        }
+        Ok(FixedFormat { n, q })
+    }
+
+    /// Like [`FixedFormat::new`] but panics on invalid parameters; `const`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n <= 32` and `q < n`.
+    pub const fn new_const(n: u32, q: u32) -> Self {
+        match Self::new(n, q) {
+            Ok(f) => f,
+            Err(_) => panic!("invalid fixed-point format parameters"),
+        }
+    }
+
+    /// Total width in bits.
+    #[inline]
+    pub const fn n(self) -> u32 {
+        self.n
+    }
+
+    /// Fraction bits.
+    #[inline]
+    pub const fn q(self) -> u32 {
+        self.q
+    }
+
+    /// Integer bits (including sign).
+    #[inline]
+    pub const fn integer_bits(self) -> u32 {
+        self.n - self.q
+    }
+
+    /// Largest raw word, `2^(n-1) − 1`.
+    #[inline]
+    pub const fn max_raw(self) -> i64 {
+        (1i64 << (self.n - 1)) - 1
+    }
+
+    /// Smallest raw word, `−2^(n-1)`.
+    #[inline]
+    pub const fn min_raw(self) -> i64 {
+        -(1i64 << (self.n - 1))
+    }
+
+    /// Largest representable value, `max_raw / 2^q`.
+    pub fn max_value(self) -> f64 {
+        self.max_raw() as f64 * 2f64.powi(-(self.q as i32))
+    }
+
+    /// Smallest positive value (one LSB), `2^−q`.
+    pub fn min_value(self) -> f64 {
+        2f64.powi(-(self.q as i32))
+    }
+
+    /// Dynamic range in decades, `log10(max / min) = log10(2^(n−1) − 1)`
+    /// (paper §IV-A) — independent of `q`.
+    pub fn dynamic_range_log10(self) -> f64 {
+        (self.max_raw() as f64).log10()
+    }
+
+    /// Saturates an arbitrary integer to the raw range.
+    #[inline]
+    pub fn saturate(self, v: i64) -> i64 {
+        v.clamp(self.min_raw(), self.max_raw())
+    }
+
+    /// Quantizes an `f64` to the nearest raw word (ties to even), clipping
+    /// at the maximum magnitude. NaN maps to 0 (documented convention: the
+    /// DNN path never produces NaN inputs).
+    pub fn from_f64(self, v: f64) -> i64 {
+        if v.is_nan() {
+            return 0;
+        }
+        let scaled = v * 2f64.powi(self.q as i32);
+        if scaled >= self.max_raw() as f64 {
+            return self.max_raw();
+        }
+        if scaled <= self.min_raw() as f64 {
+            return self.min_raw();
+        }
+        // f64 round-half-even of a value already within i64 range.
+        let r = scaled.round_ties_even();
+        r as i64
+    }
+
+    /// The exact value of a raw word.
+    pub fn to_f64(self, raw: i64) -> f64 {
+        raw as f64 * 2f64.powi(-(self.q as i32))
+    }
+
+    /// Saturating addition of two raw words.
+    #[inline]
+    pub fn add_sat(self, a: i64, b: i64) -> i64 {
+        self.saturate(a + b)
+    }
+
+    /// Saturating subtraction of two raw words.
+    #[inline]
+    pub fn sub_sat(self, a: i64, b: i64) -> i64 {
+        self.saturate(a - b)
+    }
+
+    /// Saturating negation (−min saturates to max).
+    #[inline]
+    pub fn neg_sat(self, a: i64) -> i64 {
+        self.saturate(-a)
+    }
+
+    /// Multiplication with **truncation** of the low `q` bits (arithmetic
+    /// shift right — the hardware behaviour in paper Fig. 3) and clipping.
+    #[inline]
+    pub fn mul_truncate(self, a: i64, b: i64) -> i64 {
+        self.saturate((a * b) >> self.q)
+    }
+
+    /// Multiplication with round-to-nearest-even of the low `q` bits and
+    /// clipping (the higher-quality per-op rounding used for ablations).
+    pub fn mul_round(self, a: i64, b: i64) -> i64 {
+        let p = a * b;
+        self.saturate(rne_shift(p, self.q))
+    }
+
+    /// Iterator over every raw word of the format.
+    pub fn raws(self) -> impl Iterator<Item = i64> {
+        self.min_raw()..=self.max_raw()
+    }
+}
+
+/// Round-to-nearest-even arithmetic right shift.
+pub(crate) fn rne_shift(v: i64, sh: u32) -> i64 {
+    if sh == 0 {
+        return v;
+    }
+    let keep = v >> sh;
+    let round = (v >> (sh - 1)) & 1;
+    let rest = v & ((1i64 << (sh - 1)) - 1);
+    if round == 1 && (rest != 0 || keep & 1 == 1) {
+        keep + 1
+    } else {
+        keep
+    }
+}
+
+impl fmt::Debug for FixedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FixedFormat(n={}, q={})", self.n, self.q)
+    }
+}
+
+impl fmt::Display for FixedFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fixed<{},{}>", self.n, self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(n: u32, q: u32) -> FixedFormat {
+        FixedFormat::new(n, q).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FixedFormat::new(8, 4).is_ok());
+        assert!(FixedFormat::new(1, 0).is_err());
+        assert!(FixedFormat::new(33, 4).is_err());
+        assert!(FixedFormat::new(8, 8).is_err());
+    }
+
+    #[test]
+    fn ranges() {
+        let f = fmt(8, 4);
+        assert_eq!(f.max_raw(), 127);
+        assert_eq!(f.min_raw(), -128);
+        assert_eq!(f.max_value(), 7.9375);
+        assert_eq!(f.min_value(), 0.0625);
+        assert_eq!(f.integer_bits(), 4);
+    }
+
+    #[test]
+    fn quantization_rounds_ties_to_even() {
+        let f = fmt(8, 4);
+        assert_eq!(f.from_f64(1.25), 20);
+        assert_eq!(f.from_f64(0.03125), 0, "tie 0.5 LSB -> even 0");
+        assert_eq!(f.from_f64(0.09375), 2, "tie 1.5 LSB -> even 2");
+        assert_eq!(f.from_f64(-0.03125), 0);
+        assert_eq!(f.from_f64(100.0), 127);
+        assert_eq!(f.from_f64(-100.0), -128);
+        assert_eq!(f.from_f64(f64::NAN), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_raws() {
+        for (n, q) in [(5, 2), (8, 4), (8, 7), (8, 0), (12, 8), (16, 12)] {
+            let f = fmt(n, q);
+            for raw in f.raws() {
+                assert_eq!(f.from_f64(f.to_f64(raw)), raw, "{f} raw {raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let f = fmt(8, 4);
+        assert_eq!(f.add_sat(127, 1), 127);
+        assert_eq!(f.sub_sat(-128, 1), -128);
+        assert_eq!(f.neg_sat(-128), 127);
+        assert_eq!(f.add_sat(20, 12), 32);
+    }
+
+    #[test]
+    fn multiplication_truncates_vs_rounds() {
+        let f = fmt(8, 4);
+        // 1.25 × 1.25 = 1.5625 = raw 25 exactly at q=4? 25/16 = 1.5625: raw
+        // product = 20×20 = 400; >>4 = 25 exactly (no truncation error).
+        assert_eq!(f.mul_truncate(20, 20), 25);
+        assert_eq!(f.mul_round(20, 20), 25);
+        // 0.3125 × 0.3125 = 0.09765625: raw 5×5 = 25; >>4 trunc = 1 (0.0625),
+        // rne = 2 (0.125) since 25/16 = 1.5625 rounds to 2.
+        assert_eq!(f.mul_truncate(5, 5), 1);
+        assert_eq!(f.mul_round(5, 5), 2);
+        // Truncation is floor, also for negatives (arithmetic shift).
+        assert_eq!(f.mul_truncate(-5, 5), -2);
+    }
+
+    #[test]
+    fn rne_shift_cases() {
+        assert_eq!(rne_shift(25, 4), 2);
+        assert_eq!(rne_shift(24, 4), 2, "tie 1.5 -> 2");
+        assert_eq!(rne_shift(8, 4), 0, "tie 0.5 -> 0");
+        assert_eq!(rne_shift(-8, 4), 0, "-0.5 tie -> 0");
+        assert_eq!(rne_shift(-24, 4), -2, "-1.5 tie -> -2");
+        assert_eq!(rne_shift(7, 0), 7);
+    }
+
+    #[test]
+    fn dynamic_range_independent_of_q() {
+        assert_eq!(
+            fmt(8, 2).dynamic_range_log10(),
+            fmt(8, 6).dynamic_range_log10()
+        );
+        assert!((fmt(8, 4).dynamic_range_log10() - 127f64.log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", fmt(8, 4)), "fixed<8,4>");
+    }
+}

@@ -1,0 +1,237 @@
+//! Typed, const-generic fixed-point values with (saturating) operators.
+
+use crate::format::FixedFormat;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A Q(N−Q).Q fixed-point value of compile-time format.
+///
+/// All operators saturate; multiplication uses round-to-nearest-even of the
+/// low `Q` bits (use [`FixedFormat::mul_truncate`] via the runtime API for
+/// the EMAC's truncating semantics).
+///
+/// # Examples
+///
+/// ```
+/// use dp_fixed::Fixed;
+/// type Q8_6 = Fixed<8, 6>;
+/// let a = Q8_6::from_f64(0.75);
+/// let b = Q8_6::from_f64(0.5);
+/// assert_eq!((a * b).to_f64(), 0.375);
+/// assert_eq!((a + a).to_f64(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fixed<const N: u32, const Q: u32>(i64);
+
+impl<const N: u32, const Q: u32> Fixed<N, Q> {
+    /// The format descriptor of this type.
+    pub const FORMAT: FixedFormat = FixedFormat::new_const(N, Q);
+    /// Zero.
+    pub const ZERO: Self = Fixed(0);
+    /// One (saturates for formats that cannot represent 1.0).
+    pub const ONE: Self = {
+        let raw = 1i64 << Q;
+        let max = (1i64 << (N - 1)) - 1;
+        Fixed(if raw > max { max } else { raw })
+    };
+    /// Largest value.
+    pub const MAX: Self = Fixed((1i64 << (N - 1)) - 1);
+    /// Smallest (most negative) value.
+    pub const MIN: Self = Fixed(-(1i64 << (N - 1)));
+
+    /// Constructs from a raw word (saturating).
+    pub fn from_raw(raw: i64) -> Self {
+        Fixed(Self::FORMAT.saturate(raw))
+    }
+
+    /// The raw word.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Quantizes an `f64` (round to nearest even, clip at max magnitude).
+    pub fn from_f64(v: f64) -> Self {
+        Fixed(Self::FORMAT.from_f64(v))
+    }
+
+    /// The exact value as `f64`.
+    pub fn to_f64(self) -> f64 {
+        Self::FORMAT.to_f64(self.0)
+    }
+
+    /// Absolute value (saturating).
+    pub fn abs(self) -> Self {
+        Fixed(Self::FORMAT.saturate(self.0.abs()))
+    }
+}
+
+impl<const N: u32, const Q: u32> Add for Fixed<N, Q> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Fixed(Self::FORMAT.add_sat(self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const Q: u32> Sub for Fixed<N, Q> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Fixed(Self::FORMAT.sub_sat(self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const Q: u32> Mul for Fixed<N, Q> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Fixed(Self::FORMAT.mul_round(self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const Q: u32> Neg for Fixed<N, Q> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Fixed(Self::FORMAT.neg_sat(self.0))
+    }
+}
+
+impl<const N: u32, const Q: u32> AddAssign for Fixed<N, Q> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const N: u32, const Q: u32> SubAssign for Fixed<N, Q> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const N: u32, const Q: u32> MulAssign for Fixed<N, Q> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const N: u32, const Q: u32> PartialOrd for Fixed<N, Q> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const N: u32, const Q: u32> Ord for Fixed<N, Q> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl<const N: u32, const Q: u32> fmt::Debug for Fixed<N, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{N},{Q}>(raw {} = {})", self.0, self.to_f64())
+    }
+}
+
+impl<const N: u32, const Q: u32> fmt::Display for Fixed<N, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const N: u32, const Q: u32> fmt::Binary for Fixed<N, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mask = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
+        fmt::Binary::fmt(&((self.0 as u64) & mask), f)
+    }
+}
+
+impl<const N: u32, const Q: u32> fmt::LowerHex for Fixed<N, Q> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mask = if N == 64 { u64::MAX } else { (1u64 << N) - 1 };
+        fmt::LowerHex::fmt(&((self.0 as u64) & mask), f)
+    }
+}
+
+impl<const N: u32, const Q: u32> From<Fixed<N, Q>> for f64 {
+    fn from(x: Fixed<N, Q>) -> f64 {
+        x.to_f64()
+    }
+}
+
+/// Error parsing a fixed-point value from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFixedError(String);
+
+impl fmt::Display for ParseFixedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fixed-point literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFixedError {}
+
+impl<const N: u32, const Q: u32> FromStr for Fixed<N, Q> {
+    type Err = ParseFixedError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let v: f64 = s.parse().map_err(|_| ParseFixedError(s.to_owned()))?;
+        Ok(Self::from_f64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q8_4 = Fixed<8, 4>;
+    type Q8_7 = Fixed<8, 7>;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Q8_4::ONE.to_f64(), 1.0);
+        assert_eq!(Q8_4::MAX.to_f64(), 7.9375);
+        assert_eq!(Q8_4::MIN.to_f64(), -8.0);
+        // Q1.7 cannot represent 1.0; ONE saturates to max.
+        assert_eq!(Q8_7::ONE.to_f64(), 127.0 / 128.0);
+    }
+
+    #[test]
+    fn operators_saturate() {
+        let a = Q8_4::from_f64(7.0);
+        assert_eq!((a + a).to_f64(), Q8_4::MAX.to_f64());
+        assert_eq!((-Q8_4::MIN).to_f64(), Q8_4::MAX.to_f64());
+        let b = Q8_4::from_f64(1.5);
+        assert_eq!((a - b).to_f64(), 5.5);
+        assert_eq!((b * b).to_f64(), 2.25);
+        let mut c = b;
+        c += b;
+        assert_eq!(c.to_f64(), 3.0);
+        c -= b;
+        c *= Q8_4::ONE;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Q8_4::from_f64(-1.0) < Q8_4::from_f64(0.25));
+        let mut v = [Q8_4::from_f64(2.0), Q8_4::from_f64(-3.0), Q8_4::ZERO];
+        v.sort();
+        assert_eq!(v[0].to_f64(), -3.0);
+        assert_eq!(v[2].to_f64(), 2.0);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Q8_4::from_f64(1.25).to_string(), "1.25");
+        assert_eq!("0.5".parse::<Q8_4>().unwrap().to_f64(), 0.5);
+        assert!("zzz".parse::<Q8_4>().is_err());
+        assert_eq!(format!("{:x}", Q8_4::from_f64(-0.0625)), "ff");
+        assert_eq!(format!("{:08b}", Q8_4::ONE), "00010000");
+    }
+
+    #[test]
+    fn from_raw_saturates() {
+        assert_eq!(Q8_4::from_raw(1000).raw(), 127);
+        assert_eq!(Q8_4::from_raw(-1000).raw(), -128);
+    }
+}

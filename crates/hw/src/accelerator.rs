@@ -1,0 +1,231 @@
+//! Full Deep Positron accelerator roll-up (paper Fig. 1 / §III-E).
+//!
+//! The paper's architecture instantiates, per layer, one EMAC per neuron
+//! with local weight/bias memories, and streams activations layer to
+//! layer under a main-control FSM. This module aggregates the per-EMAC
+//! synthesis model over a whole topology: total LUT/FF/DSP/BRAM budget,
+//! per-inference latency at Fmax, streaming throughput, energy and EDP —
+//! the numbers a designer would use to size a Virtex-7 deployment.
+
+use crate::calib::Calib;
+use crate::emacs::{emac_netlist, FormatSpec};
+use crate::netlist::Netlist;
+use std::fmt;
+
+/// One layer of the accelerator: `neurons` EMACs with `fan_in`-deep
+/// weight memories.
+#[derive(Debug, Clone)]
+pub struct LayerPlan {
+    /// Fan-in (weights per neuron = MAC cycles per input vector).
+    pub fan_in: u32,
+    /// Neuron / EMAC count.
+    pub neurons: u32,
+    /// The synthesized EMAC model for this layer.
+    pub emac: Netlist,
+}
+
+impl LayerPlan {
+    /// Cycles this layer occupies per input vector: one MAC per cycle
+    /// plus pipeline drain.
+    pub fn occupancy_cycles(&self) -> u64 {
+        self.fan_in as u64 + self.emac.pipeline_depth() as u64
+    }
+
+    /// Weight + bias words held in local memory.
+    pub fn memory_words(&self) -> u64 {
+        (self.fan_in as u64 + 1) * self.neurons as u64
+    }
+}
+
+/// Synthesis summary of a whole Deep Positron instance.
+#[derive(Debug, Clone)]
+pub struct AcceleratorReport {
+    /// The numerical format of every EMAC.
+    pub spec: FormatSpec,
+    /// Layer widths `[in, hidden..., out]`.
+    pub dims: Vec<u32>,
+    /// Per-layer plans.
+    pub layers: Vec<LayerPlan>,
+    /// Clock: the slowest layer's Fmax governs the whole core (one clock
+    /// domain, as in the paper's design).
+    pub fmax_hz: f64,
+    /// Total LUTs across all EMACs.
+    pub luts: u64,
+    /// Total flip-flops.
+    pub ffs: u64,
+    /// Total DSP48 slices.
+    pub dsps: u64,
+    /// On-chip memory bits for weights/biases (BRAM/LUTRAM budget).
+    pub weight_memory_bits: u64,
+    /// First-inference latency (cycles): layers run back to back.
+    pub latency_cycles: u64,
+    /// Steady-state initiation interval (cycles) when streaming.
+    pub interval_cycles: u64,
+    /// Dynamic energy per inference (pJ).
+    pub energy_per_inference_pj: f64,
+}
+
+impl AcceleratorReport {
+    /// First-inference latency in nanoseconds.
+    pub fn latency_ns(&self) -> f64 {
+        self.latency_cycles as f64 * 1e9 / self.fmax_hz
+    }
+
+    /// Streaming throughput in inferences per second.
+    pub fn throughput_per_s(&self) -> f64 {
+        self.fmax_hz / self.interval_cycles as f64
+    }
+
+    /// Energy-delay product per inference (J·s).
+    pub fn edp(&self) -> f64 {
+        self.energy_per_inference_pj * 1e-12 * self.latency_ns() * 1e-9
+    }
+}
+
+/// Plans a Deep Positron instance for `dims` (e.g. `[30, 16, 2]`) in the
+/// given format.
+///
+/// # Panics
+///
+/// Panics if `dims` has fewer than two entries.
+pub fn plan_accelerator(spec: FormatSpec, dims: &[u32], calib: Calib) -> AcceleratorReport {
+    assert!(dims.len() >= 2, "need at least input and output widths");
+    let n_bits = spec.n() as u64;
+    let layers: Vec<LayerPlan> = dims
+        .windows(2)
+        .map(|w| LayerPlan {
+            fan_in: w[0],
+            neurons: w[1],
+            emac: emac_netlist(spec, w[0] as u64, calib),
+        })
+        .collect();
+    let fmax_hz = layers
+        .iter()
+        .map(|l| l.emac.fmax_hz())
+        .fold(f64::INFINITY, f64::min);
+    let luts: u64 = layers
+        .iter()
+        .map(|l| l.emac.luts() as u64 * l.neurons as u64)
+        .sum();
+    let ffs: u64 = layers
+        .iter()
+        .map(|l| l.emac.ffs() as u64 * l.neurons as u64)
+        .sum();
+    let dsps: u64 = layers
+        .iter()
+        .map(|l| l.emac.dsps() as u64 * l.neurons as u64)
+        .sum();
+    let weight_memory_bits: u64 = layers.iter().map(|l| l.memory_words() * n_bits).sum();
+    let latency_cycles: u64 = layers.iter().map(|l| l.occupancy_cycles()).sum();
+    let interval_cycles: u64 = layers
+        .iter()
+        .map(|l| l.occupancy_cycles())
+        .max()
+        .unwrap_or(1);
+    // Per inference: every EMAC in layer ℓ performs fan_in MACs plus one
+    // readout.
+    let energy_per_inference_pj: f64 = layers
+        .iter()
+        .map(|l| {
+            l.neurons as f64
+                * (l.fan_in as f64 * l.emac.energy_per_mac_pj() + l.emac.round_energy_pj())
+        })
+        .sum();
+    AcceleratorReport {
+        spec,
+        dims: dims.to_vec(),
+        layers,
+        fmax_hz,
+        luts,
+        ffs,
+        dsps,
+        weight_memory_bits,
+        latency_cycles,
+        interval_cycles,
+        energy_per_inference_pj,
+    }
+}
+
+impl fmt::Display for AcceleratorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Deep Positron {:?} @ {}: {} LUTs, {} FFs, {} DSPs, {:.1} kb weights",
+            self.dims,
+            self.spec.label(),
+            self.luts,
+            self.ffs,
+            self.dsps,
+            self.weight_memory_bits as f64 / 1000.0
+        )?;
+        writeln!(
+            f,
+            "  Fmax {:.1} MHz | latency {} cy = {:.2} µs | II {} cy = {:.1} k inf/s | {:.1} nJ/inf",
+            self.fmax_hz / 1e6,
+            self.latency_cycles,
+            self.latency_ns() / 1000.0,
+            self.interval_cycles,
+            self.throughput_per_s() / 1e3,
+            self.energy_per_inference_pj / 1000.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_fixed::FixedFormat;
+    use dp_posit::PositFormat;
+
+    fn posit8() -> FormatSpec {
+        FormatSpec::Posit(PositFormat::new(8, 0).unwrap())
+    }
+
+    #[test]
+    fn plan_aggregates_layers() {
+        let r = plan_accelerator(posit8(), &[30, 16, 2], Calib::default());
+        assert_eq!(r.layers.len(), 2);
+        assert_eq!(r.layers[0].fan_in, 30);
+        assert_eq!(r.layers[0].neurons, 16);
+        // 16 + 2 = 18 EMACs total, each with >= 1 DSP.
+        assert!(r.dsps >= 18);
+        // Weight memory: (30+1)*16 + (16+1)*2 words × 8 bits.
+        assert_eq!(r.weight_memory_bits, ((31 * 16) + (17 * 2)) * 8);
+        assert!(r.latency_cycles > 30 + 16);
+        assert_eq!(
+            r.interval_cycles,
+            r.layers.iter().map(|l| l.occupancy_cycles()).max().unwrap()
+        );
+        assert!(r.fmax_hz > 5e7);
+        assert!(r.energy_per_inference_pj > 0.0);
+        assert!(r.edp() > 0.0);
+        assert!(r.to_string().contains("Deep Positron"));
+    }
+
+    #[test]
+    fn bigger_topologies_cost_more() {
+        let small = plan_accelerator(posit8(), &[4, 8, 3], Calib::default());
+        let big = plan_accelerator(posit8(), &[117, 24, 2], Calib::default());
+        assert!(big.luts > small.luts);
+        assert!(big.latency_cycles > small.latency_cycles);
+        assert!(big.energy_per_inference_pj > small.energy_per_inference_pj);
+    }
+
+    #[test]
+    fn fixed_point_accelerator_is_cheaper() {
+        let p = plan_accelerator(posit8(), &[30, 16, 2], Calib::default());
+        let x = plan_accelerator(
+            FormatSpec::Fixed(FixedFormat::new(8, 6).unwrap()),
+            &[30, 16, 2],
+            Calib::default(),
+        );
+        assert!(x.luts < p.luts);
+        assert!(x.fmax_hz > p.fmax_hz);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_degenerate_topology() {
+        plan_accelerator(posit8(), &[30], Calib::default());
+    }
+}

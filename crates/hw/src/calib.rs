@@ -1,0 +1,84 @@
+//! Technology calibration constants.
+//!
+//! The paper synthesizes its EMACs with Vivado 2017.2 for a Virtex-7
+//! `xc7vx485t-2ffg1761c` and reports post-synthesis Fmax, LUT counts, power
+//! and energy-delay product. Without the toolchain, this model uses
+//! first-order 28 nm FPGA timing/energy constants. They are deliberately
+//! centralized here: every number the model produces traces back to these
+//! few constants plus datapath structure.
+//!
+//! Sources of the defaults (approximate, public Xilinx 7-series data):
+//! LUT6 logic delay ≈ 0.35 ns with ≈ 0.55 ns average net delay per level;
+//! CARRY4 ≈ 40 ps/bit after a one-LUT entry; DSP48E1 multiply ≈ 2.8 ns
+//! (unpipelined); FF setup + clk→Q ≈ 0.6 ns; 0.2 ns clock uncertainty.
+//! Switching energy ≈ 12 fJ per LUT toggle, 8 fJ per FF toggle, ≈ 1.1 pJ
+//! per DSP op at 28 nm, with a default 0.5 activity factor.
+
+/// Timing and energy constants for the synthesis model (28 nm Virtex-7-ish).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calib {
+    /// LUT6 logic delay per level (ns).
+    pub t_lut_ns: f64,
+    /// Average routing delay per logic level (ns).
+    pub t_route_ns: f64,
+    /// Carry-chain delay per bit (ns).
+    pub t_carry_per_bit_ns: f64,
+    /// DSP48E1 multiplier combinational delay (ns).
+    pub t_dsp_ns: f64,
+    /// Register setup + clk→Q overhead per stage (ns).
+    pub t_ff_ns: f64,
+    /// Clock uncertainty margin (ns).
+    pub t_clk_uncert_ns: f64,
+    /// Energy per LUT toggle (femtojoules).
+    pub e_lut_fj: f64,
+    /// Energy per FF toggle (femtojoules).
+    pub e_ff_fj: f64,
+    /// Energy per DSP operation (picojoules).
+    pub e_dsp_pj: f64,
+    /// Average toggle (activity) factor applied to switching energy.
+    pub activity: f64,
+}
+
+impl Calib {
+    /// The default Virtex-7 speed-grade-2 calibration used throughout the
+    /// reproduction.
+    pub const fn virtex7() -> Self {
+        Calib {
+            t_lut_ns: 0.35,
+            t_route_ns: 0.55,
+            t_carry_per_bit_ns: 0.04,
+            t_dsp_ns: 2.8,
+            t_ff_ns: 0.6,
+            t_clk_uncert_ns: 0.2,
+            e_lut_fj: 12.0,
+            e_ff_fj: 8.0,
+            e_dsp_pj: 1.1,
+            activity: 0.5,
+        }
+    }
+
+    /// One full logic level: LUT + routing (ns).
+    pub fn level_ns(&self) -> f64 {
+        self.t_lut_ns + self.t_route_ns
+    }
+}
+
+impl Default for Calib {
+    fn default() -> Self {
+        Self::virtex7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Calib::default();
+        assert!(c.t_lut_ns > 0.0 && c.t_lut_ns < 1.0);
+        assert!(c.level_ns() > c.t_lut_ns);
+        assert!(c.activity > 0.0 && c.activity <= 1.0);
+        assert_eq!(c, Calib::virtex7());
+    }
+}

@@ -1,0 +1,234 @@
+//! Primitive datapath components with area / delay / energy models.
+//!
+//! Each constructor maps a netlist-level building block (the boxes in paper
+//! Figs. 3–5) onto 7-series FPGA resources: LUT6s + carry chains, DSP48
+//! slices and flip-flops. Counts are first-order structural estimates —
+//! what a synthesizer produces before aggressive cross-boundary
+//! optimization — which is the right fidelity for *comparing formats*.
+
+use crate::calib::Calib;
+
+/// The class of a primitive component (for reporting and sanity checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Carry-chain adder / subtractor / incrementer.
+    Adder,
+    /// Two's-complement negation (invert + increment).
+    TwosComplement,
+    /// Logarithmic barrel shifter.
+    BarrelShifter,
+    /// Leading-zero detector tree.
+    Lzd,
+    /// Hard multiplier (DSP48).
+    Multiplier,
+    /// 2:1 multiplexer bank.
+    Mux,
+    /// Magnitude comparator / clipper.
+    Comparator,
+    /// Random logic (bit extraction, OR-reduction, exception flags).
+    Logic,
+    /// Pipeline / accumulator register.
+    Register,
+}
+
+/// A sized primitive with its resource and timing footprint.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// What the component is.
+    pub kind: Kind,
+    /// Descriptive name used in netlist dumps.
+    pub name: String,
+    /// LUT6 count.
+    pub luts: u32,
+    /// Flip-flop count.
+    pub ffs: u32,
+    /// DSP48 slice count.
+    pub dsps: u32,
+    /// Propagation delay in ns.
+    pub delay_ns: f64,
+    /// Switching energy per operation in pJ (before the activity factor).
+    pub energy_pj: f64,
+}
+
+impl Component {
+    fn lut_energy(c: &Calib, luts: u32) -> f64 {
+        luts as f64 * c.e_lut_fj / 1000.0
+    }
+
+    /// `w`-bit carry-chain adder (also models subtract / increment).
+    pub fn adder(c: &Calib, name: &str, w: u32) -> Self {
+        Component {
+            kind: Kind::Adder,
+            name: name.into(),
+            luts: w,
+            ffs: 0,
+            dsps: 0,
+            delay_ns: c.level_ns() + w as f64 * c.t_carry_per_bit_ns,
+            energy_pj: Self::lut_energy(c, w),
+        }
+    }
+
+    /// `w`-bit two's complement: inverters fold into the adder LUTs.
+    pub fn twos_complement(c: &Calib, name: &str, w: u32) -> Self {
+        let mut comp = Self::adder(c, name, w);
+        comp.kind = Kind::TwosComplement;
+        comp
+    }
+
+    /// `w`-bit barrel shifter covering shift amounts `0..=max_shift`.
+    /// One mux stage per shift-amount bit; a LUT6 packs two 2:1 bit-muxes.
+    pub fn barrel_shifter(c: &Calib, name: &str, w: u32, max_shift: u32) -> Self {
+        let stages = 32 - max_shift.max(1).leading_zeros(); // ceil(log2(max_shift+1))
+        let luts = stages * w.div_ceil(2);
+        Component {
+            kind: Kind::BarrelShifter,
+            name: name.into(),
+            luts,
+            ffs: 0,
+            dsps: 0,
+            delay_ns: stages as f64 * c.level_ns(),
+            energy_pj: Self::lut_energy(c, luts),
+        }
+    }
+
+    /// `w`-bit leading-zero detector (tree of LUT6 priority encoders).
+    pub fn lzd(c: &Calib, name: &str, w: u32) -> Self {
+        // A LUT6 resolves ~4 bits per level; the tree has ceil(log4 w) levels.
+        let levels = (32 - w.max(2).leading_zeros()).div_ceil(2).max(1);
+        let luts = (w as f64 * 0.75).ceil() as u32;
+        Component {
+            kind: Kind::Lzd,
+            name: name.into(),
+            luts,
+            ffs: 0,
+            dsps: 0,
+            delay_ns: levels as f64 * c.level_ns(),
+            energy_pj: Self::lut_energy(c, luts),
+        }
+    }
+
+    /// `a × b`-bit multiplier on DSP48 slices (paper: "optimized for
+    /// latency by targeting the on-chip DSP48 slices").
+    pub fn multiplier(c: &Calib, name: &str, a: u32, b: u32) -> Self {
+        let dsps = a.div_ceil(25).max(1) * b.div_ceil(18).max(1);
+        Component {
+            kind: Kind::Multiplier,
+            name: name.into(),
+            luts: 0,
+            ffs: 0,
+            dsps,
+            delay_ns: c.t_dsp_ns * (1.0 + 0.15 * (dsps as f64 - 1.0)),
+            energy_pj: dsps as f64 * c.e_dsp_pj,
+        }
+    }
+
+    /// `w`-bit 2:1 mux bank (two bits per LUT6).
+    pub fn mux2(c: &Calib, name: &str, w: u32) -> Self {
+        let luts = w.div_ceil(2);
+        Component {
+            kind: Kind::Mux,
+            name: name.into(),
+            luts,
+            ffs: 0,
+            dsps: 0,
+            delay_ns: c.level_ns(),
+            energy_pj: Self::lut_energy(c, luts),
+        }
+    }
+
+    /// `w`-bit magnitude comparator + clip logic.
+    pub fn comparator(c: &Calib, name: &str, w: u32) -> Self {
+        let luts = w.div_ceil(2) + w.div_ceil(2); // compare + select
+        Component {
+            kind: Kind::Comparator,
+            name: name.into(),
+            luts,
+            ffs: 0,
+            dsps: 0,
+            delay_ns: c.level_ns() + w as f64 * c.t_carry_per_bit_ns * 0.5,
+            energy_pj: Self::lut_energy(c, luts),
+        }
+    }
+
+    /// Random logic: `luts` LUTs across `levels` serial levels.
+    pub fn logic(c: &Calib, name: &str, luts: u32, levels: u32) -> Self {
+        Component {
+            kind: Kind::Logic,
+            name: name.into(),
+            luts,
+            ffs: 0,
+            dsps: 0,
+            delay_ns: levels as f64 * c.level_ns(),
+            energy_pj: Self::lut_energy(c, luts),
+        }
+    }
+
+    /// `w`-bit register (area/energy only; its timing overhead enters the
+    /// stage model through `Calib::t_ff_ns`).
+    pub fn register(c: &Calib, name: &str, w: u32) -> Self {
+        Component {
+            kind: Kind::Register,
+            name: name.into(),
+            luts: 0,
+            ffs: w,
+            dsps: 0,
+            delay_ns: 0.0,
+            energy_pj: w as f64 * c.e_ff_fj / 1000.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Calib {
+        Calib::default()
+    }
+
+    #[test]
+    fn adder_scales_linearly_in_area_and_carry() {
+        let a8 = Component::adder(&c(), "a", 8);
+        let a32 = Component::adder(&c(), "a", 32);
+        assert_eq!(a8.luts, 8);
+        assert_eq!(a32.luts, 32);
+        assert!(a32.delay_ns > a8.delay_ns);
+        assert!(a32.delay_ns < 4.0 * a8.delay_ns, "carry chains are fast");
+    }
+
+    #[test]
+    fn barrel_shifter_stage_count() {
+        let s = Component::barrel_shifter(&c(), "sh", 32, 31);
+        // 31 -> 5 stages
+        assert!((s.delay_ns - 5.0 * c().level_ns()).abs() < 1e-9);
+        assert_eq!(s.luts, 5 * 16);
+        let s1 = Component::barrel_shifter(&c(), "sh", 8, 1);
+        assert!((s1.delay_ns - c().level_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lzd_is_logarithmic() {
+        let l8 = Component::lzd(&c(), "lzd", 8);
+        let l64 = Component::lzd(&c(), "lzd", 64);
+        assert!(l64.delay_ns <= 2.0 * l8.delay_ns);
+        assert!(l64.luts > l8.luts);
+    }
+
+    #[test]
+    fn small_multiplier_is_one_dsp() {
+        let m = Component::multiplier(&c(), "m", 8, 8);
+        assert_eq!(m.dsps, 1);
+        assert_eq!(m.luts, 0);
+        let big = Component::multiplier(&c(), "m", 32, 32);
+        assert!(big.dsps > 1);
+        assert!(big.delay_ns > m.delay_ns);
+    }
+
+    #[test]
+    fn register_contributes_ffs_not_delay() {
+        let r = Component::register(&c(), "r", 40);
+        assert_eq!(r.ffs, 40);
+        assert_eq!(r.delay_ns, 0.0);
+        assert!(r.energy_pj > 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Per-EMAC synthesis reports and the paper's sweep grids.
+
+use crate::calib::Calib;
+use crate::emacs::{emac_netlist, Family, FormatSpec};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+use std::fmt;
+
+/// All the metrics the paper reports for one EMAC configuration
+/// (Figs. 6–8 and the EDP axis of Fig. 9).
+#[derive(Debug, Clone)]
+pub struct EmacReport {
+    /// The format this EMAC was instantiated for.
+    pub spec: FormatSpec,
+    /// Dot-product length the unit was sized for.
+    pub k: u64,
+    /// Dynamic range in decades.
+    pub dynamic_range_log10: f64,
+    /// Maximum operating frequency (Hz).
+    pub fmax_hz: f64,
+    /// LUT utilization.
+    pub luts: u32,
+    /// Flip-flop count.
+    pub ffs: u32,
+    /// DSP48 count.
+    pub dsps: u32,
+    /// Switching energy per MAC (pJ).
+    pub energy_per_mac_pj: f64,
+    /// Latency of one k-MAC dot product (ns).
+    pub dot_latency_ns: f64,
+    /// Energy-delay product of one k-MAC dot product (J·s).
+    pub edp: f64,
+    /// Dynamic power while streaming at Fmax (W).
+    pub dynamic_power_w: f64,
+    /// Pipeline depth (cycles).
+    pub pipeline_depth: u32,
+}
+
+/// Synthesizes `spec` for `k`-MAC dot products and collects every metric.
+pub fn report(spec: FormatSpec, k: u64, calib: Calib) -> EmacReport {
+    let nl = emac_netlist(spec, k, calib);
+    EmacReport {
+        spec,
+        k,
+        dynamic_range_log10: spec.dynamic_range_log10(),
+        fmax_hz: nl.fmax_hz(),
+        luts: nl.luts(),
+        ffs: nl.ffs(),
+        dsps: nl.dsps(),
+        energy_per_mac_pj: nl.energy_per_mac_pj(),
+        dot_latency_ns: nl.dot_latency_ns(k),
+        edp: nl.edp(k),
+        dynamic_power_w: nl.dynamic_power_w(),
+        pipeline_depth: nl.pipeline_depth(),
+    }
+}
+
+impl fmt::Display for EmacReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} DR {:>5.2} dec  Fmax {:>6.1} MHz  {:>5} LUTs  {:>4} FFs  {} DSP  {:>7.2} pJ/MAC  EDP {:.3e}",
+            self.spec.label(),
+            self.dynamic_range_log10,
+            self.fmax_hz / 1e6,
+            self.luts,
+            self.ffs,
+            self.dsps,
+            self.energy_per_mac_pj,
+            self.edp,
+        )
+    }
+}
+
+/// The paper's configuration grid for a given width `n ∈ [5, 8]`:
+/// posit es ∈ {0, 1, 2}, float we ∈ {2..=5} (wf ≥ 1), fixed q = n−2
+/// (two integer bits — the best DNN configuration; hardware metrics are
+/// independent of `q`).
+pub fn paper_grid(n: u32) -> Vec<FormatSpec> {
+    let mut v = Vec::new();
+    for es in 0..=2u32 {
+        if es <= n - 3 {
+            v.push(FormatSpec::Posit(PositFormat::new(n, es).unwrap()));
+        }
+    }
+    for we in 2..=5u32 {
+        if we + 2 <= n {
+            let wf = n - 1 - we;
+            v.push(FormatSpec::Float(FloatFormat::new(we, wf).unwrap()));
+        }
+    }
+    v.push(FormatSpec::Fixed(FixedFormat::new(n, n - 2).unwrap()));
+    v
+}
+
+/// One representative configuration per family at width `n`, used by the
+/// per-n figures (Figs. 7–8): posit es=1, float we=4 (paper: best results
+/// use es ∈ {0,2} / we ∈ {3,4}; es=1/we=4 are the midpoints), fixed q=n−2.
+pub fn representative(n: u32, family: Family) -> FormatSpec {
+    match family {
+        Family::Posit => FormatSpec::Posit(PositFormat::new(n, 1).unwrap()),
+        Family::Float => {
+            let we = 4.min(n - 3).max(2);
+            FormatSpec::Float(FloatFormat::new(we, n - 1 - we).unwrap())
+        }
+        Family::Fixed => FormatSpec::Fixed(FixedFormat::new(n, n - 2).unwrap()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_consistent_with_netlist() {
+        let spec = representative(8, Family::Posit);
+        let r = report(spec, 128, Calib::default());
+        let nl = emac_netlist(spec, 128, Calib::default());
+        assert_eq!(r.luts, nl.luts());
+        assert!((r.fmax_hz - nl.fmax_hz()).abs() < 1.0);
+        assert!(r.edp > 0.0);
+        assert!(r.dot_latency_ns > 128.0 / (r.fmax_hz / 1e9));
+        let s = r.to_string();
+        assert!(s.contains("posit<8,1>") && s.contains("LUTs"));
+    }
+
+    #[test]
+    fn paper_grid_contents() {
+        let g5 = paper_grid(5);
+        // n=5: posit es in {0,1,2}, float we in {2,3}, fixed -> 6 configs.
+        assert_eq!(g5.len(), 6);
+        let g8 = paper_grid(8);
+        // n=8: 3 posits + 4 floats + 1 fixed.
+        assert_eq!(g8.len(), 8);
+        assert!(g8.iter().all(|s| s.n() == 8));
+    }
+
+    #[test]
+    fn representatives_have_requested_width() {
+        for n in 5..=8 {
+            for fam in [Family::Posit, Family::Float, Family::Fixed] {
+                assert_eq!(representative(n, fam).n(), n, "{fam:?} n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based invariants of the synthesis model: every netlist the
+//! sweep can produce must be physically sensible and monotone in the
+//! obvious knobs.
+
+use dp_hw::{emac_netlist, plan_accelerator, report, Calib, FormatSpec};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+use proptest::prelude::*;
+
+fn specs() -> impl Strategy<Value = FormatSpec> {
+    prop_oneof![
+        (5u32..=16, 0u32..=2).prop_map(|(n, es)| {
+            FormatSpec::Posit(PositFormat::new(n, es.min(n - 3)).unwrap())
+        }),
+        (2u32..=5, 1u32..=10)
+            .prop_map(|(we, wf)| FormatSpec::Float(FloatFormat::new(we, wf).unwrap())),
+        (4u32..=16, 1u32..=15)
+            .prop_map(|(n, q)| FormatSpec::Fixed(FixedFormat::new(n, q.min(n - 1)).unwrap())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn netlists_are_physically_sensible(spec in specs(), k in 1u64..4096) {
+        let nl = emac_netlist(spec, k, Calib::default());
+        prop_assert!(nl.luts() > 0);
+        prop_assert!(nl.ffs() > 0);
+        prop_assert!(nl.dsps() >= 1, "every EMAC has a multiplier");
+        prop_assert!(nl.critical_path_ns() > 0.0);
+        prop_assert!(nl.fmax_hz() > 1e6 && nl.fmax_hz() < 2e9);
+        prop_assert!(nl.pipeline_depth() >= nl.stages.len() as u32 - 1);
+        prop_assert!(nl.energy_per_mac_pj() > 0.0);
+        prop_assert!(nl.edp(k) > 0.0);
+        let by_kind: u32 = nl.luts_by_kind().iter().map(|(_, v)| v).sum();
+        prop_assert_eq!(by_kind, nl.luts());
+    }
+
+    #[test]
+    fn wider_accumulators_cost_more(spec in specs(), k in 2u64..1024) {
+        // More accumulations -> wider register -> no fewer LUTs, no faster
+        // clock, no smaller EDP.
+        let small = emac_netlist(spec, k, Calib::default());
+        let big = emac_netlist(spec, k * 16, Calib::default());
+        prop_assert!(big.luts() >= small.luts());
+        prop_assert!(big.fmax_hz() <= small.fmax_hz() + 1.0);
+        prop_assert!(big.edp(k * 16) > small.edp(k));
+    }
+
+    #[test]
+    fn dot_latency_scales_linearly(spec in specs(), k in 8u64..512) {
+        let nl = emac_netlist(spec, k, Calib::default());
+        let lat1 = nl.dot_latency_ns(k);
+        let lat2 = nl.dot_latency_ns(2 * k);
+        prop_assert!(lat2 > lat1 * 1.5 && lat2 < lat1 * 2.5);
+    }
+
+    #[test]
+    fn accelerator_totals_are_consistent(
+        spec in specs(),
+        d_in in 1u32..64,
+        d_h in 1u32..32,
+        d_out in 1u32..8,
+    ) {
+        let plan = plan_accelerator(spec, &[d_in, d_h, d_out], Calib::default());
+        let per_layer_sum: u64 = plan
+            .layers
+            .iter()
+            .map(|l| l.emac.luts() as u64 * l.neurons as u64)
+            .sum();
+        prop_assert_eq!(plan.luts, per_layer_sum);
+        prop_assert!(plan.latency_cycles >= plan.interval_cycles);
+        prop_assert_eq!(
+            plan.weight_memory_bits,
+            ((d_in as u64 + 1) * d_h as u64 + (d_h as u64 + 1) * d_out as u64)
+                * spec.n() as u64
+        );
+        prop_assert!(plan.fmax_hz <= plan.layers.iter().map(|l| l.emac.fmax_hz())
+            .fold(f64::INFINITY, f64::min) + 1.0);
+    }
+
+    #[test]
+    fn report_matches_netlist(spec in specs(), k in 1u64..512) {
+        let r = report(spec, k, Calib::default());
+        let nl = emac_netlist(spec, k, Calib::default());
+        prop_assert_eq!(r.luts, nl.luts());
+        prop_assert_eq!(r.dsps, nl.dsps());
+        prop_assert!((r.fmax_hz - nl.fmax_hz()).abs() < 1.0);
+        prop_assert!((r.edp - nl.edp(k)).abs() / r.edp < 1e-9);
+    }
+}

@@ -1,0 +1,319 @@
+//! Typed, const-generic minifloat values with operator overloads.
+
+use crate::codec::{decode, FloatClass};
+use crate::convert;
+use crate::format::FloatFormat;
+use crate::ops;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A minifloat value of compile-time format `(1, WE, WF)`.
+///
+/// Zero-cost wrapper over [`crate::ops`]; the value is the raw bit pattern.
+///
+/// # Examples
+///
+/// ```
+/// use dp_minifloat::F8E4M3;
+/// let a = F8E4M3::from_f64(1.5);
+/// assert_eq!((a + a).to_f64(), 3.0);
+/// assert!(F8E4M3::NAN.is_nan());
+/// assert_eq!(F8E4M3::MAX.to_f64(), 240.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MiniFloat<const WE: u32, const WF: u32>(u32);
+
+/// 8-bit float, 2 exponent bits (paper float sweep, we = 2).
+pub type F8E2M5 = MiniFloat<2, 5>;
+/// 8-bit float, 3 exponent bits (paper: best float results use we ∈ {3,4}).
+pub type F8E3M4 = MiniFloat<3, 4>;
+/// 8-bit float, 4 exponent bits.
+pub type F8E4M3 = MiniFloat<4, 3>;
+/// 8-bit float, 5 exponent bits.
+pub type F8E5M2 = MiniFloat<5, 2>;
+/// 7-bit float, 3 exponent bits.
+pub type F7E3M3 = MiniFloat<3, 3>;
+/// 7-bit float, 4 exponent bits.
+pub type F7E4M2 = MiniFloat<4, 2>;
+/// 6-bit float, 2 exponent bits.
+pub type F6E2M3 = MiniFloat<2, 3>;
+/// 6-bit float, 3 exponent bits.
+pub type F6E3M2 = MiniFloat<3, 2>;
+/// IEEE-754 binary16 (half precision).
+pub type F16 = MiniFloat<5, 10>;
+/// bfloat16 (the f32 top half).
+pub type BF16 = MiniFloat<8, 7>;
+
+impl<const WE: u32, const WF: u32> MiniFloat<WE, WF> {
+    /// The format descriptor of this type.
+    pub const FORMAT: FloatFormat = FloatFormat::new_const(WE, WF);
+    /// +0.
+    pub const ZERO: Self = MiniFloat(0);
+    /// +1.
+    pub const ONE: Self = MiniFloat((Self::FORMAT.bias() as u32) << WF);
+    /// +infinity.
+    pub const INFINITY: Self = MiniFloat(Self::FORMAT.inf_bits(false));
+    /// −infinity.
+    pub const NEG_INFINITY: Self = MiniFloat(Self::FORMAT.inf_bits(true));
+    /// Canonical NaN.
+    pub const NAN: Self = MiniFloat(Self::FORMAT.nan_bits());
+    /// Largest finite value.
+    pub const MAX: Self = MiniFloat(Self::FORMAT.max_bits(false));
+    /// Smallest positive (subnormal) value.
+    pub const MIN_POSITIVE: Self = MiniFloat(1);
+
+    /// Constructs from a raw bit pattern (masked to width).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        MiniFloat(bits & Self::FORMAT.mask())
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rounds an `f64` to this format (IEEE RNE).
+    pub fn from_f64(v: f64) -> Self {
+        MiniFloat(convert::from_f64(Self::FORMAT, v))
+    }
+
+    /// Rounds an `f64`, clipping at ±MAX instead of overflowing to ±Inf.
+    pub fn from_f64_saturating(v: f64) -> Self {
+        MiniFloat(convert::from_f64_saturating(Self::FORMAT, v))
+    }
+
+    /// Converts to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        convert::to_f64(Self::FORMAT, self.0)
+    }
+
+    /// True for NaN patterns.
+    pub fn is_nan(self) -> bool {
+        matches!(decode(Self::FORMAT, self.0), FloatClass::NaN)
+    }
+
+    /// True for ±Inf.
+    pub fn is_infinite(self) -> bool {
+        matches!(decode(Self::FORMAT, self.0), FloatClass::Inf(_))
+    }
+
+    /// True for finite values (including ±0).
+    pub fn is_finite(self) -> bool {
+        matches!(
+            decode(Self::FORMAT, self.0),
+            FloatClass::Zero(_) | FloatClass::Finite(_)
+        )
+    }
+
+    /// True for ±0.
+    pub fn is_zero(self) -> bool {
+        matches!(decode(Self::FORMAT, self.0), FloatClass::Zero(_))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        MiniFloat(ops::abs(Self::FORMAT, self.0))
+    }
+
+    /// Correctly rounded square root.
+    pub fn sqrt(self) -> Self {
+        MiniFloat(ops::sqrt(Self::FORMAT, self.0))
+    }
+}
+
+impl<const WE: u32, const WF: u32> Add for MiniFloat<WE, WF> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        MiniFloat(ops::add(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const WE: u32, const WF: u32> Sub for MiniFloat<WE, WF> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        MiniFloat(ops::sub(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const WE: u32, const WF: u32> Mul for MiniFloat<WE, WF> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        MiniFloat(ops::mul(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const WE: u32, const WF: u32> Div for MiniFloat<WE, WF> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        MiniFloat(ops::div(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const WE: u32, const WF: u32> Neg for MiniFloat<WE, WF> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        MiniFloat(ops::neg(Self::FORMAT, self.0))
+    }
+}
+
+impl<const WE: u32, const WF: u32> AddAssign for MiniFloat<WE, WF> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const WE: u32, const WF: u32> SubAssign for MiniFloat<WE, WF> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const WE: u32, const WF: u32> MulAssign for MiniFloat<WE, WF> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const WE: u32, const WF: u32> DivAssign for MiniFloat<WE, WF> {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+/// IEEE partial order: NaN is unordered, ±0 compare equal.
+impl<const WE: u32, const WF: u32> PartialOrd for MiniFloat<WE, WF> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        ops::cmp(Self::FORMAT, self.0, other.0)
+    }
+}
+
+impl<const WE: u32, const WF: u32> fmt::Debug for MiniFloat<WE, WF> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MiniFloat<{WE},{WF}>({:#x} = {})", self.0, self)
+    }
+}
+
+impl<const WE: u32, const WF: u32> fmt::Display for MiniFloat<WE, WF> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f64(), f)
+    }
+}
+
+impl<const WE: u32, const WF: u32> fmt::Binary for MiniFloat<WE, WF> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl<const WE: u32, const WF: u32> fmt::LowerHex for MiniFloat<WE, WF> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl<const WE: u32, const WF: u32> fmt::UpperHex for MiniFloat<WE, WF> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl<const WE: u32, const WF: u32> fmt::Octal for MiniFloat<WE, WF> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl<const WE: u32, const WF: u32> From<MiniFloat<WE, WF>> for f64 {
+    fn from(x: MiniFloat<WE, WF>) -> f64 {
+        x.to_f64()
+    }
+}
+
+/// Error parsing a minifloat from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMiniFloatError(String);
+
+impl fmt::Display for ParseMiniFloatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid minifloat literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseMiniFloatError {}
+
+impl<const WE: u32, const WF: u32> FromStr for MiniFloat<WE, WF> {
+    type Err = ParseMiniFloatError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let v: f64 = s
+            .parse()
+            .map_err(|_| ParseMiniFloatError(s.to_owned()))?;
+        Ok(Self::from_f64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(F8E4M3::ONE.to_f64(), 1.0);
+        assert_eq!(F8E4M3::MAX.to_f64(), 240.0);
+        assert_eq!(F8E4M3::MIN_POSITIVE.to_f64(), 2f64.powi(-9));
+        assert!(F8E4M3::NAN.is_nan());
+        assert!(F8E4M3::INFINITY.is_infinite());
+        assert_eq!(F16::ONE.to_bits(), 0x3c00);
+        assert_eq!(BF16::ONE.to_bits(), 0x3f80);
+    }
+
+    #[test]
+    fn operators() {
+        let a = F8E4M3::from_f64(3.0);
+        let b = F8E4M3::from_f64(0.5);
+        assert_eq!((a + b).to_f64(), 3.5);
+        assert_eq!((a - b).to_f64(), 2.5);
+        assert_eq!((a * b).to_f64(), 1.5);
+        assert_eq!((a / b).to_f64(), 6.0);
+        assert_eq!((-a).to_f64(), -3.0);
+        let mut c = a;
+        c += b;
+        c -= b;
+        c *= b;
+        c /= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn partial_order_with_nan() {
+        let a = F8E4M3::from_f64(1.0);
+        assert!(a > F8E4M3::from_f64(0.5));
+        assert!(F8E4M3::NAN.partial_cmp(&a).is_none());
+        assert!(F8E4M3::NEG_INFINITY < a);
+        assert_eq!(
+            F8E4M3::from_bits(0x80).partial_cmp(&F8E4M3::ZERO),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(F8E4M3::from_f64(1.5).to_string(), "1.5");
+        assert_eq!("2.5".parse::<F8E4M3>().unwrap().to_f64(), 2.5);
+        assert!("x".parse::<F8E4M3>().is_err());
+        assert_eq!(format!("{:x}", F8E4M3::ONE), "38");
+        assert_eq!(format!("{:08b}", F8E4M3::ONE), "00111000");
+        assert_eq!(format!("{:o}", F8E4M3::ONE), "70");
+        assert_eq!(format!("{:X}", F8E4M3::from_bits(0xAB)), "AB");
+    }
+
+    #[test]
+    fn saturating_constructor() {
+        assert_eq!(F8E4M3::from_f64_saturating(1e9), F8E4M3::MAX);
+        assert_eq!(F8E4M3::from_f64(1e9), F8E4M3::INFINITY);
+    }
+}

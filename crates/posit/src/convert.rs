@@ -1,0 +1,159 @@
+//! Conversions between posits and other numeric types.
+
+use crate::decode::{decode, Decoded};
+use crate::encode::encode;
+use crate::format::{exp2i, PositFormat};
+
+/// Converts an `f64` to the nearest posit (round to nearest, ties to even
+/// on the posit pattern). NaN and ±infinity map to NaR; ±0 maps to 0.
+///
+/// # Examples
+///
+/// ```
+/// use dp_posit::{convert, PositFormat};
+/// let fmt = PositFormat::new(8, 0)?;
+/// assert_eq!(convert::from_f64(fmt, 1.0), 0x40);
+/// assert_eq!(convert::from_f64(fmt, 1e9), fmt.maxpos_bits()); // saturates
+/// assert_eq!(convert::from_f64(fmt, f64::NAN), fmt.nar_bits());
+/// # Ok::<(), dp_posit::FormatError>(())
+/// ```
+pub fn from_f64(fmt: PositFormat, v: f64) -> u32 {
+    if v.is_nan() || v.is_infinite() {
+        return fmt.nar_bits();
+    }
+    if v == 0.0 {
+        return fmt.zero_bits();
+    }
+    let bits = v.to_bits();
+    let sign = bits >> 63 == 1;
+    let exp_field = ((bits >> 52) & 0x7ff) as i32;
+    let man = bits & ((1u64 << 52) - 1);
+    let (scale, sig) = if exp_field == 0 {
+        // Subnormal double: value = man × 2^-1074.
+        let lz = man.leading_zeros();
+        (-1011 - lz as i32, man << lz)
+    } else {
+        // Normal double: value = (2^52 + man) × 2^(exp-1075).
+        (exp_field - 1023, ((1u64 << 52) | man) << 11)
+    };
+    encode(fmt, sign, scale, sig, false)
+}
+
+/// Converts a posit to `f64`. Exact for every format whose scales fit the
+/// f64 exponent range (all formats with `max_scale() <= 1023`, i.e. every
+/// format used in the paper); wider formats saturate to ±infinity at the
+/// extremes. NaR maps to NaN.
+pub fn to_f64(fmt: PositFormat, bits: u32) -> f64 {
+    match decode(fmt, bits) {
+        Decoded::Zero => 0.0,
+        Decoded::NaR => f64::NAN,
+        Decoded::Finite(u) => {
+            let tz = u.sig.trailing_zeros();
+            let m = (u.sig >> tz) as f64; // <= 32 significant bits: exact
+            let v = m * exp2i(u.scale - 63 + tz as i32);
+            if u.sign {
+                -v
+            } else {
+                v
+            }
+        }
+    }
+}
+
+/// Converts an `i64` to the nearest posit.
+pub fn from_i64(fmt: PositFormat, v: i64) -> u32 {
+    // i64 -> f64 can lose low bits for |v| > 2^53; go through exact path.
+    if v == 0 {
+        return fmt.zero_bits();
+    }
+    let sign = v < 0;
+    let mag = v.unsigned_abs();
+    let lz = mag.leading_zeros();
+    let sig = mag << lz;
+    let scale = 63 - lz as i32;
+    encode(fmt, sign, scale, sig, false)
+}
+
+/// Re-rounds a posit of one format into another format.
+pub fn convert(src: PositFormat, dst: PositFormat, bits: u32) -> u32 {
+    match decode(src, bits) {
+        Decoded::Zero => dst.zero_bits(),
+        Decoded::NaR => dst.nar_bits(),
+        Decoded::Finite(u) => encode(dst, u.sign, u.scale, u.sig, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(n: u32, es: u32) -> PositFormat {
+        PositFormat::new(n, es).unwrap()
+    }
+
+    #[test]
+    fn f64_roundtrip_is_identity_on_all_patterns() {
+        for (n, es) in [(5, 0), (6, 1), (8, 0), (8, 1), (8, 2), (16, 1), (16, 2)] {
+            let f = fmt(n, es);
+            for bits in f.reals() {
+                let v = to_f64(f, bits);
+                assert_eq!(from_f64(f, v), bits, "{f} {bits:#x} -> {v}");
+            }
+            assert!(to_f64(f, f.nar_bits()).is_nan());
+            assert_eq!(from_f64(f, f64::NAN), f.nar_bits());
+        }
+    }
+
+    #[test]
+    fn known_values_p8e0() {
+        let f = fmt(8, 0);
+        assert_eq!(from_f64(f, 1.0), 0x40);
+        assert_eq!(from_f64(f, -1.0), 0xc0);
+        assert_eq!(from_f64(f, 0.5), 0x20);
+        assert_eq!(from_f64(f, 2.0), 0x60);
+        assert_eq!(from_f64(f, 64.0), 0x7f);
+        assert_eq!(from_f64(f, 1.0 / 64.0), 0x01);
+        assert_eq!(to_f64(f, 0x48), 1.25);
+    }
+
+    #[test]
+    fn saturation_behaviour() {
+        let f = fmt(8, 2);
+        assert_eq!(from_f64(f, 1e300), f.maxpos_bits());
+        assert_eq!(from_f64(f, -1e300), f.nar_bits() | 1); // -maxpos pattern
+        assert_eq!(from_f64(f, 1e-300), f.minpos_bits());
+        assert_eq!(from_f64(f, f64::INFINITY), f.nar_bits());
+    }
+
+    #[test]
+    fn subnormal_doubles_convert() {
+        let f = fmt(8, 2);
+        let tiny = f64::from_bits(1); // smallest subnormal
+        assert_eq!(from_f64(f, tiny), f.minpos_bits());
+        assert_eq!(from_f64(f, -tiny), from_f64(f, -f.min_value()));
+    }
+
+    #[test]
+    fn from_i64_values() {
+        let f = fmt(16, 1);
+        for v in [-100i64, -3, -1, 0, 1, 2, 7, 255, 4096] {
+            assert_eq!(to_f64(f, from_i64(f, v)), v as f64, "i64 {v}");
+        }
+        // Saturation for huge integers
+        assert_eq!(from_i64(fmt(8, 0), i64::MAX), fmt(8, 0).maxpos_bits());
+    }
+
+    #[test]
+    fn cross_format_conversion() {
+        let p16 = fmt(16, 1);
+        let p8 = fmt(8, 0);
+        // 1.3125 is exact in p16e1; narrowing must agree with direct rounding.
+        let x = from_f64(p16, 1.3125);
+        assert_eq!(convert(p16, p8, x), from_f64(p8, 1.3125));
+        assert_eq!(convert(p16, p8, p16.nar_bits()), p8.nar_bits());
+        assert_eq!(convert(p16, p8, 0), 0);
+        // Widening an exact value is lossless.
+        let y = from_f64(p8, 1.25);
+        assert_eq!(to_f64(p16, convert(p8, p16, y)), 1.25);
+    }
+}

@@ -1,0 +1,204 @@
+//! Posit rounding and encoding (the "Convergent Rounding & Encoding" stage
+//! of paper Algorithm 2).
+//!
+//! [`encode`] takes an exact (sign, scale, significand, sticky) quadruple and
+//! produces the nearest posit bit pattern under round-to-nearest, ties to
+//! even — the rounding mode both the IEEE-754 recommendation and the posit
+//! standard prescribe (paper §III-A). Posits saturate: values beyond maxpos
+//! round to maxpos, nonzero values below minpos round to minpos; rounding
+//! never produces zero or NaR from a finite nonzero input.
+
+use crate::format::PositFormat;
+
+/// Encodes `(-1)^sign × sig × 2^(scale-63)` (with `sig`'s MSB set) into the
+/// nearest posit of format `fmt`. `sticky` indicates that nonzero bits were
+/// discarded below `sig`'s LSB by an earlier exact computation.
+///
+/// # Panics
+///
+/// Panics in debug builds if `sig`'s MSB is not set (callers must pass a
+/// normalized significand).
+///
+/// # Examples
+///
+/// ```
+/// use dp_posit::{encode, PositFormat};
+/// let fmt = PositFormat::new(8, 0)?;
+/// // 1.5 = sig 0b11 << 62, scale 0
+/// assert_eq!(encode(fmt, false, 0, 0b11 << 62, false), 0b0_10_10000);
+/// // Saturation: 2^40 is far above maxpos = 2^6
+/// assert_eq!(encode(fmt, false, 40, 1 << 63, false), fmt.maxpos_bits());
+/// # Ok::<(), dp_posit::FormatError>(())
+/// ```
+pub fn encode(fmt: PositFormat, sign: bool, scale: i32, sig: u64, sticky: bool) -> u32 {
+    debug_assert!(sig >> 63 == 1, "significand must be normalized");
+    let max_scale = fmt.max_scale();
+    // value = 1.f × 2^scale >= 2^max_scale = maxpos whenever scale >= max_scale.
+    if scale >= max_scale {
+        return apply_sign(fmt, fmt.maxpos_bits(), sign);
+    }
+    // value < minpos whenever scale < -max_scale; posits never round to zero.
+    if scale < -max_scale {
+        return apply_sign(fmt, fmt.minpos_bits(), sign);
+    }
+
+    let es = fmt.es();
+    // Regime / exponent split: k = floor(scale / 2^es), e = scale mod 2^es.
+    let k = scale >> es;
+    let e = (scale - (k << es)) as u128;
+    let w = (fmt.n() - 1) as usize; // body width below the sign bit
+
+    // Assemble the exact (pre-rounding) body, left-aligned at bit 127:
+    // regime, then es exponent bits, then the 63 fraction bits of sig.
+    let mut pat: u128 = 0;
+    let rlen: usize = if k >= 0 {
+        let ones = (k + 1) as usize;
+        let r = ones + 1; // ones run + terminating zero
+        pat |= (((1u128 << ones) - 1) << 1) << (128 - r);
+        r
+    } else {
+        let r = (-k) as usize + 1; // zeros run + terminating one
+        pat |= 1u128 << (128 - r);
+        r
+    };
+    if es > 0 {
+        pat |= e << (128 - rlen - es as usize);
+    }
+    let frac63 = (sig & ((1u64 << 63) - 1)) as u128;
+    pat |= frac63 << (128 - rlen - es as usize - 63);
+
+    // Round to nearest, ties to even at the body width.
+    let keep = (pat >> (128 - w)) as u32;
+    let round = (pat >> (127 - w)) & 1 == 1;
+    let rest = pat & ((1u128 << (127 - w)) - 1);
+    let sticky_all = sticky || rest != 0;
+    let mut body = keep;
+    if round && (sticky_all || keep & 1 == 1) {
+        body += 1;
+    }
+    if body >> w != 0 {
+        // Rounding carried past the regime of maxpos: clamp (posit saturation).
+        body = fmt.maxpos_bits();
+    }
+    debug_assert_ne!(body, 0, "finite nonzero values never round to zero");
+    apply_sign(fmt, body, sign)
+}
+
+#[inline]
+fn apply_sign(fmt: PositFormat, body: u32, sign: bool) -> u32 {
+    if sign {
+        body.wrapping_neg() & fmt.mask()
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::{decode, Decoded};
+
+    fn fmt(n: u32, es: u32) -> PositFormat {
+        PositFormat::new(n, es).unwrap()
+    }
+
+    /// Every real pattern must decode and re-encode to itself (bijectivity).
+    fn roundtrips(f: PositFormat) {
+        for bits in f.reals() {
+            if let Decoded::Finite(u) = decode(f, bits) {
+                let re = encode(f, u.sign, u.scale, u.sig, false);
+                assert_eq!(re, bits, "{f} pattern {bits:#x} decoded to {u:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_small_formats() {
+        for (n, es) in [
+            (3, 0),
+            (4, 0),
+            (5, 0),
+            (5, 1),
+            (6, 0),
+            (6, 1),
+            (6, 2),
+            (7, 0),
+            (7, 1),
+            (8, 0),
+            (8, 1),
+            (8, 2),
+            (8, 3),
+            (9, 0),
+            (10, 2),
+            (12, 1),
+            (16, 1),
+            (16, 2),
+        ] {
+            roundtrips(fmt(n, es));
+        }
+    }
+
+    #[test]
+    fn saturates_to_maxpos_and_minpos() {
+        let f = fmt(8, 0);
+        assert_eq!(encode(f, false, 100, 1 << 63, false), 0x7f);
+        assert_eq!(encode(f, true, 100, 1 << 63, false), 0x81);
+        assert_eq!(encode(f, false, -100, 1 << 63, false), 0x01);
+        assert_eq!(encode(f, true, -100, 1 << 63, false), 0xff);
+        // Exactly max_scale with a nonzero fraction is also maxpos.
+        assert_eq!(encode(f, false, 6, (1 << 63) | (1 << 62), false), 0x7f);
+    }
+
+    #[test]
+    fn ties_round_to_even_pattern() {
+        let f = fmt(8, 0);
+        // 1.felem: p8e0 has 5 fraction bits around 1.0. A value exactly halfway
+        // between 1.0 (0x40) and 1.03125 (0x41) must round to 0x40 (even LSB).
+        let halfway = (1u64 << 63) | (1u64 << 57);
+        assert_eq!(encode(f, false, 0, halfway, false), 0x40);
+        // The same halfway point above an odd pattern rounds up to even.
+        let v = (1u64 << 63) | (1u64 << 58) | (1u64 << 57); // 1.000011 -> between 0x41 and 0x42
+        assert_eq!(encode(f, false, 0, v, false), 0x42);
+        // Sticky breaks the tie upward.
+        assert_eq!(encode(f, false, 0, halfway, true), 0x41);
+        assert_eq!(encode(f, false, 0, halfway | 1, false), 0x41);
+    }
+
+    #[test]
+    fn rounding_below_minpos_scale_boundary() {
+        let f = fmt(8, 2); // max_scale 24
+        // 1.9 × 2^-24 is within [minpos, 2 minpos); nearest posit is
+        // 2^-24 (0x01) or 2^-20 (0x02). 1.9·2^-24 vs midpoint 8.5·2^-24:
+        // rounds down to minpos.
+        let sig = 0xF333_3333_3333_3333u64; // ~1.9 left-aligned
+        assert_eq!(encode(f, false, -24, sig, true), 0x01);
+        // 9 × 2^-24 = 1.125 × 2^-21, above the midpoint -> rounds to 2^-20.
+        let sig9 = (9u64) << 60; // 1001 left-aligned
+        assert_eq!(encode(f, false, -21, sig9, false), 0x02);
+    }
+
+    #[test]
+    fn negative_encoding_is_twos_complement() {
+        let f = fmt(8, 0);
+        let plus = encode(f, false, 1, 1 << 63, false);
+        let minus = encode(f, true, 1, 1 << 63, false);
+        assert_eq!(minus, plus.wrapping_neg() & 0xff);
+    }
+
+    #[test]
+    fn widest_format_roundtrip_samples() {
+        let f = fmt(32, 2);
+        for bits in [
+            1u32,
+            f.one_bits(),
+            f.maxpos_bits(),
+            0x4123_4567,
+            0x7ff0_0001,
+            0x0000_0101,
+        ] {
+            if let Decoded::Finite(u) = decode(f, bits) {
+                assert_eq!(encode(f, u.sign, u.scale, u.sig, false), bits);
+            }
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Exact dyadic-rational reference arithmetic.
+//!
+//! Every posit (and every minifloat / fixed-point number) is a *dyadic
+//! rational* `m × 2^e`. [`Dyadic`] represents such values exactly with a
+//! `u128` magnitude, which comfortably covers single operations on formats
+//! up to 16 bits and is used as the independent test oracle for the
+//! correctly rounded operations in this workspace (`dp-posit` ops, quire,
+//! and `dp-emac` units are all validated against it).
+//!
+//! The oracle's posit rounding ([`Dyadic::round_to_posit`]) is defined the
+//! way the posit standard and the paper's Algorithm 2 define it: the exact
+//! value's *infinite-width posit pattern* is truncated at `n` bits with
+//! round-to-nearest, ties-to-even on the pattern. The midpoint between two
+//! adjacent `n`-bit posits is exactly representable as an `(n+1)`-bit posit,
+//! which gives a search-free, arithmetic-free rounding rule.
+
+use crate::decode::{decode, Decoded};
+use crate::format::PositFormat;
+use crate::ops;
+use std::cmp::Ordering;
+
+/// An exact dyadic rational `sign × sig × 2^exp` (`sig = 0` iff zero).
+///
+/// Operations panic on `u128` overflow rather than losing precision; the
+/// type is an oracle for ≤16-bit formats, not a general bignum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dyadic {
+    /// True when negative.
+    pub sign: bool,
+    /// Magnitude significand (not necessarily normalized).
+    pub sig: u128,
+    /// Binary exponent applied to `sig`.
+    pub exp: i32,
+}
+
+impl Dyadic {
+    /// Exact zero.
+    pub const ZERO: Dyadic = Dyadic {
+        sign: false,
+        sig: 0,
+        exp: 0,
+    };
+
+    /// Creates a dyadic from sign/magnitude/exponent.
+    pub fn new(sign: bool, sig: u128, exp: i32) -> Self {
+        let mut d = Dyadic { sign, sig, exp };
+        d.normalize();
+        d
+    }
+
+    /// The exact value of a posit bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is NaR (the oracle handles reals only).
+    pub fn from_posit(fmt: PositFormat, bits: u32) -> Self {
+        match decode(fmt, bits) {
+            Decoded::Zero => Dyadic::ZERO,
+            Decoded::NaR => panic!("Dyadic::from_posit on NaR"),
+            Decoded::Finite(u) => Dyadic::new(u.sign, u.sig as u128, u.scale - 63),
+        }
+    }
+
+    /// The exact value of an `f64` (must be finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity.
+    pub fn from_f64(v: f64) -> Self {
+        assert!(v.is_finite(), "Dyadic::from_f64 requires a finite value");
+        if v == 0.0 {
+            return Dyadic::ZERO;
+        }
+        let bits = v.to_bits();
+        let sign = bits >> 63 == 1;
+        let exp_field = ((bits >> 52) & 0x7ff) as i32;
+        let man = bits & ((1u64 << 52) - 1);
+        if exp_field == 0 {
+            Dyadic::new(sign, man as u128, -1074)
+        } else {
+            Dyadic::new(sign, ((1u64 << 52) | man) as u128, exp_field - 1075)
+        }
+    }
+
+    /// Approximate `f64` value (for diagnostics).
+    pub fn to_f64(self) -> f64 {
+        let v = self.sig as f64 * 2f64.powi(self.exp);
+        if self.sign {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// True when zero.
+    pub fn is_zero(self) -> bool {
+        self.sig == 0
+    }
+
+    fn normalize(&mut self) {
+        if self.sig == 0 {
+            self.sign = false;
+            self.exp = 0;
+            return;
+        }
+        let tz = self.sig.trailing_zeros();
+        self.sig >>= tz;
+        self.exp += tz as i32;
+    }
+
+    /// Exact product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product magnitude exceeds 128 bits.
+    pub fn mul(self, rhs: Dyadic) -> Dyadic {
+        if self.is_zero() || rhs.is_zero() {
+            return Dyadic::ZERO;
+        }
+        let sig = self
+            .sig
+            .checked_mul(rhs.sig)
+            .expect("Dyadic::mul overflow: oracle limited to 128-bit products");
+        Dyadic::new(self.sign ^ rhs.sign, sig, self.exp + rhs.exp)
+    }
+
+    /// Exact sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if aligning the operands exceeds 128 bits.
+    pub fn add(self, rhs: Dyadic) -> Dyadic {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        let exp = self.exp.min(rhs.exp);
+        let a = align(self, exp);
+        let b = align(rhs, exp);
+        let (sign, sig) = match (self.sign, rhs.sign) {
+            (s, r) if s == r => (
+                s,
+                a.checked_add(b)
+                    .expect("Dyadic::add overflow: oracle limited to 128 bits"),
+            ),
+            (s, _) => match a.cmp(&b) {
+                Ordering::Equal => return Dyadic::ZERO,
+                Ordering::Greater => (s, a - b),
+                Ordering::Less => (!s, b - a),
+            },
+        };
+        Dyadic::new(sign, sig, exp)
+    }
+
+    /// Exact negation.
+    pub fn neg(self) -> Dyadic {
+        if self.is_zero() {
+            self
+        } else {
+            Dyadic {
+                sign: !self.sign,
+                ..self
+            }
+        }
+    }
+
+    /// Exact comparison.
+    pub fn cmp_value(self, rhs: Dyadic) -> Ordering {
+        match (self.is_zero(), rhs.is_zero()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return if rhs.sign { Ordering::Greater } else { Ordering::Less },
+            (false, true) => return if self.sign { Ordering::Less } else { Ordering::Greater },
+            _ => {}
+        }
+        match (self.sign, rhs.sign) {
+            (false, true) => Ordering::Greater,
+            (true, false) => Ordering::Less,
+            (false, false) => cmp_mag(self, rhs),
+            (true, true) => cmp_mag(rhs, self),
+        }
+    }
+
+    /// Rounds the exact value to the nearest posit of `fmt`, with the posit
+    /// rule: round-to-nearest-even on the (tapered) bit pattern, saturating
+    /// at ±maxpos, never rounding a nonzero value to zero.
+    ///
+    /// Implemented by locating the value between two adjacent posits with a
+    /// binary search on the (monotone) pattern ordering and comparing
+    /// against their pattern-space midpoint, which is exactly the
+    /// `(n+1)`-bit posit `(2·body + 1)`.
+    pub fn round_to_posit(self, fmt: PositFormat) -> u32 {
+        if self.is_zero() {
+            return fmt.zero_bits();
+        }
+        let sign = self.sign;
+        let mag = Dyadic {
+            sign: false,
+            ..self
+        };
+        // Binary search the largest positive posit body <= mag (bodies are
+        // 1..=maxpos, monotone increasing in value).
+        let (mut lo, mut hi) = (1u32, fmt.maxpos_bits());
+        let body = if Dyadic::from_posit(fmt, lo).cmp_value(mag) != Ordering::Less {
+            // mag <= minpos: posits never round to zero.
+            lo
+        } else if Dyadic::from_posit(fmt, hi).cmp_value(mag) != Ordering::Greater {
+            // mag >= maxpos: saturate.
+            hi
+        } else {
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                match Dyadic::from_posit(fmt, mid).cmp_value(mag) {
+                    Ordering::Greater => hi = mid,
+                    Ordering::Equal => {
+                        lo = mid;
+                        hi = mid;
+                    }
+                    Ordering::Less => lo = mid,
+                }
+            }
+            if lo == hi {
+                lo // exact hit
+            } else {
+                // Pattern-space midpoint = the (n+1)-bit posit (2·lo + 1).
+                let wide = PositFormat::new(fmt.n() + 1, fmt.es())
+                    .expect("oracle needs n+1 <= 32");
+                let boundary = Dyadic::from_posit(wide, 2 * lo + 1);
+                match mag.cmp_value(boundary) {
+                    Ordering::Less => lo,
+                    Ordering::Greater => hi,
+                    Ordering::Equal => {
+                        // Tie: even pattern wins.
+                        if lo & 1 == 0 {
+                            lo
+                        } else {
+                            hi
+                        }
+                    }
+                }
+            }
+        };
+        if sign {
+            ops::neg(fmt, body)
+        } else {
+            body
+        }
+    }
+}
+
+fn align(d: Dyadic, exp: i32) -> u128 {
+    let sh = (d.exp - exp) as u32;
+    assert!(
+        sh < 128 && d.sig.leading_zeros() >= sh,
+        "Dyadic alignment overflow: oracle limited to 128 bits (shift {sh})"
+    );
+    d.sig << sh
+}
+
+fn cmp_mag(a: Dyadic, b: Dyadic) -> Ordering {
+    // Compare a.sig×2^a.exp vs b.sig×2^b.exp via MSB positions then bits.
+    let msb_a = a.exp + 127 - a.sig.leading_zeros() as i32;
+    let msb_b = b.exp + 127 - b.sig.leading_zeros() as i32;
+    if msb_a != msb_b {
+        return msb_a.cmp(&msb_b);
+    }
+    // Left-align both significands and compare.
+    let sa = a.sig << a.sig.leading_zeros();
+    let sb = b.sig << b.sig.leading_zeros();
+    sa.cmp(&sb)
+}
+
+/// Convenience: the correctly rounded posit sum of exact products
+/// `Σ xs[i]·ys[i]` — the semantics the quire and the posit EMAC implement.
+///
+/// # Panics
+///
+/// Panics if intermediate alignment exceeds the 128-bit oracle range or if
+/// any input is NaR.
+pub fn exact_dot(fmt: PositFormat, xs: &[u32], ys: &[u32]) -> u32 {
+    assert_eq!(xs.len(), ys.len());
+    let mut acc = Dyadic::ZERO;
+    for (&x, &y) in xs.iter().zip(ys) {
+        acc = acc.add(Dyadic::from_posit(fmt, x).mul(Dyadic::from_posit(fmt, y)));
+    }
+    acc.round_to_posit(fmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert;
+
+    fn fmt(n: u32, es: u32) -> PositFormat {
+        PositFormat::new(n, es).unwrap()
+    }
+
+    #[test]
+    fn dyadic_from_f64_and_back() {
+        for v in [0.0, 1.0, -1.5, 0.75, 1024.0, -3.125e-3] {
+            assert_eq!(Dyadic::from_f64(v).to_f64(), v);
+        }
+    }
+
+    #[test]
+    fn add_and_mul_are_exact() {
+        let a = Dyadic::from_f64(1.5);
+        let b = Dyadic::from_f64(-0.25);
+        assert_eq!(a.add(b).to_f64(), 1.25);
+        assert_eq!(a.mul(b).to_f64(), -0.375);
+        assert_eq!(a.add(a.neg()), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn cmp_value_total_order() {
+        let vals = [-2.0, -0.5, 0.0, 0.25, 1.0, 3.0];
+        for &x in &vals {
+            for &y in &vals {
+                assert_eq!(
+                    Dyadic::from_f64(x).cmp_value(Dyadic::from_f64(y)),
+                    x.partial_cmp(&y).unwrap(),
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn round_to_posit_agrees_with_from_f64_exhaustively() {
+        // from_f64 (pattern construction + encode) and the oracle
+        // (search + (n+1)-bit boundary) are two independent rounding paths;
+        // they must agree on every representable double midpointish value.
+        for (n, es) in [(6, 0), (8, 0), (8, 1), (8, 2)] {
+            let f = fmt(n, es);
+            for bits in f.reals() {
+                let v = convert::to_f64(f, bits);
+                // Perturb toward neighbours to exercise rounding decisions.
+                for factor in [1.0, 1.0 + 1e-9, 1.0 - 1e-9, 1.01, 0.99] {
+                    let d = Dyadic::from_f64(v * factor);
+                    assert_eq!(
+                        d.round_to_posit(f),
+                        convert::from_f64(f, v * factor),
+                        "{f} value {v} × {factor}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_ties_choose_even_pattern() {
+        let f = fmt(8, 0);
+        // 1.015625 is halfway between 0x40 (1.0) and 0x41; 0x40 is even.
+        assert_eq!(Dyadic::from_f64(1.015625).round_to_posit(f), 0x40);
+        // 48 is halfway (pattern space) between 32 (0x7e, even) and 64 (0x7f).
+        assert_eq!(Dyadic::from_f64(48.0).round_to_posit(f), 0x7e);
+    }
+
+    #[test]
+    fn exact_dot_small() {
+        let f = fmt(8, 0);
+        let xs: Vec<u32> = [1.0, 2.0, -3.0]
+            .iter()
+            .map(|&v| convert::from_f64(f, v))
+            .collect();
+        let ys: Vec<u32> = [0.5, 0.25, 1.0]
+            .iter()
+            .map(|&v| convert::from_f64(f, v))
+            .collect();
+        // 0.5 + 0.5 - 3.0 = -2.0
+        assert_eq!(convert::to_f64(f, exact_dot(f, &xs, &ys)), -2.0);
+    }
+}

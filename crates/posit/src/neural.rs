@@ -1,0 +1,143 @@
+//! Neural-network helpers native to the posit format.
+//!
+//! The posit literature's celebrated "fast sigmoid" (Gustafson & Yonemoto
+//! 2017, §4.1 of paper ref. [10]) exploits the format's structure: for
+//! `es = 0` posits, shifting the pattern implements a close rational
+//! approximation of the logistic function with *no arithmetic at all* —
+//! one of the arguments for posits as a DNN-native number system that
+//! follow-up work (including Deep Positron's ReLU datapath) builds on.
+
+use crate::convert;
+use crate::format::PositFormat;
+use crate::ops;
+
+/// Gustafson's fast sigmoid for `es = 0` posits:
+/// `sigmoid(x) ≈ (bits(x) XOR sign-flip) >> 2`, i.e. flip the sign bit and
+/// shift the pattern right by two. Exact at `x = 0` (½), approaches 0/1 at
+/// the rails, and is monotone — everything a squashing activation needs.
+///
+/// # Panics
+///
+/// Panics if `fmt.es() != 0` (the trick is an `es = 0` identity).
+///
+/// # Examples
+///
+/// ```
+/// use dp_posit::{neural, PositFormat};
+/// let fmt = PositFormat::new(8, 0)?;
+/// let x = dp_posit::convert::from_f64(fmt, 0.0);
+/// assert_eq!(dp_posit::convert::to_f64(fmt, neural::fast_sigmoid(fmt, x)), 0.5);
+/// # Ok::<(), dp_posit::FormatError>(())
+/// ```
+pub fn fast_sigmoid(fmt: PositFormat, bits: u32) -> u32 {
+    assert_eq!(fmt.es(), 0, "fast sigmoid requires an es = 0 posit format");
+    let n = fmt.n();
+    let x = bits & fmt.mask();
+    if x == fmt.nar_bits() {
+        return fmt.nar_bits();
+    }
+    // Flip the sign bit, then an unsigned shift right by 2 within n bits.
+    let flipped = x ^ (1 << (n - 1));
+    flipped >> 2
+}
+
+/// Reference logistic function through f64 (for accuracy comparisons).
+pub fn exact_sigmoid(fmt: PositFormat, bits: u32) -> u32 {
+    let v = convert::to_f64(fmt, bits);
+    convert::from_f64(fmt, 1.0 / (1.0 + (-v).exp()))
+}
+
+/// ReLU on a posit pattern: negative values clamp to zero (NaR passes
+/// through). This is the activation of the Deep Positron hidden layers.
+pub fn relu(fmt: PositFormat, bits: u32) -> u32 {
+    let x = bits & fmt.mask();
+    if x == fmt.nar_bits() {
+        return x;
+    }
+    if ops::is_negative(fmt, x) {
+        fmt.zero_bits()
+    } else {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt8() -> PositFormat {
+        PositFormat::new(8, 0).unwrap()
+    }
+
+    #[test]
+    fn fast_sigmoid_key_points() {
+        let f = fmt8();
+        // sigmoid(0) = 0.5 exactly.
+        assert_eq!(convert::to_f64(f, fast_sigmoid(f, 0)), 0.5);
+        // sigmoid(±maxpos) saturates toward 1 / 0.
+        let hi = convert::to_f64(f, fast_sigmoid(f, f.maxpos_bits()));
+        let lo = convert::to_f64(f, fast_sigmoid(f, ops::neg(f, f.maxpos_bits())));
+        assert!(hi > 0.95, "sigmoid(maxpos) = {hi}");
+        assert!((0.0..0.05).contains(&lo), "sigmoid(-maxpos) = {lo}");
+        // NaR propagates.
+        assert_eq!(fast_sigmoid(f, f.nar_bits()), f.nar_bits());
+    }
+
+    #[test]
+    fn fast_sigmoid_is_monotone_and_bounded() {
+        let f = fmt8();
+        let mut last = -1.0;
+        // Walk patterns in value order: NaR+1 .. maxpos.
+        let mut p = f.nar_bits().wrapping_add(1) & f.mask();
+        while p != f.nar_bits() {
+            let s = convert::to_f64(f, fast_sigmoid(f, p));
+            assert!((0.0..=1.0).contains(&s), "sigmoid out of range: {s}");
+            assert!(s >= last, "monotonicity violated at {p:#x}");
+            last = s;
+            p = p.wrapping_add(1) & f.mask();
+        }
+    }
+
+    #[test]
+    fn fast_sigmoid_tracks_exact_sigmoid() {
+        // The bit trick approximates the logistic closely in [-4, 4]; the
+        // known worst-case error of the approximation is ≈ 0.062 around
+        // |x| ≈ 3.5.
+        let f = fmt8();
+        let mut worst = 0f64;
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            let bits = convert::from_f64(f, x);
+            let fast = convert::to_f64(f, fast_sigmoid(f, bits));
+            let exact = 1.0 / (1.0 + (-convert::to_f64(f, bits)).exp());
+            let err = (fast - exact).abs();
+            worst = worst.max(err);
+            assert!(err < 0.08, "x={x}: fast {fast} vs exact {exact}");
+        }
+        assert!(worst > 0.01, "approximation error exists (got {worst})");
+    }
+
+    #[test]
+    fn exact_sigmoid_reference() {
+        let f = fmt8();
+        let bits = convert::from_f64(f, 0.0);
+        assert_eq!(convert::to_f64(f, exact_sigmoid(f, bits)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "es = 0")]
+    fn fast_sigmoid_rejects_nonzero_es() {
+        fast_sigmoid(PositFormat::new(8, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn relu_semantics() {
+        let f = fmt8();
+        let pos = convert::from_f64(f, 1.5);
+        let neg = convert::from_f64(f, -1.5);
+        assert_eq!(relu(f, pos), pos);
+        assert_eq!(relu(f, neg), 0);
+        assert_eq!(relu(f, 0), 0);
+        assert_eq!(relu(f, f.nar_bits()), f.nar_bits());
+    }
+}

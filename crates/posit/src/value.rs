@@ -1,0 +1,360 @@
+//! Typed, const-generic posit values with operator overloads.
+
+use crate::convert;
+use crate::format::PositFormat;
+use crate::ops;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// A posit value of compile-time format `posit<N, ES>`.
+///
+/// This is a zero-cost wrapper over the runtime-parameterized arithmetic in
+/// [`crate::ops`]; the format descriptor is a `const` and the value is the
+/// raw `N`-bit pattern in a `u32`.
+///
+/// # Examples
+///
+/// ```
+/// use dp_posit::P8E0;
+/// let a = P8E0::from_f64(1.5);
+/// let b = P8E0::from_f64(0.25);
+/// assert_eq!((a * b).to_f64(), 0.375);
+/// assert_eq!((a - a), P8E0::ZERO);
+/// assert!(P8E0::NAR.is_nar());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Posit<const N: u32, const ES: u32>(u32);
+
+/// 5-bit posit, es = 0.
+pub type P5E0 = Posit<5, 0>;
+/// 6-bit posit, es = 0.
+pub type P6E0 = Posit<6, 0>;
+/// 6-bit posit, es = 1.
+pub type P6E1 = Posit<6, 1>;
+/// 7-bit posit, es = 0 (the format of paper Fig. 2a).
+pub type P7E0 = Posit<7, 0>;
+/// 7-bit posit, es = 1.
+pub type P7E1 = Posit<7, 1>;
+/// 8-bit posit, es = 0 (the paper's headline inference format).
+pub type P8E0 = Posit<8, 0>;
+/// 8-bit posit, es = 1.
+pub type P8E1 = Posit<8, 1>;
+/// 8-bit posit, es = 2.
+pub type P8E2 = Posit<8, 2>;
+/// 16-bit posit, es = 1 (pre-2022-standard default).
+pub type P16E1 = Posit<16, 1>;
+/// 16-bit posit, es = 2 (2022-standard default).
+pub type P16E2 = Posit<16, 2>;
+/// 32-bit posit, es = 2.
+pub type P32E2 = Posit<32, 2>;
+
+impl<const N: u32, const ES: u32> Posit<N, ES> {
+    /// The format descriptor of this type.
+    pub const FORMAT: PositFormat = PositFormat::new_const(N, ES);
+    /// Zero.
+    pub const ZERO: Self = Posit(0);
+    /// One.
+    pub const ONE: Self = Posit(Self::FORMAT.one_bits());
+    /// Not a Real.
+    pub const NAR: Self = Posit(Self::FORMAT.nar_bits());
+    /// Largest finite value (maxpos).
+    pub const MAX: Self = Posit(Self::FORMAT.maxpos_bits());
+    /// Smallest positive value (minpos).
+    pub const MIN_POSITIVE: Self = Posit(Self::FORMAT.minpos_bits());
+
+    /// Constructs from a raw bit pattern (masked to `N` bits).
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        Posit(bits & Self::FORMAT.mask())
+    }
+
+    /// The raw `N`-bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Rounds an `f64` to this posit format (NaN/∞ → NaR).
+    pub fn from_f64(v: f64) -> Self {
+        Posit(convert::from_f64(Self::FORMAT, v))
+    }
+
+    /// Converts to `f64` (exact for paper-scale formats; NaR → NaN).
+    pub fn to_f64(self) -> f64 {
+        convert::to_f64(Self::FORMAT, self.0)
+    }
+
+    /// True for the NaR pattern.
+    pub fn is_nar(self) -> bool {
+        self.0 == Self::FORMAT.nar_bits()
+    }
+
+    /// True for zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for finite negative values.
+    pub fn is_negative(self) -> bool {
+        ops::is_negative(Self::FORMAT, self.0)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        Posit(ops::abs(Self::FORMAT, self.0))
+    }
+
+    /// Correctly rounded square root (NaR for negative inputs).
+    pub fn sqrt(self) -> Self {
+        Posit(ops::sqrt(Self::FORMAT, self.0))
+    }
+
+    /// Fused multiply-add `self × b + c` with a single rounding.
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        Posit(ops::fma(Self::FORMAT, self.0, b.0, c.0))
+    }
+
+    /// The next representable value toward +∞ (wraps NaR → maxneg…; mainly
+    /// for enumeration in tests and plots).
+    pub fn next_up(self) -> Self {
+        Posit(self.0.wrapping_add(1) & Self::FORMAT.mask())
+    }
+}
+
+impl<const N: u32, const ES: u32> Add for Posit<N, ES> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Posit(ops::add(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const ES: u32> Sub for Posit<N, ES> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Posit(ops::sub(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const ES: u32> Mul for Posit<N, ES> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Posit(ops::mul(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const ES: u32> Div for Posit<N, ES> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        Posit(ops::div(Self::FORMAT, self.0, rhs.0))
+    }
+}
+
+impl<const N: u32, const ES: u32> Neg for Posit<N, ES> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Posit(ops::neg(Self::FORMAT, self.0))
+    }
+}
+
+impl<const N: u32, const ES: u32> AddAssign for Posit<N, ES> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> SubAssign for Posit<N, ES> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> MulAssign for Posit<N, ES> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> DivAssign for Posit<N, ES> {
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl<const N: u32, const ES: u32> PartialOrd for Posit<N, ES> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Total order: NaR orders before every real value and equals itself
+/// (posit patterns compare as two's-complement integers).
+impl<const N: u32, const ES: u32> Ord for Posit<N, ES> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        ops::cmp(Self::FORMAT, self.0, other.0)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Debug for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Posit<{N},{ES}>({:#x} = {})", self.0, self)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Display for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_nar() {
+            write!(f, "NaR")
+        } else {
+            fmt::Display::fmt(&self.to_f64(), f)
+        }
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Binary for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::LowerHex for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::UpperHex for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl<const N: u32, const ES: u32> fmt::Octal for Posit<N, ES> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl<const N: u32, const ES: u32> From<Posit<N, ES>> for f64 {
+    fn from(p: Posit<N, ES>) -> f64 {
+        p.to_f64()
+    }
+}
+
+/// Error parsing a posit from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePositError(String);
+
+impl fmt::Display for ParsePositError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid posit literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePositError {}
+
+impl<const N: u32, const ES: u32> FromStr for Posit<N, ES> {
+    type Err = ParsePositError;
+
+    /// Parses a decimal literal (or `"NaR"`) and rounds it to this format.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("nar") {
+            return Ok(Self::NAR);
+        }
+        let v: f64 = s.parse().map_err(|_| ParsePositError(s.to_owned()))?;
+        Ok(Self::from_f64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(P8E0::ONE.to_f64(), 1.0);
+        assert_eq!(P8E0::MAX.to_f64(), 64.0);
+        assert_eq!(P8E0::MIN_POSITIVE.to_f64(), 1.0 / 64.0);
+        assert_eq!(P8E2::MAX.to_f64(), 2f64.powi(24));
+        assert!(P8E0::NAR.is_nar());
+        assert!(P8E0::ZERO.is_zero());
+        assert_eq!(P8E0::default(), P8E0::ZERO);
+    }
+
+    #[test]
+    fn operators() {
+        let a = P8E0::from_f64(1.5);
+        let b = P8E0::from_f64(0.5);
+        assert_eq!((a + b).to_f64(), 2.0);
+        assert_eq!((a - b).to_f64(), 1.0);
+        assert_eq!((a * b).to_f64(), 0.75);
+        assert_eq!((a / b).to_f64(), 3.0);
+        assert_eq!((-a).to_f64(), -1.5);
+        let mut c = a;
+        c += b;
+        c -= b;
+        c *= b;
+        c /= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn ordering_matches_reals() {
+        let mut vals: Vec<P8E1> = [-3.0, 2.0, 0.0, -0.5, 8.0, 0.25]
+            .iter()
+            .map(|&v| P8E1::from_f64(v))
+            .collect();
+        vals.sort();
+        let sorted: Vec<f64> = vals.iter().map(|p| p.to_f64()).collect();
+        assert_eq!(sorted, vec![-3.0, -0.5, 0.0, 0.25, 2.0, 8.0]);
+        assert!(P8E1::NAR < P8E1::from_f64(-64.0));
+        assert_eq!(P8E1::NAR, P8E1::NAR);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(P8E0::from_f64(1.5).to_string(), "1.5");
+        assert_eq!(P8E0::NAR.to_string(), "NaR");
+        assert_eq!("1.5".parse::<P8E0>().unwrap().to_f64(), 1.5);
+        assert_eq!("NaR".parse::<P8E0>().unwrap(), P8E0::NAR);
+        assert!("bogus".parse::<P8E0>().is_err());
+        assert_eq!(format!("{:08b}", P8E0::ONE), "01000000");
+        assert_eq!(format!("{:x}", P8E0::ONE), "40");
+        assert_eq!(format!("{:X}", P8E0::from_bits(0xab)), "AB");
+        assert_eq!(format!("{:o}", P8E0::ONE), "100");
+    }
+
+    #[test]
+    fn debug_contains_bits_and_value() {
+        let d = format!("{:?}", P8E0::ONE);
+        assert!(d.contains("0x40") && d.contains('1'), "{d}");
+    }
+
+    #[test]
+    fn next_up_enumerates() {
+        let mut p = P5E0::NAR; // most negative pattern
+        let mut count = 0;
+        let mut prev: Option<P5E0> = None;
+        loop {
+            if let Some(q) = prev {
+                if !q.is_nar() {
+                    assert!(q < p || p.is_nar(), "monotone enumeration");
+                }
+            }
+            prev = Some(p);
+            count += 1;
+            p = p.next_up();
+            if p.is_nar() {
+                break;
+            }
+        }
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    fn from_posit_into_f64() {
+        let x: f64 = P8E0::from_f64(2.0).into();
+        assert_eq!(x, 2.0);
+    }
+}

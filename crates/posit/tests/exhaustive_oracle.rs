@@ -1,0 +1,231 @@
+//! Exhaustive validation of 8-bit-and-below posit arithmetic against the
+//! exact dyadic oracle.
+//!
+//! For formats up to 8 bits every operand pair is enumerated (≤ 65536
+//! cases per op per format); each correctly rounded result must equal the
+//! oracle's exact computation rounded once. This pins down the full
+//! behaviour of the formats the paper evaluates (n ∈ [5, 8]).
+
+use dp_posit::exact::Dyadic;
+use dp_posit::{decode, ops, Decoded, PositFormat};
+
+const FORMATS: &[(u32, u32)] = &[(5, 0), (6, 0), (6, 1), (7, 0), (7, 1), (8, 0), (8, 1), (8, 2)];
+
+fn fmt(n: u32, es: u32) -> PositFormat {
+    PositFormat::new(n, es).unwrap()
+}
+
+fn reals(f: PositFormat) -> impl Iterator<Item = u32> {
+    f.reals()
+}
+
+#[test]
+fn add_matches_oracle_exhaustively() {
+    for &(n, es) in FORMATS {
+        let f = fmt(n, es);
+        for a in reals(f) {
+            let da = Dyadic::from_posit(f, a);
+            for b in reals(f) {
+                let db = Dyadic::from_posit(f, b);
+                let got = ops::add(f, a, b);
+                let want = da.add(db).round_to_posit(f);
+                assert_eq!(got, want, "{f}: {a:#x} + {b:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn sub_matches_oracle_exhaustively() {
+    for &(n, es) in FORMATS {
+        let f = fmt(n, es);
+        for a in reals(f) {
+            let da = Dyadic::from_posit(f, a);
+            for b in reals(f) {
+                let db = Dyadic::from_posit(f, b);
+                let got = ops::sub(f, a, b);
+                let want = da.add(db.neg()).round_to_posit(f);
+                assert_eq!(got, want, "{f}: {a:#x} - {b:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn mul_matches_oracle_exhaustively() {
+    for &(n, es) in FORMATS {
+        let f = fmt(n, es);
+        for a in reals(f) {
+            let da = Dyadic::from_posit(f, a);
+            for b in reals(f) {
+                let db = Dyadic::from_posit(f, b);
+                let got = ops::mul(f, a, b);
+                let want = da.mul(db).round_to_posit(f);
+                assert_eq!(got, want, "{f}: {a:#x} * {b:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn div_matches_oracle_exhaustively() {
+    // Division oracle: q is correct iff the exact quotient lies on the
+    // correct side of the pattern midpoints around q. Equivalently:
+    // round(a/b) = q  ⟺  a lies between (q⁻ mid)·b and (q⁺ mid)·b.
+    // We verify with exact dyadic multiplication: compare a with mid·b.
+    for &(n, es) in FORMATS {
+        let f = fmt(n, es);
+        let wide = PositFormat::new(n + 1, es).unwrap();
+        for a in reals(f) {
+            let da = Dyadic::from_posit(f, a);
+            for b in reals(f) {
+                if b == 0 {
+                    assert_eq!(ops::div(f, a, b), f.nar_bits());
+                    continue;
+                }
+                if a == 0 {
+                    assert_eq!(ops::div(f, a, b), 0);
+                    continue;
+                }
+                let db = Dyadic::from_posit(f, b);
+                let q = ops::div(f, a, b);
+                // Magnitude domain check.
+                let qa = ops::abs(f, q);
+                let (alo, ahi) = neighbors_mid(f, wide, qa);
+                let mag_a = Dyadic {
+                    sign: false,
+                    ..da
+                };
+                let mag_b = Dyadic {
+                    sign: false,
+                    ..db
+                };
+                // |a/b| must lie in [alo, ahi]; on an exact pattern-space
+                // tie, the even body must have been chosen.
+                if let Some(alo) = alo {
+                    match alo.mul(mag_b).cmp_value(mag_a) {
+                        std::cmp::Ordering::Greater => {
+                            panic!("{f}: |{a:#x}/{b:#x}| rounded too high to {q:#x}")
+                        }
+                        std::cmp::Ordering::Equal => {
+                            assert_eq!(qa & 1, 0, "{f}: {a:#x}/{b:#x} tie must pick even")
+                        }
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                if let Some(ahi) = ahi {
+                    match mag_a.cmp_value(ahi.mul(mag_b)) {
+                        std::cmp::Ordering::Greater => {
+                            panic!("{f}: |{a:#x}/{b:#x}| rounded too low to {q:#x}")
+                        }
+                        std::cmp::Ordering::Equal => {
+                            assert_eq!(qa & 1, 0, "{f}: {a:#x}/{b:#x} tie must pick even")
+                        }
+                        std::cmp::Ordering::Less => {}
+                    }
+                }
+                // Sign must be correct.
+                let want_neg = (ops::is_negative(f, a)) ^ (ops::is_negative(f, b));
+                assert_eq!(ops::is_negative(f, q), want_neg, "{f}: {a:#x}/{b:#x} sign");
+            }
+        }
+    }
+}
+
+/// For a positive posit body `q`, the pattern-space midpoints to its
+/// neighbours, as exact values ((n+1)-bit posits `2q−1` and `2q+1`).
+/// `None` at the saturation ends (no boundary: everything beyond rounds in).
+fn neighbors_mid(
+    f: PositFormat,
+    wide: PositFormat,
+    q: u32,
+) -> (Option<Dyadic>, Option<Dyadic>) {
+    let lo = if q == f.minpos_bits() {
+        None // below minpos everything rounds to minpos
+    } else {
+        Some(Dyadic::from_posit(wide, 2 * q - 1))
+    };
+    let hi = if q == f.maxpos_bits() {
+        None // above maxpos everything rounds to maxpos
+    } else {
+        Some(Dyadic::from_posit(wide, 2 * q + 1))
+    };
+    (lo, hi)
+}
+
+#[test]
+fn sqrt_matches_oracle_exhaustively() {
+    for &(n, es) in FORMATS {
+        let f = fmt(n, es);
+        let wide = PositFormat::new(n + 1, es).unwrap();
+        for a in reals(f) {
+            if ops::is_negative(f, a) {
+                assert_eq!(ops::sqrt(f, a), f.nar_bits());
+                continue;
+            }
+            if a == 0 {
+                assert_eq!(ops::sqrt(f, a), 0);
+                continue;
+            }
+            let r = ops::sqrt(f, a);
+            let da = Dyadic::from_posit(f, a);
+            let (lo, hi) = neighbors_mid(f, wide, r);
+            // lo² <= a <= hi² (sqrt is monotone; boundary ties allowed).
+            if let Some(lo) = lo {
+                assert_ne!(
+                    lo.mul(lo).cmp_value(da),
+                    std::cmp::Ordering::Greater,
+                    "{f}: sqrt({a:#x}) = {r:#x} too high"
+                );
+            }
+            if let Some(hi) = hi {
+                assert_ne!(
+                    da.cmp_value(hi.mul(hi)),
+                    std::cmp::Ordering::Greater,
+                    "{f}: sqrt({a:#x}) = {r:#x} too low"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn negation_is_exact_for_all_patterns() {
+    for &(n, es) in FORMATS {
+        let f = fmt(n, es);
+        for a in reals(f) {
+            let neg = ops::neg(f, a);
+            if a != 0 {
+                match (decode(f, a), decode(f, neg)) {
+                    (Decoded::Finite(ua), Decoded::Finite(un)) => {
+                        assert_eq!(ua.scale, un.scale, "{f} {a:#x}");
+                        assert_eq!(ua.sig, un.sig, "{f} {a:#x}");
+                        assert_ne!(ua.sign, un.sign, "{f} {a:#x}");
+                    }
+                    _ => panic!("negation changed finiteness for {a:#x}"),
+                }
+            }
+            assert_eq!(ops::neg(f, neg), a, "double negation");
+        }
+    }
+}
+
+#[test]
+fn addition_is_commutative_exhaustively_p8e1() {
+    let f = fmt(8, 1);
+    for a in reals(f) {
+        for b in reals(f) {
+            assert_eq!(ops::add(f, a, b), ops::add(f, b, a));
+        }
+    }
+}
+
+#[test]
+fn multiplication_is_commutative_exhaustively_p8e2() {
+    let f = fmt(8, 2);
+    for a in reals(f) {
+        for b in reals(f) {
+            assert_eq!(ops::mul(f, a, b), ops::mul(f, b, a));
+        }
+    }
+}

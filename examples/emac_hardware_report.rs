@@ -1,0 +1,29 @@
+//! Synthesis-model report for every 8-bit EMAC configuration: Fmax, LUTs,
+//! FFs, DSPs, energy and EDP, plus a stage-by-stage netlist dump — the
+//! per-unit view behind paper Figs. 6–8.
+//!
+//! Run with: `cargo run --release --example emac_hardware_report`
+
+use dp_hw::{emac_netlist, paper_grid, report, Calib};
+
+fn main() {
+    let k = 128;
+    let calib = Calib::default();
+    println!("== 8-bit EMAC synthesis reports (k = {k} MAC dot products) ==\n");
+    for spec in paper_grid(8) {
+        println!("{}", report(spec, k, calib));
+    }
+
+    println!("\n== stage-by-stage netlists ==\n");
+    for spec in paper_grid(8).into_iter().take(3) {
+        let nl = emac_netlist(spec, k, calib);
+        println!("{nl}");
+        for (kind, luts) in nl.luts_by_kind() {
+            if luts > 0 {
+                println!("    {kind:?}: {luts} LUTs");
+            }
+        }
+        println!();
+    }
+    println!("calibration: 28nm Virtex-7-class constants (see dp-hw::calib)");
+}

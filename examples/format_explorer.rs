@@ -1,0 +1,92 @@
+//! Format explorer: enumerate and compare the ≤8-bit formats the paper
+//! evaluates — value counts, dynamic range, density near [−1, 1].
+//!
+//! Run with: `cargo run --release --example format_explorer`
+
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+fn main() {
+    println!(
+        "{:<14} {:>8} {:>12} {:>14} {:>16}",
+        "format", "values", "max", "min>0", "dyn range (dec)"
+    );
+    println!("{}", "-".repeat(70));
+    for es in 0..=2u32 {
+        let f = PositFormat::new(8, es).unwrap();
+        println!(
+            "{:<14} {:>8} {:>12.4e} {:>14.4e} {:>16.2}",
+            f.to_string(),
+            f.reals().count(),
+            f.max_value(),
+            f.min_value(),
+            f.dynamic_range_log10()
+        );
+    }
+    for we in 2..=5u32 {
+        let f = FloatFormat::new(we, 7 - we).unwrap();
+        println!(
+            "{:<14} {:>8} {:>12.4e} {:>14.4e} {:>16.2}",
+            f.to_string(),
+            f.finites().count(),
+            f.max_value(),
+            f.min_value(),
+            f.dynamic_range_log10()
+        );
+    }
+    for q in [4u32, 6, 7] {
+        let f = FixedFormat::new(8, q).unwrap();
+        println!(
+            "{:<14} {:>8} {:>12.4e} {:>14.4e} {:>16.2}",
+            f.to_string(),
+            256,
+            f.max_value(),
+            f.min_value(),
+            f.dynamic_range_log10()
+        );
+    }
+
+    // Density near the DNN operating range [-1, 1] — why posits fit DNNs
+    // (paper Fig. 2): count representable values inside it.
+    println!("\nvalues inside [-1, 1]:");
+    let p8 = PositFormat::new(8, 0).unwrap();
+    let inside_posit = p8
+        .reals()
+        .filter(|&b| dp_posit::convert::to_f64(p8, b).abs() <= 1.0)
+        .count();
+    println!("  posit<8,0>:   {inside_posit:>3} of {}", p8.reals().count());
+    let e4m3 = FloatFormat::new(4, 3).unwrap();
+    let inside_float = e4m3
+        .finites()
+        .filter(|&b| dp_minifloat::convert::to_f64(e4m3, b).abs() <= 1.0)
+        .count();
+    println!("  float<8,4,3>: {inside_float:>3} of {}", e4m3.finites().count());
+    let q4 = FixedFormat::new(8, 4).unwrap();
+    let inside_fixed = q4.raws().filter(|&r| q4.to_f64(r).abs() <= 1.0).count();
+    println!("  fixed<8,4>:   {inside_fixed:>3} of 256");
+
+    // Worst-case decimal error quantizing uniform [0, 1) values.
+    println!("\nmax quantization error on a [0,1) grid:");
+    let quantizers: Vec<(&str, Box<dyn Fn(f64) -> f64>)> = vec![
+        (
+            "posit<8,0>",
+            Box::new(move |v| dp_posit::convert::to_f64(p8, dp_posit::convert::from_f64(p8, v))),
+        ),
+        (
+            "float<8,4,3>",
+            Box::new(move |v| {
+                dp_minifloat::convert::to_f64(e4m3, dp_minifloat::convert::from_f64(e4m3, v))
+            }),
+        ),
+        ("fixed<8,4>", Box::new(move |v| q4.to_f64(q4.from_f64(v)))),
+    ];
+    for (label, f) in quantizers {
+        let mut worst = 0f64;
+        for i in 0..1000 {
+            let v = i as f64 / 1000.0;
+            worst = worst.max((f(v) - v).abs());
+        }
+        println!("  {label:<14} {worst:.5}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Cycle-accurate streaming inference (paper Fig. 1 / §III-E): layers of
+//! EMAC arrays with local memories, pipelined across inputs. Reports
+//! latency and throughput in cycles and — using the synthesis model's
+//! Fmax — in wall-clock terms.
+//!
+//! Run with: `cargo run --release --example streaming_deep_positron`
+
+use deep_positron::experiments::paper_tasks;
+use deep_positron::streaming::{layer_cycles, simulate};
+use deep_positron::{NumericFormat, QuantizedMlp};
+use dp_hw::{report, Calib, FormatSpec};
+use dp_posit::PositFormat;
+
+fn main() {
+    println!("training the Iris model (quick schedule)...");
+    let tasks = paper_tasks(true, 42);
+    let iris = &tasks[1];
+    let fmt = PositFormat::new(8, 0).unwrap();
+    let q = QuantizedMlp::quantize(&iris.mlp, NumericFormat::Posit(fmt));
+
+    let inputs: Vec<Vec<f32>> = iris.split.test.features.clone();
+    let (preds, rep) = simulate(&q, &inputs);
+    let correct = preds
+        .iter()
+        .zip(&iris.split.test.labels)
+        .filter(|(p, y)| p == y)
+        .count();
+
+    let hw = report(FormatSpec::Posit(fmt), 128, Calib::default());
+    println!("\nDeep Positron streaming pipeline — posit<8,0>, topology {:?}", q.dims());
+    println!("per-layer occupancy (cycles):   {:?}", layer_cycles(&q));
+    println!("first-inference latency:        {} cycles", rep.first_latency_cycles);
+    println!("steady-state interval:          {} cycles", rep.steady_interval_cycles);
+    println!(
+        "total for {} inferences:       {} cycles",
+        rep.inferences, rep.total_cycles
+    );
+    println!("accuracy (streamed):            {:.1}%", 100.0 * correct as f64 / preds.len() as f64);
+    println!("\nat the synthesis model's Fmax ({:.1} MHz):", hw.fmax_hz / 1e6);
+    println!(
+        "  first-inference latency:      {:.2} µs",
+        rep.first_latency_ns(hw.fmax_hz) / 1000.0
+    );
+    println!(
+        "  throughput:                   {:.2} k inferences/s",
+        rep.throughput_per_s(hw.fmax_hz) / 1e3
+    );
+}

@@ -1,0 +1,126 @@
+//! End-to-end integration: train → quantize → EMAC inference → streaming
+//! simulation, on the quick schedule (debug-build friendly).
+
+use deep_positron::ablation::compare_exact_vs_inexact;
+use deep_positron::experiments::paper_tasks;
+use deep_positron::streaming::simulate;
+use deep_positron::{NumericFormat, QuantizedMlp};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+#[test]
+fn train_quantize_infer_all_formats_on_iris() {
+    let tasks = paper_tasks(true, 42);
+    let iris = &tasks[1];
+    assert!(
+        iris.f32_test_accuracy > 0.85,
+        "f32 baseline {}",
+        iris.f32_test_accuracy
+    );
+    let formats = [
+        NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+        NumericFormat::Posit(PositFormat::new(8, 2).unwrap()),
+        NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+        NumericFormat::Float(FloatFormat::new(3, 4).unwrap()),
+        NumericFormat::Fixed(FixedFormat::new(8, 7).unwrap()),
+    ];
+    for fmt in formats {
+        let q = QuantizedMlp::quantize(&iris.mlp, fmt);
+        let acc = q.accuracy(&iris.split.test);
+        assert!(
+            acc > 0.6,
+            "{fmt}: accuracy {acc} collapsed (f32 {})",
+            iris.f32_test_accuracy
+        );
+    }
+}
+
+#[test]
+fn eight_bit_posit_stays_close_to_f32_on_iris() {
+    let tasks = paper_tasks(true, 42);
+    let iris = &tasks[1];
+    let q = QuantizedMlp::quantize(
+        &iris.mlp,
+        NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+    );
+    let acc = q.accuracy(&iris.split.test);
+    assert!(
+        acc >= iris.f32_test_accuracy - 0.06,
+        "posit8 {acc} vs f32 {} (paper: matches on Iris)",
+        iris.f32_test_accuracy
+    );
+}
+
+#[test]
+fn streaming_simulation_equals_functional_inference() {
+    let tasks = paper_tasks(true, 7);
+    let iris = &tasks[1];
+    for fmt in [
+        NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+        NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+        NumericFormat::Fixed(FixedFormat::new(8, 6).unwrap()),
+    ] {
+        let q = QuantizedMlp::quantize(&iris.mlp, fmt);
+        let inputs: Vec<Vec<f32>> = iris.split.test.features.iter().take(15).cloned().collect();
+        let (preds, report) = simulate(&q, &inputs);
+        let expect: Vec<usize> = inputs.iter().map(|x| q.infer(x)).collect();
+        assert_eq!(preds, expect, "{fmt}");
+        assert!(report.first_latency_cycles > 0);
+        assert!(report.total_cycles >= report.first_latency_cycles);
+    }
+}
+
+#[test]
+fn wbc_full_pipeline_with_8bit_posit() {
+    let tasks = paper_tasks(true, 42);
+    let wbc = &tasks[0];
+    assert_eq!(wbc.split.test.len(), 190, "paper inference size");
+    let q = QuantizedMlp::quantize(
+        &wbc.mlp,
+        NumericFormat::Posit(PositFormat::new(8, 2).unwrap()),
+    );
+    let acc = q.accuracy(&wbc.split.test);
+    assert!(
+        acc >= wbc.f32_test_accuracy - 0.08,
+        "posit8 {acc} vs f32 {}",
+        wbc.f32_test_accuracy
+    );
+}
+
+#[test]
+fn mushroom_subset_with_8bit_formats() {
+    let tasks = paper_tasks(true, 42);
+    let mush = &tasks[2];
+    assert_eq!(mush.split.test.len(), 2708, "paper inference size");
+    let mut subset = mush.split.test.clone();
+    subset.features.truncate(250);
+    subset.labels.truncate(250);
+    for fmt in [
+        NumericFormat::Posit(PositFormat::new(8, 1).unwrap()),
+        NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+    ] {
+        let q = QuantizedMlp::quantize(&mush.mlp, fmt);
+        let acc = q.accuracy(&subset);
+        assert!(acc > 0.85, "{fmt}: {acc}");
+    }
+}
+
+#[test]
+fn ablation_exact_never_collapses_relative_to_inexact() {
+    let tasks = paper_tasks(true, 42);
+    let iris = &tasks[1];
+    for n in [5u32, 6, 7, 8] {
+        let q = QuantizedMlp::quantize(
+            &iris.mlp,
+            NumericFormat::Posit(PositFormat::new(n, 0).unwrap()),
+        );
+        let r = compare_exact_vs_inexact(&q, &iris.split.test, 50);
+        assert!(
+            r.exact_accuracy >= r.inexact_accuracy - 0.08,
+            "n={n}: exact {} vs inexact {}",
+            r.exact_accuracy,
+            r.inexact_accuracy
+        );
+    }
+}

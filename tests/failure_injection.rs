@@ -1,0 +1,106 @@
+//! Failure injection: exceptional values (NaR / NaN / saturated weights)
+//! must propagate predictably through the quantized network rather than
+//! silently corrupting results.
+
+use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
+use dp_emac::Emac;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+fn tiny_net(seed: u64) -> Mlp {
+    Mlp::new(&[3, 4, 2], seed)
+}
+
+#[test]
+fn nar_weight_poisons_dependent_neurons_only() {
+    let fmt = PositFormat::new(8, 0).unwrap();
+    let nf = NumericFormat::Posit(fmt);
+    let mlp = tiny_net(1);
+    let mut q = QuantizedMlp::quantize(&mlp, nf);
+    // Inject NaR into neuron 0 of the readout layer only.
+    q.layers[1].weights[0][0] = fmt.nar_bits();
+    let out = q.forward_bits(&[0.5, 0.25, 0.75]);
+    assert_eq!(out[0], fmt.nar_bits(), "poisoned neuron yields NaR");
+    assert_ne!(out[1], fmt.nar_bits(), "sibling neuron is unaffected");
+}
+
+#[test]
+fn nar_bias_poisons_via_set_bias_path() {
+    let fmt = PositFormat::new(8, 1).unwrap();
+    let nf = NumericFormat::Posit(fmt);
+    let mlp = tiny_net(2);
+    let mut q = QuantizedMlp::quantize(&mlp, nf);
+    q.layers[0].biases[2] = fmt.nar_bits();
+    let out0 = q.forward_bits(&[0.1, 0.2, 0.3]);
+    // Hidden NaR passes ReLU (NaR is not negative) and poisons every
+    // readout neuron it feeds.
+    for &o in &out0 {
+        assert_eq!(o, fmt.nar_bits(), "NaR reaches all dependent outputs");
+    }
+}
+
+#[test]
+fn float_nan_input_poisons_network_output() {
+    let ffmt = FloatFormat::new(4, 3).unwrap();
+    let nf = NumericFormat::Float(ffmt);
+    let mlp = tiny_net(3);
+    let q = QuantizedMlp::quantize(&mlp, nf);
+    // NaN input feature (e.g. a sensor dropout quantized carelessly).
+    let out = q.forward_bits(&[f32::NAN, 0.5, 0.5]);
+    let any_nan = out
+        .iter()
+        .any(|&o| matches!(dp_minifloat::decode(ffmt, o), dp_minifloat::FloatClass::NaN));
+    assert!(any_nan, "NaN must surface, not vanish");
+}
+
+#[test]
+fn saturated_weights_still_infer() {
+    // Clip-to-max quantization of absurd weights must keep the network
+    // runnable (paper: EMACs clip at maximum magnitude, never overflow).
+    let nf = NumericFormat::Float(FloatFormat::new(4, 3).unwrap());
+    let mut mlp = tiny_net(4);
+    for l in &mut mlp.layers {
+        for w in l.w.as_mut_slice() {
+            *w *= 1e9;
+        }
+    }
+    let q = QuantizedMlp::quantize(&mlp, nf);
+    for row in &q.layers[0].weights {
+        for &w in row {
+            let v = nf.to_f64(w);
+            assert!(v.is_finite(), "weights clip, never become Inf");
+        }
+    }
+    let _ = q.infer(&[0.5, 0.5, 0.5]); // must not panic
+}
+
+#[test]
+fn emac_capacity_is_enforced_in_debug() {
+    // The EMAC accumulators are sized by k (paper eqs. 3-4); exceeding the
+    // declared capacity is a contract violation caught in debug builds.
+    let fmt = PositFormat::new(8, 0).unwrap();
+    let mut e = dp_emac::PositEmac::new(fmt, 2);
+    e.mac(fmt.one_bits(), fmt.one_bits());
+    e.mac(fmt.one_bits(), fmt.one_bits());
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        e.mac(fmt.one_bits(), fmt.one_bits());
+    }));
+    if cfg!(debug_assertions) {
+        assert!(result.is_err(), "over-capacity MAC must assert in debug");
+    }
+}
+
+#[test]
+fn quire_poison_clears_on_reset() {
+    let fmt = PositFormat::new(8, 0).unwrap();
+    let mut e = dp_emac::PositEmac::new(fmt, 4);
+    e.mac(fmt.nar_bits(), fmt.one_bits());
+    assert_eq!(e.result(), fmt.nar_bits());
+    e.reset();
+    e.mac(fmt.one_bits(), fmt.one_bits());
+    assert_eq!(
+        dp_posit::convert::to_f64(fmt, e.result()),
+        1.0,
+        "reset must clear poison state"
+    );
+}
