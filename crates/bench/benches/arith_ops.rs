@@ -1,95 +1,81 @@
-//! Criterion micro-benchmarks of the software arithmetic substrates:
-//! posit vs minifloat vs fixed vs native f32 add/mul throughput.
+//! Micro-benchmarks of the software arithmetic substrates: posit vs
+//! minifloat vs fixed vs native f32 add/mul throughput.
+//!
+//! Run with `cargo bench --bench arith_ops`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dp_bench::timing::{measure, render_measurements, Measurement};
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
 use dp_posit::PositFormat;
-use std::time::Duration;
+use std::hint::black_box;
+
+const N: usize = 256;
 
 fn operand_patterns(mask: u32, nar: u32) -> Vec<(u32, u32)> {
     let mut s = 0x0123_4567_89ab_cdefu64;
-    (0..256)
+    (0..N)
         .map(|_| {
             s ^= s << 13;
             s ^= s >> 7;
             s ^= s << 17;
             let a = (s as u32) & mask;
             let b = ((s >> 32) as u32) & mask;
-            (
-                if a == nar { 0 } else { a },
-                if b == nar { 0 } else { b },
-            )
+            (if a == nar { 0 } else { a }, if b == nar { 0 } else { b })
         })
         .collect()
 }
 
-fn bench_arith(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arith_ops");
-    g.warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1))
-        .sample_size(20);
+fn main() {
+    let mut rows: Vec<Measurement> = Vec::new();
 
     let p8 = PositFormat::new(8, 1).unwrap();
     let ops_p = operand_patterns(p8.mask(), p8.nar_bits());
-    g.bench_function("posit8_mul", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &(x, y) in &ops_p {
-                acc ^= dp_posit::ops::mul(p8, black_box(x), black_box(y));
-            }
-            acc
-        })
-    });
-    g.bench_function("posit8_add", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &(x, y) in &ops_p {
-                acc ^= dp_posit::ops::add(p8, black_box(x), black_box(y));
-            }
-            acc
-        })
-    });
+    rows.push(measure("posit8_mul", N as u64, || {
+        let mut acc = 0u32;
+        for &(x, y) in &ops_p {
+            acc ^= dp_posit::ops::mul(p8, black_box(x), black_box(y));
+        }
+        acc
+    }));
+    rows.push(measure("posit8_add", N as u64, || {
+        let mut acc = 0u32;
+        for &(x, y) in &ops_p {
+            acc ^= dp_posit::ops::add(p8, black_box(x), black_box(y));
+        }
+        acc
+    }));
 
     let e4m3 = FloatFormat::new(4, 3).unwrap();
     let ops_f = operand_patterns(e4m3.mask(), e4m3.nan_bits());
-    g.bench_function("minifloat8_mul", |b| {
-        b.iter(|| {
-            let mut acc = 0u32;
-            for &(x, y) in &ops_f {
-                acc ^= dp_minifloat::ops::mul(e4m3, black_box(x), black_box(y));
-            }
-            acc
-        })
-    });
+    rows.push(measure("minifloat8_mul", N as u64, || {
+        let mut acc = 0u32;
+        for &(x, y) in &ops_f {
+            acc ^= dp_minifloat::ops::mul(e4m3, black_box(x), black_box(y));
+        }
+        acc
+    }));
 
     let q84 = FixedFormat::new(8, 4).unwrap();
-    g.bench_function("fixed8_mul", |b| {
-        b.iter(|| {
-            let mut acc = 0i64;
-            for &(x, y) in &ops_p {
-                let (xa, ya) = (x as i64 - 128, y as i64 - 128);
-                acc ^= q84.mul_round(black_box(xa), black_box(ya));
-            }
-            acc
-        })
-    });
+    rows.push(measure("fixed8_mul", N as u64, || {
+        let mut acc = 0i64;
+        for &(x, y) in &ops_p {
+            let (xa, ya) = (x as i64 - 128, y as i64 - 128);
+            acc ^= q84.mul_round(black_box(xa), black_box(ya));
+        }
+        acc
+    }));
 
     let vals: Vec<(f32, f32)> = ops_p
         .iter()
         .map(|&(a, b)| (a as f32 / 64.0 - 1.5, b as f32 / 64.0 - 1.5))
         .collect();
-    g.bench_function("native_f32_mul", |b| {
-        b.iter(|| {
-            let mut acc = 0f32;
-            for &(x, y) in &vals {
-                acc += black_box(x) * black_box(y);
-            }
-            acc
-        })
-    });
-    g.finish();
-}
+    rows.push(measure("native_f32_mul", N as u64, || {
+        let mut acc = 0f32;
+        for &(x, y) in &vals {
+            acc += black_box(x) * black_box(y);
+        }
+        acc
+    }));
 
-criterion_group!(benches, bench_arith);
-criterion_main!(benches);
+    println!("{}", render_measurements(&rows));
+}

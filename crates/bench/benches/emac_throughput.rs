@@ -1,13 +1,20 @@
-//! Criterion benchmarks of the EMAC software models: exact MACs per
-//! second for each format family at 8 bits, plus the quire.
+//! EMAC software-model throughput: exact MACs per second for each format
+//! family, fast path (decode LUT + `i128` accumulator) vs the pre-LUT
+//! reference datapath (Algorithm-1 bit-field decode + `WideInt`), plus the
+//! quire.
+//!
+//! Run with `cargo bench --bench emac_throughput`. Writes the committed
+//! baseline `BENCH_emac.json` at the repository root (before = `*_reference`
+//! rows, after = the matching fast rows).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dp_bench::timing::{measure, render_measurements, write_json, Measurement};
 use dp_emac::{Emac, FixedEmac, FloatEmac, PositEmac};
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
 use dp_posit::{PositFormat, Quire};
-use std::time::Duration;
+use std::hint::black_box;
 
+/// Dot-product length (the paper's k = 128 reference accumulation count).
 const K: usize = 128;
 
 fn patterns(mask: u32, skip: u32) -> Vec<(u32, u32)> {
@@ -24,63 +31,122 @@ fn patterns(mask: u32, skip: u32) -> Vec<(u32, u32)> {
         .collect()
 }
 
-fn bench_emacs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("emac_throughput");
-    g.warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1))
-        .sample_size(20)
-        .throughput(Throughput::Elements(K as u64));
+fn bench_posit(rows: &mut Vec<Measurement>, n: u32, es: u32) {
+    let fmt = PositFormat::new(n, es).unwrap();
+    let pv = patterns(fmt.mask(), fmt.nar_bits());
+    let label = format!("posit{n}e{es}");
 
-    let pfmt = PositFormat::new(8, 0).unwrap();
-    let pv = patterns(pfmt.mask(), pfmt.nar_bits());
-    g.bench_function("posit8_emac_dot128", |b| {
-        let mut e = PositEmac::new(pfmt, K as u64);
-        b.iter(|| {
-            e.reset();
+    let mut fast = PositEmac::new(fmt, K as u64);
+    rows.push(measure(&format!("{label}_emac_dot{K}"), K as u64, || {
+        fast.reset();
+        for &(x, y) in &pv {
+            fast.mac(black_box(x), black_box(y));
+        }
+        fast.result()
+    }));
+
+    let mut reference = PositEmac::new_reference(fmt, K as u64);
+    rows.push(measure(
+        &format!("{label}_emac_dot{K}_reference"),
+        K as u64,
+        || {
+            reference.reset();
             for &(x, y) in &pv {
-                e.mac(black_box(x), black_box(y));
+                reference.mac(black_box(x), black_box(y));
             }
-            e.result()
-        })
-    });
-    g.bench_function("posit8_quire_dot128", |b| {
-        let mut q = Quire::new(pfmt, K as u64);
-        b.iter(|| {
-            q.clear();
-            for &(x, y) in &pv {
-                q.add_product(black_box(x), black_box(y));
-            }
-            q.to_posit()
-        })
-    });
+            reference.result()
+        },
+    ));
+
+    let mut quire = Quire::new(fmt, K as u64);
+    rows.push(measure(&format!("{label}_quire_dot{K}"), K as u64, || {
+        quire.clear();
+        for &(x, y) in &pv {
+            quire.add_product(black_box(x), black_box(y));
+        }
+        quire.to_posit()
+    }));
+}
+
+fn main() {
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    for es in [0u32, 1, 2] {
+        bench_posit(&mut rows, 8, es);
+    }
+    // A wide format: no LUT, WideInt register — fast and reference paths
+    // should coincide, proving the fallback did not regress.
+    bench_posit(&mut rows, 16, 1);
 
     let ffmt = FloatFormat::new(4, 3).unwrap();
     let fv = patterns(ffmt.mask(), ffmt.nan_bits());
-    g.bench_function("float8_emac_dot128", |b| {
-        let mut e = FloatEmac::new(ffmt, K as u64);
-        b.iter(|| {
-            e.reset();
+    let mut ffast = FloatEmac::new(ffmt, K as u64);
+    rows.push(measure(
+        &format!("float8e4m3_emac_dot{K}"),
+        K as u64,
+        || {
+            ffast.reset();
             for &(x, y) in &fv {
-                e.mac(black_box(x), black_box(y));
+                ffast.mac(black_box(x), black_box(y));
             }
-            e.result()
-        })
-    });
+            ffast.result()
+        },
+    ));
+    let mut fref = FloatEmac::new_reference(ffmt, K as u64);
+    rows.push(measure(
+        &format!("float8e4m3_emac_dot{K}_reference"),
+        K as u64,
+        || {
+            fref.reset();
+            for &(x, y) in &fv {
+                fref.mac(black_box(x), black_box(y));
+            }
+            fref.result()
+        },
+    ));
 
     let xfmt = FixedFormat::new(8, 6).unwrap();
     let xv = patterns(0xff, 0x100);
-    g.bench_function("fixed8_emac_dot128", |b| {
-        let mut e = FixedEmac::new(xfmt, K as u64);
-        b.iter(|| {
-            e.reset();
-            for &(x, y) in &xv {
-                e.mac(black_box(x), black_box(y));
-            }
-            e.result()
-        })
-    });
-    g.finish();
-}
+    let mut xe = FixedEmac::new(xfmt, K as u64);
+    rows.push(measure(&format!("fixed8q6_emac_dot{K}"), K as u64, || {
+        xe.reset();
+        for &(x, y) in &xv {
+            xe.mac(black_box(x), black_box(y));
+        }
+        xe.result()
+    }));
 
-criterion_group!(benches, bench_emacs);
-criterion_main!(benches);
+    println!("{}", render_measurements(&rows));
+
+    // Headline speedups: fast vs reference per format.
+    let find = |name: &str| rows.iter().find(|m| m.name == name).unwrap();
+    for label in [
+        "posit8e0",
+        "posit8e1",
+        "posit8e2",
+        "posit16e1",
+        "float8e4m3",
+    ] {
+        let fast = find(&format!("{label}_emac_dot{K}"));
+        let reference = find(&format!("{label}_emac_dot{K}_reference"));
+        println!(
+            "{label}: {:.2}x MACs/sec over the pre-LUT reference path",
+            reference.ns_per_iter / fast.ns_per_iter
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_emac.json");
+    let meta = [
+        ("bench", "emac_throughput".to_string()),
+        ("command", "cargo bench --bench emac_throughput".to_string()),
+        ("k", K.to_string()),
+        (
+            "note",
+            "elems = MACs; *_reference rows are the pre-LUT bit-field + WideInt datapath (before), \
+             matching rows without the suffix are the LUT + i128 fast path (after)"
+                .to_string(),
+        ),
+    ];
+    write_json(path, &meta, &rows).expect("write BENCH_emac.json");
+    println!("\nwrote {path}");
+}

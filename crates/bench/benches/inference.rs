@@ -1,43 +1,121 @@
-//! Criterion benchmarks of whole-network EMAC inference per sample
-//! (Iris topology) across formats, plus the f32 baseline.
+//! Whole-network inference throughput (Iris topology): per-sample EMAC
+//! inference vs the batch engine (contiguous weights, per-thread EMAC
+//! reuse, sample parallelism), plus the per-op rounding path and the f32
+//! baseline.
+//!
+//! Run with `cargo bench --bench inference`. Writes the committed baseline
+//! `BENCH_inference.json` at the repository root.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use deep_positron::experiments::paper_tasks;
-use deep_positron::{NumericFormat, QuantizedMlp};
+use deep_positron::train::{train, TrainConfig};
+use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
+use dp_bench::timing::{measure, render_measurements, write_json, Measurement};
+use dp_datasets::iris;
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
 use dp_posit::PositFormat;
-use std::time::Duration;
+use std::hint::black_box;
 
-fn bench_inference(c: &mut Criterion) {
-    let tasks = paper_tasks(true, 42);
-    let iris = &tasks[1];
-    let x = iris.split.test.features[0].clone();
+fn main() {
+    let split = iris::load(42).split(50, 42).normalized();
+    let mut mlp = Mlp::new(&[4, 16, 3], 42);
+    train(
+        &mut mlp,
+        &split.train,
+        TrainConfig {
+            epochs: 60,
+            batch_size: 8,
+            lr: 0.01,
+            seed: 42,
+        },
+    );
+    let x = split.test.features[0].clone();
+    // Batch-traffic workload: the test set cycled to serving scale, so the
+    // parallel engine has enough work to amortize thread spawn.
+    let batch: Vec<Vec<f32>> = split
+        .test
+        .features
+        .iter()
+        .cycle()
+        .take(2000)
+        .cloned()
+        .collect();
+    let b = batch.len() as u64;
 
-    let mut g = c.benchmark_group("inference_per_sample");
-    g.warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(1))
-        .sample_size(20);
-
+    let mut rows: Vec<Measurement> = Vec::new();
     let configs = [
-        ("posit8e0", NumericFormat::Posit(PositFormat::new(8, 0).unwrap())),
-        ("float8e4m3", NumericFormat::Float(FloatFormat::new(4, 3).unwrap())),
-        ("fixed8q6", NumericFormat::Fixed(FixedFormat::new(8, 6).unwrap())),
+        (
+            "posit8e0",
+            NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+        ),
+        (
+            "float8e4m3",
+            NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+        ),
+        (
+            "fixed8q6",
+            NumericFormat::Fixed(FixedFormat::new(8, 6).unwrap()),
+        ),
     ];
     for (name, fmt) in configs {
-        let q = QuantizedMlp::quantize(&iris.mlp, fmt);
-        g.bench_function(format!("{name}_emac"), |b| {
-            b.iter(|| q.infer(black_box(&x)))
-        });
-        g.bench_function(format!("{name}_per_op"), |b| {
-            b.iter(|| q.infer_inexact(black_box(&x)))
-        });
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        rows.push(measure(&format!("{name}_emac_per_sample"), 1, || {
+            q.infer(black_box(&x))
+        }));
+        rows.push(measure(&format!("{name}_per_op_per_sample"), 1, || {
+            q.infer_inexact(black_box(&x))
+        }));
+        // Scalar loop over the dataset: fresh EMACs per sample, no threads.
+        rows.push(measure(&format!("{name}_scalar_batch{b}"), b, || {
+            batch
+                .iter()
+                .map(|x| q.forward_bits(black_box(x)).len())
+                .sum::<usize>()
+        }));
+        // Batch engine pinned to one thread: isolates EMAC-reuse +
+        // contiguous-weight gains from thread parallelism.
+        std::env::set_var("DEEP_POSITRON_THREADS", "1");
+        rows.push(measure(&format!("{name}_batch{b}_1thread"), b, || {
+            q.forward_batch(black_box(&batch)).len()
+        }));
+        std::env::remove_var("DEEP_POSITRON_THREADS");
+        // Batch engine at machine parallelism.
+        rows.push(measure(&format!("{name}_batch{b}_parallel"), b, || {
+            q.forward_batch(black_box(&batch)).len()
+        }));
     }
-    g.bench_function("f32_native", |b| {
-        b.iter(|| iris.mlp.predict(black_box(&x)))
-    });
-    g.finish();
-}
+    rows.push(measure("f32_native_per_sample", 1, || {
+        mlp.predict(black_box(&x))
+    }));
 
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);
+    println!("{}", render_measurements(&rows));
+
+    let find = |name: &str| rows.iter().find(|m| m.name == name).unwrap();
+    for (name, _) in configs {
+        let scalar = find(&format!("{name}_scalar_batch{b}"));
+        let par = find(&format!("{name}_batch{b}_parallel"));
+        println!(
+            "{name}: batch engine {:.2}x samples/sec over the scalar loop",
+            scalar.ns_per_iter / par.ns_per_iter
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    let meta = [
+        ("bench", "inference".to_string()),
+        ("command", "cargo bench --bench inference".to_string()),
+        ("topology", "iris 4-16-3".to_string()),
+        ("batch", b.to_string()),
+        (
+            "threads",
+            deep_positron::quantized::batch_threads().to_string(),
+        ),
+        (
+            "note",
+            "elems = inference samples; *_scalar_batch* is the per-sample loop (before), \
+             *_batch*_parallel is the batch engine (after)"
+                .to_string(),
+        ),
+    ];
+    write_json(path, &meta, &rows).expect("write BENCH_inference.json");
+    println!("\nwrote {path}");
+}

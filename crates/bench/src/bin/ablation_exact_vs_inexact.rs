@@ -39,20 +39,32 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "format", "exact_acc", "inexact_acc", "emac_gain_pp"],
+            &[
+                "dataset",
+                "format",
+                "exact_acc",
+                "inexact_acc",
+                "emac_gain_pp"
+            ],
             &rows
         )
     );
-    let gains: Vec<f64> = rows
-        .iter()
-        .map(|r| r[4].parse::<f64>().unwrap())
-        .collect();
+    let gains: Vec<f64> = rows.iter().map(|r| r[4].parse::<f64>().unwrap()).collect();
     let mean = gains.iter().sum::<f64>() / gains.len() as f64;
     let max = gains.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    println!("mean EMAC gain {mean:+.2} pp; max {max:+.2} pp across {} configs", gains.len());
+    println!(
+        "mean EMAC gain {mean:+.2} pp; max {max:+.2} pp across {} configs",
+        gains.len()
+    );
     write_csv(
         "results/ablation_exact_vs_inexact.csv",
-        &["dataset", "format", "exact_acc", "inexact_acc", "emac_gain_pp"],
+        &[
+            "dataset",
+            "format",
+            "exact_acc",
+            "inexact_acc",
+            "emac_gain_pp",
+        ],
         &rows,
     )
     .expect("write csv");

@@ -48,8 +48,17 @@ fn main() {
         "{}",
         render_table(
             &[
-                "workload", "format", "luts", "ffs", "dsps", "wmem_kb", "fmax_mhz",
-                "latency_us", "kinf_per_s", "nj_per_inf", "edp_js"
+                "workload",
+                "format",
+                "luts",
+                "ffs",
+                "dsps",
+                "wmem_kb",
+                "fmax_mhz",
+                "latency_us",
+                "kinf_per_s",
+                "nj_per_inf",
+                "edp_js"
             ],
             &rows
         )
@@ -57,8 +66,17 @@ fn main() {
     write_csv(
         "results/accelerator_report.csv",
         &[
-            "workload", "format", "luts", "ffs", "dsps", "wmem_kb", "fmax_mhz", "latency_us",
-            "kinf_per_s", "nj_per_inf", "edp_js",
+            "workload",
+            "format",
+            "luts",
+            "ffs",
+            "dsps",
+            "wmem_kb",
+            "fmax_mhz",
+            "latency_us",
+            "kinf_per_s",
+            "nj_per_inf",
+            "edp_js",
         ],
         &rows,
     )

@@ -24,11 +24,7 @@ fn main() {
             .iter()
             .map(|&(_, lo, hi)| format!("{:.2}", mean_decimal_accuracy(&q, lo, hi, 2000, 6.0)))
             .collect();
-        rows.push(
-            std::iter::once(label)
-                .chain(cells)
-                .collect::<Vec<String>>(),
-        );
+        rows.push(std::iter::once(label).chain(cells).collect::<Vec<String>>());
     };
     for es in 0..=2u32 {
         let f = PositFormat::new(8, es).unwrap();

@@ -37,7 +37,12 @@ fn main() {
     // (b) trained-network weight distribution (WBC stands in for AlexNet).
     eprintln!("training the WBC model for the weight histogram...");
     let tasks = paper_tasks(quick, 42);
-    let weights: Vec<f64> = tasks[0].mlp.all_weights().iter().map(|&w| w as f64).collect();
+    let weights: Vec<f64> = tasks[0]
+        .mlp
+        .all_weights()
+        .iter()
+        .map(|&w| w as f64)
+        .collect();
     let hist_b = histogram(weights.iter().copied(), -2.0, 2.0, 40);
     println!("== Fig. 2b: trained WBC MLP weight distribution ==");
     let plot_b = Ascii::new(60, 10, false).series(
@@ -59,9 +64,17 @@ fn main() {
             .map(|&(c, n)| vec![format!("{c:.4}"), n.to_string()])
             .collect::<Vec<_>>()
     };
-    write_csv("results/fig2_posit7_values.csv", &["bin_center", "count"], &to_rows(&hist_a))
-        .expect("write csv");
-    write_csv("results/fig2_weights.csv", &["bin_center", "count"], &to_rows(&hist_b))
-        .expect("write csv");
+    write_csv(
+        "results/fig2_posit7_values.csv",
+        &["bin_center", "count"],
+        &to_rows(&hist_a),
+    )
+    .expect("write csv");
+    write_csv(
+        "results/fig2_weights.csv",
+        &["bin_center", "count"],
+        &to_rows(&hist_b),
+    )
+    .expect("write csv");
     println!("\nwrote results/fig2_posit7_values.csv, results/fig2_weights.csv");
 }

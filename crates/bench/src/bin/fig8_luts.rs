@@ -48,8 +48,12 @@ fn main() {
             grid_rows.push(vec![spec.label(), n.to_string(), nl.luts().to_string()]);
         }
     }
-    write_csv("results/fig8_luts.csv", &["format", "n", "luts"], &grid_rows)
-        .expect("write csv");
+    write_csv(
+        "results/fig8_luts.csv",
+        &["format", "n", "luts"],
+        &grid_rows,
+    )
+    .expect("write csv");
     println!("paper shape: posit > float > fixed at every n.");
     println!("wrote results/fig8_luts.csv");
 }

@@ -16,7 +16,8 @@ fn main() {
     eprintln!("sweeping formats n=5..8 (this evaluates every config on every test set)...");
     let points = fig9_on(&tasks, limit);
     let mut rows = Vec::new();
-    let mut series: Vec<(Family, char, Vec<(f64, f64)>)> = vec![
+    type Series = (Family, char, Vec<(f64, f64)>);
+    let mut series: Vec<Series> = vec![
         (Family::Fixed, 'x', Vec::new()),
         (Family::Float, 'f', Vec::new()),
         (Family::Posit, 'p', Vec::new()),

@@ -24,7 +24,10 @@ fn main() {
         })
         .collect();
     println!("== Table I: regime interpretation (decoded by dp-posit) ==\n");
-    println!("{}", render_table(&["binary", "regime k", "value (p6e0)"], &rows));
+    println!(
+        "{}",
+        render_table(&["binary", "regime k", "value (p6e0)"], &rows)
+    );
     println!("paper: 0001→-3, 001→-2, 01→-1, 10→0, 110→1, 1110→2");
     let _ = decode(fmt, 0); // keep the import obviously exercised
 }

@@ -9,7 +9,10 @@ use dp_bench::{render_table, write_csv};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    eprintln!("training 32-bit float models ({} schedule)...", if quick { "quick" } else { "full" });
+    eprintln!(
+        "training 32-bit float models ({} schedule)...",
+        if quick { "quick" } else { "full" }
+    );
     let tasks = paper_tasks(quick, 42);
     let rows = table2(&tasks);
     let mut table = Vec::new();
@@ -27,7 +30,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "inference_size", "posit8", "float8", "fixed8", "float32"],
+            &[
+                "dataset",
+                "inference_size",
+                "posit8",
+                "float8",
+                "fixed8",
+                "float32"
+            ],
             &table
         )
     );
@@ -37,7 +47,17 @@ fn main() {
     println!("  Mushroom: posit 96.4%,  float 96.4%, fixed 95.9%, f32 96.8%");
     write_csv(
         "results/table2_accuracy.csv",
-        &["dataset", "inference_size", "posit8", "posit8_acc", "float8", "float8_acc", "fixed8", "fixed8_acc", "float32_acc"],
+        &[
+            "dataset",
+            "inference_size",
+            "posit8",
+            "posit8_acc",
+            "float8",
+            "float8_acc",
+            "fixed8",
+            "fixed8_acc",
+            "float32_acc",
+        ],
         &rows
             .iter()
             .map(|r| {

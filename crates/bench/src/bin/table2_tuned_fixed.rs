@@ -24,8 +24,16 @@ fn main() {
         let posit = best_config_on(t, Family::Posit, 8, limit);
         rows.push(vec![
             t.name.clone(),
-            format!("{:.2}% ({})", 100.0 * paper_fixed.accuracy, paper_fixed.format),
-            format!("{:.2}% ({})", 100.0 * tuned_fixed.accuracy, tuned_fixed.format),
+            format!(
+                "{:.2}% ({})",
+                100.0 * paper_fixed.accuracy,
+                paper_fixed.format
+            ),
+            format!(
+                "{:.2}% ({})",
+                100.0 * tuned_fixed.accuracy,
+                tuned_fixed.format
+            ),
             format!("{:.2}% ({})", 100.0 * posit.accuracy, posit.format),
             format!("{:.2}%", 100.0 * t.f32_test_accuracy),
         ]);
@@ -34,7 +42,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "fixed Q1.7", "fixed tuned-q", "posit8", "float32"],
+            &[
+                "dataset",
+                "fixed Q1.7",
+                "fixed tuned-q",
+                "posit8",
+                "float32"
+            ],
             &rows
         )
     );

@@ -8,5 +8,7 @@
 
 pub mod accuracy;
 pub mod report;
+pub mod timing;
 
 pub use report::{render_table, write_csv, Ascii};
+pub use timing::{measure, Measurement};

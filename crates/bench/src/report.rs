@@ -51,11 +51,7 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// # Errors
 ///
 /// Propagates I/O errors from creating the directory or writing the file.
-pub fn write_csv<P: AsRef<Path>>(
-    path: P,
-    header: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv<P: AsRef<Path>>(path: P, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     if let Some(parent) = path.as_ref().parent() {
         fs::create_dir_all(parent)?;
     }
@@ -78,8 +74,11 @@ pub struct Ascii {
     width: usize,
     height: usize,
     log_y: bool,
-    series: Vec<(char, String, Vec<(f64, f64)>)>,
+    series: Vec<Series>,
 }
+
+/// One plotted series: glyph, legend name, `(x, y)` points.
+type Series = (char, String, Vec<(f64, f64)>);
 
 impl Ascii {
     /// Creates a canvas of `width × height` characters; `log_y` plots the
@@ -100,7 +99,8 @@ impl Ascii {
         name: &str,
         pts: I,
     ) -> Self {
-        self.series.push((glyph, name.to_string(), pts.into_iter().collect()));
+        self.series
+            .push((glyph, name.to_string(), pts.into_iter().collect()));
         self
     }
 
@@ -160,10 +160,7 @@ impl Ascii {
             out.extend(row.iter());
             out.push('\n');
         }
-        out.push_str(&format!(
-            "{:>12}{:<.3} .. {:.3}\n",
-            "x: ", x0, x1
-        ));
+        out.push_str(&format!("{:>12}{:<.3} .. {:.3}\n", "x: ", x0, x1));
         for (glyph, name, _) in &self.series {
             out.push_str(&format!("{:>12}{} = {}\n", "", glyph, name));
         }

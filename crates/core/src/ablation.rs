@@ -65,10 +65,7 @@ mod tests {
                 seed: 41,
             },
         );
-        let q = QuantizedMlp::quantize(
-            &mlp,
-            NumericFormat::Posit(PositFormat::new(5, 0).unwrap()),
-        );
+        let q = QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(5, 0).unwrap()));
         let r = compare_exact_vs_inexact(&q, &split.test, 50);
         assert!(r.exact_accuracy >= 0.0 && r.exact_accuracy <= 1.0);
         assert!(r.inexact_accuracy >= 0.0 && r.inexact_accuracy <= 1.0);

@@ -140,22 +140,12 @@ pub fn best_config(task: &TrainedTask, family: Family, n: u32) -> FormatResult {
 
 /// Like [`best_config`] but evaluating at most `limit` test samples
 /// (keeps debug-build tests fast on Mushroom's 2708-sample test set).
-pub fn best_config_on(
-    task: &TrainedTask,
-    family: Family,
-    n: u32,
-    limit: usize,
-) -> FormatResult {
+pub fn best_config_on(task: &TrainedTask, family: Family, n: u32, limit: usize) -> FormatResult {
     best_among(task, candidate_formats(family, n), limit)
 }
 
 /// Best configuration over the tuned-fixed candidate set (extension).
-pub fn best_config_tuned(
-    task: &TrainedTask,
-    family: Family,
-    n: u32,
-    limit: usize,
-) -> FormatResult {
+pub fn best_config_tuned(task: &TrainedTask, family: Family, n: u32, limit: usize) -> FormatResult {
     best_among(task, candidate_formats_tuned(family, n), limit)
 }
 
@@ -257,7 +247,12 @@ pub fn fig9_on(tasks: &[TrainedTask], limit: usize) -> Vec<Fig9Point> {
 
 /// Histogram of values in `[lo, hi)` over `bins` equal-width buckets;
 /// returns `(bin_center, count)` pairs. Used for both panels of Fig. 2.
-pub fn histogram(values: impl IntoIterator<Item = f64>, lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+pub fn histogram(
+    values: impl IntoIterator<Item = f64>,
+    lo: f64,
+    hi: f64,
+    bins: usize,
+) -> Vec<(f64, usize)> {
     let mut counts = vec![0usize; bins];
     let width = (hi - lo) / bins as f64;
     for v in values {

@@ -43,7 +43,11 @@ impl ParseModelError {
 
 impl fmt::Display for ParseModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "model parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "model parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -57,11 +61,11 @@ pub fn to_string(model: &QuantizedMlp) -> String {
     s.push_str(&format!("dims {}\n", dims.join(" ")));
     for (i, layer) in model.layers.iter().enumerate() {
         s.push_str(&format!("layer {i}\n"));
-        for row in &layer.weights {
+        for row in layer.weight_rows() {
             let hex: Vec<String> = row.iter().map(|w| format!("{w:x}")).collect();
             s.push_str(&format!("w {}\n", hex.join(" ")));
         }
-        let hex: Vec<String> = layer.biases.iter().map(|b| format!("{b:x}")).collect();
+        let hex: Vec<String> = layer.biases().iter().map(|b| format!("{b:x}")).collect();
         s.push_str(&format!("b {}\n", hex.join(" ")));
     }
     s
@@ -106,23 +110,26 @@ pub fn from_str(text: &str) -> Result<QuantizedMlp, ParseModelError> {
             .next()
             .ok_or_else(|| ParseModelError::new(0, format!("missing layer {li}")))?;
         if header.trim() != format!("layer {li}") {
-            return Err(ParseModelError::new(n + 1, format!("expected `layer {li}`")));
+            return Err(ParseModelError::new(
+                n + 1,
+                format!("expected `layer {li}`"),
+            ));
         }
-        let mut weights = Vec::with_capacity(fan_out);
+        let mut weights = Vec::with_capacity(fan_in * fan_out);
         for _ in 0..fan_out {
             let (n, wline) = lines
                 .next()
                 .ok_or_else(|| ParseModelError::new(0, "missing weight row"))?;
-            let row = parse_hex_row(wline, "w ", fan_in)
-                .map_err(|m| ParseModelError::new(n + 1, m))?;
-            weights.push(row);
+            let row =
+                parse_hex_row(wline, "w ", fan_in).map_err(|m| ParseModelError::new(n + 1, m))?;
+            weights.extend_from_slice(&row);
         }
         let (n, bline) = lines
             .next()
             .ok_or_else(|| ParseModelError::new(0, "missing bias row"))?;
         let biases =
             parse_hex_row(bline, "b ", fan_out).map_err(|m| ParseModelError::new(n + 1, m))?;
-        layers.push(QuantizedLayer { weights, biases });
+        layers.push(QuantizedLayer::new(fan_in, fan_out, weights, biases));
     }
     Ok(QuantizedMlp { format, layers })
 }
@@ -198,10 +205,7 @@ mod tests {
 
     fn model() -> QuantizedMlp {
         let mlp = Mlp::new(&[3, 4, 2], 77);
-        QuantizedMlp::quantize(
-            &mlp,
-            NumericFormat::Posit(PositFormat::new(8, 1).unwrap()),
-        )
+        QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(8, 1).unwrap()))
     }
 
     #[test]
@@ -212,8 +216,7 @@ mod tests {
         assert_eq!(back.format, m.format);
         assert_eq!(back.dims(), m.dims());
         for (a, b) in m.layers.iter().zip(&back.layers) {
-            assert_eq!(a.weights, b.weights);
-            assert_eq!(a.biases, b.biases);
+            assert_eq!(a, b);
         }
         // And it still infers identically.
         let x = [0.3, 0.6, 0.9];
@@ -232,7 +235,7 @@ mod tests {
             let m = QuantizedMlp::quantize(&mlp, fmt);
             let back = from_str(&to_string(&m)).expect("parse");
             assert_eq!(back.format, fmt);
-            assert_eq!(back.layers[0].weights, m.layers[0].weights);
+            assert_eq!(back.layers[0].weights(), m.layers[0].weights());
         }
     }
 
@@ -242,7 +245,7 @@ mod tests {
         let path = std::env::temp_dir().join("dp_model_io_test.dpm");
         save(&m, &path).expect("save");
         let back = load(&path).expect("load");
-        assert_eq!(back.layers[0].biases, m.layers[0].biases);
+        assert_eq!(back.layers[0].biases(), m.layers[0].biases());
         std::fs::remove_file(path).ok();
     }
 
@@ -250,8 +253,7 @@ mod tests {
     fn parse_errors_are_located() {
         assert!(from_str("").is_err());
         assert!(from_str("wrong magic").is_err());
-        let e = from_str("deep-positron-model v1\nformat posit 99 0\ndims 2 2\n")
-            .unwrap_err();
+        let e = from_str("deep-positron-model v1\nformat posit 99 0\ndims 2 2\n").unwrap_err();
         assert_eq!(e.line, 2);
         let e = from_str("deep-positron-model v1\nformat f32\ndims 2\n").unwrap_err();
         assert!(e.to_string().contains("two dims"));

@@ -6,31 +6,122 @@
 //! precisely the computation of the paper's per-layer EMAC arrays (Fig. 1).
 //! An *inexact* per-op rounding path is also provided, for the ablation
 //! quantifying how much the EMAC's delayed rounding matters (paper §III-A).
+//!
+//! ## Batch engine
+//!
+//! Weights are stored as one contiguous row-major pattern array per layer,
+//! so a whole layer streams through the cache linearly. Dataset-scale
+//! entry points ([`QuantizedMlp::forward_batch`],
+//! [`QuantizedMlp::infer_batch`], [`QuantizedMlp::accuracy`]) partition
+//! samples across threads, with each thread building its per-layer EMAC
+//! array once and reusing it for every sample — construction, decode
+//! tables and accumulator sizing are amortized across the batch exactly
+//! the way a hardware EMAC array is amortized across a request stream.
+//! Results are bit-identical to per-sample [`QuantizedMlp::forward_bits`].
 
 use crate::format::NumericFormat;
 use crate::mlp::Mlp;
 use crate::tensor::argmax;
 use dp_datasets::Dataset;
-use dp_emac::Emac;
+use dp_emac::{Emac, EmacUnit};
 
-/// One quantized dense layer.
-#[derive(Debug, Clone)]
+/// One quantized dense layer: contiguous row-major weight patterns plus
+/// per-neuron biases.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuantizedLayer {
-    /// Per-neuron weight patterns (`out × in`).
-    pub weights: Vec<Vec<u32>>,
+    fan_in: usize,
+    fan_out: usize,
+    /// Row-major `fan_out × fan_in` weight patterns (neuron `j`'s weights
+    /// occupy `weights[j*fan_in .. (j+1)*fan_in]`).
+    weights: Vec<u32>,
     /// Per-neuron bias patterns.
-    pub biases: Vec<u32>,
+    biases: Vec<u32>,
 }
 
 impl QuantizedLayer {
+    /// Builds a layer from a contiguous row-major weight array.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weights.len() == fan_in × fan_out` and
+    /// `biases.len() == fan_out`.
+    pub fn new(fan_in: usize, fan_out: usize, weights: Vec<u32>, biases: Vec<u32>) -> Self {
+        assert_eq!(weights.len(), fan_in * fan_out, "weight array shape");
+        assert_eq!(biases.len(), fan_out, "bias array shape");
+        QuantizedLayer {
+            fan_in,
+            fan_out,
+            weights,
+            biases,
+        }
+    }
+
+    /// Builds a layer from per-neuron weight rows (all rows must share one
+    /// length).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows or a bias/row-count mismatch.
+    pub fn from_rows(rows: &[Vec<u32>], biases: Vec<u32>) -> Self {
+        let fan_out = rows.len();
+        let fan_in = rows.first().map_or(0, |r| r.len());
+        let mut weights = Vec::with_capacity(fan_in * fan_out);
+        for row in rows {
+            assert_eq!(row.len(), fan_in, "ragged weight rows");
+            weights.extend_from_slice(row);
+        }
+        Self::new(fan_in, fan_out, weights, biases)
+    }
+
     /// Fan-in of the layer.
     pub fn fan_in(&self) -> usize {
-        self.weights.first().map_or(0, |w| w.len())
+        self.fan_in
     }
 
     /// Fan-out (neuron count).
     pub fn fan_out(&self) -> usize {
-        self.weights.len()
+        self.fan_out
+    }
+
+    /// The contiguous row-major weight patterns.
+    pub fn weights(&self) -> &[u32] {
+        &self.weights
+    }
+
+    /// Neuron `j`'s weight row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= fan_out`.
+    pub fn weight_row(&self, j: usize) -> &[u32] {
+        &self.weights[j * self.fan_in..(j + 1) * self.fan_in]
+    }
+
+    /// Iterator over the per-neuron weight rows (always exactly
+    /// [`QuantizedLayer::fan_out`] of them, even in the degenerate
+    /// `fan_in == 0` case).
+    pub fn weight_rows(&self) -> impl Iterator<Item = &[u32]> {
+        (0..self.fan_out).map(|j| self.weight_row(j))
+    }
+
+    /// Per-neuron bias patterns.
+    pub fn biases(&self) -> &[u32] {
+        &self.biases
+    }
+
+    /// Mutable view of neuron `j`'s weight row (weight surgery, fault
+    /// injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= fan_out`.
+    pub fn weight_row_mut(&mut self, j: usize) -> &mut [u32] {
+        &mut self.weights[j * self.fan_in..(j + 1) * self.fan_in]
+    }
+
+    /// Mutable view of the bias patterns.
+    pub fn biases_mut(&mut self) -> &mut [u32] {
+        &mut self.biases
     }
 }
 
@@ -49,11 +140,18 @@ impl QuantizedMlp {
         let layers = mlp
             .layers
             .iter()
-            .map(|l| QuantizedLayer {
-                weights: (0..l.fan_out())
-                    .map(|j| l.w.row(j).iter().map(|&w| format.quantize(w)).collect())
-                    .collect(),
-                biases: l.b.iter().map(|&b| format.quantize(b)).collect(),
+            .map(|l| {
+                let (fan_in, fan_out) = (l.fan_in(), l.fan_out());
+                let mut weights = Vec::with_capacity(fan_in * fan_out);
+                for j in 0..fan_out {
+                    weights.extend(l.w.row(j).iter().map(|&w| format.quantize(w)));
+                }
+                QuantizedLayer::new(
+                    fan_in,
+                    fan_out,
+                    weights,
+                    l.b.iter().map(|&b| format.quantize(b)).collect(),
+                )
             })
             .collect();
         QuantizedMlp { format, layers }
@@ -64,21 +162,37 @@ impl QuantizedMlp {
         x.iter().map(|&v| self.format.quantize(v)).collect()
     }
 
+    /// One EMAC per layer, sized for that layer's fan-in, or `None` for
+    /// the `F32` baseline. Batch callers build this once per thread and
+    /// reuse it across samples.
+    pub fn make_layer_emacs(&self) -> Option<Vec<EmacUnit>> {
+        self.layers
+            .iter()
+            .map(|l| self.format.make_emac(l.fan_in() as u64))
+            .collect()
+    }
+
     /// EMAC inference: each neuron seeds its accumulator with the bias,
     /// streams one exact MAC per input, rounds once, then applies ReLU
     /// (identity on the readout layer). Returns the output activations as
     /// bit patterns.
     pub fn forward_bits(&self, x: &[f32]) -> Vec<u32> {
+        let mut emacs = self
+            .make_layer_emacs()
+            .expect("EMAC inference requires a low-precision format");
+        self.forward_bits_with(&mut emacs, x)
+    }
+
+    /// [`QuantizedMlp::forward_bits`] with caller-owned EMACs (one per
+    /// layer, as built by [`QuantizedMlp::make_layer_emacs`]); the batch
+    /// engine's inner loop.
+    pub fn forward_bits_with(&self, emacs: &mut [EmacUnit], x: &[f32]) -> Vec<u32> {
+        debug_assert_eq!(emacs.len(), self.layers.len());
         let mut acts = self.quantize_input(x);
         let last = self.layers.len() - 1;
-        for (li, layer) in self.layers.iter().enumerate() {
-            let k = layer.fan_in() as u64;
+        for (li, (layer, emac)) in self.layers.iter().zip(emacs).enumerate() {
             let mut next = Vec::with_capacity(layer.fan_out());
-            let mut emac = self
-                .format
-                .make_emac(k)
-                .expect("EMAC inference requires a low-precision format");
-            for (wrow, &bias) in layer.weights.iter().zip(&layer.biases) {
+            for (wrow, &bias) in layer.weight_rows().zip(layer.biases()) {
                 emac.set_bias(bias);
                 for (&w, &a) in wrow.iter().zip(&acts) {
                     emac.mac(w, a);
@@ -94,29 +208,67 @@ impl QuantizedMlp {
         acts
     }
 
+    /// EMAC inference over a whole batch, bit-identical to calling
+    /// [`QuantizedMlp::forward_bits`] per sample but with the samples
+    /// partitioned across threads and per-layer EMACs reused within each
+    /// thread.
+    ///
+    /// Thread count defaults to the machine's available parallelism
+    /// (capped by the batch size) and can be pinned with the
+    /// `DEEP_POSITRON_THREADS` environment variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics for the `F32` baseline (which has no EMAC datapath).
+    pub fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<u32>> {
+        assert!(
+            !matches!(self.format, NumericFormat::F32),
+            "forward_batch requires a low-precision format"
+        );
+        par_map_with(
+            xs,
+            || self.make_layer_emacs().expect("low-precision format"),
+            |emacs, x| self.forward_bits_with(emacs, x),
+        )
+    }
+
     /// Predicted class via the EMAC path (or plain f32 math for `F32`).
     pub fn infer(&self, x: &[f32]) -> usize {
-        let logits: Vec<f32> = match self.format {
-            NumericFormat::F32 => return self.infer_inexact(x),
-            _ => self
-                .forward_bits(x)
-                .iter()
-                .map(|&b| self.format.to_f64(b) as f32)
-                .collect(),
-        };
+        match self.format {
+            NumericFormat::F32 => self.infer_inexact(x),
+            _ => self.argmax_bits(&self.forward_bits(x)),
+        }
+    }
+
+    /// Predicted classes for a whole batch (parallel, EMACs reused per
+    /// thread); agrees with per-sample [`QuantizedMlp::infer`] exactly.
+    pub fn infer_batch(&self, xs: &[Vec<f32>]) -> Vec<usize> {
+        match self.format {
+            NumericFormat::F32 => par_map_with(xs, || (), |(), x| self.infer_inexact(x)),
+            _ => par_map_with(
+                xs,
+                || self.make_layer_emacs().expect("low-precision format"),
+                |emacs, x| self.argmax_bits(&self.forward_bits_with(emacs, x)),
+            ),
+        }
+    }
+
+    fn argmax_bits(&self, bits: &[u32]) -> usize {
+        let logits: Vec<f32> = bits.iter().map(|&b| self.format.to_f64(b) as f32).collect();
         argmax(&logits)
     }
 
-    /// Classification accuracy of the EMAC path on a dataset.
+    /// Classification accuracy of the EMAC path on a dataset (batched and
+    /// parallel; see [`QuantizedMlp::infer_batch`]).
     pub fn accuracy(&self, data: &Dataset) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .features
+        let preds = self.infer_batch(&data.features);
+        let correct = preds
             .iter()
             .zip(&data.labels)
-            .filter(|(x, &y)| self.infer(x) == y)
+            .filter(|(p, &y)| **p == y)
             .count();
         correct as f64 / data.len() as f64
     }
@@ -129,7 +281,7 @@ impl QuantizedMlp {
         let last = self.layers.len() - 1;
         for (li, layer) in self.layers.iter().enumerate() {
             let mut next = Vec::with_capacity(layer.fan_out());
-            for (wrow, &bias) in layer.weights.iter().zip(&layer.biases) {
+            for (wrow, &bias) in layer.weight_rows().zip(layer.biases()) {
                 let mut acc = bias;
                 for (&w, &a) in wrow.iter().zip(&acts) {
                     let p = self.format.mul_bits(w, a);
@@ -142,23 +294,19 @@ impl QuantizedMlp {
             }
             acts = next;
         }
-        let logits: Vec<f32> = acts
-            .iter()
-            .map(|&b| self.format.to_f64(b) as f32)
-            .collect();
-        argmax(&logits)
+        self.argmax_bits(&acts)
     }
 
-    /// Accuracy of the per-op rounding path.
+    /// Accuracy of the per-op rounding path (batched and parallel).
     pub fn accuracy_inexact(&self, data: &Dataset) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .features
+        let preds = par_map_with(&data.features, || (), |(), x| self.infer_inexact(x));
+        let correct = preds
             .iter()
             .zip(&data.labels)
-            .filter(|(x, &y)| self.infer_inexact(x) == y)
+            .filter(|(p, &y)| **p == y)
             .count();
         correct as f64 / data.len() as f64
     }
@@ -169,6 +317,74 @@ impl QuantizedMlp {
         d.extend(self.layers.iter().map(|l| l.fan_out()));
         d
     }
+}
+
+/// Number of worker threads for batch entry points: the
+/// `DEEP_POSITRON_THREADS` environment variable when set (≥ 1), otherwise
+/// the machine's available parallelism.
+pub fn batch_threads() -> usize {
+    match std::env::var("DEEP_POSITRON_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Minimum samples per worker before fanning out: below this, scoped
+/// thread spawn/join overhead (tens of microseconds) exceeds the work of
+/// microsecond-scale inferences, so small batches run on the caller's
+/// thread (still with EMAC reuse). `DEEP_POSITRON_THREADS` overrides the
+/// thread count but the floor still applies.
+const MIN_SAMPLES_PER_THREAD: usize = 32;
+
+/// Maps `f` over `xs` in parallel, preserving order. Samples are split
+/// into one contiguous chunk per thread; each thread builds its scratch
+/// state once with `init` (per-layer EMAC arrays, in practice) and reuses
+/// it across its chunk.
+fn par_map_with<S, R, I, F>(xs: &[Vec<f32>], init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[f32]) -> R + Sync,
+{
+    let threads = batch_threads()
+        .min(xs.len() / MIN_SAMPLES_PER_THREAD)
+        .max(1);
+    par_map_with_threads(xs, threads, init, f)
+}
+
+/// [`par_map_with`] with an explicit worker count (the policy-free core,
+/// directly unit-tested so the spawn/chunk/merge path is exercised even on
+/// single-core machines).
+fn par_map_with_threads<S, R, I, F>(xs: &[Vec<f32>], threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[f32]) -> R + Sync,
+{
+    if threads <= 1 || xs.len() <= 1 {
+        let mut state = init();
+        return xs.iter().map(|x| f(&mut state, x)).collect();
+    }
+    let chunk = xs.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(xs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = xs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    slice.iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -203,6 +419,26 @@ mod tests {
         assert_eq!(q.dims(), vec![4, 8, 3]);
         assert_eq!(q.layers[0].fan_in(), 4);
         assert_eq!(q.layers[1].fan_out(), 3);
+        assert_eq!(q.layers[0].weights().len(), 4 * 8);
+        assert_eq!(q.layers[0].weight_rows().count(), 8);
+        assert_eq!(q.layers[0].weight_row(3), &q.layers[0].weights()[12..16]);
+    }
+
+    #[test]
+    fn layer_constructors_agree_and_validate() {
+        let rows = vec![vec![1u32, 2], vec![3, 4], vec![5, 6]];
+        let a = QuantizedLayer::from_rows(&rows, vec![7, 8, 9]);
+        let b = QuantizedLayer::new(2, 3, vec![1, 2, 3, 4, 5, 6], vec![7, 8, 9]);
+        assert_eq!(a, b);
+        assert_eq!(a.biases(), &[7, 8, 9]);
+        assert!(std::panic::catch_unwind(|| {
+            QuantizedLayer::new(2, 3, vec![1, 2, 3], vec![7, 8, 9])
+        })
+        .is_err());
+        // Degenerate fan_in = 0 still yields one (empty) row per neuron.
+        let empty_in = QuantizedLayer::new(0, 2, vec![], vec![1, 2]);
+        assert_eq!(empty_in.weight_rows().count(), 2);
+        assert!(empty_in.weight_rows().all(|r| r.is_empty()));
     }
 
     #[test]
@@ -229,6 +465,65 @@ mod tests {
             let acc = q.accuracy(&split.test);
             assert!(acc > 0.8, "{fmt}: {acc}");
         }
+    }
+
+    #[test]
+    fn batch_forward_is_bit_identical_to_per_sample() {
+        let (mlp, split) = trained_iris();
+        for fmt in [
+            NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+            NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+            NumericFormat::Fixed(FixedFormat::new(8, 5).unwrap()),
+        ] {
+            let q = QuantizedMlp::quantize(&mlp, fmt);
+            let xs: Vec<Vec<f32>> = split.test.features.iter().take(25).cloned().collect();
+            let batch = q.forward_batch(&xs);
+            let scalar: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+            assert_eq!(batch, scalar, "{fmt}");
+            let preds = q.infer_batch(&xs);
+            let scalar_preds: Vec<usize> = xs.iter().map(|x| q.infer(x)).collect();
+            assert_eq!(preds, scalar_preds, "{fmt}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_input() {
+        let (mlp, _) = trained_iris();
+        let q = QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(8, 0).unwrap()));
+        assert!(q.forward_batch(&[]).is_empty());
+        assert!(q.infer_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        // Drive the spawn/chunk/merge path directly with explicit worker
+        // counts (the public entry points would stay single-threaded for
+        // small batches, and on single-core machines always).
+        let (mlp, split) = trained_iris();
+        let q = QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(8, 0).unwrap()));
+        let xs: Vec<Vec<f32>> = split
+            .test
+            .features
+            .iter()
+            .cycle()
+            .take(100)
+            .cloned()
+            .collect();
+        let run = |threads: usize| {
+            par_map_with_threads(
+                &xs,
+                threads,
+                || q.make_layer_emacs().unwrap(),
+                |emacs, x| q.forward_bits_with(emacs, x),
+            )
+        };
+        let serial = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+        // Degenerate worker counts clamp instead of panicking.
+        assert_eq!(run(0), serial);
+        assert_eq!(run(1000), serial);
     }
 
     #[test]

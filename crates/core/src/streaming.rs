@@ -92,10 +92,8 @@ pub fn simulate(qmlp: &QuantizedMlp, inputs: &[Vec<f32>]) -> (Vec<usize>, Stream
                 let acts = payload[l].take().expect("payload follows busy");
                 let out = layer_forward(qmlp, l, &acts);
                 if l + 1 == n_layers {
-                    let logits: Vec<f32> = out
-                        .iter()
-                        .map(|&b| qmlp.format.to_f64(b) as f32)
-                        .collect();
+                    let logits: Vec<f32> =
+                        out.iter().map(|&b| qmlp.format.to_f64(b) as f32).collect();
                     results[idx] = Some(crate::tensor::argmax(&logits));
                     done += 1;
                     if first_done.is_none() {
@@ -150,9 +148,8 @@ fn layer_forward(qmlp: &QuantizedMlp, l: usize, acts: &[u32]) -> Vec<u32> {
         .make_emac(layer.fan_in() as u64)
         .expect("streaming requires a low-precision format");
     layer
-        .weights
-        .iter()
-        .zip(&layer.biases)
+        .weight_rows()
+        .zip(layer.biases())
         .map(|(wrow, &bias)| {
             emac.set_bias(bias);
             for (&w, &a) in wrow.iter().zip(acts) {

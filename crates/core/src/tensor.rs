@@ -87,13 +87,7 @@ impl Matrix {
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(&w, &v)| w * v)
-                    .sum::<f32>()
-            })
+            .map(|r| self.row(r).iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>())
             .collect()
     }
 
@@ -101,8 +95,7 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             for (c, yc) in y.iter_mut().enumerate() {
                 *yc += self.get(r, c) * xr;
             }

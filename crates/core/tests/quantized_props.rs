@@ -68,7 +68,7 @@ proptest! {
             NumericFormat::Fixed(f) => f.to_f64(f.min_raw()).abs(),
         };
         for layer in &q.layers {
-            for row in &layer.weights {
+            for row in layer.weight_rows() {
                 for &w in row {
                     let v = fmt.to_f64(w);
                     prop_assert!(v.is_finite());
@@ -85,7 +85,7 @@ proptest! {
     ) {
         let q = QuantizedMlp::quantize(&mlp, fmt);
         for (l, layer) in q.layers.iter().enumerate() {
-            for (j, row) in layer.weights.iter().enumerate() {
+            for (j, row) in layer.weight_rows().enumerate() {
                 for (i, &wbits) in row.iter().enumerate() {
                     let orig = mlp.layers[l].w.get(j, i) as f64;
                     let quant = fmt.to_f64(wbits);

@@ -96,9 +96,7 @@ impl Dataset {
         order.sort_by(|&a, &b| {
             let fa = per_class[a].len() as f64 / total * test_count as f64;
             let fb = per_class[b].len() as f64 / total * test_count as f64;
-            (fb - fb.floor())
-                .partial_cmp(&(fa - fa.floor()))
-                .unwrap()
+            (fb - fb.floor()).partial_cmp(&(fa - fa.floor())).unwrap()
         });
         for &cls in &order {
             if remaining == 0 {

@@ -87,7 +87,11 @@ pub fn load(seed: u64) -> Dataset {
             let mut row = vec![0f32; dim];
             // Draw odor first so correlated attributes can condition on it.
             let odorless = {
-                let w = if poisonous { &ODOR_POISON } else { &ODOR_EDIBLE };
+                let w = if poisonous {
+                    &ODOR_POISON
+                } else {
+                    &ODOR_EDIBLE
+                };
                 let cat = categorical(&mut rng, w);
                 set_one_hot(&mut row, offset_of(ODOR), cat);
                 cat == 6
@@ -144,9 +148,9 @@ fn build_tables() -> Vec<(Vec<f64>, Vec<f64>)> {
             // Informativeness: a few attributes are strong (gill size,
             // ring type, spore print), the rest are weak or noise.
             let strength: f64 = match attr {
-                7 | 18 | 19 => 0.8,          // gill-size, ring-type, spore-print
-                3 | 6 | 11 | 12 => 0.5,      // bruises, spacing, stalk surfaces
-                15 => 0.0,                   // veil-type is constant
+                7 | 18 | 19 => 0.8,     // gill-size, ring-type, spore-print
+                3 | 6 | 11 | 12 => 0.5, // bruises, spacing, stalk surfaces
+                15 => 0.0,              // veil-type is constant
                 _ => 0.15,
             };
             let base: Vec<f64> = (0..cats).map(|_| 0.2 + mix.gen::<f64>()).collect();

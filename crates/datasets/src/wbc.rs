@@ -45,14 +45,54 @@ struct BaseStat {
     m_sd: f64,
 }
 
-const RADIUS: BaseStat = BaseStat { b_mean: 12.15, b_sd: 1.78, m_mean: 17.46, m_sd: 3.20 };
-const TEXTURE: BaseStat = BaseStat { b_mean: 17.91, b_sd: 3.99, m_mean: 21.60, m_sd: 3.78 };
-const SMOOTHNESS: BaseStat = BaseStat { b_mean: 0.0925, b_sd: 0.0134, m_mean: 0.1029, m_sd: 0.0126 };
-const COMPACTNESS: BaseStat = BaseStat { b_mean: 0.0801, b_sd: 0.0337, m_mean: 0.1452, m_sd: 0.0540 };
-const CONCAVITY: BaseStat = BaseStat { b_mean: 0.0461, b_sd: 0.0434, m_mean: 0.1608, m_sd: 0.0750 };
-const CONCAVE_PTS: BaseStat = BaseStat { b_mean: 0.0257, b_sd: 0.0159, m_mean: 0.0880, m_sd: 0.0344 };
-const SYMMETRY: BaseStat = BaseStat { b_mean: 0.1742, b_sd: 0.0248, m_mean: 0.1929, m_sd: 0.0276 };
-const FRACTAL: BaseStat = BaseStat { b_mean: 0.0629, b_sd: 0.0067, m_mean: 0.0627, m_sd: 0.0075 };
+const RADIUS: BaseStat = BaseStat {
+    b_mean: 12.15,
+    b_sd: 1.78,
+    m_mean: 17.46,
+    m_sd: 3.20,
+};
+const TEXTURE: BaseStat = BaseStat {
+    b_mean: 17.91,
+    b_sd: 3.99,
+    m_mean: 21.60,
+    m_sd: 3.78,
+};
+const SMOOTHNESS: BaseStat = BaseStat {
+    b_mean: 0.0925,
+    b_sd: 0.0134,
+    m_mean: 0.1029,
+    m_sd: 0.0126,
+};
+const COMPACTNESS: BaseStat = BaseStat {
+    b_mean: 0.0801,
+    b_sd: 0.0337,
+    m_mean: 0.1452,
+    m_sd: 0.0540,
+};
+const CONCAVITY: BaseStat = BaseStat {
+    b_mean: 0.0461,
+    b_sd: 0.0434,
+    m_mean: 0.1608,
+    m_sd: 0.0750,
+};
+const CONCAVE_PTS: BaseStat = BaseStat {
+    b_mean: 0.0257,
+    b_sd: 0.0159,
+    m_mean: 0.0880,
+    m_sd: 0.0344,
+};
+const SYMMETRY: BaseStat = BaseStat {
+    b_mean: 0.1742,
+    b_sd: 0.0248,
+    m_mean: 0.1929,
+    m_sd: 0.0276,
+};
+const FRACTAL: BaseStat = BaseStat {
+    b_mean: 0.0629,
+    b_sd: 0.0067,
+    m_mean: 0.0627,
+    m_sd: 0.0075,
+};
 
 impl BaseStat {
     /// Samples the feature; `blend ∈ [0, 1]` mixes the parameters toward
@@ -127,8 +167,16 @@ fn sample_row<R: Rng>(rng: &mut R, malignant: bool) -> Vec<f32> {
     let area = std::f64::consts::PI * radius * radius * (1.0 + 0.02 * normal(rng));
 
     let base = [
-        radius, texture, perimeter, area, smoothness, compactness, concavity, concave_pts,
-        symmetry, fractal,
+        radius,
+        texture,
+        perimeter,
+        area,
+        smoothness,
+        compactness,
+        concavity,
+        concave_pts,
+        symmetry,
+        fractal,
     ];
     // Standard errors scale with the base magnitude and with the sample's
     // *effective* morphology (atypical samples carry the other class's
@@ -195,7 +243,10 @@ mod tests {
             let (r, p, a) = (row[0] as f64, row[2] as f64, row[3] as f64);
             assert!(p > 2.0 * r, "perimeter {p} vs radius {r}");
             let circle_area = std::f64::consts::PI * r * r;
-            assert!((a / circle_area - 1.0).abs() < 0.2, "area {a} vs {circle_area}");
+            assert!(
+                (a / circle_area - 1.0).abs() < 0.2,
+                "area {a} vs {circle_area}"
+            );
         }
     }
 

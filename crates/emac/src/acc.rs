@@ -1,0 +1,232 @@
+//! The EMAC accumulation register: native `i128` when it fits, [`WideInt`]
+//! otherwise.
+//!
+//! Paper eqs. (3)–(4) size the accumulator so a `k`-term dot product is
+//! exact. For every 5–8-bit configuration the paper evaluates (Table II)
+//! that width is well under 127 bits, so the register fits a native
+//! two's-complement `i128` and each MAC becomes one shift and one add —
+//! the software analogue of the paper's observation that small formats
+//! make the EMAC adder trivially cheap. Wider formats (e.g. posit⟨32,2⟩
+//! needs ~500 bits) transparently fall back to the limb-based [`WideInt`].
+//!
+//! Both variants expose the same fixed-point semantics, and readout
+//! produces the identical `(msb, window, sticky)` triple, so the final
+//! rounding/encode step is shared and bit-identical between paths — a
+//! property the `fast_path_equivalence` test suite checks differentially.
+
+use dp_posit::WideInt;
+
+/// Widest accumulator (in bits, including sign) the `i128` fast path can
+/// hold. Equation-(3)/(4) widths at or below this use native arithmetic.
+pub const SMALL_ACC_MAX_BITS: u32 = 127;
+
+/// Sign/magnitude view of a nonzero accumulator, normalized for encoding:
+/// the top window bit sits at `msb`, `sig` holds bits `msb..=msb-63`
+/// left-aligned, and `sticky` is set when any bit below the window is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Sign of the accumulated value.
+    pub sign: bool,
+    /// Index of the most significant magnitude bit (from the register LSB).
+    pub msb: usize,
+    /// 64-bit window below (and including) `msb`, left-aligned.
+    pub sig: u64,
+    /// Whether any magnitude bit strictly below the window is set.
+    pub sticky: bool,
+}
+
+/// A two's-complement fixed-point accumulation register.
+#[derive(Debug, Clone)]
+pub enum Accum {
+    /// Native fast path: the whole register lives in one `i128`.
+    Small(i128),
+    /// Fallback for formats whose exact register exceeds 127 bits.
+    Wide(WideInt),
+}
+
+impl Accum {
+    /// A zero register for an exact width of `width` bits (per paper
+    /// eqs. 3–4). Chooses the `i128` fast path whenever the width fits;
+    /// the [`WideInt`] fallback gets the traditional 64 bits of headroom.
+    pub fn new(width: u32) -> Self {
+        if width <= SMALL_ACC_MAX_BITS {
+            Accum::Small(0)
+        } else {
+            Accum::Wide(WideInt::zero(width as usize + 64))
+        }
+    }
+
+    /// A zero register forced onto the [`WideInt`] path regardless of
+    /// width — the pre-LUT reference datapath, kept for differential
+    /// testing and benchmarking against the fast path.
+    pub fn new_wide(width: u32) -> Self {
+        Accum::Wide(WideInt::zero(width as usize + 64))
+    }
+
+    /// True when this register uses the native `i128` fast path.
+    pub fn is_small(&self) -> bool {
+        matches!(self, Accum::Small(_))
+    }
+
+    /// Clears the register to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        match self {
+            Accum::Small(v) => *v = 0,
+            Accum::Wide(w) => w.clear(),
+        }
+    }
+
+    /// True if every bit is clear.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Accum::Small(v) => *v == 0,
+            Accum::Wide(w) => w.is_zero(),
+        }
+    }
+
+    /// `self += (value << shift)`, or `-=` when `negate` is set. `value`
+    /// is an unsigned product/significand; `shift` is its fixed-point
+    /// position in the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the shifted value exceeds capacity
+    /// (correctly sized accumulators never do — paper eqs. 3–4).
+    #[inline]
+    pub fn add_shifted_u128(&mut self, value: u128, shift: usize, negate: bool) {
+        if value == 0 {
+            return;
+        }
+        match self {
+            Accum::Small(acc) => {
+                debug_assert!(
+                    shift as u32 + (128 - value.leading_zeros()) <= SMALL_ACC_MAX_BITS,
+                    "i128 accumulator overflow: value does not fit capacity"
+                );
+                let shifted = (value << shift) as i128;
+                if negate {
+                    *acc -= shifted;
+                } else {
+                    *acc += shifted;
+                }
+            }
+            Accum::Wide(w) => w.add_shifted_u128(value, shift, negate),
+        }
+    }
+
+    /// Sign, MSB index and left-aligned 64-bit rounding window of the
+    /// current value, or `None` when zero. Identical between paths.
+    pub fn window(&self) -> Option<Window> {
+        match self {
+            Accum::Small(acc) => {
+                if *acc == 0 {
+                    return None;
+                }
+                let sign = *acc < 0;
+                let mag = acc.unsigned_abs();
+                let msb = 127 - mag.leading_zeros() as usize;
+                // Left-align the magnitude so bit `msb` lands at bit 127;
+                // the top half is then the 64-bit window, the bottom half
+                // collapses into the sticky flag.
+                let aligned = mag << (127 - msb);
+                Some(Window {
+                    sign,
+                    msb,
+                    sig: (aligned >> 64) as u64,
+                    sticky: aligned as u64 != 0,
+                })
+            }
+            Accum::Wide(w) => {
+                if w.is_zero() {
+                    return None;
+                }
+                let sign = w.is_negative();
+                let mag = w.magnitude();
+                let msb = mag.msb_index().expect("nonzero accumulator");
+                let (sig, sticky) = mag.extract_window(msb);
+                Some(Window {
+                    sign,
+                    msb,
+                    sig,
+                    sticky,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_selects_the_path() {
+        assert!(Accum::new(26).is_small());
+        assert!(Accum::new(127).is_small());
+        assert!(!Accum::new(128).is_small());
+        assert!(!Accum::new_wide(26).is_small());
+    }
+
+    #[test]
+    fn zero_add_clear_roundtrip() {
+        for mut acc in [Accum::new(100), Accum::new(300), Accum::new_wide(100)] {
+            assert!(acc.is_zero());
+            assert!(acc.window().is_none());
+            acc.add_shifted_u128(5, 10, false);
+            assert!(!acc.is_zero());
+            acc.add_shifted_u128(5, 10, true);
+            assert!(acc.is_zero(), "add then sub cancels");
+            acc.add_shifted_u128(1, 0, false);
+            acc.clear();
+            assert!(acc.is_zero());
+        }
+    }
+
+    #[test]
+    fn windows_agree_between_paths() {
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..500 {
+            let mut small = Accum::new(120);
+            let mut wide = Accum::new_wide(120);
+            for _ in 0..(next() % 12 + 1) {
+                let value = (next() % (1 << 20)) as u128;
+                let shift = (next() % 90) as usize;
+                let negate = next() % 2 == 0;
+                small.add_shifted_u128(value, shift, negate);
+                wide.add_shifted_u128(value, shift, negate);
+            }
+            assert_eq!(small.is_zero(), wide.is_zero());
+            assert_eq!(small.window(), wide.window());
+        }
+    }
+
+    #[test]
+    fn window_shape_for_known_value() {
+        // value = 0b101 << 100 | 1: window at msb=102, sticky from the low 1.
+        let mut acc = Accum::new(120);
+        acc.add_shifted_u128(0b101, 100, false);
+        acc.add_shifted_u128(1, 0, false);
+        let w = acc.window().unwrap();
+        assert!(!w.sign);
+        assert_eq!(w.msb, 102);
+        assert_eq!(w.sig, 0b101u64 << 61);
+        assert!(w.sticky);
+    }
+
+    #[test]
+    fn negative_values_report_sign_and_magnitude() {
+        let mut acc = Accum::new(90);
+        acc.add_shifted_u128(7, 20, true); // -7 × 2^20
+        let w = acc.window().unwrap();
+        assert!(w.sign);
+        assert_eq!(w.msb, 22);
+        assert_eq!(w.sig, 0b111u64 << 61);
+        assert!(!w.sticky);
+    }
+}

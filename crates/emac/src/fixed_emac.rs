@@ -1,7 +1,8 @@
 //! The fixed-point EMAC (paper Fig. 3).
 
-use crate::unit::Emac;
 use crate::ceil_log2;
+use crate::unit::Emac;
+use dp_fixed::lut::DecodeLut;
 use dp_fixed::FixedFormat;
 
 /// Exact fixed-point multiply-and-accumulate.
@@ -36,11 +37,16 @@ pub struct FixedEmac {
     fmt: FixedFormat,
     capacity: u64,
     acc: i128,
+    /// Sign-extension table for the format, when one exists (`n ≤ 12`).
+    lut: Option<&'static DecodeLut>,
     count: u64,
 }
 
 impl FixedEmac {
-    /// Creates a unit for `fmt` sized for `capacity` accumulations.
+    /// Creates a unit for `fmt` sized for `capacity` accumulations. The
+    /// accumulator is always a native `i128` (fixed point needs only
+    /// `2n + ⌈log2 k⌉` bits, paper eq. 3); decode uses the `dp_fixed::lut`
+    /// sign-extension table for formats up to 12 bits.
     ///
     /// # Panics
     ///
@@ -53,6 +59,7 @@ impl FixedEmac {
             fmt,
             capacity: capacity.max(1),
             acc: 0,
+            lut: dp_fixed::lut::cached(fmt),
             count: 0,
         }
     }
@@ -67,11 +74,18 @@ impl FixedEmac {
         2 * fmt.n() + ceil_log2(k)
     }
 
-    /// Sign-extends an `n`-bit pattern to `i64`.
+    /// Sign-extends an `n`-bit pattern to `i64` (table-driven when the
+    /// format has a `dp_fixed::lut` table).
+    #[inline]
     fn sext(&self, bits: u32) -> i64 {
-        let n = self.fmt.n();
-        let sh = 64 - n;
-        (((bits as u64) << sh) as i64) >> sh
+        match self.lut {
+            Some(lut) => lut.decode(bits),
+            None => {
+                let n = self.fmt.n();
+                let sh = 64 - n;
+                (((bits as u64) << sh) as i64) >> sh
+            }
+        }
     }
 
     fn clip(&self, v: i128) -> i64 {
@@ -163,7 +177,7 @@ mod tests {
         e.mac(pat(f, 1.5), pat(f, 2.0)); // 3.0
         e.mac(pat(f, 0.25), pat(f, 0.25)); // 0.0625 (needs 2q bits!)
         e.mac(pat(f, -1.0), pat(f, 1.0)); // -1.0
-        // Exact sum = 2.0625; >>q truncates to 2.0625 -> raw 33 = 2.0625
+                                          // Exact sum = 2.0625; >>q truncates to 2.0625 -> raw 33 = 2.0625
         assert_eq!(val(f, e.result()), 2.0625);
         assert_eq!(e.macs_done(), 3);
     }
@@ -244,8 +258,8 @@ mod tests {
                 let sx = |b: u32| (((b as u64) << 56) as i64 >> 56) as i128;
                 reference += sx(w) * sx(a);
             }
-            let expect = (reference >> f.q())
-                .clamp(f.min_raw() as i128, f.max_raw() as i128) as i64;
+            let expect =
+                (reference >> f.q()).clamp(f.min_raw() as i128, f.max_raw() as i128) as i64;
             let got = e.result();
             let sh = 64 - f.n();
             let got_raw = (((got as u64) << sh) as i64) >> sh;

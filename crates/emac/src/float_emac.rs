@@ -1,9 +1,10 @@
 //! The floating-point EMAC (paper Fig. 4).
 
+use crate::acc::Accum;
 use crate::ceil_log2;
 use crate::unit::Emac;
+use dp_minifloat::lut::{DecodeLut, EmacLut};
 use dp_minifloat::{decode, encode, FloatClass, FloatFormat};
-use dp_posit::WideInt;
 
 /// Exact floating-point multiply-and-accumulate.
 ///
@@ -45,7 +46,11 @@ use dp_posit::WideInt;
 pub struct FloatEmac {
     fmt: FloatFormat,
     capacity: u64,
-    acc: WideInt,
+    acc: Accum,
+    /// Decode table for the format, when one exists (`n ≤ 12`).
+    lut: Option<&'static DecodeLut>,
+    /// Fused decode + front-end table driving the one-lookup MAC loop.
+    fast: Option<&'static EmacLut>,
     /// Bit index of weight 2^0: products are multiples of min_subnormal².
     offset: i32,
     count: u64,
@@ -53,20 +58,67 @@ pub struct FloatEmac {
 }
 
 impl FloatEmac {
-    /// Creates a unit for `fmt` sized for `capacity` accumulations.
+    /// Creates a unit for `fmt` sized for `capacity` accumulations, using
+    /// the decode LUT and `i128` accumulator fast paths when the format
+    /// qualifies (every ≤8-bit configuration of the paper does).
     pub fn new(fmt: FloatFormat, capacity: u64) -> Self {
         let capacity = capacity.max(1);
+        Self::build(
+            fmt,
+            capacity,
+            dp_minifloat::lut::cached(fmt),
+            dp_minifloat::lut::emac_cached(fmt),
+            Accum::new(Self::accumulator_width_for(fmt, capacity)),
+        )
+    }
+
+    /// Creates a unit on the pre-LUT reference datapath: bit-field decode
+    /// per MAC and the limb-based `WideInt` register, regardless of
+    /// format width. Kept for differential testing and benchmarking.
+    pub fn new_reference(fmt: FloatFormat, capacity: u64) -> Self {
+        let capacity = capacity.max(1);
+        Self::build(
+            fmt,
+            capacity,
+            None,
+            None,
+            Accum::new_wide(Self::accumulator_width_for(fmt, capacity)),
+        )
+    }
+
+    fn build(
+        fmt: FloatFormat,
+        capacity: u64,
+        lut: Option<&'static DecodeLut>,
+        fast: Option<&'static EmacLut>,
+        acc: Accum,
+    ) -> Self {
         // Smallest product bit: (2^(min_normal_scale - wf))² ; the offset
         // makes that land at register bit 0.
         let offset = 2 * (fmt.min_normal_scale() - fmt.wf() as i32);
-        let width = Self::accumulator_width_for(fmt, capacity) as usize + 64;
         FloatEmac {
             fmt,
             capacity,
-            acc: WideInt::zero(width),
+            acc,
+            lut,
+            fast,
             offset: -offset,
             count: 0,
             poisoned: false,
+        }
+    }
+
+    /// True when this unit runs the fused-LUT + `i128` fast path.
+    pub fn is_fast_path(&self) -> bool {
+        self.fast.is_some() && self.acc.is_small()
+    }
+
+    /// Decode via the table when present, bit fields otherwise.
+    #[inline]
+    fn decode_bits(&self, bits: u32) -> FloatClass {
+        match self.lut {
+            Some(lut) => lut.decode(bits),
+            None => decode(self.fmt, bits),
         }
     }
 
@@ -99,17 +151,46 @@ impl Emac for FloatEmac {
 
     fn set_bias(&mut self, bias: u32) {
         self.reset();
-        match decode(self.fmt, bias) {
+        match self.decode_bits(bias) {
             FloatClass::Zero(_) => {}
             FloatClass::Finite(u) => self.add_value(u.sign, u.scale, u.sig),
             _ => self.poisoned = true,
         }
     }
 
+    #[inline]
     fn mac(&mut self, weight: u32, activation: u32) {
         self.count += 1;
         debug_assert!(self.count <= self.capacity, "float EMAC over capacity");
-        let (ua, ub) = match (decode(self.fmt, weight), decode(self.fmt, activation)) {
+        // Fused fast path: integer significand product, trailing zeros
+        // absorbing subnormal underflow, one shifted i128 add.
+        // Bit-identical to the datapath below (fast_path_equivalence).
+        if let (Some(t), Accum::Small(acc)) = (self.fast, &mut self.acc) {
+            let ew = t.entry(weight);
+            let ea = t.entry(activation);
+            if (ew.0 | ea.0) & dp_minifloat::lut::EmacEntry::SPECIAL_BIT != 0 {
+                self.poisoned = true;
+                return;
+            }
+            let prod = ew.field() * ea.field(); // < 2^(2wf+2) <= 2^20
+            if prod == 0 {
+                return;
+            }
+            let tz = prod.trailing_zeros() as i32;
+            // bias_a + bias_b + tz − 2wf = (scale_a − min) + (scale_b − min)
+            // + tz(prod) ≥ 0: products are multiples of min_subnormal².
+            let shift =
+                ew.biased_scale() as i32 + ea.biased_scale() as i32 + tz - 2 * self.fmt.wf() as i32;
+            debug_assert!(shift >= 0, "float products are multiples of min_sub²");
+            let signed = ((prod >> tz) as i128) << shift;
+            if (ew.0 ^ ea.0) & dp_minifloat::lut::EmacEntry::SIGN_BIT != 0 {
+                *acc -= signed;
+            } else {
+                *acc += signed;
+            }
+            return;
+        }
+        let (ua, ub) = match (self.decode_bits(weight), self.decode_bits(activation)) {
             (FloatClass::NaN, _)
             | (_, FloatClass::NaN)
             | (FloatClass::Inf(_), _)
@@ -133,18 +214,15 @@ impl Emac for FloatEmac {
         if self.poisoned {
             return self.fmt.nan_bits();
         }
-        if self.acc.is_zero() {
-            return self.fmt.zero_bits(false);
-        }
         // Fig. 4 readout: inverse 2's complement, LZD, normalize, round.
-        let sign = self.acc.is_negative();
-        let mag = self.acc.magnitude();
-        let msb = mag.msb_index().expect("nonzero accumulator");
-        let (sig, sticky) = mag.extract_window(msb);
-        let scale = msb as i32 - self.offset;
-        let rounded = encode(self.fmt, sign, scale, sig, sticky);
+        let w = match self.acc.window() {
+            None => return self.fmt.zero_bits(false),
+            Some(w) => w,
+        };
+        let scale = w.msb as i32 - self.offset;
+        let rounded = encode(self.fmt, w.sign, scale, w.sig, w.sticky);
         // Clip at the maximum magnitude: the EMAC never emits infinity.
-        match decode(self.fmt, rounded) {
+        match self.decode_bits(rounded) {
             FloatClass::Inf(s) => self.fmt.max_bits(s),
             _ => rounded,
         }
@@ -207,7 +285,7 @@ mod tests {
         let f = fmt(4, 3);
         let mut e = FloatEmac::new(f, 64);
         let minsub = 0x01u32; // 2^-9
-        // 64 × (minsub × 1.0) = 2^-3
+                              // 64 × (minsub × 1.0) = 2^-3
         let one = from_f64(f, 1.0);
         for _ in 0..64 {
             e.mac(minsub, one);
@@ -263,10 +341,7 @@ mod tests {
             for a in f.finites() {
                 for b in [0x01u32, 0x11, 0x23, f.max_bits(false), f.zero_bits(true)] {
                     let b = b & f.mask();
-                    if !matches!(
-                        decode(f, b),
-                        FloatClass::Finite(_) | FloatClass::Zero(_)
-                    ) {
+                    if !matches!(decode(f, b), FloatClass::Finite(_) | FloatClass::Zero(_)) {
                         continue;
                     }
                     let mut e = FloatEmac::new(f, 1);

@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod acc;
 mod fixed_emac;
 mod float_emac;
 mod posit_emac;
 mod unit;
 
+pub use acc::{Accum, Window, SMALL_ACC_MAX_BITS};
 pub use fixed_emac::FixedEmac;
 pub use float_emac::FloatEmac;
 pub use posit_emac::PositEmac;

@@ -1,8 +1,10 @@
 //! The posit EMAC (paper Fig. 5, Algorithms 1–2).
 
+use crate::acc::Accum;
 use crate::ceil_log2;
 use crate::unit::Emac;
-use dp_posit::{decode, encode, Decoded, PositFormat, WideInt};
+use dp_posit::lut::{DecodeLut, EmacLut};
+use dp_posit::{decode, encode, Decoded, PositFormat};
 
 /// Exact posit multiply-and-accumulate.
 ///
@@ -28,6 +30,23 @@ use dp_posit::{decode, encode, Decoded, PositFormat, WideInt};
 /// Differentially tested against [`dp_posit::Quire`] — an independent
 /// implementation of the same semantics.
 ///
+/// ## Fast paths
+///
+/// Two table/width optimizations make the software model run at MACs/sec
+/// rates resembling the hardware story rather than a bit-by-bit simulator;
+/// both are bit-identical to the reference datapath (enforced by the
+/// `fast_path_equivalence` tests and available directly via
+/// [`PositEmac::new_reference`]):
+///
+/// * **Decode LUT** — for formats up to 12 bits the Algorithm-1 bit-field
+///   extraction is replaced by one lookup in the process-wide
+///   [`dp_posit::lut`] table (the software analogue of template-based
+///   posit multiplication).
+/// * **`i128` accumulator** — whenever the eq.-(4) register fits 127 bits
+///   (true for every 5–8-bit configuration in Table II) the quire-style
+///   register is a native `i128` and each MAC is one shift and one add;
+///   wider formats transparently use the limb-based `WideInt`.
+///
 /// # Examples
 ///
 /// ```
@@ -50,7 +69,11 @@ use dp_posit::{decode, encode, Decoded, PositFormat, WideInt};
 pub struct PositEmac {
     fmt: PositFormat,
     capacity: u64,
-    acc: WideInt,
+    acc: Accum,
+    /// Decode table for the format, when one exists (`n ≤ 12`).
+    lut: Option<&'static DecodeLut>,
+    /// Fused decode + front-end table driving the one-lookup MAC loop.
+    fast: Option<&'static EmacLut>,
     /// `F`: significand width including the hidden bit, `n − 2 − es`.
     fbits: u32,
     /// Algorithm 2's `bias`: `2^(es+1) × (n − 2)` = 2 × max_scale.
@@ -60,28 +83,84 @@ pub struct PositEmac {
 }
 
 impl PositEmac {
-    /// Creates a unit for `fmt` sized for `capacity` accumulations.
+    /// Creates a unit for `fmt` sized for `capacity` accumulations, using
+    /// the decode LUT and `i128` accumulator fast paths when the format
+    /// qualifies.
     ///
     /// # Panics
     ///
     /// Panics if `es > n − 3` (no significand bits: such formats have no
     /// EMAC datapath in the paper).
     pub fn new(fmt: PositFormat, capacity: u64) -> Self {
+        Self::check_format(fmt);
+        let capacity = capacity.max(1);
+        Self::build(
+            fmt,
+            capacity,
+            dp_posit::lut::cached(fmt),
+            dp_posit::lut::emac_cached(fmt),
+            Accum::new(Self::accumulator_width_for(fmt, capacity)),
+        )
+    }
+
+    /// Creates a unit on the pre-LUT reference datapath: Algorithm-1
+    /// bit-field decode per MAC and the limb-based `WideInt` register,
+    /// regardless of format width. Kept for differential testing and for
+    /// benchmarking the fast paths against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `es > n − 3`, as for [`PositEmac::new`].
+    pub fn new_reference(fmt: PositFormat, capacity: u64) -> Self {
+        Self::check_format(fmt);
+        let capacity = capacity.max(1);
+        Self::build(
+            fmt,
+            capacity,
+            None,
+            None,
+            Accum::new_wide(Self::accumulator_width_for(fmt, capacity)),
+        )
+    }
+
+    fn check_format(fmt: PositFormat) {
         assert!(
             fmt.es() <= fmt.n() - 3,
             "posit EMAC requires es <= n-3 (paper datapath)"
         );
-        let capacity = capacity.max(1);
-        let fbits = fmt.n() - 2 - fmt.es();
-        let width = Self::accumulator_width_for(fmt, capacity) as usize + 64;
+    }
+
+    fn build(
+        fmt: PositFormat,
+        capacity: u64,
+        lut: Option<&'static DecodeLut>,
+        fast: Option<&'static EmacLut>,
+        acc: Accum,
+    ) -> Self {
         PositEmac {
             fmt,
             capacity,
-            acc: WideInt::zero(width),
-            fbits,
+            acc,
+            lut,
+            fast,
+            fbits: fmt.n() - 2 - fmt.es(),
             sf_bias: 2 * fmt.max_scale(),
             count: 0,
             nar: false,
+        }
+    }
+
+    /// True when this unit runs the fused-LUT + `i128` fast path.
+    pub fn is_fast_path(&self) -> bool {
+        self.fast.is_some() && self.acc.is_small()
+    }
+
+    /// Decode via the table when present, Algorithm 1 otherwise.
+    #[inline]
+    fn decode_bits(&self, bits: u32) -> Decoded {
+        match self.lut {
+            Some(lut) => lut.decode(bits),
+            None => decode(self.fmt, bits),
         }
     }
 
@@ -125,7 +204,7 @@ impl Emac for PositEmac {
 
     fn set_bias(&mut self, bias: u32) {
         self.reset();
-        match decode(self.fmt, bias) {
+        match self.decode_bits(bias) {
             Decoded::Zero => {}
             Decoded::NaR => self.nar = true,
             Decoded::Finite(u) => {
@@ -139,10 +218,38 @@ impl Emac for PositEmac {
         }
     }
 
+    #[inline]
     fn mac(&mut self, weight: u32, activation: u32) {
         self.count += 1;
         debug_assert!(self.count <= self.capacity, "posit EMAC over capacity");
-        let (uw, ua) = match (decode(self.fmt, weight), decode(self.fmt, activation)) {
+        // Fused fast path: one table word per operand carries the F-bit
+        // significand and the per-operand biased scale, so the whole of
+        // Algorithm 1 + Algorithm 2's front half becomes two loads, one
+        // small multiply and one shifted i128 add. Bit-identical to the
+        // datapath below (fast_path_equivalence tests).
+        if let (Some(t), Accum::Small(acc)) = (self.fast, &mut self.acc) {
+            let ew = t.entry(weight);
+            let ea = t.entry(activation);
+            if (ew.0 | ea.0) & dp_posit::lut::EmacEntry::NAR_BIT != 0 {
+                self.nar = true;
+                return;
+            }
+            let prod = ew.field() * ea.field(); // < 2^(2F) <= 2^20
+            if prod == 0 {
+                return;
+            }
+            // biased_a + biased_b = sf_mult + 2·max_scale = Alg. 2 line 12.
+            let shift = ew.biased_scale() + ea.biased_scale();
+            debug_assert!(shift as u32 + (64 - prod.leading_zeros()) <= 127);
+            let signed = (prod as i128) << shift;
+            if (ew.0 ^ ea.0) & dp_posit::lut::EmacEntry::SIGN_BIT != 0 {
+                *acc -= signed;
+            } else {
+                *acc += signed;
+            }
+            return;
+        }
+        let (uw, ua) = match (self.decode_bits(weight), self.decode_bits(activation)) {
             (Decoded::NaR, _) | (_, Decoded::NaR) => {
                 self.nar = true;
                 return;
@@ -169,17 +276,14 @@ impl Emac for PositEmac {
         if self.nar {
             return self.fmt.nar_bits();
         }
-        if self.acc.is_zero() {
-            return self.fmt.zero_bits();
-        }
         // Fraction & SF extraction (lines 15-19) + convergent rounding.
-        let sign = self.acc.is_negative();
-        let mag = self.acc.magnitude();
-        let msb = mag.msb_index().expect("nonzero accumulator");
-        let (sig, sticky) = mag.extract_window(msb);
+        let w = match self.acc.window() {
+            None => return self.fmt.zero_bits(),
+            Some(w) => w,
+        };
         // Register bit b has weight 2^(b − sf_bias − (2F−2)).
-        let scale = msb as i32 - self.sf_bias - (2 * self.fbits as i32 - 2);
-        encode(self.fmt, sign, scale, sig, sticky)
+        let scale = w.msb as i32 - self.sf_bias - (2 * self.fbits as i32 - 2);
+        encode(self.fmt, w.sign, scale, w.sig, w.sticky)
     }
 
     fn macs_done(&self) -> u64 {
@@ -280,7 +384,16 @@ mod tests {
             state ^= state << 17;
             state
         };
-        for (n, es) in [(5u32, 0u32), (6, 1), (7, 0), (8, 0), (8, 1), (8, 2), (12, 1), (16, 1)] {
+        for (n, es) in [
+            (5u32, 0u32),
+            (6, 1),
+            (7, 0),
+            (8, 0),
+            (8, 1),
+            (8, 2),
+            (12, 1),
+            (16, 1),
+        ] {
             let f = fmt(n, es);
             for _ in 0..300 {
                 let len = (next() % 24 + 1) as usize;

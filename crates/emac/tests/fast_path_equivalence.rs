@@ -1,0 +1,204 @@
+//! The fast paths must be invisible: a fused-LUT + `i128` EMAC and the
+//! pre-LUT reference datapath (Algorithm-1 bit-field decode + `WideInt`
+//! register) must produce bit-identical results on every input — across
+//! random dot products, biases, resets and special values — or the
+//! "optimization" is a silent numerics change.
+
+use dp_emac::{Emac, FixedEmac, FloatEmac, PositEmac};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+#[test]
+fn posit_fast_path_engages_for_paper_formats() {
+    for (n, es) in [(5u32, 0u32), (6, 0), (7, 0), (8, 0), (8, 1), (8, 2)] {
+        let fmt = PositFormat::new(n, es).unwrap();
+        assert!(
+            PositEmac::new(fmt, 128).is_fast_path(),
+            "posit<{n},{es}> must run the fast path at k = 128"
+        );
+        assert!(!PositEmac::new_reference(fmt, 128).is_fast_path());
+    }
+    // Wide format: LUT absent, WideInt register.
+    let wide = PositFormat::new(16, 1).unwrap();
+    assert!(!PositEmac::new(wide, 128).is_fast_path());
+}
+
+#[test]
+fn posit_fast_matches_reference_on_random_dots() {
+    // Every format the paper sweeps plus LUT-but-wide-accumulator (12,2)
+    // and no-LUT (16,1), (24,1) fallbacks.
+    let formats = [
+        (5u32, 0u32),
+        (6, 1),
+        (7, 0),
+        (8, 0),
+        (8, 1),
+        (8, 2),
+        (10, 1),
+        (12, 0),
+        (12, 2),
+        (16, 1),
+        (24, 1),
+    ];
+    let mut next = xorshift(0xdead_beef_1234_5678);
+    for (n, es) in formats {
+        let fmt = PositFormat::new(n, es).unwrap();
+        for round in 0..200 {
+            let len = (next() % 32 + 1) as usize;
+            let mut fast = PositEmac::new(fmt, len as u64);
+            let mut reference = PositEmac::new_reference(fmt, len as u64);
+            if round % 3 == 0 {
+                let bias = (next() as u32) & fmt.mask();
+                fast.set_bias(bias);
+                reference.set_bias(bias);
+            }
+            for _ in 0..len {
+                // Raw patterns, NaR included: poison must propagate
+                // identically through both paths.
+                let w = (next() as u32) & fmt.mask();
+                let a = (next() as u32) & fmt.mask();
+                fast.mac(w, a);
+                reference.mac(w, a);
+            }
+            assert_eq!(
+                fast.result(),
+                reference.result(),
+                "posit<{n},{es}> round {round}"
+            );
+            assert_eq!(fast.macs_done(), reference.macs_done());
+        }
+    }
+}
+
+#[test]
+fn posit_fast_matches_reference_exhaustively_on_single_products() {
+    for es in [0u32, 1, 2] {
+        let fmt = PositFormat::new(8, es).unwrap();
+        for a in fmt.patterns() {
+            for b in [0u32, 1, 0x3f, 0x40, 0x41, 0x7f, 0x80, 0x81, 0xc0, 0xff] {
+                let mut fast = PositEmac::new(fmt, 1);
+                let mut reference = PositEmac::new_reference(fmt, 1);
+                fast.mac(a, b);
+                reference.mac(a, b);
+                assert_eq!(
+                    fast.result(),
+                    reference.result(),
+                    "posit<8,{es}> {a:#x}×{b:#x}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn float_fast_path_engages_for_paper_formats() {
+    for (we, wf) in [(2u32, 2u32), (3, 2), (3, 4), (4, 3), (5, 2)] {
+        let fmt = FloatFormat::new(we, wf).unwrap();
+        assert!(
+            FloatEmac::new(fmt, 128).is_fast_path(),
+            "float<{we},{wf}> must run the fast path at k = 128"
+        );
+        assert!(!FloatEmac::new_reference(fmt, 128).is_fast_path());
+    }
+    let wide = FloatFormat::new(5, 10).unwrap();
+    assert!(!FloatEmac::new(wide, 128).is_fast_path());
+}
+
+#[test]
+fn float_fast_matches_reference_on_random_dots() {
+    let formats = [
+        (2u32, 2u32),
+        (3, 2),
+        (3, 4),
+        (4, 3),
+        (5, 2),
+        (4, 7),
+        (5, 10), // wide: no LUT, WideInt — both constructors must agree
+    ];
+    let mut next = xorshift(0xfeed_cafe_8765_4321);
+    for (we, wf) in formats {
+        let fmt = FloatFormat::new(we, wf).unwrap();
+        for round in 0..200 {
+            let len = (next() % 24 + 1) as usize;
+            let mut fast = FloatEmac::new(fmt, len as u64);
+            let mut reference = FloatEmac::new_reference(fmt, len as u64);
+            if round % 3 == 0 {
+                let bias = (next() as u32) & fmt.mask();
+                fast.set_bias(bias);
+                reference.set_bias(bias);
+            }
+            for _ in 0..len {
+                // Raw patterns: zeros, subnormals, Inf and NaN all
+                // included; poison must propagate identically.
+                let w = (next() as u32) & fmt.mask();
+                let a = (next() as u32) & fmt.mask();
+                fast.mac(w, a);
+                reference.mac(w, a);
+            }
+            assert_eq!(
+                fast.result(),
+                reference.result(),
+                "float<{we},{wf}> round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn float_fast_matches_reference_exhaustively_on_single_products() {
+    let fmt = FloatFormat::new(4, 3).unwrap();
+    for a in fmt.patterns() {
+        for b in [0u32, 1, 0x08, 0x38, 0x77, 0x78, 0x7c, 0x80, 0xff] {
+            let mut fast = FloatEmac::new(fmt, 1);
+            let mut reference = FloatEmac::new_reference(fmt, 1);
+            fast.mac(a, b);
+            reference.mac(a, b);
+            assert_eq!(
+                fast.result(),
+                reference.result(),
+                "float<4,3> {a:#x}×{b:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fixed_lut_sext_matches_arithmetic_sext() {
+    // FixedEmac's table-driven sign extension (n ≤ 12) vs a 16-bit format
+    // on the arithmetic path: both must match the i128 reference model.
+    let mut next = xorshift(0x0bad_f00d_5555_aaaa);
+    for (n, q) in [(5u32, 2u32), (8, 4), (8, 6), (12, 8), (16, 12)] {
+        let fmt = FixedFormat::new(n, q).unwrap();
+        let mask = (1u32 << n) - 1;
+        for _ in 0..200 {
+            let len = (next() % 32 + 1) as usize;
+            let mut emac = FixedEmac::new(fmt, len as u64);
+            let mut reference: i128 = 0;
+            for _ in 0..len {
+                let w = (next() as u32) & mask;
+                let a = (next() as u32) & mask;
+                emac.mac(w, a);
+                let sx = |b: u32| {
+                    let sh = 64 - n;
+                    ((((b as u64) << sh) as i64) >> sh) as i128
+                };
+                reference += sx(w) * sx(a);
+            }
+            let expect = ((reference >> fmt.q()).clamp(fmt.min_raw() as i128, fmt.max_raw() as i128)
+                as u64 as u32)
+                & mask;
+            assert_eq!(emac.result(), expect, "fixed<{n},{q}>");
+        }
+    }
+}

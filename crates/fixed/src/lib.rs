@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod format;
+pub mod lut;
 pub mod value;
 
 pub use format::{FixedFormat, FormatError};

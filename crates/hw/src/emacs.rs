@@ -134,7 +134,7 @@ pub fn float_emac_netlist(fmt: FloatFormat, k: u64, c: Calib) -> Netlist {
     let n = fmt.n();
     let (we, wf) = (fmt.we(), fmt.wf());
     let f = 1 + wf; // significand width with hidden bit
-    // Paper eq. (3) with ceil(log2(max/min)) = 2^we − 2 + wf.
+                    // Paper eq. (3) with ceil(log2(max/min)) = 2^we − 2 + wf.
     let wa = ceil_log2(k) + 2 * ((1u32 << we) - 2 + wf) + 2;
     let prod_w = 2 + 2 * wf;
     let s_decode_mult = Stage::new(
@@ -199,7 +199,7 @@ pub fn posit_emac_netlist(fmt: PositFormat, k: u64, c: Calib) -> Netlist {
     let n = fmt.n();
     let es = fmt.es();
     let f = n - 2 - es; // significand width with hidden bit
-    // Paper eq. (4).
+                        // Paper eq. (4).
     let qs = (1u32 << (es + 2)) * (n - 2) + 2 + ceil_log2(k);
     let sf_w = es + 32 - n.leading_zeros() + 2; // {regime, exp} scale factor
     let prod_w = 2 * f;
@@ -310,7 +310,10 @@ mod tests {
         assert!(nl_fx.fmax_hz() > nl_p.fmax_hz(), "fixed beats posit");
         assert!(nl_fx.luts() < nl_fl.luts());
         assert!(nl_fx.luts() < nl_p.luts());
-        assert!(nl_fx.edp(k) < nl_fl.edp(k), "paper Fig. 7: fixed lowest EDP");
+        assert!(
+            nl_fx.edp(k) < nl_fl.edp(k),
+            "paper Fig. 7: fixed lowest EDP"
+        );
         assert!(nl_fx.edp(k) < nl_p.edp(k));
     }
 

@@ -87,17 +87,29 @@ impl Netlist {
 
     /// Total LUT count (paper Fig. 8's metric).
     pub fn luts(&self) -> u32 {
-        self.stages.iter().flat_map(|s| s.all()).map(|c| c.luts).sum()
+        self.stages
+            .iter()
+            .flat_map(|s| s.all())
+            .map(|c| c.luts)
+            .sum()
     }
 
     /// Total flip-flop count.
     pub fn ffs(&self) -> u32 {
-        self.stages.iter().flat_map(|s| s.all()).map(|c| c.ffs).sum()
+        self.stages
+            .iter()
+            .flat_map(|s| s.all())
+            .map(|c| c.ffs)
+            .sum()
     }
 
     /// Total DSP48 count.
     pub fn dsps(&self) -> u32 {
-        self.stages.iter().flat_map(|s| s.all()).map(|c| c.dsps).sum()
+        self.stages
+            .iter()
+            .flat_map(|s| s.all())
+            .map(|c| c.dsps)
+            .sum()
     }
 
     /// Slowest *streaming* stage's combinational delay (ns).
@@ -219,11 +231,7 @@ mod tests {
             vec![Component::adder(&c, "a", 24)],
             vec![Component::register(&c, "r", 24)],
         );
-        let s3 = Stage::new(
-            "round",
-            vec![Component::comparator(&c, "clip", 8)],
-            vec![],
-        );
+        let s3 = Stage::new("round", vec![Component::comparator(&c, "clip", 8)], vec![]);
         Netlist::new("test".into(), 8, 4.0, vec![s1, s2, s3], c).with_streaming_stages(2)
     }
 

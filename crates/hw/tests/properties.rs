@@ -2,17 +2,16 @@
 //! sweep can produce must be physically sensible and monotone in the
 //! obvious knobs.
 
-use dp_hw::{emac_netlist, plan_accelerator, report, Calib, FormatSpec};
 use dp_fixed::FixedFormat;
+use dp_hw::{emac_netlist, plan_accelerator, report, Calib, FormatSpec};
 use dp_minifloat::FloatFormat;
 use dp_posit::PositFormat;
 use proptest::prelude::*;
 
 fn specs() -> impl Strategy<Value = FormatSpec> {
     prop_oneof![
-        (5u32..=16, 0u32..=2).prop_map(|(n, es)| {
-            FormatSpec::Posit(PositFormat::new(n, es.min(n - 3)).unwrap())
-        }),
+        (5u32..=16, 0u32..=2)
+            .prop_map(|(n, es)| { FormatSpec::Posit(PositFormat::new(n, es.min(n - 3)).unwrap()) }),
         (2u32..=5, 1u32..=10)
             .prop_map(|(we, wf)| FormatSpec::Float(FloatFormat::new(we, wf).unwrap())),
         (4u32..=16, 1u32..=15)

@@ -15,10 +15,16 @@ impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FormatError::ExponentOutOfRange(we) => {
-                write!(f, "float exponent width we={we} outside supported range 2..=8")
+                write!(
+                    f,
+                    "float exponent width we={we} outside supported range 2..=8"
+                )
             }
             FormatError::FractionOutOfRange(wf) => {
-                write!(f, "float fraction width wf={wf} outside supported range 0..=23")
+                write!(
+                    f,
+                    "float fraction width wf={wf} outside supported range 0..=23"
+                )
             }
         }
     }
@@ -196,8 +202,7 @@ impl FloatFormat {
     /// Iterator over every *finite* bit pattern (skips Inf and NaN).
     pub fn finites(self) -> impl Iterator<Item = u32> {
         let top = ((1u32 << self.we) - 1) << self.wf;
-        self.patterns()
-            .filter(move |&b| (b & top) != top)
+        self.patterns().filter(move |&b| (b & top) != top)
     }
 }
 

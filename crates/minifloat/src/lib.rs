@@ -32,6 +32,7 @@
 pub mod codec;
 pub mod convert;
 pub mod format;
+pub mod lut;
 pub mod ops;
 pub mod value;
 

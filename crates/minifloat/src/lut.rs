@@ -1,0 +1,271 @@
+//! Table-driven minifloat decode.
+//!
+//! Mirror of `dp_posit::lut` for the float EMAC: the subnormal-aware
+//! decode of paper Fig. 4 (classification, hidden-bit insertion, exponent
+//! adjustment) is precomputed for all `2^n` patterns of a format when
+//! `n ≤` [`MAX_LUT_WIDTH`], turning the EMAC's per-MAC decode into a
+//! single table lookup. [`cached`] memoizes one table per format for the
+//! life of the process.
+
+use crate::codec::{decode, FloatClass};
+use crate::format::FloatFormat;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Widest format that gets a decode table (`2^12` entries ≤ 64 KiB).
+pub const MAX_LUT_WIDTH: u32 = 12;
+
+/// A precomputed decode table for one minifloat format; entries are
+/// exactly what [`decode`] returns, verified exhaustively in tests.
+///
+/// # Examples
+///
+/// ```
+/// use dp_minifloat::{decode, lut, FloatFormat};
+/// let fmt = FloatFormat::new(4, 3)?;
+/// let lut = lut::cached(fmt).expect("8-bit formats are table-driven");
+/// for bits in fmt.patterns() {
+///     assert_eq!(lut.decode(bits), decode(fmt, bits));
+/// }
+/// # Ok::<(), dp_minifloat::FormatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeLut {
+    fmt: FloatFormat,
+    entries: Vec<FloatClass>,
+}
+
+impl DecodeLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_LUT_WIDTH`].
+    pub fn build(fmt: FloatFormat) -> Option<Self> {
+        if fmt.n() > MAX_LUT_WIDTH {
+            return None;
+        }
+        let entries = fmt.patterns().map(|bits| decode(fmt, bits)).collect();
+        Some(DecodeLut { fmt, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> FloatFormat {
+        self.fmt
+    }
+
+    /// Table-driven decode of the low `n` bits of `bits`; bit-identical to
+    /// [`decode`]`(self.format(), bits)`.
+    #[inline]
+    pub fn decode(&self, bits: u32) -> FloatClass {
+        self.entries[(bits & self.fmt.mask()) as usize]
+    }
+
+    /// Number of table entries (`2^n`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: every format has at least `2^4` patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The process-wide decode table for `fmt`, built on first use, or `None`
+/// for formats wider than [`MAX_LUT_WIDTH`]. Tables are leaked
+/// intentionally (small, finite format space) so hot loops can hold a
+/// `'static` borrow.
+pub fn cached(fmt: FloatFormat) -> Option<&'static DecodeLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static DecodeLut>>> = OnceLock::new();
+    if fmt.n() > MAX_LUT_WIDTH {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("minifloat LUT cache poisoned");
+    Some(
+        map.entry((fmt.we(), fmt.wf()))
+            .or_insert_with(|| Box::leak(Box::new(DecodeLut::build(fmt).expect("width checked")))),
+    )
+}
+
+/// One fused EMAC operand: decode, subnormal normalization and scale
+/// biasing folded into a packed word. Layout:
+///
+/// ```text
+/// bits  0..16   integer significand with the top (hidden/normalized) bit
+///               set — `wf + 1` bits; 0 for zero
+/// bits 16..32   scale − min_normal_scale + wf (non-negative by
+///               construction, subnormals included)
+/// bit  32       sign
+/// bit  33       Inf/NaN flag (poisons the EMAC)
+/// ```
+///
+/// Two operands multiply as `field·field`, an integer whose trailing zeros
+/// absorb the subnormal underflow, positioned at
+/// `bias_a + bias_b + tz − 2·wf` — identical, bit for bit, to the Fig. 4
+/// significand datapath (see `dp_emac::FloatEmac`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmacEntry(pub u64);
+
+impl EmacEntry {
+    /// Bit flagging Inf/NaN.
+    pub const SPECIAL_BIT: u64 = 1 << 33;
+    /// Bit carrying the sign.
+    pub const SIGN_BIT: u64 = 1 << 32;
+
+    /// The `wf + 1`-bit integer significand, 0 for zero/Inf/NaN.
+    #[inline]
+    pub fn field(self) -> u64 {
+        self.0 & 0xffff
+    }
+
+    /// `scale − min_normal_scale + wf` (always non-negative).
+    #[inline]
+    pub fn biased_scale(self) -> u64 {
+        (self.0 >> 16) & 0xffff
+    }
+
+    /// Sign of the operand.
+    #[inline]
+    pub fn sign(self) -> bool {
+        self.0 & Self::SIGN_BIT != 0
+    }
+
+    /// Whether this pattern is Inf or NaN.
+    #[inline]
+    pub fn is_special(self) -> bool {
+        self.0 & Self::SPECIAL_BIT != 0
+    }
+}
+
+/// A fused decode + EMAC-front-end table: one [`EmacEntry`] per pattern.
+#[derive(Debug, Clone)]
+pub struct EmacLut {
+    fmt: FloatFormat,
+    entries: Vec<EmacEntry>,
+}
+
+impl EmacLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_LUT_WIDTH`].
+    pub fn build(fmt: FloatFormat) -> Option<Self> {
+        if fmt.n() > MAX_LUT_WIDTH {
+            return None;
+        }
+        let wf = fmt.wf();
+        let entries = fmt
+            .patterns()
+            .map(|bits| match decode(fmt, bits) {
+                FloatClass::Zero(sign) => EmacEntry(if sign { EmacEntry::SIGN_BIT } else { 0 }),
+                FloatClass::Inf(_) | FloatClass::NaN => EmacEntry(EmacEntry::SPECIAL_BIT),
+                FloatClass::Finite(u) => {
+                    let field = u.sig >> (63 - wf);
+                    let biased = (u.scale - fmt.min_normal_scale() + wf as i32) as u64;
+                    debug_assert!(field < (1 << 16) && biased < (1 << 16));
+                    EmacEntry(field | (biased << 16) | if u.sign { EmacEntry::SIGN_BIT } else { 0 })
+                }
+            })
+            .collect();
+        Some(EmacLut { fmt, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> FloatFormat {
+        self.fmt
+    }
+
+    /// The fused operand for the low `n` bits of `bits`.
+    #[inline]
+    pub fn entry(&self, bits: u32) -> EmacEntry {
+        self.entries[(bits & self.fmt.mask()) as usize]
+    }
+}
+
+/// The process-wide fused EMAC table for `fmt` (leaked like [`cached`]'s
+/// tables), or `None` for formats wider than [`MAX_LUT_WIDTH`].
+pub fn emac_cached(fmt: FloatFormat) -> Option<&'static EmacLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static EmacLut>>> = OnceLock::new();
+    if fmt.n() > MAX_LUT_WIDTH {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("minifloat EMAC LUT cache poisoned");
+    Some(
+        map.entry((fmt.we(), fmt.wf()))
+            .or_insert_with(|| Box::leak(Box::new(EmacLut::build(fmt).expect("width checked")))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_only_up_to_max_width() {
+        assert!(DecodeLut::build(FloatFormat::new(4, 3).unwrap()).is_some());
+        assert!(DecodeLut::build(FloatFormat::new(5, 6).unwrap()).is_some());
+        assert!(DecodeLut::build(FloatFormat::new(5, 10).unwrap()).is_none());
+        assert!(cached(FloatFormat::new(8, 23).unwrap()).is_none());
+        assert!(EmacLut::build(FloatFormat::new(5, 10).unwrap()).is_none());
+        assert!(emac_cached(FloatFormat::new(5, 10).unwrap()).is_none());
+    }
+
+    #[test]
+    fn table_matches_decode_exhaustively() {
+        for (we, wf) in [(2u32, 2u32), (3, 2), (4, 3), (5, 2), (5, 6), (4, 7)] {
+            let fmt = FloatFormat::new(we, wf).unwrap();
+            let lut = DecodeLut::build(fmt).unwrap();
+            assert_eq!(lut.len() as u64, fmt.pattern_count());
+            for bits in fmt.patterns() {
+                assert_eq!(lut.decode(bits), decode(fmt, bits), "{fmt} {bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_returns_the_same_table() {
+        let fmt = FloatFormat::new(3, 2).unwrap();
+        let a = cached(fmt).unwrap();
+        let b = cached(fmt).unwrap();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.format(), fmt);
+        assert!(std::ptr::eq(
+            emac_cached(fmt).unwrap(),
+            emac_cached(fmt).unwrap()
+        ));
+    }
+
+    #[test]
+    fn emac_entries_reconstruct_decode_exhaustively() {
+        for (we, wf) in [(2u32, 2u32), (3, 2), (4, 3), (5, 2), (4, 7)] {
+            let fmt = FloatFormat::new(we, wf).unwrap();
+            let lut = EmacLut::build(fmt).unwrap();
+            for bits in fmt.patterns() {
+                let e = lut.entry(bits);
+                match decode(fmt, bits) {
+                    FloatClass::Zero(sign) => {
+                        assert_eq!(e.field(), 0, "{fmt} {bits:#x}");
+                        assert_eq!(e.sign(), sign);
+                        assert!(!e.is_special());
+                    }
+                    FloatClass::Inf(_) | FloatClass::NaN => {
+                        assert!(e.is_special(), "{fmt} {bits:#x}")
+                    }
+                    FloatClass::Finite(u) => {
+                        assert!(!e.is_special());
+                        assert_eq!(e.sign(), u.sign, "{fmt} {bits:#x}");
+                        assert_eq!(e.field(), u.sig >> (63 - wf), "{fmt} {bits:#x}");
+                        assert!(e.field() >> wf >= 1, "normalized top bit set");
+                        assert_eq!(
+                            e.biased_scale() as i32,
+                            u.scale - fmt.min_normal_scale() + wf as i32,
+                            "{fmt} {bits:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -4,7 +4,9 @@
 //! exact integer intermediate and rounds once, with full IEEE-754 special
 //! value semantics (signed zeros, ±Inf, NaN propagation).
 
-use crate::codec::{decode, encode, encode_inf, encode_nan, encode_zero, FloatClass, FloatUnpacked};
+use crate::codec::{
+    decode, encode, encode_inf, encode_nan, encode_zero, FloatClass, FloatUnpacked,
+};
 use crate::format::FloatFormat;
 use std::cmp::Ordering;
 
@@ -142,7 +144,11 @@ pub fn mul(fmt: FloatFormat, a: u32, b: u32) -> u32 {
     let prod = (ua.sig as u128) * (ub.sig as u128);
     let sign = ua.sign ^ ub.sign;
     let (sig, sticky, scale) = if prod >> 127 == 1 {
-        ((prod >> 64) as u64, prod as u64 != 0, ua.scale + ub.scale + 1)
+        (
+            (prod >> 64) as u64,
+            prod as u64 != 0,
+            ua.scale + ub.scale + 1,
+        )
     } else {
         (
             (prod >> 63) as u64,
@@ -254,7 +260,10 @@ mod tests {
         assert_eq!(decode(f, add(f, inf, ninf)), FloatClass::NaN);
         assert_eq!(decode(f, add(f, nan, x)), FloatClass::NaN);
         // Signed zero rules
-        assert_eq!(add(f, f.zero_bits(true), f.zero_bits(true)), f.zero_bits(true));
+        assert_eq!(
+            add(f, f.zero_bits(true), f.zero_bits(true)),
+            f.zero_bits(true)
+        );
         assert_eq!(add(f, f.zero_bits(true), f.zero_bits(false)), 0);
         assert_eq!(add(f, f.zero_bits(true), x), x);
     }
@@ -301,7 +310,10 @@ mod tests {
         assert_eq!(to_f64(f, div(f, six, two)), 3.0);
         assert_eq!(div(f, six, f.zero_bits(false)), f.inf_bits(false));
         assert_eq!(div(f, six, f.zero_bits(true)), f.inf_bits(true));
-        assert_eq!(decode(f, div(f, f.zero_bits(false), f.zero_bits(true))), FloatClass::NaN);
+        assert_eq!(
+            decode(f, div(f, f.zero_bits(false), f.zero_bits(true))),
+            FloatClass::NaN
+        );
         assert_eq!(div(f, f.zero_bits(true), six), f.zero_bits(true));
         assert_eq!(div(f, six, f.inf_bits(false)), 0);
     }
@@ -325,12 +337,12 @@ mod tests {
         assert_eq!(cmp(f, a, b), Some(Ordering::Greater));
         assert_eq!(cmp(f, b, a), Some(Ordering::Less));
         assert_eq!(cmp(f, a, a), Some(Ordering::Equal));
-        assert_eq!(cmp(f, f.zero_bits(true), f.zero_bits(false)), Some(Ordering::Equal));
-        assert_eq!(cmp(f, encode_nan(f), a), None);
         assert_eq!(
-            cmp(f, f.inf_bits(true), b),
-            Some(Ordering::Less)
+            cmp(f, f.zero_bits(true), f.zero_bits(false)),
+            Some(Ordering::Equal)
         );
+        assert_eq!(cmp(f, encode_nan(f), a), None);
+        assert_eq!(cmp(f, f.inf_bits(true), b), Some(Ordering::Less));
     }
 
     #[test]

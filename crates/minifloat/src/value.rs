@@ -249,9 +249,7 @@ impl<const WE: u32, const WF: u32> FromStr for MiniFloat<WE, WF> {
     type Err = ParseMiniFloatError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let v: f64 = s
-            .parse()
-            .map_err(|_| ParseMiniFloatError(s.to_owned()))?;
+        let v: f64 = s.parse().map_err(|_| ParseMiniFloatError(s.to_owned()))?;
         Ok(Self::from_f64(v))
     }
 }

@@ -10,7 +10,16 @@ use dp_minifloat::{decode, ops, FloatClass, FloatFormat};
 use dp_posit::exact::Dyadic;
 use std::cmp::Ordering;
 
-const FORMATS: &[(u32, u32)] = &[(2, 2), (2, 3), (3, 2), (3, 3), (3, 4), (4, 2), (4, 3), (5, 2)];
+const FORMATS: &[(u32, u32)] = &[
+    (2, 2),
+    (2, 3),
+    (3, 2),
+    (3, 3),
+    (3, 4),
+    (4, 2),
+    (4, 3),
+    (5, 2),
+];
 
 fn fmt(we: u32, wf: u32) -> FloatFormat {
     FloatFormat::new(we, wf).unwrap()
@@ -33,7 +42,8 @@ fn pattern_value(f: FloatFormat, bits: u32) -> f64 {
 
 /// Positive-domain midpoint between adjacent patterns `p` and `p+1`.
 fn midpoint(f: FloatFormat, p: u32) -> Dyadic {
-    let mut m = Dyadic::from_f64(pattern_value(f, p)).add(Dyadic::from_f64(pattern_value(f, p + 1)));
+    let mut m =
+        Dyadic::from_f64(pattern_value(f, p)).add(Dyadic::from_f64(pattern_value(f, p + 1)));
     if !m.is_zero() {
         m.exp -= 1;
     }
@@ -186,11 +196,7 @@ fn div_matches_oracle_exhaustively() {
                     ..Dyadic::from_f64(pattern_value(f, b))
                 };
                 // Sign is always the XOR.
-                assert_eq!(
-                    q >> (f.n() - 1) == 1,
-                    sa ^ sb,
-                    "{f}: {a:#x}/{b:#x} sign"
-                );
+                assert_eq!(q >> (f.n() - 1) == 1, sa ^ sb, "{f}: {a:#x}/{b:#x} sign");
                 let qa = q & (f.mask() >> 1);
                 if qa == f.inf_bits(false) & (f.mask() >> 1) {
                     // Overflowed: |a| must be >= bound × |b| (tie goes up).

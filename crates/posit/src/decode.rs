@@ -72,7 +72,11 @@ pub fn decode(fmt: PositFormat, bits: u32) -> Decoded {
     }
     let sign = (x >> (n - 1)) & 1 == 1;
     // Two's complement of the n-bit field for negative inputs (Alg. 1 line 4).
-    let y = if sign { x.wrapping_neg() & fmt.mask() } else { x };
+    let y = if sign {
+        x.wrapping_neg() & fmt.mask()
+    } else {
+        x
+    };
     // Left-align the n-1 body bits (below the sign) at bit 63. Bits below the
     // body are zero, which matches the zero-extension decode convention.
     let body = (y as u64) << (65 - n);
@@ -85,7 +89,11 @@ pub fn decode(fmt: PositFormat, bits: u32) -> Decoded {
     let consumed = run + 1;
     let rest = if consumed >= 64 { 0 } else { body << consumed };
     let es = fmt.es();
-    let exp = if es == 0 { 0 } else { (rest >> (64 - es)) as i32 };
+    let exp = if es == 0 {
+        0
+    } else {
+        (rest >> (64 - es)) as i32
+    };
     let frac = if es == 0 { rest } else { rest << es };
     let sig = (1u64 << 63) | (frac >> 1);
     let scale = k * (1i32 << es) + exp;
@@ -101,6 +109,9 @@ pub fn regime(fmt: PositFormat, bits: u32) -> Option<i32> {
 }
 
 #[cfg(test)]
+// Binary literals below are grouped by posit field (sign_regime_exp_frac),
+// not by nibble — that is the point of the tests.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
 

@@ -167,9 +167,9 @@ mod tests {
     #[test]
     fn rounding_below_minpos_scale_boundary() {
         let f = fmt(8, 2); // max_scale 24
-        // 1.9 × 2^-24 is within [minpos, 2 minpos); nearest posit is
-        // 2^-24 (0x01) or 2^-20 (0x02). 1.9·2^-24 vs midpoint 8.5·2^-24:
-        // rounds down to minpos.
+                           // 1.9 × 2^-24 is within [minpos, 2 minpos); nearest posit is
+                           // 2^-24 (0x01) or 2^-20 (0x02). 1.9·2^-24 vs midpoint 8.5·2^-24:
+                           // rounds down to minpos.
         let sig = 0xF333_3333_3333_3333u64; // ~1.9 left-aligned
         assert_eq!(encode(f, false, -24, sig, true), 0x01);
         // 9 × 2^-24 = 1.125 × 2^-21, above the midpoint -> rounds to 2^-20.

@@ -33,6 +33,10 @@ pub struct Dyadic {
     pub exp: i32,
 }
 
+// `add`/`mul`/`neg` are deliberately inherent value-semantics methods (the
+// oracle is used in chained expression style); the std operator traits are
+// not implemented to keep the oracle's surface minimal and explicit.
+#[allow(clippy::should_implement_trait)]
 impl Dyadic {
     /// Exact zero.
     pub const ZERO: Dyadic = Dyadic {
@@ -170,8 +174,20 @@ impl Dyadic {
     pub fn cmp_value(self, rhs: Dyadic) -> Ordering {
         match (self.is_zero(), rhs.is_zero()) {
             (true, true) => return Ordering::Equal,
-            (true, false) => return if rhs.sign { Ordering::Greater } else { Ordering::Less },
-            (false, true) => return if self.sign { Ordering::Less } else { Ordering::Greater },
+            (true, false) => {
+                return if rhs.sign {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (false, true) => {
+                return if self.sign {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
             _ => {}
         }
         match (self.sign, rhs.sign) {
@@ -224,8 +240,7 @@ impl Dyadic {
                 lo // exact hit
             } else {
                 // Pattern-space midpoint = the (n+1)-bit posit (2·lo + 1).
-                let wide = PositFormat::new(fmt.n() + 1, fmt.es())
-                    .expect("oracle needs n+1 <= 32");
+                let wide = PositFormat::new(fmt.n() + 1, fmt.es()).expect("oracle needs n+1 <= 32");
                 let boundary = Dyadic::from_posit(wide, 2 * lo + 1);
                 match mag.cmp_value(boundary) {
                     Ordering::Less => lo,

@@ -18,7 +18,10 @@ impl fmt::Display for FormatError {
                 write!(f, "posit width n={n} outside supported range 3..=32")
             }
             FormatError::ExponentOutOfRange(es) => {
-                write!(f, "posit exponent size es={es} outside supported range 0..=6")
+                write!(
+                    f,
+                    "posit exponent size es={es} outside supported range 0..=6"
+                )
             }
         }
     }

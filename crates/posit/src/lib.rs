@@ -61,6 +61,7 @@ pub mod decode;
 pub mod encode;
 pub mod exact;
 pub mod format;
+pub mod lut;
 pub mod neural;
 pub mod ops;
 pub mod quire;

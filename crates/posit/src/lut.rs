@@ -1,0 +1,313 @@
+//! Table-driven posit decode.
+//!
+//! The paper's whole premise is that ≤8-bit EMAC arrays are cheap because
+//! the pattern space is tiny (Fig. 8 counts LUTs per format). The software
+//! analogue — "Template-Based Posit Multiplication" (Murillo & Del Barrio,
+//! 2019) — precomputes per-format tables once so the hot loop becomes a
+//! table lookup instead of re-running Algorithm 1's bit-field extraction
+//! on every multiply-accumulate.
+//!
+//! A [`DecodeLut`] holds the fully decoded [`Decoded`] for all `2^n`
+//! patterns of one format. Formats up to [`MAX_LUT_WIDTH`] bits qualify
+//! (4096 entries × 16 B = 64 KiB worst case); wider formats fall back to
+//! the bit-field [`decode`] path. [`cached`] memoizes one table per format
+//! for the life of the process, so callers share tables across units,
+//! layers and threads.
+
+use crate::decode::{decode, Decoded};
+use crate::format::PositFormat;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Widest format that gets a decode table: `2^12` entries keep every table
+/// at or below 64 KiB, comfortably inside L2 for the ≤8-bit formats the
+/// paper evaluates (whose tables are ≤4 KiB and live in L1).
+pub const MAX_LUT_WIDTH: u32 = 12;
+
+/// A precomputed decode table for one posit format.
+///
+/// Indexing is by the raw bit pattern (masked to the format width); the
+/// entry is exactly what [`decode`] returns for that pattern, so swapping
+/// one for the other is bit-identical by construction — and verified
+/// exhaustively by the `lut_equivalence` test suite.
+///
+/// # Examples
+///
+/// ```
+/// use dp_posit::{decode, lut, PositFormat};
+/// let fmt = PositFormat::new(8, 0)?;
+/// let lut = lut::cached(fmt).expect("8-bit formats are table-driven");
+/// for bits in fmt.patterns() {
+///     assert_eq!(lut.decode(bits), decode(fmt, bits));
+/// }
+/// # Ok::<(), dp_posit::FormatError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecodeLut {
+    fmt: PositFormat,
+    entries: Vec<Decoded>,
+}
+
+impl DecodeLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_LUT_WIDTH`] (table-driven decode would waste cache there).
+    pub fn build(fmt: PositFormat) -> Option<Self> {
+        if fmt.n() > MAX_LUT_WIDTH {
+            return None;
+        }
+        let entries = fmt.patterns().map(|bits| decode(fmt, bits)).collect();
+        Some(DecodeLut { fmt, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// Table-driven decode of the low `n` bits of `bits`; bit-identical to
+    /// [`decode`]`(self.format(), bits)`.
+    #[inline]
+    pub fn decode(&self, bits: u32) -> Decoded {
+        self.entries[(bits & self.fmt.mask()) as usize]
+    }
+
+    /// Number of table entries (`2^n`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: every format has at least `2^3` patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The process-wide decode table for `fmt`, built on first use, or `None`
+/// for formats wider than [`MAX_LUT_WIDTH`].
+///
+/// Tables are leaked intentionally: the format space is small and finite
+/// (at most 70 qualifying `(n, es)` pairs), each table is built once, and
+/// a `'static` borrow lets hot loops hold the table without reference
+/// counting.
+pub fn cached(fmt: PositFormat) -> Option<&'static DecodeLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static DecodeLut>>> = OnceLock::new();
+    if fmt.n() > MAX_LUT_WIDTH {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("posit LUT cache poisoned");
+    Some(
+        map.entry((fmt.n(), fmt.es()))
+            .or_insert_with(|| Box::leak(Box::new(DecodeLut::build(fmt).expect("width checked")))),
+    )
+}
+
+/// One fused EMAC operand: the decode *and* the EMAC front-end folded into
+/// a single packed word, so the multiply-accumulate inner loop is two
+/// loads, one small multiply and one shifted add. Layout:
+///
+/// ```text
+/// bits  0..16   integer significand, hidden bit included (F = n−2−es bits)
+/// bits 16..32   scale + max_scale (non-negative "per-operand bias")
+/// bit  32       sign
+/// bit  33       NaR flag
+/// ```
+///
+/// Zero encodes as the all-clear word (significand 0), so zero operands
+/// fall out of the product test rather than needing their own branch. Two
+/// operands multiply as `field·field × 2^(bias_a + bias_b)` positioned at
+/// `scale_a + scale_b + 2·max_scale` — exactly Algorithm 2's biased scale
+/// factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmacEntry(pub u64);
+
+impl EmacEntry {
+    /// Bit flagging NaR.
+    pub const NAR_BIT: u64 = 1 << 33;
+    /// Bit carrying the sign.
+    pub const SIGN_BIT: u64 = 1 << 32;
+
+    /// The `F`-bit integer significand (hidden bit included), 0 for zero
+    /// and NaR.
+    #[inline]
+    pub fn field(self) -> u64 {
+        self.0 & 0xffff
+    }
+
+    /// `scale + max_scale` (always non-negative).
+    #[inline]
+    pub fn biased_scale(self) -> u64 {
+        (self.0 >> 16) & 0xffff
+    }
+
+    /// Sign of the operand.
+    #[inline]
+    pub fn sign(self) -> bool {
+        self.0 & Self::SIGN_BIT != 0
+    }
+
+    /// Whether this pattern is NaR.
+    #[inline]
+    pub fn is_nar(self) -> bool {
+        self.0 & Self::NAR_BIT != 0
+    }
+}
+
+/// A fused decode + EMAC-front-end table: one [`EmacEntry`] per pattern.
+///
+/// This is the software rendering of template-based posit multiplication:
+/// everything Algorithm 1 (decode) and the first half of Algorithm 2
+/// (significand extraction, scale biasing) compute per MAC is precomputed
+/// per format, once.
+#[derive(Debug, Clone)]
+pub struct EmacLut {
+    fmt: PositFormat,
+    entries: Vec<EmacEntry>,
+}
+
+impl EmacLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_LUT_WIDTH`] or has no significand bits (`es > n − 3`, no EMAC
+    /// datapath in the paper).
+    pub fn build(fmt: PositFormat) -> Option<Self> {
+        if fmt.n() > MAX_LUT_WIDTH || fmt.es() > fmt.n() - 3 {
+            return None;
+        }
+        let fbits = fmt.n() - 2 - fmt.es();
+        let max_scale = fmt.max_scale() as i64;
+        let entries = fmt
+            .patterns()
+            .map(|bits| match decode(fmt, bits) {
+                Decoded::Zero => EmacEntry(0),
+                Decoded::NaR => EmacEntry(EmacEntry::NAR_BIT),
+                Decoded::Finite(u) => {
+                    let field = u.sig >> (64 - fbits);
+                    let biased = (u.scale as i64 + max_scale) as u64;
+                    debug_assert!(field < (1 << 16) && biased < (1 << 16));
+                    EmacEntry(field | (biased << 16) | if u.sign { EmacEntry::SIGN_BIT } else { 0 })
+                }
+            })
+            .collect();
+        Some(EmacLut { fmt, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// The fused operand for the low `n` bits of `bits`.
+    #[inline]
+    pub fn entry(&self, bits: u32) -> EmacEntry {
+        self.entries[(bits & self.fmt.mask()) as usize]
+    }
+}
+
+/// The process-wide fused EMAC table for `fmt` (see [`cached`] for the
+/// leaking rationale), or `None` for wide or significand-free formats.
+pub fn emac_cached(fmt: PositFormat) -> Option<&'static EmacLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static EmacLut>>> = OnceLock::new();
+    if fmt.n() > MAX_LUT_WIDTH || fmt.es() > fmt.n() - 3 {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("posit EMAC LUT cache poisoned");
+    Some(
+        map.entry((fmt.n(), fmt.es()))
+            .or_insert_with(|| Box::leak(Box::new(EmacLut::build(fmt).expect("width checked")))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_only_up_to_max_width() {
+        assert!(DecodeLut::build(PositFormat::new(8, 0).unwrap()).is_some());
+        assert!(DecodeLut::build(PositFormat::new(12, 2).unwrap()).is_some());
+        assert!(DecodeLut::build(PositFormat::new(13, 0).unwrap()).is_none());
+        assert!(cached(PositFormat::new(16, 1).unwrap()).is_none());
+    }
+
+    #[test]
+    fn table_matches_bitfield_decode_exhaustively() {
+        for (n, es) in [
+            (3u32, 0u32),
+            (5, 0),
+            (6, 1),
+            (8, 0),
+            (8, 1),
+            (8, 2),
+            (10, 1),
+            (12, 0),
+        ] {
+            let fmt = PositFormat::new(n, es).unwrap();
+            let lut = DecodeLut::build(fmt).unwrap();
+            assert_eq!(lut.len() as u64, fmt.pattern_count());
+            assert!(!lut.is_empty());
+            for bits in fmt.patterns() {
+                assert_eq!(lut.decode(bits), decode(fmt, bits), "{fmt} {bits:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_masks_to_width() {
+        let fmt = PositFormat::new(8, 1).unwrap();
+        let lut = DecodeLut::build(fmt).unwrap();
+        assert_eq!(lut.decode(0x140), lut.decode(0x40));
+    }
+
+    #[test]
+    fn cached_returns_the_same_table() {
+        let fmt = PositFormat::new(7, 1).unwrap();
+        let a = cached(fmt).unwrap();
+        let b = cached(fmt).unwrap();
+        assert!(std::ptr::eq(a, b), "cache must memoize per format");
+        assert_eq!(a.format(), fmt);
+    }
+
+    #[test]
+    fn emac_entries_reconstruct_decode_exhaustively() {
+        for (n, es) in [(5u32, 0u32), (8, 0), (8, 1), (8, 2), (12, 1)] {
+            let fmt = PositFormat::new(n, es).unwrap();
+            let lut = EmacLut::build(fmt).unwrap();
+            assert_eq!(lut.format(), fmt);
+            let fbits = n - 2 - es;
+            for bits in fmt.patterns() {
+                let e = lut.entry(bits);
+                match decode(fmt, bits) {
+                    Decoded::Zero => assert_eq!(e, EmacEntry(0), "{fmt} {bits:#x}"),
+                    Decoded::NaR => assert!(e.is_nar(), "{fmt} {bits:#x}"),
+                    Decoded::Finite(u) => {
+                        assert!(!e.is_nar());
+                        assert_eq!(e.sign(), u.sign, "{fmt} {bits:#x}");
+                        assert_eq!(e.field(), u.sig >> (64 - fbits), "{fmt} {bits:#x}");
+                        assert_eq!(
+                            e.biased_scale() as i64,
+                            u.scale as i64 + fmt.max_scale() as i64,
+                            "{fmt} {bits:#x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn emac_lut_rejects_unsupported_formats() {
+        assert!(EmacLut::build(PositFormat::new(16, 1).unwrap()).is_none());
+        assert!(EmacLut::build(PositFormat::new(8, 6).unwrap()).is_none());
+        assert!(emac_cached(PositFormat::new(8, 6).unwrap()).is_none());
+        let fmt = PositFormat::new(8, 0).unwrap();
+        assert!(std::ptr::eq(
+            emac_cached(fmt).unwrap(),
+            emac_cached(fmt).unwrap()
+        ));
+    }
+}

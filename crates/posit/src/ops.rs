@@ -159,11 +159,7 @@ pub fn div(fmt: PositFormat, a: u32, b: u32) -> u32 {
         let r2 = r << 1;
         let bit = (r2 >= den) as u128;
         let r3 = r2 - if bit == 1 { den } else { 0 };
-        (
-            ((q << 1) | bit) as u64,
-            ua.scale - ub.scale - 1,
-            r3 != 0,
-        )
+        (((q << 1) | bit) as u64, ua.scale - ub.scale - 1, r3 != 0)
     };
     encode(fmt, sign, scale, sig, sticky)
 }
@@ -390,6 +386,8 @@ mod tests {
         let big = u128::MAX;
         let r = isqrt_u128(big);
         assert!(r * r <= big);
-        assert!(r.checked_add(1).is_none_or(|r1| r1.checked_mul(r1).is_none_or(|sq| sq > big)));
+        assert!(r
+            .checked_add(1)
+            .is_none_or(|r1| r1.checked_mul(r1).is_none_or(|sq| sq > big)));
     }
 }

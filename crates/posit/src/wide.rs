@@ -293,11 +293,7 @@ impl Ord for WideInt {
             (true, false) => Ordering::Less,
             (false, true) => Ordering::Greater,
             // Same sign: two's complement compares like unsigned.
-            _ => self
-                .limbs
-                .iter()
-                .rev()
-                .cmp(other.limbs.iter().rev()),
+            _ => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
         }
     }
 }

@@ -9,7 +9,16 @@
 use dp_posit::exact::Dyadic;
 use dp_posit::{decode, ops, Decoded, PositFormat};
 
-const FORMATS: &[(u32, u32)] = &[(5, 0), (6, 0), (6, 1), (7, 0), (7, 1), (8, 0), (8, 1), (8, 2)];
+const FORMATS: &[(u32, u32)] = &[
+    (5, 0),
+    (6, 0),
+    (6, 1),
+    (7, 0),
+    (7, 1),
+    (8, 0),
+    (8, 1),
+    (8, 2),
+];
 
 fn fmt(n: u32, es: u32) -> PositFormat {
     PositFormat::new(n, es).unwrap()
@@ -92,14 +101,8 @@ fn div_matches_oracle_exhaustively() {
                 // Magnitude domain check.
                 let qa = ops::abs(f, q);
                 let (alo, ahi) = neighbors_mid(f, wide, qa);
-                let mag_a = Dyadic {
-                    sign: false,
-                    ..da
-                };
-                let mag_b = Dyadic {
-                    sign: false,
-                    ..db
-                };
+                let mag_a = Dyadic { sign: false, ..da };
+                let mag_b = Dyadic { sign: false, ..db };
                 // |a/b| must lie in [alo, ahi]; on an exact pattern-space
                 // tie, the even body must have been chosen.
                 if let Some(alo) = alo {
@@ -135,11 +138,7 @@ fn div_matches_oracle_exhaustively() {
 /// For a positive posit body `q`, the pattern-space midpoints to its
 /// neighbours, as exact values ((n+1)-bit posits `2q−1` and `2q+1`).
 /// `None` at the saturation ends (no boundary: everything beyond rounds in).
-fn neighbors_mid(
-    f: PositFormat,
-    wide: PositFormat,
-    q: u32,
-) -> (Option<Dyadic>, Option<Dyadic>) {
+fn neighbors_mid(f: PositFormat, wide: PositFormat, q: u32) -> (Option<Dyadic>, Option<Dyadic>) {
     let lo = if q == f.minpos_bits() {
         None // below minpos everything rounds to minpos
     } else {

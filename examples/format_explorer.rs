@@ -55,20 +55,27 @@ fn main() {
         .reals()
         .filter(|&b| dp_posit::convert::to_f64(p8, b).abs() <= 1.0)
         .count();
-    println!("  posit<8,0>:   {inside_posit:>3} of {}", p8.reals().count());
+    println!(
+        "  posit<8,0>:   {inside_posit:>3} of {}",
+        p8.reals().count()
+    );
     let e4m3 = FloatFormat::new(4, 3).unwrap();
     let inside_float = e4m3
         .finites()
         .filter(|&b| dp_minifloat::convert::to_f64(e4m3, b).abs() <= 1.0)
         .count();
-    println!("  float<8,4,3>: {inside_float:>3} of {}", e4m3.finites().count());
+    println!(
+        "  float<8,4,3>: {inside_float:>3} of {}",
+        e4m3.finites().count()
+    );
     let q4 = FixedFormat::new(8, 4).unwrap();
     let inside_fixed = q4.raws().filter(|&r| q4.to_f64(r).abs() <= 1.0).count();
     println!("  fixed<8,4>:   {inside_fixed:>3} of 256");
 
     // Worst-case decimal error quantizing uniform [0, 1) values.
     println!("\nmax quantization error on a [0,1) grid:");
-    let quantizers: Vec<(&str, Box<dyn Fn(f64) -> f64>)> = vec![
+    type Quantizer = Box<dyn Fn(f64) -> f64>;
+    let quantizers: Vec<(&str, Quantizer)> = vec![
         (
             "posit<8,0>",
             Box::new(move |v| dp_posit::convert::to_f64(p8, dp_posit::convert::from_f64(p8, v))),

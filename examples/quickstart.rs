@@ -14,7 +14,11 @@ fn main() {
     let b = P8E0::from_f64(0.25);
     println!("p8e0: {a} + {b} = {}", a + b);
     println!("p8e0: {a} × {b} = {}", a * b);
-    println!("p8e0: maxpos = {}, minpos = {}", P8E0::MAX, P8E0::MIN_POSITIVE);
+    println!(
+        "p8e0: maxpos = {}, minpos = {}",
+        P8E0::MAX,
+        P8E0::MIN_POSITIVE
+    );
 
     // --- 2. Exact accumulation: the quire ------------------------------
     // maxpos·1 − maxpos·1 + minpos·1 : a rounding MAC loses the minpos.
@@ -43,7 +47,10 @@ fn main() {
     println!("\ntraining the Iris model (quick schedule)...");
     let tasks = paper_tasks(true, 42);
     let iris = &tasks[1];
-    println!("32-bit float test accuracy: {:.1}%", 100.0 * iris.f32_test_accuracy);
+    println!(
+        "32-bit float test accuracy: {:.1}%",
+        100.0 * iris.f32_test_accuracy
+    );
     for format in [
         NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
         NumericFormat::Posit(PositFormat::new(6, 0).unwrap()),

@@ -27,16 +27,31 @@ fn main() {
         .count();
 
     let hw = report(FormatSpec::Posit(fmt), 128, Calib::default());
-    println!("\nDeep Positron streaming pipeline — posit<8,0>, topology {:?}", q.dims());
+    println!(
+        "\nDeep Positron streaming pipeline — posit<8,0>, topology {:?}",
+        q.dims()
+    );
     println!("per-layer occupancy (cycles):   {:?}", layer_cycles(&q));
-    println!("first-inference latency:        {} cycles", rep.first_latency_cycles);
-    println!("steady-state interval:          {} cycles", rep.steady_interval_cycles);
+    println!(
+        "first-inference latency:        {} cycles",
+        rep.first_latency_cycles
+    );
+    println!(
+        "steady-state interval:          {} cycles",
+        rep.steady_interval_cycles
+    );
     println!(
         "total for {} inferences:       {} cycles",
         rep.inferences, rep.total_cycles
     );
-    println!("accuracy (streamed):            {:.1}%", 100.0 * correct as f64 / preds.len() as f64);
-    println!("\nat the synthesis model's Fmax ({:.1} MHz):", hw.fmax_hz / 1e6);
+    println!(
+        "accuracy (streamed):            {:.1}%",
+        100.0 * correct as f64 / preds.len() as f64
+    );
+    println!(
+        "\nat the synthesis model's Fmax ({:.1} MHz):",
+        hw.fmax_hz / 1e6
+    );
     println!(
         "  first-inference latency:      {:.2} µs",
         rep.first_latency_ns(hw.fmax_hz) / 1000.0

@@ -131,8 +131,10 @@ fn float_emac_matches_independent_f64_reference() {
             reference += va * vb; // exact in f64 for these magnitudes
         }
         let got = dp_minifloat::convert::to_f64(fmt, emac.result());
-        let want =
-            dp_minifloat::convert::to_f64(fmt, dp_minifloat::convert::from_f64_saturating(fmt, reference));
+        let want = dp_minifloat::convert::to_f64(
+            fmt,
+            dp_minifloat::convert::from_f64_saturating(fmt, reference),
+        );
         let matches = got == want || (got == 0.0 && want == 0.0);
         assert!(matches, "emac {got} vs reference {want}");
     }

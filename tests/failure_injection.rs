@@ -18,7 +18,7 @@ fn nar_weight_poisons_dependent_neurons_only() {
     let mlp = tiny_net(1);
     let mut q = QuantizedMlp::quantize(&mlp, nf);
     // Inject NaR into neuron 0 of the readout layer only.
-    q.layers[1].weights[0][0] = fmt.nar_bits();
+    q.layers[1].weight_row_mut(0)[0] = fmt.nar_bits();
     let out = q.forward_bits(&[0.5, 0.25, 0.75]);
     assert_eq!(out[0], fmt.nar_bits(), "poisoned neuron yields NaR");
     assert_ne!(out[1], fmt.nar_bits(), "sibling neuron is unaffected");
@@ -30,7 +30,7 @@ fn nar_bias_poisons_via_set_bias_path() {
     let nf = NumericFormat::Posit(fmt);
     let mlp = tiny_net(2);
     let mut q = QuantizedMlp::quantize(&mlp, nf);
-    q.layers[0].biases[2] = fmt.nar_bits();
+    q.layers[0].biases_mut()[2] = fmt.nar_bits();
     let out0 = q.forward_bits(&[0.1, 0.2, 0.3]);
     // Hidden NaR passes ReLU (NaR is not negative) and poisons every
     // readout neuron it feeds.
@@ -65,7 +65,7 @@ fn saturated_weights_still_infer() {
         }
     }
     let q = QuantizedMlp::quantize(&mlp, nf);
-    for row in &q.layers[0].weights {
+    for row in q.layers[0].weight_rows() {
         for &w in row {
             let v = nf.to_f64(w);
             assert!(v.is_finite(), "weights clip, never become Inf");

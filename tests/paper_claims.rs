@@ -88,9 +88,9 @@ fn fig6_posit_dominates_float_at_matched_dynamic_range() {
             .collect();
         for spec in grid.iter().filter(|s| s.family() == Family::Float) {
             let rf = report(*spec, K, calib());
-            let dominated = posits.iter().any(|&(dr, fmax)| {
-                dr >= rf.dynamic_range_log10 && fmax >= rf.fmax_hz
-            });
+            let dominated = posits
+                .iter()
+                .any(|&(dr, fmax)| dr >= rf.dynamic_range_log10 && fmax >= rf.fmax_hz);
             assert!(
                 dominated,
                 "n={n}: no posit dominates {} (DR {:.2}, {:.1} MHz)",
@@ -132,7 +132,10 @@ fn fig7_edp_ordering() {
     for n in 5..=8u32 {
         let edp = |fam: Family| report(representative(n, fam), K, calib()).edp;
         let (fx, fl, po) = (edp(Family::Fixed), edp(Family::Float), edp(Family::Posit));
-        assert!(fx < fl && fx < po, "n={n}: fixed {fx:.2e} fl {fl:.2e} po {po:.2e}");
+        assert!(
+            fx < fl && fx < po,
+            "n={n}: fixed {fx:.2e} fl {fl:.2e} po {po:.2e}"
+        );
         let ratio = (fl / po).max(po / fl);
         assert!(ratio < 10.0, "n={n}: float/posit EDP ratio {ratio}");
     }
@@ -144,7 +147,11 @@ fn fig7_edp_ordering() {
 fn fig8_lut_ordering() {
     for n in 5..=8u32 {
         let luts = |fam: Family| emac_netlist(representative(n, fam), K, calib()).luts();
-        let (fx, fl, po) = (luts(Family::Fixed), luts(Family::Float), luts(Family::Posit));
+        let (fx, fl, po) = (
+            luts(Family::Fixed),
+            luts(Family::Float),
+            luts(Family::Posit),
+        );
         assert!(po > fl, "n={n}: posit {po} vs float {fl}");
         assert!(fl > fx, "n={n}: float {fl} vs fixed {fx}");
         assert!(fx * 3 < po, "n={n}: fixed should be several times smaller");
