@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the software arithmetic substrates: posit vs
 //! minifloat vs fixed vs native f32 add/mul throughput.
 //!
-//! Run with `cargo bench --bench arith_ops`.
+//! Run with `cargo bench --bench arith_ops`. Writes the committed baseline
+//! `BENCH_arith_ops.json` at the repository root (`results/smoke/` under
+//! `--smoke`).
 
-use dp_bench::timing::{measure, render_measurements, Measurement};
+use dp_bench::timing::{measure, out_path, render_measurements, write_json, Measurement};
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
 use dp_posit::PositFormat;
@@ -78,4 +80,14 @@ fn main() {
     }));
 
     println!("{}", render_measurements(&rows));
+
+    let path = out_path("arith_ops");
+    let meta = [
+        ("bench", "arith_ops".to_string()),
+        ("command", "cargo bench --bench arith_ops".to_string()),
+        ("n", N.to_string()),
+        ("note", "elems = scalar add/mul operations".to_string()),
+    ];
+    write_json(&path, &meta, &rows).expect("write BENCH_arith_ops.json");
+    println!("\nwrote {}", path.display());
 }

@@ -7,7 +7,7 @@
 //! baseline `BENCH_emac.json` at the repository root (before = `*_reference`
 //! rows, after = the matching fast rows).
 
-use dp_bench::timing::{measure, render_measurements, write_json, Measurement};
+use dp_bench::timing::{measure, out_path, render_measurements, write_json, Measurement};
 use dp_emac::{Emac, FixedEmac, FloatEmac, PositEmac};
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
@@ -135,7 +135,7 @@ fn main() {
         );
     }
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_emac.json");
+    let path = out_path("emac");
     let meta = [
         ("bench", "emac_throughput".to_string()),
         ("command", "cargo bench --bench emac_throughput".to_string()),
@@ -147,6 +147,6 @@ fn main() {
                 .to_string(),
         ),
     ];
-    write_json(path, &meta, &rows).expect("write BENCH_emac.json");
-    println!("\nwrote {path}");
+    write_json(&path, &meta, &rows).expect("write BENCH_emac.json");
+    println!("\nwrote {}", path.display());
 }

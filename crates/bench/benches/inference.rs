@@ -8,7 +8,7 @@
 
 use deep_positron::train::{train, TrainConfig};
 use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
-use dp_bench::timing::{measure, render_measurements, write_json, Measurement};
+use dp_bench::timing::{measure, out_path, render_measurements, smoke, write_json, Measurement};
 use dp_datasets::iris;
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
@@ -22,7 +22,7 @@ fn main() {
         &mut mlp,
         &split.train,
         TrainConfig {
-            epochs: 60,
+            epochs: if smoke() { 8 } else { 60 },
             batch_size: 8,
             lr: 0.01,
             seed: 42,
@@ -36,7 +36,7 @@ fn main() {
         .features
         .iter()
         .cycle()
-        .take(2000)
+        .take(if smoke() { 96 } else { 2000 })
         .cloned()
         .collect();
     let b = batch.len() as u64;
@@ -99,7 +99,7 @@ fn main() {
         );
     }
 
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_inference.json");
+    let path = out_path("inference");
     let meta = [
         ("bench", "inference".to_string()),
         ("command", "cargo bench --bench inference".to_string()),
@@ -116,6 +116,6 @@ fn main() {
                 .to_string(),
         ),
     ];
-    write_json(path, &meta, &rows).expect("write BENCH_inference.json");
-    println!("\nwrote {path}");
+    write_json(&path, &meta, &rows).expect("write BENCH_inference.json");
+    println!("\nwrote {}", path.display());
 }

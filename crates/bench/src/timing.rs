@@ -18,8 +18,39 @@ use std::fmt::Write as _;
 use std::fs;
 use std::hint::black_box;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Whether this bench run is a **smoke run**: tiny sample budgets, meant
+/// for CI to verify that every bench binary still runs end to end and
+/// emits valid JSON — not to produce meaningful numbers. Enabled by a
+/// `--smoke` argument (`cargo bench --bench X -- --smoke`) or
+/// `DP_BENCH_SMOKE=1` in the environment.
+pub fn smoke() -> bool {
+    static SMOKE: OnceLock<bool> = OnceLock::new();
+    *SMOKE.get_or_init(|| {
+        std::env::args().any(|a| a == "--smoke")
+            || matches!(
+                std::env::var("DP_BENCH_SMOKE").as_deref(),
+                Ok("1") | Ok("true")
+            )
+    })
+}
+
+/// Where a bench should write its JSON baseline: the committed
+/// `BENCH_<name>.json` at the repository root normally, or
+/// `results/smoke/BENCH_<name>.json` (gitignored) under [`smoke`] so CI
+/// smoke runs never dirty the committed baselines.
+pub fn out_path(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if smoke() {
+        root.join("results/smoke")
+            .join(format!("BENCH_{name}.json"))
+    } else {
+        root.join(format!("BENCH_{name}.json"))
+    }
+}
 
 /// One benchmark result.
 #[derive(Debug, Clone)]
@@ -46,15 +77,26 @@ impl Measurement {
 
 /// Target wall-clock time for one timed sample.
 const SAMPLE_NS: u64 = 60_000_000; // 60 ms
+/// One timed sample under [`smoke`]: just prove the workload runs.
+const SMOKE_SAMPLE_NS: u64 = 1_000_000; // 1 ms
 /// Number of timed samples; the median is reported.
 const SAMPLES: usize = 7;
+/// Sample count under [`smoke`].
+const SMOKE_SAMPLES: usize = 3;
 
 /// Times `f`, returning the median ns/iteration; `elems_per_iter` scales
 /// throughput (e.g. the dot-product length when `f` runs one dot product).
+/// Under [`smoke`] the sample budget shrinks ~60× (the numbers are then
+/// only good for "it still runs and reports").
 ///
 /// The closure's return value is passed through [`black_box`] so the
 /// optimizer cannot delete the measured work.
 pub fn measure<R, F: FnMut() -> R>(name: &str, elems_per_iter: u64, mut f: F) -> Measurement {
+    let (sample_ns, n_samples) = if smoke() {
+        (SMOKE_SAMPLE_NS, SMOKE_SAMPLES)
+    } else {
+        (SAMPLE_NS, SAMPLES)
+    };
     // Warm-up and calibration: find an iteration count that fills the
     // sample budget, growing geometrically from 1.
     let mut iters: u64 = 1;
@@ -64,15 +106,15 @@ pub fn measure<R, F: FnMut() -> R>(name: &str, elems_per_iter: u64, mut f: F) ->
             black_box(f());
         }
         let elapsed = t.elapsed().as_nanos() as u64;
-        if elapsed >= SAMPLE_NS / 4 {
+        if elapsed >= sample_ns / 4 {
             // Scale to the sample budget from the measured rate.
             let per_iter = (elapsed / iters).max(1);
-            iters = (SAMPLE_NS / per_iter).clamp(1, 1_000_000_000);
+            iters = (sample_ns / per_iter).clamp(1, 1_000_000_000);
             break;
         }
         iters = iters.saturating_mul(4);
     }
-    let mut samples: Vec<f64> = (0..SAMPLES)
+    let mut samples: Vec<f64> = (0..n_samples)
         .map(|_| {
             let t = Instant::now();
             for _ in 0..iters {
@@ -84,7 +126,7 @@ pub fn measure<R, F: FnMut() -> R>(name: &str, elems_per_iter: u64, mut f: F) ->
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     Measurement {
         name: name.to_string(),
-        ns_per_iter: samples[SAMPLES / 2],
+        ns_per_iter: samples[n_samples / 2],
         elems_per_iter,
     }
 }

@@ -1,0 +1,184 @@
+//! Batch partitioning policy and the scoped-thread fallback engine.
+//!
+//! This module owns the *how many workers, how big a chunk* policy shared
+//! by every dataset-scale entry point, plus the scoped-thread parallel map
+//! the [`crate::quantized::QuantizedMlp`] batch methods fall back to. The
+//! long-lived serving path — a persistent worker pool with a request
+//! queue, completion handles and a multi-format model registry — lives in
+//! the `dp_serve` crate and reuses this module's thread-count policy; the
+//! scoped path here stays alive as the zero-setup fallback and as the
+//! differential baseline the pool is tested against.
+
+use std::sync::Once;
+
+/// The environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "DEEP_POSITRON_THREADS";
+
+/// Result of parsing a [`THREADS_ENV`] override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadOverride {
+    /// Variable absent or empty: use the machine default.
+    Unset,
+    /// A valid explicit worker count (≥ 1).
+    Threads(usize),
+    /// Present but not a positive integer (`0`, junk, overflow): the
+    /// override is rejected and the machine default applies.
+    Invalid,
+}
+
+/// Parses a [`THREADS_ENV`] value. `None` and empty/whitespace strings are
+/// [`ThreadOverride::Unset`]; `0`, non-numeric and overflowing values are
+/// [`ThreadOverride::Invalid`] rather than being silently clamped or
+/// silently ignored.
+pub fn parse_thread_override(raw: Option<&str>) -> ThreadOverride {
+    let Some(raw) = raw else {
+        return ThreadOverride::Unset;
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return ThreadOverride::Unset;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(0) | Err(_) => ThreadOverride::Invalid,
+        Ok(n) => ThreadOverride::Threads(n),
+    }
+}
+
+/// Number of worker threads for batch entry points: a valid
+/// [`THREADS_ENV`] override when set, otherwise the machine's available
+/// parallelism. An invalid override (zero or non-numeric) is rejected with
+/// a one-time warning on stderr and the default is used instead.
+pub fn batch_threads() -> usize {
+    let raw = std::env::var(THREADS_ENV).ok();
+    match parse_thread_override(raw.as_deref()) {
+        ThreadOverride::Threads(n) => n,
+        ThreadOverride::Unset => default_threads(),
+        ThreadOverride::Invalid => {
+            static WARN: Once = Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "warning: {THREADS_ENV}={:?} is not a positive integer; \
+                     falling back to {} worker thread(s)",
+                    raw.unwrap_or_default(),
+                    default_threads()
+                );
+            });
+            default_threads()
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Minimum samples per worker before fanning out: below this, scoped
+/// thread spawn/join overhead (tens of microseconds) exceeds the work of
+/// microsecond-scale inferences, so small batches run on the caller's
+/// thread (still with EMAC reuse). [`THREADS_ENV`] overrides the thread
+/// count but the floor still applies.
+pub const MIN_SAMPLES_PER_THREAD: usize = 32;
+
+/// Maps `f` over `xs` in parallel, preserving order. Samples are split
+/// into one contiguous chunk per thread; each thread builds its scratch
+/// state once with `init` (per-layer EMAC arrays, in practice) and reuses
+/// it across its chunk. Thread count follows [`batch_threads`] capped by
+/// [`MIN_SAMPLES_PER_THREAD`].
+pub fn par_map_with<S, R, I, F>(xs: &[Vec<f32>], init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[f32]) -> R + Sync,
+{
+    let threads = batch_threads()
+        .min(xs.len() / MIN_SAMPLES_PER_THREAD)
+        .max(1);
+    par_map_with_threads(xs, threads, init, f)
+}
+
+/// [`par_map_with`] with an explicit worker count — the policy-free core,
+/// public so the spawn/chunk/merge path can be exercised directly (even on
+/// single-core machines) and so `dp_serve` can differential-test its
+/// persistent pool against the scoped path.
+pub fn par_map_with_threads<S, R, I, F>(xs: &[Vec<f32>], threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[f32]) -> R + Sync,
+{
+    if threads <= 1 || xs.len() <= 1 {
+        let mut state = init();
+        return xs.iter().map(|x| f(&mut state, x)).collect();
+    }
+    let chunk = xs.len().div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(xs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = xs
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    slice.iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("batch worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_positive_integers() {
+        assert_eq!(parse_thread_override(Some("1")), ThreadOverride::Threads(1));
+        assert_eq!(parse_thread_override(Some("4")), ThreadOverride::Threads(4));
+        assert_eq!(
+            parse_thread_override(Some(" 16 ")),
+            ThreadOverride::Threads(16)
+        );
+    }
+
+    #[test]
+    fn parse_treats_missing_and_empty_as_unset() {
+        assert_eq!(parse_thread_override(None), ThreadOverride::Unset);
+        assert_eq!(parse_thread_override(Some("")), ThreadOverride::Unset);
+        assert_eq!(parse_thread_override(Some("   ")), ThreadOverride::Unset);
+    }
+
+    #[test]
+    fn parse_rejects_zero_and_junk() {
+        for bad in ["0", "-1", "two", "4.5", "4t", "99999999999999999999999"] {
+            assert_eq!(
+                parse_thread_override(Some(bad)),
+                ThreadOverride::Invalid,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_threads_is_at_least_one() {
+        // Whatever the environment says, the policy never returns zero.
+        assert!(batch_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_runs_init_per_chunk() {
+        let xs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let out = par_map_with_threads(
+            &xs,
+            3,
+            || 0usize,
+            |calls, x| {
+                *calls += 1;
+                x[0] as usize
+            },
+        );
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

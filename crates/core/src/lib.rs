@@ -8,7 +8,7 @@
 //!
 //! The crate ties the substrates together into the paper's end-to-end flow:
 //!
-//! 1. **Train** a 32-bit float MLP ([`mlp`], [`train`]) — ReLU hidden
+//! 1. **Train** a 32-bit float MLP ([`mlp`], [`train`](mod@train)) — ReLU hidden
 //!    layers, affine readout (paper Fig. 1).
 //! 2. **Quantize** weights/biases/activations into a [`format::NumericFormat`]
 //!    ([`quantized`]).
@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod batch;
 pub mod experiments;
 pub mod format;
 pub mod io;

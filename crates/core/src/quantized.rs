@@ -18,7 +18,17 @@
 //! tables and accumulator sizing are amortized across the batch exactly
 //! the way a hardware EMAC array is amortized across a request stream.
 //! Results are bit-identical to per-sample [`QuantizedMlp::forward_bits`].
+//!
+//! Partitioning policy (thread counts, chunking, the scoped-thread
+//! fallback) lives in [`crate::batch`]; the persistent serving path —
+//! long-lived worker pool, request queue, completion handles and a
+//! multi-format model registry — is the `dp_serve` crate, which drives
+//! the same [`QuantizedMlp::forward_bits_with`] /
+//! [`QuantizedMlp::infer_with`] inner loops and therefore stays
+//! bit-identical too.
 
+pub use crate::batch::batch_threads;
+use crate::batch::par_map_with;
 use crate::format::NumericFormat;
 use crate::mlp::Mlp;
 use crate::tensor::argmax;
@@ -248,9 +258,16 @@ impl QuantizedMlp {
             _ => par_map_with(
                 xs,
                 || self.make_layer_emacs().expect("low-precision format"),
-                |emacs, x| self.argmax_bits(&self.forward_bits_with(emacs, x)),
+                |emacs, x| self.infer_with(emacs, x),
             ),
         }
+    }
+
+    /// [`QuantizedMlp::infer`] with caller-owned EMACs (one per layer, as
+    /// built by [`QuantizedMlp::make_layer_emacs`]) — the classify inner
+    /// loop shared by the batch engine and the `dp_serve` worker pool.
+    pub fn infer_with(&self, emacs: &mut [EmacUnit], x: &[f32]) -> usize {
+        self.argmax_bits(&self.forward_bits_with(emacs, x))
     }
 
     fn argmax_bits(&self, bits: &[u32]) -> usize {
@@ -319,77 +336,10 @@ impl QuantizedMlp {
     }
 }
 
-/// Number of worker threads for batch entry points: the
-/// `DEEP_POSITRON_THREADS` environment variable when set (≥ 1), otherwise
-/// the machine's available parallelism.
-pub fn batch_threads() -> usize {
-    match std::env::var("DEEP_POSITRON_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
-}
-
-/// Minimum samples per worker before fanning out: below this, scoped
-/// thread spawn/join overhead (tens of microseconds) exceeds the work of
-/// microsecond-scale inferences, so small batches run on the caller's
-/// thread (still with EMAC reuse). `DEEP_POSITRON_THREADS` overrides the
-/// thread count but the floor still applies.
-const MIN_SAMPLES_PER_THREAD: usize = 32;
-
-/// Maps `f` over `xs` in parallel, preserving order. Samples are split
-/// into one contiguous chunk per thread; each thread builds its scratch
-/// state once with `init` (per-layer EMAC arrays, in practice) and reuses
-/// it across its chunk.
-fn par_map_with<S, R, I, F>(xs: &[Vec<f32>], init: I, f: F) -> Vec<R>
-where
-    R: Send,
-    I: Fn() -> S + Sync,
-    F: Fn(&mut S, &[f32]) -> R + Sync,
-{
-    let threads = batch_threads()
-        .min(xs.len() / MIN_SAMPLES_PER_THREAD)
-        .max(1);
-    par_map_with_threads(xs, threads, init, f)
-}
-
-/// [`par_map_with`] with an explicit worker count (the policy-free core,
-/// directly unit-tested so the spawn/chunk/merge path is exercised even on
-/// single-core machines).
-fn par_map_with_threads<S, R, I, F>(xs: &[Vec<f32>], threads: usize, init: I, f: F) -> Vec<R>
-where
-    R: Send,
-    I: Fn() -> S + Sync,
-    F: Fn(&mut S, &[f32]) -> R + Sync,
-{
-    if threads <= 1 || xs.len() <= 1 {
-        let mut state = init();
-        return xs.iter().map(|x| f(&mut state, x)).collect();
-    }
-    let chunk = xs.len().div_ceil(threads);
-    let mut out: Vec<R> = Vec::with_capacity(xs.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = xs
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    slice.iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(h.join().expect("batch worker panicked"));
-        }
-    });
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::par_map_with_threads;
     use crate::train::{train, TrainConfig};
     use dp_datasets::iris;
     use dp_fixed::FixedFormat;

@@ -1,6 +1,6 @@
 //! Synthetic Iris: Fisher's three-species flower measurements.
 //!
-//! The real dataset (Fisher 1936, paper ref. [15]) has 150 samples, 4
+//! The real dataset (Fisher 1936, paper ref. \[15\]) has 150 samples, 4
 //! features (sepal length/width, petal length/width in cm) and 3 balanced
 //! classes. The generator draws class-conditional Gaussians with the real
 //! dataset's per-class means and standard deviations, plus a shared latent

@@ -1,6 +1,6 @@
 //! Synthetic Mushroom (Agaricus-Lepiota).
 //!
-//! The real dataset (Schlimmer 1987, paper ref. [16]) has 8124 samples —
+//! The real dataset (Schlimmer 1987, paper ref. \[16\]) has 8124 samples —
 //! 4208 edible (51.8%), 3916 poisonous — described by 22 categorical
 //! attributes that one-hot encode to 117 binary features. Odor is famously
 //! dominant (odor alone classifies ≈ 98.5% correctly; the residue is the

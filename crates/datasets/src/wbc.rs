@@ -1,6 +1,6 @@
 //! Synthetic Wisconsin Diagnostic Breast Cancer (WDBC).
 //!
-//! The real dataset (Street, Wolberg & Mangasarian 1993, paper ref. [14])
+//! The real dataset (Street, Wolberg & Mangasarian 1993, paper ref. \[14\])
 //! has 569 samples — 357 benign, 212 malignant — with 30 features: ten
 //! cell-nucleus measurements, each reported as the per-image **mean**,
 //! **standard error** and **worst** (mean of the three largest values).

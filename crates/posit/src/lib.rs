@@ -19,7 +19,7 @@
 //!
 //! * [`PositFormat`] — a runtime-parameterized format descriptor (any
 //!   `3 ≤ n ≤ 32`, `0 ≤ es ≤ 6`), with correctly rounded (round to nearest,
-//!   ties to even) [`ops`] (add/sub/mul/div/sqrt), [`decode`]/[`encode`] and
+//!   ties to even) [`ops`] (add/sub/mul/div/sqrt), [`decode`](mod@decode)/[`encode`](mod@encode) and
 //!   exact [`convert`] conversions to and from `f64`.
 //! * [`Posit`] — a zero-cost const-generic wrapper (`P8E0`, `P16E1`, ...)
 //!   with standard operator overloads.

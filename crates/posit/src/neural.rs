@@ -1,7 +1,7 @@
 //! Neural-network helpers native to the posit format.
 //!
 //! The posit literature's celebrated "fast sigmoid" (Gustafson & Yonemoto
-//! 2017, §4.1 of paper ref. [10]) exploits the format's structure: for
+//! 2017, §4.1 of paper ref. \[10\]) exploits the format's structure: for
 //! `es = 0` posits, shifting the pattern implements a close rational
 //! approximation of the logistic function with *no arithmetic at all* —
 //! one of the arguments for posits as a DNN-native number system that

@@ -2,7 +2,7 @@
 //!
 //! Every operation computes an exact `(sign, scale, significand, sticky)`
 //! intermediate in integer arithmetic and rounds exactly once through
-//! [`crate::encode`]. NaR propagates; posits never overflow to NaR from
+//! [`crate::encode`](mod@crate::encode). NaR propagates; posits never overflow to NaR from
 //! finite inputs (they saturate at ±maxpos) and never underflow to zero.
 
 use crate::decode::{decode, Decoded, Unpacked};

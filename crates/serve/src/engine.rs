@@ -1,0 +1,348 @@
+//! The serving engine: admission control in front of the worker pool.
+//!
+//! A [`ServeEngine`] owns one long-lived [`WorkerPool`] and one
+//! [`ModelRegistry`], and serves heterogeneous traffic — posit, minifloat
+//! and fixed-point models side by side — from that single pool. Admission
+//! accepts a request (a single sample or a batch against a registered
+//! model), splits large batches into chunks of
+//! [`EngineConfig::chunk_samples`], spreads the chunks round-robin across
+//! the workers' LIFO slots (idle workers steal), and returns a completion
+//! handle immediately. Each chunk job builds the model's per-layer EMAC
+//! array once and reuses it across its samples, so the pool amortizes
+//! EMAC construction exactly like the scoped-thread batch engine — and
+//! because the inner loop is the same
+//! [`QuantizedMlp::forward_bits_with`] / [`QuantizedMlp::infer_with`]
+//! datapath, results are **bit-identical** to per-sample
+//! [`QuantizedMlp::forward_bits`].
+
+use crate::handle::{BatchHandle, JobError, JobHandle};
+use crate::pool::{PoolStats, WorkerPool};
+use crate::registry::{ModelKey, ModelRegistry};
+use deep_positron::{NumericFormat, QuantizedMlp};
+use dp_datasets::Dataset;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Engine sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker thread count (clamped to ≥ 1). Defaults to
+    /// [`deep_positron::batch::batch_threads`] — the machine's available
+    /// parallelism unless `DEEP_POSITRON_THREADS` overrides it.
+    pub workers: usize,
+    /// Samples per chunk job when admission splits a batch (clamped to
+    /// ≥ 1). The default of 64 keeps per-chunk EMAC construction amortized
+    /// (cf. the scoped engine's 32-samples-per-thread spawn floor) while
+    /// still feeding every worker on serving-scale batches.
+    pub chunk_samples: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: deep_positron::batch::batch_threads(),
+            chunk_samples: 64,
+        }
+    }
+}
+
+/// Errors surfaced at admission or completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request named a key with no registered model.
+    UnknownModel(ModelKey),
+    /// The operation is not defined for the model's format (e.g. raw
+    /// EMAC activations of an `F32` baseline model, which has no EMAC
+    /// datapath).
+    UnsupportedFormat(String),
+    /// The engine is shutting down and rejected the submission.
+    ShuttingDown,
+    /// A worker job failed; the failure poisoned only this request.
+    Job(JobError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(key) => write!(f, "no model registered under {key}"),
+            ServeError::UnsupportedFormat(what) => write!(f, "{what}"),
+            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::Job(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<JobError> for ServeError {
+    fn from(e: JobError) -> Self {
+        ServeError::Job(e)
+    }
+}
+
+/// A persistent serving engine: one worker pool, one registry, many
+/// formats.
+#[derive(Debug)]
+pub struct ServeEngine {
+    pool: WorkerPool,
+    registry: Arc<ModelRegistry>,
+    chunk_samples: usize,
+    /// Round-robin cursor for spreading chunks across worker slots.
+    cursor: AtomicUsize,
+}
+
+impl ServeEngine {
+    /// Builds an engine from `config`.
+    pub fn new(config: EngineConfig) -> Self {
+        ServeEngine {
+            pool: WorkerPool::new(config.workers.max(1)),
+            registry: Arc::new(ModelRegistry::new()),
+            chunk_samples: config.chunk_samples.max(1),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Builds an engine with [`EngineConfig::default`] sizing.
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The model registry (register/lookup/unregister models here).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Pool observability counters.
+    pub fn stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn model(&self, key: &ModelKey) -> Result<Arc<QuantizedMlp>, ServeError> {
+        self.registry
+            .get(key)
+            .ok_or_else(|| ServeError::UnknownModel(key.clone()))
+    }
+
+    /// [`ServeEngine::model`] restricted to models with an EMAC datapath
+    /// (raw activations are undefined for the `F32` baseline).
+    fn emac_model(&self, key: &ModelKey) -> Result<Arc<QuantizedMlp>, ServeError> {
+        let model = self.model(key)?;
+        if matches!(model.format, NumericFormat::F32) {
+            return Err(ServeError::UnsupportedFormat(format!(
+                "{key}: raw EMAC activations are undefined for the f32 baseline"
+            )));
+        }
+        Ok(model)
+    }
+
+    /// Splits `xs` into chunk jobs running `per_chunk` on the pool and
+    /// returns the assembling handle.
+    fn dispatch<T, F>(
+        &self,
+        model: Arc<QuantizedMlp>,
+        xs: Vec<Vec<f32>>,
+        per_chunk: F,
+    ) -> Result<BatchHandle<T>, ServeError>
+    where
+        T: Send + 'static,
+        F: Fn(&QuantizedMlp, &[Vec<f32>]) -> Vec<T> + Send + Sync + 'static,
+    {
+        let chunks: Vec<Vec<Vec<f32>>> = split_chunks(xs, self.chunk_samples);
+        let (handle, completer) = BatchHandle::pending(chunks.len());
+        let per_chunk = Arc::new(per_chunk);
+        for (index, chunk) in chunks.into_iter().enumerate() {
+            let model = Arc::clone(&model);
+            let per_chunk = Arc::clone(&per_chunk);
+            let completer = completer.clone();
+            let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+            self.pool
+                .spawn_at(
+                    slot,
+                    Box::new(move || {
+                        // A panic inside the model evaluation poisons only
+                        // this request's handle; re-raising lets the pool
+                        // count it (and keep its worker alive).
+                        match catch_unwind(AssertUnwindSafe(|| per_chunk(&model, &chunk))) {
+                            Ok(part) => completer.complete_chunk(index, Ok(part)),
+                            Err(payload) => {
+                                completer.complete_chunk(index, Err(JobError::Panicked));
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }),
+                )
+                .map_err(|_| ServeError::ShuttingDown)?;
+        }
+        Ok(handle)
+    }
+
+    /// Submits a batch for raw EMAC output activations (bit patterns),
+    /// bit-identical to per-sample [`QuantizedMlp::forward_bits`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for an unregistered key,
+    /// [`ServeError::UnsupportedFormat`] for an `F32` model (no EMAC
+    /// datapath), [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit_forward(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+    ) -> Result<BatchHandle<Vec<u32>>, ServeError> {
+        let model = self.emac_model(key)?;
+        self.dispatch(model, xs, |m, chunk| {
+            let mut emacs = m.make_layer_emacs().expect("low-precision format");
+            chunk
+                .iter()
+                .map(|x| m.forward_bits_with(&mut emacs, x))
+                .collect()
+        })
+    }
+
+    /// Submits a batch for class predictions, identical to per-sample
+    /// [`QuantizedMlp::infer`] (all formats, including the `F32`
+    /// baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for an unregistered key,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit_classify(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+    ) -> Result<BatchHandle<usize>, ServeError> {
+        let model = self.model(key)?;
+        self.dispatch(model, xs, |m, chunk| match m.make_layer_emacs() {
+            Some(mut emacs) => chunk.iter().map(|x| m.infer_with(&mut emacs, x)).collect(),
+            None => chunk.iter().map(|x| m.infer(x)).collect(),
+        })
+    }
+
+    /// Single-sample convenience: [`ServeEngine::submit_forward`] for one
+    /// input, yielding the output activations directly.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit_forward`].
+    pub fn submit_forward_one(
+        &self,
+        key: &ModelKey,
+        x: Vec<f32>,
+    ) -> Result<JobHandle<Vec<u32>>, ServeError> {
+        let model = self.emac_model(key)?;
+        self.submit_job(move || model.forward_bits(&x))
+    }
+
+    /// Single-sample convenience: class prediction for one input.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit_classify`].
+    pub fn submit_classify_one(
+        &self,
+        key: &ModelKey,
+        x: Vec<f32>,
+    ) -> Result<JobHandle<usize>, ServeError> {
+        let model = self.model(key)?;
+        self.submit_job(move || model.infer(&x))
+    }
+
+    /// Runs an arbitrary closure on the pool, returning a handle to its
+    /// value. A panic inside `f` poisons only the returned handle.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit_job<T, F>(&self, f: F) -> Result<JobHandle<T>, ServeError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (handle, completer) = JobHandle::pending();
+        self.pool
+            .spawn(Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(v) => completer.complete(Ok(v)),
+                Err(payload) => {
+                    completer.complete(Err(JobError::Panicked));
+                    std::panic::resume_unwind(payload);
+                }
+            }))
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(handle)
+    }
+
+    /// Classification accuracy of a registered model over a dataset,
+    /// evaluated on the pool (the serving-path counterpart of
+    /// [`QuantizedMlp::accuracy`], with which it agrees exactly).
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::submit_classify`].
+    pub fn accuracy(&self, key: &ModelKey, data: &Dataset) -> Result<f64, ServeError> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let preds = self.submit_classify(key, data.features.clone())?.wait()?;
+        let correct = preds
+            .iter()
+            .zip(&data.labels)
+            .filter(|(p, &y)| **p == y)
+            .count();
+        Ok(correct as f64 / data.len() as f64)
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait_idle(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Graceful shutdown: stops admission, drains every queued and
+    /// in-flight request (their handles complete), joins the workers.
+    /// Dropping the engine does the same.
+    pub fn shutdown(mut self) {
+        self.pool.shutdown();
+    }
+}
+
+/// Splits owned samples into chunks of at most `chunk_samples`, preserving
+/// order.
+fn split_chunks(xs: Vec<Vec<f32>>, chunk_samples: usize) -> Vec<Vec<Vec<f32>>> {
+    let chunk_samples = chunk_samples.max(1);
+    let mut chunks = Vec::with_capacity(xs.len().div_ceil(chunk_samples));
+    let mut rest = xs;
+    while rest.len() > chunk_samples {
+        let tail = rest.split_off(chunk_samples);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    if !rest.is_empty() {
+        chunks.push(rest);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_chunks_preserves_order_and_sizes() {
+        let xs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let chunks = split_chunks(xs.clone(), 4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 4);
+        assert_eq!(chunks[2].len(), 2);
+        let flat: Vec<Vec<f32>> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, xs);
+        assert!(split_chunks(Vec::new(), 4).is_empty());
+        assert_eq!(split_chunks(xs.clone(), 1).len(), 10);
+        assert_eq!(split_chunks(xs, 100).len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # dp-serve — the persistent Deep Positron serving engine
+//!
+//! The paper pitches posit EMACs as a low-precision *deployment* story;
+//! this crate is the deployment half: a long-lived serving engine in front
+//! of the `deep-positron` quantized batch datapath, built for sustained
+//! request streams rather than one-shot batch calls.
+//!
+//! * [`pool`] — a fixed pool of long-lived worker threads around a
+//!   condvar-backed injector queue, with per-worker LIFO slots and work
+//!   stealing, panic-isolated jobs and graceful draining shutdown.
+//! * [`handle`] — completion handles ([`JobHandle`], [`BatchHandle`]):
+//!   submission returns immediately; results are polled or awaited, and a
+//!   panicking job poisons only its own handle.
+//! * [`registry`] — a [`ModelRegistry`] of named
+//!   [`QuantizedMlp`](deep_positron::QuantizedMlp)s keyed
+//!   by name + format descriptor, so one engine serves posit, minifloat
+//!   and fixed-point models side by side.
+//! * [`engine`] — the [`ServeEngine`] admission layer: accepts single
+//!   samples or batches, splits large batches into chunk jobs with
+//!   per-chunk EMAC reuse, and stays **bit-identical** to per-sample
+//!   [`QuantizedMlp::forward_bits`](deep_positron::QuantizedMlp::forward_bits).
+//!
+//! ```no_run
+//! use deep_positron::{NumericFormat, QuantizedMlp};
+//! use dp_posit::PositFormat;
+//! use dp_serve::ServeEngine;
+//!
+//! # fn trained() -> deep_positron::Mlp { unimplemented!() }
+//! let engine = ServeEngine::with_defaults();
+//! let format = NumericFormat::Posit(PositFormat::new(8, 0)?);
+//! let key = engine
+//!     .registry()
+//!     .register("iris", QuantizedMlp::quantize(&trained(), format));
+//! let pending = engine.submit_classify(&key, vec![vec![0.1, 0.2, 0.3, 0.4]])?;
+//! let classes = pending.wait()?;
+//! # let _ = classes;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod handle;
+pub mod pool;
+pub mod registry;
+
+pub use engine::{EngineConfig, ServeEngine, ServeError};
+pub use handle::{BatchHandle, JobError, JobHandle};
+pub use pool::{PoolStats, WorkerPool};
+pub use registry::{ModelKey, ModelRegistry};

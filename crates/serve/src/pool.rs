@@ -1,0 +1,351 @@
+//! The long-lived worker pool: a condvar-backed injector queue plus one
+//! LIFO slot per worker, with work stealing.
+//!
+//! Workers are ordinary `std::thread`s that live for the pool's lifetime,
+//! so a request stream pays thread spawn cost once rather than per batch
+//! (the scoped-thread engine in `deep_positron::batch` remains as the
+//! zero-setup fallback). Scheduling is the classic two-level scheme:
+//!
+//! * the **injector** is a global FIFO that any producer can push to;
+//! * each worker owns a **LIFO slot** — targeted submissions
+//!   ([`WorkerPool::spawn_at`]) land there, the owner pops newest-first
+//!   (its model/EMAC state is still cache-warm), and idle workers steal
+//!   oldest-first from other slots once the injector is dry.
+//!
+//! A panicking job is caught and counted; the worker thread survives and
+//! keeps serving (the `engine` layer additionally poisons the panicked
+//! request's completion handle). Shutdown is graceful: workers drain every
+//! queued job before exiting.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work for the pool.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error returned when submitting to a pool that is shutting down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuttingDown;
+
+impl std::fmt::Display for ShuttingDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool is shutting down")
+    }
+}
+
+impl std::error::Error for ShuttingDown {}
+
+/// Counters exposed for observability and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker thread count.
+    pub workers: usize,
+    /// Jobs executed to completion (including panicked ones).
+    pub jobs_run: u64,
+    /// Jobs whose closure panicked (caught; the worker survived).
+    pub panics: u64,
+}
+
+struct State {
+    injector: VecDeque<Job>,
+    /// Jobs currently sitting in per-worker LIFO slots.
+    queued_local: usize,
+    /// Jobs currently executing on a worker.
+    active: usize,
+    shutdown: bool,
+}
+
+impl State {
+    fn is_drained(&self) -> bool {
+        self.injector.is_empty() && self.queued_local == 0 && self.active == 0
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when work arrives or shutdown flips.
+    work: Condvar,
+    /// Signalled when the pool may have drained.
+    drained: Condvar,
+    /// Per-worker LIFO slots. Lock order: `state` before any slot.
+    slots: Vec<Mutex<Vec<Job>>>,
+    jobs_run: AtomicU64,
+    panics: AtomicU64,
+}
+
+impl Shared {
+    /// Pops the next job for worker `me`: own slot newest-first, then the
+    /// injector, then steal oldest-first from the other slots. Must be
+    /// called with the `state` lock held (`st` is that guard's contents).
+    fn take_job(&self, st: &mut State, me: usize) -> Option<Job> {
+        if st.queued_local > 0 {
+            if let Some(job) = self.slots[me].lock().expect("slot lock").pop() {
+                st.queued_local -= 1;
+                return Some(job);
+            }
+        }
+        if let Some(job) = st.injector.pop_front() {
+            return Some(job);
+        }
+        if st.queued_local > 0 {
+            let n = self.slots.len();
+            for off in 1..n {
+                let victim = (me + off) % n;
+                let mut slot = self.slots[victim].lock().expect("slot lock");
+                if !slot.is_empty() {
+                    let job = slot.remove(0);
+                    st.queued_local -= 1;
+                    return Some(job);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// See the [module docs](self) for the scheduling scheme. Dropping the
+/// pool performs a graceful [`WorkerPool::shutdown`].
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                injector: VecDeque::new(),
+                queued_local: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            jobs_run: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Worker thread count (stable across shutdown).
+    pub fn workers(&self) -> usize {
+        self.shared.slots.len()
+    }
+
+    /// Observability counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.shared.slots.len(),
+            jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
+            panics: self.shared.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submits a job to the global injector queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ShuttingDown`] once [`WorkerPool::shutdown`] has begun.
+    pub fn spawn(&self, job: Job) -> Result<(), ShuttingDown> {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        if st.shutdown {
+            return Err(ShuttingDown);
+        }
+        st.injector.push_back(job);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Submits a job to worker `hint % workers`'s LIFO slot — producers
+    /// spreading a chunked batch round-robin keep each worker on its own
+    /// chunk run (cache-warm model state) while idle workers steal.
+    ///
+    /// # Errors
+    ///
+    /// [`ShuttingDown`] once [`WorkerPool::shutdown`] has begun.
+    pub fn spawn_at(&self, hint: usize, job: Job) -> Result<(), ShuttingDown> {
+        let slot = hint % self.shared.slots.len();
+        let mut st = self.shared.state.lock().expect("pool lock");
+        if st.shutdown {
+            return Err(ShuttingDown);
+        }
+        st.queued_local += 1;
+        self.shared.slots[slot].lock().expect("slot lock").push(job);
+        drop(st);
+        // One waker suffices: whichever worker wakes reaches the job via
+        // its own slot, the injector, or the steal scan.
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until every submitted job has finished executing.
+    pub fn wait_idle(&self) {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        while !st.is_drained() {
+            st = self.shared.drained.wait(st).expect("pool lock");
+        }
+    }
+
+    /// Graceful shutdown: rejects new submissions, lets the workers drain
+    /// every queued and in-flight job, then joins them. Called implicitly
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            if st.shutdown {
+                return;
+            }
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            h.join().expect("pool worker never panics");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = shared.take_job(&mut st, me) {
+                    st.active += 1;
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).expect("pool lock");
+            }
+        };
+        // The job is run outside every lock; a panic is confined to the
+        // job (the engine layer has already arranged for the request's
+        // completion handle to be poisoned).
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            shared.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+        let mut st = shared.state.lock().expect("pool lock");
+        st.active -= 1;
+        if st.is_drained() {
+            shared.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    fn counting_job(counter: &Arc<AtomicUsize>) -> Job {
+        let counter = Arc::clone(counter);
+        Box::new(move || {
+            std::thread::sleep(Duration::from_micros(200));
+            counter.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn executes_injected_and_targeted_jobs() {
+        let pool = WorkerPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..40 {
+            if i % 2 == 0 {
+                pool.spawn(counting_job(&counter)).unwrap();
+            } else {
+                pool.spawn_at(i, counting_job(&counter)).unwrap();
+            }
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+        assert_eq!(pool.stats().jobs_run, 40);
+        assert_eq!(pool.stats().panics, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let mut pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..64 {
+            pool.spawn_at(i, counting_job(&counter)).unwrap();
+        }
+        // Shut down immediately: every queued job must still run.
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        // Submissions after shutdown are rejected.
+        assert_eq!(pool.spawn(counting_job(&counter)), Err(ShuttingDown));
+        assert_eq!(pool.spawn_at(0, counting_job(&counter)), Err(ShuttingDown));
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn panicking_job_leaves_pool_serviceable() {
+        let pool = WorkerPool::new(1);
+        pool.spawn(Box::new(|| panic!("job blows up"))).unwrap();
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.spawn(counting_job(&counter)).unwrap();
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        let stats = pool.stats();
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.jobs_run, 2);
+    }
+
+    #[test]
+    fn stealing_moves_work_off_a_busy_slot() {
+        // All jobs targeted at slot 0; with 4 workers the others must
+        // steal for the batch to finish promptly.
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            pool.spawn_at(0, counting_job(&counter)).unwrap();
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = WorkerPool::new(2);
+        pool.wait_idle();
+        assert_eq!(pool.stats().jobs_run, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The multi-format model registry: named [`QuantizedMlp`] instances one
+//! engine serves side by side.
+//!
+//! Models are keyed by **name + format descriptor** (the format's display
+//! form, e.g. `posit<8,0>`), so the same logical network quantized into
+//! several formats — the paper's posit/minifloat/fixed comparison — can be
+//! registered under one name and addressed per format. Lookups hand out
+//! `Arc` clones, so requests hold the model alive even if it is
+//! unregistered mid-flight.
+
+use deep_positron::QuantizedMlp;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Identifies one registered model: logical name plus format descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    name: String,
+    format: String,
+}
+
+impl ModelKey {
+    /// Builds a key from a name and a format descriptor (the
+    /// `NumericFormat` display form, e.g. `posit<8,0>`, `float<4,3>`,
+    /// `fixed<8,6>`, `float32`).
+    pub fn new(name: impl Into<String>, format: impl Into<String>) -> Self {
+        ModelKey {
+            name: name.into(),
+            format: format.into(),
+        }
+    }
+
+    /// The logical model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The format descriptor.
+    pub fn format(&self) -> &str {
+        &self.format
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.name, self.format)
+    }
+}
+
+/// Thread-safe registry of named quantized models across formats.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<ModelKey, Arc<QuantizedMlp>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `model` under `name`, deriving the format descriptor from
+    /// the model itself. Returns the key; an existing entry under the same
+    /// key is replaced (in-flight requests keep their `Arc`).
+    pub fn register(&self, name: impl Into<String>, model: QuantizedMlp) -> ModelKey {
+        let key = ModelKey::new(name, model.format.to_string());
+        self.models
+            .write()
+            .expect("registry lock")
+            .insert(key.clone(), Arc::new(model));
+        key
+    }
+
+    /// Looks up a model by key.
+    pub fn get(&self, key: &ModelKey) -> Option<Arc<QuantizedMlp>> {
+        self.models.read().expect("registry lock").get(key).cloned()
+    }
+
+    /// All keys registered under a logical name (one per format),
+    /// sorted by format descriptor for determinism.
+    pub fn formats_of(&self, name: &str) -> Vec<ModelKey> {
+        let mut keys: Vec<ModelKey> = self
+            .models
+            .read()
+            .expect("registry lock")
+            .keys()
+            .filter(|k| k.name == name)
+            .cloned()
+            .collect();
+        keys.sort_by(|a, b| a.format.cmp(&b.format));
+        keys
+    }
+
+    /// Every registered key, sorted for determinism.
+    pub fn keys(&self) -> Vec<ModelKey> {
+        let mut keys: Vec<ModelKey> = self
+            .models
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        keys.sort_by(|a, b| (&a.name, &a.format).cmp(&(&b.name, &b.format)));
+        keys
+    }
+
+    /// Removes a model, returning it if present.
+    pub fn remove(&self, key: &ModelKey) -> Option<Arc<QuantizedMlp>> {
+        self.models.write().expect("registry lock").remove(key)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deep_positron::train::{train, TrainConfig};
+    use deep_positron::{Mlp, NumericFormat};
+    use dp_datasets::iris;
+    use dp_posit::PositFormat;
+
+    fn tiny_model(format: NumericFormat) -> QuantizedMlp {
+        let split = iris::load(7).split(50, 7).normalized();
+        let mut mlp = Mlp::new(&[4, 6, 3], 7);
+        train(
+            &mut mlp,
+            &split.train,
+            TrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 0.02,
+                seed: 7,
+            },
+        );
+        QuantizedMlp::quantize(&mlp, format)
+    }
+
+    #[test]
+    fn register_and_lookup_by_name_and_format() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        let p8 = NumericFormat::Posit(PositFormat::new(8, 0).unwrap());
+        let p6 = NumericFormat::Posit(PositFormat::new(6, 0).unwrap());
+        let k8 = reg.register("iris", tiny_model(p8));
+        let k6 = reg.register("iris", tiny_model(p6));
+        assert_eq!(k8, ModelKey::new("iris", "posit<8,0>"));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(&k8).unwrap().format, p8);
+        assert_eq!(reg.get(&k6).unwrap().format, p6);
+        assert_eq!(reg.formats_of("iris"), vec![k6.clone(), k8.clone()]);
+        assert!(reg.formats_of("absent").is_empty());
+        assert!(reg.get(&ModelKey::new("iris", "fixed<8,6>")).is_none());
+    }
+
+    #[test]
+    fn remove_keeps_in_flight_arcs_alive() {
+        let reg = ModelRegistry::new();
+        let key = reg.register(
+            "m",
+            tiny_model(NumericFormat::Posit(PositFormat::new(8, 0).unwrap())),
+        );
+        let held = reg.get(&key).unwrap();
+        assert!(reg.remove(&key).is_some());
+        assert!(reg.get(&key).is_none());
+        // The request-side Arc still works after unregistration.
+        assert_eq!(held.dims(), vec![4, 6, 3]);
+    }
+}

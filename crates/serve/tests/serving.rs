@@ -1,0 +1,238 @@
+//! Integration tests: one persistent engine serving interleaved
+//! posit/minifloat/fixed traffic, bit-identical to per-sample
+//! `forward_bits`, with panic isolation and draining shutdown.
+
+use deep_positron::train::{train, TrainConfig};
+use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+use dp_serve::{EngineConfig, ModelKey, ServeEngine, ServeError};
+
+fn trained_iris() -> (Mlp, dp_datasets::TrainTest) {
+    let split = dp_datasets::iris::load(77).split(50, 77).normalized();
+    let mut mlp = Mlp::new(&[4, 8, 3], 77);
+    train(
+        &mut mlp,
+        &split.train,
+        TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            lr: 0.02,
+            seed: 77,
+        },
+    );
+    (mlp, split)
+}
+
+fn mixed_formats() -> Vec<NumericFormat> {
+    vec![
+        NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+        NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+        NumericFormat::Fixed(FixedFormat::new(8, 5).unwrap()),
+    ]
+}
+
+/// An engine small enough that chunk splitting, slot targeting and
+/// stealing all actually happen on the test workload.
+fn test_engine() -> ServeEngine {
+    ServeEngine::new(EngineConfig {
+        workers: 4,
+        chunk_samples: 8,
+    })
+}
+
+#[test]
+fn mixed_format_traffic_is_bit_identical_to_forward_bits() {
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let keys: Vec<(ModelKey, QuantizedMlp)> = mixed_formats()
+        .into_iter()
+        .map(|fmt| {
+            let q = QuantizedMlp::quantize(&mlp, fmt);
+            (engine.registry().register("iris", q.clone()), q)
+        })
+        .collect();
+    assert_eq!(engine.registry().len(), 3);
+    assert_eq!(engine.registry().formats_of("iris").len(), 3);
+
+    // 60 samples per format, admitted as one interleaved burst so the
+    // three formats genuinely share the pool.
+    let xs: Vec<Vec<f32>> = split
+        .test
+        .features
+        .iter()
+        .cycle()
+        .take(60)
+        .cloned()
+        .collect();
+    let pending: Vec<_> = keys
+        .iter()
+        .map(|(key, _)| engine.submit_forward(key, xs.clone()).unwrap())
+        .collect();
+    let classify: Vec<_> = keys
+        .iter()
+        .map(|(key, _)| engine.submit_classify(key, xs.clone()).unwrap())
+        .collect();
+
+    for (((key, q), forward), classes) in keys.iter().zip(pending).zip(classify) {
+        let served = forward.wait().unwrap();
+        let direct: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+        assert_eq!(served, direct, "{key}: bits diverged from forward_bits");
+        let served_classes = classes.wait().unwrap();
+        let direct_classes: Vec<usize> = xs.iter().map(|x| q.infer(x)).collect();
+        assert_eq!(served_classes, direct_classes, "{key}: classes diverged");
+    }
+    assert!(engine.stats().jobs_run >= 3 * 2 * (60 / 8) as u64);
+    assert_eq!(engine.stats().panics, 0);
+}
+
+#[test]
+fn single_sample_requests_match_batch_path() {
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q.clone());
+    let x = split.test.features[3].clone();
+    let bits = engine
+        .submit_forward_one(&key, x.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(bits, q.forward_bits(&x));
+    let class = engine
+        .submit_classify_one(&key, x.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(class, q.infer(&x));
+}
+
+#[test]
+fn engine_accuracy_matches_batch_accuracy() {
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    for fmt in mixed_formats() {
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        let key = engine.registry().register("iris", q.clone());
+        assert_eq!(
+            engine.accuracy(&key, &split.test).unwrap(),
+            q.accuracy(&split.test),
+            "{key}"
+        );
+    }
+    // F32 baseline classifies through the engine too.
+    let f32_model = QuantizedMlp::quantize(&mlp, NumericFormat::F32);
+    let key = engine.registry().register("iris", f32_model.clone());
+    assert_eq!(
+        engine.accuracy(&key, &split.test).unwrap(),
+        f32_model.accuracy(&split.test)
+    );
+}
+
+#[test]
+fn admission_errors_are_reported() {
+    let (mlp, _) = trained_iris();
+    let engine = test_engine();
+    let missing = ModelKey::new("ghost", "posit<8,0>");
+    assert!(matches!(
+        engine.submit_classify(&missing, vec![vec![0.0; 4]]),
+        Err(ServeError::UnknownModel(_))
+    ));
+    // Raw EMAC activations are undefined for the f32 baseline.
+    let key = engine
+        .registry()
+        .register("iris", QuantizedMlp::quantize(&mlp, NumericFormat::F32));
+    assert!(matches!(
+        engine.submit_forward(&key, vec![vec![0.0; 4]]),
+        Err(ServeError::UnsupportedFormat(_))
+    ));
+    assert!(matches!(
+        engine.submit_forward_one(&key, vec![0.0; 4]),
+        Err(ServeError::UnsupportedFormat(_))
+    ));
+}
+
+#[test]
+fn panicking_job_poisons_only_its_own_handle() {
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q.clone());
+
+    let poisoned = engine
+        .submit_job::<usize, _>(|| panic!("model evaluation blows up"))
+        .unwrap();
+    let healthy = engine
+        .submit_classify(&key, split.test.features.clone())
+        .unwrap();
+
+    assert_eq!(poisoned.wait(), Err(dp_serve::JobError::Panicked));
+    // The concurrent request and the engine itself are unaffected.
+    let preds = healthy.wait().unwrap();
+    assert_eq!(preds.len(), split.test.len());
+    // Handles complete before the worker's unwind finishes; wait_idle
+    // synchronizes with the pool counters.
+    engine.wait_idle();
+    assert_eq!(engine.stats().panics, 1);
+    let again = engine
+        .submit_classify_one(&key, split.test.features[0].clone())
+        .unwrap();
+    assert_eq!(again.wait().unwrap(), q.infer(&split.test.features[0]));
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (mlp, split) = trained_iris();
+    let engine = ServeEngine::new(EngineConfig {
+        workers: 2,
+        chunk_samples: 4,
+    });
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q.clone());
+    let xs: Vec<Vec<f32>> = split
+        .test
+        .features
+        .iter()
+        .cycle()
+        .take(200)
+        .cloned()
+        .collect();
+    let handles: Vec<_> = (0..4)
+        .map(|_| engine.submit_forward(&key, xs.clone()).unwrap())
+        .collect();
+    // Shut down immediately: every admitted request must still complete.
+    engine.shutdown();
+    let direct: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+    for h in handles {
+        assert_eq!(h.wait().unwrap(), direct);
+    }
+}
+
+#[test]
+fn poll_transitions_from_pending_to_ready() {
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q);
+    let handle = engine
+        .submit_classify(&key, split.test.features.clone())
+        .unwrap();
+    engine.wait_idle();
+    assert!(handle.is_done());
+    let polled = handle.poll().expect("done after wait_idle");
+    assert_eq!(polled.unwrap().len(), split.test.len());
+    // Taken exactly once.
+    assert!(handle.poll().is_none());
+}
+
+#[test]
+fn empty_batch_completes_immediately() {
+    let (mlp, _) = trained_iris();
+    let engine = test_engine();
+    let key = engine
+        .registry()
+        .register("iris", QuantizedMlp::quantize(&mlp, mixed_formats()[0]));
+    let handle = engine.submit_forward(&key, Vec::new()).unwrap();
+    assert_eq!(handle.wait().unwrap(), Vec::<Vec<u32>>::new());
+}
