@@ -47,6 +47,23 @@ fn main() {
         acc
     }));
 
+    let p16 = PositFormat::new(16, 1).unwrap();
+    let ops_p16 = operand_patterns(p16.mask(), p16.nar_bits());
+    rows.push(measure("posit16_mul", N as u64, || {
+        let mut acc = 0u32;
+        for &(x, y) in &ops_p16 {
+            acc ^= dp_posit::ops::mul(p16, black_box(x), black_box(y));
+        }
+        acc
+    }));
+    rows.push(measure("posit16_add", N as u64, || {
+        let mut acc = 0u32;
+        for &(x, y) in &ops_p16 {
+            acc ^= dp_posit::ops::add(p16, black_box(x), black_box(y));
+        }
+        acc
+    }));
+
     let e4m3 = FloatFormat::new(4, 3).unwrap();
     let ops_f = operand_patterns(e4m3.mask(), e4m3.nan_bits());
     rows.push(measure("minifloat8_mul", N as u64, || {
@@ -57,12 +74,32 @@ fn main() {
         acc
     }));
 
+    let f16 = FloatFormat::new(5, 10).unwrap();
+    let ops_f16 = operand_patterns(f16.mask(), f16.nan_bits());
+    rows.push(measure("minifloat16_mul", N as u64, || {
+        let mut acc = 0u32;
+        for &(x, y) in &ops_f16 {
+            acc ^= dp_minifloat::ops::mul(f16, black_box(x), black_box(y));
+        }
+        acc
+    }));
+
     let q84 = FixedFormat::new(8, 4).unwrap();
     rows.push(measure("fixed8_mul", N as u64, || {
         let mut acc = 0i64;
         for &(x, y) in &ops_p {
             let (xa, ya) = (x as i64 - 128, y as i64 - 128);
             acc ^= q84.mul_round(black_box(xa), black_box(ya));
+        }
+        acc
+    }));
+
+    let q168 = FixedFormat::new(16, 8).unwrap();
+    rows.push(measure("fixed16_mul", N as u64, || {
+        let mut acc = 0i64;
+        for &(x, y) in &ops_p16 {
+            let (xa, ya) = (x as i64 - 32768, y as i64 - 32768);
+            acc ^= q168.mul_round(black_box(xa), black_box(ya));
         }
         acc
     }));

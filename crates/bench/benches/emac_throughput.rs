@@ -1,7 +1,7 @@
 //! EMAC software-model throughput: exact MACs per second for each format
-//! family, fast path (decode LUT + `i128` accumulator) vs the pre-LUT
-//! reference datapath (Algorithm-1 bit-field decode + `WideInt`), plus the
-//! quire.
+//! family, fast path (decode LUT or 13–16-bit split table + native
+//! `i128`/256-bit accumulator) vs the pre-LUT reference datapath
+//! (Algorithm-1 bit-field decode + `WideInt`), plus the quire.
 //!
 //! Run with `cargo bench --bench emac_throughput`. Writes the committed
 //! baseline `BENCH_emac.json` at the repository root (before = `*_reference`
@@ -74,47 +74,53 @@ fn main() {
     for es in [0u32, 1, 2] {
         bench_posit(&mut rows, 8, es);
     }
-    // A wide format: no LUT, WideInt register — fast and reference paths
-    // should coincide, proving the fallback did not regress.
-    bench_posit(&mut rows, 16, 1);
+    // The §IV sweep's 16-bit formats: split-table decode + native
+    // (i128 / 256-bit) accumulator vs the bit-field + WideInt reference.
+    for es in [0u32, 1, 2] {
+        bench_posit(&mut rows, 16, es);
+    }
+    // Past the split ceiling: no table, WideInt register — fast and
+    // reference paths should roughly coincide, proving the fallback did
+    // not regress.
+    bench_posit(&mut rows, 17, 1);
 
-    let ffmt = FloatFormat::new(4, 3).unwrap();
-    let fv = patterns(ffmt.mask(), ffmt.nan_bits());
-    let mut ffast = FloatEmac::new(ffmt, K as u64);
-    rows.push(measure(
-        &format!("float8e4m3_emac_dot{K}"),
-        K as u64,
-        || {
+    for (label, we, wf) in [("float8e4m3", 4u32, 3u32), ("float16e5m10", 5, 10)] {
+        let ffmt = FloatFormat::new(we, wf).unwrap();
+        let fv = patterns(ffmt.mask(), ffmt.nan_bits());
+        let mut ffast = FloatEmac::new(ffmt, K as u64);
+        rows.push(measure(&format!("{label}_emac_dot{K}"), K as u64, || {
             ffast.reset();
             for &(x, y) in &fv {
                 ffast.mac(black_box(x), black_box(y));
             }
             ffast.result()
-        },
-    ));
-    let mut fref = FloatEmac::new_reference(ffmt, K as u64);
-    rows.push(measure(
-        &format!("float8e4m3_emac_dot{K}_reference"),
-        K as u64,
-        || {
-            fref.reset();
-            for &(x, y) in &fv {
-                fref.mac(black_box(x), black_box(y));
-            }
-            fref.result()
-        },
-    ));
+        }));
+        let mut fref = FloatEmac::new_reference(ffmt, K as u64);
+        rows.push(measure(
+            &format!("{label}_emac_dot{K}_reference"),
+            K as u64,
+            || {
+                fref.reset();
+                for &(x, y) in &fv {
+                    fref.mac(black_box(x), black_box(y));
+                }
+                fref.result()
+            },
+        ));
+    }
 
-    let xfmt = FixedFormat::new(8, 6).unwrap();
-    let xv = patterns(0xff, 0x100);
-    let mut xe = FixedEmac::new(xfmt, K as u64);
-    rows.push(measure(&format!("fixed8q6_emac_dot{K}"), K as u64, || {
-        xe.reset();
-        for &(x, y) in &xv {
-            xe.mac(black_box(x), black_box(y));
-        }
-        xe.result()
-    }));
+    for (label, n, q) in [("fixed8q6", 8u32, 6u32), ("fixed16q8", 16, 8)] {
+        let xfmt = FixedFormat::new(n, q).unwrap();
+        let xv = patterns((1u32 << n) - 1, 1 << n);
+        let mut xe = FixedEmac::new(xfmt, K as u64);
+        rows.push(measure(&format!("{label}_emac_dot{K}"), K as u64, || {
+            xe.reset();
+            for &(x, y) in &xv {
+                xe.mac(black_box(x), black_box(y));
+            }
+            xe.result()
+        }));
+    }
 
     println!("{}", render_measurements(&rows));
 
@@ -124,8 +130,12 @@ fn main() {
         "posit8e0",
         "posit8e1",
         "posit8e2",
+        "posit16e0",
         "posit16e1",
+        "posit16e2",
+        "posit17e1",
         "float8e4m3",
+        "float16e5m10",
     ] {
         let fast = find(&format!("{label}_emac_dot{K}"));
         let reference = find(&format!("{label}_emac_dot{K}_reference"));
@@ -143,7 +153,8 @@ fn main() {
         (
             "note",
             "elems = MACs; *_reference rows are the pre-LUT bit-field + WideInt datapath (before), \
-             matching rows without the suffix are the LUT + i128 fast path (after)"
+             matching rows without the suffix are the fast path (after): monolithic LUT at <= 12 \
+             bits, split regime-prefix table at 13-16 bits, i128/256-bit native accumulators"
                 .to_string(),
         ),
     ];

@@ -61,7 +61,11 @@ fn main() {
         .iter()
         .map(|(name, fmt)| {
             let q = QuantizedMlp::quantize(&mlp, *fmt);
-            (*name, engine.registry().register("iris", q.clone()), q)
+            let key = engine
+                .registry()
+                .register("iris", q.clone())
+                .expect("bench formats have EMAC datapaths");
+            (*name, key, q)
         })
         .collect();
 

@@ -1,6 +1,6 @@
 //! The format-erased numeric type the quantized network runs on.
 
-use dp_emac::{EmacUnit, FixedEmac, FloatEmac, PositEmac};
+use dp_emac::{EmacUnit, FixedEmac, FloatEmac, PositEmac, UnsupportedFormat};
 use dp_fixed::FixedFormat;
 use dp_hw::FormatSpec;
 use dp_minifloat::FloatFormat;
@@ -99,12 +99,32 @@ impl NumericFormat {
 
     /// An exact multiply-and-accumulate unit for `k`-element dot products,
     /// or `None` for the `F32` baseline (which uses plain float math).
+    ///
+    /// # Panics
+    ///
+    /// Panics for low-precision formats without an EMAC datapath (e.g. a
+    /// posit with `es > n − 3`); use [`NumericFormat::try_make_emac`] when
+    /// the format comes from an untrusted caller.
     pub fn make_emac(&self, k: u64) -> Option<EmacUnit> {
+        self.try_make_emac(k)
+            .expect("format has no EMAC datapath (see try_make_emac)")
+    }
+
+    /// [`NumericFormat::make_emac`] with a typed error instead of a panic
+    /// for formats without an EMAC datapath — `Ok(None)` is the `F32`
+    /// baseline, `Err` a low-precision format the EMACs cannot serve
+    /// (posit `es > n − 3`, fixed eq.-(3) register past `i128`). Serving
+    /// registries validate with this before accepting a model.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedFormat`] describing why the datapath is missing.
+    pub fn try_make_emac(&self, k: u64) -> Result<Option<EmacUnit>, UnsupportedFormat> {
         match self {
-            NumericFormat::F32 => None,
-            NumericFormat::Posit(f) => Some(EmacUnit::Posit(PositEmac::new(*f, k))),
-            NumericFormat::Float(f) => Some(EmacUnit::Float(FloatEmac::new(*f, k))),
-            NumericFormat::Fixed(f) => Some(EmacUnit::Fixed(FixedEmac::new(*f, k))),
+            NumericFormat::F32 => Ok(None),
+            NumericFormat::Posit(f) => Ok(Some(EmacUnit::Posit(PositEmac::try_new(*f, k)?))),
+            NumericFormat::Float(f) => Ok(Some(EmacUnit::Float(FloatEmac::try_new(*f, k)?))),
+            NumericFormat::Fixed(f) => Ok(Some(EmacUnit::Fixed(FixedEmac::try_new(*f, k)?))),
         }
     }
 
@@ -222,6 +242,32 @@ mod tests {
             assert!(fmt.spec().is_some());
         }
         assert!(NumericFormat::F32.spec().is_none());
+    }
+
+    #[test]
+    fn try_make_emac_rejects_datapathless_formats_without_panicking() {
+        // posit<8,6> has no significand bits: es > n − 3.
+        let bad = NumericFormat::Posit(PositFormat::new(8, 6).unwrap());
+        let err = bad.try_make_emac(8).unwrap_err();
+        assert!(err.reason().contains("es <= n-3"), "{err}");
+        // The baseline is Ok(None), supported formats Ok(Some).
+        assert!(NumericFormat::F32.try_make_emac(8).unwrap().is_none());
+        for fmt in formats().into_iter().skip(1) {
+            assert!(fmt.try_make_emac(8).unwrap().is_some(), "{fmt}");
+        }
+        // 16-bit formats are supported across all three families.
+        assert!(NumericFormat::Posit(PositFormat::new(16, 1).unwrap())
+            .try_make_emac(128)
+            .unwrap()
+            .is_some());
+        assert!(NumericFormat::Float(FloatFormat::new(5, 10).unwrap())
+            .try_make_emac(128)
+            .unwrap()
+            .is_some());
+        assert!(NumericFormat::Fixed(FixedFormat::new(16, 8).unwrap())
+            .try_make_emac(128)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

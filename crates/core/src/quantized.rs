@@ -175,11 +175,42 @@ impl QuantizedMlp {
     /// One EMAC per layer, sized for that layer's fan-in, or `None` for
     /// the `F32` baseline. Batch callers build this once per thread and
     /// reuse it across samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the format has no EMAC datapath (e.g. a posit with
+    /// `es > n − 3`); registries and other untrusted entry points should
+    /// gate on [`QuantizedMlp::try_make_layer_emacs`] first.
     pub fn make_layer_emacs(&self) -> Option<Vec<EmacUnit>> {
+        self.try_make_layer_emacs()
+            .expect("format has no EMAC datapath (see try_make_layer_emacs)")
+    }
+
+    /// [`QuantizedMlp::make_layer_emacs`] with a typed error instead of a
+    /// panic: `Ok(None)` for the `F32` baseline, `Err` when the format
+    /// has no EMAC datapath for some layer. `dp_serve`'s model registry
+    /// calls this at registration time so an unsupported model is
+    /// rejected up front rather than panicking a pool worker mid-request.
+    ///
+    /// # Errors
+    ///
+    /// [`dp_emac::UnsupportedFormat`] naming the offending format/layer
+    /// pairing.
+    pub fn try_make_layer_emacs(
+        &self,
+    ) -> Result<Option<Vec<EmacUnit>>, dp_emac::UnsupportedFormat> {
+        if matches!(self.format, NumericFormat::F32) {
+            return Ok(None);
+        }
         self.layers
             .iter()
-            .map(|l| self.format.make_emac(l.fan_in() as u64))
-            .collect()
+            .map(|l| {
+                self.format
+                    .try_make_emac(l.fan_in() as u64)
+                    .map(|unit| unit.expect("low-precision formats yield an EMAC"))
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Some)
     }
 
     /// EMAC inference: each neuron seeds its accumulator with the bias,
@@ -419,11 +450,16 @@ mod tests {
 
     #[test]
     fn batch_forward_is_bit_identical_to_per_sample() {
+        // Includes the 16-bit §IV formats, which exercise the split-table
+        // decode and the 256-bit accumulator through the batch engine.
         let (mlp, split) = trained_iris();
         for fmt in [
             NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+            NumericFormat::Posit(PositFormat::new(16, 1).unwrap()),
             NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+            NumericFormat::Float(FloatFormat::new(5, 10).unwrap()),
             NumericFormat::Fixed(FixedFormat::new(8, 5).unwrap()),
+            NumericFormat::Fixed(FixedFormat::new(16, 10).unwrap()),
         ] {
             let q = QuantizedMlp::quantize(&mlp, fmt);
             let xs: Vec<Vec<f32>> = split.test.features.iter().take(25).cloned().collect();
@@ -434,6 +470,37 @@ mod tests {
             let scalar_preds: Vec<usize> = xs.iter().map(|x| q.infer(x)).collect();
             assert_eq!(preds, scalar_preds, "{fmt}");
         }
+    }
+
+    #[test]
+    fn try_make_layer_emacs_validates_instead_of_panicking() {
+        let (mlp, _) = trained_iris();
+        // A datapath-less format: posit es > n − 3.
+        let bad =
+            QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(8, 6).unwrap()));
+        let err = bad.try_make_layer_emacs().unwrap_err();
+        assert!(err.reason().contains("es <= n-3"), "{err}");
+        // Supported formats yield one EMAC per layer; F32 yields None.
+        let good =
+            QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(16, 1).unwrap()));
+        assert_eq!(good.try_make_layer_emacs().unwrap().unwrap().len(), 2);
+        let f32_model = QuantizedMlp::quantize(&mlp, NumericFormat::F32);
+        assert!(f32_model.try_make_layer_emacs().unwrap().is_none());
+    }
+
+    #[test]
+    fn sixteen_bit_posit_tracks_f32_on_iris() {
+        // Paper §IV Tables II–III run the sweep up to [16,1]; at 16 bits
+        // the quantized network should match the f32 baseline closely.
+        let (mlp, split) = trained_iris();
+        let f32_acc = mlp.accuracy(&split.test);
+        let q =
+            QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(16, 1).unwrap()));
+        let acc = q.accuracy(&split.test);
+        assert!(
+            acc >= f32_acc - 0.04,
+            "posit16 {acc} vs f32 {f32_acc} (paper: 16-bit matches f32)"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::ceil_log2;
 use crate::unit::Emac;
+use crate::UnsupportedFormat;
 use dp_fixed::lut::DecodeLut;
 use dp_fixed::FixedFormat;
 
@@ -52,16 +53,34 @@ impl FixedEmac {
     ///
     /// Panics if the paper-eq.-(3) accumulator would exceed 127 bits
     /// (`2n + ⌈log2 k⌉ > 127`), which no paper-scale configuration hits.
+    /// Use [`FixedEmac::try_new`] to validate without panicking.
     pub fn new(fmt: FixedFormat, capacity: u64) -> Self {
+        Self::try_new(fmt, capacity).expect("fixed EMAC accumulator exceeds i128")
+    }
+
+    /// [`FixedEmac::new`] returning a typed error instead of panicking
+    /// when the eq.-(3) register would exceed the unit's `i128` —
+    /// admission-time validation for serving registries and other
+    /// untrusted callers.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedFormat`] when `2n + ⌈log2 k⌉ > 127`.
+    pub fn try_new(fmt: FixedFormat, capacity: u64) -> Result<Self, UnsupportedFormat> {
         let wa = Self::accumulator_width_for(fmt, capacity);
-        assert!(wa <= 127, "fixed EMAC accumulator exceeds i128");
-        FixedEmac {
+        if wa > 127 {
+            return Err(UnsupportedFormat::new(format!(
+                "{fmt}: eq.-(3) accumulator needs {wa} bits for k = {capacity}, \
+                 exceeding the fixed EMAC's i128"
+            )));
+        }
+        Ok(FixedEmac {
             fmt,
             capacity: capacity.max(1),
             acc: 0,
             lut: dp_fixed::lut::cached(fmt),
             count: 0,
-        }
+        })
     }
 
     /// The format of this unit.

@@ -3,8 +3,27 @@
 use crate::acc::Accum;
 use crate::ceil_log2;
 use crate::unit::Emac;
-use dp_minifloat::lut::{DecodeLut, EmacLut};
+use dp_minifloat::lut::{DecodeLut, EmacDirect, EmacEntry, EmacLut};
 use dp_minifloat::{decode, encode, FloatClass, FloatFormat};
+
+/// Where fused EMAC operands come from on the fast path: the per-pattern
+/// table (`n ≤ 12`) or the computed bit-field extraction (13–16 bits).
+/// Both produce identical [`EmacEntry`] words.
+#[derive(Debug, Clone, Copy)]
+enum FastOperands {
+    Lut(&'static EmacLut),
+    Direct(EmacDirect),
+}
+
+impl FastOperands {
+    #[inline]
+    fn entry(self, bits: u32) -> EmacEntry {
+        match self {
+            FastOperands::Lut(t) => t.entry(bits),
+            FastOperands::Direct(d) => d.entry(bits),
+        }
+    }
+}
 
 /// Exact floating-point multiply-and-accumulate.
 ///
@@ -49,8 +68,9 @@ pub struct FloatEmac {
     acc: Accum,
     /// Decode table for the format, when one exists (`n ≤ 12`).
     lut: Option<&'static DecodeLut>,
-    /// Fused decode + front-end table driving the one-lookup MAC loop.
-    fast: Option<&'static EmacLut>,
+    /// Fused decode + front-end operands driving the one-lookup MAC loop
+    /// (`n ≤ 12`: per-pattern table; 13–16: computed bit-field operands).
+    fast: Option<FastOperands>,
     /// Bit index of weight 2^0: products are multiples of min_subnormal².
     offset: i32,
     count: u64,
@@ -59,17 +79,33 @@ pub struct FloatEmac {
 
 impl FloatEmac {
     /// Creates a unit for `fmt` sized for `capacity` accumulations, using
-    /// the decode LUT and `i128` accumulator fast paths when the format
-    /// qualifies (every ≤8-bit configuration of the paper does).
+    /// the fused-operand and native-accumulator fast paths when the
+    /// format qualifies (every ≤16-bit configuration of the paper's §IV
+    /// sweep does; ≤8-bit ones additionally get the decode LUT).
     pub fn new(fmt: FloatFormat, capacity: u64) -> Self {
         let capacity = capacity.max(1);
+        let fast = dp_minifloat::lut::emac_cached(fmt)
+            .map(FastOperands::Lut)
+            .or_else(|| EmacDirect::build(fmt).map(FastOperands::Direct));
         Self::build(
             fmt,
             capacity,
             dp_minifloat::lut::cached(fmt),
-            dp_minifloat::lut::emac_cached(fmt),
+            fast,
             Accum::new(Self::accumulator_width_for(fmt, capacity)),
         )
+    }
+
+    /// [`FloatEmac::new`] in `Result` form, for uniformity with the posit
+    /// and fixed units' `try_new`: every valid [`FloatFormat`] has an EMAC
+    /// datapath, so this never fails.
+    ///
+    /// # Errors
+    ///
+    /// None — present so format-generic validation can treat the three
+    /// families uniformly.
+    pub fn try_new(fmt: FloatFormat, capacity: u64) -> Result<Self, crate::UnsupportedFormat> {
+        Ok(Self::new(fmt, capacity))
     }
 
     /// Creates a unit on the pre-LUT reference datapath: bit-field decode
@@ -90,7 +126,7 @@ impl FloatEmac {
         fmt: FloatFormat,
         capacity: u64,
         lut: Option<&'static DecodeLut>,
-        fast: Option<&'static EmacLut>,
+        fast: Option<FastOperands>,
         acc: Accum,
     ) -> Self {
         // Smallest product bit: (2^(min_normal_scale - wf))² ; the offset
@@ -108,9 +144,10 @@ impl FloatEmac {
         }
     }
 
-    /// True when this unit runs the fused-LUT + `i128` fast path.
+    /// True when this unit runs the fused operands + native (`i128` or
+    /// two-word 256-bit) accumulator fast path.
     pub fn is_fast_path(&self) -> bool {
-        self.fast.is_some() && self.acc.is_small()
+        self.fast.is_some() && self.acc.is_native()
     }
 
     /// Decode via the table when present, bit fields otherwise.
@@ -163,16 +200,16 @@ impl Emac for FloatEmac {
         self.count += 1;
         debug_assert!(self.count <= self.capacity, "float EMAC over capacity");
         // Fused fast path: integer significand product, trailing zeros
-        // absorbing subnormal underflow, one shifted i128 add.
+        // absorbing subnormal underflow, one shifted native add.
         // Bit-identical to the datapath below (fast_path_equivalence).
-        if let (Some(t), Accum::Small(acc)) = (self.fast, &mut self.acc) {
+        if let Some(t) = self.fast {
             let ew = t.entry(weight);
             let ea = t.entry(activation);
-            if (ew.0 | ea.0) & dp_minifloat::lut::EmacEntry::SPECIAL_BIT != 0 {
+            if (ew.0 | ea.0) & EmacEntry::SPECIAL_BIT != 0 {
                 self.poisoned = true;
                 return;
             }
-            let prod = ew.field() * ea.field(); // < 2^(2wf+2) <= 2^20
+            let prod = ew.field() * ea.field(); // < 2^(2wf+2) <= 2^30
             if prod == 0 {
                 return;
             }
@@ -182,11 +219,17 @@ impl Emac for FloatEmac {
             let shift =
                 ew.biased_scale() as i32 + ea.biased_scale() as i32 + tz - 2 * self.fmt.wf() as i32;
             debug_assert!(shift >= 0, "float products are multiples of min_sub²");
-            let signed = ((prod >> tz) as i128) << shift;
-            if (ew.0 ^ ea.0) & dp_minifloat::lut::EmacEntry::SIGN_BIT != 0 {
-                *acc -= signed;
-            } else {
-                *acc += signed;
+            let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+            match &mut self.acc {
+                Accum::Small(acc) => {
+                    let signed = ((prod >> tz) as i128) << shift;
+                    if negate {
+                        *acc -= signed;
+                    } else {
+                        *acc += signed;
+                    }
+                }
+                acc => acc.add_shifted_u128((prod >> tz) as u128, shift as usize, negate),
             }
             return;
         }

@@ -51,7 +51,7 @@ mod float_emac;
 mod posit_emac;
 mod unit;
 
-pub use acc::{Accum, Window, SMALL_ACC_MAX_BITS};
+pub use acc::{Acc256, Accum, Window, MEDIUM_ACC_MAX_BITS, SMALL_ACC_MAX_BITS};
 pub use fixed_emac::FixedEmac;
 pub use float_emac::FloatEmac;
 pub use posit_emac::PositEmac;
@@ -61,3 +61,34 @@ pub use unit::{Emac, EmacUnit};
 pub(crate) fn ceil_log2(k: u64) -> u32 {
     k.max(1).next_power_of_two().trailing_zeros()
 }
+
+/// A format (or format + capacity pairing) with no EMAC datapath — e.g. a
+/// posit with `es > n − 3` (no significand bits) or a fixed-point
+/// configuration whose eq.-(3) register would exceed the unit's `i128`.
+///
+/// Returned by the `try_new` constructors so untrusted callers (model
+/// registries, serving admission) can validate up front instead of
+/// panicking a worker thread mid-request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsupportedFormat {
+    reason: String,
+}
+
+impl UnsupportedFormat {
+    pub(crate) fn new(reason: String) -> Self {
+        UnsupportedFormat { reason }
+    }
+
+    /// Human-readable reason this format has no EMAC datapath.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl std::fmt::Display for UnsupportedFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported EMAC format: {}", self.reason)
+    }
+}
+
+impl std::error::Error for UnsupportedFormat {}

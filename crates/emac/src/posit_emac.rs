@@ -3,8 +3,28 @@
 use crate::acc::Accum;
 use crate::ceil_log2;
 use crate::unit::Emac;
-use dp_posit::lut::{DecodeLut, EmacLut};
+use crate::UnsupportedFormat;
+use dp_posit::lut::{DecodeLut, EmacEntry, EmacLut, SplitLut};
 use dp_posit::{decode, encode, Decoded, PositFormat};
+
+/// Where fused EMAC operands come from on the fast path: the monolithic
+/// per-pattern table (`n ≤ 12`) or the split regime-prefix scheme
+/// (13–16 bits). Both produce identical [`EmacEntry`] words.
+#[derive(Debug, Clone, Copy)]
+enum FastOperands {
+    Fused(&'static EmacLut),
+    Split(&'static SplitLut),
+}
+
+impl FastOperands {
+    #[inline]
+    fn entry(self, bits: u32) -> EmacEntry {
+        match self {
+            FastOperands::Fused(t) => t.entry(bits),
+            FastOperands::Split(s) => s.entry(bits),
+        }
+    }
+}
 
 /// Exact posit multiply-and-accumulate.
 ///
@@ -38,14 +58,18 @@ use dp_posit::{decode, encode, Decoded, PositFormat};
 /// `fast_path_equivalence` tests and available directly via
 /// [`PositEmac::new_reference`]):
 ///
-/// * **Decode LUT** — for formats up to 12 bits the Algorithm-1 bit-field
-///   extraction is replaced by one lookup in the process-wide
-///   [`dp_posit::lut`] table (the software analogue of template-based
-///   posit multiplication).
-/// * **`i128` accumulator** — whenever the eq.-(4) register fits 127 bits
+/// * **Decode LUT / split table** — for formats up to 12 bits the
+///   Algorithm-1 bit-field extraction is replaced by one lookup in the
+///   process-wide [`dp_posit::lut`] table (the software analogue of
+///   template-based posit multiplication); 13–16-bit formats use the
+///   split scheme ([`dp_posit::lut::SplitLut`]): a 256-entry
+///   regime-prefix table composed with direct fraction extraction.
+/// * **Native accumulator** — whenever the eq.-(4) register fits 127 bits
 ///   (true for every 5–8-bit configuration in Table II) the quire-style
 ///   register is a native `i128` and each MAC is one shift and one add;
-///   wider formats transparently use the limb-based `WideInt`.
+///   registers up to 255 bits (every 13–16-bit §IV format) use the
+///   two-word [`crate::Acc256`]; only wider formats fall back to the
+///   limb-based `WideInt`.
 ///
 /// # Examples
 ///
@@ -70,10 +94,13 @@ pub struct PositEmac {
     fmt: PositFormat,
     capacity: u64,
     acc: Accum,
-    /// Decode table for the format, when one exists (`n ≤ 12`).
+    /// Monolithic decode table for the format, when one exists (`n ≤ 12`).
     lut: Option<&'static DecodeLut>,
-    /// Fused decode + front-end table driving the one-lookup MAC loop.
-    fast: Option<&'static EmacLut>,
+    /// Split regime-prefix table for 13–16-bit formats.
+    split: Option<&'static SplitLut>,
+    /// Fused decode + front-end operands driving the one-lookup MAC loop
+    /// (`n ≤ 12`: per-pattern table; 13–16: split-table extraction).
+    fast: Option<FastOperands>,
     /// `F`: significand width including the hidden bit, `n − 2 − es`.
     fbits: u32,
     /// Algorithm 2's `bias`: `2^(es+1) × (n − 2)` = 2 × max_scale.
@@ -84,23 +111,44 @@ pub struct PositEmac {
 
 impl PositEmac {
     /// Creates a unit for `fmt` sized for `capacity` accumulations, using
-    /// the decode LUT and `i128` accumulator fast paths when the format
-    /// qualifies.
+    /// the decode LUT / split-table and native-accumulator fast paths
+    /// when the format qualifies.
     ///
     /// # Panics
     ///
     /// Panics if `es > n − 3` (no significand bits: such formats have no
-    /// EMAC datapath in the paper).
+    /// EMAC datapath in the paper). Use [`PositEmac::try_new`] to validate
+    /// a format without panicking.
     pub fn new(fmt: PositFormat, capacity: u64) -> Self {
-        Self::check_format(fmt);
+        Self::try_new(fmt, capacity).expect("posit EMAC requires es <= n-3 (paper datapath)")
+    }
+
+    /// [`PositEmac::new`] returning a typed error instead of panicking for
+    /// formats without an EMAC datapath (`es > n − 3`) — admission-time
+    /// validation for serving registries and other untrusted callers.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedFormat`] when `es > n − 3`.
+    pub fn try_new(fmt: PositFormat, capacity: u64) -> Result<Self, UnsupportedFormat> {
+        Self::check_format(fmt)?;
         let capacity = capacity.max(1);
-        Self::build(
+        let (lut, split, fast) = if fmt.n() <= dp_posit::lut::MAX_LUT_WIDTH {
+            let lut = dp_posit::lut::cached(fmt);
+            let fast = dp_posit::lut::emac_cached(fmt).map(FastOperands::Fused);
+            (lut, None, fast)
+        } else {
+            let split = dp_posit::lut::split_cached(fmt);
+            (None, split, split.map(FastOperands::Split))
+        };
+        Ok(Self::build(
             fmt,
             capacity,
-            dp_posit::lut::cached(fmt),
-            dp_posit::lut::emac_cached(fmt),
+            lut,
+            split,
+            fast,
             Accum::new(Self::accumulator_width_for(fmt, capacity)),
-        )
+        ))
     }
 
     /// Creates a unit on the pre-LUT reference datapath: Algorithm-1
@@ -112,29 +160,34 @@ impl PositEmac {
     ///
     /// Panics if `es > n − 3`, as for [`PositEmac::new`].
     pub fn new_reference(fmt: PositFormat, capacity: u64) -> Self {
-        Self::check_format(fmt);
+        Self::check_format(fmt).expect("posit EMAC requires es <= n-3 (paper datapath)");
         let capacity = capacity.max(1);
         Self::build(
             fmt,
             capacity,
             None,
             None,
+            None,
             Accum::new_wide(Self::accumulator_width_for(fmt, capacity)),
         )
     }
 
-    fn check_format(fmt: PositFormat) {
-        assert!(
-            fmt.es() <= fmt.n() - 3,
-            "posit EMAC requires es <= n-3 (paper datapath)"
-        );
+    fn check_format(fmt: PositFormat) -> Result<(), UnsupportedFormat> {
+        if fmt.es() > fmt.n() - 3 {
+            return Err(UnsupportedFormat::new(format!(
+                "{fmt}: posit EMAC requires es <= n-3 (no significand bits, \
+                 no paper datapath)"
+            )));
+        }
+        Ok(())
     }
 
     fn build(
         fmt: PositFormat,
         capacity: u64,
         lut: Option<&'static DecodeLut>,
-        fast: Option<&'static EmacLut>,
+        split: Option<&'static SplitLut>,
+        fast: Option<FastOperands>,
         acc: Accum,
     ) -> Self {
         PositEmac {
@@ -142,6 +195,7 @@ impl PositEmac {
             capacity,
             acc,
             lut,
+            split,
             fast,
             fbits: fmt.n() - 2 - fmt.es(),
             sf_bias: 2 * fmt.max_scale(),
@@ -150,17 +204,21 @@ impl PositEmac {
         }
     }
 
-    /// True when this unit runs the fused-LUT + `i128` fast path.
+    /// True when this unit runs the fused table/split operands + native
+    /// (`i128` or two-word 256-bit) accumulator fast path.
     pub fn is_fast_path(&self) -> bool {
-        self.fast.is_some() && self.acc.is_small()
+        self.fast.is_some() && self.acc.is_native()
     }
 
-    /// Decode via the table when present, Algorithm 1 otherwise.
+    /// Decode via the monolithic table (`n ≤ 12`) or the split table
+    /// (13–16 bits) when present, Algorithm 1 otherwise. Exactly one path
+    /// exists per format, so LUT and fallback results never mix.
     #[inline]
     fn decode_bits(&self, bits: u32) -> Decoded {
-        match self.lut {
-            Some(lut) => lut.decode(bits),
-            None => decode(self.fmt, bits),
+        match (self.lut, self.split) {
+            (Some(lut), _) => lut.decode(bits),
+            (None, Some(split)) => split.decode(bits),
+            (None, None) => decode(self.fmt, bits),
         }
     }
 
@@ -222,30 +280,38 @@ impl Emac for PositEmac {
     fn mac(&mut self, weight: u32, activation: u32) {
         self.count += 1;
         debug_assert!(self.count <= self.capacity, "posit EMAC over capacity");
-        // Fused fast path: one table word per operand carries the F-bit
-        // significand and the per-operand biased scale, so the whole of
-        // Algorithm 1 + Algorithm 2's front half becomes two loads, one
-        // small multiply and one shifted i128 add. Bit-identical to the
-        // datapath below (fast_path_equivalence tests).
-        if let (Some(t), Accum::Small(acc)) = (self.fast, &mut self.acc) {
+        // Fused fast path: one operand word (from the per-pattern table at
+        // n ≤ 12, or the split regime-prefix extraction at 13–16 bits)
+        // carries the F-bit significand and the per-operand biased scale,
+        // so the whole of Algorithm 1 + Algorithm 2's front half becomes
+        // two loads/extractions, one small multiply and one shifted native
+        // add. Bit-identical to the datapath below (fast_path_equivalence
+        // tests).
+        if let Some(t) = self.fast {
             let ew = t.entry(weight);
             let ea = t.entry(activation);
-            if (ew.0 | ea.0) & dp_posit::lut::EmacEntry::NAR_BIT != 0 {
+            if (ew.0 | ea.0) & EmacEntry::NAR_BIT != 0 {
                 self.nar = true;
                 return;
             }
-            let prod = ew.field() * ea.field(); // < 2^(2F) <= 2^20
+            let prod = ew.field() * ea.field(); // < 2^(2F) <= 2^28
             if prod == 0 {
                 return;
             }
             // biased_a + biased_b = sf_mult + 2·max_scale = Alg. 2 line 12.
             let shift = ew.biased_scale() + ea.biased_scale();
-            debug_assert!(shift as u32 + (64 - prod.leading_zeros()) <= 127);
-            let signed = (prod as i128) << shift;
-            if (ew.0 ^ ea.0) & dp_posit::lut::EmacEntry::SIGN_BIT != 0 {
-                *acc -= signed;
-            } else {
-                *acc += signed;
+            let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+            match &mut self.acc {
+                Accum::Small(acc) => {
+                    debug_assert!(shift as u32 + (64 - prod.leading_zeros()) <= 127);
+                    let signed = (prod as i128) << shift;
+                    if negate {
+                        *acc -= signed;
+                    } else {
+                        *acc += signed;
+                    }
+                }
+                acc => acc.add_shifted_u128(prod as u128, shift as usize, negate),
             }
             return;
         }

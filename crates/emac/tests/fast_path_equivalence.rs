@@ -29,15 +29,52 @@ fn posit_fast_path_engages_for_paper_formats() {
         );
         assert!(!PositEmac::new_reference(fmt, 128).is_fast_path());
     }
-    // Wide format: LUT absent, WideInt register.
-    let wide = PositFormat::new(16, 1).unwrap();
+    // 13–16-bit formats run the split-table + native-accumulator fast
+    // path; the first width past the split ceiling does not.
+    for (n, es) in [(13u32, 0u32), (13, 2), (16, 0), (16, 1), (16, 2)] {
+        let fmt = PositFormat::new(n, es).unwrap();
+        assert!(
+            PositEmac::new(fmt, 128).is_fast_path(),
+            "posit<{n},{es}> must run the split fast path at k = 128"
+        );
+        assert!(!PositEmac::new_reference(fmt, 128).is_fast_path());
+    }
+    let wide = PositFormat::new(17, 1).unwrap();
     assert!(!PositEmac::new(wide, 128).is_fast_path());
+    assert!(!PositEmac::new(PositFormat::new(24, 1).unwrap(), 128).is_fast_path());
+}
+
+#[test]
+fn posit_lut_boundary_is_deterministic() {
+    // Satellite audit: each width band has exactly one decode scheme.
+    // n = 12 is the last monolithic-LUT width, n = 13 the first split
+    // width, n = 16 the last; both fast constructors at a boundary width
+    // must agree with the reference on the same inputs (no path mixing).
+    let mut next = xorshift(0x5eed_0f5e_11e7_0b0a);
+    for (n, es) in [(12u32, 1u32), (13, 1), (16, 1)] {
+        let fmt = PositFormat::new(n, es).unwrap();
+        assert!(PositEmac::new(fmt, 64).is_fast_path(), "posit<{n},{es}>");
+        for _ in 0..50 {
+            let len = (next() % 16 + 1) as usize;
+            let mut fast = PositEmac::new(fmt, len as u64);
+            let mut reference = PositEmac::new_reference(fmt, len as u64);
+            for _ in 0..len {
+                let w = (next() as u32) & fmt.mask();
+                let a = (next() as u32) & fmt.mask();
+                fast.mac(w, a);
+                reference.mac(w, a);
+            }
+            assert_eq!(fast.result(), reference.result(), "posit<{n},{es}>");
+        }
+    }
 }
 
 #[test]
 fn posit_fast_matches_reference_on_random_dots() {
-    // Every format the paper sweeps plus LUT-but-wide-accumulator (12,2)
-    // and no-LUT (16,1), (24,1) fallbacks.
+    // Every format the paper sweeps, the LUT-but-256-bit-accumulator
+    // (12,2), the whole split band 13–16 (i128, 256-bit and — at large k —
+    // WideInt registers behind split operands), and the no-table (17,1),
+    // (24,1) fallbacks.
     let formats = [
         (5u32, 0u32),
         (6, 1),
@@ -48,7 +85,13 @@ fn posit_fast_matches_reference_on_random_dots() {
         (10, 1),
         (12, 0),
         (12, 2),
+        (13, 0),
+        (13, 2),
+        (14, 1),
+        (16, 0),
         (16, 1),
+        (16, 2),
+        (17, 1),
         (24, 1),
     ];
     let mut next = xorshift(0xdead_beef_1234_5678);
@@ -111,7 +154,17 @@ fn float_fast_path_engages_for_paper_formats() {
         );
         assert!(!FloatEmac::new_reference(fmt, 128).is_fast_path());
     }
-    let wide = FloatFormat::new(5, 10).unwrap();
+    // 13–16-bit formats (binary16 included) run the computed-operand fast
+    // path; the first width past the ceiling does not.
+    for (we, wf) in [(4u32, 8u32), (5, 10), (6, 9)] {
+        let fmt = FloatFormat::new(we, wf).unwrap();
+        assert!(
+            FloatEmac::new(fmt, 128).is_fast_path(),
+            "float<{we},{wf}> must run the computed fast path at k = 128"
+        );
+        assert!(!FloatEmac::new_reference(fmt, 128).is_fast_path());
+    }
+    let wide = FloatFormat::new(5, 11).unwrap(); // n = 17
     assert!(!FloatEmac::new(wide, 128).is_fast_path());
 }
 
@@ -124,7 +177,11 @@ fn float_fast_matches_reference_on_random_dots() {
         (4, 3),
         (5, 2),
         (4, 7),
-        (5, 10), // wide: no LUT, WideInt — both constructors must agree
+        (4, 8),  // 13-bit: computed operands, i128 register
+        (5, 10), // binary16: computed operands
+        (6, 9),  // 16-bit, wide exponent: computed operands, 256-bit register
+        (8, 7),  // 16-bit, we=8: computed operands over a WideInt register
+        (5, 11), // 17-bit: past the ceiling, bit-field decode + WideInt
     ];
     let mut next = xorshift(0xfeed_cafe_8765_4321);
     for (we, wf) in formats {

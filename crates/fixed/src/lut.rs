@@ -6,6 +6,15 @@
 //! treat the three families uniformly (and the table is exactly the
 //! weight-ROM a hardware EMAC would address). Entries hold the
 //! sign-extended raw value [`FixedFormat::to_f64`] expects.
+//!
+//! Unlike the posit (split regime-prefix table, 13–16 bits) and minifloat
+//! (computed fused operands, 13–16 bits) families, fixed point needs no
+//! wide-format scheme at all: past [`MAX_LUT_WIDTH`] the EMAC computes the
+//! sign extension directly — two shifts, exactly what a table lookup would
+//! cost — and its eq.-(3) register (`2n + ⌈log2 k⌉` bits) stays inside a
+//! native `i128` for every width the crate supports. The 13-bit boundary
+//! therefore switches decode *strategy* only, never datapath width; the
+//! `boundary_is_deterministic` test pins it.
 
 use crate::format::FixedFormat;
 use std::collections::HashMap;
@@ -100,6 +109,19 @@ mod tests {
         assert!(DecodeLut::build(FixedFormat::new(12, 6).unwrap()).is_some());
         assert!(DecodeLut::build(FixedFormat::new(16, 8).unwrap()).is_none());
         assert!(cached(FixedFormat::new(32, 16).unwrap()).is_none());
+    }
+
+    #[test]
+    fn boundary_is_deterministic() {
+        // n = 12 is the last tabulated width; 13 and 16 always compute the
+        // sign extension directly (`cached` is None), so no call site can
+        // mix table and computed paths for one format.
+        assert!(cached(FixedFormat::new(12, 6).unwrap()).is_some());
+        for n in [13u32, 16] {
+            let fmt = FixedFormat::new(n, 6).unwrap();
+            assert!(cached(fmt).is_none(), "n = {n} must skip the table");
+            assert!(DecodeLut::build(fmt).is_none());
+        }
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! `n ≤` [`MAX_LUT_WIDTH`], turning the EMAC's per-MAC decode into a
 //! single table lookup. [`cached`] memoizes one table per format for the
 //! life of the process.
+//!
+//! Formats of 13 to [`MAX_DIRECT_WIDTH`] bits (the paper's §IV comparison
+//! sweep runs up to 16) skip tables entirely: unlike the posit regime, a
+//! minifloat's fields sit at fixed offsets, so the fused EMAC operand can
+//! be **computed directly** from the bit fields ([`EmacDirect`]) — the
+//! counterpart of `dp_posit::lut::SplitLut`'s "direct fraction
+//! extraction", with only the subnormal normalization needing a
+//! leading-zero count. Only wider formats fall back to the classifying
+//! [`decode`] + `WideInt` reference datapath.
 
 use crate::codec::{decode, FloatClass};
 use crate::format::FloatFormat;
@@ -14,6 +23,10 @@ use std::sync::{Mutex, OnceLock};
 
 /// Widest format that gets a decode table (`2^12` entries ≤ 64 KiB).
 pub const MAX_LUT_WIDTH: u32 = 12;
+
+/// Widest format whose fused EMAC operands are computed directly from the
+/// bit fields ([`EmacDirect`]); covers the §IV sweep's 16-bit formats.
+pub const MAX_DIRECT_WIDTH: u32 = 16;
 
 /// A precomputed decode table for one minifloat format; entries are
 /// exactly what [`decode`] returns, verified exhaustively in tests.
@@ -181,6 +194,73 @@ impl EmacLut {
     }
 }
 
+/// Computed fused EMAC operands for 13–16-bit minifloats: the same packed
+/// [`EmacEntry`] an [`EmacLut`] would hold, produced per call from the bit
+/// fields instead of a 2^n-entry table.
+///
+/// A minifloat's sign/exponent/fraction live at fixed offsets, so the
+/// fused operand needs no table at all: normals are two shifts and a mask
+/// (`field = hidden | frac`, `biased = exp_field + wf − 1`); subnormals
+/// normalize with one leading-zero count (`field = frac` shifted to the
+/// hidden position, `biased = bitlen(frac) − 1`). Entries are bit-for-bit
+/// what [`EmacLut::build`] would tabulate, verified exhaustively by the
+/// `direct_entries_match_*` tests.
+#[derive(Debug, Clone, Copy)]
+pub struct EmacDirect {
+    fmt: FloatFormat,
+}
+
+impl EmacDirect {
+    /// Builds the computed-operand extractor for `fmt`, or `None` unless
+    /// [`MAX_LUT_WIDTH`]` < n ≤ `[`MAX_DIRECT_WIDTH`] (narrower formats
+    /// use the tabulated [`EmacLut`]; each width band gets exactly one
+    /// scheme so call sites cannot mix paths for a format).
+    pub fn build(fmt: FloatFormat) -> Option<Self> {
+        if fmt.n() <= MAX_LUT_WIDTH || fmt.n() > MAX_DIRECT_WIDTH {
+            return None;
+        }
+        Some(EmacDirect { fmt })
+    }
+
+    /// The format this extractor was built for.
+    pub fn format(&self) -> FloatFormat {
+        self.fmt
+    }
+
+    /// The fused operand for the low `n` bits of `bits`; identical to the
+    /// entry an [`EmacLut`] for this format would hold.
+    #[inline]
+    pub fn entry(&self, bits: u32) -> EmacEntry {
+        let fmt = self.fmt;
+        let (we, wf) = (fmt.we(), fmt.wf());
+        let bits = bits & fmt.mask();
+        let sign = bits >> (fmt.n() - 1) == 1;
+        let sign_bit = if sign { EmacEntry::SIGN_BIT } else { 0 };
+        let exp_field = (bits >> wf) & ((1 << we) - 1);
+        let frac = (bits & ((1u32 << wf) - 1)) as u64;
+        if exp_field == (1 << we) - 1 {
+            return EmacEntry(EmacEntry::SPECIAL_BIT);
+        }
+        if exp_field == 0 {
+            if frac == 0 {
+                return EmacEntry(sign_bit);
+            }
+            // Subnormal: normalize so the top significand bit is set; the
+            // biased scale collapses to bitlen(frac) − 1 (= 63 − lz).
+            let lz = frac.leading_zeros();
+            let field = frac << (lz - (63 - wf));
+            let biased = (63 - lz) as u64;
+            return EmacEntry(field | (biased << 16) | sign_bit);
+        }
+        // Normal: hidden bit set, biased = (scale − min_normal) + wf
+        //       = (exp_field − bias − (1 − bias)) + wf = exp_field + wf − 1.
+        let field = (1u64 << wf) | frac;
+        let biased = (exp_field + wf - 1) as u64;
+        debug_assert!(field < (1 << 16) && biased < (1 << 16));
+        EmacEntry(field | (biased << 16) | sign_bit)
+    }
+}
+
 /// The process-wide fused EMAC table for `fmt` (leaked like [`cached`]'s
 /// tables), or `None` for formats wider than [`MAX_LUT_WIDTH`].
 pub fn emac_cached(fmt: FloatFormat) -> Option<&'static EmacLut> {
@@ -235,6 +315,50 @@ mod tests {
             emac_cached(fmt).unwrap(),
             emac_cached(fmt).unwrap()
         ));
+    }
+
+    #[test]
+    fn direct_operands_only_between_13_and_16_bits() {
+        assert!(EmacDirect::build(FloatFormat::new(4, 7).unwrap()).is_none()); // n = 12
+        assert!(EmacDirect::build(FloatFormat::new(4, 8).unwrap()).is_some()); // n = 13
+        assert!(EmacDirect::build(FloatFormat::new(5, 10).unwrap()).is_some()); // n = 16
+        assert!(EmacDirect::build(FloatFormat::new(5, 11).unwrap()).is_none()); // n = 17
+        let fmt = FloatFormat::new(5, 10).unwrap();
+        assert_eq!(EmacDirect::build(fmt).unwrap().format(), fmt);
+    }
+
+    #[test]
+    fn direct_entries_match_decode_exhaustively() {
+        // 13–16-bit formats, including binary16 (5,10) and a bfloat-ish
+        // wide-exponent shape; every pattern of each format.
+        for (we, wf) in [(4u32, 8u32), (5, 8), (5, 10), (8, 7), (2, 13), (6, 9)] {
+            let fmt = FloatFormat::new(we, wf).unwrap();
+            let direct = EmacDirect::build(fmt).unwrap();
+            for bits in fmt.patterns() {
+                let e = direct.entry(bits);
+                match decode(fmt, bits) {
+                    FloatClass::Zero(sign) => {
+                        assert_eq!(e.field(), 0, "{fmt} {bits:#x}");
+                        assert_eq!(e.sign(), sign);
+                        assert!(!e.is_special());
+                    }
+                    FloatClass::Inf(_) | FloatClass::NaN => {
+                        assert!(e.is_special(), "{fmt} {bits:#x}")
+                    }
+                    FloatClass::Finite(u) => {
+                        assert!(!e.is_special());
+                        assert_eq!(e.sign(), u.sign, "{fmt} {bits:#x}");
+                        assert_eq!(e.field(), u.sig >> (63 - wf), "{fmt} {bits:#x}");
+                        assert!(e.field() >> wf >= 1, "normalized top bit set");
+                        assert_eq!(
+                            e.biased_scale() as i32,
+                            u.scale - fmt.min_normal_scale() + wf as i32,
+                            "{fmt} {bits:#x}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

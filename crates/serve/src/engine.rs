@@ -197,7 +197,11 @@ impl ServeEngine {
     ) -> Result<BatchHandle<Vec<u32>>, ServeError> {
         let model = self.emac_model(key)?;
         self.dispatch(model, xs, |m, chunk| {
-            let mut emacs = m.make_layer_emacs().expect("low-precision format");
+            // Infallible by construction: ModelRegistry::register validates
+            // EMAC support (try_make_layer_emacs) before admitting a model,
+            // and emac_model() excluded the F32 baseline above — so this
+            // expect cannot fire inside a pool worker.
+            let mut emacs = m.make_layer_emacs().expect("registry-validated format");
             chunk
                 .iter()
                 .map(|x| m.forward_bits_with(&mut emacs, x))

@@ -30,7 +30,7 @@
 //! let format = NumericFormat::Posit(PositFormat::new(8, 0)?);
 //! let key = engine
 //!     .registry()
-//!     .register("iris", QuantizedMlp::quantize(&trained(), format));
+//!     .register("iris", QuantizedMlp::quantize(&trained(), format))?;
 //! let pending = engine.submit_classify(&key, vec![vec![0.1, 0.2, 0.3, 0.4]])?;
 //! let classes = pending.wait()?;
 //! # let _ = classes;
@@ -47,4 +47,4 @@ pub mod registry;
 pub use engine::{EngineConfig, ServeEngine, ServeError};
 pub use handle::{BatchHandle, JobError, JobHandle};
 pub use pool::{PoolStats, WorkerPool};
-pub use registry::{ModelKey, ModelRegistry};
+pub use registry::{ModelKey, ModelRegistry, RegistryError};

@@ -12,6 +12,32 @@ use deep_positron::QuantizedMlp;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
 
+/// Error returned when a model cannot be registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The model's format has no EMAC datapath for at least one layer
+    /// (e.g. a posit with `es > n − 3`): serving it would panic a pool
+    /// worker mid-request, so registration rejects it up front.
+    UnsupportedModel {
+        /// The key the model would have been registered under.
+        key: ModelKey,
+        /// Why the format has no EMAC datapath.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnsupportedModel { key, reason } => {
+                write!(f, "cannot register {key}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 /// Identifies one registered model: logical name plus format descriptor.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ModelKey {
@@ -62,13 +88,35 @@ impl ModelRegistry {
     /// Registers `model` under `name`, deriving the format descriptor from
     /// the model itself. Returns the key; an existing entry under the same
     /// key is replaced (in-flight requests keep their `Arc`).
-    pub fn register(&self, name: impl Into<String>, model: QuantizedMlp) -> ModelKey {
+    ///
+    /// EMAC support is validated here, at admission: a model whose format
+    /// has no EMAC datapath (e.g. posit `es > n − 3`) used to panic inside
+    /// a pool worker on its first request, poisoning that job's handle;
+    /// now it never enters the registry, so every registered low-precision
+    /// model is guaranteed servable.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnsupportedModel`] when some layer of the model
+    /// cannot build its EMAC (`F32` baseline models are fine: they serve
+    /// classification through plain float math).
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        model: QuantizedMlp,
+    ) -> Result<ModelKey, RegistryError> {
         let key = ModelKey::new(name, model.format.to_string());
+        if let Err(e) = model.try_make_layer_emacs() {
+            return Err(RegistryError::UnsupportedModel {
+                key,
+                reason: e.reason().to_string(),
+            });
+        }
         self.models
             .write()
             .expect("registry lock")
             .insert(key.clone(), Arc::new(model));
-        key
+        Ok(key)
     }
 
     /// Looks up a model by key.
@@ -150,8 +198,8 @@ mod tests {
         assert!(reg.is_empty());
         let p8 = NumericFormat::Posit(PositFormat::new(8, 0).unwrap());
         let p6 = NumericFormat::Posit(PositFormat::new(6, 0).unwrap());
-        let k8 = reg.register("iris", tiny_model(p8));
-        let k6 = reg.register("iris", tiny_model(p6));
+        let k8 = reg.register("iris", tiny_model(p8)).unwrap();
+        let k6 = reg.register("iris", tiny_model(p6)).unwrap();
         assert_eq!(k8, ModelKey::new("iris", "posit<8,0>"));
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.get(&k8).unwrap().format, p8);
@@ -164,14 +212,39 @@ mod tests {
     #[test]
     fn remove_keeps_in_flight_arcs_alive() {
         let reg = ModelRegistry::new();
-        let key = reg.register(
-            "m",
-            tiny_model(NumericFormat::Posit(PositFormat::new(8, 0).unwrap())),
-        );
+        let key = reg
+            .register(
+                "m",
+                tiny_model(NumericFormat::Posit(PositFormat::new(8, 0).unwrap())),
+            )
+            .unwrap();
         let held = reg.get(&key).unwrap();
         assert!(reg.remove(&key).is_some());
         assert!(reg.get(&key).is_none());
         // The request-side Arc still works after unregistration.
         assert_eq!(held.dims(), vec![4, 6, 3]);
+    }
+
+    #[test]
+    fn register_rejects_datapathless_formats_with_typed_error() {
+        // posit<8,6> has es > n − 3: no EMAC datapath. Before validation
+        // moved to registration, serving such a model panicked inside a
+        // pool worker; now the registry rejects it cleanly.
+        let reg = ModelRegistry::new();
+        let bad = NumericFormat::Posit(PositFormat::new(8, 6).unwrap());
+        let err = reg.register("iris", tiny_model(bad)).unwrap_err();
+        let RegistryError::UnsupportedModel { key, reason } = &err;
+        assert_eq!(key, &ModelKey::new("iris", "posit<8,6>"));
+        assert!(reason.contains("es <= n-3"), "{err}");
+        assert!(err.to_string().contains("iris@posit<8,6>"));
+        // Nothing was registered, and the registry still works.
+        assert!(reg.is_empty());
+        let ok = NumericFormat::Posit(PositFormat::new(8, 0).unwrap());
+        assert!(reg.register("iris", tiny_model(ok)).is_ok());
+        // The F32 baseline stays registrable (classify-only serving).
+        assert!(reg.register("iris", tiny_model(NumericFormat::F32)).is_ok());
+        // 16-bit formats are servable via the split-table datapath.
+        let p16 = NumericFormat::Posit(PositFormat::new(16, 1).unwrap());
+        assert!(reg.register("iris", tiny_model(p16)).is_ok());
     }
 }

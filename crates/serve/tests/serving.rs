@@ -50,7 +50,7 @@ fn mixed_format_traffic_is_bit_identical_to_forward_bits() {
         .into_iter()
         .map(|fmt| {
             let q = QuantizedMlp::quantize(&mlp, fmt);
-            (engine.registry().register("iris", q.clone()), q)
+            (engine.registry().register("iris", q.clone()).unwrap(), q)
         })
         .collect();
     assert_eq!(engine.registry().len(), 3);
@@ -92,7 +92,7 @@ fn single_sample_requests_match_batch_path() {
     let (mlp, split) = trained_iris();
     let engine = test_engine();
     let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
-    let key = engine.registry().register("iris", q.clone());
+    let key = engine.registry().register("iris", q.clone()).unwrap();
     let x = split.test.features[3].clone();
     let bits = engine
         .submit_forward_one(&key, x.clone())
@@ -114,7 +114,7 @@ fn engine_accuracy_matches_batch_accuracy() {
     let engine = test_engine();
     for fmt in mixed_formats() {
         let q = QuantizedMlp::quantize(&mlp, fmt);
-        let key = engine.registry().register("iris", q.clone());
+        let key = engine.registry().register("iris", q.clone()).unwrap();
         assert_eq!(
             engine.accuracy(&key, &split.test).unwrap(),
             q.accuracy(&split.test),
@@ -123,7 +123,10 @@ fn engine_accuracy_matches_batch_accuracy() {
     }
     // F32 baseline classifies through the engine too.
     let f32_model = QuantizedMlp::quantize(&mlp, NumericFormat::F32);
-    let key = engine.registry().register("iris", f32_model.clone());
+    let key = engine
+        .registry()
+        .register("iris", f32_model.clone())
+        .unwrap();
     assert_eq!(
         engine.accuracy(&key, &split.test).unwrap(),
         f32_model.accuracy(&split.test)
@@ -142,7 +145,8 @@ fn admission_errors_are_reported() {
     // Raw EMAC activations are undefined for the f32 baseline.
     let key = engine
         .registry()
-        .register("iris", QuantizedMlp::quantize(&mlp, NumericFormat::F32));
+        .register("iris", QuantizedMlp::quantize(&mlp, NumericFormat::F32))
+        .unwrap();
     assert!(matches!(
         engine.submit_forward(&key, vec![vec![0.0; 4]]),
         Err(ServeError::UnsupportedFormat(_))
@@ -154,11 +158,72 @@ fn admission_errors_are_reported() {
 }
 
 #[test]
+fn unsupported_model_is_rejected_at_registration_not_in_a_worker() {
+    // Regression: a posit<8,6> model (es > n − 3, no EMAC datapath) used
+    // to register fine and then panic inside the pool on its first
+    // forward, poisoning that job's handle. Registration must now fail
+    // with a typed error, leave the registry unchanged, and keep the pool
+    // fully healthy for other traffic.
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let bad = QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(8, 6).unwrap()));
+    let err = engine.registry().register("iris", bad).unwrap_err();
+    assert!(matches!(
+        &err,
+        dp_serve::RegistryError::UnsupportedModel { key, .. }
+            if key == &ModelKey::new("iris", "posit<8,6>")
+    ));
+    assert!(err.to_string().contains("es <= n-3"), "{err}");
+    assert!(engine.registry().is_empty());
+    // And the key is unknown at admission — a typed error, not a panic.
+    let ghost = ModelKey::new("iris", "posit<8,6>");
+    assert!(matches!(
+        engine.submit_forward(&ghost, vec![vec![0.0; 4]]),
+        Err(ServeError::UnknownModel(_))
+    ));
+    // The pool never saw a panicking job; healthy traffic still serves.
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q.clone()).unwrap();
+    let served = engine
+        .submit_forward(&key, split.test.features.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let direct: Vec<Vec<u32>> = split
+        .test
+        .features
+        .iter()
+        .map(|x| q.forward_bits(x))
+        .collect();
+    assert_eq!(served, direct);
+    engine.wait_idle();
+    assert_eq!(engine.stats().panics, 0);
+}
+
+#[test]
+fn sixteen_bit_models_serve_bit_identically() {
+    // The split-table datapath through the full serving stack: a
+    // posit<16,1> model must serve bit-identically to forward_bits.
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let q = QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(16, 1).unwrap()));
+    let key = engine.registry().register("iris", q.clone()).unwrap();
+    let xs: Vec<Vec<f32>> = split.test.features.iter().take(40).cloned().collect();
+    let served = engine
+        .submit_forward(&key, xs.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    let direct: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+    assert_eq!(served, direct);
+}
+
+#[test]
 fn panicking_job_poisons_only_its_own_handle() {
     let (mlp, split) = trained_iris();
     let engine = test_engine();
     let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
-    let key = engine.registry().register("iris", q.clone());
+    let key = engine.registry().register("iris", q.clone()).unwrap();
 
     let poisoned = engine
         .submit_job::<usize, _>(|| panic!("model evaluation blows up"))
@@ -189,7 +254,7 @@ fn shutdown_drains_in_flight_requests() {
         chunk_samples: 4,
     });
     let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
-    let key = engine.registry().register("iris", q.clone());
+    let key = engine.registry().register("iris", q.clone()).unwrap();
     let xs: Vec<Vec<f32>> = split
         .test
         .features
@@ -214,7 +279,7 @@ fn poll_transitions_from_pending_to_ready() {
     let (mlp, split) = trained_iris();
     let engine = test_engine();
     let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
-    let key = engine.registry().register("iris", q);
+    let key = engine.registry().register("iris", q).unwrap();
     let handle = engine
         .submit_classify(&key, split.test.features.clone())
         .unwrap();
@@ -232,7 +297,8 @@ fn empty_batch_completes_immediately() {
     let engine = test_engine();
     let key = engine
         .registry()
-        .register("iris", QuantizedMlp::quantize(&mlp, mixed_formats()[0]));
+        .register("iris", QuantizedMlp::quantize(&mlp, mixed_formats()[0]))
+        .unwrap();
     let handle = engine.submit_forward(&key, Vec::new()).unwrap();
     assert_eq!(handle.wait().unwrap(), Vec::<Vec<u32>>::new());
 }

@@ -50,7 +50,11 @@ fn main() {
         .into_iter()
         .map(|fmt| {
             let q = QuantizedMlp::quantize(&mlp, fmt);
-            (engine.registry().register("iris", q.clone()), q)
+            let key = engine
+                .registry()
+                .register("iris", q.clone())
+                .expect("paper formats have EMAC datapaths");
+            (key, q)
         })
         .collect();
     println!("registry:");
