@@ -96,22 +96,103 @@ where
     par_map_with_threads(xs, threads, init, f)
 }
 
+/// Why a chunk of a scoped batch failed.
+///
+/// The scoped engine used to `expect` on worker joins, so one poisoned
+/// chunk aborted the whole process with a generic panic message. Admission
+/// layers (the `dp_serve` pool, the `dp_gateway` front end) need the
+/// typed form instead, so a failed or shed chunk propagates as a value
+/// the caller can account for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchError {
+    /// The worker evaluating chunk `chunk` (0-based, in sample order)
+    /// panicked; the other chunks were unaffected.
+    ChunkPanicked {
+        /// Index of the failed chunk.
+        chunk: usize,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::ChunkPanicked { chunk } => {
+                write!(f, "batch worker for chunk {chunk} panicked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
 /// [`par_map_with`] with an explicit worker count — the policy-free core,
 /// public so the spawn/chunk/merge path can be exercised directly (even on
 /// single-core machines) and so `dp_serve` can differential-test its
-/// persistent pool against the scoped path.
+/// persistent pool against the scoped path. A panicking chunk worker
+/// re-raises the **original** panic payload on the caller (so diagnostic
+/// messages from the datapath survive); use [`try_par_map_with_threads`]
+/// to get the typed [`BatchError`] instead.
 pub fn par_map_with_threads<S, R, I, F>(xs: &[Vec<f32>], threads: usize, init: I, f: F) -> Vec<R>
 where
     R: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &[f32]) -> R + Sync,
 {
+    match par_map_impl(xs, threads, init, f) {
+        Ok(out) => out,
+        Err((_, payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Fallible [`par_map_with_threads`]: a panicking chunk worker is reported
+/// as [`BatchError::ChunkPanicked`] (after every other chunk finished)
+/// instead of tearing down the caller, so admission layers can shed the
+/// failed chunk's request and keep serving the rest.
+///
+/// # Errors
+///
+/// [`BatchError::ChunkPanicked`] naming the first failed chunk.
+pub fn try_par_map_with_threads<S, R, I, F>(
+    xs: &[Vec<f32>],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, BatchError>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[f32]) -> R + Sync,
+{
+    par_map_impl(xs, threads, init, f)
+        .map_err(|(chunk, _payload)| BatchError::ChunkPanicked { chunk })
+}
+
+/// Shared core: maps in parallel, reporting the first failed chunk with
+/// its original panic payload so each wrapper can choose between the
+/// typed error and a faithful re-raise.
+fn par_map_impl<S, R, I, F>(
+    xs: &[Vec<f32>],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, (usize, Box<dyn std::any::Any + Send>)>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[f32]) -> R + Sync,
+{
     if threads <= 1 || xs.len() <= 1 {
-        let mut state = init();
-        return xs.iter().map(|x| f(&mut state, x)).collect();
+        // One chunk on the caller's thread; a panic is still reported as
+        // that chunk failing (everything is discarded on unwind).
+        return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut state = init();
+            xs.iter().map(|x| f(&mut state, x)).collect()
+        }))
+        .map_err(|payload| (0, payload));
     }
     let chunk = xs.len().div_ceil(threads);
     let mut out: Vec<R> = Vec::with_capacity(xs.len());
+    let mut failed: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
     std::thread::scope(|scope| {
         let handles: Vec<_> = xs
             .chunks(chunk)
@@ -122,11 +203,18 @@ where
                 })
             })
             .collect();
-        for h in handles {
-            out.extend(h.join().expect("batch worker panicked"));
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) if failed.is_none() => failed = Some((i, payload)),
+                Err(_) => {}
+            }
         }
     });
-    out
+    match failed {
+        None => Ok(out),
+        Some(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +253,62 @@ mod tests {
     fn batch_threads_is_at_least_one() {
         // Whatever the environment says, the policy never returns zero.
         assert!(batch_threads() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_reports_panicked_chunk_as_typed_error() {
+        let xs: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32]).collect();
+        // Chunk 1 (samples 4..8) panics; the error names it and the caller
+        // survives instead of aborting on a join expect.
+        let err = try_par_map_with_threads(
+            &xs,
+            2,
+            || (),
+            |_, x| {
+                if x[0] >= 4.0 {
+                    panic!("injected chunk failure");
+                }
+                x[0] as usize
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, BatchError::ChunkPanicked { chunk: 1 });
+        assert!(err.to_string().contains("chunk 1"));
+        // Serial path: the single logical chunk is chunk 0.
+        let err = try_par_map_with_threads(&xs, 1, || (), |_, _| -> usize { panic!("boom") })
+            .unwrap_err();
+        assert_eq!(err, BatchError::ChunkPanicked { chunk: 0 });
+        // Healthy workloads are untouched.
+        let ok = try_par_map_with_threads(&xs, 3, || (), |_, x| x[0] as usize).unwrap();
+        assert_eq!(ok, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn infallible_wrapper_reraises_the_original_payload() {
+        // The typed-error seam must not cost existing callers their
+        // diagnostics: the infallible wrapper re-raises the worker's own
+        // panic payload, not a generic "worker panicked" message.
+        let xs: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32]).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map_with_threads(
+                &xs,
+                2,
+                || (),
+                |_, _| -> usize { panic!("dimension mismatch: got 1, want 4") },
+            )
+        });
+        let payload = caught.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().unwrap();
+        assert!(msg.contains("dimension mismatch"), "{msg}");
+        // Serial path preserves the payload too.
+        let caught = std::panic::catch_unwind(|| {
+            par_map_with_threads(&xs, 1, || (), |_, _| -> usize { panic!("serial boom") })
+        });
+        let payload = caught.unwrap_err();
+        assert!(payload
+            .downcast_ref::<&str>()
+            .unwrap()
+            .contains("serial boom"));
     }
 
     #[test]

@@ -1,0 +1,679 @@
+//! The gateway proper: non-blocking admission in front of a
+//! [`ServeEngine`], with a bounded submission ring, overload policies and
+//! per-model rate limits.
+//!
+//! ```text
+//! clients ──try_submit──▶ [bounded ring] ──dispatcher──▶ [engine injector] ──▶ workers
+//!              │                │ (overload policy:            │ (throttled: at most
+//!              │ verdicts       │  Block / ShedNewest /        │  max_inflight_chunks
+//!              ▼                │  ShedOldest)                 │  queued + running)
+//!        Admitted / QueueFull / ModelUnknown / RateLimited
+//! ```
+//!
+//! Admission never blocks on [`Gateway::try_submit_forward`] /
+//! [`Gateway::try_submit_classify`]: the caller gets a typed
+//! [`Admission`] verdict immediately. A single dispatcher thread drains
+//! the ring and forwards requests through the engine's non-blocking
+//! [`ServeEngine::try_dispatch`] seam, throttled so the engine's internal
+//! queue stays bounded too — backpressure surfaces in the ring, where the
+//! overload policy decides who pays for a burst.
+
+use crate::handle::{GatewayError, GatewayHandle, HandleCell};
+use crate::limiter::{RateLimit, TokenBucket};
+use crate::metrics::{GatewayMetrics, MetricsSnapshot, ModelMetrics};
+use crate::ring::{SubmissionRing, TryPush};
+use deep_positron::{NumericFormat, QuantizedMlp};
+use dp_serve::{classify_chunk, forward_chunk, EngineConfig, ModelKey, ModelRegistry, ServeEngine};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What a full submission ring does with the overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// `submit_*` blocks the producer until space frees (classic
+    /// backpressure; `try_submit_*` still never blocks — it reports
+    /// [`Admission::QueueFull`]). Maximizes completeness, exposes callers
+    /// to burst latency.
+    Block,
+    /// Reject the incoming request ([`Admission::QueueFull`]); everything
+    /// already admitted keeps its place. Favors requests already in
+    /// flight.
+    ShedNewest,
+    /// Evict the **oldest** queued request (its handle resolves to
+    /// [`GatewayError::Shed`]) and admit the newcomer. Favors fresh
+    /// traffic — the evictee was going to be the staleset response anyway.
+    ShedOldest,
+}
+
+impl OverloadPolicy {
+    /// Stable lowercase name (bench metadata, logs).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::ShedNewest => "shed_newest",
+            OverloadPolicy::ShedOldest => "shed_oldest",
+        }
+    }
+}
+
+/// Typed admission verdict: what happened to a `submit`/`try_submit`.
+pub enum Admission<T> {
+    /// Admitted; results arrive through the handle (which may still
+    /// resolve to [`GatewayError::Shed`] under `ShedOldest` pressure).
+    Admitted(GatewayHandle<T>),
+    /// The ring was full and the policy shed this request. Nothing was
+    /// enqueued; retry later or switch policy.
+    QueueFull,
+    /// No model is registered under the key.
+    ModelUnknown(ModelKey),
+    /// The model's token bucket is empty — the caller exceeded the
+    /// configured samples-per-second budget.
+    RateLimited,
+    /// The operation is undefined for the model's format (raw EMAC
+    /// activations of the `F32` baseline).
+    Unsupported(String),
+    /// The gateway is shutting down.
+    Closed,
+}
+
+// Manual impl: the derive would demand `T: Debug`, which the payload
+// types don't all provide (and the handle renders its stage anyway).
+impl<T> std::fmt::Debug for Admission<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Admission::Admitted(h) => f.debug_tuple("Admitted").field(h).finish(),
+            Admission::QueueFull => write!(f, "QueueFull"),
+            Admission::ModelUnknown(key) => f.debug_tuple("ModelUnknown").field(key).finish(),
+            Admission::RateLimited => write!(f, "RateLimited"),
+            Admission::Unsupported(what) => f.debug_tuple("Unsupported").field(what).finish(),
+            Admission::Closed => write!(f, "Closed"),
+        }
+    }
+}
+
+impl<T> Admission<T> {
+    /// Whether the request was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted(_))
+    }
+
+    /// The handle, if admitted.
+    pub fn handle(self) -> Option<GatewayHandle<T>> {
+        match self {
+            Admission::Admitted(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// The handle, panicking on any rejection verdict (test/bench sugar).
+    pub fn expect_admitted(self) -> GatewayHandle<T> {
+        match self {
+            Admission::Admitted(h) => h,
+            other => panic!("expected admission, got {other:?}"),
+        }
+    }
+}
+
+/// One queued request, typed by its result shape.
+struct Request<T> {
+    /// Logical model name — the rate-limit bucket key, kept so an
+    /// eviction can refund the tokens this request was charged.
+    model_name: String,
+    model: Arc<QuantizedMlp>,
+    xs: Vec<Vec<f32>>,
+    cell: Arc<HandleCell<T>>,
+    model_metrics: Arc<ModelMetrics>,
+    enqueued: Instant,
+}
+
+impl<T: Clone + Send + 'static> Request<T> {
+    /// Resolves the request without dispatching it.
+    fn resolve_undispatched(self, reason: GatewayError) {
+        if matches!(reason, GatewayError::Shed) {
+            self.model_metrics.shed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.cell.resolve(Err(reason));
+    }
+
+    /// Forwards to the engine, wiring per-chunk completion accounting.
+    fn dispatch(
+        self,
+        engine: &ServeEngine,
+        metrics: &Arc<GatewayMetrics>,
+        eval: fn(&QuantizedMlp, &[Vec<f32>]) -> Vec<T>,
+    ) {
+        let Request {
+            model_name: _,
+            model,
+            xs,
+            cell,
+            model_metrics,
+            enqueued,
+        } = self;
+        metrics
+            .queue_wait
+            .record_ns(enqueued.elapsed().as_nanos() as u64);
+        let n_chunks = xs.len().div_ceil(engine.chunk_samples());
+        let ctx = Arc::new(RequestCtx {
+            remaining: AtomicUsize::new(n_chunks),
+            failed: AtomicBool::new(false),
+            started: Instant::now(),
+            samples: xs.len() as u64,
+            metrics: Arc::clone(metrics),
+            model_metrics,
+        });
+        let per_chunk = move |m: &QuantizedMlp, chunk: &[Vec<f32>]| {
+            // The guard's Drop runs even if `eval` panics (during the
+            // unwind the engine's job wrapper catches), so every chunk is
+            // accounted and the last one closes out the request metrics.
+            let _guard = ChunkGuard {
+                ctx: Arc::clone(&ctx),
+            };
+            eval(m, chunk)
+        };
+        match engine.try_dispatch(model, xs, per_chunk) {
+            Ok(inner) => {
+                metrics.dispatched.fetch_add(1, Ordering::Relaxed);
+                cell.dispatched(inner);
+            }
+            Err(_) => {
+                // Engine closed under a still-queued request (only
+                // possible if the engine is shut down out from under the
+                // gateway): resolve rather than hang the handle.
+                metrics.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                cell.resolve(Err(GatewayError::Closed));
+            }
+        }
+    }
+}
+
+/// Per-request completion context shared by its chunk jobs.
+struct RequestCtx {
+    remaining: AtomicUsize,
+    failed: AtomicBool,
+    started: Instant,
+    samples: u64,
+    metrics: Arc<GatewayMetrics>,
+    model_metrics: Arc<ModelMetrics>,
+}
+
+/// Decrements the chunk countdown on drop (normal return *or* panic
+/// unwind); the last chunk out records service time and the
+/// completed/failed verdict.
+struct ChunkGuard {
+    ctx: Arc<RequestCtx>,
+}
+
+impl Drop for ChunkGuard {
+    fn drop(&mut self) {
+        let ctx = &self.ctx;
+        if std::thread::panicking() {
+            ctx.failed.store(true, Ordering::SeqCst);
+        }
+        if ctx.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            if ctx.failed.load(Ordering::SeqCst) {
+                ctx.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                ctx.model_metrics.failed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                // Service time covers completed requests only, so
+                // service_ns / completed is a true per-model mean (a
+                // failed request would otherwise inflate it).
+                let ns = ctx.started.elapsed().as_nanos() as u64;
+                ctx.metrics.service.record_ns(ns);
+                ctx.model_metrics
+                    .service_ns
+                    .fetch_add(ns, Ordering::Relaxed);
+                ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                ctx.model_metrics.completed.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics
+                    .samples_completed
+                    .fetch_add(ctx.samples, Ordering::Relaxed);
+                ctx.model_metrics
+                    .samples
+                    .fetch_add(ctx.samples, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Ring entry: a request of either result shape.
+enum Pending {
+    Forward(Request<Vec<u32>>),
+    Classify(Request<usize>),
+}
+
+impl Pending {
+    /// Samples this request carries (→ chunk jobs when dispatched).
+    fn samples(&self) -> usize {
+        match self {
+            Pending::Forward(r) => r.xs.len(),
+            Pending::Classify(r) => r.xs.len(),
+        }
+    }
+
+    /// Logical model name (the rate-limit bucket key).
+    fn model_name(&self) -> &str {
+        match self {
+            Pending::Forward(r) => &r.model_name,
+            Pending::Classify(r) => &r.model_name,
+        }
+    }
+
+    fn resolve_undispatched(self, reason: GatewayError) {
+        match self {
+            Pending::Forward(r) => r.resolve_undispatched(reason),
+            Pending::Classify(r) => r.resolve_undispatched(reason),
+        }
+    }
+
+    fn dispatch(self, engine: &ServeEngine, metrics: &Arc<GatewayMetrics>) {
+        match self {
+            Pending::Forward(r) => r.dispatch(engine, metrics, forward_chunk),
+            Pending::Classify(r) => r.dispatch(engine, metrics, classify_chunk),
+        }
+    }
+}
+
+/// Configures and builds a [`Gateway`] (engine sizing, ring capacity,
+/// overload policy, rate limits) in one place.
+#[derive(Debug, Clone)]
+pub struct GatewayBuilder {
+    workers: usize,
+    chunk_samples: usize,
+    queue_capacity: usize,
+    max_inflight_chunks: usize,
+    policy: OverloadPolicy,
+    rate_limits: Vec<(String, RateLimit)>,
+}
+
+impl Default for GatewayBuilder {
+    fn default() -> Self {
+        GatewayBuilder {
+            workers: deep_positron::batch::batch_threads(),
+            chunk_samples: 64,
+            queue_capacity: 128,
+            // 0 = derive from the worker count at build time.
+            max_inflight_chunks: 0,
+            policy: OverloadPolicy::ShedNewest,
+            rate_limits: Vec::new(),
+        }
+    }
+}
+
+impl GatewayBuilder {
+    /// Starts from the defaults: `DEEP_POSITRON_THREADS`-sized pool,
+    /// 64-sample chunks, a 128-request ring, `ShedNewest`, no rate limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker thread count for the backing [`ServeEngine`] (clamped ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Samples per chunk job (see [`EngineConfig::chunk_samples`]).
+    pub fn chunk_samples(mut self, chunk_samples: usize) -> Self {
+        self.chunk_samples = chunk_samples.max(1);
+        self
+    }
+
+    /// Submission-ring capacity in **requests** (clamped ≥ 1): the most
+    /// traffic that can wait for dispatch before the overload policy
+    /// engages.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Upper bound on chunk jobs queued + running inside the engine
+    /// (clamped ≥ 1); the dispatcher waits until a request's chunks fit
+    /// under it before dispatching, so backlog surfaces in the bounded
+    /// ring instead of the engine's internal queue. A single request
+    /// bigger than the whole bound is dispatched alone against a drained
+    /// engine, so the engine's instantaneous job count never exceeds
+    /// `max(max_inflight_chunks, ceil(largest_request / chunk_samples))`.
+    /// Defaults to `4 × workers`, at least 8.
+    pub fn max_inflight_chunks(mut self, chunks: usize) -> Self {
+        self.max_inflight_chunks = chunks.max(1);
+        self
+    }
+
+    /// What a full ring does with overflow (default:
+    /// [`OverloadPolicy::ShedNewest`]).
+    pub fn policy(mut self, policy: OverloadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Token-bucket rate limit for every model registered under the
+    /// logical name `model` (all its format variants share the budget).
+    /// Cost is one token per sample. Repeating a name replaces its limit.
+    pub fn rate_limit(mut self, model: impl Into<String>, limit: RateLimit) -> Self {
+        let model = model.into();
+        self.rate_limits.retain(|(name, _)| *name != model);
+        self.rate_limits.push((model, limit));
+        self
+    }
+
+    /// Builds the gateway: spawns the engine's worker pool and the
+    /// dispatcher thread.
+    pub fn build(self) -> Gateway {
+        let engine = Arc::new(ServeEngine::new(EngineConfig {
+            workers: self.workers,
+            chunk_samples: self.chunk_samples,
+        }));
+        let max_inflight = if self.max_inflight_chunks == 0 {
+            (engine.workers() * 4).max(8)
+        } else {
+            self.max_inflight_chunks
+        };
+        let ring = Arc::new(SubmissionRing::new(self.queue_capacity));
+        let metrics = Arc::new(GatewayMetrics::default());
+        let limiters: HashMap<String, TokenBucket> = self
+            .rate_limits
+            .into_iter()
+            .map(|(name, limit)| (name, TokenBucket::new(limit)))
+            .collect();
+        let dispatcher = {
+            let ring = Arc::clone(&ring);
+            let engine = Arc::clone(&engine);
+            let metrics = Arc::clone(&metrics);
+            std::thread::Builder::new()
+                .name("dp-gateway-dispatch".into())
+                .spawn(move || dispatcher_loop(&ring, &engine, &metrics, max_inflight))
+                .expect("spawn gateway dispatcher")
+        };
+        Gateway {
+            engine,
+            ring,
+            metrics,
+            limiters,
+            policy: self.policy,
+            max_inflight,
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// The dispatcher: drains the ring in admission order, throttling on the
+/// engine's queue depth so the unbounded injector never grows past
+/// `max_inflight` chunk jobs.
+fn dispatcher_loop(
+    ring: &SubmissionRing<Pending>,
+    engine: &Arc<ServeEngine>,
+    metrics: &Arc<GatewayMetrics>,
+    max_inflight: usize,
+) {
+    while let Some(entry) = ring.pop_for_dispatch() {
+        // Headroom accounting: this request becomes `chunks` atomic pool
+        // jobs, so wait until they fit under the cap — not merely until
+        // the current depth is under it. A single request larger than the
+        // whole cap waits for a fully drained engine and is dispatched
+        // alone, so the engine's instantaneous bound is
+        // max(max_inflight, ceil(largest_request / chunk_samples)).
+        // Workers signal every completion; the wait returns as soon as
+        // enough chunks finish (and always terminates, since queued jobs
+        // run even during shutdown).
+        let chunks = entry.samples().div_ceil(engine.chunk_samples()).max(1);
+        let headroom = max_inflight.saturating_sub(chunks);
+        engine.wait_depth_below(headroom + 1);
+        entry.dispatch(engine, metrics);
+        ring.dispatch_done();
+    }
+}
+
+/// The async admission front end: a bounded ring, a dispatcher and a
+/// [`ServeEngine`] behind it. See the [module docs](self) for the
+/// pipeline and [`GatewayBuilder`] for the knobs.
+///
+/// Dropping (or [`Gateway::shutdown`]) is graceful: admission closes, the
+/// dispatcher drains every admitted request into the engine, the engine
+/// drains its queue, and all threads join.
+pub struct Gateway {
+    engine: Arc<ServeEngine>,
+    ring: Arc<SubmissionRing<Pending>>,
+    metrics: Arc<GatewayMetrics>,
+    limiters: HashMap<String, TokenBucket>,
+    policy: OverloadPolicy,
+    max_inflight: usize,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("policy", &self.policy)
+            .field("queue_capacity", &self.ring.capacity())
+            .field("queue_depth", &self.ring.len())
+            .field("max_inflight_chunks", &self.max_inflight)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gateway {
+    /// A builder with default sizing.
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder::new()
+    }
+
+    /// A gateway with [`GatewayBuilder`] defaults.
+    pub fn with_defaults() -> Self {
+        GatewayBuilder::new().build()
+    }
+
+    /// The model registry (register/lookup/unregister models here).
+    pub fn registry(&self) -> &ModelRegistry {
+        self.engine.registry()
+    }
+
+    /// The backing serving engine (pool stats, queue depth).
+    pub fn engine(&self) -> &ServeEngine {
+        &self.engine
+    }
+
+    /// Live counters; see also [`Gateway::snapshot`].
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.metrics
+    }
+
+    /// A consistent-enough copy of every counter plus the current ring
+    /// depth, ready for [`MetricsSnapshot::to_json`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.ring.len())
+    }
+
+    /// The configured overload policy.
+    pub fn policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+
+    /// Requests currently waiting in the submission ring.
+    pub fn queue_depth(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The ring's request capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Stalls the dispatcher (admission keeps running, the ring fills).
+    /// A control seam for tests and benches that need a deterministic
+    /// backlog; pair with [`Gateway::resume_dispatch`].
+    pub fn pause_dispatch(&self) {
+        self.ring.pause();
+    }
+
+    /// Resumes dispatch after [`Gateway::pause_dispatch`].
+    pub fn resume_dispatch(&self) {
+        self.ring.resume();
+    }
+
+    /// Non-blocking submission for raw EMAC output activations,
+    /// bit-identical to per-sample
+    /// [`QuantizedMlp::forward_bits`](deep_positron::QuantizedMlp::forward_bits).
+    /// Never blocks, whatever the policy: a full ring under
+    /// `Block`/`ShedNewest` yields [`Admission::QueueFull`], under
+    /// `ShedOldest` the oldest queued request is evicted instead.
+    pub fn try_submit_forward(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<Vec<u32>> {
+        self.admit(key, xs, true, Pending::Forward, false)
+    }
+
+    /// Non-blocking submission for class predictions (all formats,
+    /// including the `F32` baseline). See [`Gateway::try_submit_forward`]
+    /// for the verdict semantics.
+    pub fn try_submit_classify(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<usize> {
+        self.admit(key, xs, false, Pending::Classify, false)
+    }
+
+    /// Policy-applying submission for raw activations: under
+    /// [`OverloadPolicy::Block`] a full ring **blocks the caller** until
+    /// space frees; other policies behave like
+    /// [`Gateway::try_submit_forward`].
+    pub fn submit_forward(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<Vec<u32>> {
+        self.admit(key, xs, true, Pending::Forward, true)
+    }
+
+    /// Policy-applying submission for class predictions; see
+    /// [`Gateway::submit_forward`].
+    pub fn submit_classify(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<usize> {
+        self.admit(key, xs, false, Pending::Classify, true)
+    }
+
+    /// Blocks until the ring is drained **and** the engine is idle: every
+    /// admitted-and-not-shed request has completed.
+    pub fn wait_idle(&self) {
+        self.ring.wait_empty();
+        self.engine.wait_idle();
+    }
+
+    /// Graceful shutdown: closes admission, drains the ring through the
+    /// dispatcher, drains the engine, joins every thread. Equivalent to
+    /// dropping the gateway, but explicit.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    fn admit<T: Clone + Send + 'static>(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+        needs_emac: bool,
+        wrap: fn(Request<T>) -> Pending,
+        may_block: bool,
+    ) -> Admission<T> {
+        let metrics = &self.metrics;
+        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let Some(model) = self.engine.registry().get(key) else {
+            metrics.model_unknown.fetch_add(1, Ordering::Relaxed);
+            return Admission::ModelUnknown(key.clone());
+        };
+        if needs_emac && matches!(model.format, NumericFormat::F32) {
+            metrics.unsupported.fetch_add(1, Ordering::Relaxed);
+            return Admission::Unsupported(format!(
+                "{key}: raw EMAC activations are undefined for the f32 baseline"
+            ));
+        }
+        if xs.is_empty() {
+            // Nothing to evaluate: resolve inline, skip the ring (and the
+            // limiter — zero samples cost zero tokens).
+            let model_metrics = metrics.model(key);
+            let (handle, cell) = GatewayHandle::pending();
+            metrics.admitted.fetch_add(1, Ordering::Relaxed);
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            model_metrics.admitted.fetch_add(1, Ordering::Relaxed);
+            model_metrics.completed.fetch_add(1, Ordering::Relaxed);
+            cell.resolve(Ok(Vec::new()));
+            return Admission::Admitted(handle);
+        }
+        // Rate limit before any per-model bookkeeping: the rejection
+        // verdict is the hot path under over-limit traffic and should not
+        // pay the metrics-map lookup (a String render + RwLock read).
+        let cost = xs.len() as f64;
+        let bucket = self.limiters.get(key.name());
+        if let Some(bucket) = bucket {
+            if !bucket.try_acquire(cost) {
+                metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                return Admission::RateLimited;
+            }
+        }
+        let model_metrics = metrics.model(key);
+        let (handle, cell) = GatewayHandle::pending();
+        let entry = wrap(Request {
+            model_name: key.name().to_string(),
+            model,
+            xs,
+            cell,
+            model_metrics: Arc::clone(&model_metrics),
+            enqueued: Instant::now(),
+        });
+        let outcome = if may_block && matches!(self.policy, OverloadPolicy::Block) {
+            match self.ring.push_blocking(entry) {
+                Ok(()) => TryPush::Pushed,
+                Err(entry) => TryPush::Closed(entry),
+            }
+        } else {
+            let evict = matches!(self.policy, OverloadPolicy::ShedOldest);
+            self.ring.try_push(entry, evict)
+        };
+        match outcome {
+            TryPush::Pushed => {
+                metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                model_metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                metrics.note_depth(self.ring.len() as u64);
+                Admission::Admitted(handle)
+            }
+            TryPush::PushedEvicting(evicted) => {
+                metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                model_metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                metrics.shed_evicted.fetch_add(1, Ordering::Relaxed);
+                metrics.note_depth(self.ring.len() as u64);
+                // The evictee served nothing either: refund the tokens
+                // *it* was charged (its model may differ from this one's).
+                if let Some(b) = self.limiters.get(evicted.model_name()) {
+                    b.refund(evicted.samples() as f64);
+                }
+                evicted.resolve_undispatched(GatewayError::Shed);
+                Admission::Admitted(handle)
+            }
+            TryPush::Full(entry) => {
+                metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                // The shed request served nothing: give its tokens back so
+                // overload doesn't burn the client's rate budget on top of
+                // rejecting the work.
+                if let Some(bucket) = bucket {
+                    bucket.refund(cost);
+                }
+                // Resolves the cell (bumping the model's shed counter), so
+                // even a stashed clone of the handle cannot hang.
+                entry.resolve_undispatched(GatewayError::Shed);
+                Admission::QueueFull
+            }
+            TryPush::Closed(entry) => {
+                metrics.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                if let Some(bucket) = bucket {
+                    bucket.refund(cost);
+                }
+                entry.resolve_undispatched(GatewayError::Closed);
+                Admission::Closed
+            }
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.ring.close();
+        if let Some(h) = self.dispatcher.take() {
+            h.join().expect("gateway dispatcher never panics");
+        }
+        // `self.engine` (the last Arc once the dispatcher is gone) drops
+        // after this body: the pool drains every dispatched job and joins
+        // its workers — handles held by callers still complete.
+    }
+}

@@ -1,0 +1,238 @@
+//! Gateway completion handles: results (or a shed verdict) come back out
+//! of the admission pipeline through these.
+//!
+//! A [`GatewayHandle`] is handed out at admission, **before** the request
+//! is dispatched to the serving engine — the request may still be sitting
+//! in the submission ring, may already be running on the pool, or may have
+//! been shed by an overload policy. The handle hides that lifecycle:
+//! [`poll`](GatewayHandle::poll) never blocks, [`wait`](GatewayHandle::wait)
+//! blocks until the request resolves, and a shed request resolves promptly
+//! to [`GatewayError::Shed`] instead of hanging forever.
+//!
+//! Unlike the single-consumer `dp_serve` handles, a gateway handle caches
+//! its resolved result: `wait` and `poll` can be called repeatedly (the
+//! clone of the first resolution is returned), which makes double-`wait`
+//! a defined, tested behavior rather than a panic.
+
+use dp_serve::{BatchHandle, JobError};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why an admitted request failed to produce a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatewayError {
+    /// An overload policy shed this request from the submission ring
+    /// before it reached the serving engine (e.g. `ShedOldest` evicted it
+    /// to make room for newer traffic).
+    Shed,
+    /// The gateway closed before this request could be dispatched.
+    Closed,
+    /// The request was dispatched but its serving job failed.
+    Job(JobError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Shed => write!(f, "request shed by the gateway overload policy"),
+            GatewayError::Closed => write!(f, "gateway closed before the request was dispatched"),
+            GatewayError::Job(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<JobError> for GatewayError {
+    fn from(e: JobError) -> Self {
+        GatewayError::Job(e)
+    }
+}
+
+/// Where an admitted request currently is in the gateway pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestStage {
+    /// Still waiting in the submission ring (or being dispatched).
+    Queued,
+    /// Handed to the serving engine; chunk jobs are queued or running.
+    Dispatched,
+    /// Resolved: a value, a job failure, or a shed/closed verdict.
+    Done,
+}
+
+enum HandleState<T> {
+    /// In the ring, or a waiter temporarily holds the inner batch handle.
+    Queued,
+    /// Dispatched to the engine; the inner handle delivers the value.
+    Dispatched(BatchHandle<T>),
+    /// Final: the cached resolution every `wait`/`poll` clone returns.
+    Resolved(Result<Vec<T>, GatewayError>),
+}
+
+pub(crate) struct HandleCell<T> {
+    state: Mutex<HandleState<T>>,
+    ready: Condvar,
+}
+
+impl<T> HandleCell<T> {
+    /// Resolves the request directly (shed, closed, or an inline empty
+    /// result) and wakes every waiter.
+    pub(crate) fn resolve(&self, result: Result<Vec<T>, GatewayError>) {
+        let mut st = self.state.lock().expect("gateway handle lock");
+        *st = HandleState::Resolved(result);
+        self.ready.notify_all();
+    }
+
+    /// Transitions `Queued` → `Dispatched`, attaching the engine handle
+    /// that will deliver the value.
+    pub(crate) fn dispatched(&self, inner: BatchHandle<T>) {
+        let mut st = self.state.lock().expect("gateway handle lock");
+        if matches!(*st, HandleState::Queued) {
+            *st = HandleState::Dispatched(inner);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Handle to one admitted gateway request.
+///
+/// Resolution is cached: after the first `wait`/successful `poll`, further
+/// calls return clones of the same result.
+pub struct GatewayHandle<T> {
+    cell: Arc<HandleCell<T>>,
+}
+
+impl<T> std::fmt::Debug for GatewayHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayHandle")
+            .field("stage", &self.stage())
+            .finish()
+    }
+}
+
+impl<T> GatewayHandle<T> {
+    /// Creates a pending handle plus the gateway-side cell that resolves
+    /// it.
+    pub(crate) fn pending() -> (Self, Arc<HandleCell<T>>) {
+        let cell = Arc::new(HandleCell {
+            state: Mutex::new(HandleState::Queued),
+            ready: Condvar::new(),
+        });
+        (
+            GatewayHandle {
+                cell: Arc::clone(&cell),
+            },
+            cell,
+        )
+    }
+
+    /// Where the request currently is. `Done` covers success, job failure
+    /// and shed/closed verdicts alike.
+    pub fn stage(&self) -> RequestStage {
+        match &*self.cell.state.lock().expect("gateway handle lock") {
+            HandleState::Queued => RequestStage::Queued,
+            HandleState::Dispatched(_) => RequestStage::Dispatched,
+            HandleState::Resolved(_) => RequestStage::Done,
+        }
+    }
+
+    /// Whether a result (or shed/failure verdict) is available without
+    /// blocking.
+    pub fn is_done(&self) -> bool {
+        match &*self.cell.state.lock().expect("gateway handle lock") {
+            HandleState::Resolved(_) => true,
+            HandleState::Dispatched(h) => h.is_done(),
+            HandleState::Queued => false,
+        }
+    }
+}
+
+impl<T: Clone> GatewayHandle<T> {
+    /// Non-blocking: the resolved result if available, `None` while the
+    /// request is queued or still running. Safe to call repeatedly —
+    /// once resolved, every call returns a clone of the same result.
+    pub fn poll(&self) -> Option<Result<Vec<T>, GatewayError>> {
+        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        match &*st {
+            HandleState::Resolved(r) => Some(r.clone()),
+            HandleState::Queued => None,
+            HandleState::Dispatched(h) => match h.poll() {
+                Some(r) => {
+                    let r = r.map_err(GatewayError::Job);
+                    *st = HandleState::Resolved(r.clone());
+                    self.cell.ready.notify_all();
+                    Some(r)
+                }
+                None => None,
+            },
+        }
+    }
+
+    /// Blocks until the request resolves. A shed request returns
+    /// [`GatewayError::Shed`] promptly — it never hangs. Repeatable:
+    /// a second `wait` returns a clone of the cached result.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Shed`] / [`GatewayError::Closed`] when an overload
+    /// policy or shutdown dropped the request, [`GatewayError::Job`] when
+    /// a dispatched chunk failed.
+    pub fn wait(&self) -> Result<Vec<T>, GatewayError> {
+        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        loop {
+            match &*st {
+                HandleState::Resolved(r) => return r.clone(),
+                HandleState::Queued => {
+                    st = self.cell.ready.wait(st).expect("gateway handle lock");
+                }
+                HandleState::Dispatched(_) => {
+                    // Take the engine handle out (leaving `Queued` as the
+                    // "a waiter owns it" placeholder), release the lock,
+                    // and block on the engine side; concurrent waiters
+                    // sleep on the condvar until we cache the resolution.
+                    let HandleState::Dispatched(inner) =
+                        std::mem::replace(&mut *st, HandleState::Queued)
+                    else {
+                        unreachable!("matched Dispatched above")
+                    };
+                    drop(st);
+                    let r = inner.wait().map_err(GatewayError::Job);
+                    let mut st = self.cell.state.lock().expect("gateway handle lock");
+                    *st = HandleState::Resolved(r.clone());
+                    self.cell.ready.notify_all();
+                    return r;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_before_dispatch_reports_shed() {
+        let (handle, cell) = GatewayHandle::<u32>::pending();
+        assert_eq!(handle.stage(), RequestStage::Queued);
+        assert!(!handle.is_done());
+        assert_eq!(handle.poll(), None);
+        cell.resolve(Err(GatewayError::Shed));
+        assert_eq!(handle.stage(), RequestStage::Done);
+        assert_eq!(handle.wait(), Err(GatewayError::Shed));
+        // Double-wait is defined: the cached verdict comes back again.
+        assert_eq!(handle.wait(), Err(GatewayError::Shed));
+        assert_eq!(handle.poll(), Some(Err(GatewayError::Shed)));
+    }
+
+    #[test]
+    fn wait_from_two_threads_returns_the_same_value() {
+        let (handle, cell) = GatewayHandle::<u32>::pending();
+        let handle = Arc::new(handle);
+        let h2 = Arc::clone(&handle);
+        let t = std::thread::spawn(move || h2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        cell.resolve(Ok(vec![1, 2, 3]));
+        assert_eq!(handle.wait(), Ok(vec![1, 2, 3]));
+        assert_eq!(t.join().unwrap(), Ok(vec![1, 2, 3]));
+    }
+}

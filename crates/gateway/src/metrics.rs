@@ -1,0 +1,398 @@
+//! Live serving metrics: lock-free counters and histograms updated on the
+//! admission and completion hot paths, snapshotted on demand.
+//!
+//! Every counter is a plain [`AtomicU64`] and every histogram a fixed
+//! array of atomic log₂-bucket counts, so recording never takes a lock or
+//! allocates — safe to call from pool workers mid-request. The only
+//! non-atomic structure is the per-model table, which takes a read lock on
+//! the hot path (a write lock only the first time a model is seen).
+//!
+//! [`MetricsSnapshot`] is a plain-data copy of everything, and
+//! [`MetricsSnapshot::to_json`] renders it with the same hand-rolled JSON
+//! style as the bench baselines (serde is outside the offline dependency
+//! allow-list).
+
+use dp_serve::ModelKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of log₂ buckets: bucket `i` counts durations in
+/// `[2^i, 2^(i+1))` ns, so 40 buckets span 1 ns to ~18 minutes.
+const BUCKETS: usize = 40;
+
+/// A lock-free log₂ histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+// Derived `Default` needs `[T; N]: Default`, which std only provides for
+// N ≤ 32.
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one duration (clamped into the bucket range). Lock-free.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the bucket counts out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per log₂ bucket; bucket `i` covers `[2^i, 2^(i+1))` ns.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total recorded durations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Approximate quantile (`0.0 ≤ q ≤ 1.0`) in nanoseconds: the upper
+    /// bound of the bucket containing the q-th sample, `0` when empty.
+    /// Bucket resolution means the answer is within 2× of the true value.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+}
+
+/// Per-model counters, created lazily on a model's first admission.
+#[derive(Debug, Default)]
+pub struct ModelMetrics {
+    /// Requests admitted into the ring for this model.
+    pub admitted: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests whose serving job failed (a chunk panicked).
+    pub failed: AtomicU64,
+    /// Requests shed for this model (rejected at full ring or evicted).
+    pub shed: AtomicU64,
+    /// Samples served to completion.
+    pub samples: AtomicU64,
+    /// Total service time (dispatch → last chunk done) across
+    /// **completed** requests, nanoseconds — `service_ns / completed` is
+    /// the per-model mean.
+    pub service_ns: AtomicU64,
+}
+
+/// The gateway's live counters. All hot-path updates are atomic; see the
+/// [module docs](self).
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Every `submit`/`try_submit` call, whatever its verdict.
+    pub submitted: AtomicU64,
+    /// Requests that entered the submission ring (or resolved inline,
+    /// e.g. empty batches).
+    pub admitted: AtomicU64,
+    /// Requests rejected because the ring was full (`ShedNewest`, or
+    /// `Block` on the non-blocking path).
+    pub shed_queue_full: AtomicU64,
+    /// Admitted requests later evicted by `ShedOldest` to make room.
+    pub shed_evicted: AtomicU64,
+    /// Requests rejected by a per-model token bucket.
+    pub rate_limited: AtomicU64,
+    /// Requests naming an unregistered model.
+    pub model_unknown: AtomicU64,
+    /// Requests whose operation is undefined for the model's format.
+    pub unsupported: AtomicU64,
+    /// Requests rejected because the gateway was closing.
+    pub rejected_closed: AtomicU64,
+    /// Requests handed to the serving engine by the dispatcher.
+    pub dispatched: AtomicU64,
+    /// Admitted requests that were still queued when the gateway closed
+    /// the engine underneath them (dispatch failed with `EngineClosed`).
+    pub dropped_closed: AtomicU64,
+    /// Requests whose every chunk finished successfully.
+    pub completed: AtomicU64,
+    /// Requests with at least one failed chunk.
+    pub failed: AtomicU64,
+    /// Samples served to completion.
+    pub samples_completed: AtomicU64,
+    /// High-water mark of the ring backlog.
+    pub queue_depth_peak: AtomicU64,
+    /// Ring-residency time per request (admission → dispatch).
+    pub queue_wait: Histogram,
+    /// Service time per **completed** request (dispatch → last chunk
+    /// done); failed requests count in `failed`, not here.
+    pub service: Histogram,
+    per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
+}
+
+impl GatewayMetrics {
+    /// The per-model counters for `key`, created on first use.
+    pub fn model(&self, key: &ModelKey) -> Arc<ModelMetrics> {
+        let name = key.to_string();
+        if let Some(m) = self.per_model.read().expect("metrics lock").get(&name) {
+            return Arc::clone(m);
+        }
+        Arc::clone(
+            self.per_model
+                .write()
+                .expect("metrics lock")
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    /// Records a ring-depth observation, maintaining the high-water mark.
+    pub(crate) fn note_depth(&self, depth: u64) {
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Copies every counter and histogram into a [`MetricsSnapshot`].
+    /// `queue_depth` is supplied by the caller (the gateway reads its
+    /// ring), since the ring is not owned by the metrics.
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut per_model: Vec<ModelSnapshot> = self
+            .per_model
+            .read()
+            .expect("metrics lock")
+            .iter()
+            .map(|(key, m)| ModelSnapshot {
+                key: key.clone(),
+                admitted: ld(&m.admitted),
+                completed: ld(&m.completed),
+                failed: ld(&m.failed),
+                shed: ld(&m.shed),
+                samples: ld(&m.samples),
+                service_ns: ld(&m.service_ns),
+            })
+            .collect();
+        per_model.sort_by(|a, b| a.key.cmp(&b.key));
+        MetricsSnapshot {
+            submitted: ld(&self.submitted),
+            admitted: ld(&self.admitted),
+            shed_queue_full: ld(&self.shed_queue_full),
+            shed_evicted: ld(&self.shed_evicted),
+            rate_limited: ld(&self.rate_limited),
+            model_unknown: ld(&self.model_unknown),
+            unsupported: ld(&self.unsupported),
+            rejected_closed: ld(&self.rejected_closed),
+            dispatched: ld(&self.dispatched),
+            dropped_closed: ld(&self.dropped_closed),
+            completed: ld(&self.completed),
+            failed: ld(&self.failed),
+            samples_completed: ld(&self.samples_completed),
+            queue_depth,
+            queue_depth_peak: ld(&self.queue_depth_peak),
+            queue_wait: self.queue_wait.snapshot(),
+            service: self.service.snapshot(),
+            per_model,
+        }
+    }
+}
+
+/// Per-model rows of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelSnapshot {
+    /// The model key's display form (`name@format`).
+    pub key: String,
+    /// See [`ModelMetrics`] for field meanings.
+    pub admitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests whose serving job failed.
+    pub failed: u64,
+    /// Requests shed (full-ring rejection or eviction).
+    pub shed: u64,
+    /// Samples served to completion.
+    pub samples: u64,
+    /// Total service nanoseconds across completed requests.
+    pub service_ns: u64,
+}
+
+/// Plain-data copy of every gateway counter, histogram and per-model row.
+/// Field meanings match [`GatewayMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub shed_queue_full: u64,
+    pub shed_evicted: u64,
+    pub rate_limited: u64,
+    pub model_unknown: u64,
+    pub unsupported: u64,
+    pub rejected_closed: u64,
+    pub dispatched: u64,
+    pub dropped_closed: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub samples_completed: u64,
+    /// Ring backlog at snapshot time.
+    pub queue_depth: usize,
+    pub queue_depth_peak: u64,
+    pub queue_wait: HistogramSnapshot,
+    pub service: HistogramSnapshot,
+    pub per_model: Vec<ModelSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Requests shed in total (full-ring rejections + evictions).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_evicted
+    }
+
+    /// Renders the snapshot as stable, diffable JSON (hand-rolled; serde
+    /// is outside the offline dependency allow-list). Keys are emitted in
+    /// a fixed order so successive snapshots diff cleanly.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\n  \"requests\": {");
+        let fields: [(&str, u64); 13] = [
+            ("submitted", self.submitted),
+            ("admitted", self.admitted),
+            ("shed_queue_full", self.shed_queue_full),
+            ("shed_evicted", self.shed_evicted),
+            ("rate_limited", self.rate_limited),
+            ("model_unknown", self.model_unknown),
+            ("unsupported", self.unsupported),
+            ("rejected_closed", self.rejected_closed),
+            ("dispatched", self.dispatched),
+            ("dropped_closed", self.dropped_closed),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("samples_completed", self.samples_completed),
+        ];
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let comma = if i + 1 < fields.len() { "," } else { "" };
+            let _ = write!(s, "\n    \"{k}\": {v}{comma}");
+        }
+        let _ = write!(
+            s,
+            "\n  }},\n  \"queue\": {{\n    \"depth\": {},\n    \"depth_peak\": {},\n    \
+             \"wait_p50_ns\": {},\n    \"wait_p99_ns\": {}\n  }},\n  \"service\": {{\n    \
+             \"count\": {},\n    \"p50_ns\": {},\n    \"p99_ns\": {}\n  }},\n  \"models\": [",
+            self.queue_depth,
+            self.queue_depth_peak,
+            self.queue_wait.quantile_ns(0.50),
+            self.queue_wait.quantile_ns(0.99),
+            self.service.count(),
+            self.service.quantile_ns(0.50),
+            self.service.quantile_ns(0.99),
+        );
+        for (i, m) in self.per_model.iter().enumerate() {
+            let comma = if i + 1 < self.per_model.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = write!(
+                s,
+                "\n    {{\"key\": \"{}\", \"admitted\": {}, \"completed\": {}, \"failed\": {}, \
+                 \"shed\": {}, \"samples\": {}, \"service_ns\": {}}}{comma}",
+                m.key.replace('\\', "\\\\").replace('"', "\\\""),
+                m.admitted,
+                m.completed,
+                m.failed,
+                m.shed,
+                m.samples,
+                m.service_ns,
+            );
+        }
+        s.push_str("\n  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile_ns(0.5), 0);
+        // 10 samples at ~1µs, 1 outlier at ~1ms.
+        for _ in 0..10 {
+            h.record_ns(1_000);
+        }
+        h.record_ns(1_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 11);
+        let p50 = snap.quantile_ns(0.5);
+        assert!((1_024..=2_048).contains(&p50), "{p50}");
+        let p99 = snap.quantile_ns(0.99);
+        assert!(p99 >= 1_000_000, "{p99}");
+        // Extremes stay in range.
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        assert_eq!(h.snapshot().count(), 13);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_shape() {
+        let m = GatewayMetrics::default();
+        m.submitted.fetch_add(7, Ordering::Relaxed);
+        m.admitted.fetch_add(5, Ordering::Relaxed);
+        m.shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        let mm = m.model(&ModelKey::new("iris", "posit<8,0>"));
+        mm.admitted.fetch_add(5, Ordering::Relaxed);
+        m.queue_wait.record_ns(500);
+        let snap = m.snapshot(3);
+        assert_eq!(snap.submitted, 7);
+        assert_eq!(snap.shed_total(), 2);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.per_model.len(), 1);
+        assert_eq!(snap.per_model[0].admitted, 5);
+        let json = snap.to_json();
+        assert!(json.contains("\"submitted\": 7"), "{json}");
+        assert!(json.contains("\"iris@posit<8,0>\""), "{json}");
+        // Balanced braces/brackets — the writer emits well-formed JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn model_metrics_are_shared_per_key() {
+        let m = GatewayMetrics::default();
+        let a = m.model(&ModelKey::new("iris", "posit<8,0>"));
+        let b = m.model(&ModelKey::new("iris", "posit<8,0>"));
+        a.completed.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(b.completed.load(Ordering::Relaxed), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

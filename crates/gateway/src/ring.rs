@@ -1,0 +1,267 @@
+//! The bounded multi-producer submission ring between clients and the
+//! dispatcher.
+//!
+//! Any number of producer threads push admitted requests; one dispatcher
+//! thread pops them and forwards to the serving engine. Capacity is fixed
+//! at construction — when the ring is full the *caller* decides what
+//! gives (reject the newcomer, evict the oldest, or block), which is how
+//! the gateway's overload policies stay pluggable: the ring mechanically
+//! reports `Full`/returns an evictee and never sheds anything itself.
+//!
+//! The ring also carries the control plane the dispatcher needs: a
+//! `closing` flag (after which pops drain the backlog and then return
+//! `None`), a `paused` flag (dispatch stalls while producers keep
+//! admitting — the deterministic way to build a backlog in tests and
+//! benches), and an idle condition (`empty ∧ not mid-dispatch`) that
+//! `wait_idle` callers block on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of a non-blocking push.
+pub(crate) enum TryPush<E> {
+    /// Enqueued; ring had room.
+    Pushed,
+    /// Enqueued after evicting the oldest entry, which is returned to the
+    /// caller to shed (`ShedOldest`).
+    PushedEvicting(E),
+    /// Ring full and eviction not requested; the entry comes back to the
+    /// caller (`ShedNewest`, or `Block` on the non-blocking path).
+    Full(E),
+    /// The ring is closing; nothing was enqueued.
+    Closed(E),
+}
+
+struct RingState<E> {
+    queue: VecDeque<E>,
+    closing: bool,
+    paused: bool,
+    /// An entry has been popped but its dispatch has not finished yet —
+    /// the ring is not idle even though `queue` may be empty.
+    dispatching: bool,
+}
+
+pub(crate) struct SubmissionRing<E> {
+    capacity: usize,
+    state: Mutex<RingState<E>>,
+    /// Wakes the dispatcher: work arrived, pause flipped, or closing.
+    work: Condvar,
+    /// Wakes producers blocked on space and idle-waiters: an entry left
+    /// the queue, a dispatch finished, or closing.
+    space: Condvar,
+}
+
+impl<E> SubmissionRing<E> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        SubmissionRing {
+            capacity: capacity.max(1),
+            state: Mutex::new(RingState {
+                queue: VecDeque::with_capacity(capacity.max(1)),
+                closing: false,
+                paused: false,
+                dispatching: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("ring lock").queue.len()
+    }
+
+    /// Non-blocking push. With `evict_oldest`, a full ring makes room by
+    /// handing the oldest entry back for the caller to shed.
+    pub(crate) fn try_push(&self, entry: E, evict_oldest: bool) -> TryPush<E> {
+        let mut st = self.state.lock().expect("ring lock");
+        if st.closing {
+            return TryPush::Closed(entry);
+        }
+        if st.queue.len() >= self.capacity {
+            if !evict_oldest {
+                return TryPush::Full(entry);
+            }
+            let oldest = st.queue.pop_front().expect("capacity >= 1, queue full");
+            st.queue.push_back(entry);
+            drop(st);
+            self.work.notify_one();
+            return TryPush::PushedEvicting(oldest);
+        }
+        st.queue.push_back(entry);
+        drop(st);
+        self.work.notify_one();
+        TryPush::Pushed
+    }
+
+    /// Blocking push (`Block` policy): waits for space instead of
+    /// shedding. Returns the entry if the ring closed while waiting.
+    pub(crate) fn push_blocking(&self, entry: E) -> Result<(), E> {
+        let mut st = self.state.lock().expect("ring lock");
+        loop {
+            if st.closing {
+                return Err(entry);
+            }
+            if st.queue.len() < self.capacity {
+                st.queue.push_back(entry);
+                drop(st);
+                self.work.notify_one();
+                return Ok(());
+            }
+            st = self.space.wait(st).expect("ring lock");
+        }
+    }
+
+    /// Dispatcher side: blocks for the next entry, honoring `paused`.
+    /// Returns `None` only once the ring is closing **and** drained, so
+    /// shutdown never strands an admitted request. Marks the ring as
+    /// mid-dispatch; pair every `Some` with [`SubmissionRing::dispatch_done`].
+    pub(crate) fn pop_for_dispatch(&self) -> Option<E> {
+        let mut st = self.state.lock().expect("ring lock");
+        loop {
+            // Closing overrides pause: the backlog always drains.
+            if !st.paused || st.closing {
+                if let Some(entry) = st.queue.pop_front() {
+                    st.dispatching = true;
+                    drop(st);
+                    // Space freed: wake one blocked producer (and any
+                    // idle-waiter, though the ring is not idle yet).
+                    self.space.notify_all();
+                    return Some(entry);
+                }
+                if st.closing {
+                    return None;
+                }
+            }
+            st = self.work.wait(st).expect("ring lock");
+        }
+    }
+
+    /// Marks the in-flight dispatch as finished (the entry reached the
+    /// engine or was resolved), letting idle-waiters re-check.
+    pub(crate) fn dispatch_done(&self) {
+        let mut st = self.state.lock().expect("ring lock");
+        st.dispatching = false;
+        drop(st);
+        self.space.notify_all();
+    }
+
+    /// Blocks until the ring is idle: empty and not mid-dispatch.
+    pub(crate) fn wait_empty(&self) {
+        let mut st = self.state.lock().expect("ring lock");
+        while !st.queue.is_empty() || st.dispatching {
+            st = self.space.wait(st).expect("ring lock");
+        }
+    }
+
+    /// Stalls dispatch (admission continues — the backlog grows).
+    pub(crate) fn pause(&self) {
+        self.state.lock().expect("ring lock").paused = true;
+    }
+
+    /// Resumes dispatch.
+    pub(crate) fn resume(&self) {
+        let mut st = self.state.lock().expect("ring lock");
+        st.paused = false;
+        drop(st);
+        self.work.notify_all();
+    }
+
+    /// Begins shutdown: rejects new pushes, lets the dispatcher drain the
+    /// backlog, wakes every blocked producer and waiter.
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock().expect("ring lock");
+        st.closing = true;
+        drop(st);
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_push_full_and_evict() {
+        let ring = SubmissionRing::new(2);
+        assert!(matches!(ring.try_push(1, false), TryPush::Pushed));
+        assert!(matches!(ring.try_push(2, false), TryPush::Pushed));
+        // Full: rejected newcomer comes back.
+        assert!(matches!(ring.try_push(3, false), TryPush::Full(3)));
+        assert_eq!(ring.len(), 2);
+        // Full + evict: oldest (1) comes back, newcomer admitted.
+        assert!(matches!(ring.try_push(4, true), TryPush::PushedEvicting(1)));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.pop_for_dispatch(), Some(2));
+        ring.dispatch_done();
+        assert_eq!(ring.pop_for_dispatch(), Some(4));
+        ring.dispatch_done();
+    }
+
+    #[test]
+    fn close_drains_then_stops() {
+        let ring = SubmissionRing::new(4);
+        assert!(matches!(ring.try_push(1, false), TryPush::Pushed));
+        assert!(matches!(ring.try_push(2, false), TryPush::Pushed));
+        ring.close();
+        assert!(matches!(ring.try_push(3, false), TryPush::Closed(3)));
+        // The backlog still drains in order…
+        assert_eq!(ring.pop_for_dispatch(), Some(1));
+        ring.dispatch_done();
+        assert_eq!(ring.pop_for_dispatch(), Some(2));
+        ring.dispatch_done();
+        // …then pops return None.
+        assert_eq!(ring.pop_for_dispatch(), None);
+    }
+
+    #[test]
+    fn pause_stalls_dispatch_but_not_admission() {
+        let ring = Arc::new(SubmissionRing::new(8));
+        ring.pause();
+        assert!(matches!(ring.try_push(7, false), TryPush::Pushed));
+        let r2 = Arc::clone(&ring);
+        let t = std::thread::spawn(move || r2.pop_for_dispatch());
+        // Dispatcher is parked on the paused ring; admission still works.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(matches!(ring.try_push(8, false), TryPush::Pushed));
+        assert_eq!(ring.len(), 2);
+        ring.resume();
+        assert_eq!(t.join().unwrap(), Some(7));
+        ring.dispatch_done();
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let ring = Arc::new(SubmissionRing::new(1));
+        assert!(matches!(ring.try_push(1, false), TryPush::Pushed));
+        let r2 = Arc::clone(&ring);
+        let t = std::thread::spawn(move || r2.push_blocking(2));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        // Producer is blocked; popping frees space and unblocks it.
+        assert_eq!(ring.pop_for_dispatch(), Some(1));
+        ring.dispatch_done();
+        assert!(t.join().unwrap().is_ok());
+        assert_eq!(ring.pop_for_dispatch(), Some(2));
+        ring.dispatch_done();
+    }
+
+    #[test]
+    fn wait_empty_sees_mid_dispatch_entries() {
+        let ring = Arc::new(SubmissionRing::new(4));
+        assert!(matches!(ring.try_push(1, false), TryPush::Pushed));
+        let popped = ring.pop_for_dispatch();
+        assert_eq!(popped, Some(1));
+        // Queue is empty but dispatch is in flight: wait_empty must block.
+        let r2 = Arc::clone(&ring);
+        let t = std::thread::spawn(move || r2.wait_empty());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!t.is_finished());
+        ring.dispatch_done();
+        t.join().unwrap();
+    }
+}

@@ -56,8 +56,9 @@ pub enum ServeError {
     /// EMAC activations of an `F32` baseline model, which has no EMAC
     /// datapath).
     UnsupportedFormat(String),
-    /// The engine is shutting down and rejected the submission.
-    ShuttingDown,
+    /// The engine is closed (shutdown has begun) and rejected the whole
+    /// submission — **no** chunk of the request was enqueued.
+    EngineClosed,
     /// A worker job failed; the failure poisoned only this request.
     Job(JobError),
 }
@@ -67,7 +68,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownModel(key) => write!(f, "no model registered under {key}"),
             ServeError::UnsupportedFormat(what) => write!(f, "{what}"),
-            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::EngineClosed => write!(f, "serving engine is closed (shutting down)"),
             ServeError::Job(e) => write!(f, "{e}"),
         }
     }
@@ -123,6 +124,26 @@ impl ServeEngine {
         self.pool.stats()
     }
 
+    /// Chunk size admission splits batches into (see
+    /// [`EngineConfig::chunk_samples`]). Front ends use this to predict
+    /// how many pool jobs a request will become.
+    pub fn chunk_samples(&self) -> usize {
+        self.chunk_samples
+    }
+
+    /// Queued + running pool jobs — the backpressure signal a bounded
+    /// front end (the `dp_gateway` dispatcher) throttles on.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Blocks until [`ServeEngine::queue_depth`] drops below `below` (or
+    /// the pool drains), returning the observed depth. See
+    /// [`WorkerPool::wait_depth_below`].
+    pub fn wait_depth_below(&self, below: usize) -> usize {
+        self.pool.wait_depth_below(below)
+    }
+
     fn model(&self, key: &ModelKey) -> Result<Arc<QuantizedMlp>, ServeError> {
         self.registry
             .get(key)
@@ -141,9 +162,21 @@ impl ServeEngine {
         Ok(model)
     }
 
-    /// Splits `xs` into chunk jobs running `per_chunk` on the pool and
-    /// returns the assembling handle.
-    fn dispatch<T, F>(
+    /// The non-blocking dispatch seam: splits `xs` into chunk jobs running
+    /// `per_chunk` on the pool and returns the assembling handle
+    /// immediately — it never waits for queue space or results.
+    ///
+    /// Chunk enqueueing is **atomic** (via [`WorkerPool::spawn_batch`]):
+    /// either every chunk of the request is admitted or, if the engine is
+    /// closed, none is. This is the entry point bounded front ends
+    /// (`dp_gateway`) drive with their own per-chunk closures; the
+    /// `submit_*` methods below are thin wrappers over it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::EngineClosed`] once shutdown has begun; no chunk was
+    /// enqueued.
+    pub fn try_dispatch<T, F>(
         &self,
         model: Arc<QuantizedMlp>,
         xs: Vec<Vec<f32>>,
@@ -156,29 +189,32 @@ impl ServeEngine {
         let chunks: Vec<Vec<Vec<f32>>> = split_chunks(xs, self.chunk_samples);
         let (handle, completer) = BatchHandle::pending(chunks.len());
         let per_chunk = Arc::new(per_chunk);
-        for (index, chunk) in chunks.into_iter().enumerate() {
-            let model = Arc::clone(&model);
-            let per_chunk = Arc::clone(&per_chunk);
-            let completer = completer.clone();
-            let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
-            self.pool
-                .spawn_at(
-                    slot,
-                    Box::new(move || {
-                        // A panic inside the model evaluation poisons only
-                        // this request's handle; re-raising lets the pool
-                        // count it (and keep its worker alive).
-                        match catch_unwind(AssertUnwindSafe(|| per_chunk(&model, &chunk))) {
-                            Ok(part) => completer.complete_chunk(index, Ok(part)),
-                            Err(payload) => {
-                                completer.complete_chunk(index, Err(JobError::Panicked));
-                                std::panic::resume_unwind(payload);
-                            }
+        let jobs: Vec<(usize, crate::pool::Job)> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(index, chunk)| {
+                let model = Arc::clone(&model);
+                let per_chunk = Arc::clone(&per_chunk);
+                let completer = completer.clone();
+                let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+                let job: crate::pool::Job = Box::new(move || {
+                    // A panic inside the model evaluation poisons only
+                    // this request's handle; re-raising lets the pool
+                    // count it (and keep its worker alive).
+                    match catch_unwind(AssertUnwindSafe(|| per_chunk(&model, &chunk))) {
+                        Ok(part) => completer.complete_chunk(index, Ok(part)),
+                        Err(payload) => {
+                            completer.complete_chunk(index, Err(JobError::Panicked));
+                            std::panic::resume_unwind(payload);
                         }
-                    }),
-                )
-                .map_err(|_| ServeError::ShuttingDown)?;
-        }
+                    }
+                });
+                (slot, job)
+            })
+            .collect();
+        self.pool
+            .spawn_batch(jobs)
+            .map_err(|_| ServeError::EngineClosed)?;
         Ok(handle)
     }
 
@@ -189,24 +225,14 @@ impl ServeEngine {
     ///
     /// [`ServeError::UnknownModel`] for an unregistered key,
     /// [`ServeError::UnsupportedFormat`] for an `F32` model (no EMAC
-    /// datapath), [`ServeError::ShuttingDown`] after shutdown began.
+    /// datapath), [`ServeError::EngineClosed`] after shutdown began.
     pub fn submit_forward(
         &self,
         key: &ModelKey,
         xs: Vec<Vec<f32>>,
     ) -> Result<BatchHandle<Vec<u32>>, ServeError> {
         let model = self.emac_model(key)?;
-        self.dispatch(model, xs, |m, chunk| {
-            // Infallible by construction: ModelRegistry::register validates
-            // EMAC support (try_make_layer_emacs) before admitting a model,
-            // and emac_model() excluded the F32 baseline above — so this
-            // expect cannot fire inside a pool worker.
-            let mut emacs = m.make_layer_emacs().expect("registry-validated format");
-            chunk
-                .iter()
-                .map(|x| m.forward_bits_with(&mut emacs, x))
-                .collect()
-        })
+        self.try_dispatch(model, xs, forward_chunk)
     }
 
     /// Submits a batch for class predictions, identical to per-sample
@@ -216,17 +242,14 @@ impl ServeEngine {
     /// # Errors
     ///
     /// [`ServeError::UnknownModel`] for an unregistered key,
-    /// [`ServeError::ShuttingDown`] after shutdown began.
+    /// [`ServeError::EngineClosed`] after shutdown began.
     pub fn submit_classify(
         &self,
         key: &ModelKey,
         xs: Vec<Vec<f32>>,
     ) -> Result<BatchHandle<usize>, ServeError> {
         let model = self.model(key)?;
-        self.dispatch(model, xs, |m, chunk| match m.make_layer_emacs() {
-            Some(mut emacs) => chunk.iter().map(|x| m.infer_with(&mut emacs, x)).collect(),
-            None => chunk.iter().map(|x| m.infer(x)).collect(),
-        })
+        self.try_dispatch(model, xs, classify_chunk)
     }
 
     /// Single-sample convenience: [`ServeEngine::submit_forward`] for one
@@ -263,7 +286,7 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// [`ServeError::ShuttingDown`] after shutdown began.
+    /// [`ServeError::EngineClosed`] after shutdown began.
     pub fn submit_job<T, F>(&self, f: F) -> Result<JobHandle<T>, ServeError>
     where
         T: Send + 'static,
@@ -278,7 +301,7 @@ impl ServeEngine {
                     std::panic::resume_unwind(payload);
                 }
             }))
-            .map_err(|_| ServeError::ShuttingDown)?;
+            .map_err(|_| ServeError::EngineClosed)?;
         Ok(handle)
     }
 
@@ -307,11 +330,57 @@ impl ServeEngine {
         self.pool.wait_idle();
     }
 
+    /// Closes admission through a shared reference: every subsequent
+    /// submission returns [`ServeError::EngineClosed`] (with **zero**
+    /// chunks enqueued — see [`ServeEngine::try_dispatch`]), while
+    /// already-admitted jobs keep draining. Workers are joined by
+    /// [`ServeEngine::shutdown`] or drop.
+    pub fn close(&self) {
+        self.pool.begin_shutdown();
+    }
+
     /// Graceful shutdown: stops admission, drains every queued and
     /// in-flight request (their handles complete), joins the workers.
     /// Dropping the engine does the same.
     pub fn shutdown(mut self) {
         self.pool.shutdown();
+    }
+}
+
+/// The canonical per-chunk forward evaluation: build the model's
+/// per-layer EMAC array once, reuse it across the chunk's samples. This is
+/// the **single** definition shared by [`ServeEngine::submit_forward`] and
+/// external front ends (`dp_gateway`), so every admission path runs the
+/// identical datapath and stays bit-identical to per-sample
+/// [`QuantizedMlp::forward_bits`].
+///
+/// # Panics
+///
+/// Panics if the model's format has no EMAC datapath. Callers must gate
+/// admission the way the engine does: registration already validates EMAC
+/// support ([`crate::ModelRegistry::register`]), so excluding the `F32`
+/// baseline at admission makes this infallible inside a pool worker.
+pub fn forward_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    let mut emacs = model
+        .make_layer_emacs()
+        .expect("admission validated the format");
+    chunk
+        .iter()
+        .map(|x| model.forward_bits_with(&mut emacs, x))
+        .collect()
+}
+
+/// The canonical per-chunk classification: EMAC-reuse datapath where one
+/// exists, plain float math for the `F32` baseline. Shared by
+/// [`ServeEngine::submit_classify`] and external front ends (`dp_gateway`)
+/// — see [`forward_chunk`].
+pub fn classify_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<usize> {
+    match model.make_layer_emacs() {
+        Some(mut emacs) => chunk
+            .iter()
+            .map(|x| model.infer_with(&mut emacs, x))
+            .collect(),
+        None => chunk.iter().map(|x| model.infer(x)).collect(),
     }
 }
 

@@ -44,7 +44,7 @@ pub mod handle;
 pub mod pool;
 pub mod registry;
 
-pub use engine::{EngineConfig, ServeEngine, ServeError};
+pub use engine::{classify_chunk, forward_chunk, EngineConfig, ServeEngine, ServeError};
 pub use handle::{BatchHandle, JobError, JobHandle};
 pub use pool::{PoolStats, WorkerPool};
 pub use registry::{ModelKey, ModelRegistry, RegistryError};

@@ -62,14 +62,21 @@ impl State {
     fn is_drained(&self) -> bool {
         self.injector.is_empty() && self.queued_local == 0 && self.active == 0
     }
+
+    /// Queued + running jobs (injector, LIFO slots, and active workers).
+    fn depth(&self) -> usize {
+        self.injector.len() + self.queued_local + self.active
+    }
 }
 
 struct Shared {
     state: Mutex<State>,
     /// Signalled when work arrives or shutdown flips.
     work: Condvar,
-    /// Signalled when the pool may have drained.
-    drained: Condvar,
+    /// Signalled after every job completion, so waiters can re-check
+    /// drain ([`WorkerPool::wait_idle`]) or depth
+    /// ([`WorkerPool::wait_depth_below`]).
+    progress: Condvar,
     /// Per-worker LIFO slots. Lock order: `state` before any slot.
     slots: Vec<Mutex<Vec<Job>>>,
     jobs_run: AtomicU64,
@@ -135,7 +142,7 @@ impl WorkerPool {
                 shutdown: false,
             }),
             work: Condvar::new(),
-            drained: Condvar::new(),
+            progress: Condvar::new(),
             slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             jobs_run: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -185,6 +192,61 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// Submits a whole batch of `(hint, job)` pairs **atomically**: either
+    /// every job is enqueued (each to worker `hint % workers`'s LIFO slot,
+    /// like [`WorkerPool::spawn_at`]) or — if shutdown has begun — none
+    /// are. A multi-chunk request can therefore never be split by a
+    /// concurrent shutdown into "first half enqueued, second half
+    /// rejected".
+    ///
+    /// # Errors
+    ///
+    /// [`ShuttingDown`] once [`WorkerPool::shutdown`] has begun; no job
+    /// from the batch was enqueued.
+    pub fn spawn_batch(&self, jobs: Vec<(usize, Job)>) -> Result<(), ShuttingDown> {
+        let n_slots = self.shared.slots.len();
+        let mut st = self.shared.state.lock().expect("pool lock");
+        if st.shutdown {
+            return Err(ShuttingDown);
+        }
+        let n = jobs.len();
+        for (hint, job) in jobs {
+            let slot = hint % n_slots;
+            st.queued_local += 1;
+            self.shared.slots[slot].lock().expect("slot lock").push(job);
+        }
+        drop(st);
+        if n == 1 {
+            self.shared.work.notify_one();
+        } else if n > 1 {
+            self.shared.work.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Queued + running job count: injector backlog, LIFO-slot backlog and
+    /// jobs currently executing. This is the pressure signal admission
+    /// layers (the `dp_gateway` dispatcher) throttle on.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").depth()
+    }
+
+    /// Blocks until [`WorkerPool::queue_depth`] drops below `below` (or
+    /// the pool drains entirely, which covers `below == 0`), returning the
+    /// depth observed. Progress is guaranteed: workers signal after every
+    /// job completion and queued jobs always run, even during shutdown
+    /// (draining semantics).
+    pub fn wait_depth_below(&self, below: usize) -> usize {
+        let mut st = self.shared.state.lock().expect("pool lock");
+        loop {
+            let depth = st.depth();
+            if depth < below || st.is_drained() {
+                return depth;
+            }
+            st = self.shared.progress.wait(st).expect("pool lock");
+        }
+    }
+
     /// Submits a job to worker `hint % workers`'s LIFO slot — producers
     /// spreading a chunked batch round-robin keep each worker on its own
     /// chunk run (cache-warm model state) while idle workers steal.
@@ -211,14 +273,15 @@ impl WorkerPool {
     pub fn wait_idle(&self) {
         let mut st = self.shared.state.lock().expect("pool lock");
         while !st.is_drained() {
-            st = self.shared.drained.wait(st).expect("pool lock");
+            st = self.shared.progress.wait(st).expect("pool lock");
         }
     }
 
-    /// Graceful shutdown: rejects new submissions, lets the workers drain
-    /// every queued and in-flight job, then joins them. Called implicitly
-    /// on drop.
-    pub fn shutdown(&mut self) {
+    /// Begins shutdown **without joining**: new submissions are rejected
+    /// from this point on, while the workers keep draining every queued
+    /// and in-flight job. Idempotent; [`WorkerPool::shutdown`] (or drop)
+    /// later joins the workers.
+    pub fn begin_shutdown(&self) {
         {
             let mut st = self.shared.state.lock().expect("pool lock");
             if st.shutdown {
@@ -227,6 +290,13 @@ impl WorkerPool {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
+    }
+
+    /// Graceful shutdown: rejects new submissions, lets the workers drain
+    /// every queued and in-flight job, then joins them. Called implicitly
+    /// on drop.
+    pub fn shutdown(&mut self) {
+        self.begin_shutdown();
         for h in self.workers.drain(..) {
             h.join().expect("pool worker never panics");
         }
@@ -263,9 +333,9 @@ fn worker_loop(shared: &Shared, me: usize) {
         shared.jobs_run.fetch_add(1, Ordering::Relaxed);
         let mut st = shared.state.lock().expect("pool lock");
         st.active -= 1;
-        if st.is_drained() {
-            shared.drained.notify_all();
-        }
+        // Every completion is progress: depth waiters re-check their
+        // threshold, idle waiters re-check the drain condition.
+        shared.progress.notify_all();
     }
 }
 
@@ -347,5 +417,54 @@ mod tests {
         let pool = WorkerPool::new(2);
         pool.wait_idle();
         assert_eq!(pool.stats().jobs_run, 0);
+    }
+
+    #[test]
+    fn spawn_batch_runs_all_or_nothing() {
+        let mut pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let jobs: Vec<(usize, Job)> = (0..10).map(|i| (i, counting_job(&counter))).collect();
+        pool.spawn_batch(jobs).unwrap();
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        pool.shutdown();
+        // After shutdown: the whole batch is rejected, nothing runs.
+        let jobs: Vec<(usize, Job)> = (0..10).map(|i| (i, counting_job(&counter))).collect();
+        assert_eq!(pool.spawn_batch(jobs), Err(ShuttingDown));
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(pool.stats().jobs_run, 10);
+    }
+
+    #[test]
+    fn queue_depth_tracks_backlog_and_drains_to_zero() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.queue_depth(), 0);
+        // A gate job holds the single worker busy while we pile up backlog.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.spawn(Box::new(move || {
+                let (open, cv) = &*gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }))
+            .unwrap();
+        }
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..5 {
+            pool.spawn_at(i, counting_job(&counter)).unwrap();
+        }
+        // Gate job active (or queued) + 5 queued behind it.
+        assert!(pool.queue_depth() >= 5);
+        {
+            let (open, cv) = &*gate;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert_eq!(pool.wait_depth_below(1), 0);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
     }
 }

@@ -275,6 +275,94 @@ fn shutdown_drains_in_flight_requests() {
 }
 
 #[test]
+fn closed_engine_rejects_whole_batches_with_typed_error() {
+    // Regression: batch submission used to enqueue chunks one at a time,
+    // so an engine closing mid-batch could admit the first chunks and
+    // silently drop the rest (the caller got a generic shutdown error and
+    // no way to tell how much had leaked into the pool). Chunk admission
+    // is now all-or-nothing and the rejection is the typed `EngineClosed`.
+    let (mlp, split) = trained_iris();
+    let engine = ServeEngine::new(EngineConfig {
+        workers: 2,
+        chunk_samples: 4,
+    });
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q.clone()).unwrap();
+    let xs: Vec<Vec<f32>> = split
+        .test
+        .features
+        .iter()
+        .cycle()
+        .take(40)
+        .cloned()
+        .collect();
+    // 40 samples / 4-sample chunks = 10 jobs admitted before the close.
+    let admitted = engine.submit_forward(&key, xs.clone()).unwrap();
+    engine.close();
+    // Post-close submissions fail with the typed error and enqueue
+    // *zero* chunks — jobs_run stays at exactly the admitted batch.
+    assert_eq!(
+        engine.submit_forward(&key, xs.clone()).unwrap_err(),
+        ServeError::EngineClosed
+    );
+    assert_eq!(
+        engine.submit_classify(&key, xs.clone()).unwrap_err(),
+        ServeError::EngineClosed
+    );
+    assert_eq!(
+        engine.submit_forward_one(&key, xs[0].clone()).unwrap_err(),
+        ServeError::EngineClosed
+    );
+    // The admitted batch still drains completely and correctly.
+    let direct: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+    assert_eq!(admitted.wait().unwrap(), direct);
+    engine.wait_idle();
+    assert_eq!(engine.stats().jobs_run, 10);
+}
+
+#[test]
+fn wait_after_pool_drained_still_returns_the_result() {
+    // Completion-handle edge case: the pool can go fully idle (all chunks
+    // done, results parked in the handle) long before the caller waits.
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = engine.registry().register("iris", q.clone()).unwrap();
+    let handle = engine
+        .submit_forward(&key, split.test.features.clone())
+        .unwrap();
+    engine.wait_idle();
+    assert_eq!(engine.queue_depth(), 0);
+    let direct: Vec<Vec<u32>> = split
+        .test
+        .features
+        .iter()
+        .map(|x| q.forward_bits(x))
+        .collect();
+    assert_eq!(handle.wait().unwrap(), direct);
+}
+
+#[test]
+#[should_panic(expected = "batch result already taken")]
+fn wait_after_poll_took_the_result_panics() {
+    // The dp_serve handles are single-consumer: poll() hands the result
+    // out exactly once and a later wait() is a caller bug, reported as a
+    // panic (the cached-resolution behavior lives in dp_gateway handles).
+    let (mlp, split) = trained_iris();
+    let engine = test_engine();
+    let key = engine
+        .registry()
+        .register("iris", QuantizedMlp::quantize(&mlp, mixed_formats()[0]))
+        .unwrap();
+    let handle = engine
+        .submit_classify(&key, split.test.features.clone())
+        .unwrap();
+    engine.wait_idle();
+    assert!(handle.poll().is_some());
+    let _ = handle.wait();
+}
+
+#[test]
 fn poll_transitions_from_pending_to_ready() {
     let (mlp, split) = trained_iris();
     let engine = test_engine();
