@@ -1,14 +1,22 @@
-//! EMAC software-model throughput: exact MACs per second for each format
-//! family, fast path (decode LUT or 13–16-bit split table + native
-//! `i128`/256-bit accumulator) vs the pre-LUT reference datapath
-//! (Algorithm-1 bit-field decode + `WideInt`), plus the quire.
+//! EMAC software-model throughput, **per slice kernel**: exact MACs per
+//! second for each format family through [`dp_emac::Emac::dot_slice`],
+//! one row per kernel the format band can run —
+//!
+//! * `*_product_table` — finished-product table (n ≤ 8, i128 window),
+//! * `*_batched_fused` — gathered fused operands, hi/lo-lane accumulate,
+//! * `*_scalar` — the per-element `mac()` loop on the same fast unit
+//!   (PR 1's scalar fused-LUT path, the pre-slice baseline),
+//! * `*_reference` — the pre-LUT bit-field + `WideInt` datapath,
+//!
+//! plus the quire for posits. Every row asserts the unit really selected
+//! the kernel it claims to measure, so a silent fallback to a slower path
+//! cannot produce a plausible-looking baseline.
 //!
 //! Run with `cargo bench --bench emac_throughput`. Writes the committed
-//! baseline `BENCH_emac.json` at the repository root (before = `*_reference`
-//! rows, after = the matching fast rows).
+//! baseline `BENCH_emac.json` at the repository root.
 
 use dp_bench::timing::{measure, out_path, render_measurements, write_json, Measurement};
-use dp_emac::{Emac, FixedEmac, FloatEmac, PositEmac};
+use dp_emac::{Emac, FixedEmac, FloatEmac, MacKernel, PositEmac};
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
 use dp_posit::{PositFormat, Quire};
@@ -17,115 +25,251 @@ use std::hint::black_box;
 /// Dot-product length (the paper's k = 128 reference accumulation count).
 const K: usize = 128;
 
-fn patterns(mask: u32, skip: u32) -> Vec<(u32, u32)> {
+fn patterns(mask: u32, skip: u32) -> (Vec<u32>, Vec<u32>) {
     let mut s = 0xfeed_f00d_dead_beefu64;
-    (0..K)
-        .map(|_| {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            let a = (s as u32) & mask;
-            let b = ((s >> 32) as u32) & mask;
-            (if a == skip { 0 } else { a }, if b == skip { 0 } else { b })
-        })
-        .collect()
+    let mut ws = Vec::with_capacity(K);
+    let mut xs = Vec::with_capacity(K);
+    for _ in 0..K {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let a = (s as u32) & mask;
+        let b = ((s >> 32) as u32) & mask;
+        ws.push(if a == skip { 0 } else { a });
+        xs.push(if b == skip { 0 } else { b });
+    }
+    (ws, xs)
+}
+
+/// One `dot_slice` row: asserts the unit runs `kernel`, then measures the
+/// whole-row dot product.
+fn slice_row<E: Emac>(
+    rows: &mut Vec<Measurement>,
+    label: &str,
+    mut unit: E,
+    kernel: MacKernel,
+    ws: &[u32],
+    xs: &[u32],
+) {
+    assert_eq!(
+        unit.kernel(),
+        kernel,
+        "{label}: unit did not select the {kernel} kernel"
+    );
+    rows.push(measure(
+        &format!("{label}_dot{K}_{kernel}"),
+        K as u64,
+        || {
+            unit.reset();
+            unit.dot_slice(black_box(ws), black_box(xs));
+            unit.result()
+        },
+    ));
+}
+
+/// One scalar-loop row (`mac()` per element) on an already-built unit —
+/// the pre-slice PR 1 baseline for fast units, the pre-LUT reference for
+/// `new_reference()` units.
+fn mac_loop_row<E: Emac>(
+    rows: &mut Vec<Measurement>,
+    name: &str,
+    mut unit: E,
+    ws: &[u32],
+    xs: &[u32],
+) {
+    rows.push(measure(name, K as u64, || {
+        unit.reset();
+        for (&x, &y) in ws.iter().zip(xs) {
+            unit.mac(black_box(x), black_box(y));
+        }
+        unit.result()
+    }));
 }
 
 fn bench_posit(rows: &mut Vec<Measurement>, n: u32, es: u32) {
     let fmt = PositFormat::new(n, es).unwrap();
-    let pv = patterns(fmt.mask(), fmt.nar_bits());
+    let (ws, xs) = patterns(fmt.mask(), fmt.nar_bits());
     let label = format!("posit{n}e{es}");
+    let expected = PositEmac::new(fmt, K as u64).kernel();
 
-    let mut fast = PositEmac::new(fmt, K as u64);
-    rows.push(measure(&format!("{label}_emac_dot{K}"), K as u64, || {
-        fast.reset();
-        for &(x, y) in &pv {
-            fast.mac(black_box(x), black_box(y));
-        }
-        fast.result()
-    }));
-
-    let mut reference = PositEmac::new_reference(fmt, K as u64);
-    rows.push(measure(
-        &format!("{label}_emac_dot{K}_reference"),
-        K as u64,
-        || {
-            reference.reset();
-            for &(x, y) in &pv {
-                reference.mac(black_box(x), black_box(y));
-            }
-            reference.result()
-        },
-    ));
+    if expected == MacKernel::ProductTable {
+        slice_row(
+            rows,
+            &label,
+            PositEmac::new(fmt, K as u64),
+            MacKernel::ProductTable,
+            &ws,
+            &xs,
+        );
+        slice_row(
+            rows,
+            &label,
+            PositEmac::new(fmt, K as u64).with_kernel_cap(MacKernel::BatchedFused),
+            MacKernel::BatchedFused,
+            &ws,
+            &xs,
+        );
+    } else if expected == MacKernel::BatchedFused {
+        slice_row(
+            rows,
+            &label,
+            PositEmac::new(fmt, K as u64),
+            MacKernel::BatchedFused,
+            &ws,
+            &xs,
+        );
+    } else {
+        slice_row(
+            rows,
+            &label,
+            PositEmac::new(fmt, K as u64),
+            MacKernel::Scalar,
+            &ws,
+            &xs,
+        );
+    }
+    mac_loop_row(
+        rows,
+        &format!("{label}_dot{K}_scalar_mac"),
+        PositEmac::new(fmt, K as u64),
+        &ws,
+        &xs,
+    );
+    mac_loop_row(
+        rows,
+        &format!("{label}_dot{K}_reference"),
+        PositEmac::new_reference(fmt, K as u64),
+        &ws,
+        &xs,
+    );
 
     let mut quire = Quire::new(fmt, K as u64);
     rows.push(measure(&format!("{label}_quire_dot{K}"), K as u64, || {
         quire.clear();
-        for &(x, y) in &pv {
+        for (&x, &y) in ws.iter().zip(&xs) {
             quire.add_product(black_box(x), black_box(y));
         }
         quire.to_posit()
     }));
 }
 
+fn bench_float(rows: &mut Vec<Measurement>, label: &str, we: u32, wf: u32) {
+    let fmt = FloatFormat::new(we, wf).unwrap();
+    let (ws, xs) = patterns(fmt.mask(), fmt.nan_bits());
+    let expected = FloatEmac::new(fmt, K as u64).kernel();
+
+    if expected == MacKernel::ProductTable {
+        slice_row(
+            rows,
+            label,
+            FloatEmac::new(fmt, K as u64),
+            MacKernel::ProductTable,
+            &ws,
+            &xs,
+        );
+        slice_row(
+            rows,
+            label,
+            FloatEmac::new(fmt, K as u64).with_kernel_cap(MacKernel::BatchedFused),
+            MacKernel::BatchedFused,
+            &ws,
+            &xs,
+        );
+    } else {
+        slice_row(
+            rows,
+            label,
+            FloatEmac::new(fmt, K as u64),
+            expected,
+            &ws,
+            &xs,
+        );
+    }
+    mac_loop_row(
+        rows,
+        &format!("{label}_dot{K}_scalar_mac"),
+        FloatEmac::new(fmt, K as u64),
+        &ws,
+        &xs,
+    );
+    mac_loop_row(
+        rows,
+        &format!("{label}_dot{K}_reference"),
+        FloatEmac::new_reference(fmt, K as u64),
+        &ws,
+        &xs,
+    );
+}
+
+fn bench_fixed(rows: &mut Vec<Measurement>, label: &str, n: u32, q: u32) {
+    let fmt = FixedFormat::new(n, q).unwrap();
+    let (ws, xs) = patterns((1u32 << n) - 1, 1 << n);
+    let expected = FixedEmac::new(fmt, K as u64).kernel();
+
+    if expected == MacKernel::ProductTable {
+        slice_row(
+            rows,
+            label,
+            FixedEmac::new(fmt, K as u64),
+            MacKernel::ProductTable,
+            &ws,
+            &xs,
+        );
+        slice_row(
+            rows,
+            label,
+            FixedEmac::new(fmt, K as u64).with_kernel_cap(MacKernel::BatchedFused),
+            MacKernel::BatchedFused,
+            &ws,
+            &xs,
+        );
+    } else {
+        slice_row(
+            rows,
+            label,
+            FixedEmac::new(fmt, K as u64),
+            expected,
+            &ws,
+            &xs,
+        );
+    }
+    mac_loop_row(
+        rows,
+        &format!("{label}_dot{K}_scalar_mac"),
+        FixedEmac::new(fmt, K as u64),
+        &ws,
+        &xs,
+    );
+}
+
 fn main() {
     let mut rows: Vec<Measurement> = Vec::new();
 
+    // The paper's headline 8-bit formats: product-table vs batched vs the
+    // PR 1 scalar fused-LUT loop vs the pre-LUT reference.
     for es in [0u32, 1, 2] {
         bench_posit(&mut rows, 8, es);
     }
-    // The §IV sweep's 16-bit formats: split-table decode + native
-    // (i128 / 256-bit) accumulator vs the bit-field + WideInt reference.
+    // The §IV sweep's 16-bit formats: batched fused kernel over the split
+    // table + native (i128/256-bit) accumulator.
     for es in [0u32, 1, 2] {
         bench_posit(&mut rows, 16, es);
     }
-    // Past the split ceiling: no table, WideInt register — fast and
-    // reference paths should roughly coincide, proving the fallback did
-    // not regress.
+    // Past the split ceiling: the scalar kernel on the WideInt register —
+    // fast and reference paths should roughly coincide.
     bench_posit(&mut rows, 17, 1);
 
-    for (label, we, wf) in [("float8e4m3", 4u32, 3u32), ("float16e5m10", 5, 10)] {
-        let ffmt = FloatFormat::new(we, wf).unwrap();
-        let fv = patterns(ffmt.mask(), ffmt.nan_bits());
-        let mut ffast = FloatEmac::new(ffmt, K as u64);
-        rows.push(measure(&format!("{label}_emac_dot{K}"), K as u64, || {
-            ffast.reset();
-            for &(x, y) in &fv {
-                ffast.mac(black_box(x), black_box(y));
-            }
-            ffast.result()
-        }));
-        let mut fref = FloatEmac::new_reference(ffmt, K as u64);
-        rows.push(measure(
-            &format!("{label}_emac_dot{K}_reference"),
-            K as u64,
-            || {
-                fref.reset();
-                for &(x, y) in &fv {
-                    fref.mac(black_box(x), black_box(y));
-                }
-                fref.result()
-            },
-        ));
-    }
+    bench_float(&mut rows, "float8e4m3", 4, 3);
+    bench_float(&mut rows, "float16e5m10", 5, 10);
 
-    for (label, n, q) in [("fixed8q6", 8u32, 6u32), ("fixed16q8", 16, 8)] {
-        let xfmt = FixedFormat::new(n, q).unwrap();
-        let xv = patterns((1u32 << n) - 1, 1 << n);
-        let mut xe = FixedEmac::new(xfmt, K as u64);
-        rows.push(measure(&format!("{label}_emac_dot{K}"), K as u64, || {
-            xe.reset();
-            for &(x, y) in &xv {
-                xe.mac(black_box(x), black_box(y));
-            }
-            xe.result()
-        }));
-    }
+    bench_fixed(&mut rows, "fixed8q6", 8, 6);
+    bench_fixed(&mut rows, "fixed16q8", 16, 8);
 
     println!("{}", render_measurements(&rows));
 
-    // Headline speedups: fast vs reference per format.
-    let find = |name: &str| rows.iter().find(|m| m.name == name).unwrap();
+    // Headline speedups per format: each kernel over the reference path
+    // (fixed point has no WideInt reference; its baseline is scalar_mac).
+    let find = |name: &str| rows.iter().find(|m| m.name == name);
     for label in [
         "posit8e0",
         "posit8e1",
@@ -136,13 +280,21 @@ fn main() {
         "posit17e1",
         "float8e4m3",
         "float16e5m10",
+        "fixed8q6",
+        "fixed16q8",
     ] {
-        let fast = find(&format!("{label}_emac_dot{K}"));
-        let reference = find(&format!("{label}_emac_dot{K}_reference"));
-        println!(
-            "{label}: {:.2}x MACs/sec over the pre-LUT reference path",
-            reference.ns_per_iter / fast.ns_per_iter
-        );
+        let baseline = find(&format!("{label}_dot{K}_reference"))
+            .or_else(|| find(&format!("{label}_dot{K}_scalar_mac")))
+            .unwrap();
+        for kernel in ["product_table", "batched_fused", "scalar", "scalar_mac"] {
+            if let Some(m) = find(&format!("{label}_dot{K}_{kernel}")) {
+                println!(
+                    "{label} {kernel}: {:.2}x MACs/sec over {}",
+                    baseline.ns_per_iter / m.ns_per_iter,
+                    baseline.name,
+                );
+            }
+        }
     }
 
     let path = out_path("emac");
@@ -152,9 +304,12 @@ fn main() {
         ("k", K.to_string()),
         (
             "note",
-            "elems = MACs; *_reference rows are the pre-LUT bit-field + WideInt datapath (before), \
-             matching rows without the suffix are the fast path (after): monolithic LUT at <= 12 \
-             bits, split regime-prefix table at 13-16 bits, i128/256-bit native accumulators"
+            "elems = MACs; one row per slice kernel through dot_slice: *_product_table = \
+             2^(2n)-entry finished-product tables (n <= 8), *_batched_fused = gathered fused \
+             operands + hi/lo-lane i128 (or 256-bit) accumulate (<= 16 bits), *_scalar = \
+             dot_slice on the scalar band; *_scalar_mac = per-element mac() loop on the same \
+             fast unit (PR 1's scalar fused-LUT baseline); *_reference = pre-LUT bit-field + \
+             WideInt datapath"
                 .to_string(),
         ),
     ];

@@ -227,6 +227,12 @@ impl QuantizedMlp {
     /// [`QuantizedMlp::forward_bits`] with caller-owned EMACs (one per
     /// layer, as built by [`QuantizedMlp::make_layer_emacs`]); the batch
     /// engine's inner loop.
+    ///
+    /// Each neuron feeds its whole contiguous weight row to
+    /// [`dp_emac::Emac::dot_slice`], so the unit runs its slice-level
+    /// [`dp_emac::MacKernel`] (finished-product table at ≤ 8 bits, batched
+    /// fused-operand gather at ≤ 16) instead of one `mac()` dispatch per
+    /// weight — bit-identical to the scalar loop by the kernel contract.
     pub fn forward_bits_with(&self, emacs: &mut [EmacUnit], x: &[f32]) -> Vec<u32> {
         debug_assert_eq!(emacs.len(), self.layers.len());
         let mut acts = self.quantize_input(x);
@@ -235,9 +241,7 @@ impl QuantizedMlp {
             let mut next = Vec::with_capacity(layer.fan_out());
             for (wrow, &bias) in layer.weight_rows().zip(layer.biases()) {
                 emac.set_bias(bias);
-                for (&w, &a) in wrow.iter().zip(&acts) {
-                    emac.mac(w, a);
-                }
+                emac.dot_slice(wrow, &acts);
                 let mut out = emac.result();
                 if li != last {
                     out = self.format.relu_bits(out);
@@ -247,6 +251,20 @@ impl QuantizedMlp {
             acts = next;
         }
         acts
+    }
+
+    /// The slice-level [`dp_emac::MacKernel`] each layer's EMAC selected
+    /// (in layer order), or `None` for the `F32` baseline — serving
+    /// introspection for registries, reports and the `kernel_sweep`
+    /// example.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the format has no EMAC datapath, like
+    /// [`QuantizedMlp::make_layer_emacs`].
+    pub fn layer_kernels(&self) -> Option<Vec<dp_emac::MacKernel>> {
+        self.make_layer_emacs()
+            .map(|emacs| emacs.iter().map(|u| u.kernel()).collect())
     }
 
     /// EMAC inference over a whole batch, bit-identical to calling
@@ -501,6 +519,67 @@ mod tests {
             acc >= f32_acc - 0.04,
             "posit16 {acc} vs f32 {f32_acc} (paper: 16-bit matches f32)"
         );
+    }
+
+    #[test]
+    fn slice_forward_matches_scalar_mac_loop() {
+        // forward_bits now rides dot_slice (kernel datapath); an inline
+        // per-element mac() loop is the pre-slice definition and must agree
+        // bit for bit, across all three kernel bands.
+        let (mlp, split) = trained_iris();
+        for fmt in [
+            NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+            NumericFormat::Posit(PositFormat::new(16, 1).unwrap()),
+            NumericFormat::Posit(PositFormat::new(17, 1).unwrap()),
+            NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+            NumericFormat::Fixed(FixedFormat::new(8, 5).unwrap()),
+        ] {
+            let q = QuantizedMlp::quantize(&mlp, fmt);
+            let scalar_forward = |x: &[f32]| -> Vec<u32> {
+                let mut emacs = q.make_layer_emacs().unwrap();
+                let mut acts = q.quantize_input(x);
+                let last = q.layers.len() - 1;
+                for (li, (layer, emac)) in q.layers.iter().zip(&mut emacs).enumerate() {
+                    let mut next = Vec::with_capacity(layer.fan_out());
+                    for (wrow, &bias) in layer.weight_rows().zip(layer.biases()) {
+                        emac.set_bias(bias);
+                        for (&w, &a) in wrow.iter().zip(&acts) {
+                            emac.mac(w, a);
+                        }
+                        let mut out = emac.result();
+                        if li != last {
+                            out = q.format.relu_bits(out);
+                        }
+                        next.push(out);
+                    }
+                    acts = next;
+                }
+                acts
+            };
+            for x in split.test.features.iter().take(20) {
+                assert_eq!(q.forward_bits(x), scalar_forward(x), "{fmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn layer_kernels_reports_band_selection() {
+        let (mlp, _) = trained_iris();
+        let by_fmt = |fmt: NumericFormat| {
+            QuantizedMlp::quantize(&mlp, fmt)
+                .layer_kernels()
+                .expect("low-precision format")
+        };
+        use dp_emac::MacKernel;
+        let p8 = by_fmt(NumericFormat::Posit(PositFormat::new(8, 0).unwrap()));
+        assert!(p8.iter().all(|&k| k == MacKernel::ProductTable), "{p8:?}");
+        let p16 = by_fmt(NumericFormat::Posit(PositFormat::new(16, 1).unwrap()));
+        assert!(p16.iter().all(|&k| k == MacKernel::BatchedFused), "{p16:?}");
+        let p17 = by_fmt(NumericFormat::Posit(PositFormat::new(17, 1).unwrap()));
+        assert!(p17.iter().all(|&k| k == MacKernel::Scalar), "{p17:?}");
+        assert!(QuantizedMlp::quantize(&mlp, NumericFormat::F32)
+            .layer_kernels()
+            .is_none());
     }
 
     #[test]

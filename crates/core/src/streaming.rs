@@ -152,9 +152,7 @@ fn layer_forward(qmlp: &QuantizedMlp, l: usize, acts: &[u32]) -> Vec<u32> {
         .zip(layer.biases())
         .map(|(wrow, &bias)| {
             emac.set_bias(bias);
-            for (&w, &a) in wrow.iter().zip(acts) {
-                emac.mac(w, a);
-            }
+            emac.dot_slice(wrow, acts);
             let out = emac.result();
             if l != last {
                 qmlp.format.relu_bits(out)

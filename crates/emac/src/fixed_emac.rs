@@ -2,8 +2,8 @@
 
 use crate::ceil_log2;
 use crate::unit::Emac;
-use crate::UnsupportedFormat;
-use dp_fixed::lut::DecodeLut;
+use crate::{MacKernel, UnsupportedFormat};
+use dp_fixed::lut::{DecodeLut, ProductLut};
 use dp_fixed::FixedFormat;
 
 /// Exact fixed-point multiply-and-accumulate.
@@ -40,6 +40,13 @@ pub struct FixedEmac {
     acc: i128,
     /// Sign-extension table for the format, when one exists (`n ≤ 12`).
     lut: Option<&'static DecodeLut>,
+    /// Finished-product table for `n ≤ 8` formats: sign extension *and*
+    /// multiply collapse into one `2^(2n)`-entry lookup
+    /// ([`MacKernel::ProductTable`]).
+    product: Option<&'static ProductLut>,
+    /// Whether [`Emac::dot_slice`] may run the unrolled partial-sum kernel
+    /// (`n ≤ 16`, [`MacKernel::BatchedFused`]).
+    batched: bool,
     count: u64,
 }
 
@@ -79,8 +86,25 @@ impl FixedEmac {
             capacity: capacity.max(1),
             acc: 0,
             lut: dp_fixed::lut::cached(fmt),
+            product: dp_fixed::lut::product_cached(fmt),
+            batched: fmt.n() <= 16,
             count: 0,
         })
+    }
+
+    /// Caps the slice-level kernel this unit may select — a bench/test
+    /// knob for comparing kernels on one format; see
+    /// [`crate::PositEmac::with_kernel_cap`] for the cap semantics. The
+    /// fixed unit's accumulator is always a native `i128`, so caps only
+    /// change which loop shape [`Emac::dot_slice`] runs.
+    pub fn with_kernel_cap(mut self, cap: MacKernel) -> Self {
+        if cap < MacKernel::ProductTable {
+            self.product = None;
+        }
+        if cap < MacKernel::BatchedFused {
+            self.batched = false;
+        }
+        self
     }
 
     /// The format of this unit.
@@ -110,6 +134,30 @@ impl FixedEmac {
     fn clip(&self, v: i128) -> i64 {
         v.clamp(self.fmt.min_raw() as i128, self.fmt.max_raw() as i128) as i64
     }
+
+    /// The batched loop body, monomorphized per sign-extension source.
+    #[inline(always)]
+    fn dot_direct<F: Fn(u32) -> i64>(
+        sext: F,
+        acc: &mut i128,
+        weights: &[u32],
+        activations: &[u32],
+    ) {
+        let mut wc = weights.chunks_exact(4);
+        let mut ac = activations.chunks_exact(4);
+        for (w4, a4) in (&mut wc).zip(&mut ac) {
+            let mut partial = 0i64;
+            for j in 0..4 {
+                partial += sext(w4[j]) * sext(a4[j]);
+            }
+            *acc += partial as i128;
+        }
+        let mut partial = 0i64;
+        for (&w, &a) in wc.remainder().iter().zip(ac.remainder()) {
+            partial += sext(w) * sext(a);
+        }
+        *acc += partial as i128;
+    }
 }
 
 impl Emac for FixedEmac {
@@ -131,6 +179,72 @@ impl Emac for FixedEmac {
         let w = self.sext(weight) as i128;
         let a = self.sext(activation) as i128;
         self.acc += w * a; // exact: 2n-bit product in a >= 2n + log2k register
+    }
+
+    fn dot_slice(&mut self, weights: &[u32], activations: &[u32]) {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "dot_slice: weight/activation length mismatch"
+        );
+        self.count += weights.len() as u64;
+        debug_assert!(self.count <= self.capacity, "fixed EMAC over capacity");
+        // Product-table kernel (n ≤ 8): finished signed products summed in
+        // an i64 partial per 8-chunk (|entry| < 2^14, so a chunk partial
+        // fits with room to spare), folded into the i128 register once.
+        if let Some(table) = self.product {
+            let mut wc = weights.chunks_exact(8);
+            let mut ac = activations.chunks_exact(8);
+            for (w8, a8) in (&mut wc).zip(&mut ac) {
+                let mut partial = 0i64;
+                for j in 0..8 {
+                    partial += table.entry(w8[j], a8[j]);
+                }
+                self.acc += partial as i128;
+            }
+            let mut partial = 0i64;
+            for (&w, &a) in wc.remainder().iter().zip(ac.remainder()) {
+                partial += table.entry(w, a);
+            }
+            self.acc += partial as i128;
+            return;
+        }
+        // Batched kernel (n ≤ 16): sign-extension products summed in an
+        // i64 partial per 4-chunk (|product| < 2^30), one i128 fold per
+        // chunk — monomorphized per decode source so the loop body is
+        // plain word arithmetic the optimizer can unroll.
+        if self.batched {
+            let n = self.fmt.n();
+            match self.lut {
+                Some(lut) => {
+                    Self::dot_direct(|b| lut.decode(b), &mut self.acc, weights, activations)
+                }
+                None => Self::dot_direct(
+                    |b| {
+                        let sh = 64 - n;
+                        (((b as u64) << sh) as i64) >> sh
+                    },
+                    &mut self.acc,
+                    weights,
+                    activations,
+                ),
+            }
+            return;
+        }
+        // Scalar kernel: wide formats loop the per-MAC i128 multiply.
+        for (&w, &a) in weights.iter().zip(activations) {
+            self.acc += self.sext(w) as i128 * self.sext(a) as i128;
+        }
+    }
+
+    fn kernel(&self) -> MacKernel {
+        if self.product.is_some() {
+            MacKernel::ProductTable
+        } else if self.batched {
+            MacKernel::BatchedFused
+        } else {
+            MacKernel::Scalar
+        }
     }
 
     fn result(&self) -> u32 {

@@ -2,8 +2,10 @@
 
 use crate::acc::Accum;
 use crate::ceil_log2;
+use crate::kernel::I128Lanes;
 use crate::unit::Emac;
-use dp_minifloat::lut::{DecodeLut, EmacDirect, EmacEntry, EmacLut};
+use crate::MacKernel;
+use dp_minifloat::lut::{DecodeLut, EmacDirect, EmacEntry, EmacLut, ProductEntry, ProductLut};
 use dp_minifloat::{decode, encode, FloatClass, FloatFormat};
 
 /// Where fused EMAC operands come from on the fast path: the per-pattern
@@ -71,6 +73,10 @@ pub struct FloatEmac {
     /// Fused decode + front-end operands driving the one-lookup MAC loop
     /// (`n ≤ 12`: per-pattern table; 13–16: computed bit-field operands).
     fast: Option<FastOperands>,
+    /// Finished-product table for `n ≤ 8` formats: decode, multiply and
+    /// underflow normalization collapse into one `2^(2n)`-entry lookup
+    /// ([`MacKernel::ProductTable`] when the accumulator is an `i128`).
+    product: Option<&'static ProductLut>,
     /// Bit index of weight 2^0: products are multiples of min_subnormal².
     offset: i32,
     count: u64,
@@ -92,6 +98,7 @@ impl FloatEmac {
             capacity,
             dp_minifloat::lut::cached(fmt),
             fast,
+            dp_minifloat::lut::product_cached(fmt),
             Accum::new(Self::accumulator_width_for(fmt, capacity)),
         )
     }
@@ -118,8 +125,22 @@ impl FloatEmac {
             capacity,
             None,
             None,
+            None,
             Accum::new_wide(Self::accumulator_width_for(fmt, capacity)),
         )
+    }
+
+    /// Caps the slice-level kernel this unit may select — a bench/test
+    /// knob for comparing kernels on one format; see
+    /// [`crate::PositEmac::with_kernel_cap`] for the cap semantics.
+    pub fn with_kernel_cap(mut self, cap: MacKernel) -> Self {
+        if cap < MacKernel::ProductTable {
+            self.product = None;
+        }
+        if cap < MacKernel::BatchedFused {
+            self.fast = None;
+        }
+        self
     }
 
     fn build(
@@ -127,6 +148,7 @@ impl FloatEmac {
         capacity: u64,
         lut: Option<&'static DecodeLut>,
         fast: Option<FastOperands>,
+        product: Option<&'static ProductLut>,
         acc: Accum,
     ) -> Self {
         // Smallest product bit: (2^(min_normal_scale - wf))² ; the offset
@@ -138,6 +160,7 @@ impl FloatEmac {
             acc,
             lut,
             fast,
+            product,
             offset: -offset,
             count: 0,
             poisoned: false,
@@ -177,28 +200,12 @@ impl FloatEmac {
         self.acc
             .add_shifted_u128((sig >> tz) as u128, pos as usize, sign);
     }
-}
 
-impl Emac for FloatEmac {
-    fn reset(&mut self) {
-        self.acc.clear();
-        self.count = 0;
-        self.poisoned = false;
-    }
-
-    fn set_bias(&mut self, bias: u32) {
-        self.reset();
-        match self.decode_bits(bias) {
-            FloatClass::Zero(_) => {}
-            FloatClass::Finite(u) => self.add_value(u.sign, u.scale, u.sig),
-            _ => self.poisoned = true,
-        }
-    }
-
+    /// The [`Emac::mac`] datapath without the `macs_done` bookkeeping —
+    /// shared by the scalar entry point and [`Emac::dot_slice`]'s scalar
+    /// kernel (which advances the counter once per slice).
     #[inline]
-    fn mac(&mut self, weight: u32, activation: u32) {
-        self.count += 1;
-        debug_assert!(self.count <= self.capacity, "float EMAC over capacity");
+    fn mac_uncounted(&mut self, weight: u32, activation: u32) {
         // Fused fast path: integer significand product, trailing zeros
         // absorbing subnormal underflow, one shifted native add.
         // Bit-identical to the datapath below (fast_path_equivalence).
@@ -251,6 +258,177 @@ impl Emac for FloatEmac {
         debug_assert!(pos >= 0, "float products are multiples of min_sub²");
         self.acc
             .add_shifted_u128(prod >> tz, pos as usize, ua.sign ^ ub.sign);
+    }
+
+    /// One finished-product table step of the product-table kernel.
+    #[inline(always)]
+    fn product_step(table: &ProductLut, lanes: &mut I128Lanes, special: &mut u32, w: u32, a: u32) {
+        let p = table.entry(w, a);
+        *special |= p.0 & ProductEntry::SPECIAL_BIT;
+        debug_assert!(
+            p.shift() + (64 - p.product().leading_zeros()) <= 127,
+            "product-table kernel requires the i128 window"
+        );
+        lanes.add((p.product() as u128) << p.shift(), p.negate());
+    }
+
+    /// The batched fused-operand loop on the `i128` window, monomorphized
+    /// per entry source (per-pattern table vs computed bit fields) so the
+    /// inner loop is a plain gather → multiply → shifted lane-add. The net
+    /// shift `bias_w + bias_a − 2wf` may be negative (subnormal products);
+    /// the product then has at least that many trailing zeros, so the
+    /// right shift is exact — the same value the scalar path computes via
+    /// its trailing-zero count. Returns whether Inf/NaN was seen.
+    #[inline(always)]
+    fn dot_fused_small<F: Fn(u32) -> EmacEntry>(
+        entry: F,
+        wf2: i32,
+        acc: &mut i128,
+        weights: &[u32],
+        activations: &[u32],
+    ) -> bool {
+        let mut lanes = I128Lanes::from_i128(*acc);
+        let mut special = 0u64;
+        for (&w, &a) in weights.iter().zip(activations) {
+            let ew = entry(w);
+            let ea = entry(a);
+            special |= (ew.0 | ea.0) & EmacEntry::SPECIAL_BIT;
+            let prod = ew.field() * ea.field();
+            let net = ew.biased_scale() as i32 + ea.biased_scale() as i32 - wf2;
+            debug_assert!(
+                prod == 0 || net >= 0 || prod.trailing_zeros() >= (-net) as u32,
+                "float products are multiples of min_sub²"
+            );
+            let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+            let term = if net >= 0 {
+                (prod as u128) << net
+            } else {
+                (prod as u128) >> (-net)
+            };
+            lanes.add(term, negate);
+        }
+        *acc = lanes.into_i128();
+        special != 0
+    }
+
+    /// The batched fused-operand loop on the medium/wide windows,
+    /// accumulating through [`Accum::add_shifted_u128`]. Returns whether
+    /// Inf/NaN was seen.
+    #[inline(always)]
+    fn dot_fused_wide<F: Fn(u32) -> EmacEntry>(
+        entry: F,
+        wf2: i32,
+        acc: &mut Accum,
+        weights: &[u32],
+        activations: &[u32],
+    ) -> bool {
+        let mut special = false;
+        for (&w, &a) in weights.iter().zip(activations) {
+            let ew = entry(w);
+            let ea = entry(a);
+            if (ew.0 | ea.0) & EmacEntry::SPECIAL_BIT != 0 {
+                special = true;
+                continue;
+            }
+            let prod = ew.field() * ea.field();
+            if prod == 0 {
+                continue;
+            }
+            let tz = prod.trailing_zeros() as i32;
+            let shift = ew.biased_scale() as i32 + ea.biased_scale() as i32 + tz - wf2;
+            debug_assert!(shift >= 0, "float products are multiples of min_sub²");
+            let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+            acc.add_shifted_u128((prod >> tz) as u128, shift as usize, negate);
+        }
+        special
+    }
+}
+
+impl Emac for FloatEmac {
+    fn reset(&mut self) {
+        self.acc.clear();
+        self.count = 0;
+        self.poisoned = false;
+    }
+
+    fn set_bias(&mut self, bias: u32) {
+        self.reset();
+        match self.decode_bits(bias) {
+            FloatClass::Zero(_) => {}
+            FloatClass::Finite(u) => self.add_value(u.sign, u.scale, u.sig),
+            _ => self.poisoned = true,
+        }
+    }
+
+    #[inline]
+    fn mac(&mut self, weight: u32, activation: u32) {
+        self.count += 1;
+        debug_assert!(self.count <= self.capacity, "float EMAC over capacity");
+        self.mac_uncounted(weight, activation);
+    }
+
+    fn dot_slice(&mut self, weights: &[u32], activations: &[u32]) {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "dot_slice: weight/activation length mismatch"
+        );
+        self.count += weights.len() as u64;
+        debug_assert!(self.count <= self.capacity, "float EMAC over capacity");
+        // Product-table kernel (n ≤ 8, i128 window): decode, multiply and
+        // normalization are table-finished; the loop is load → lane add.
+        if let (Some(table), Accum::Small(acc)) = (self.product, &mut self.acc) {
+            let mut lanes = I128Lanes::from_i128(*acc);
+            let mut special = 0u32;
+            for (&w, &a) in weights.iter().zip(activations) {
+                Self::product_step(table, &mut lanes, &mut special, w, a);
+            }
+            *acc = lanes.into_i128();
+            if special != 0 {
+                self.poisoned = true;
+            }
+            return;
+        }
+        // Batched fused-operand kernel: gathered entries through a loop
+        // monomorphized per entry source, into hi/lo u64 lanes (i128
+        // window) or the medium native register. Gated on a native window
+        // exactly like `kernel()`, so a fast-table unit whose register
+        // spilled to WideInt runs (and reports) Scalar.
+        if let (Some(t), true) = (self.fast, self.acc.is_native()) {
+            let wf2 = 2 * self.fmt.wf() as i32;
+            let poisoned = match (&mut self.acc, t) {
+                (Accum::Small(acc), FastOperands::Lut(tab)) => {
+                    Self::dot_fused_small(|b| tab.entry(b), wf2, acc, weights, activations)
+                }
+                (Accum::Small(acc), FastOperands::Direct(d)) => {
+                    Self::dot_fused_small(|b| d.entry(b), wf2, acc, weights, activations)
+                }
+                (acc, FastOperands::Lut(tab)) => {
+                    Self::dot_fused_wide(|b| tab.entry(b), wf2, acc, weights, activations)
+                }
+                (acc, FastOperands::Direct(d)) => {
+                    Self::dot_fused_wide(|b| d.entry(b), wf2, acc, weights, activations)
+                }
+            };
+            if poisoned {
+                self.poisoned = true;
+            }
+            return;
+        }
+        // Scalar kernel: the reference band loops the per-MAC datapath.
+        for (&w, &a) in weights.iter().zip(activations) {
+            self.mac_uncounted(w, a);
+        }
+    }
+
+    fn kernel(&self) -> MacKernel {
+        if self.product.is_some() && self.acc.is_small() {
+            MacKernel::ProductTable
+        } else if self.fast.is_some() && self.acc.is_native() {
+            MacKernel::BatchedFused
+        } else {
+            MacKernel::Scalar
+        }
     }
 
     fn result(&self) -> u32 {

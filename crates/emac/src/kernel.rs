@@ -1,0 +1,156 @@
+//! Slice-level MAC kernels: the unit of work moves from one MAC to one
+//! dot-product row.
+//!
+//! The paper's performance story is the exact EMAC dot product
+//! (eqs. 3–4); a software model that dispatches one [`crate::Emac::mac`]
+//! call per weight pays per-element dispatch, per-element table lookup and
+//! a per-element wide accumulate. [`crate::Emac::dot_slice`] instead hands
+//! the unit a whole `(weights, activations)` row, and each unit selects a
+//! [`MacKernel`] **once per (format band, accumulator window)** at
+//! construction:
+//!
+//! * [`MacKernel::ProductTable`] — formats of ≤ 8 bits with an `i128`
+//!   accumulator window. A `2^(2n)`-entry table of *finished* products
+//!   (sign, shift, product fused into one word — see
+//!   `dp_posit::lut::ProductLut` and its minifloat/fixed counterparts)
+//!   removes the multiply entirely: the inner loop is one table load and
+//!   one shifted add.
+//! * [`MacKernel::BatchedFused`] — the ≤ 16-bit fused-operand paths
+//!   (monolithic LUT, split regime-prefix table, computed bit-field
+//!   operands) with a native accumulator. The loop gathers fused entries
+//!   through a body monomorphized per entry source, with the `i128`
+//!   accumulate running as wrapping two-word (hi/lo `u64` lane) adds
+//!   ([`I128Lanes`]) — no variant dispatch inside the loop.
+//! * [`MacKernel::Scalar`] — everything else (wide formats on the
+//!   [`dp_posit::WideInt`] register, and every `new_reference()` unit):
+//!   the slice loops the scalar `mac()` datapath, which stays the
+//!   differential baseline.
+//!
+//! Every kernel accumulates the same exact integer terms in the same
+//! order, so kernel choice can never change a result bit — pinned by the
+//! `kernel_equivalence` test suite.
+
+use std::fmt;
+
+/// Which slice-level MAC kernel a unit selected. Selection happens once
+/// at construction, per (format band, accumulator window): ≤ 8-bit
+/// formats on an `i128` window take [`MacKernel::ProductTable`], ≤ 16-bit
+/// fused-operand paths on a native window take
+/// [`MacKernel::BatchedFused`], and everything else (wide formats,
+/// `new_reference()` units) loops the scalar datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MacKernel {
+    /// Scalar `mac()` loop: bit-field or table decode per element, any
+    /// accumulator. The reference band (> 16 bits, and every
+    /// `new_reference()` unit).
+    Scalar,
+    /// Batched fused-operand kernel: gathered table/computed entries,
+    /// unrolled, hi/lo-lane native accumulate. The ≤ 16-bit band.
+    BatchedFused,
+    /// Finished-product table kernel: one `2^(2n)`-entry lookup replaces
+    /// decode *and* multiply. The ≤ 8-bit band on an `i128` window.
+    ProductTable,
+}
+
+impl MacKernel {
+    /// Stable snake_case name, used in bench row names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MacKernel::ProductTable => "product_table",
+            MacKernel::BatchedFused => "batched_fused",
+            MacKernel::Scalar => "scalar",
+        }
+    }
+}
+
+impl fmt::Display for MacKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The batched kernels' two-word accumulation register, kept out of the
+/// `Accum` enum so the unrolled loop body is plain word arithmetic with
+/// no variant dispatch.
+///
+/// The register is held as a `u128` on purpose: unsigned two-word
+/// arithmetic lowers to one `add`/`adc` (or `sub`/`sbb`) pair on the
+/// hi/lo `u64` lanes, and letting the backend schedule that carry beat a
+/// hand-split `(lo: u64, hi: u64)` + `overflowing_add` formulation *and*
+/// a branch-free mask-negate (`(x ^ mask) − mask`) variant when measured
+/// on the dot-128 bench — see the PR 5 ROADMAP note. Arithmetic is
+/// two's-complement mod 2^128, identical to native `i128` wrapping
+/// arithmetic, and eq.-(3)/(4) sizing guarantees the true sum fits 127
+/// bits, so no information is ever lost.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct I128Lanes {
+    acc: u128,
+}
+
+impl I128Lanes {
+    /// Splits an `i128` register into lanes.
+    #[inline]
+    pub(crate) fn from_i128(acc: i128) -> Self {
+        I128Lanes { acc: acc as u128 }
+    }
+
+    /// `self += magnitude` (or `-=` when `negate`): one wrapping two-word
+    /// add (or subtract), matching `i128` wrapping semantics exactly. The
+    /// conditional compiles to a select/branch over the add/sub pair —
+    /// measured faster here than materializing a 128-bit sign mask.
+    #[inline]
+    pub(crate) fn add(&mut self, magnitude: u128, negate: bool) {
+        if negate {
+            self.acc = self.acc.wrapping_sub(magnitude);
+        } else {
+            self.acc = self.acc.wrapping_add(magnitude);
+        }
+    }
+
+    /// Rejoins the lanes into the `i128` register.
+    #[inline]
+    pub(crate) fn into_i128(self) -> i128 {
+        self.acc as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_are_stable() {
+        assert_eq!(MacKernel::ProductTable.name(), "product_table");
+        assert_eq!(MacKernel::BatchedFused.to_string(), "batched_fused");
+        assert_eq!(MacKernel::Scalar.name(), "scalar");
+        // Ordering encodes "fanciness": caps compare against it.
+        assert!(MacKernel::Scalar < MacKernel::BatchedFused);
+        assert!(MacKernel::BatchedFused < MacKernel::ProductTable);
+    }
+
+    #[test]
+    fn lanes_match_native_i128() {
+        let mut s = 0x5eed_cafe_f00d_beefu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..2000 {
+            let mut acc: i128 = ((next() as i64) as i128) << (next() % 50);
+            let mut lanes = I128Lanes::from_i128(acc);
+            for _ in 0..(next() % 8 + 1) {
+                let mag = ((next() % (1 << 16)) as u128) << (next() % 110);
+                let neg = next() % 2 == 0;
+                acc = if neg {
+                    acc.wrapping_sub(mag as i128)
+                } else {
+                    acc.wrapping_add(mag as i128)
+                };
+                lanes.add(mag, neg);
+            }
+            assert_eq!(lanes.into_i128(), acc);
+        }
+    }
+}

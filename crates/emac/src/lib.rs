@@ -48,12 +48,14 @@
 mod acc;
 mod fixed_emac;
 mod float_emac;
+mod kernel;
 mod posit_emac;
 mod unit;
 
 pub use acc::{Acc256, Accum, Window, MEDIUM_ACC_MAX_BITS, SMALL_ACC_MAX_BITS};
 pub use fixed_emac::FixedEmac;
 pub use float_emac::FloatEmac;
+pub use kernel::MacKernel;
 pub use posit_emac::PositEmac;
 pub use unit::{Emac, EmacUnit};
 

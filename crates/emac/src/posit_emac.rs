@@ -2,9 +2,10 @@
 
 use crate::acc::Accum;
 use crate::ceil_log2;
+use crate::kernel::I128Lanes;
 use crate::unit::Emac;
-use crate::UnsupportedFormat;
-use dp_posit::lut::{DecodeLut, EmacEntry, EmacLut, SplitLut};
+use crate::{MacKernel, UnsupportedFormat};
+use dp_posit::lut::{DecodeLut, EmacEntry, EmacLut, ProductEntry, ProductLut, SplitLut};
 use dp_posit::{decode, encode, Decoded, PositFormat};
 
 /// Where fused EMAC operands come from on the fast path: the monolithic
@@ -101,6 +102,10 @@ pub struct PositEmac {
     /// Fused decode + front-end operands driving the one-lookup MAC loop
     /// (`n ≤ 12`: per-pattern table; 13–16: split-table extraction).
     fast: Option<FastOperands>,
+    /// Finished-product table for `n ≤ 8` formats: decode *and* multiply
+    /// collapse into one `2^(2n)`-entry lookup ([`MacKernel::ProductTable`]
+    /// when the accumulator window is an `i128`).
+    product: Option<&'static ProductLut>,
     /// `F`: significand width including the hidden bit, `n − 2 − es`.
     fbits: u32,
     /// Algorithm 2's `bias`: `2^(es+1) × (n − 2)` = 2 × max_scale.
@@ -147,6 +152,7 @@ impl PositEmac {
             lut,
             split,
             fast,
+            dp_posit::lut::product_cached(fmt),
             Accum::new(Self::accumulator_width_for(fmt, capacity)),
         ))
     }
@@ -168,8 +174,26 @@ impl PositEmac {
             None,
             None,
             None,
+            None,
             Accum::new_wide(Self::accumulator_width_for(fmt, capacity)),
         )
+    }
+
+    /// Caps the slice-level kernel this unit may select — a bench/test
+    /// knob for comparing kernels on one format. [`MacKernel::ProductTable`]
+    /// (the default cap) changes nothing; [`MacKernel::BatchedFused`] drops
+    /// the finished-product table; [`MacKernel::Scalar`] additionally drops
+    /// the fused operands, so [`Emac::dot_slice`] loops the scalar
+    /// datapath. The decode tables and the accumulator window are
+    /// untouched, so results stay bit-identical under any cap.
+    pub fn with_kernel_cap(mut self, cap: MacKernel) -> Self {
+        if cap < MacKernel::ProductTable {
+            self.product = None;
+        }
+        if cap < MacKernel::BatchedFused {
+            self.fast = None;
+        }
+        self
     }
 
     fn check_format(fmt: PositFormat) -> Result<(), UnsupportedFormat> {
@@ -182,12 +206,14 @@ impl PositEmac {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         fmt: PositFormat,
         capacity: u64,
         lut: Option<&'static DecodeLut>,
         split: Option<&'static SplitLut>,
         fast: Option<FastOperands>,
+        product: Option<&'static ProductLut>,
         acc: Accum,
     ) -> Self {
         PositEmac {
@@ -197,6 +223,7 @@ impl PositEmac {
             lut,
             split,
             fast,
+            product,
             fbits: fmt.n() - 2 - fmt.es(),
             sf_bias: 2 * fmt.max_scale(),
             count: 0,
@@ -251,35 +278,12 @@ impl PositEmac {
         debug_assert!(sf_lsb >= 0, "biased scale factor must be non-negative");
         self.acc.add_shifted_u128(frac, sf_lsb as usize, sign);
     }
-}
 
-impl Emac for PositEmac {
-    fn reset(&mut self) {
-        self.acc.clear();
-        self.count = 0;
-        self.nar = false;
-    }
-
-    fn set_bias(&mut self, bias: u32) {
-        self.reset();
-        match self.decode_bits(bias) {
-            Decoded::Zero => {}
-            Decoded::NaR => self.nar = true,
-            Decoded::Finite(u) => {
-                // value = f × 2^(scale − F + 1) with f the F-bit significand;
-                // register bit b weighs 2^(b − sf_bias − (2F−2)), so the
-                // bias lands with its LSB at scale + F − 1 + sf_bias.
-                let f = self.field(u.sig) as u128;
-                let pos = u.scale + self.fbits as i32 - 1 + self.sf_bias;
-                self.add_sig(u.sign, f, pos);
-            }
-        }
-    }
-
+    /// The [`Emac::mac`] datapath without the `macs_done` bookkeeping —
+    /// shared by the scalar entry point and [`Emac::dot_slice`]'s scalar
+    /// kernel (which advances the counter once per slice).
     #[inline]
-    fn mac(&mut self, weight: u32, activation: u32) {
-        self.count += 1;
-        debug_assert!(self.count <= self.capacity, "posit EMAC over capacity");
+    fn mac_uncounted(&mut self, weight: u32, activation: u32) {
         // Fused fast path: one operand word (from the per-pattern table at
         // n ≤ 12, or the split regime-prefix extraction at 13–16 bits)
         // carries the F-bit significand and the per-operand biased scale,
@@ -336,6 +340,167 @@ impl Emac for PositEmac {
         // Accumulation (lines 11-14): biased shift, signed add.
         let sf_biased = sf_mult + self.sf_bias; // line 12
         self.add_sig(uw.sign ^ ua.sign, prod, sf_biased);
+    }
+
+    /// One finished-product table step of the product-table kernel.
+    #[inline(always)]
+    fn product_step(table: &ProductLut, lanes: &mut I128Lanes, nar: &mut u32, w: u32, a: u32) {
+        let p = table.entry(w, a);
+        *nar |= p.0 & ProductEntry::NAR_BIT;
+        debug_assert!(
+            p.shift() + (64 - p.product().leading_zeros()) <= 127,
+            "product-table kernel requires the i128 window"
+        );
+        lanes.add((p.product() as u128) << p.shift(), p.negate());
+    }
+
+    /// The batched fused-operand loop on the `i128` window, monomorphized
+    /// per entry source (monolithic table vs split extraction) so the
+    /// inner loop is a plain gather → multiply → shifted lane-add with no
+    /// per-element enum dispatch. Returns whether NaR was seen.
+    #[inline(always)]
+    fn dot_fused_small<F: Fn(u32) -> EmacEntry>(
+        entry: F,
+        acc: &mut i128,
+        weights: &[u32],
+        activations: &[u32],
+    ) -> bool {
+        let mut lanes = I128Lanes::from_i128(*acc);
+        let mut nar = 0u64;
+        for (&w, &a) in weights.iter().zip(activations) {
+            let ew = entry(w);
+            let ea = entry(a);
+            nar |= (ew.0 | ea.0) & EmacEntry::NAR_BIT;
+            let prod = ew.field() * ea.field();
+            let shift = (ew.biased_scale() + ea.biased_scale()) as u32;
+            let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+            lanes.add((prod as u128) << shift, negate);
+        }
+        *acc = lanes.into_i128();
+        nar != 0
+    }
+
+    /// The batched fused-operand loop on the medium/wide windows,
+    /// monomorphized like [`PositEmac::dot_fused_small`] but accumulating
+    /// through [`Accum::add_shifted_u128`]. Returns whether NaR was seen.
+    #[inline(always)]
+    fn dot_fused_wide<F: Fn(u32) -> EmacEntry>(
+        entry: F,
+        acc: &mut Accum,
+        weights: &[u32],
+        activations: &[u32],
+    ) -> bool {
+        let mut nar = false;
+        for (&w, &a) in weights.iter().zip(activations) {
+            let ew = entry(w);
+            let ea = entry(a);
+            if (ew.0 | ea.0) & EmacEntry::NAR_BIT != 0 {
+                nar = true;
+                continue;
+            }
+            let prod = ew.field() * ea.field();
+            if prod == 0 {
+                continue;
+            }
+            let shift = ew.biased_scale() + ea.biased_scale();
+            let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+            acc.add_shifted_u128(prod as u128, shift as usize, negate);
+        }
+        nar
+    }
+}
+
+impl Emac for PositEmac {
+    fn reset(&mut self) {
+        self.acc.clear();
+        self.count = 0;
+        self.nar = false;
+    }
+
+    fn set_bias(&mut self, bias: u32) {
+        self.reset();
+        match self.decode_bits(bias) {
+            Decoded::Zero => {}
+            Decoded::NaR => self.nar = true,
+            Decoded::Finite(u) => {
+                // value = f × 2^(scale − F + 1) with f the F-bit significand;
+                // register bit b weighs 2^(b − sf_bias − (2F−2)), so the
+                // bias lands with its LSB at scale + F − 1 + sf_bias.
+                let f = self.field(u.sig) as u128;
+                let pos = u.scale + self.fbits as i32 - 1 + self.sf_bias;
+                self.add_sig(u.sign, f, pos);
+            }
+        }
+    }
+
+    #[inline]
+    fn mac(&mut self, weight: u32, activation: u32) {
+        self.count += 1;
+        debug_assert!(self.count <= self.capacity, "posit EMAC over capacity");
+        self.mac_uncounted(weight, activation);
+    }
+
+    fn dot_slice(&mut self, weights: &[u32], activations: &[u32]) {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "dot_slice: weight/activation length mismatch"
+        );
+        self.count += weights.len() as u64;
+        debug_assert!(self.count <= self.capacity, "posit EMAC over capacity");
+        // Product-table kernel (n ≤ 8, i128 window): decode and multiply
+        // are both table-finished; the loop is load → shifted lane add.
+        if let (Some(table), Accum::Small(acc)) = (self.product, &mut self.acc) {
+            let mut lanes = I128Lanes::from_i128(*acc);
+            let mut nar = 0u32;
+            for (&w, &a) in weights.iter().zip(activations) {
+                Self::product_step(table, &mut lanes, &mut nar, w, a);
+            }
+            *acc = lanes.into_i128();
+            if nar != 0 {
+                self.nar = true;
+            }
+            return;
+        }
+        // Batched fused-operand kernel: gathered entries through a loop
+        // monomorphized per entry source, into hi/lo u64 lanes (i128
+        // window) or the native 256-bit register (medium window). Gated on
+        // a native window exactly like `kernel()`, so a fast-table unit
+        // whose register spilled to WideInt runs (and reports) Scalar.
+        if let (Some(t), true) = (self.fast, self.acc.is_native()) {
+            let nar_seen = match (&mut self.acc, t) {
+                (Accum::Small(acc), FastOperands::Fused(tab)) => {
+                    Self::dot_fused_small(|b| tab.entry(b), acc, weights, activations)
+                }
+                (Accum::Small(acc), FastOperands::Split(s)) => {
+                    Self::dot_fused_small(|b| s.entry(b), acc, weights, activations)
+                }
+                (acc, FastOperands::Fused(tab)) => {
+                    Self::dot_fused_wide(|b| tab.entry(b), acc, weights, activations)
+                }
+                (acc, FastOperands::Split(s)) => {
+                    Self::dot_fused_wide(|b| s.entry(b), acc, weights, activations)
+                }
+            };
+            if nar_seen {
+                self.nar = true;
+            }
+            return;
+        }
+        // Scalar kernel: the reference band loops the per-MAC datapath.
+        for (&w, &a) in weights.iter().zip(activations) {
+            self.mac_uncounted(w, a);
+        }
+    }
+
+    fn kernel(&self) -> MacKernel {
+        if self.product.is_some() && self.acc.is_small() {
+            MacKernel::ProductTable
+        } else if self.fast.is_some() && self.acc.is_native() {
+            MacKernel::BatchedFused
+        } else {
+            MacKernel::Scalar
+        }
     }
 
     fn result(&self) -> u32 {

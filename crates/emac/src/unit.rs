@@ -1,6 +1,6 @@
 //! The [`Emac`] trait and the format-erased [`EmacUnit`].
 
-use crate::{FixedEmac, FloatEmac, PositEmac};
+use crate::{FixedEmac, FloatEmac, MacKernel, PositEmac};
 
 /// Common interface of the three exact multiply-and-accumulate units.
 ///
@@ -19,6 +19,32 @@ pub trait Emac {
 
     /// Accumulates the exact product `weight × activation`.
     fn mac(&mut self, weight: u32, activation: u32);
+
+    /// Accumulates one whole dot-product row: exactly equivalent to
+    /// calling [`Emac::mac`] once per `(weights[i], activations[i])` pair
+    /// (bit-identical result, [`Emac::macs_done`] advanced by the slice
+    /// length), but dispatched once so the unit can run its slice-level
+    /// [`MacKernel`] — the batch engine's and serving path's inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    fn dot_slice(&mut self, weights: &[u32], activations: &[u32]) {
+        assert_eq!(
+            weights.len(),
+            activations.len(),
+            "dot_slice: weight/activation length mismatch"
+        );
+        for (&w, &a) in weights.iter().zip(activations) {
+            self.mac(w, a);
+        }
+    }
+
+    /// The slice-level kernel this unit selected at construction (fixed
+    /// per format band × accumulator window; see [`MacKernel`]).
+    fn kernel(&self) -> MacKernel {
+        MacKernel::Scalar
+    }
 
     /// Rounds the accumulated sum once and returns its bit pattern.
     fn result(&self) -> u32;
@@ -65,6 +91,12 @@ impl Emac for EmacUnit {
     }
     fn mac(&mut self, weight: u32, activation: u32) {
         dispatch!(self, u => u.mac(weight, activation))
+    }
+    fn dot_slice(&mut self, weights: &[u32], activations: &[u32]) {
+        dispatch!(self, u => u.dot_slice(weights, activations))
+    }
+    fn kernel(&self) -> MacKernel {
+        dispatch!(self, u => u.kernel())
     }
     fn result(&self) -> u32 {
         dispatch!(self, u => u.result())

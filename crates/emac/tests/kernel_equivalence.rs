@@ -1,0 +1,336 @@
+//! Slice-kernel equivalence: [`Emac::dot_slice`] must be bit-identical to
+//! the scalar `mac()` loop and to the pre-LUT reference datapath on every
+//! input, or a kernel is a silent numerics change.
+//!
+//! Coverage, per the kernel bands:
+//! * **Product table (n ≤ 8)** — exhaustive over all `2^(2n)` operand
+//!   pairs for posit⟨8, es ∈ {0,1,2}⟩, an 8-bit minifloat and an 8-bit
+//!   fixed format, against the reference datapath.
+//! * **Batched fused (9–16 bits)** and **scalar (> 16 bits)** — randomized
+//!   slice-vs-scalar bit-identity, including empty and length-1 slices.
+//! * **Band pinning** — the kernel each constructor selects at the
+//!   boundaries n = 8/9 and 16/17, and `macs_done` equality between the
+//!   slice, scalar-fast and reference paths after identical workloads.
+
+use dp_emac::{Emac, FixedEmac, FloatEmac, MacKernel, PositEmac};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Runs `(weights, activations)` through `fast.dot_slice` and through a
+/// scalar `mac()` loop on `scalar`, returning both readouts.
+fn slice_vs_scalar<E: Emac>(fast: &mut E, scalar: &mut E, ws: &[u32], xs: &[u32]) -> (u32, u32) {
+    fast.reset();
+    fast.dot_slice(ws, xs);
+    scalar.reset();
+    for (&w, &a) in ws.iter().zip(xs) {
+        scalar.mac(w, a);
+    }
+    assert_eq!(fast.macs_done(), scalar.macs_done());
+    (fast.result(), scalar.result())
+}
+
+#[test]
+fn posit8_product_kernel_matches_reference_exhaustively() {
+    // All 65 536 (w, a) pairs per es: once as length-1 slices (per-pair
+    // rounding) and once as whole 256-long rows (accumulation order and
+    // NaR poisoning), both against the WideInt reference datapath.
+    for es in [0u32, 1, 2] {
+        let fmt = PositFormat::new(8, es).unwrap();
+        let all: Vec<u32> = fmt.patterns().collect();
+        let mut fast = PositEmac::new(fmt, 256);
+        assert_eq!(fast.kernel(), MacKernel::ProductTable, "{fmt}");
+        let mut reference = PositEmac::new_reference(fmt, 256);
+        for &w in &all {
+            let row = vec![w; all.len()];
+            fast.reset();
+            fast.dot_slice(&row, &all);
+            reference.reset();
+            for &a in &all {
+                reference.mac(w, a);
+            }
+            assert_eq!(fast.result(), reference.result(), "{fmt} row w={w:#x}");
+            for &a in &all {
+                fast.reset();
+                fast.dot_slice(&[w], &[a]);
+                reference.reset();
+                reference.mac(w, a);
+                assert_eq!(fast.result(), reference.result(), "{fmt} {w:#x}×{a:#x}");
+            }
+        }
+    }
+}
+
+#[test]
+fn minifloat8_product_kernel_matches_reference_exhaustively() {
+    let fmt = FloatFormat::new(4, 3).unwrap();
+    let all: Vec<u32> = fmt.patterns().collect();
+    let mut fast = FloatEmac::new(fmt, 256);
+    assert_eq!(fast.kernel(), MacKernel::ProductTable);
+    let mut reference = FloatEmac::new_reference(fmt, 256);
+    for &w in &all {
+        let row = vec![w; all.len()];
+        fast.reset();
+        fast.dot_slice(&row, &all);
+        reference.reset();
+        for &a in &all {
+            reference.mac(w, a);
+        }
+        assert_eq!(fast.result(), reference.result(), "row w={w:#x}");
+        for &a in &all {
+            fast.reset();
+            fast.dot_slice(&[w], &[a]);
+            reference.reset();
+            reference.mac(w, a);
+            assert_eq!(fast.result(), reference.result(), "{w:#x}×{a:#x}");
+        }
+    }
+}
+
+#[test]
+fn fixed8_product_kernel_matches_scalar_exhaustively() {
+    // The fixed unit has no WideInt variant (its register is always an
+    // i128); the scalar mac() loop is its reference datapath.
+    let fmt = FixedFormat::new(8, 6).unwrap();
+    let all: Vec<u32> = (0..256u32).collect();
+    let mut fast = FixedEmac::new(fmt, 256);
+    assert_eq!(fast.kernel(), MacKernel::ProductTable);
+    let mut scalar = FixedEmac::new(fmt, 256).with_kernel_cap(MacKernel::Scalar);
+    assert_eq!(scalar.kernel(), MacKernel::Scalar);
+    for &w in &all {
+        let row = vec![w; all.len()];
+        let (f, s) = slice_vs_scalar(&mut fast, &mut scalar, &row, &all);
+        assert_eq!(f, s, "row w={w:#x}");
+        for &a in &all {
+            let (f, s) = slice_vs_scalar(&mut fast, &mut scalar, &[w], &[a]);
+            assert_eq!(f, s, "{w:#x}×{a:#x}");
+        }
+    }
+}
+
+#[test]
+fn posit_batched_and_scalar_bands_match_randomized() {
+    // 13–16-bit formats (batched fused kernel over split-table operands,
+    // i128 or 256-bit window) and > 16-bit formats (scalar kernel) —
+    // random slices, always including the empty and length-1 edge cases,
+    // checked against the per-MAC loop on the same unit kind AND the
+    // reference datapath.
+    let mut next = xorshift(0x51ce_ba7c_4ed0_7e57);
+    for (n, es, want) in [
+        (13u32, 0u32, MacKernel::BatchedFused),
+        (14, 1, MacKernel::BatchedFused),
+        (16, 1, MacKernel::BatchedFused),
+        (16, 2, MacKernel::BatchedFused),
+        (17, 1, MacKernel::Scalar),
+        (20, 2, MacKernel::Scalar),
+    ] {
+        let fmt = PositFormat::new(n, es).unwrap();
+        for trial in 0..120 {
+            let len = match trial {
+                0 => 0usize,
+                1 => 1,
+                _ => (next() % 40 + 1) as usize,
+            };
+            let cap = len.max(1) as u64;
+            let mut fast = PositEmac::new(fmt, cap);
+            assert_eq!(fast.kernel(), want, "{fmt}");
+            let mut scalar = PositEmac::new(fmt, cap);
+            let mut reference = PositEmac::new_reference(fmt, cap);
+            let ws: Vec<u32> = (0..len).map(|_| (next() as u32) & fmt.mask()).collect();
+            let xs: Vec<u32> = (0..len).map(|_| (next() as u32) & fmt.mask()).collect();
+            let (f, s) = slice_vs_scalar(&mut fast, &mut scalar, &ws, &xs);
+            assert_eq!(f, s, "{fmt} slice vs scalar, len {len}");
+            for (&w, &a) in ws.iter().zip(&xs) {
+                reference.mac(w, a);
+            }
+            assert_eq!(f, reference.result(), "{fmt} slice vs reference, len {len}");
+        }
+    }
+}
+
+#[test]
+fn minifloat_batched_and_scalar_bands_match_randomized() {
+    let mut next = xorshift(0xf10a_7b47_c4ed_0001);
+    for (we, wf, want) in [
+        (4u32, 8u32, MacKernel::BatchedFused), // n = 13
+        (5, 10, MacKernel::BatchedFused),      // n = 16
+        (5, 11, MacKernel::Scalar),            // n = 17
+        (8, 14, MacKernel::Scalar),            // n = 23
+    ] {
+        let fmt = FloatFormat::new(we, wf).unwrap();
+        for trial in 0..100 {
+            let len = match trial {
+                0 => 0usize,
+                1 => 1,
+                _ => (next() % 40 + 1) as usize,
+            };
+            let cap = len.max(1) as u64;
+            let mut fast = FloatEmac::new(fmt, cap);
+            assert_eq!(fast.kernel(), want, "{fmt}");
+            let mut scalar = FloatEmac::new(fmt, cap);
+            let mut reference = FloatEmac::new_reference(fmt, cap);
+            let ws: Vec<u32> = (0..len).map(|_| (next() as u32) & fmt.mask()).collect();
+            let xs: Vec<u32> = (0..len).map(|_| (next() as u32) & fmt.mask()).collect();
+            let (f, s) = slice_vs_scalar(&mut fast, &mut scalar, &ws, &xs);
+            assert_eq!(f, s, "{fmt} slice vs scalar, len {len}");
+            for (&w, &a) in ws.iter().zip(&xs) {
+                reference.mac(w, a);
+            }
+            assert_eq!(f, reference.result(), "{fmt} slice vs reference, len {len}");
+        }
+    }
+}
+
+#[test]
+fn fixed_batched_and_scalar_bands_match_randomized() {
+    let mut next = xorshift(0xf1ed_ba7c_4ed0_5eed);
+    for (n, q, want) in [
+        (13u32, 6u32, MacKernel::BatchedFused),
+        (16, 8, MacKernel::BatchedFused),
+        (17, 8, MacKernel::Scalar),
+        (24, 12, MacKernel::Scalar),
+    ] {
+        let fmt = FixedFormat::new(n, q).unwrap();
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        for trial in 0..100 {
+            let len = match trial {
+                0 => 0usize,
+                1 => 1,
+                _ => (next() % 40 + 1) as usize,
+            };
+            let cap = len.max(1) as u64;
+            let mut fast = FixedEmac::new(fmt, cap);
+            assert_eq!(fast.kernel(), want, "{fmt}");
+            let mut scalar = FixedEmac::new(fmt, cap).with_kernel_cap(MacKernel::Scalar);
+            let ws: Vec<u32> = (0..len).map(|_| (next() as u32) & mask).collect();
+            let xs: Vec<u32> = (0..len).map(|_| (next() as u32) & mask).collect();
+            let (f, s) = slice_vs_scalar(&mut fast, &mut scalar, &ws, &xs);
+            assert_eq!(f, s, "{fmt} slice vs scalar, len {len}");
+        }
+    }
+}
+
+#[test]
+fn macs_done_advances_by_slice_length() {
+    // The accounting audit: dot_slice must advance macs_done by exactly
+    // the slice length on every kernel, agreeing with the scalar-fast and
+    // reference paths after identical workloads — including empty slices.
+    let fmt = PositFormat::new(8, 1).unwrap();
+    let mut slice_unit = PositEmac::new(fmt, 64);
+    let mut scalar_unit = PositEmac::new(fmt, 64);
+    let mut reference = PositEmac::new_reference(fmt, 64);
+    let ws: Vec<u32> = (0..23u32).map(|i| i * 11 % 256).collect();
+    let xs: Vec<u32> = (0..23u32).map(|i| i * 7 % 256).collect();
+    slice_unit.dot_slice(&ws, &xs);
+    slice_unit.dot_slice(&[], &[]);
+    slice_unit.dot_slice(&ws[..5], &xs[..5]);
+    for (&w, &a) in ws.iter().zip(&xs) {
+        scalar_unit.mac(w, a);
+        reference.mac(w, a);
+    }
+    for (&w, &a) in ws[..5].iter().zip(&xs[..5]) {
+        scalar_unit.mac(w, a);
+        reference.mac(w, a);
+    }
+    assert_eq!(slice_unit.macs_done(), 28);
+    assert_eq!(slice_unit.macs_done(), scalar_unit.macs_done());
+    assert_eq!(slice_unit.macs_done(), reference.macs_done());
+    assert_eq!(slice_unit.result(), reference.result());
+    slice_unit.reset();
+    assert_eq!(slice_unit.macs_done(), 0);
+}
+
+#[test]
+fn kernel_bands_pin_at_8_9_and_16_17() {
+    // Posit: product table through 8 bits, batched fused through 16,
+    // scalar past that; the reference constructor is always scalar.
+    let pk = |n: u32, es: u32| PositEmac::new(PositFormat::new(n, es).unwrap(), 128).kernel();
+    for es in [0u32, 1, 2] {
+        assert_eq!(pk(8, es), MacKernel::ProductTable, "posit<8,{es}>");
+        assert_eq!(pk(9, es), MacKernel::BatchedFused, "posit<9,{es}>");
+        assert_eq!(pk(16, es), MacKernel::BatchedFused, "posit<16,{es}>");
+        assert_eq!(pk(17, es), MacKernel::Scalar, "posit<17,{es}>");
+    }
+    assert_eq!(
+        PositEmac::new_reference(PositFormat::new(8, 0).unwrap(), 128).kernel(),
+        MacKernel::Scalar
+    );
+
+    // Minifloat: same bands by total width n = 1 + we + wf.
+    let fk = |we: u32, wf: u32| FloatEmac::new(FloatFormat::new(we, wf).unwrap(), 128).kernel();
+    assert_eq!(fk(4, 3), MacKernel::ProductTable); // n = 8
+    assert_eq!(fk(4, 4), MacKernel::BatchedFused); // n = 9
+    assert_eq!(fk(5, 10), MacKernel::BatchedFused); // n = 16
+    assert_eq!(fk(5, 11), MacKernel::Scalar); // n = 17
+    assert_eq!(
+        FloatEmac::new_reference(FloatFormat::new(4, 3).unwrap(), 128).kernel(),
+        MacKernel::Scalar
+    );
+
+    // Fixed point: same bands (the register is native at every width, so
+    // the bands switch loop shape only).
+    let xk = |n: u32| FixedEmac::new(FixedFormat::new(n, 4).unwrap(), 128).kernel();
+    assert_eq!(xk(8), MacKernel::ProductTable);
+    assert_eq!(xk(9), MacKernel::BatchedFused);
+    assert_eq!(xk(16), MacKernel::BatchedFused);
+    assert_eq!(xk(17), MacKernel::Scalar);
+
+    // Kernel caps step the selection down without changing results.
+    let fmt = PositFormat::new(8, 0).unwrap();
+    assert_eq!(
+        PositEmac::new(fmt, 128)
+            .with_kernel_cap(MacKernel::BatchedFused)
+            .kernel(),
+        MacKernel::BatchedFused
+    );
+    assert_eq!(
+        PositEmac::new(fmt, 128)
+            .with_kernel_cap(MacKernel::Scalar)
+            .kernel(),
+        MacKernel::Scalar
+    );
+}
+
+#[test]
+fn product_kernel_requires_the_i128_window() {
+    // A capacity so large the eq.-(4) register spills past 127 bits: the
+    // unit must step down from the product table, and stay bit-identical.
+    let fmt = PositFormat::new(8, 2).unwrap();
+    let small = PositEmac::new(fmt, 128);
+    assert_eq!(small.kernel(), MacKernel::ProductTable);
+    let huge = PositEmac::new(fmt, 1 << 40);
+    assert_eq!(huge.kernel(), MacKernel::BatchedFused);
+}
+
+#[test]
+fn batched_kernel_requires_a_native_window() {
+    // posit<16,2> at k = 256 needs a 256-bit register (one past Acc256's
+    // ceiling), so the accumulator is WideInt even though the split table
+    // exists: the unit must report Scalar AND run the scalar loop —
+    // kernel() and dot_slice select on the same condition — and stay
+    // bit-identical to the reference datapath.
+    let fmt = PositFormat::new(16, 2).unwrap();
+    let mut spilled = PositEmac::new(fmt, 256);
+    assert_eq!(spilled.kernel(), MacKernel::Scalar);
+    assert_eq!(PositEmac::new(fmt, 128).kernel(), MacKernel::BatchedFused);
+    let mut next = xorshift(0x0b5e_55ed_ca11_ab1e);
+    let ws: Vec<u32> = (0..256).map(|_| (next() as u32) & fmt.mask()).collect();
+    let xs: Vec<u32> = (0..256).map(|_| (next() as u32) & fmt.mask()).collect();
+    spilled.dot_slice(&ws, &xs);
+    let mut reference = PositEmac::new_reference(fmt, 256);
+    for (&w, &a) in ws.iter().zip(&xs) {
+        reference.mac(w, a);
+    }
+    assert_eq!(spilled.result(), reference.result());
+    assert_eq!(spilled.macs_done(), reference.macs_done());
+}

@@ -99,9 +99,122 @@ pub fn cached(fmt: FixedFormat) -> Option<&'static DecodeLut> {
     )
 }
 
+/// Widest format that gets a **finished-product table** ([`ProductLut`]):
+/// `2^(2n)` entries keep the 8-bit table at 256 KiB.
+pub const MAX_PRODUCT_WIDTH: u32 = 8;
+
+/// A finished-product table: the signed `2n`-bit product
+/// `sext(w) × sext(a)` for every operand pair — `2^(2n)` entries,
+/// ≤ 256 KiB at 8 bits. The n ≤ 8 fixed EMAC inner loop becomes one load
+/// and one add, with no sign extension and no multiply. (The raw products
+/// carry `2q` fraction bits, exactly like the Fig. 3 multiply stage — the
+/// table is independent of `q` but keyed per format for cache uniformity
+/// with the posit/minifloat tables.)
+#[derive(Debug, Clone)]
+pub struct ProductLut {
+    fmt: FixedFormat,
+    n: u32,
+    entries: Vec<i32>,
+}
+
+impl ProductLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_PRODUCT_WIDTH`].
+    pub fn build(fmt: FixedFormat) -> Option<Self> {
+        if fmt.n() > MAX_PRODUCT_WIDTH {
+            return None;
+        }
+        let n = fmt.n();
+        let sext = |bits: u32| -> i64 {
+            let sh = 64 - n;
+            (((bits as u64) << sh) as i64) >> sh
+        };
+        let mut entries = Vec::with_capacity(1usize << (2 * n));
+        for w in 0..(1u32 << n) {
+            let sw = sext(w);
+            for a in 0..(1u32 << n) {
+                entries.push((sw * sext(a)) as i32);
+            }
+        }
+        Some(ProductLut { fmt, n, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> FixedFormat {
+        self.fmt
+    }
+
+    /// The signed raw product for the pair (low `n` bits of each operand).
+    #[inline]
+    pub fn entry(&self, weight: u32, activation: u32) -> i64 {
+        let mask = (1u32 << self.n) - 1;
+        self.entries[(((weight & mask) as usize) << self.n) | (activation & mask) as usize] as i64
+    }
+
+    /// Number of table entries (`2^(2n)`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: every format has at least `2^4` pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The process-wide finished-product table for `fmt` (leaked like
+/// [`cached`]'s tables), or `None` for formats wider than
+/// [`MAX_PRODUCT_WIDTH`].
+pub fn product_cached(fmt: FixedFormat) -> Option<&'static ProductLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static ProductLut>>> = OnceLock::new();
+    if fmt.n() > MAX_PRODUCT_WIDTH {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("fixed product LUT cache poisoned");
+    Some(
+        map.entry((fmt.n(), fmt.q()))
+            .or_insert_with(|| Box::leak(Box::new(ProductLut::build(fmt).expect("width checked")))),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn product_table_only_up_to_8_bits() {
+        assert!(ProductLut::build(FixedFormat::new(8, 4).unwrap()).is_some());
+        assert!(ProductLut::build(FixedFormat::new(9, 4).unwrap()).is_none());
+        assert!(product_cached(FixedFormat::new(9, 4).unwrap()).is_none());
+        let fmt = FixedFormat::new(8, 6).unwrap();
+        assert!(std::ptr::eq(
+            product_cached(fmt).unwrap(),
+            product_cached(fmt).unwrap()
+        ));
+    }
+
+    #[test]
+    fn product_entries_match_sign_extended_multiply_exhaustively() {
+        for (n, q) in [(4u32, 2u32), (6, 3), (8, 6)] {
+            let fmt = FixedFormat::new(n, q).unwrap();
+            let lut = ProductLut::build(fmt).unwrap();
+            assert_eq!(lut.len(), 1usize << (2 * n));
+            assert!(!lut.is_empty());
+            assert_eq!(lut.format(), fmt);
+            let sext = |bits: u32| -> i64 {
+                let sh = 64 - n;
+                (((bits as u64) << sh) as i64) >> sh
+            };
+            for w in 0..(1u32 << n) {
+                for a in 0..(1u32 << n) {
+                    assert_eq!(lut.entry(w, a), sext(w) * sext(a), "{fmt} {w:#x}×{a:#x}");
+                }
+            }
+        }
+    }
 
     #[test]
     fn builds_only_up_to_max_width() {

@@ -25,6 +25,8 @@ const BUCKETS: usize = 40;
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Sum of every recorded duration, for the exposition's `_sum` series.
+    sum_ns: AtomicU64,
 }
 
 // Derived `Default` needs `[T; N]: Default`, which std only provides for
@@ -33,6 +35,7 @@ impl Default for Histogram {
     fn default() -> Self {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
         }
     }
 }
@@ -42,6 +45,7 @@ impl Histogram {
     pub fn record_ns(&self, ns: u64) {
         let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Copies the bucket counts out.
@@ -52,6 +56,7 @@ impl Histogram {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -61,6 +66,8 @@ impl Histogram {
 pub struct HistogramSnapshot {
     /// Count per log₂ bucket; bucket `i` covers `[2^i, 2^(i+1))` ns.
     pub counts: Vec<u64>,
+    /// Sum of every recorded duration in nanoseconds.
+    pub sum_ns: u64,
 }
 
 impl HistogramSnapshot {
@@ -327,6 +334,109 @@ impl MetricsSnapshot {
         s.push_str("\n  ]\n}\n");
         s
     }
+
+    /// Renders the snapshot in Prometheus **text exposition format**
+    /// (version 0.0.4): one counter per request-lifecycle field, gauges
+    /// for the ring depth, the two log₂ histograms as cumulative
+    /// `_bucket{le="…"}`/`_sum`/`_count` series, and labelled per-model
+    /// counters. Durations are exposed in nanoseconds (the `_ns` name
+    /// suffix marks the unit); bucket bounds are the histogram's native
+    /// powers of two, truncated after the last non-empty bucket (the
+    /// mandatory `+Inf` bucket always closes the series).
+    ///
+    /// Output is deterministic for a given snapshot (fixed metric order,
+    /// per-model rows sorted by key), unit-tested against a golden string.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let counters: [(&str, u64); 13] = [
+            ("submitted", self.submitted),
+            ("admitted", self.admitted),
+            ("shed_queue_full", self.shed_queue_full),
+            ("shed_evicted", self.shed_evicted),
+            ("rate_limited", self.rate_limited),
+            ("model_unknown", self.model_unknown),
+            ("unsupported", self.unsupported),
+            ("rejected_closed", self.rejected_closed),
+            ("dispatched", self.dispatched),
+            ("dropped_closed", self.dropped_closed),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("samples_completed", self.samples_completed),
+        ];
+        for (name, v) in counters {
+            let _ = writeln!(s, "# TYPE dp_gateway_{name}_total counter");
+            let _ = writeln!(s, "dp_gateway_{name}_total {v}");
+        }
+        let _ = writeln!(s, "# TYPE dp_gateway_queue_depth gauge");
+        let _ = writeln!(s, "dp_gateway_queue_depth {}", self.queue_depth);
+        let _ = writeln!(s, "# TYPE dp_gateway_queue_depth_peak gauge");
+        let _ = writeln!(s, "dp_gateway_queue_depth_peak {}", self.queue_depth_peak);
+        for (name, h) in [
+            ("dp_gateway_queue_wait_ns", &self.queue_wait),
+            ("dp_gateway_service_ns", &self.service),
+        ] {
+            let _ = writeln!(s, "# TYPE {name} histogram");
+            let total = h.count();
+            if let Some(last) = h.counts.iter().rposition(|&c| c != 0) {
+                let mut cumulative = 0u64;
+                for (i, &c) in h.counts.iter().enumerate().take(last + 1) {
+                    cumulative += c;
+                    // Bucket i holds integer durations in [2^i, 2^(i+1)),
+                    // i.e. at most 2^(i+1) − 1 ns — that inclusive bound is
+                    // the `le` value, keeping the exposition's ≤ semantics
+                    // exact at power-of-two observations.
+                    let _ = writeln!(
+                        s,
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        (1u128 << (i + 1)) - 1
+                    );
+                }
+            }
+            let _ = writeln!(s, "{name}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(s, "{name}_sum {}", h.sum_ns);
+            let _ = writeln!(s, "{name}_count {total}");
+        }
+        let escape = |v: &str| {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        };
+        let _ = writeln!(s, "# TYPE dp_gateway_model_requests_total counter");
+        for m in &self.per_model {
+            let model = escape(&m.key);
+            for (outcome, v) in [
+                ("admitted", m.admitted),
+                ("completed", m.completed),
+                ("failed", m.failed),
+                ("shed", m.shed),
+            ] {
+                let _ = writeln!(
+                    s,
+                    "dp_gateway_model_requests_total{{model=\"{model}\",outcome=\"{outcome}\"}} {v}"
+                );
+            }
+        }
+        let _ = writeln!(s, "# TYPE dp_gateway_model_samples_total counter");
+        for m in &self.per_model {
+            let _ = writeln!(
+                s,
+                "dp_gateway_model_samples_total{{model=\"{}\"}} {}",
+                escape(&m.key),
+                m.samples
+            );
+        }
+        let _ = writeln!(s, "# TYPE dp_gateway_model_service_ns_total counter");
+        for m in &self.per_model {
+            let _ = writeln!(
+                s,
+                "dp_gateway_model_service_ns_total{{model=\"{}\"}} {}",
+                escape(&m.key),
+                m.service_ns
+            );
+        }
+        s
+    }
 }
 
 #[cfg(test)]
@@ -383,6 +493,127 @@ mod tests {
             json.matches('[').count(),
             json.matches(']').count(),
             "{json}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_matches_golden_string() {
+        // A small, fully pinned snapshot rendered end to end: counters,
+        // gauges, truncated cumulative histogram buckets, +Inf/_sum/_count
+        // and labelled per-model rows, in this exact order.
+        let m = GatewayMetrics::default();
+        m.submitted.fetch_add(7, Ordering::Relaxed);
+        m.admitted.fetch_add(5, Ordering::Relaxed);
+        m.shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        m.rate_limited.fetch_add(1, Ordering::Relaxed);
+        m.dispatched.fetch_add(5, Ordering::Relaxed);
+        m.completed.fetch_add(4, Ordering::Relaxed);
+        m.failed.fetch_add(1, Ordering::Relaxed);
+        m.samples_completed.fetch_add(40, Ordering::Relaxed);
+        m.note_depth(6);
+        m.queue_wait.record_ns(1000); // bucket [512, 1024) → le="1023"
+        m.queue_wait.record_ns(1000);
+        m.service.record_ns(5000); // bucket [4096, 8192) → le="8191"
+        let mm = m.model(&ModelKey::new("iris", "posit<8,0>"));
+        mm.admitted.fetch_add(5, Ordering::Relaxed);
+        mm.completed.fetch_add(4, Ordering::Relaxed);
+        mm.failed.fetch_add(1, Ordering::Relaxed);
+        mm.shed.fetch_add(2, Ordering::Relaxed);
+        mm.samples.fetch_add(40, Ordering::Relaxed);
+        mm.service_ns.fetch_add(5000, Ordering::Relaxed);
+
+        let golden = "\
+# TYPE dp_gateway_submitted_total counter
+dp_gateway_submitted_total 7
+# TYPE dp_gateway_admitted_total counter
+dp_gateway_admitted_total 5
+# TYPE dp_gateway_shed_queue_full_total counter
+dp_gateway_shed_queue_full_total 2
+# TYPE dp_gateway_shed_evicted_total counter
+dp_gateway_shed_evicted_total 0
+# TYPE dp_gateway_rate_limited_total counter
+dp_gateway_rate_limited_total 1
+# TYPE dp_gateway_model_unknown_total counter
+dp_gateway_model_unknown_total 0
+# TYPE dp_gateway_unsupported_total counter
+dp_gateway_unsupported_total 0
+# TYPE dp_gateway_rejected_closed_total counter
+dp_gateway_rejected_closed_total 0
+# TYPE dp_gateway_dispatched_total counter
+dp_gateway_dispatched_total 5
+# TYPE dp_gateway_dropped_closed_total counter
+dp_gateway_dropped_closed_total 0
+# TYPE dp_gateway_completed_total counter
+dp_gateway_completed_total 4
+# TYPE dp_gateway_failed_total counter
+dp_gateway_failed_total 1
+# TYPE dp_gateway_samples_completed_total counter
+dp_gateway_samples_completed_total 40
+# TYPE dp_gateway_queue_depth gauge
+dp_gateway_queue_depth 3
+# TYPE dp_gateway_queue_depth_peak gauge
+dp_gateway_queue_depth_peak 6
+# TYPE dp_gateway_queue_wait_ns histogram
+dp_gateway_queue_wait_ns_bucket{le=\"1\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"3\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"7\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"15\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"31\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"63\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"127\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"255\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"511\"} 0
+dp_gateway_queue_wait_ns_bucket{le=\"1023\"} 2
+dp_gateway_queue_wait_ns_bucket{le=\"+Inf\"} 2
+dp_gateway_queue_wait_ns_sum 2000
+dp_gateway_queue_wait_ns_count 2
+# TYPE dp_gateway_service_ns histogram
+dp_gateway_service_ns_bucket{le=\"1\"} 0
+dp_gateway_service_ns_bucket{le=\"3\"} 0
+dp_gateway_service_ns_bucket{le=\"7\"} 0
+dp_gateway_service_ns_bucket{le=\"15\"} 0
+dp_gateway_service_ns_bucket{le=\"31\"} 0
+dp_gateway_service_ns_bucket{le=\"63\"} 0
+dp_gateway_service_ns_bucket{le=\"127\"} 0
+dp_gateway_service_ns_bucket{le=\"255\"} 0
+dp_gateway_service_ns_bucket{le=\"511\"} 0
+dp_gateway_service_ns_bucket{le=\"1023\"} 0
+dp_gateway_service_ns_bucket{le=\"2047\"} 0
+dp_gateway_service_ns_bucket{le=\"4095\"} 0
+dp_gateway_service_ns_bucket{le=\"8191\"} 1
+dp_gateway_service_ns_bucket{le=\"+Inf\"} 1
+dp_gateway_service_ns_sum 5000
+dp_gateway_service_ns_count 1
+# TYPE dp_gateway_model_requests_total counter
+dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"admitted\"} 5
+dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"completed\"} 4
+dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"failed\"} 1
+dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"shed\"} 2
+# TYPE dp_gateway_model_samples_total counter
+dp_gateway_model_samples_total{model=\"iris@posit<8,0>\"} 40
+# TYPE dp_gateway_model_service_ns_total counter
+dp_gateway_model_service_ns_total{model=\"iris@posit<8,0>\"} 5000
+";
+        assert_eq!(m.snapshot(3).to_prometheus(), golden);
+    }
+
+    #[test]
+    fn prometheus_empty_histograms_and_label_escaping() {
+        let m = GatewayMetrics::default();
+        let mm = m.model(&ModelKey::new("we\"ird\\name", "posit<8,0>"));
+        mm.admitted.fetch_add(1, Ordering::Relaxed);
+        let text = m.snapshot(0).to_prometheus();
+        // Empty histograms keep the mandatory +Inf/_sum/_count series and
+        // emit no finite buckets.
+        assert!(text.contains("dp_gateway_queue_wait_ns_bucket{le=\"+Inf\"} 0"));
+        assert!(!text.contains("dp_gateway_queue_wait_ns_bucket{le=\"1\"}"));
+        assert!(text.contains("dp_gateway_queue_wait_ns_sum 0"));
+        assert!(text.contains("dp_gateway_service_ns_count 0"));
+        // Quotes and backslashes in model names are escaped per the
+        // exposition format.
+        assert!(
+            text.contains("model=\"we\\\"ird\\\\name@posit<8,0>\""),
+            "{text}"
         );
     }
 

@@ -194,6 +194,149 @@ impl EmacLut {
     }
 }
 
+/// Widest format that gets a **finished-product table** ([`ProductLut`]):
+/// `2^(2n)` entries keep the 8-bit table at 256 KiB.
+pub const MAX_PRODUCT_WIDTH: u32 = 8;
+
+/// One finished product for a `(weight, activation)` pair: the Fig. 4
+/// decode, significand multiply, underflow normalization and scale
+/// biasing all fused into a single word. Layout:
+///
+/// ```text
+/// bits  0..16   normalized product (field(w)·field(a)) >> tz, odd or 0
+/// bits 16..26   register shift: biased(w) + biased(a) + tz − 2·wf
+///               (non-negative: products are multiples of min_subnormal²)
+/// bit  26       sign of the product
+/// bit  27       Inf/NaN (either operand): product is 0, poisons the unit
+/// ```
+///
+/// Zero products (a zero operand, no special) are the all-clear word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductEntry(pub u32);
+
+impl ProductEntry {
+    /// Bit flagging Inf/NaN (either operand).
+    pub const SPECIAL_BIT: u32 = 1 << 27;
+    /// Bit carrying the product sign.
+    pub const SIGN_BIT: u32 = 1 << 26;
+
+    /// The normalized significand product, 0 for zero/special pairs.
+    #[inline]
+    pub fn product(self) -> u64 {
+        (self.0 & 0xffff) as u64
+    }
+
+    /// The non-negative register shift of the product LSB.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        (self.0 >> 16) & 0x3ff
+    }
+
+    /// Sign of the product.
+    #[inline]
+    pub fn negate(self) -> bool {
+        self.0 & Self::SIGN_BIT != 0
+    }
+
+    /// Whether either operand was Inf or NaN.
+    #[inline]
+    pub fn is_special(self) -> bool {
+        self.0 & Self::SPECIAL_BIT != 0
+    }
+}
+
+/// A finished-product table: one [`ProductEntry`] per operand pair —
+/// `2^(2n)` entries, ≤ 256 KiB at 8 bits. The n ≤ 8 float EMAC inner loop
+/// becomes one load and one shifted add, with no multiply and no
+/// trailing-zero count. Entries are derived from the fused [`EmacEntry`]
+/// words, so the schemes cannot drift; the `kernel_equivalence` suite
+/// pins bit-identity against the reference datapath over all pairs.
+#[derive(Debug, Clone)]
+pub struct ProductLut {
+    fmt: FloatFormat,
+    n: u32,
+    entries: Vec<ProductEntry>,
+}
+
+impl ProductLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_PRODUCT_WIDTH`].
+    pub fn build(fmt: FloatFormat) -> Option<Self> {
+        if fmt.n() > MAX_PRODUCT_WIDTH {
+            return None;
+        }
+        let operands = EmacLut::build(fmt)?;
+        let (n, wf) = (fmt.n(), fmt.wf());
+        let mut entries = Vec::with_capacity(1usize << (2 * n));
+        for w in fmt.patterns() {
+            let ew = operands.entry(w);
+            for a in fmt.patterns() {
+                let ea = operands.entry(a);
+                entries.push(if (ew.0 | ea.0) & EmacEntry::SPECIAL_BIT != 0 {
+                    ProductEntry(ProductEntry::SPECIAL_BIT)
+                } else {
+                    let prod = ew.field() * ea.field();
+                    if prod == 0 {
+                        ProductEntry(0)
+                    } else {
+                        let tz = prod.trailing_zeros();
+                        let shift = (ew.biased_scale() + ea.biased_scale()) as i32 + tz as i32
+                            - 2 * wf as i32;
+                        debug_assert!((prod >> tz) < (1 << 16) && (0..1 << 10).contains(&shift));
+                        let sign = if (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0 {
+                            ProductEntry::SIGN_BIT
+                        } else {
+                            0
+                        };
+                        ProductEntry((prod >> tz) as u32 | ((shift as u32) << 16) | sign)
+                    }
+                });
+            }
+        }
+        Some(ProductLut { fmt, n, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> FloatFormat {
+        self.fmt
+    }
+
+    /// The finished product for the pair (low `n` bits of each operand).
+    #[inline]
+    pub fn entry(&self, weight: u32, activation: u32) -> ProductEntry {
+        let mask = self.fmt.mask();
+        self.entries[(((weight & mask) as usize) << self.n) | (activation & mask) as usize]
+    }
+
+    /// Number of table entries (`2^(2n)`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: every format has at least `2^8` pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The process-wide finished-product table for `fmt` (leaked like
+/// [`cached`]'s tables), or `None` for formats wider than
+/// [`MAX_PRODUCT_WIDTH`].
+pub fn product_cached(fmt: FloatFormat) -> Option<&'static ProductLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static ProductLut>>> = OnceLock::new();
+    if fmt.n() > MAX_PRODUCT_WIDTH {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("minifloat product LUT cache poisoned");
+    Some(
+        map.entry((fmt.we(), fmt.wf()))
+            .or_insert_with(|| Box::leak(Box::new(ProductLut::build(fmt).expect("width checked")))),
+    )
+}
+
 /// Computed fused EMAC operands for 13–16-bit minifloats: the same packed
 /// [`EmacEntry`] an [`EmacLut`] would hold, produced per call from the bit
 /// fields instead of a 2^n-entry table.
@@ -356,6 +499,58 @@ mod tests {
                             "{fmt} {bits:#x}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_table_only_up_to_8_bits() {
+        assert!(ProductLut::build(FloatFormat::new(4, 3).unwrap()).is_some()); // n = 8
+        assert!(ProductLut::build(FloatFormat::new(4, 4).unwrap()).is_none()); // n = 9
+        assert!(product_cached(FloatFormat::new(4, 4).unwrap()).is_none());
+        let fmt = FloatFormat::new(4, 3).unwrap();
+        assert!(std::ptr::eq(
+            product_cached(fmt).unwrap(),
+            product_cached(fmt).unwrap()
+        ));
+    }
+
+    #[test]
+    fn product_entries_fuse_operand_pairs_exhaustively() {
+        for (we, wf) in [(2u32, 2u32), (3, 2), (4, 3)] {
+            let fmt = FloatFormat::new(we, wf).unwrap();
+            let products = ProductLut::build(fmt).unwrap();
+            let operands = EmacLut::build(fmt).unwrap();
+            assert_eq!(
+                products.len() as u64,
+                fmt.pattern_count() * fmt.pattern_count()
+            );
+            assert!(!products.is_empty());
+            assert_eq!(products.format(), fmt);
+            for w in fmt.patterns() {
+                for a in fmt.patterns() {
+                    let p = products.entry(w, a);
+                    let (ew, ea) = (operands.entry(w), operands.entry(a));
+                    if ew.is_special() || ea.is_special() {
+                        assert!(p.is_special(), "{fmt} {w:#x}×{a:#x}");
+                        assert_eq!(p.product(), 0);
+                        continue;
+                    }
+                    assert!(!p.is_special());
+                    let prod = ew.field() * ea.field();
+                    if prod == 0 {
+                        assert_eq!(p.0, 0, "{fmt} {w:#x}×{a:#x}");
+                        continue;
+                    }
+                    let tz = prod.trailing_zeros();
+                    assert_eq!(p.product(), prod >> tz, "{fmt} {w:#x}×{a:#x}");
+                    assert_eq!(
+                        p.shift() as i64,
+                        (ew.biased_scale() + ea.biased_scale()) as i64 + tz as i64 - 2 * wf as i64,
+                        "{fmt} {w:#x}×{a:#x}"
+                    );
+                    assert_eq!(p.negate(), ew.sign() ^ ea.sign(), "{fmt} {w:#x}×{a:#x}");
                 }
             }
         }

@@ -370,6 +370,151 @@ impl EmacEntry {
     }
 }
 
+/// Widest format that gets a **finished-product table** ([`ProductLut`]):
+/// `2^(2n)` entries keep the 8-bit table at 256 KiB (inside L2), and the
+/// paper's headline formats are all ≤ 8 bits.
+pub const MAX_PRODUCT_WIDTH: u32 = 8;
+
+/// One finished product: everything Algorithm 1 *and* Algorithm 2's
+/// multiply stage produce for a `(weight, activation)` pair, fused into a
+/// single word so the MAC inner loop has **no multiply at all**. Layout:
+///
+/// ```text
+/// bits  0..16   field(w) × field(a), the exact 2F-bit significand product
+/// bits 16..26   biased_scale(w) + biased_scale(a) — Algorithm 2 line 12's
+///               sf + 2·max_scale, the register shift of the product LSB
+/// bit  26       sign of the product
+/// bit  27       NaR (either operand): product is 0, accumulator must poison
+/// ```
+///
+/// Zero operands produce the all-clear word (product 0), so zero needs no
+/// branch; a NaR pair also carries product 0, so a poisoned accumulation
+/// leaves the register untouched exactly like the scalar datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductEntry(pub u32);
+
+impl ProductEntry {
+    /// Bit flagging NaR (either operand).
+    pub const NAR_BIT: u32 = 1 << 27;
+    /// Bit carrying the product sign.
+    pub const SIGN_BIT: u32 = 1 << 26;
+
+    /// The exact significand product `field(w) × field(a)` (`< 2^(2F)`),
+    /// 0 when either operand is zero or NaR.
+    #[inline]
+    pub fn product(self) -> u64 {
+        (self.0 & 0xffff) as u64
+    }
+
+    /// The biased register shift `biased_scale(w) + biased_scale(a)`.
+    #[inline]
+    pub fn shift(self) -> u32 {
+        (self.0 >> 16) & 0x3ff
+    }
+
+    /// Sign of the product.
+    #[inline]
+    pub fn negate(self) -> bool {
+        self.0 & Self::SIGN_BIT != 0
+    }
+
+    /// Whether either operand was NaR.
+    #[inline]
+    pub fn is_nar(self) -> bool {
+        self.0 & Self::NAR_BIT != 0
+    }
+}
+
+/// A finished-product table: one [`ProductEntry`] per `(weight,
+/// activation)` pattern pair — `2^(2n)` entries, ≤ 256 KiB at 8 bits.
+///
+/// Where [`EmacLut`] tabulates Algorithm 1 + the operand half of
+/// Algorithm 2 *per operand* (leaving one multiply per MAC), this table
+/// goes one step further and tabulates the **multiply itself**, so the
+/// n ≤ 8 EMAC inner loop is a single load and a shifted add. Entries are
+/// derived from the same fused [`EmacEntry`] words, so the two schemes
+/// cannot drift apart; the `kernel_equivalence` suite additionally pins
+/// bit-identity against the reference datapath over all `2^(2n)` pairs.
+#[derive(Debug, Clone)]
+pub struct ProductLut {
+    fmt: PositFormat,
+    n: u32,
+    entries: Vec<ProductEntry>,
+}
+
+impl ProductLut {
+    /// Builds the table for `fmt`, or `None` when the format is wider than
+    /// [`MAX_PRODUCT_WIDTH`] or has no EMAC datapath (`es > n − 3`).
+    pub fn build(fmt: PositFormat) -> Option<Self> {
+        if fmt.n() > MAX_PRODUCT_WIDTH {
+            return None;
+        }
+        let operands = EmacLut::build(fmt)?;
+        let n = fmt.n();
+        let mut entries = Vec::with_capacity(1usize << (2 * n));
+        for w in fmt.patterns() {
+            let ew = operands.entry(w);
+            for a in fmt.patterns() {
+                let ea = operands.entry(a);
+                entries.push(if (ew.0 | ea.0) & EmacEntry::NAR_BIT != 0 {
+                    ProductEntry(ProductEntry::NAR_BIT)
+                } else {
+                    let prod = ew.field() * ea.field();
+                    let shift = (ew.biased_scale() + ea.biased_scale()) as u32;
+                    debug_assert!(prod < (1 << 16) && shift < (1 << 10));
+                    let sign = if (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0 {
+                        ProductEntry::SIGN_BIT
+                    } else {
+                        0
+                    };
+                    ProductEntry(prod as u32 | (shift << 16) | sign)
+                });
+            }
+        }
+        Some(ProductLut { fmt, n, entries })
+    }
+
+    /// The format this table was built for.
+    pub fn format(&self) -> PositFormat {
+        self.fmt
+    }
+
+    /// The finished product for the pair (low `n` bits of each operand).
+    #[inline]
+    pub fn entry(&self, weight: u32, activation: u32) -> ProductEntry {
+        let mask = self.fmt.mask();
+        self.entries[(((weight & mask) as usize) << self.n) | (activation & mask) as usize]
+    }
+
+    /// Number of table entries (`2^(2n)`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: every format has at least `2^6` pairs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The process-wide finished-product table for `fmt` (leaked like
+/// [`cached`]'s tables), or `None` for formats wider than
+/// [`MAX_PRODUCT_WIDTH`] or without an EMAC datapath.
+pub fn product_cached(fmt: PositFormat) -> Option<&'static ProductLut> {
+    static CACHE: OnceLock<Mutex<HashMap<(u32, u32), &'static ProductLut>>> = OnceLock::new();
+    if fmt.n() > MAX_PRODUCT_WIDTH || fmt.es() > fmt.n() - 3 {
+        return None;
+    }
+    let mut map = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("posit product LUT cache poisoned");
+    Some(
+        map.entry((fmt.n(), fmt.es()))
+            .or_insert_with(|| Box::leak(Box::new(ProductLut::build(fmt).expect("width checked")))),
+    )
+}
+
 /// A fused decode + EMAC-front-end table: one [`EmacEntry`] per pattern.
 ///
 /// This is the software rendering of template-based posit multiplication:
@@ -580,6 +725,56 @@ mod tests {
                             u.scale as i64 + fmt.max_scale() as i64,
                             "{fmt} {bits:#x}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_table_only_up_to_8_bits() {
+        assert!(ProductLut::build(PositFormat::new(8, 0).unwrap()).is_some());
+        assert!(ProductLut::build(PositFormat::new(5, 1).unwrap()).is_some());
+        assert!(ProductLut::build(PositFormat::new(9, 0).unwrap()).is_none());
+        assert!(product_cached(PositFormat::new(9, 0).unwrap()).is_none());
+        // No EMAC datapath → no product table either.
+        assert!(ProductLut::build(PositFormat::new(8, 6).unwrap()).is_none());
+        assert!(product_cached(PositFormat::new(8, 6).unwrap()).is_none());
+        let fmt = PositFormat::new(8, 1).unwrap();
+        assert!(std::ptr::eq(
+            product_cached(fmt).unwrap(),
+            product_cached(fmt).unwrap()
+        ));
+    }
+
+    #[test]
+    fn product_entries_fuse_operand_pairs_exhaustively() {
+        for es in [0u32, 1, 2] {
+            let fmt = PositFormat::new(6, es).unwrap();
+            let products = ProductLut::build(fmt).unwrap();
+            let operands = EmacLut::build(fmt).unwrap();
+            assert_eq!(
+                products.len() as u64,
+                fmt.pattern_count() * fmt.pattern_count()
+            );
+            assert!(!products.is_empty());
+            assert_eq!(products.format(), fmt);
+            for w in fmt.patterns() {
+                for a in fmt.patterns() {
+                    let p = products.entry(w, a);
+                    let (ew, ea) = (operands.entry(w), operands.entry(a));
+                    if ew.is_nar() || ea.is_nar() {
+                        assert!(p.is_nar(), "{fmt} {w:#x}×{a:#x}");
+                        assert_eq!(p.product(), 0, "{fmt} {w:#x}×{a:#x}");
+                    } else {
+                        assert!(!p.is_nar());
+                        assert_eq!(p.product(), ew.field() * ea.field(), "{fmt} {w:#x}×{a:#x}");
+                        assert_eq!(
+                            p.shift() as u64,
+                            ew.biased_scale() + ea.biased_scale(),
+                            "{fmt} {w:#x}×{a:#x}"
+                        );
+                        assert_eq!(p.negate(), ew.sign() ^ ea.sign(), "{fmt} {w:#x}×{a:#x}");
                     }
                 }
             }
