@@ -11,11 +11,12 @@ use deep_positron::train::{train, TrainConfig};
 use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
 use dp_bench::timing::{measure, out_path, render_measurements, smoke, write_json, Measurement};
 use dp_fixed::FixedFormat;
-use dp_gateway::{Admission, Gateway, OverloadPolicy};
+use dp_gateway::{Admission, Gateway, GatewayError, OverloadPolicy, SubmitOptions};
 use dp_minifloat::FloatFormat;
 use dp_posit::PositFormat;
 use dp_serve::ModelKey;
 use std::hint::black_box;
+use std::time::Instant;
 
 const QUEUE_CAPACITY: usize = 16;
 
@@ -191,6 +192,40 @@ fn main() {
     gw_adm.wait_idle();
     drop(gw_adm);
 
+    // Deadline churn: a full ring of already-expired requests. The
+    // dispatcher's lazy-expiry path resolves and refunds every one without
+    // ever touching the engine — the fixed per-request overhead deadlines
+    // add to the admission/dispatch pipeline. elems = expiry verdicts.
+    let (gw_dead, keys) = gateway(OverloadPolicy::ShedNewest, &mlp);
+    rows.push(measure(
+        "deadline_churn_expired",
+        QUEUE_CAPACITY as u64,
+        || {
+            gw_dead.pause_dispatch();
+            let handles: Vec<_> = (0..QUEUE_CAPACITY)
+                .map(|r| {
+                    gw_dead
+                        .try_submit_forward_opts(
+                            &keys[r % keys.len()],
+                            black_box(req.clone()),
+                            SubmitOptions::new().deadline(Instant::now()),
+                        )
+                        .expect_admitted()
+                })
+                .collect();
+            gw_dead.resume_dispatch();
+            let expired = handles
+                .iter()
+                .filter(|h| matches!(h.wait(), Err(GatewayError::DeadlineExceeded)))
+                .count();
+            assert_eq!(expired, QUEUE_CAPACITY, "every stale request must expire");
+            expired
+        },
+    ));
+    gw_dead.wait_idle();
+    let dead_snap = gw_dead.snapshot();
+    drop(gw_dead);
+
     println!("{}", render_measurements(&rows));
 
     let path = out_path("gateway");
@@ -230,6 +265,13 @@ fn main() {
             ),
         ),
         (
+            "deadline_churn",
+            format!(
+                "submitted={} expired={}",
+                dead_snap.submitted, dead_snap.deadline_exceeded
+            ),
+        ),
+        (
             "note",
             "elems = inference samples served per iteration (1 for latency/verdict rows); \
              burst/overload rows pause dispatch while 2x-capacity traffic lands, so shedding is \
@@ -239,4 +281,11 @@ fn main() {
     ];
     write_json(&path, &meta, &rows).expect("write BENCH_gateway.json");
     println!("\nwrote {}", path.display());
+
+    // Prometheus exposition of the deadline-churn gateway's final state:
+    // CI asserts the robustness counters (deadline_exceeded, worker
+    // supervision, degraded gauge) keep appearing in the rendered output.
+    let prom_path = path.with_file_name("gateway_metrics.prom");
+    std::fs::write(&prom_path, dead_snap.to_prometheus()).expect("write gateway_metrics.prom");
+    println!("wrote {}", prom_path.display());
 }

@@ -1,0 +1,28 @@
+//! Compile-time seam for `dp_fault` failure points on the gateway side.
+//!
+//! Mirrors `dp_serve::faults`: with the `fault-inject` feature the named
+//! points call into the process-global `dp_fault` plan; without it the
+//! hook is an inlined `false` the optimizer deletes, so release builds
+//! carry zero overhead.
+
+pub(crate) mod points {
+    /// Fired by the dispatcher right after popping a ring entry, scoped by
+    /// the request's logical model name. A planned `Sleep` here widens the
+    /// expiry-vs-dispatch race window deterministically.
+    pub(crate) const DELAY_DISPATCH: &str = "delay_dispatch";
+    /// Fired inside the gateway's per-chunk closure, after the chunk
+    /// accounting guard exists, so an injected panic unwinds through the
+    /// request metrics exactly like a real evaluation panic.
+    pub(crate) const PANIC_IN_CHUNK: &str = "panic_in_chunk";
+}
+
+#[cfg(feature = "fault-inject")]
+pub(crate) fn fire(point: &'static str, scope: Option<&str>) -> bool {
+    dp_fault::apply(point, scope)
+}
+
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub(crate) fn fire(_point: &'static str, _scope: Option<&str>) -> bool {
+    false
+}

@@ -1,13 +1,14 @@
 //! The gateway proper: non-blocking admission in front of a
-//! [`ServeEngine`], with a bounded submission ring, overload policies and
-//! per-model rate limits.
+//! [`ServeEngine`], with a bounded submission ring, overload policies,
+//! per-model rate limits, request deadlines and cancellation.
 //!
 //! ```text
 //! clients ──try_submit──▶ [bounded ring] ──dispatcher──▶ [engine injector] ──▶ workers
 //!              │                │ (overload policy:            │ (throttled: at most
 //!              │ verdicts       │  Block / ShedNewest /        │  max_inflight_chunks
-//!              ▼                │  ShedOldest)                 │  queued + running)
-//!        Admitted / QueueFull / ModelUnknown / RateLimited
+//!              ▼                │  ShedOldest;                 │  queued + running;
+//!        Admitted / QueueFull / │  lazy deadline expiry)       │  watchdog + panic budget)
+//!        ModelUnknown / RateLimited / Degraded
 //! ```
 //!
 //! Admission never blocks on [`Gateway::try_submit_forward`] /
@@ -17,18 +18,49 @@
 //! [`ServeEngine::try_dispatch`] seam, throttled so the engine's internal
 //! queue stays bounded too — backpressure surfaces in the ring, where the
 //! overload policy decides who pays for a burst.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! submitted ──▶ admitted ──▶ dispatched ──▶ completed
+//!     │             │             │
+//!     │             ├─▶ shed      ├─▶ failed (chunk panic / stall)
+//!     │             ├─▶ expired   └─▶ cancelled (mid-flight)
+//!     │             ├─▶ cancelled (while queued)
+//!     │             └─▶ dropped (closed / drain deadline / degraded)
+//!     └─▶ rejected (queue full / unknown / rate limited /
+//!                   unsupported / closed / degraded)
+//! ```
+//!
+//! Every admitted request resolves to exactly one typed outcome through
+//! its [`GatewayHandle`] — shed, expired, cancelled and dropped requests
+//! resolve promptly rather than hanging, and [`GatewayHandle::wait_timeout`]
+//! bounds any residual wait.
 
+use crate::faults;
 use crate::handle::{GatewayError, GatewayHandle, HandleCell};
 use crate::limiter::{RateLimit, TokenBucket};
 use crate::metrics::{GatewayMetrics, MetricsSnapshot, ModelMetrics};
 use crate::ring::{SubmissionRing, TryPush};
 use deep_positron::{NumericFormat, QuantizedMlp};
-use dp_serve::{classify_chunk, forward_chunk, EngineConfig, ModelKey, ModelRegistry, ServeEngine};
+use dp_serve::{
+    classify_chunk_cancellable, forward_chunk_cancellable, CancelToken, DispatchOptions,
+    EngineConfig, JobError, ModelKey, ModelRegistry, PanicBudget, ServeEngine, ServeError,
+    WatchdogConfig,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How long the dispatcher sleeps per headroom-wait slice; bounds how
+/// stale a deadline/drain check can get while the engine is saturated.
+const DISPATCH_POLL: Duration = Duration::from_millis(20);
+
+/// Cancel-aware per-chunk evaluator shape (forward bits or class indices),
+/// shared with the engine's canonical evaluators.
+type ChunkEval<T> = fn(&QuantizedMlp, &[Vec<f32>], &CancelToken) -> Result<Vec<T>, JobError>;
 
 /// What a full submission ring does with the overflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +91,60 @@ impl OverloadPolicy {
     }
 }
 
+/// Per-request submission options: a completion deadline and a priority
+/// hint, carried with the request through the ring.
+///
+/// ```
+/// use dp_gateway::SubmitOptions;
+/// use std::time::Duration;
+///
+/// let opts = SubmitOptions::new().deadline_in(Duration::from_millis(250));
+/// assert!(opts.deadline.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Absolute deadline: if the dispatcher has not handed the request to
+    /// the engine by this instant, it is lazily expired — the handle
+    /// resolves to [`GatewayError::DeadlineExceeded`] and the request's
+    /// rate-limit tokens are refunded. `None` (the default) never expires.
+    pub deadline: Option<Instant>,
+    /// Advisory priority (0 = most urgent). Carried in the ring entry but
+    /// not yet acted on — dispatch stays FIFO until priority classes land
+    /// (see ROADMAP); recorded now so the wire format is forward-stable.
+    pub priority_hint: Option<u8>,
+}
+
+impl SubmitOptions {
+    /// Default options: no deadline, no priority hint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an absolute deadline.
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Sets the deadline `timeout` from now.
+    pub fn deadline_in(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets the advisory priority hint (0 = most urgent).
+    pub fn priority_hint(mut self, hint: u8) -> Self {
+        self.priority_hint = Some(hint);
+        self
+    }
+}
+
 /// Typed admission verdict: what happened to a `submit`/`try_submit`.
 pub enum Admission<T> {
     /// Admitted; results arrive through the handle (which may still
-    /// resolve to [`GatewayError::Shed`] under `ShedOldest` pressure).
+    /// resolve to [`GatewayError::Shed`] under `ShedOldest` pressure, or
+    /// to [`GatewayError::DeadlineExceeded`] if its deadline passes
+    /// undispatched).
     Admitted(GatewayHandle<T>),
     /// The ring was full and the policy shed this request. Nothing was
     /// enqueued; retry later or switch policy.
@@ -77,6 +159,11 @@ pub enum Admission<T> {
     Unsupported(String),
     /// The gateway is shutting down.
     Closed,
+    /// The serving engine is degraded — its worker panic budget tripped
+    /// (see [`PanicBudget`]) — and admission is rejected until an
+    /// operator calls [`Gateway::reset_degraded`]. Metrics and
+    /// already-admitted work keep draining.
+    Degraded,
 }
 
 // Manual impl: the derive would demand `T: Debug`, which the payload
@@ -90,6 +177,7 @@ impl<T> std::fmt::Debug for Admission<T> {
             Admission::RateLimited => write!(f, "RateLimited"),
             Admission::Unsupported(what) => f.debug_tuple("Unsupported").field(what).finish(),
             Admission::Closed => write!(f, "Closed"),
+            Admission::Degraded => write!(f, "Degraded"),
         }
     }
 }
@@ -119,39 +207,52 @@ impl<T> Admission<T> {
 
 /// One queued request, typed by its result shape.
 struct Request<T> {
-    /// Logical model name — the rate-limit bucket key, kept so an
-    /// eviction can refund the tokens this request was charged.
+    /// Logical model name — the rate-limit bucket key (kept so an
+    /// eviction or expiry can refund the tokens this request was
+    /// charged) and the fault-injection scope.
     model_name: String,
     model: Arc<QuantizedMlp>,
     xs: Vec<Vec<f32>>,
     cell: Arc<HandleCell<T>>,
     model_metrics: Arc<ModelMetrics>,
     enqueued: Instant,
+    /// Lazily enforced by the dispatcher; see [`SubmitOptions::deadline`].
+    deadline: Option<Instant>,
+    /// Carried for future priority-class dispatch (ROADMAP); FIFO today.
+    #[allow(dead_code)]
+    priority_hint: Option<u8>,
+    /// The handle's cancel token, shared with the chunk jobs at dispatch.
+    cancel: CancelToken,
 }
 
 impl<T: Clone + Send + 'static> Request<T> {
     /// Resolves the request without dispatching it.
     fn resolve_undispatched(self, reason: GatewayError) {
-        if matches!(reason, GatewayError::Shed) {
-            self.model_metrics.shed.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            GatewayError::Shed => {
+                self.model_metrics.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            GatewayError::DeadlineExceeded => {
+                self.model_metrics.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
         }
         self.cell.resolve(Err(reason));
     }
 
-    /// Forwards to the engine, wiring per-chunk completion accounting.
-    fn dispatch(
-        self,
-        engine: &ServeEngine,
-        metrics: &Arc<GatewayMetrics>,
-        eval: fn(&QuantizedMlp, &[Vec<f32>]) -> Vec<T>,
-    ) {
+    /// Forwards to the engine, wiring per-chunk completion accounting and
+    /// the request's cancel token.
+    fn dispatch(self, engine: &ServeEngine, metrics: &Arc<GatewayMetrics>, eval: ChunkEval<T>) {
         let Request {
-            model_name: _,
+            model_name,
             model,
             xs,
             cell,
             model_metrics,
             enqueued,
+            deadline: _,
+            priority_hint: _,
+            cancel,
         } = self;
         metrics
             .queue_wait
@@ -160,24 +261,46 @@ impl<T: Clone + Send + 'static> Request<T> {
         let ctx = Arc::new(RequestCtx {
             remaining: AtomicUsize::new(n_chunks),
             failed: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
             started: Instant::now(),
             samples: xs.len() as u64,
             metrics: Arc::clone(metrics),
             model_metrics,
         });
+        let eval_cancel = cancel.clone();
+        let fault_scope = model_name.clone();
         let per_chunk = move |m: &QuantizedMlp, chunk: &[Vec<f32>]| {
             // The guard's Drop runs even if `eval` panics (during the
             // unwind the engine's job wrapper catches), so every chunk is
             // accounted and the last one closes out the request metrics.
-            let _guard = ChunkGuard {
+            // The injected panic point sits inside the guard's extent for
+            // the same reason.
+            let guard = ChunkGuard {
                 ctx: Arc::clone(&ctx),
             };
-            eval(m, chunk)
+            faults::fire(faults::points::PANIC_IN_CHUNK, Some(&fault_scope));
+            let result = eval(m, chunk, &eval_cancel);
+            match &result {
+                Err(JobError::Cancelled) => guard.ctx.cancelled.store(true, Ordering::SeqCst),
+                Err(_) => guard.ctx.failed.store(true, Ordering::SeqCst),
+                Ok(_) => {}
+            }
+            result
         };
-        match engine.try_dispatch(model, xs, per_chunk) {
+        let opts = DispatchOptions {
+            scope: Some(model_name),
+            cancel: Some(cancel),
+        };
+        match engine.try_dispatch_with(model, xs, opts, per_chunk) {
             Ok(inner) => {
                 metrics.dispatched.fetch_add(1, Ordering::Relaxed);
                 cell.dispatched(inner);
+            }
+            Err(ServeError::Degraded) => {
+                // The panic budget tripped between admission and dispatch:
+                // the admitted request is dropped with a typed verdict.
+                metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+                cell.resolve(Err(GatewayError::Degraded));
             }
             Err(_) => {
                 // Engine closed under a still-queued request (only
@@ -194,6 +317,7 @@ impl<T: Clone + Send + 'static> Request<T> {
 struct RequestCtx {
     remaining: AtomicUsize,
     failed: AtomicBool,
+    cancelled: AtomicBool,
     started: Instant,
     samples: u64,
     metrics: Arc<GatewayMetrics>,
@@ -202,7 +326,12 @@ struct RequestCtx {
 
 /// Decrements the chunk countdown on drop (normal return *or* panic
 /// unwind); the last chunk out records service time and the
-/// completed/failed verdict.
+/// completed/failed/cancelled verdict.
+///
+/// The counters record what the workers actually executed: a request the
+/// watchdog failed with [`JobError::Stalled`] surfaces that error on its
+/// handle immediately, while its wedged evaluation — if it ever finishes
+/// on the abandoned thread — is what lands here.
 struct ChunkGuard {
     ctx: Arc<RequestCtx>,
 }
@@ -217,6 +346,9 @@ impl Drop for ChunkGuard {
             if ctx.failed.load(Ordering::SeqCst) {
                 ctx.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 ctx.model_metrics.failed.fetch_add(1, Ordering::Relaxed);
+            } else if ctx.cancelled.load(Ordering::SeqCst) {
+                // Cancelled mid-flight: neither completed nor failed.
+                ctx.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
             } else {
                 // Service time covers completed requests only, so
                 // service_ns / completed is a true per-model mean (a
@@ -262,6 +394,22 @@ impl Pending {
         }
     }
 
+    /// The request's completion deadline, if any.
+    fn deadline(&self) -> Option<Instant> {
+        match self {
+            Pending::Forward(r) => r.deadline,
+            Pending::Classify(r) => r.deadline,
+        }
+    }
+
+    /// Whether the handle's cancel token has fired.
+    fn is_cancelled(&self) -> bool {
+        match self {
+            Pending::Forward(r) => r.cancel.is_cancelled(),
+            Pending::Classify(r) => r.cancel.is_cancelled(),
+        }
+    }
+
     fn resolve_undispatched(self, reason: GatewayError) {
         match self {
             Pending::Forward(r) => r.resolve_undispatched(reason),
@@ -271,14 +419,15 @@ impl Pending {
 
     fn dispatch(self, engine: &ServeEngine, metrics: &Arc<GatewayMetrics>) {
         match self {
-            Pending::Forward(r) => r.dispatch(engine, metrics, forward_chunk),
-            Pending::Classify(r) => r.dispatch(engine, metrics, classify_chunk),
+            Pending::Forward(r) => r.dispatch(engine, metrics, forward_chunk_cancellable),
+            Pending::Classify(r) => r.dispatch(engine, metrics, classify_chunk_cancellable),
         }
     }
 }
 
 /// Configures and builds a [`Gateway`] (engine sizing, ring capacity,
-/// overload policy, rate limits) in one place.
+/// overload policy, rate limits, supervision, drain deadline) in one
+/// place.
 #[derive(Debug, Clone)]
 pub struct GatewayBuilder {
     workers: usize,
@@ -287,6 +436,9 @@ pub struct GatewayBuilder {
     max_inflight_chunks: usize,
     policy: OverloadPolicy,
     rate_limits: Vec<(String, RateLimit)>,
+    drain_deadline: Duration,
+    watchdog: Option<WatchdogConfig>,
+    panic_budget: Option<PanicBudget>,
 }
 
 impl Default for GatewayBuilder {
@@ -299,13 +451,17 @@ impl Default for GatewayBuilder {
             max_inflight_chunks: 0,
             policy: OverloadPolicy::ShedNewest,
             rate_limits: Vec::new(),
+            drain_deadline: Duration::from_secs(30),
+            watchdog: None,
+            panic_budget: None,
         }
     }
 }
 
 impl GatewayBuilder {
     /// Starts from the defaults: `DEEP_POSITRON_THREADS`-sized pool,
-    /// 64-sample chunks, a 128-request ring, `ShedNewest`, no rate limits.
+    /// 64-sample chunks, a 128-request ring, `ShedNewest`, no rate
+    /// limits, a 30 s shutdown drain deadline, no supervision.
     pub fn new() -> Self {
         Self::default()
     }
@@ -360,12 +516,43 @@ impl GatewayBuilder {
         self
     }
 
-    /// Builds the gateway: spawns the engine's worker pool and the
-    /// dispatcher thread.
+    /// Bounds how long shutdown spends draining the ring backlog through
+    /// a saturated engine (default 30 s). Past the deadline the
+    /// dispatcher stops feeding the engine and resolves every remaining
+    /// queued request to [`GatewayError::Closed`] (counted in the
+    /// `drain_aborted` metric and logged), so `Drop` cannot hang on a
+    /// wedged or overloaded pool.
+    pub fn drain_deadline(mut self, deadline: Duration) -> Self {
+        self.drain_deadline = deadline;
+        self
+    }
+
+    /// Enables the engine's stall watchdog (see [`WatchdogConfig`]): a
+    /// worker stuck past the stall timeout is respawned and only the
+    /// stuck chunk's request fails, with
+    /// [`JobError::Stalled`].
+    pub fn watchdog(mut self, config: WatchdogConfig) -> Self {
+        self.watchdog = Some(config);
+        self
+    }
+
+    /// Enables the engine's panic budget (see [`PanicBudget`]): too many
+    /// worker panics inside the window flip the engine — and the gateway
+    /// in front of it — into degraded read-only-metrics mode
+    /// ([`Admission::Degraded`]).
+    pub fn panic_budget(mut self, budget: PanicBudget) -> Self {
+        self.panic_budget = Some(budget);
+        self
+    }
+
+    /// Builds the gateway: spawns the engine's worker pool (plus its
+    /// watchdog, if configured) and the dispatcher thread.
     pub fn build(self) -> Gateway {
         let engine = Arc::new(ServeEngine::new(EngineConfig {
             workers: self.workers,
             chunk_samples: self.chunk_samples,
+            watchdog: self.watchdog,
+            panic_budget: self.panic_budget,
         }));
         let max_inflight = if self.max_inflight_chunks == 0 {
             (engine.workers() * 4).max(8)
@@ -374,18 +561,32 @@ impl GatewayBuilder {
         };
         let ring = Arc::new(SubmissionRing::new(self.queue_capacity));
         let metrics = Arc::new(GatewayMetrics::default());
-        let limiters: HashMap<String, TokenBucket> = self
-            .rate_limits
-            .into_iter()
-            .map(|(name, limit)| (name, TokenBucket::new(limit)))
-            .collect();
+        // Shared with the dispatcher so lazily expired requests can
+        // refund the tokens admission charged them.
+        let limiters: Arc<HashMap<String, TokenBucket>> = Arc::new(
+            self.rate_limits
+                .into_iter()
+                .map(|(name, limit)| (name, TokenBucket::new(limit)))
+                .collect(),
+        );
+        let drain_deadline = self.drain_deadline;
         let dispatcher = {
             let ring = Arc::clone(&ring);
             let engine = Arc::clone(&engine);
             let metrics = Arc::clone(&metrics);
+            let limiters = Arc::clone(&limiters);
             std::thread::Builder::new()
                 .name("dp-gateway-dispatch".into())
-                .spawn(move || dispatcher_loop(&ring, &engine, &metrics, max_inflight))
+                .spawn(move || {
+                    dispatcher_loop(
+                        &ring,
+                        &engine,
+                        &metrics,
+                        &limiters,
+                        max_inflight,
+                        drain_deadline,
+                    )
+                })
                 .expect("spawn gateway dispatcher")
         };
         Gateway {
@@ -400,29 +601,107 @@ impl GatewayBuilder {
     }
 }
 
-/// The dispatcher: drains the ring in admission order, throttling on the
+/// Why the dispatcher discarded a popped entry instead of dispatching it.
+fn dead_verdict(entry: &Pending) -> Option<GatewayError> {
+    if entry.is_cancelled() {
+        Some(GatewayError::Cancelled)
+    } else if entry.deadline().is_some_and(|d| Instant::now() >= d) {
+        Some(GatewayError::DeadlineExceeded)
+    } else {
+        None
+    }
+}
+
+/// Resolves a dead entry with its verdict: refunds the rate-limit tokens
+/// admission charged, bumps the matching counters, resolves the handle.
+fn discard(
+    entry: Pending,
+    reason: GatewayError,
+    metrics: &GatewayMetrics,
+    limiters: &HashMap<String, TokenBucket>,
+) {
+    if let Some(bucket) = limiters.get(entry.model_name()) {
+        bucket.refund(entry.samples() as f64);
+    }
+    match reason {
+        GatewayError::DeadlineExceeded => {
+            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        }
+        GatewayError::Cancelled => {
+            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        GatewayError::Closed => {
+            // Only the bounded-drain abort path discards with `Closed`.
+            metrics.drain_aborted.fetch_add(1, Ordering::Relaxed);
+            metrics.dropped_closed.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {}
+    }
+    entry.resolve_undispatched(reason);
+}
+
+/// The dispatcher: drains the ring in admission order, lazily expiring
+/// dead entries (deadline passed, cancelled) and throttling on the
 /// engine's queue depth so the unbounded injector never grows past
-/// `max_inflight` chunk jobs.
+/// `max_inflight` chunk jobs. During shutdown the backlog drain is
+/// bounded by `drain_deadline`; past it, remaining entries resolve
+/// `Closed` instead of feeding a saturated engine.
 fn dispatcher_loop(
     ring: &SubmissionRing<Pending>,
     engine: &Arc<ServeEngine>,
     metrics: &Arc<GatewayMetrics>,
+    limiters: &HashMap<String, TokenBucket>,
     max_inflight: usize,
+    drain_deadline: Duration,
 ) {
+    let mut drain_logged = false;
     while let Some(entry) = ring.pop_for_dispatch() {
+        // Fault seam: a planned sleep here models dispatcher latency and
+        // deterministically widens the expiry-vs-dispatch race window.
+        faults::fire(faults::points::DELAY_DISPATCH, Some(entry.model_name()));
+
         // Headroom accounting: this request becomes `chunks` atomic pool
         // jobs, so wait until they fit under the cap — not merely until
         // the current depth is under it. A single request larger than the
         // whole cap waits for a fully drained engine and is dispatched
         // alone, so the engine's instantaneous bound is
         // max(max_inflight, ceil(largest_request / chunk_samples)).
-        // Workers signal every completion; the wait returns as soon as
-        // enough chunks finish (and always terminates, since queued jobs
-        // run even during shutdown).
+        // The wait runs in slices so entry deadlines, cancellation and
+        // the shutdown drain deadline stay live while the engine is
+        // saturated.
         let chunks = entry.samples().div_ceil(engine.chunk_samples()).max(1);
         let headroom = max_inflight.saturating_sub(chunks);
-        engine.wait_depth_below(headroom + 1);
-        entry.dispatch(engine, metrics);
+        let verdict = loop {
+            if let Some(v) = dead_verdict(&entry) {
+                break Some(v);
+            }
+            if let Some(closed_at) = ring.closing_since() {
+                if closed_at.elapsed() >= drain_deadline {
+                    break Some(GatewayError::Closed);
+                }
+            }
+            if engine
+                .wait_depth_below_for(headroom + 1, DISPATCH_POLL)
+                .is_some()
+            {
+                // Final screen right before dispatch, narrowing the
+                // expiry-vs-dispatch race to the engine handoff itself.
+                break dead_verdict(&entry);
+            }
+        };
+        match verdict {
+            Some(reason) => {
+                if matches!(reason, GatewayError::Closed) && !drain_logged {
+                    drain_logged = true;
+                    eprintln!(
+                        "dp-gateway: shutdown drain exceeded its {drain_deadline:?} deadline; \
+                         resolving remaining queued requests as Closed"
+                    );
+                }
+                discard(entry, reason, metrics, limiters);
+            }
+            None => entry.dispatch(engine, metrics),
+        }
         ring.dispatch_done();
     }
 }
@@ -432,13 +711,14 @@ fn dispatcher_loop(
 /// pipeline and [`GatewayBuilder`] for the knobs.
 ///
 /// Dropping (or [`Gateway::shutdown`]) is graceful: admission closes, the
-/// dispatcher drains every admitted request into the engine, the engine
-/// drains its queue, and all threads join.
+/// dispatcher drains every admitted request into the engine (bounded by
+/// the builder's [drain deadline](GatewayBuilder::drain_deadline)), the
+/// engine drains its queue, and all threads join.
 pub struct Gateway {
     engine: Arc<ServeEngine>,
     ring: Arc<SubmissionRing<Pending>>,
     metrics: Arc<GatewayMetrics>,
-    limiters: HashMap<String, TokenBucket>,
+    limiters: Arc<HashMap<String, TokenBucket>>,
     policy: OverloadPolicy,
     max_inflight: usize,
     dispatcher: Option<JoinHandle<()>>,
@@ -451,6 +731,7 @@ impl std::fmt::Debug for Gateway {
             .field("queue_capacity", &self.ring.capacity())
             .field("queue_depth", &self.ring.len())
             .field("max_inflight_chunks", &self.max_inflight)
+            .field("degraded", &self.engine.is_degraded())
             .finish_non_exhaustive()
     }
 }
@@ -482,9 +763,29 @@ impl Gateway {
     }
 
     /// A consistent-enough copy of every counter plus the current ring
-    /// depth, ready for [`MetricsSnapshot::to_json`].
+    /// depth and the engine's supervision health (stalls, respawns,
+    /// degraded flag), ready for [`MetricsSnapshot::to_json`] /
+    /// [`MetricsSnapshot::to_prometheus`].
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.ring.len())
+        let mut snap = self.metrics.snapshot(self.ring.len());
+        let stats = self.engine.stats();
+        snap.worker_stalled = stats.stalled;
+        snap.workers_respawned = stats.respawned;
+        snap.degraded = stats.degraded;
+        snap
+    }
+
+    /// Whether the engine behind this gateway is degraded (panic budget
+    /// tripped); while degraded every submission returns
+    /// [`Admission::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        self.engine.is_degraded()
+    }
+
+    /// Operator reset: clears the degraded flag and the panic window so
+    /// admission resumes.
+    pub fn reset_degraded(&self) {
+        self.engine.reset_degraded();
     }
 
     /// The configured overload policy.
@@ -521,14 +822,50 @@ impl Gateway {
     /// `Block`/`ShedNewest` yields [`Admission::QueueFull`], under
     /// `ShedOldest` the oldest queued request is evicted instead.
     pub fn try_submit_forward(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<Vec<u32>> {
-        self.admit(key, xs, true, Pending::Forward, false)
+        self.admit(
+            key,
+            xs,
+            SubmitOptions::default(),
+            true,
+            Pending::Forward,
+            false,
+        )
+    }
+
+    /// [`Gateway::try_submit_forward`] with per-request [`SubmitOptions`]
+    /// (deadline, priority hint).
+    pub fn try_submit_forward_opts(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
+    ) -> Admission<Vec<u32>> {
+        self.admit(key, xs, opts, true, Pending::Forward, false)
     }
 
     /// Non-blocking submission for class predictions (all formats,
     /// including the `F32` baseline). See [`Gateway::try_submit_forward`]
     /// for the verdict semantics.
     pub fn try_submit_classify(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<usize> {
-        self.admit(key, xs, false, Pending::Classify, false)
+        self.admit(
+            key,
+            xs,
+            SubmitOptions::default(),
+            false,
+            Pending::Classify,
+            false,
+        )
+    }
+
+    /// [`Gateway::try_submit_classify`] with per-request
+    /// [`SubmitOptions`] (deadline, priority hint).
+    pub fn try_submit_classify_opts(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
+    ) -> Admission<usize> {
+        self.admit(key, xs, opts, false, Pending::Classify, false)
     }
 
     /// Policy-applying submission for raw activations: under
@@ -536,13 +873,47 @@ impl Gateway {
     /// space frees; other policies behave like
     /// [`Gateway::try_submit_forward`].
     pub fn submit_forward(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<Vec<u32>> {
-        self.admit(key, xs, true, Pending::Forward, true)
+        self.admit(
+            key,
+            xs,
+            SubmitOptions::default(),
+            true,
+            Pending::Forward,
+            true,
+        )
+    }
+
+    /// [`Gateway::submit_forward`] with per-request [`SubmitOptions`].
+    pub fn submit_forward_opts(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
+    ) -> Admission<Vec<u32>> {
+        self.admit(key, xs, opts, true, Pending::Forward, true)
     }
 
     /// Policy-applying submission for class predictions; see
     /// [`Gateway::submit_forward`].
     pub fn submit_classify(&self, key: &ModelKey, xs: Vec<Vec<f32>>) -> Admission<usize> {
-        self.admit(key, xs, false, Pending::Classify, true)
+        self.admit(
+            key,
+            xs,
+            SubmitOptions::default(),
+            false,
+            Pending::Classify,
+            true,
+        )
+    }
+
+    /// [`Gateway::submit_classify`] with per-request [`SubmitOptions`].
+    pub fn submit_classify_opts(
+        &self,
+        key: &ModelKey,
+        xs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
+    ) -> Admission<usize> {
+        self.admit(key, xs, opts, false, Pending::Classify, true)
     }
 
     /// Blocks until the ring is drained **and** the engine is idle: every
@@ -553,8 +924,9 @@ impl Gateway {
     }
 
     /// Graceful shutdown: closes admission, drains the ring through the
-    /// dispatcher, drains the engine, joins every thread. Equivalent to
-    /// dropping the gateway, but explicit.
+    /// dispatcher (bounded by the drain deadline), drains the engine,
+    /// joins every thread. Equivalent to dropping the gateway, but
+    /// explicit.
     pub fn shutdown(self) {
         drop(self);
     }
@@ -563,12 +935,19 @@ impl Gateway {
         &self,
         key: &ModelKey,
         xs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
         needs_emac: bool,
         wrap: fn(Request<T>) -> Pending,
         may_block: bool,
     ) -> Admission<T> {
         let metrics = &self.metrics;
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if self.engine.is_degraded() {
+            // Degraded read-only-metrics mode: reject before touching the
+            // ring so already-admitted work keeps draining undisturbed.
+            metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+            return Admission::Degraded;
+        }
         let Some(model) = self.engine.registry().get(key) else {
             metrics.model_unknown.fetch_add(1, Ordering::Relaxed);
             return Admission::ModelUnknown(key.clone());
@@ -604,6 +983,7 @@ impl Gateway {
         }
         let model_metrics = metrics.model(key);
         let (handle, cell) = GatewayHandle::pending();
+        let cancel = cell.cancel_token();
         let entry = wrap(Request {
             model_name: key.name().to_string(),
             model,
@@ -611,6 +991,9 @@ impl Gateway {
             cell,
             model_metrics: Arc::clone(&model_metrics),
             enqueued: Instant::now(),
+            deadline: opts.deadline,
+            priority_hint: opts.priority_hint,
+            cancel,
         });
         let outcome = if may_block && matches!(self.policy, OverloadPolicy::Block) {
             match self.ring.push_blocking(entry) {

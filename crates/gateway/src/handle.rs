@@ -6,16 +6,22 @@
 //! in the submission ring, may already be running on the pool, or may have
 //! been shed by an overload policy. The handle hides that lifecycle:
 //! [`poll`](GatewayHandle::poll) never blocks, [`wait`](GatewayHandle::wait)
-//! blocks until the request resolves, and a shed request resolves promptly
-//! to [`GatewayError::Shed`] instead of hanging forever.
+//! blocks until the request resolves,
+//! [`wait_timeout`](GatewayHandle::wait_timeout) bounds the block, and a
+//! shed/expired/cancelled request resolves promptly to its typed
+//! [`GatewayError`] instead of hanging forever.
 //!
 //! Unlike the single-consumer `dp_serve` handles, a gateway handle caches
 //! its resolved result: `wait` and `poll` can be called repeatedly (the
 //! clone of the first resolution is returned), which makes double-`wait`
-//! a defined, tested behavior rather than a panic.
+//! a defined, tested behavior rather than a panic. The first resolution
+//! **wins**: once cached it is never overwritten, so a request that was
+//! already expired or evicted keeps reporting the same verdict however
+//! late the engine-side result limps in.
 
-use dp_serve::{BatchHandle, JobError};
+use dp_serve::{BatchHandle, CancelToken, JobError};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why an admitted request failed to produce a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +32,16 @@ pub enum GatewayError {
     Shed,
     /// The gateway closed before this request could be dispatched.
     Closed,
+    /// The request's [`SubmitOptions`](crate::gateway::SubmitOptions)
+    /// deadline passed before the dispatcher could hand it to the engine;
+    /// its rate-limit tokens were refunded.
+    DeadlineExceeded,
+    /// The request was cancelled via [`GatewayHandle::cancel`] (while
+    /// queued, or mid-flight at a chunk/sample boundary).
+    Cancelled,
+    /// The serving engine is degraded (worker panic budget tripped) and
+    /// dropped this already-admitted request before evaluation.
+    Degraded,
     /// The request was dispatched but its serving job failed.
     Job(JobError),
 }
@@ -35,6 +51,13 @@ impl std::fmt::Display for GatewayError {
         match self {
             GatewayError::Shed => write!(f, "request shed by the gateway overload policy"),
             GatewayError::Closed => write!(f, "gateway closed before the request was dispatched"),
+            GatewayError::DeadlineExceeded => {
+                write!(f, "request deadline passed before dispatch")
+            }
+            GatewayError::Cancelled => write!(f, "request cancelled by the caller"),
+            GatewayError::Degraded => {
+                write!(f, "serving engine degraded; admitted request dropped")
+            }
             GatewayError::Job(e) => write!(f, "{e}"),
         }
     }
@@ -44,7 +67,12 @@ impl std::error::Error for GatewayError {}
 
 impl From<JobError> for GatewayError {
     fn from(e: JobError) -> Self {
-        GatewayError::Job(e)
+        match e {
+            // A job cancelled through the request's token surfaces as the
+            // gateway-level cancel verdict, not a generic job failure.
+            JobError::Cancelled => GatewayError::Cancelled,
+            other => GatewayError::Job(other),
+        }
     }
 }
 
@@ -71,13 +99,20 @@ enum HandleState<T> {
 pub(crate) struct HandleCell<T> {
     state: Mutex<HandleState<T>>,
     ready: Condvar,
+    /// The request's cancellation token, shared with its chunk jobs.
+    cancel: CancelToken,
 }
 
 impl<T> HandleCell<T> {
-    /// Resolves the request directly (shed, closed, or an inline empty
-    /// result) and wakes every waiter.
+    /// Resolves the request (shed, closed, expired, cancelled, or an
+    /// inline empty result) and wakes every waiter. **First resolution
+    /// wins**: an already-resolved cell is left untouched, so a late
+    /// verdict can never clobber the one callers may have seen.
     pub(crate) fn resolve(&self, result: Result<Vec<T>, GatewayError>) {
         let mut st = self.state.lock().expect("gateway handle lock");
+        if matches!(*st, HandleState::Resolved(_)) {
+            return;
+        }
         *st = HandleState::Resolved(result);
         self.ready.notify_all();
     }
@@ -90,6 +125,29 @@ impl<T> HandleCell<T> {
             *st = HandleState::Dispatched(inner);
             self.ready.notify_all();
         }
+    }
+
+    /// The request's cancel token (cloned into chunk jobs at dispatch).
+    pub(crate) fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+impl<T: Clone> HandleCell<T> {
+    /// Caches `result` unless a resolution already exists; returns the
+    /// winning resolution either way. Used by waiters bringing an engine-
+    /// side result home, so a concurrent `cancel`'s verdict is honored.
+    fn cache_resolution(
+        &self,
+        result: Result<Vec<T>, GatewayError>,
+    ) -> Result<Vec<T>, GatewayError> {
+        let mut st = self.state.lock().expect("gateway handle lock");
+        if let HandleState::Resolved(existing) = &*st {
+            return existing.clone();
+        }
+        *st = HandleState::Resolved(result.clone());
+        self.ready.notify_all();
+        result
     }
 }
 
@@ -116,6 +174,7 @@ impl<T> GatewayHandle<T> {
         let cell = Arc::new(HandleCell {
             state: Mutex::new(HandleState::Queued),
             ready: Condvar::new(),
+            cancel: CancelToken::new(),
         });
         (
             GatewayHandle {
@@ -144,12 +203,46 @@ impl<T> GatewayHandle<T> {
             HandleState::Queued => false,
         }
     }
+
+    /// Requests cancellation of this request. Idempotent.
+    ///
+    /// * Still queued in the ring → the handle resolves **immediately** to
+    ///   [`GatewayError::Cancelled`]; the dispatcher later discards the
+    ///   dead ring entry and refunds its rate-limit tokens.
+    /// * Already dispatched → if the engine result is already available it
+    ///   wins (cancellation is cooperative, not retroactive); otherwise
+    ///   the handle resolves to [`GatewayError::Cancelled`] right away and
+    ///   the token tells in-flight chunks to stop at the next chunk/sample
+    ///   boundary. This also makes `cancel` the recovery path for a
+    ///   request whose completion was lost (e.g. under the
+    ///   `drop_completion` fault): the handle can always be resolved.
+    /// * Already resolved → no-op; the existing verdict sticks.
+    pub fn cancel(&self) {
+        self.cell.cancel.cancel();
+        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        match &*st {
+            HandleState::Resolved(_) => return,
+            HandleState::Queued => {
+                *st = HandleState::Resolved(Err(GatewayError::Cancelled));
+            }
+            HandleState::Dispatched(h) => {
+                let r = match h.poll() {
+                    Some(done) => done.map_err(GatewayError::from),
+                    None => Err(GatewayError::Cancelled),
+                };
+                *st = HandleState::Resolved(r);
+            }
+        }
+        self.cell.ready.notify_all();
+    }
 }
 
 impl<T: Clone> GatewayHandle<T> {
     /// Non-blocking: the resolved result if available, `None` while the
     /// request is queued or still running. Safe to call repeatedly —
     /// once resolved, every call returns a clone of the same result.
+    /// A request that was shed, expired or evicted resolves promptly: its
+    /// cached verdict comes back on the very next `poll`, never a spin.
     pub fn poll(&self) -> Option<Result<Vec<T>, GatewayError>> {
         let mut st = self.cell.state.lock().expect("gateway handle lock");
         match &*st {
@@ -157,7 +250,7 @@ impl<T: Clone> GatewayHandle<T> {
             HandleState::Queued => None,
             HandleState::Dispatched(h) => match h.poll() {
                 Some(r) => {
-                    let r = r.map_err(GatewayError::Job);
+                    let r = r.map_err(GatewayError::from);
                     *st = HandleState::Resolved(r.clone());
                     self.cell.ready.notify_all();
                     Some(r)
@@ -174,8 +267,10 @@ impl<T: Clone> GatewayHandle<T> {
     /// # Errors
     ///
     /// [`GatewayError::Shed`] / [`GatewayError::Closed`] when an overload
-    /// policy or shutdown dropped the request, [`GatewayError::Job`] when
-    /// a dispatched chunk failed.
+    /// policy or shutdown dropped the request,
+    /// [`GatewayError::DeadlineExceeded`] when it expired undispatched,
+    /// [`GatewayError::Cancelled`] after a cancel, [`GatewayError::Job`]
+    /// when a dispatched chunk failed.
     pub fn wait(&self) -> Result<Vec<T>, GatewayError> {
         let mut st = self.cell.state.lock().expect("gateway handle lock");
         loop {
@@ -195,11 +290,62 @@ impl<T: Clone> GatewayHandle<T> {
                         unreachable!("matched Dispatched above")
                     };
                     drop(st);
-                    let r = inner.wait().map_err(GatewayError::Job);
-                    let mut st = self.cell.state.lock().expect("gateway handle lock");
-                    *st = HandleState::Resolved(r.clone());
-                    self.cell.ready.notify_all();
-                    return r;
+                    let r = inner.wait().map_err(GatewayError::from);
+                    return self.cell.cache_resolution(r);
+                }
+            }
+        }
+    }
+
+    /// Bounded [`GatewayHandle::wait`]: `Some(result)` if the request
+    /// resolves within `timeout`, `None` otherwise. The handle stays
+    /// fully usable after a timeout (wait again, poll, or
+    /// [`cancel`](GatewayHandle::cancel) and then wait for the prompt
+    /// [`GatewayError::Cancelled`]). This is the primitive that keeps
+    /// chaos tests and latency-sensitive callers hang-free whatever fault
+    /// is in play.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<T>, GatewayError>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        loop {
+            match &*st {
+                HandleState::Resolved(r) => return Some(r.clone()),
+                HandleState::Queued => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _timeout) = self
+                        .cell
+                        .ready
+                        .wait_timeout(st, deadline - now)
+                        .expect("gateway handle lock");
+                    st = guard;
+                }
+                HandleState::Dispatched(_) => {
+                    let HandleState::Dispatched(inner) =
+                        std::mem::replace(&mut *st, HandleState::Queued)
+                    else {
+                        unreachable!("matched Dispatched above")
+                    };
+                    drop(st);
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match inner.wait_timeout(remaining) {
+                        Some(r) => {
+                            return Some(self.cell.cache_resolution(r.map_err(GatewayError::from)))
+                        }
+                        None => {
+                            // Timed out with the engine still working: put
+                            // the inner handle back for future waiters
+                            // (unless a verdict landed meanwhile).
+                            let mut st = self.cell.state.lock().expect("gateway handle lock");
+                            if matches!(*st, HandleState::Queued) {
+                                *st = HandleState::Dispatched(inner);
+                            }
+                            self.cell.ready.notify_all();
+                            return None;
+                        }
+                    }
                 }
             }
         }
@@ -225,6 +371,16 @@ mod tests {
     }
 
     #[test]
+    fn first_resolution_wins() {
+        let (handle, cell) = GatewayHandle::<u32>::pending();
+        cell.resolve(Err(GatewayError::DeadlineExceeded));
+        // A late second verdict (e.g. an engine result limping in after
+        // expiry) must not clobber what callers already saw.
+        cell.resolve(Ok(vec![1, 2, 3]));
+        assert_eq!(handle.wait(), Err(GatewayError::DeadlineExceeded));
+    }
+
+    #[test]
     fn wait_from_two_threads_returns_the_same_value() {
         let (handle, cell) = GatewayHandle::<u32>::pending();
         let handle = Arc::new(handle);
@@ -234,5 +390,33 @@ mod tests {
         cell.resolve(Ok(vec![1, 2, 3]));
         assert_eq!(handle.wait(), Ok(vec![1, 2, 3]));
         assert_eq!(t.join().unwrap(), Ok(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_resolves() {
+        let (handle, cell) = GatewayHandle::<u32>::pending();
+        assert_eq!(handle.wait_timeout(Duration::from_millis(10)), None);
+        cell.resolve(Ok(vec![4]));
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(10)),
+            Some(Ok(vec![4]))
+        );
+        // Cached: repeatable.
+        assert_eq!(
+            handle.wait_timeout(Duration::from_millis(10)),
+            Some(Ok(vec![4]))
+        );
+    }
+
+    #[test]
+    fn cancel_of_queued_request_resolves_immediately() {
+        let (handle, cell) = GatewayHandle::<u32>::pending();
+        assert!(!cell.cancel_token().is_cancelled());
+        handle.cancel();
+        assert!(cell.cancel_token().is_cancelled());
+        assert_eq!(handle.wait(), Err(GatewayError::Cancelled));
+        // Idempotent, and the verdict sticks.
+        handle.cancel();
+        assert_eq!(handle.poll(), Some(Err(GatewayError::Cancelled)));
     }
 }

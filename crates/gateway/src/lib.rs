@@ -28,9 +28,31 @@
 //! * [`metrics`] — lock-free counters and log₂ histograms
 //!   ([`GatewayMetrics`]) with a plain-data [`MetricsSnapshot`] and a
 //!   hand-rolled JSON renderer.
-//! * [`handle`] — [`GatewayHandle`]: poll/wait with cached resolution
-//!   (double-`wait` is defined), covering the request's whole lifecycle
-//!   including the shed path.
+//! * [`handle`] — [`GatewayHandle`]: poll/wait/`wait_timeout` with cached
+//!   first-wins resolution (double-`wait` is defined), plus cooperative
+//!   [`cancel`](GatewayHandle::cancel), covering the request's whole
+//!   lifecycle including the shed, expired and cancelled paths.
+//!
+//! Robustness (this crate + `dp_serve` supervision, see the repo README's
+//! "Robustness & fault injection" section):
+//!
+//! * **Deadlines** — [`gateway::SubmitOptions`] carries a per-request
+//!   deadline; the dispatcher lazily expires dead entries
+//!   ([`GatewayError::DeadlineExceeded`], tokens refunded) instead of
+//!   feeding them to a saturated engine.
+//! * **Supervision** — [`GatewayBuilder::watchdog`] respawns wedged
+//!   workers (only the stuck request fails);
+//!   [`GatewayBuilder::panic_budget`] flips the gateway into a degraded
+//!   read-only-metrics mode ([`Admission::Degraded`]) after too many
+//!   worker panics.
+//! * **Bounded shutdown** — [`GatewayBuilder::drain_deadline`] caps how
+//!   long `Drop` drains the backlog; past it, remaining requests resolve
+//!   [`GatewayError::Closed`] (`drain_aborted` metric) rather than
+//!   hanging the process.
+//! * **Fault injection** — building with `--features fault-inject`
+//!   compiles the `dp_fault` failure points into the dispatcher and
+//!   engine for deterministic chaos testing; without the feature the
+//!   hooks are inlined `false`s with zero overhead.
 //!
 //! Admitted traffic stays **bit-identical** to per-sample
 //! [`QuantizedMlp::forward_bits`](deep_positron::QuantizedMlp::forward_bits)
@@ -63,13 +85,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod faults;
 pub mod gateway;
 pub mod handle;
 pub mod limiter;
 pub mod metrics;
 mod ring;
 
-pub use gateway::{Admission, Gateway, GatewayBuilder, OverloadPolicy};
+pub use gateway::{Admission, Gateway, GatewayBuilder, OverloadPolicy, SubmitOptions};
 pub use handle::{GatewayError, GatewayHandle, RequestStage};
 pub use limiter::RateLimit;
 pub use metrics::{GatewayMetrics, HistogramSnapshot, MetricsSnapshot, ModelSnapshot};

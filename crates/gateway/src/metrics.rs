@@ -107,6 +107,9 @@ pub struct ModelMetrics {
     pub failed: AtomicU64,
     /// Requests shed for this model (rejected at full ring or evicted).
     pub shed: AtomicU64,
+    /// Requests whose deadline passed before dispatch (expired in the
+    /// ring; rate-limit tokens were refunded).
+    pub expired: AtomicU64,
     /// Samples served to completion.
     pub samples: AtomicU64,
     /// Total service time (dispatch → last chunk done) across
@@ -137,11 +140,26 @@ pub struct GatewayMetrics {
     pub unsupported: AtomicU64,
     /// Requests rejected because the gateway was closing.
     pub rejected_closed: AtomicU64,
+    /// Requests rejected because the serving engine is degraded (worker
+    /// panic budget tripped): admission-time rejections plus admitted
+    /// requests dropped at dispatch.
+    pub rejected_degraded: AtomicU64,
     /// Requests handed to the serving engine by the dispatcher.
     pub dispatched: AtomicU64,
     /// Admitted requests that were still queued when the gateway closed
-    /// the engine underneath them (dispatch failed with `EngineClosed`).
+    /// the engine underneath them (dispatch failed with `EngineClosed`),
+    /// plus requests dropped when the shutdown drain deadline fired.
     pub dropped_closed: AtomicU64,
+    /// Admitted requests whose deadline passed before the dispatcher
+    /// could hand them to the engine (lazily expired; tokens refunded).
+    pub deadline_exceeded: AtomicU64,
+    /// Requests cancelled via their handle (while queued, or mid-flight
+    /// at a chunk/sample boundary).
+    pub cancelled: AtomicU64,
+    /// Requests force-resolved `Closed` because the dispatcher's bounded
+    /// shutdown drain hit its deadline (each such request also counts in
+    /// `dropped_closed`).
+    pub drain_aborted: AtomicU64,
     /// Requests whose every chunk finished successfully.
     pub completed: AtomicU64,
     /// Requests with at least one failed chunk.
@@ -195,6 +213,7 @@ impl GatewayMetrics {
                 completed: ld(&m.completed),
                 failed: ld(&m.failed),
                 shed: ld(&m.shed),
+                expired: ld(&m.expired),
                 samples: ld(&m.samples),
                 service_ns: ld(&m.service_ns),
             })
@@ -209,11 +228,20 @@ impl GatewayMetrics {
             model_unknown: ld(&self.model_unknown),
             unsupported: ld(&self.unsupported),
             rejected_closed: ld(&self.rejected_closed),
+            rejected_degraded: ld(&self.rejected_degraded),
             dispatched: ld(&self.dispatched),
             dropped_closed: ld(&self.dropped_closed),
+            deadline_exceeded: ld(&self.deadline_exceeded),
+            cancelled: ld(&self.cancelled),
+            drain_aborted: ld(&self.drain_aborted),
             completed: ld(&self.completed),
             failed: ld(&self.failed),
             samples_completed: ld(&self.samples_completed),
+            // Engine-sourced health fields: zero here, post-filled by
+            // `Gateway::snapshot` from the pool's supervision stats.
+            worker_stalled: 0,
+            workers_respawned: 0,
+            degraded: false,
             queue_depth,
             queue_depth_peak: ld(&self.queue_depth_peak),
             queue_wait: self.queue_wait.snapshot(),
@@ -236,6 +264,8 @@ pub struct ModelSnapshot {
     pub failed: u64,
     /// Requests shed (full-ring rejection or eviction).
     pub shed: u64,
+    /// Requests whose deadline passed before dispatch.
+    pub expired: u64,
     /// Samples served to completion.
     pub samples: u64,
     /// Total service nanoseconds across completed requests.
@@ -255,11 +285,22 @@ pub struct MetricsSnapshot {
     pub model_unknown: u64,
     pub unsupported: u64,
     pub rejected_closed: u64,
+    pub rejected_degraded: u64,
     pub dispatched: u64,
     pub dropped_closed: u64,
+    pub deadline_exceeded: u64,
+    pub cancelled: u64,
+    pub drain_aborted: u64,
     pub completed: u64,
     pub failed: u64,
     pub samples_completed: u64,
+    /// Workers the watchdog declared stalled (engine-sourced; filled by
+    /// `Gateway::snapshot`, zero in a bare `GatewayMetrics::snapshot`).
+    pub worker_stalled: u64,
+    /// Workers respawned by the watchdog (engine-sourced).
+    pub workers_respawned: u64,
+    /// Whether the engine is currently degraded (engine-sourced).
+    pub degraded: bool,
     /// Ring backlog at snapshot time.
     pub queue_depth: usize,
     pub queue_depth_peak: u64,
@@ -280,7 +321,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("{\n  \"requests\": {");
-        let fields: [(&str, u64); 13] = [
+        let fields: [(&str, u64); 17] = [
             ("submitted", self.submitted),
             ("admitted", self.admitted),
             ("shed_queue_full", self.shed_queue_full),
@@ -289,8 +330,12 @@ impl MetricsSnapshot {
             ("model_unknown", self.model_unknown),
             ("unsupported", self.unsupported),
             ("rejected_closed", self.rejected_closed),
+            ("rejected_degraded", self.rejected_degraded),
             ("dispatched", self.dispatched),
             ("dropped_closed", self.dropped_closed),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("cancelled", self.cancelled),
+            ("drain_aborted", self.drain_aborted),
             ("completed", self.completed),
             ("failed", self.failed),
             ("samples_completed", self.samples_completed),
@@ -303,7 +348,9 @@ impl MetricsSnapshot {
             s,
             "\n  }},\n  \"queue\": {{\n    \"depth\": {},\n    \"depth_peak\": {},\n    \
              \"wait_p50_ns\": {},\n    \"wait_p99_ns\": {}\n  }},\n  \"service\": {{\n    \
-             \"count\": {},\n    \"p50_ns\": {},\n    \"p99_ns\": {}\n  }},\n  \"models\": [",
+             \"count\": {},\n    \"p50_ns\": {},\n    \"p99_ns\": {}\n  }},\n  \"engine\": {{\n    \
+             \"worker_stalled\": {},\n    \"workers_respawned\": {},\n    \
+             \"degraded\": {}\n  }},\n  \"models\": [",
             self.queue_depth,
             self.queue_depth_peak,
             self.queue_wait.quantile_ns(0.50),
@@ -311,6 +358,9 @@ impl MetricsSnapshot {
             self.service.count(),
             self.service.quantile_ns(0.50),
             self.service.quantile_ns(0.99),
+            self.worker_stalled,
+            self.workers_respawned,
+            self.degraded,
         );
         for (i, m) in self.per_model.iter().enumerate() {
             let comma = if i + 1 < self.per_model.len() {
@@ -321,12 +371,13 @@ impl MetricsSnapshot {
             let _ = write!(
                 s,
                 "\n    {{\"key\": \"{}\", \"admitted\": {}, \"completed\": {}, \"failed\": {}, \
-                 \"shed\": {}, \"samples\": {}, \"service_ns\": {}}}{comma}",
+                 \"shed\": {}, \"expired\": {}, \"samples\": {}, \"service_ns\": {}}}{comma}",
                 m.key.replace('\\', "\\\\").replace('"', "\\\""),
                 m.admitted,
                 m.completed,
                 m.failed,
                 m.shed,
+                m.expired,
                 m.samples,
                 m.service_ns,
             );
@@ -349,7 +400,7 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let counters: [(&str, u64); 13] = [
+        let counters: [(&str, u64); 17] = [
             ("submitted", self.submitted),
             ("admitted", self.admitted),
             ("shed_queue_full", self.shed_queue_full),
@@ -358,8 +409,12 @@ impl MetricsSnapshot {
             ("model_unknown", self.model_unknown),
             ("unsupported", self.unsupported),
             ("rejected_closed", self.rejected_closed),
+            ("rejected_degraded", self.rejected_degraded),
             ("dispatched", self.dispatched),
             ("dropped_closed", self.dropped_closed),
+            ("deadline_exceeded", self.deadline_exceeded),
+            ("cancelled", self.cancelled),
+            ("drain_aborted", self.drain_aborted),
             ("completed", self.completed),
             ("failed", self.failed),
             ("samples_completed", self.samples_completed),
@@ -372,6 +427,16 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "dp_gateway_queue_depth {}", self.queue_depth);
         let _ = writeln!(s, "# TYPE dp_gateway_queue_depth_peak gauge");
         let _ = writeln!(s, "dp_gateway_queue_depth_peak {}", self.queue_depth_peak);
+        let _ = writeln!(s, "# TYPE dp_gateway_worker_stalled_total counter");
+        let _ = writeln!(s, "dp_gateway_worker_stalled_total {}", self.worker_stalled);
+        let _ = writeln!(s, "# TYPE dp_gateway_workers_respawned_total counter");
+        let _ = writeln!(
+            s,
+            "dp_gateway_workers_respawned_total {}",
+            self.workers_respawned
+        );
+        let _ = writeln!(s, "# TYPE dp_gateway_degraded gauge");
+        let _ = writeln!(s, "dp_gateway_degraded {}", u64::from(self.degraded));
         for (name, h) in [
             ("dp_gateway_queue_wait_ns", &self.queue_wait),
             ("dp_gateway_service_ns", &self.service),
@@ -410,6 +475,7 @@ impl MetricsSnapshot {
                 ("completed", m.completed),
                 ("failed", m.failed),
                 ("shed", m.shed),
+                ("expired", m.expired),
             ] {
                 let _ = writeln!(
                     s,
@@ -510,6 +576,7 @@ mod tests {
         m.completed.fetch_add(4, Ordering::Relaxed);
         m.failed.fetch_add(1, Ordering::Relaxed);
         m.samples_completed.fetch_add(40, Ordering::Relaxed);
+        m.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
         m.note_depth(6);
         m.queue_wait.record_ns(1000); // bucket [512, 1024) → le="1023"
         m.queue_wait.record_ns(1000);
@@ -519,6 +586,7 @@ mod tests {
         mm.completed.fetch_add(4, Ordering::Relaxed);
         mm.failed.fetch_add(1, Ordering::Relaxed);
         mm.shed.fetch_add(2, Ordering::Relaxed);
+        mm.expired.fetch_add(1, Ordering::Relaxed);
         mm.samples.fetch_add(40, Ordering::Relaxed);
         mm.service_ns.fetch_add(5000, Ordering::Relaxed);
 
@@ -539,10 +607,18 @@ dp_gateway_model_unknown_total 0
 dp_gateway_unsupported_total 0
 # TYPE dp_gateway_rejected_closed_total counter
 dp_gateway_rejected_closed_total 0
+# TYPE dp_gateway_rejected_degraded_total counter
+dp_gateway_rejected_degraded_total 0
 # TYPE dp_gateway_dispatched_total counter
 dp_gateway_dispatched_total 5
 # TYPE dp_gateway_dropped_closed_total counter
 dp_gateway_dropped_closed_total 0
+# TYPE dp_gateway_deadline_exceeded_total counter
+dp_gateway_deadline_exceeded_total 1
+# TYPE dp_gateway_cancelled_total counter
+dp_gateway_cancelled_total 0
+# TYPE dp_gateway_drain_aborted_total counter
+dp_gateway_drain_aborted_total 0
 # TYPE dp_gateway_completed_total counter
 dp_gateway_completed_total 4
 # TYPE dp_gateway_failed_total counter
@@ -553,6 +629,12 @@ dp_gateway_samples_completed_total 40
 dp_gateway_queue_depth 3
 # TYPE dp_gateway_queue_depth_peak gauge
 dp_gateway_queue_depth_peak 6
+# TYPE dp_gateway_worker_stalled_total counter
+dp_gateway_worker_stalled_total 0
+# TYPE dp_gateway_workers_respawned_total counter
+dp_gateway_workers_respawned_total 0
+# TYPE dp_gateway_degraded gauge
+dp_gateway_degraded 0
 # TYPE dp_gateway_queue_wait_ns histogram
 dp_gateway_queue_wait_ns_bucket{le=\"1\"} 0
 dp_gateway_queue_wait_ns_bucket{le=\"3\"} 0
@@ -589,6 +671,7 @@ dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"admitted\"} 
 dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"completed\"} 4
 dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"failed\"} 1
 dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"shed\"} 2
+dp_gateway_model_requests_total{model=\"iris@posit<8,0>\",outcome=\"expired\"} 1
 # TYPE dp_gateway_model_samples_total counter
 dp_gateway_model_samples_total{model=\"iris@posit<8,0>\"} 40
 # TYPE dp_gateway_model_service_ns_total counter

@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Outcome of a non-blocking push.
 pub(crate) enum TryPush<E> {
@@ -35,6 +36,9 @@ pub(crate) enum TryPush<E> {
 struct RingState<E> {
     queue: VecDeque<E>,
     closing: bool,
+    /// When `close` was first called — the dispatcher's drain deadline is
+    /// measured from this instant.
+    closed_at: Option<Instant>,
     paused: bool,
     /// An entry has been popped but its dispatch has not finished yet —
     /// the ring is not idle even though `queue` may be empty.
@@ -58,6 +62,7 @@ impl<E> SubmissionRing<E> {
             state: Mutex::new(RingState {
                 queue: VecDeque::with_capacity(capacity.max(1)),
                 closing: false,
+                closed_at: None,
                 paused: false,
                 dispatching: false,
             }),
@@ -175,9 +180,18 @@ impl<E> SubmissionRing<E> {
     pub(crate) fn close(&self) {
         let mut st = self.state.lock().expect("ring lock");
         st.closing = true;
+        if st.closed_at.is_none() {
+            st.closed_at = Some(Instant::now());
+        }
         drop(st);
         self.work.notify_all();
         self.space.notify_all();
+    }
+
+    /// The instant shutdown began, if [`SubmissionRing::close`] has been
+    /// called. The dispatcher bounds its backlog drain against this.
+    pub(crate) fn closing_since(&self) -> Option<Instant> {
+        self.state.lock().expect("ring lock").closed_at
     }
 }
 

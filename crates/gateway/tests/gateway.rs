@@ -467,3 +467,184 @@ fn snapshot_json_renders_live_traffic() {
     assert!(json.contains(&format!("\"key\": \"{key}\"")), "{json}");
     assert_eq!(json.matches('{').count(), json.matches('}').count());
 }
+
+// ---- request-lifecycle robustness (deadlines, cancel, degraded) --------
+
+#[test]
+fn expired_request_handle_resolves_promptly_without_spinning() {
+    use std::time::{Duration, Instant};
+    let (mlp, split) = trained_iris();
+    let gw = small_gateway(OverloadPolicy::ShedNewest);
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = gw.registry().register("iris", q).unwrap();
+
+    // Hold dispatch so the deadline is unambiguously in the past by the
+    // time the dispatcher pops the entry.
+    gw.pause_dispatch();
+    let h = gw
+        .try_submit_forward_opts(
+            &key,
+            batch(&split, 4),
+            dp_gateway::SubmitOptions::new().deadline(Instant::now()),
+        )
+        .expect_admitted();
+    assert_eq!(h.poll(), None, "still queued while dispatch is paused");
+    gw.resume_dispatch();
+
+    // The dispatcher expires the entry; the cached verdict must surface
+    // through non-blocking poll() within a bounded number of attempts —
+    // a regression here spins forever exactly like the shed-handle bug.
+    let t0 = Instant::now();
+    let verdict = loop {
+        if let Some(v) = h.poll() {
+            break v;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "expired handle never resolved"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    assert_eq!(verdict, Err(GatewayError::DeadlineExceeded));
+    // Repeated polls and a blocking wait return the same cached verdict.
+    assert_eq!(h.poll(), Some(Err(GatewayError::DeadlineExceeded)));
+    assert_eq!(h.wait(), Err(GatewayError::DeadlineExceeded));
+    assert_eq!(h.stage(), RequestStage::Done);
+
+    gw.wait_idle();
+    let snap = gw.snapshot();
+    assert_eq!(snap.deadline_exceeded, 1);
+    assert_eq!(snap.per_model[0].expired, 1);
+    assert_eq!(snap.completed, 0);
+}
+
+#[test]
+fn expired_requests_refund_their_rate_limit_tokens() {
+    use std::time::Instant;
+    let (mlp, split) = trained_iris();
+    let gw = Gateway::builder()
+        .workers(2)
+        .chunk_samples(4)
+        .queue_capacity(8)
+        .rate_limit(
+            "iris",
+            RateLimit {
+                burst: 8.0,
+                samples_per_sec: 0.0,
+            },
+        )
+        .build();
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = gw.registry().register("iris", q).unwrap();
+
+    gw.pause_dispatch();
+    let doomed = gw
+        .try_submit_forward_opts(
+            &key,
+            batch(&split, 4),
+            dp_gateway::SubmitOptions::new().deadline(Instant::now()),
+        )
+        .expect_admitted();
+    gw.resume_dispatch();
+    assert_eq!(doomed.wait(), Err(GatewayError::DeadlineExceeded));
+
+    // All 4 of the expired request's tokens are back: an 8-sample probe
+    // fits the non-refilling 8-token bucket only if the refund happened.
+    let probe = gw.try_submit_forward(&key, batch(&split, 8));
+    assert!(probe.is_admitted(), "expiry must refund its tokens");
+    probe.expect_admitted().wait().unwrap();
+}
+
+#[test]
+fn wait_timeout_times_out_while_queued_then_delivers_after_resume() {
+    use std::time::Duration;
+    let (mlp, split) = trained_iris();
+    let gw = small_gateway(OverloadPolicy::ShedNewest);
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = gw.registry().register("iris", q.clone()).unwrap();
+    let xs = batch(&split, 8);
+
+    gw.pause_dispatch();
+    let h = gw.try_submit_forward(&key, xs.clone()).expect_admitted();
+    assert_eq!(
+        h.wait_timeout(Duration::from_millis(50)),
+        None,
+        "queued request must time out, not block"
+    );
+    gw.resume_dispatch();
+    let direct: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+    assert_eq!(
+        h.wait_timeout(Duration::from_secs(10)),
+        Some(Ok(direct.clone()))
+    );
+    // The resolution is cached: a second (blocking) wait sees it too.
+    assert_eq!(h.wait().unwrap(), direct);
+}
+
+#[test]
+fn cancelling_a_queued_request_resolves_immediately_and_counts_once() {
+    let (mlp, split) = trained_iris();
+    let gw = small_gateway(OverloadPolicy::ShedNewest);
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = gw.registry().register("iris", q).unwrap();
+
+    gw.pause_dispatch();
+    let h = gw
+        .try_submit_forward(&key, batch(&split, 4))
+        .expect_admitted();
+    h.cancel();
+    // The verdict is available before the dispatcher even sees the entry.
+    assert_eq!(h.poll(), Some(Err(GatewayError::Cancelled)));
+    gw.resume_dispatch();
+    gw.wait_idle();
+    let snap = gw.snapshot();
+    assert_eq!(snap.cancelled, 1, "cancel is counted exactly once");
+    assert_eq!(snap.completed, 0);
+    assert_eq!(snap.failed, 0);
+}
+
+#[test]
+fn panic_budget_degrades_admission_and_reset_restores_it() {
+    use std::time::{Duration, Instant};
+    let (mlp, split) = trained_iris();
+    let gw = Gateway::builder()
+        .workers(1)
+        .chunk_samples(4)
+        .queue_capacity(8)
+        .panic_budget(dp_serve::PanicBudget {
+            max_panics: 1,
+            window: Duration::from_secs(30),
+        })
+        .build();
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = gw.registry().register("iris", q).unwrap();
+
+    // Two direct pool panics blow the budget of one.
+    for _ in 0..2 {
+        let h = gw
+            .engine()
+            .submit_job::<usize, _>(|| panic!("boom"))
+            .unwrap();
+        assert!(h.wait().is_err());
+    }
+    let t0 = Instant::now();
+    while !gw.is_degraded() && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(gw.is_degraded());
+    assert!(matches!(
+        gw.try_submit_forward(&key, batch(&split, 4)),
+        Admission::Degraded
+    ));
+    let snap = gw.snapshot();
+    assert!(snap.degraded);
+    assert_eq!(snap.rejected_degraded, 1);
+
+    // Operator reset: admission works again end to end.
+    gw.reset_degraded();
+    assert!(!gw.is_degraded());
+    let h = gw
+        .try_submit_forward(&key, batch(&split, 4))
+        .expect_admitted();
+    h.wait().unwrap();
+}

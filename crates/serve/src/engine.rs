@@ -15,13 +15,14 @@
 //! datapath, results are **bit-identical** to per-sample
 //! [`QuantizedMlp::forward_bits`].
 
+use crate::faults;
 use crate::handle::{BatchHandle, JobError, JobHandle};
-use crate::pool::{PoolStats, WorkerPool};
+use crate::pool::{Job, PanicBudget, PoolStats, WatchdogConfig, WorkerPool};
 use crate::registry::{ModelKey, ModelRegistry};
 use deep_positron::{NumericFormat, QuantizedMlp};
 use dp_datasets::Dataset;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Engine sizing knobs.
@@ -36,6 +37,16 @@ pub struct EngineConfig {
     /// (cf. the scoped engine's 32-samples-per-thread spawn floor) while
     /// still feeding every worker on serving-scale batches.
     pub chunk_samples: usize,
+    /// Optional stall watchdog: a wedged worker is detected, its job's
+    /// handle failed with [`JobError::Stalled`], and the worker respawned
+    /// (see [`WatchdogConfig`]). `None` (the default) keeps the PR-4
+    /// behaviour: a wedged worker wedges forever.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Optional panic budget: too many worker panics inside a trailing
+    /// window flip the engine to degraded mode, where every new
+    /// submission is rejected with [`ServeError::Degraded`] (see
+    /// [`PanicBudget`]). `None` (the default) never degrades.
+    pub panic_budget: Option<PanicBudget>,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +54,8 @@ impl Default for EngineConfig {
         EngineConfig {
             workers: deep_positron::batch::batch_threads(),
             chunk_samples: 64,
+            watchdog: None,
+            panic_budget: None,
         }
     }
 }
@@ -59,6 +72,11 @@ pub enum ServeError {
     /// The engine is closed (shutdown has begun) and rejected the whole
     /// submission — **no** chunk of the request was enqueued.
     EngineClosed,
+    /// The engine is in degraded mode (the worker panic budget tripped —
+    /// see [`PanicBudget`]): metrics and already-admitted work still
+    /// drain, but every new submission is rejected until an operator
+    /// calls [`ServeEngine::reset_degraded`].
+    Degraded,
     /// A worker job failed; the failure poisoned only this request.
     Job(JobError),
 }
@@ -69,6 +87,11 @@ impl std::fmt::Display for ServeError {
             ServeError::UnknownModel(key) => write!(f, "no model registered under {key}"),
             ServeError::UnsupportedFormat(what) => write!(f, "{what}"),
             ServeError::EngineClosed => write!(f, "serving engine is closed (shutting down)"),
+            ServeError::Degraded => write!(
+                f,
+                "serving engine is degraded (worker panic budget exceeded); \
+                 new submissions are rejected"
+            ),
             ServeError::Job(e) => write!(f, "{e}"),
         }
     }
@@ -80,6 +103,50 @@ impl From<JobError> for ServeError {
     fn from(e: JobError) -> Self {
         ServeError::Job(e)
     }
+}
+
+/// A shared cancellation flag for one request.
+///
+/// Cloning yields another handle to the same flag. The serving datapath
+/// checks it at **chunk boundaries** (before a chunk job starts its
+/// evaluation) and the cancel-aware chunk evaluators
+/// ([`forward_chunk_cancellable`], [`classify_chunk_cancellable`]) check
+/// it between samples, so an abandoned batch stops burning workers within
+/// one sample's latency instead of finishing the whole request.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, not-yet-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; already-running samples finish,
+    /// everything after the next check point is skipped and the affected
+    /// handles resolve with [`JobError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// Per-dispatch options for [`ServeEngine::try_dispatch_with`].
+#[derive(Debug, Clone, Default)]
+pub struct DispatchOptions {
+    /// Logical model name, used to scope fault-injection hits (see the
+    /// `dp_fault` crate) and future per-model diagnostics.
+    pub scope: Option<String>,
+    /// Cooperative cancellation: when the token fires, chunks that have
+    /// not started are completed with [`JobError::Cancelled`] instead of
+    /// being evaluated.
+    pub cancel: Option<CancelToken>,
 }
 
 /// A persistent serving engine: one worker pool, one registry, many
@@ -97,7 +164,11 @@ impl ServeEngine {
     /// Builds an engine from `config`.
     pub fn new(config: EngineConfig) -> Self {
         ServeEngine {
-            pool: WorkerPool::new(config.workers.max(1)),
+            pool: WorkerPool::with_supervision(
+                config.workers.max(1),
+                config.watchdog,
+                config.panic_budget,
+            ),
             registry: Arc::new(ModelRegistry::new()),
             chunk_samples: config.chunk_samples.max(1),
             cursor: AtomicUsize::new(0),
@@ -124,6 +195,20 @@ impl ServeEngine {
         self.pool.stats()
     }
 
+    /// Whether the worker panic budget has tripped (see
+    /// [`EngineConfig::panic_budget`]): already-admitted work drains and
+    /// metrics stay readable, but new submissions are rejected with
+    /// [`ServeError::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        self.pool.is_degraded()
+    }
+
+    /// Operator action: leaves degraded mode and forgets the panic
+    /// history that tripped it.
+    pub fn reset_degraded(&self) {
+        self.pool.reset_degraded();
+    }
+
     /// Chunk size admission splits batches into (see
     /// [`EngineConfig::chunk_samples`]). Front ends use this to predict
     /// how many pool jobs a request will become.
@@ -142,6 +227,18 @@ impl ServeEngine {
     /// [`WorkerPool::wait_depth_below`].
     pub fn wait_depth_below(&self, below: usize) -> usize {
         self.pool.wait_depth_below(below)
+    }
+
+    /// Bounded [`ServeEngine::wait_depth_below`]: `Some(depth)` once the
+    /// condition holds, `None` if `timeout` elapses first. Front ends use
+    /// this to keep their drain loops responsive to their own deadlines
+    /// even when a worker is wedged.
+    pub fn wait_depth_below_for(
+        &self,
+        below: usize,
+        timeout: std::time::Duration,
+    ) -> Option<usize> {
+        self.pool.wait_depth_below_for(below, timeout)
     }
 
     fn model(&self, key: &ModelKey) -> Result<Arc<QuantizedMlp>, ServeError> {
@@ -174,8 +271,9 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// [`ServeError::EngineClosed`] once shutdown has begun; no chunk was
-    /// enqueued.
+    /// [`ServeError::EngineClosed`] once shutdown has begun, or
+    /// [`ServeError::Degraded`] while the panic budget is tripped; no
+    /// chunk was enqueued either way.
     pub fn try_dispatch<T, F>(
         &self,
         model: Arc<QuantizedMlp>,
@@ -186,29 +284,108 @@ impl ServeEngine {
         T: Send + 'static,
         F: Fn(&QuantizedMlp, &[Vec<f32>]) -> Vec<T> + Send + Sync + 'static,
     {
+        self.try_dispatch_with(model, xs, DispatchOptions::default(), move |m, chunk| {
+            Ok(per_chunk(m, chunk))
+        })
+    }
+
+    /// [`ServeEngine::try_dispatch`] with per-request [`DispatchOptions`]
+    /// (cancellation, fault-injection scope) and a fallible per-chunk
+    /// closure: a chunk may resolve to a typed [`JobError`] — e.g.
+    /// [`JobError::Cancelled`] from a cancel-aware evaluator — without
+    /// panicking its worker.
+    ///
+    /// Lifecycle guarantees per chunk: exactly **one** of normal
+    /// completion, panic poisoning, or the watchdog's stall resolution
+    /// completes it (first claimant wins), so the batch handle can never
+    /// see a double completion — not even when an abandoned worker's
+    /// chunk eventually finishes after the watchdog already failed it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServeEngine::try_dispatch`].
+    pub fn try_dispatch_with<T, F>(
+        &self,
+        model: Arc<QuantizedMlp>,
+        xs: Vec<Vec<f32>>,
+        opts: DispatchOptions,
+        per_chunk: F,
+    ) -> Result<BatchHandle<T>, ServeError>
+    where
+        T: Send + 'static,
+        F: Fn(&QuantizedMlp, &[Vec<f32>]) -> Result<Vec<T>, JobError> + Send + Sync + 'static,
+    {
+        if self.pool.is_degraded() {
+            return Err(ServeError::Degraded);
+        }
+        let scope: Option<Arc<str>> = opts.scope.map(Arc::from);
+        let cancel = opts.cancel;
         let chunks: Vec<Vec<Vec<f32>>> = split_chunks(xs, self.chunk_samples);
         let (handle, completer) = BatchHandle::pending(chunks.len());
         let per_chunk = Arc::new(per_chunk);
-        let jobs: Vec<(usize, crate::pool::Job)> = chunks
+        let jobs: Vec<(usize, Job)> = chunks
             .into_iter()
             .enumerate()
             .map(|(index, chunk)| {
                 let model = Arc::clone(&model);
                 let per_chunk = Arc::clone(&per_chunk);
                 let completer = completer.clone();
+                let stall_completer = completer.clone();
+                let scope = scope.clone();
+                let cancel = cancel.clone();
+                // First claimant — normal completion, panic poisoning, or
+                // stall resolution — completes the chunk; the rest no-op.
+                let claimed = Arc::new(AtomicBool::new(false));
+                let stall_claimed = Arc::clone(&claimed);
                 let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
-                let job: crate::pool::Job = Box::new(move || {
-                    // A panic inside the model evaluation poisons only
-                    // this request's handle; re-raising lets the pool
-                    // count it (and keep its worker alive).
-                    match catch_unwind(AssertUnwindSafe(|| per_chunk(&model, &chunk))) {
-                        Ok(part) => completer.complete_chunk(index, Ok(part)),
-                        Err(payload) => {
-                            completer.complete_chunk(index, Err(JobError::Panicked));
-                            std::panic::resume_unwind(payload);
+                let job = Job::with_stall_handler(
+                    move || {
+                        let scope = scope.as_deref();
+                        // A planned sleep here wedges the worker exactly
+                        // like a runaway evaluation would.
+                        faults::fire(faults::points::STALL_WORKER, scope);
+                        if claimed.load(Ordering::SeqCst) {
+                            // The watchdog already failed this chunk while
+                            // the worker was wedged; don't evaluate it.
+                            return;
                         }
-                    }
-                });
+                        // Chunk-boundary cancellation check; the cancel-
+                        // aware evaluators additionally check per sample.
+                        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                            if !claimed.swap(true, Ordering::SeqCst) {
+                                completer.complete_chunk(index, Err(JobError::Cancelled));
+                            }
+                            return;
+                        }
+                        // A panic inside the model evaluation poisons only
+                        // this request's handle; re-raising lets the pool
+                        // count it (and keep its worker alive). The
+                        // `panic_in_chunk` failure point fires *inside*
+                        // the evaluation closure (see `submit_forward` /
+                        // the gateway's chunk closure), so an injected
+                        // panic unwinds through the caller's per-chunk
+                        // accounting exactly like a real one.
+                        match catch_unwind(AssertUnwindSafe(|| per_chunk(&model, &chunk))) {
+                            Ok(result) => {
+                                let dropped = faults::fire(faults::points::DROP_COMPLETION, scope);
+                                if !dropped && !claimed.swap(true, Ordering::SeqCst) {
+                                    completer.complete_chunk(index, result);
+                                }
+                            }
+                            Err(payload) => {
+                                if !claimed.swap(true, Ordering::SeqCst) {
+                                    completer.complete_chunk(index, Err(JobError::Panicked));
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    },
+                    move || {
+                        if !stall_claimed.swap(true, Ordering::SeqCst) {
+                            stall_completer.complete_chunk(index, Err(JobError::Stalled));
+                        }
+                    },
+                );
                 (slot, job)
             })
             .collect();
@@ -232,7 +409,15 @@ impl ServeEngine {
         xs: Vec<Vec<f32>>,
     ) -> Result<BatchHandle<Vec<u32>>, ServeError> {
         let model = self.emac_model(key)?;
-        self.try_dispatch(model, xs, forward_chunk)
+        let scope = key.name().to_string();
+        let opts = DispatchOptions {
+            scope: Some(scope.clone()),
+            cancel: None,
+        };
+        self.try_dispatch_with(model, xs, opts, move |m, chunk| {
+            faults::fire(faults::points::PANIC_IN_CHUNK, Some(&scope));
+            Ok(forward_chunk(m, chunk))
+        })
     }
 
     /// Submits a batch for class predictions, identical to per-sample
@@ -249,7 +434,15 @@ impl ServeEngine {
         xs: Vec<Vec<f32>>,
     ) -> Result<BatchHandle<usize>, ServeError> {
         let model = self.model(key)?;
-        self.try_dispatch(model, xs, classify_chunk)
+        let scope = key.name().to_string();
+        let opts = DispatchOptions {
+            scope: Some(scope.clone()),
+            cancel: None,
+        };
+        self.try_dispatch_with(model, xs, opts, move |m, chunk| {
+            faults::fire(faults::points::PANIC_IN_CHUNK, Some(&scope));
+            Ok(classify_chunk(m, chunk))
+        })
     }
 
     /// Single-sample convenience: [`ServeEngine::submit_forward`] for one
@@ -286,21 +479,41 @@ impl ServeEngine {
     ///
     /// # Errors
     ///
-    /// [`ServeError::EngineClosed`] after shutdown began.
+    /// [`ServeError::EngineClosed`] after shutdown began;
+    /// [`ServeError::Degraded`] while the panic budget is tripped.
     pub fn submit_job<T, F>(&self, f: F) -> Result<JobHandle<T>, ServeError>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
+        if self.pool.is_degraded() {
+            return Err(ServeError::Degraded);
+        }
         let (handle, completer) = JobHandle::pending();
+        let stall_completer = completer.clone();
+        let claimed = Arc::new(AtomicBool::new(false));
+        let stall_claimed = Arc::clone(&claimed);
         self.pool
-            .spawn(Box::new(move || match catch_unwind(AssertUnwindSafe(f)) {
-                Ok(v) => completer.complete(Ok(v)),
-                Err(payload) => {
-                    completer.complete(Err(JobError::Panicked));
-                    std::panic::resume_unwind(payload);
-                }
-            }))
+            .spawn(Job::with_stall_handler(
+                move || match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        if !claimed.swap(true, Ordering::SeqCst) {
+                            completer.complete(Ok(v));
+                        }
+                    }
+                    Err(payload) => {
+                        if !claimed.swap(true, Ordering::SeqCst) {
+                            completer.complete(Err(JobError::Panicked));
+                        }
+                        std::panic::resume_unwind(payload);
+                    }
+                },
+                move || {
+                    if !stall_claimed.swap(true, Ordering::SeqCst) {
+                        stall_completer.complete(Err(JobError::Stalled));
+                    }
+                },
+            ))
             .map_err(|_| ServeError::EngineClosed)?;
         Ok(handle)
     }
@@ -382,6 +595,62 @@ pub fn classify_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<usize> {
             .collect(),
         None => chunk.iter().map(|x| model.infer(x)).collect(),
     }
+}
+
+/// Cancel-aware [`forward_chunk`]: checks `cancel` **between samples** and
+/// returns [`JobError::Cancelled`] as soon as it fires, so an abandoned
+/// batch stops burning its worker within one sample's latency. Already-
+/// computed samples are discarded — a cancelled request has no partial
+/// result.
+///
+/// # Errors
+///
+/// [`JobError::Cancelled`] once `cancel` has fired.
+///
+/// # Panics
+///
+/// As [`forward_chunk`]: the model's format must have an EMAC datapath.
+pub fn forward_chunk_cancellable(
+    model: &QuantizedMlp,
+    chunk: &[Vec<f32>],
+    cancel: &CancelToken,
+) -> Result<Vec<Vec<u32>>, JobError> {
+    let mut emacs = model
+        .make_layer_emacs()
+        .expect("admission validated the format");
+    let mut out = Vec::with_capacity(chunk.len());
+    for x in chunk {
+        if cancel.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        out.push(model.forward_bits_with(&mut emacs, x));
+    }
+    Ok(out)
+}
+
+/// Cancel-aware [`classify_chunk`]: checks `cancel` between samples (see
+/// [`forward_chunk_cancellable`]).
+///
+/// # Errors
+///
+/// [`JobError::Cancelled`] once `cancel` has fired.
+pub fn classify_chunk_cancellable(
+    model: &QuantizedMlp,
+    chunk: &[Vec<f32>],
+    cancel: &CancelToken,
+) -> Result<Vec<usize>, JobError> {
+    let mut emacs = model.make_layer_emacs();
+    let mut out = Vec::with_capacity(chunk.len());
+    for x in chunk {
+        if cancel.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
+        out.push(match &mut emacs {
+            Some(emacs) => model.infer_with(emacs, x),
+            None => model.infer(x),
+        });
+    }
+    Ok(out)
 }
 
 /// Splits owned samples into chunks of at most `chunk_samples`, preserving

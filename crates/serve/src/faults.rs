@@ -1,0 +1,36 @@
+//! Compile-time seam for `dp_fault` failure points.
+//!
+//! With the `fault-inject` feature the serving datapath's named failure
+//! points delegate to `dp_fault::apply`; without it they compile to an
+//! inlined `false` and the release binary carries no hook code at all.
+//! Even with the feature on, an uninstalled plan costs one relaxed atomic
+//! load per hit.
+
+/// Failure-point names compiled into this crate (re-exported so callers
+/// and tests use one set of constants whether or not `dp_fault` is
+/// linked).
+pub mod points {
+    /// Chunk evaluation panics inside a pool worker.
+    pub const PANIC_IN_CHUNK: &str = "panic_in_chunk";
+    /// A pool worker sleeps mid-job, looking wedged to the watchdog.
+    pub const STALL_WORKER: &str = "stall_worker";
+    /// A finished chunk's completion is dropped instead of delivered.
+    pub const DROP_COMPLETION: &str = "drop_completion";
+}
+
+/// Evaluates a hit of `point` for model `scope` against the installed
+/// fault plan: may panic or sleep (per the plan), and returns `true` when
+/// the caller should drop the completion it was about to deliver.
+#[cfg(feature = "fault-inject")]
+#[inline]
+pub fn fire(point: &str, scope: Option<&str>) -> bool {
+    dp_fault::apply(point, scope)
+}
+
+/// Inert stub: without the `fault-inject` feature every failure point is
+/// a no-op that the optimizer removes entirely.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn fire(_point: &str, _scope: Option<&str>) -> bool {
+    false
+}

@@ -12,18 +12,27 @@
 //! the pool and every other in-flight request are unaffected.
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why a submitted job failed to produce a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JobError {
     /// The job's closure panicked; the panic was confined to this handle.
     Panicked,
+    /// The watchdog declared the worker running this job stalled; the
+    /// worker was respawned and only this job's handle failed.
+    Stalled,
+    /// The request's [`CancelToken`](crate::engine::CancelToken) was
+    /// cancelled before the job finished.
+    Cancelled,
 }
 
 impl std::fmt::Display for JobError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JobError::Panicked => write!(f, "serving job panicked"),
+            JobError::Stalled => write!(f, "serving job stalled its worker (worker respawned)"),
+            JobError::Cancelled => write!(f, "serving job was cancelled"),
         }
     }
 }
@@ -115,11 +124,49 @@ impl<T> JobHandle<T> {
             }
         }
     }
+
+    /// Bounded wait: takes the result if the job finishes within
+    /// `timeout`, returns `None` on timeout (the handle stays usable —
+    /// wait again, poll, or abandon it) or if the result was already
+    /// taken.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, JobError>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.cell.state.lock().expect("handle lock");
+        loop {
+            match std::mem::replace(&mut *st, CellState::Taken) {
+                CellState::Done(r) => return Some(r),
+                CellState::Pending => {
+                    *st = CellState::Pending;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _timeout) = self
+                        .cell
+                        .done
+                        .wait_timeout(st, deadline - now)
+                        .expect("handle lock");
+                    st = guard;
+                }
+                CellState::Taken => return None,
+            }
+        }
+    }
 }
 
-/// Worker-side completer for a [`JobHandle`].
+/// Worker-side completer for a [`JobHandle`]; cloned when completion can
+/// come from more than one place (normal path vs. watchdog stall
+/// resolution — the engine's claim flag ensures only one fires).
 pub(crate) struct JobCompleter<T> {
     cell: Arc<Cell<T>>,
+}
+
+impl<T> Clone for JobCompleter<T> {
+    fn clone(&self) -> Self {
+        JobCompleter {
+            cell: Arc::clone(&self.cell),
+        }
+    }
 }
 
 impl<T> JobCompleter<T> {
@@ -221,6 +268,30 @@ impl<T> BatchHandle<T> {
         Self::take(&mut st)
     }
 
+    /// Bounded wait: takes the assembled result if every chunk finishes
+    /// within `timeout`, returns `None` on timeout (the handle stays
+    /// usable) or if the result was already taken.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<T>, JobError>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.cell.state.lock().expect("handle lock");
+        while st.remaining > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .cell
+                .done
+                .wait_timeout(st, deadline - now)
+                .expect("handle lock");
+            st = guard;
+        }
+        if st.taken {
+            return None;
+        }
+        Some(Self::take(&mut st))
+    }
+
     fn take(st: &mut BatchState<T>) -> Result<Vec<T>, JobError> {
         st.taken = true;
         if let Some(err) = st.failed {
@@ -307,6 +378,26 @@ mod tests {
         completer.complete_chunk(0, Ok(vec![1]));
         completer.complete_chunk(1, Err(JobError::Panicked));
         assert_eq!(handle.wait(), Err(JobError::Panicked));
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_then_delivers() {
+        let (handle, completer) = JobHandle::<u32>::pending();
+        assert_eq!(handle.wait_timeout(Duration::from_millis(10)), None);
+        completer.complete(Ok(9));
+        assert_eq!(handle.wait_timeout(Duration::from_millis(10)), Some(Ok(9)));
+        // Single-consumer: taken results are gone, even via wait_timeout.
+        assert_eq!(handle.wait_timeout(Duration::from_millis(1)), None);
+
+        let (bh, bc) = BatchHandle::<u32>::pending(2);
+        assert_eq!(bh.wait_timeout(Duration::from_millis(10)), None);
+        bc.complete_chunk(0, Ok(vec![1]));
+        bc.complete_chunk(1, Ok(vec![2]));
+        assert_eq!(
+            bh.wait_timeout(Duration::from_millis(10)),
+            Some(Ok(vec![1, 2]))
+        );
+        assert_eq!(bh.wait_timeout(Duration::from_millis(1)), None);
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   samples or batches, splits large batches into chunk jobs with
 //!   per-chunk EMAC reuse, and stays **bit-identical** to per-sample
 //!   [`QuantizedMlp::forward_bits`](deep_positron::QuantizedMlp::forward_bits).
+//!   Optional supervision hardens it: a stall **watchdog** respawns
+//!   wedged workers (failing only the stuck job, [`JobError::Stalled`]),
+//!   a **panic budget** flips admission to a degraded read-only mode
+//!   ([`ServeError::Degraded`]), and a [`CancelToken`] lets callers stop
+//!   an abandoned batch at sample granularity.
+//! * [`faults`] — the compile-time seam for the `dp_fault` failure points
+//!   (feature `fault-inject`; inert inlined stubs otherwise).
 //!
 //! ```no_run
 //! use deep_positron::{NumericFormat, QuantizedMlp};
@@ -40,11 +47,15 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod faults;
 pub mod handle;
 pub mod pool;
 pub mod registry;
 
-pub use engine::{classify_chunk, forward_chunk, EngineConfig, ServeEngine, ServeError};
+pub use engine::{
+    classify_chunk, classify_chunk_cancellable, forward_chunk, forward_chunk_cancellable,
+    CancelToken, DispatchOptions, EngineConfig, ServeEngine, ServeError,
+};
 pub use handle::{BatchHandle, JobError, JobHandle};
-pub use pool::{PoolStats, WorkerPool};
+pub use pool::{Job, PanicBudget, PoolStats, WatchdogConfig, WorkerPool};
 pub use registry::{ModelKey, ModelRegistry, RegistryError};

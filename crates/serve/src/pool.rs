@@ -1,5 +1,5 @@
 //! The long-lived worker pool: a condvar-backed injector queue plus one
-//! LIFO slot per worker, with work stealing.
+//! LIFO slot per worker, with work stealing — now supervised.
 //!
 //! Workers are ordinary `std::thread`s that live for the pool's lifetime,
 //! so a request stream pays thread spawn cost once rather than per batch
@@ -16,15 +16,117 @@
 //! keeps serving (the `engine` layer additionally poisons the panicked
 //! request's completion handle). Shutdown is graceful: workers drain every
 //! queued job before exiting.
+//!
+//! # Supervision
+//!
+//! Two optional supervisors harden the pool against the failure modes a
+//! caught panic cannot cover:
+//!
+//! * A **watchdog** ([`WatchdogConfig`]) — every worker stamps a heartbeat
+//!   when it picks up a job; a supervisor thread scans the stamps and,
+//!   when a worker has been busy on one job beyond the stall threshold,
+//!   *abandons* that worker (its thread is detached, its generation
+//!   retired), runs the job's registered stall handler (which fails only
+//!   the stuck job's completion handle) and respawns a fresh worker on the
+//!   same slot. Queue accounting (`active`, `jobs_run`) is settled by the
+//!   watchdog, so drain and depth waiters never hang on a wedged thread.
+//! * A **panic budget** ([`PanicBudget`]) — worker panics are timestamped;
+//!   when more than the budgeted number land inside the trailing window
+//!   the pool flips to **degraded** ([`WorkerPool::is_degraded`]). The
+//!   pool itself keeps draining; admission layers (`ServeEngine`,
+//!   `dp_gateway`) consult the flag and reject new work with a typed
+//!   error until an operator calls [`WorkerPool::reset_degraded`].
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// A unit of work for the pool.
-pub type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of work for the pool: the job closure plus an optional stall
+/// handler the watchdog runs if the job wedges its worker (see
+/// [`WatchdogConfig`]). The handler's contract is to fail **only this
+/// job's** completion handle; the watchdog has already settled the pool's
+/// queue accounting when it runs.
+pub struct Job {
+    run: Box<dyn FnOnce() + Send + 'static>,
+    on_stalled: Option<Box<dyn FnOnce() + Send + 'static>>,
+}
+
+impl Job {
+    /// A plain job with no stall handler (a stalled worker is still
+    /// respawned; there is just nothing to notify).
+    pub fn new(run: impl FnOnce() + Send + 'static) -> Self {
+        Job {
+            run: Box::new(run),
+            on_stalled: None,
+        }
+    }
+
+    /// A job with a stall handler, invoked (at most once, instead of the
+    /// job ever completing normally from the pool's point of view) when
+    /// the watchdog abandons the worker running this job.
+    pub fn with_stall_handler(
+        run: impl FnOnce() + Send + 'static,
+        on_stalled: impl FnOnce() + Send + 'static,
+    ) -> Self {
+        Job {
+            run: Box::new(run),
+            on_stalled: Some(Box::new(on_stalled)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("has_stall_handler", &self.on_stalled.is_some())
+            .finish()
+    }
+}
+
+/// Watchdog sizing: how long a worker may sit on one job before it is
+/// declared stalled, and how often the supervisor scans the heartbeats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Busy-on-one-job threshold beyond which a worker is abandoned and
+    /// respawned. Must comfortably exceed the longest legitimate chunk
+    /// evaluation.
+    pub stall_timeout: Duration,
+    /// Heartbeat scan cadence (also bounds how late a stall is detected:
+    /// worst case `stall_timeout + poll_interval`).
+    pub poll_interval: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_timeout: Duration::from_secs(2),
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Panic budget: how many worker panics the pool tolerates inside a
+/// trailing window before flipping to degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicBudget {
+    /// Panics tolerated within [`PanicBudget::window`]; the
+    /// `max_panics + 1`-th trips [`WorkerPool::is_degraded`].
+    pub max_panics: u32,
+    /// Trailing window over which panics are counted.
+    pub window: Duration,
+}
+
+impl Default for PanicBudget {
+    fn default() -> Self {
+        PanicBudget {
+            max_panics: 8,
+            window: Duration::from_secs(10),
+        }
+    }
+}
 
 /// Error returned when submitting to a pool that is shutting down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,10 +145,20 @@ impl std::error::Error for ShuttingDown {}
 pub struct PoolStats {
     /// Worker thread count.
     pub workers: usize,
-    /// Jobs executed to completion (including panicked ones).
+    /// Jobs executed to completion (including panicked and stalled ones —
+    /// a stalled job is counted by the watchdog when it abandons the
+    /// worker, so `jobs_run` always converges to the submitted total).
     pub jobs_run: u64,
     /// Jobs whose closure panicked (caught; the worker survived).
     pub panics: u64,
+    /// Workers the watchdog declared stalled and abandoned.
+    pub stalled: u64,
+    /// Replacement workers the watchdog spawned (equals `stalled` unless a
+    /// respawn itself failed).
+    pub respawned: u64,
+    /// Whether the panic budget has tripped (see
+    /// [`WorkerPool::is_degraded`]).
+    pub degraded: bool,
 }
 
 struct State {
@@ -69,6 +181,23 @@ impl State {
     }
 }
 
+/// Per-slot heartbeat + supervision state. A *slot* outlives any one
+/// worker thread: the watchdog retires a wedged worker's generation and
+/// hands the slot to a replacement.
+struct WorkerWatch {
+    /// Generation of the thread currently owning this slot. A worker
+    /// whose spawn-time generation no longer matches has been abandoned
+    /// and must exit without touching slot state or queue accounting.
+    gen: AtomicU64,
+    /// Heartbeat: 0 when idle, else `Shared::now_ms` at the moment the
+    /// current job was picked up.
+    busy_since_ms: AtomicU64,
+    /// The running job's stall handler, parked here so the watchdog can
+    /// take it without cooperating with the (possibly wedged) worker.
+    /// Lock order: `state` before this.
+    stall_handler: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
+}
+
 struct Shared {
     state: Mutex<State>,
     /// Signalled when work arrives or shutdown flips.
@@ -79,11 +208,29 @@ struct Shared {
     progress: Condvar,
     /// Per-worker LIFO slots. Lock order: `state` before any slot.
     slots: Vec<Mutex<Vec<Job>>>,
+    /// Per-worker supervision state, parallel to `slots`.
+    watches: Vec<WorkerWatch>,
+    /// Worker thread handles by slot, swapped by the watchdog on respawn
+    /// (the wedged thread's handle is dropped, i.e. detached).
+    threads: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Monotonic time base for the heartbeat stamps.
+    epoch: Instant,
     jobs_run: AtomicU64,
     panics: AtomicU64,
+    stalled: AtomicU64,
+    respawned: AtomicU64,
+    degraded: AtomicBool,
+    budget: Option<PanicBudget>,
+    /// Timestamps of recent panics (trimmed to the budget window).
+    panic_times: Mutex<VecDeque<Instant>>,
 }
 
 impl Shared {
+    /// Milliseconds since pool start, offset by 1 so 0 can mean "idle".
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64 + 1
+    }
+
     /// Pops the next job for worker `me`: own slot newest-first, then the
     /// injector, then steal oldest-first from the other slots. Must be
     /// called with the `state` lock held (`st` is that guard's contents).
@@ -111,28 +258,69 @@ impl Shared {
         }
         None
     }
+
+    /// Records one worker panic against the budget; flips `degraded` when
+    /// the trailing-window count exceeds it.
+    fn note_panic(&self) {
+        let Some(budget) = self.budget else { return };
+        let now = Instant::now();
+        let mut times = self.panic_times.lock().expect("panic budget lock");
+        times.push_back(now);
+        while let Some(&front) = times.front() {
+            if now.duration_since(front) > budget.window {
+                times.pop_front();
+            } else {
+                break;
+            }
+        }
+        if times.len() as u64 > u64::from(budget.max_panics) {
+            self.degraded.store(true, Ordering::SeqCst);
+        }
+    }
 }
 
 /// A fixed-size pool of long-lived worker threads.
 ///
-/// See the [module docs](self) for the scheduling scheme. Dropping the
-/// pool performs a graceful [`WorkerPool::shutdown`].
+/// See the [module docs](self) for the scheduling scheme and optional
+/// supervision. Dropping the pool performs a graceful
+/// [`WorkerPool::shutdown`].
 pub struct WorkerPool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.shared.slots.len())
+            .field("supervised", &self.watchdog.is_some())
             .finish_non_exhaustive()
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, slot: usize, gen: u64) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("dp-serve-worker-{slot}-g{gen}"))
+        .spawn(move || worker_loop(&shared, slot, gen))
+        .expect("spawn pool worker")
+}
+
 impl WorkerPool {
-    /// Spawns a pool with `workers` threads (clamped to ≥ 1).
+    /// Spawns an unsupervised pool with `workers` threads (clamped to
+    /// ≥ 1): no watchdog, no panic budget — the PR-4 behaviour.
     pub fn new(workers: usize) -> Self {
+        Self::with_supervision(workers, None, None)
+    }
+
+    /// Spawns a pool with `workers` threads (clamped to ≥ 1) and optional
+    /// supervision: a stall watchdog and/or a panic budget (see the
+    /// [module docs](self)).
+    pub fn with_supervision(
+        workers: usize,
+        watchdog: Option<WatchdogConfig>,
+        budget: Option<PanicBudget>,
+    ) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
@@ -144,25 +332,40 @@ impl WorkerPool {
             work: Condvar::new(),
             progress: Condvar::new(),
             slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            watches: (0..workers)
+                .map(|_| WorkerWatch {
+                    gen: AtomicU64::new(0),
+                    busy_since_ms: AtomicU64::new(0),
+                    stall_handler: Mutex::new(None),
+                })
+                .collect(),
+            threads: Mutex::new((0..workers).map(|_| None).collect()),
+            epoch: Instant::now(),
             jobs_run: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            stalled: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            budget,
+            panic_times: Mutex::new(VecDeque::new()),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("dp-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        WorkerPool {
-            shared,
-            workers: handles,
+        {
+            let mut threads = shared.threads.lock().expect("threads lock");
+            for i in 0..workers {
+                threads[i] = Some(spawn_worker(&shared, i, 0));
+            }
         }
+        let watchdog = watchdog.map(|cfg| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dp-serve-watchdog".to_string())
+                .spawn(move || watchdog_loop(&shared, cfg))
+                .expect("spawn pool watchdog")
+        });
+        WorkerPool { shared, watchdog }
     }
 
-    /// Worker thread count (stable across shutdown).
+    /// Worker thread count (stable across shutdown and respawns).
     pub fn workers(&self) -> usize {
         self.shared.slots.len()
     }
@@ -173,7 +376,28 @@ impl WorkerPool {
             workers: self.shared.slots.len(),
             jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
             panics: self.shared.panics.load(Ordering::Relaxed),
+            stalled: self.shared.stalled.load(Ordering::Relaxed),
+            respawned: self.shared.respawned.load(Ordering::Relaxed),
+            degraded: self.is_degraded(),
         }
+    }
+
+    /// Whether the panic budget has tripped. The pool itself still drains
+    /// (and still accepts jobs — admission layers are the ones expected to
+    /// consult this flag and reject with a typed error).
+    pub fn is_degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Operator action: clears the degraded flag and forgets the panic
+    /// history that tripped it.
+    pub fn reset_degraded(&self) {
+        self.shared
+            .panic_times
+            .lock()
+            .expect("panic budget lock")
+            .clear();
+        self.shared.degraded.store(false, Ordering::SeqCst);
     }
 
     /// Submits a job to the global injector queue.
@@ -235,7 +459,8 @@ impl WorkerPool {
     /// the pool drains entirely, which covers `below == 0`), returning the
     /// depth observed. Progress is guaranteed: workers signal after every
     /// job completion and queued jobs always run, even during shutdown
-    /// (draining semantics).
+    /// (draining semantics) — and under a watchdog even a wedged worker's
+    /// accounting is settled.
     pub fn wait_depth_below(&self, below: usize) -> usize {
         let mut st = self.shared.state.lock().expect("pool lock");
         loop {
@@ -244,6 +469,30 @@ impl WorkerPool {
                 return depth;
             }
             st = self.shared.progress.wait(st).expect("pool lock");
+        }
+    }
+
+    /// Bounded [`WorkerPool::wait_depth_below`]: returns `Some(depth)` as
+    /// soon as the depth condition holds, or `None` if `timeout` elapses
+    /// first (the depth condition still false).
+    pub fn wait_depth_below_for(&self, below: usize, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect("pool lock");
+        loop {
+            let depth = st.depth();
+            if depth < below || st.is_drained() {
+                return Some(depth);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .shared
+                .progress
+                .wait_timeout(st, deadline - now)
+                .expect("pool lock");
+            st = guard;
         }
     }
 
@@ -290,15 +539,25 @@ impl WorkerPool {
             st.shutdown = true;
         }
         self.shared.work.notify_all();
+        // The watchdog re-checks its exit condition on progress signals.
+        self.shared.progress.notify_all();
     }
 
     /// Graceful shutdown: rejects new submissions, lets the workers drain
-    /// every queued and in-flight job, then joins them. Called implicitly
-    /// on drop.
+    /// every queued and in-flight job, then joins them (and the watchdog,
+    /// if any). Called implicitly on drop. A worker the watchdog abandoned
+    /// is **not** joined — its thread was detached at respawn time.
     pub fn shutdown(&mut self) {
         self.begin_shutdown();
-        for h in self.workers.drain(..) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = self.shared.threads.lock().expect("threads lock");
+            threads.iter_mut().filter_map(Option::take).collect()
+        };
+        for h in handles {
             h.join().expect("pool worker never panics");
+        }
+        if let Some(w) = self.watchdog.take() {
+            w.join().expect("pool watchdog never panics");
         }
     }
 }
@@ -309,13 +568,26 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(shared: &Shared, me: usize) {
+fn worker_loop(shared: &Shared, me: usize, my_gen: u64) {
+    let watch = &shared.watches[me];
     loop {
         let job = {
             let mut st = shared.state.lock().expect("pool lock");
             loop {
-                if let Some(job) = shared.take_job(&mut st, me) {
+                if watch.gen.load(Ordering::SeqCst) != my_gen {
+                    // Abandoned while idle (cannot happen today — the
+                    // watchdog only retires busy workers — but harmless
+                    // and future-proof).
+                    return;
+                }
+                if let Some(mut job) = shared.take_job(&mut st, me) {
                     st.active += 1;
+                    // Heartbeat + stall handler are published before the
+                    // job runs, all under the state lock the watchdog
+                    // scans under.
+                    *watch.stall_handler.lock().expect("stall handler lock") =
+                        job.on_stalled.take();
+                    watch.busy_since_ms.store(shared.now_ms(), Ordering::SeqCst);
                     break job;
                 }
                 if st.shutdown {
@@ -327,14 +599,85 @@ fn worker_loop(shared: &Shared, me: usize) {
         // The job is run outside every lock; a panic is confined to the
         // job (the engine layer has already arranged for the request's
         // completion handle to be poisoned).
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        let panicked = catch_unwind(AssertUnwindSafe(job.run)).is_err();
+        let mut st = shared.state.lock().expect("pool lock");
+        if watch.gen.load(Ordering::SeqCst) != my_gen {
+            // The watchdog declared this worker stalled while the job ran:
+            // it already settled `active`/`jobs_run`, ran the stall
+            // handler, and handed the slot (heartbeat included) to a
+            // replacement. Exit without touching anything.
+            return;
+        }
+        watch.busy_since_ms.store(0, Ordering::SeqCst);
+        *watch.stall_handler.lock().expect("stall handler lock") = None;
+        if panicked {
             shared.panics.fetch_add(1, Ordering::Relaxed);
+            shared.note_panic();
         }
         shared.jobs_run.fetch_add(1, Ordering::Relaxed);
-        let mut st = shared.state.lock().expect("pool lock");
         st.active -= 1;
+        drop(st);
         // Every completion is progress: depth waiters re-check their
         // threshold, idle waiters re-check the drain condition.
+        shared.progress.notify_all();
+    }
+}
+
+/// The supervisor: scans heartbeats, abandons + respawns stalled workers,
+/// and exits once the pool is shut down and drained.
+fn watchdog_loop(shared: &Arc<Shared>, cfg: WatchdogConfig) {
+    let stall_ms = cfg.stall_timeout.as_millis().max(1) as u64;
+    loop {
+        let mut handlers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+        {
+            let mut st = shared.state.lock().expect("pool lock");
+            if st.shutdown && st.is_drained() {
+                return;
+            }
+            let now = shared.now_ms();
+            for (i, watch) in shared.watches.iter().enumerate() {
+                let busy = watch.busy_since_ms.load(Ordering::SeqCst);
+                if busy == 0 || now.saturating_sub(busy) < stall_ms {
+                    continue;
+                }
+                // Stalled: retire this worker's generation. The wedged
+                // thread will see the bump when (if ever) its job returns
+                // and exit without double-accounting.
+                let next_gen = watch.gen.load(Ordering::SeqCst) + 1;
+                watch.gen.store(next_gen, Ordering::SeqCst);
+                watch.busy_since_ms.store(0, Ordering::SeqCst);
+                st.active -= 1;
+                shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+                shared.stalled.fetch_add(1, Ordering::Relaxed);
+                if let Some(h) = watch
+                    .stall_handler
+                    .lock()
+                    .expect("stall handler lock")
+                    .take()
+                {
+                    handlers.push(h);
+                }
+                // Respawn on the same slot; dropping the old handle
+                // detaches the wedged thread.
+                let replacement = spawn_worker(shared, i, next_gen);
+                shared.threads.lock().expect("threads lock")[i] = Some(replacement);
+                shared.respawned.fetch_add(1, Ordering::Relaxed);
+            }
+            if handlers.is_empty() {
+                // Nothing stalled: park until progress or the next scan.
+                let (guard, _timeout) = shared
+                    .progress
+                    .wait_timeout(st, cfg.poll_interval)
+                    .expect("pool lock");
+                drop(guard);
+                continue;
+            }
+        }
+        // Handlers run outside every lock (they complete request handles,
+        // which take handle locks of their own).
+        for h in handlers {
+            h();
+        }
         shared.progress.notify_all();
     }
 }
@@ -343,11 +686,10 @@ fn worker_loop(shared: &Shared, me: usize) {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
-    use std::time::Duration;
 
     fn counting_job(counter: &Arc<AtomicUsize>) -> Job {
         let counter = Arc::clone(counter);
-        Box::new(move || {
+        Job::new(move || {
             std::thread::sleep(Duration::from_micros(200));
             counter.fetch_add(1, Ordering::SeqCst);
         })
@@ -381,15 +723,15 @@ mod tests {
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 64);
         // Submissions after shutdown are rejected.
-        assert_eq!(pool.spawn(counting_job(&counter)), Err(ShuttingDown));
-        assert_eq!(pool.spawn_at(0, counting_job(&counter)), Err(ShuttingDown));
+        assert!(pool.spawn(counting_job(&counter)).is_err());
+        assert!(pool.spawn_at(0, counting_job(&counter)).is_err());
         assert_eq!(counter.load(Ordering::SeqCst), 64);
     }
 
     #[test]
     fn panicking_job_leaves_pool_serviceable() {
         let pool = WorkerPool::new(1);
-        pool.spawn(Box::new(|| panic!("job blows up"))).unwrap();
+        pool.spawn(Job::new(|| panic!("job blows up"))).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         pool.spawn(counting_job(&counter)).unwrap();
         pool.wait_idle();
@@ -430,7 +772,7 @@ mod tests {
         pool.shutdown();
         // After shutdown: the whole batch is rejected, nothing runs.
         let jobs: Vec<(usize, Job)> = (0..10).map(|i| (i, counting_job(&counter))).collect();
-        assert_eq!(pool.spawn_batch(jobs), Err(ShuttingDown));
+        assert!(pool.spawn_batch(jobs).is_err());
         assert_eq!(counter.load(Ordering::SeqCst), 10);
         assert_eq!(pool.stats().jobs_run, 10);
     }
@@ -443,7 +785,7 @@ mod tests {
         let gate = Arc::new((Mutex::new(false), Condvar::new()));
         {
             let gate = Arc::clone(&gate);
-            pool.spawn(Box::new(move || {
+            pool.spawn(Job::new(move || {
                 let (open, cv) = &*gate;
                 let mut open = open.lock().unwrap();
                 while !*open {
@@ -466,5 +808,99 @@ mod tests {
         assert_eq!(pool.wait_depth_below(1), 0);
         assert_eq!(pool.queue_depth(), 0);
         assert_eq!(counter.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn wait_depth_below_for_times_out_while_blocked() {
+        let pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.spawn(Job::new(move || {
+                let (open, cv) = &*gate;
+                let mut open = open.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            }))
+            .unwrap();
+        }
+        // One job active forever-ish: depth never drops below 1.
+        assert_eq!(
+            pool.wait_depth_below_for(1, Duration::from_millis(50)),
+            None
+        );
+        {
+            let (open, cv) = &*gate;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert_eq!(
+            pool.wait_depth_below_for(1, Duration::from_secs(5)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn watchdog_respawns_stalled_worker_and_runs_stall_handler() {
+        let pool = WorkerPool::with_supervision(
+            1,
+            Some(WatchdogConfig {
+                stall_timeout: Duration::from_millis(50),
+                poll_interval: Duration::from_millis(10),
+            }),
+            None,
+        );
+        let stalled_seen = Arc::new(AtomicUsize::new(0));
+        {
+            let stalled_seen = Arc::clone(&stalled_seen);
+            pool.spawn(Job::with_stall_handler(
+                // Wedge the only worker well past the stall threshold.
+                || std::thread::sleep(Duration::from_millis(400)),
+                move || {
+                    stalled_seen.fetch_add(1, Ordering::SeqCst);
+                },
+            ))
+            .unwrap();
+        }
+        // A job queued behind the wedge: the respawned worker must run it.
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.spawn(counting_job(&counter)).unwrap();
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert_eq!(stalled_seen.load(Ordering::SeqCst), 1);
+        let stats = pool.stats();
+        assert_eq!(stats.stalled, 1);
+        assert_eq!(stats.respawned, 1);
+        // Accounting intact: both jobs counted exactly once (the stalled
+        // one by the watchdog), even though the wedged thread finishes
+        // later and exits silently.
+        assert_eq!(stats.jobs_run, 2);
+        // Let the wedged thread finish and confirm no double count.
+        std::thread::sleep(Duration::from_millis(450));
+        assert_eq!(pool.stats().jobs_run, 2);
+    }
+
+    #[test]
+    fn panic_budget_flips_degraded() {
+        let pool = WorkerPool::with_supervision(
+            1,
+            None,
+            Some(PanicBudget {
+                max_panics: 2,
+                window: Duration::from_secs(30),
+            }),
+        );
+        for _ in 0..2 {
+            pool.spawn(Job::new(|| panic!("boom"))).unwrap();
+        }
+        pool.wait_idle();
+        assert!(!pool.is_degraded(), "within budget");
+        pool.spawn(Job::new(|| panic!("boom"))).unwrap();
+        pool.wait_idle();
+        assert!(pool.is_degraded(), "third panic exceeds max_panics = 2");
+        assert!(pool.stats().degraded);
+        pool.reset_degraded();
+        assert!(!pool.is_degraded());
     }
 }

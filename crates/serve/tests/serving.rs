@@ -39,6 +39,7 @@ fn test_engine() -> ServeEngine {
     ServeEngine::new(EngineConfig {
         workers: 4,
         chunk_samples: 8,
+        ..EngineConfig::default()
     })
 }
 
@@ -252,6 +253,7 @@ fn shutdown_drains_in_flight_requests() {
     let engine = ServeEngine::new(EngineConfig {
         workers: 2,
         chunk_samples: 4,
+        ..EngineConfig::default()
     });
     let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
     let key = engine.registry().register("iris", q.clone()).unwrap();
@@ -285,6 +287,7 @@ fn closed_engine_rejects_whole_batches_with_typed_error() {
     let engine = ServeEngine::new(EngineConfig {
         workers: 2,
         chunk_samples: 4,
+        ..EngineConfig::default()
     });
     let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
     let key = engine.registry().register("iris", q.clone()).unwrap();
