@@ -1,0 +1,171 @@
+//! TCP front-end latency and throughput over loopback: single-request
+//! round trip, pipelined throughput at depth 16, and the pure
+//! rejection-verdict path (unknown model) — the wire-level costs the
+//! in-process `gateway` bench cannot see.
+//!
+//! Run with `cargo bench --bench net`. Writes the committed baseline
+//! `BENCH_net.json` at the repository root (`results/smoke/` under
+//! `--smoke`).
+
+use deep_positron::train::{train, TrainConfig};
+use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
+use dp_bench::timing::{measure, out_path, render_measurements, smoke, write_json, Measurement};
+use dp_fixed::FixedFormat;
+use dp_gateway::Gateway;
+use dp_minifloat::FloatFormat;
+use dp_net::wire::Request;
+use dp_net::{NetClient, NetServer, WireStatus};
+use dp_posit::PositFormat;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const PIPELINE_DEPTH: usize = 16;
+
+fn formats() -> [(&'static str, NumericFormat); 3] {
+    [
+        (
+            "posit8e0",
+            NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+        ),
+        (
+            "float8e4m3",
+            NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+        ),
+        (
+            "fixed8q6",
+            NumericFormat::Fixed(FixedFormat::new(8, 6).unwrap()),
+        ),
+    ]
+}
+
+fn main() {
+    let split = dp_datasets::iris::load(42).split(50, 42).normalized();
+    let mut mlp = Mlp::new(&[4, 16, 3], 42);
+    train(
+        &mut mlp,
+        &split.train,
+        TrainConfig {
+            epochs: if smoke() { 8 } else { 60 },
+            batch_size: 8,
+            lr: 0.01,
+            seed: 42,
+        },
+    );
+    let req: Vec<Vec<f32>> = split
+        .test
+        .features
+        .iter()
+        .cycle()
+        .take(if smoke() { 8 } else { 32 })
+        .cloned()
+        .collect();
+    let req_samples = req.len();
+    let x = split.test.features[0].clone();
+
+    let gw = Arc::new(
+        Gateway::builder()
+            .chunk_samples(16)
+            .queue_capacity(64)
+            .build(),
+    );
+    let fmt_strings: Vec<String> = formats()
+        .iter()
+        .map(|(_, fmt)| {
+            gw.registry()
+                .register("iris", QuantizedMlp::quantize(&mlp, *fmt))
+                .expect("bench formats have EMAC datapaths")
+                .format()
+                .to_string()
+        })
+        .collect();
+    let server = NetServer::builder(Arc::clone(&gw))
+        .max_inflight(PIPELINE_DEPTH)
+        .bind("127.0.0.1:0")
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let mut client = NetClient::connect(addr).expect("connect loopback");
+
+    let mut rows: Vec<Measurement> = Vec::new();
+
+    // One classify request, one sample: the full wire round trip —
+    // encode, TCP, decode, admission, dispatch, pool, handle, response.
+    rows.push(measure("net_roundtrip_single", 1, || {
+        let resp = client
+            .classify("iris", &fmt_strings[0], 0, vec![black_box(x.clone())])
+            .expect("roundtrip io");
+        assert_eq!(resp.status(), WireStatus::Ok);
+        resp.id
+    }));
+
+    // Pipelined throughput at the per-connection inflight bound: depth
+    // 16, mixed posit/minifloat/fixed traffic, responses in order.
+    rows.push(measure(
+        "net_pipelined_d16_mixed3",
+        (PIPELINE_DEPTH * req_samples) as u64,
+        || {
+            let reqs: Vec<Request> = (0..PIPELINE_DEPTH)
+                .map(|i| {
+                    client.classify_request(
+                        "iris",
+                        &fmt_strings[i % fmt_strings.len()],
+                        0,
+                        black_box(req.clone()),
+                    )
+                })
+                .collect();
+            for r in &reqs {
+                client.send(r).expect("pipelined send");
+            }
+            let mut served = 0usize;
+            for r in &reqs {
+                let resp = client.recv().expect("pipelined recv");
+                assert_eq!(resp.id, r.id());
+                assert_eq!(resp.status(), WireStatus::Ok);
+                served += req_samples;
+            }
+            served
+        },
+    ));
+
+    // The pure rejection path: an unknown model's typed verdict, wire to
+    // wire — what a misconfigured client pays, and the floor for every
+    // load-shedding response under overload.
+    rows.push(measure("net_reject_verdict", 1, || {
+        let resp = client
+            .classify("ghost", &fmt_strings[0], 0, vec![black_box(x.clone())])
+            .expect("reject io");
+        assert_eq!(resp.status(), WireStatus::ModelUnknown);
+        resp.id
+    }));
+
+    println!("{}", render_measurements(&rows));
+
+    drop(client);
+    server.shutdown();
+    let snap = gw.snapshot();
+
+    let path = out_path("net");
+    let meta = [
+        ("bench", "net".to_string()),
+        ("command", "cargo bench --bench net".to_string()),
+        ("topology", "iris 4-16-3 over loopback TCP".to_string()),
+        ("pipeline_depth", PIPELINE_DEPTH.to_string()),
+        ("request_samples", req_samples.to_string()),
+        (
+            "final",
+            format!(
+                "submitted={} completed={} model_unknown={}",
+                snap.submitted, snap.completed, snap.model_unknown
+            ),
+        ),
+        (
+            "note",
+            "elems = inference samples served per iteration (1 for latency/verdict rows); \
+             all traffic crosses a real loopback TCP connection with TCP_NODELAY; \
+             net_reject_verdict never reaches the serving engine"
+                .to_string(),
+        ),
+    ];
+    write_json(&path, &meta, &rows).expect("write BENCH_net.json");
+    println!("\nwrote {}", path.display());
+}

@@ -50,7 +50,7 @@ use dp_serve::{
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -596,7 +596,7 @@ impl GatewayBuilder {
             limiters,
             policy: self.policy,
             max_inflight,
-            dispatcher: Some(dispatcher),
+            dispatcher: Mutex::new(Some(dispatcher)),
         }
     }
 }
@@ -721,7 +721,10 @@ pub struct Gateway {
     limiters: Arc<HashMap<String, TokenBucket>>,
     policy: OverloadPolicy,
     max_inflight: usize,
-    dispatcher: Option<JoinHandle<()>>,
+    /// Taken (and joined) by whichever of [`Gateway::close`] / drop runs
+    /// first; a `Mutex` so the close seam works through `&self` (network
+    /// front ends hold the gateway in an `Arc`).
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -931,6 +934,42 @@ impl Gateway {
         drop(self);
     }
 
+    /// Closes the gateway through a shared reference and **settles** it:
+    /// admission closes (subsequent submissions report
+    /// [`Admission::Closed`]), the dispatcher drains the ring backlog
+    /// (bounded by the builder's drain deadline) and is joined, and the
+    /// engine finishes every dispatched chunk.
+    ///
+    /// On return, [`Gateway::snapshot`] reports **final** counters: every
+    /// submitted request has resolved to exactly one outcome, so the
+    /// lifecycle conservation laws hold exactly — previously a snapshot
+    /// taken after shutdown began could race the dispatcher's drain (or
+    /// in-flight chunk completions) and observe admitted requests that had
+    /// not yet been counted anywhere. Network front ends rely on this for
+    /// their post-shutdown metrics scrape.
+    ///
+    /// Idempotent; later calls (and the eventual drop) are no-ops apart
+    /// from joining the worker threads. Already-issued handles still
+    /// resolve.
+    pub fn close(&self) {
+        self.ring.close();
+        let dispatcher = self
+            .dispatcher
+            .lock()
+            .expect("dispatcher handle lock")
+            .take();
+        if let Some(h) = dispatcher {
+            h.join().expect("gateway dispatcher never panics");
+        }
+        // The dispatcher has handed every surviving request to the engine;
+        // wait for those chunks so completion counters are final too.
+        self.engine.wait_idle();
+        // Close the engine's own admission as well, mirroring the drop
+        // order (ring → engine): nothing can sneak work in via
+        // `self.engine()` after the gateway reports itself closed.
+        self.engine.close();
+    }
+
     fn admit<T: Clone + Send + 'static>(
         &self,
         key: &ModelKey,
@@ -1052,7 +1091,12 @@ impl Gateway {
 impl Drop for Gateway {
     fn drop(&mut self) {
         self.ring.close();
-        if let Some(h) = self.dispatcher.take() {
+        let dispatcher = self
+            .dispatcher
+            .lock()
+            .expect("dispatcher handle lock")
+            .take();
+        if let Some(h) = dispatcher {
             h.join().expect("gateway dispatcher never panics");
         }
         // `self.engine` (the last Arc once the dispatcher is gone) drops

@@ -648,3 +648,98 @@ fn panic_budget_degrades_admission_and_reset_restores_it() {
         .expect_admitted();
     h.wait().unwrap();
 }
+
+// ---- close(&self) seam: snapshot after close is final ------------------
+
+#[test]
+fn snapshot_after_close_reports_final_conserved_counters() {
+    use std::time::Instant;
+    // The network front end scrapes /metrics after draining; that scrape
+    // must see *final* counters, not a torn view racing the dispatcher
+    // join or late chunk completions. close(&self) works through an Arc
+    // (front ends share the gateway across threads).
+    let (mlp, split) = trained_iris();
+    let gw = Arc::new(small_gateway(OverloadPolicy::ShedNewest));
+    let q = QuantizedMlp::quantize(&mlp, mixed_formats()[0]);
+    let key = gw.registry().register("iris", q.clone()).unwrap();
+    let bogus = ModelKey::new("nope", mixed_formats()[0].to_string());
+
+    // Mixed traffic: completions, an expiry, and typed rejections.
+    let handles: Vec<_> = (0..3)
+        .map(|_| {
+            gw.try_submit_forward(&key, batch(&split, 8))
+                .expect_admitted()
+        })
+        .collect();
+    gw.pause_dispatch();
+    let doomed = gw
+        .try_submit_forward_opts(
+            &key,
+            batch(&split, 4),
+            dp_gateway::SubmitOptions::new().deadline(Instant::now()),
+        )
+        .expect_admitted();
+    gw.resume_dispatch();
+    assert!(matches!(
+        gw.try_submit_classify(&bogus, batch(&split, 1)),
+        Admission::ModelUnknown(_)
+    ));
+
+    // Close from another thread, through &self — no handle is waited
+    // first, so the drain itself must resolve everything in flight.
+    let closer = {
+        let gw = Arc::clone(&gw);
+        std::thread::spawn(move || gw.close())
+    };
+    closer.join().unwrap();
+
+    // Post-close admission is a typed verdict, and counted.
+    assert!(matches!(
+        gw.try_submit_forward(&key, batch(&split, 4)),
+        Admission::Closed
+    ));
+
+    let snap = gw.snapshot();
+    // Admission-side conservation.
+    assert_eq!(
+        snap.submitted,
+        snap.admitted
+            + snap.shed_queue_full
+            + snap.rate_limited
+            + snap.model_unknown
+            + snap.unsupported
+            + snap.rejected_closed
+            + snap.rejected_degraded,
+        "admission conservation broken: {}",
+        snap.to_json()
+    );
+    // Outcome-side conservation: every admitted request resolved.
+    assert_eq!(
+        snap.admitted,
+        snap.completed
+            + snap.failed
+            + snap.shed_evicted
+            + snap.deadline_exceeded
+            + snap.cancelled
+            + snap.dropped_closed
+            + snap.drain_aborted,
+        "outcome conservation broken: {}",
+        snap.to_json()
+    );
+    assert_eq!(snap.submitted, 6);
+    assert_eq!(snap.completed, 3);
+    assert_eq!(snap.deadline_exceeded, 1);
+    assert_eq!(snap.model_unknown, 1);
+    assert_eq!(snap.rejected_closed, 1);
+
+    // Counters are *final*: a later snapshot is identical.
+    let again = gw.snapshot();
+    assert_eq!(snap.to_json(), again.to_json());
+
+    // Handles survive close and carry their cached verdicts.
+    let direct: Vec<Vec<u32>> = batch(&split, 8).iter().map(|x| q.forward_bits(x)).collect();
+    for h in handles {
+        assert_eq!(h.wait().unwrap(), direct);
+    }
+    assert_eq!(doomed.wait(), Err(GatewayError::DeadlineExceeded));
+}

@@ -1,0 +1,146 @@
+//! A small blocking client for the wire protocol — used by the bench,
+//! the examples, the e2e CI job, and the hardening tests. One
+//! [`NetClient`] owns one connection; `send_*`/`recv` are split so
+//! callers can pipeline.
+
+use crate::wire::{
+    decode_response, encode_request, InferenceRequest, Request, Response, LEN_PREFIX_BYTES,
+};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking client over one TCP connection.
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects and enables `TCP_NODELAY` (the protocol is
+    /// request/response; Nagle only adds latency).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let write_half = stream.try_clone()?;
+        Ok(NetClient {
+            reader: BufReader::new(stream),
+            writer: BufWriter::new(write_half),
+            next_id: 0,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Writes one request frame and flushes. Use with [`NetClient::recv`]
+    /// to pipeline several requests on one connection.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        self.writer.write_all(&encode_request(req))?;
+        self.writer.flush()
+    }
+
+    /// Reads one response frame (blocking).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut hdr = [0u8; LEN_PREFIX_BYTES];
+        self.reader.read_exact(&mut hdr)?;
+        let len = u32::from_le_bytes(hdr) as usize;
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Builds a forward request with a fresh id (0 `deadline_ms` = no
+    /// deadline). Send it as-is or mutate first.
+    pub fn forward_request(
+        &mut self,
+        model: &str,
+        format: &str,
+        deadline_ms: u32,
+        xs: Vec<Vec<f32>>,
+    ) -> Request {
+        Request::Forward(InferenceRequest {
+            id: self.fresh_id(),
+            model: model.to_string(),
+            format: format.to_string(),
+            deadline_ms,
+            xs,
+        })
+    }
+
+    /// Builds a classify request with a fresh id.
+    pub fn classify_request(
+        &mut self,
+        model: &str,
+        format: &str,
+        deadline_ms: u32,
+        xs: Vec<Vec<f32>>,
+    ) -> Request {
+        Request::Classify(InferenceRequest {
+            id: self.fresh_id(),
+            model: model.to_string(),
+            format: format.to_string(),
+            deadline_ms,
+            xs,
+        })
+    }
+
+    /// One blocking forward round trip.
+    pub fn forward(
+        &mut self,
+        model: &str,
+        format: &str,
+        deadline_ms: u32,
+        xs: Vec<Vec<f32>>,
+    ) -> io::Result<Response> {
+        let req = self.forward_request(model, format, deadline_ms, xs);
+        self.send(&req)?;
+        self.recv()
+    }
+
+    /// One blocking classify round trip.
+    pub fn classify(
+        &mut self,
+        model: &str,
+        format: &str,
+        deadline_ms: u32,
+        xs: Vec<Vec<f32>>,
+    ) -> io::Result<Response> {
+        let req = self.classify_request(model, format, deadline_ms, xs);
+        self.send(&req)?;
+        self.recv()
+    }
+
+    /// Asks the server to begin its graceful drain (the listener must
+    /// have been built with `allow_remote_shutdown(true)`).
+    pub fn shutdown_server(&mut self) -> io::Result<Response> {
+        let req = Request::Shutdown {
+            id: self.fresh_id(),
+        };
+        self.send(&req)?;
+        self.recv()
+    }
+}
+
+/// Scrapes `GET /metrics` over a throwaway HTTP/1.0 connection and
+/// returns the exposition body.
+pub fn scrape_metrics(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape failed: {}", head.lines().next().unwrap_or("")),
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "no HTTP header terminator in scrape response",
+        )),
+    }
+}

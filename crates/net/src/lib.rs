@@ -1,0 +1,43 @@
+//! # dp-net — std-only TCP front end for the Deep Positron gateway
+//!
+//! The ROADMAP's north star is a *deployable* low-precision inference
+//! service; `dp_gateway` got admission, backpressure and metrics right,
+//! but only for in-process callers. This crate is the missing last
+//! mile: a dependency-free TCP listener (the offline registry has no
+//! network crates, and needs none — `std::net` suffices) speaking a
+//! length-prefixed binary protocol that drives `Gateway::try_submit_*`
+//! directly.
+//!
+//! ```text
+//! client ──frame──▶ reader ──▶ Gateway::try_submit_* ──▶ engine
+//!        ◀─frame── writer ◀── GatewayHandle resolution ◀──┘
+//! ```
+//!
+//! * [`wire`] — pure encode/decode for request/response frames: typed
+//!   [`WireStatus`] verdicts mirroring every `Admission` and
+//!   `GatewayError` variant, a relative `deadline_ms` field mapped onto
+//!   `SubmitOptions::deadline_in` at admission, and length-prefix
+//!   validation that rejects oversized frames *before* allocating.
+//! * [`server`] — accept thread + per-connection reader/writer pairs
+//!   with a bounded in-flight channel (pipelining backpressures at the
+//!   socket), a `GET /metrics` text endpoint (gateway + `dp_net_*`
+//!   counters), slow-loris read timeouts, and graceful drain that
+//!   mirrors the gateway's drop order.
+//! * [`client`] — a small blocking client (also the e2e/bench driver).
+//! * [`metrics`] — `dp_net_*` connection/frame counters that close the
+//!   conservation law the e2e CI job asserts over a scrape.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use client::{scrape_metrics, NetClient};
+pub use metrics::NetMetrics;
+pub use server::{wire_status_of_error, NetServer, NetServerBuilder};
+pub use wire::{
+    InferenceRequest, Request, Response, ResponseBody, WireError, WireStatus,
+    DEFAULT_MAX_FRAME_BYTES,
+};

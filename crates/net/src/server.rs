@@ -1,0 +1,691 @@
+//! The TCP front end: accept loop, per-connection state machines, the
+//! `/metrics` text endpoint, and graceful drain.
+//!
+//! ```text
+//! accept thread ──▶ conn thread (reader) ──bounded channel──▶ writer thread
+//!                        │ decode frame                        │ resolve handle
+//!                        └─ Gateway::try_submit_* ─────────────┘ encode frame
+//! ```
+//!
+//! Each connection is a pair of threads: the **reader** decodes frames
+//! and submits to the gateway without waiting for results; the
+//! **writer** resolves [`GatewayHandle`]s in submission order and writes
+//! response frames. The channel between them is bounded at
+//! `max_inflight`, so a client that pipelines faster than the engine
+//! serves backpressures at the socket instead of growing a queue.
+//!
+//! Shutdown mirrors the gateway's drop order, outermost layer first:
+//! close the listener → stop reads at frame boundaries → resolve every
+//! in-flight request (bounded by the drain deadline) → close the
+//! submission ring → drain the engine. After [`NetServer::shutdown`]
+//! returns, `Gateway::snapshot` is final and the lifecycle conservation
+//! laws hold exactly — the e2e CI job scrapes and asserts them.
+
+use crate::metrics::NetMetrics;
+use crate::wire::{
+    check_frame_len, decode_request, encode_response, InferenceRequest, Request, Response,
+    ResponseBody, WireStatus, DEFAULT_MAX_FRAME_BYTES,
+};
+use dp_gateway::{Admission, Gateway, GatewayError, GatewayHandle, SubmitOptions};
+use dp_serve::{JobError, ModelKey};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and handle waits wake up to check the
+/// shutdown flag and the slow-loris clock.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Maps a terminal [`GatewayError`] onto its wire status. Every variant
+/// has a distinct code — the client sees exactly the verdict the
+/// gateway produced (see the README mapping table).
+pub fn wire_status_of_error(e: &GatewayError) -> WireStatus {
+    match e {
+        GatewayError::Shed => WireStatus::Shed,
+        GatewayError::Closed => WireStatus::Closed,
+        GatewayError::DeadlineExceeded => WireStatus::DeadlineExceeded,
+        GatewayError::Cancelled => WireStatus::Cancelled,
+        GatewayError::Degraded => WireStatus::Degraded,
+        GatewayError::Job(JobError::Panicked) => WireStatus::Failed,
+        GatewayError::Job(JobError::Stalled) => WireStatus::Stalled,
+        GatewayError::Job(JobError::Cancelled) => WireStatus::Cancelled,
+    }
+}
+
+/// Configures and binds a [`NetServer`]. Start from
+/// [`NetServer::builder`].
+pub struct NetServerBuilder {
+    gateway: Arc<Gateway>,
+    max_frame_bytes: u32,
+    max_connections: usize,
+    max_inflight: usize,
+    read_timeout: Duration,
+    drain_deadline: Duration,
+    allow_remote_shutdown: bool,
+}
+
+impl NetServerBuilder {
+    /// Ceiling on a single frame's payload; oversized length prefixes
+    /// are rejected before any buffer is allocated. Default 4 MiB.
+    pub fn max_frame_bytes(mut self, bytes: u32) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Connection cap; further connections get [`WireStatus::Busy`] and
+    /// are closed. Default 64.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    /// Per-connection pipelining bound: how many submitted-but-unwritten
+    /// responses a connection may have before its reads backpressure.
+    /// Default 16.
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Slow-loris guard: a frame whose first byte has arrived must
+    /// complete within this window or the connection is closed with a
+    /// protocol error. Idle connections (no partial frame) never time
+    /// out. Default 2 s.
+    pub fn read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = t;
+        self
+    }
+
+    /// Budget for resolving in-flight requests during shutdown; past it,
+    /// unresolved requests are cancelled and answered
+    /// [`WireStatus::Closed`]. Default 10 s.
+    pub fn drain_deadline(mut self, t: Duration) -> Self {
+        self.drain_deadline = t;
+        self
+    }
+
+    /// Honour the shutdown opcode from clients (off by default — a
+    /// production listener should not let any peer drain it).
+    pub fn allow_remote_shutdown(mut self, allow: bool) -> Self {
+        self.allow_remote_shutdown = allow;
+        self
+    }
+
+    /// Binds the listener and starts the accept thread. Use port 0 to
+    /// let the OS pick ([`NetServer::local_addr`] reports the result).
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            gateway: self.gateway,
+            metrics: NetMetrics::default(),
+            max_frame_bytes: self.max_frame_bytes,
+            max_connections: self.max_connections,
+            max_inflight: self.max_inflight,
+            read_timeout: self.read_timeout,
+            drain_deadline: self.drain_deadline,
+            allow_remote_shutdown: self.allow_remote_shutdown,
+            shutdown: AtomicBool::new(false),
+            shutdown_at: Mutex::new(None),
+            shutdown_requested: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            live_conns: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dp-net-accept".into())
+                .spawn(move || accept_loop(listener, shared))
+                .expect("spawn accept thread")
+        };
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+}
+
+struct Shared {
+    gateway: Arc<Gateway>,
+    metrics: NetMetrics,
+    max_frame_bytes: u32,
+    max_connections: usize,
+    max_inflight: usize,
+    read_timeout: Duration,
+    drain_deadline: Duration,
+    allow_remote_shutdown: bool,
+    shutdown: AtomicBool,
+    /// When the drain began; writers measure their budget from this.
+    shutdown_at: Mutex<Option<Instant>>,
+    /// Set by a remote shutdown opcode (or a local shutdown), watched by
+    /// [`NetServer::wait_for_shutdown_request`].
+    shutdown_requested: Mutex<bool>,
+    shutdown_cv: Condvar,
+    live_conns: AtomicUsize,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn drain_expired(&self) -> bool {
+        match *self.shutdown_at.lock().expect("shutdown_at lock") {
+            Some(t0) => t0.elapsed() >= self.drain_deadline,
+            None => false,
+        }
+    }
+
+    fn signal_shutdown_requested(&self) {
+        let mut req = self.shutdown_requested.lock().expect("shutdown flag lock");
+        *req = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    fn render_metrics(&self) -> String {
+        let mut s = self.gateway.snapshot().to_prometheus();
+        s.push_str(&self.metrics.to_prometheus());
+        s
+    }
+}
+
+/// A bound TCP front end over a shared [`Gateway`].
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl NetServer {
+    /// Starts configuring a server over `gateway`.
+    pub fn builder(gateway: Arc<Gateway>) -> NetServerBuilder {
+        NetServerBuilder {
+            gateway,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_connections: 64,
+            max_inflight: 16,
+            read_timeout: Duration::from_secs(2),
+            drain_deadline: Duration::from_secs(10),
+            allow_remote_shutdown: false,
+        }
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The front end's own counters (the gateway keeps its own).
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.shared.metrics
+    }
+
+    /// Gateway + net counters as one Prometheus text exposition — the
+    /// same bytes `GET /metrics` serves.
+    pub fn render_metrics(&self) -> String {
+        self.shared.render_metrics()
+    }
+
+    /// Whether a shutdown has been requested (remotely or locally).
+    pub fn shutdown_requested(&self) -> bool {
+        *self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag lock")
+    }
+
+    /// Blocks until a shutdown request arrives (remote opcode or a local
+    /// [`NetServer::shutdown`]). The caller then performs the actual
+    /// drain — typically `server.shutdown()`.
+    pub fn wait_for_shutdown_request(&self) {
+        let mut req = self
+            .shared
+            .shutdown_requested
+            .lock()
+            .expect("shutdown flag lock");
+        while !*req {
+            req = self
+                .shared
+                .shutdown_cv
+                .wait(req)
+                .expect("shutdown condvar wait");
+        }
+    }
+
+    /// Graceful drain: stop accepting, stop reading at frame boundaries,
+    /// resolve every in-flight request (bounded by the drain deadline),
+    /// then close the gateway (ring, then engine). After this returns,
+    /// [`Gateway::snapshot`] is final and conserved — and
+    /// [`NetServer::render_metrics`] renders the settled totals, which
+    /// is what the e2e CI job asserts conservation over. Idempotent;
+    /// takes `&self` so callers can still render metrics afterwards.
+    pub fn shutdown(&self) {
+        self.drain(true);
+    }
+
+    fn drain(&self, close_gateway: bool) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut at = self.shared.shutdown_at.lock().expect("shutdown_at lock");
+            at.get_or_insert_with(Instant::now);
+        }
+        self.shared.signal_shutdown_requested();
+        if let Some(h) = self.accept.lock().expect("accept handle lock").take() {
+            h.join().expect("accept thread never panics");
+        }
+        let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
+        for h in conns {
+            h.join().expect("connection thread never panics");
+        }
+        if close_gateway {
+            self.shared.gateway.close();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        // Join our threads, but leave the (shared) gateway running: the
+        // owner decides when serving as a whole ends.
+        self.drain(false);
+    }
+}
+
+// ---- accept loop -------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutting_down() {
+                    break;
+                }
+                let _ = stream.set_nodelay(true);
+                if shared.live_conns.load(Ordering::SeqCst) >= shared.max_connections {
+                    NetMetrics::inc(&shared.metrics.connections_rejected);
+                    reject_busy(stream);
+                    continue;
+                }
+                NetMetrics::inc(&shared.metrics.connections_accepted);
+                shared.live_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(&shared);
+                let handle = std::thread::Builder::new()
+                    .name("dp-net-conn".into())
+                    .spawn(move || {
+                        run_connection(stream, &conn_shared);
+                        conn_shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+                        NetMetrics::inc(&conn_shared.metrics.connections_closed);
+                    })
+                    .expect("spawn connection thread");
+                let mut conns = shared.conns.lock().expect("conns lock");
+                conns.retain(|h| !h.is_finished());
+                conns.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutting_down() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    // Dropping the listener here closes it: step one of the drain.
+}
+
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let frame = encode_response(&Response {
+        id: 0,
+        body: ResponseBody::Rejected {
+            status: WireStatus::Busy,
+            detail: "connection cap reached".into(),
+        },
+    });
+    let _ = stream.write_all(&frame);
+}
+
+// ---- per-connection reader ---------------------------------------------
+
+/// What the reader hands the writer, in request order.
+enum Reply {
+    /// An admitted forward request: resolve the handle, then encode.
+    Forward(u64, GatewayHandle<Vec<u32>>),
+    /// An admitted classify request: resolve the handle, then encode.
+    Classify(u64, GatewayHandle<usize>),
+    /// Already decided (rejections, shutdown acks): encode and write.
+    Ready(Response),
+    /// Pre-rendered bytes (the HTTP `/metrics` response).
+    Raw(Vec<u8>),
+}
+
+enum ReadOutcome {
+    Done,
+    Eof,
+    ShutdownFlag,
+    TimedOut,
+    Failed,
+}
+
+/// Reads exactly `buf.len()` bytes. `frame_clock` starts at the first
+/// byte read through it and is shared across the header and payload of
+/// one frame: a frame must arrive whole within `read_timeout` of its
+/// first byte (the slow-loris guard), while a connection idling
+/// *between* frames waits indefinitely (until shutdown).
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    frame_clock: &mut Option<Instant>,
+    shared: &Shared,
+) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Eof,
+            Ok(n) => {
+                frame_clock.get_or_insert_with(Instant::now);
+                filled += n;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.shutting_down() {
+                    return ReadOutcome::ShutdownFlag;
+                }
+                if let Some(t0) = frame_clock {
+                    if t0.elapsed() >= shared.read_timeout {
+                        return ReadOutcome::TimedOut;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    ReadOutcome::Done
+}
+
+fn run_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL_SLICE));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Reply>(shared.max_inflight);
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::Builder::new()
+            .name("dp-net-write".into())
+            .spawn(move || write_loop(write_half, rx, &shared))
+            .expect("spawn connection writer")
+    };
+
+    read_loop(&mut stream, &tx, shared);
+
+    // Reader done (EOF, protocol error, or shutdown): close the intake
+    // side so the writer drains what is in flight and exits.
+    drop(tx);
+    writer.join().expect("connection writer never panics");
+}
+
+fn read_loop(stream: &mut TcpStream, tx: &SyncSender<Reply>, shared: &Arc<Shared>) {
+    loop {
+        let mut hdr = [0u8; 4];
+        let mut clock = None;
+        match read_full(stream, &mut hdr, &mut clock, shared) {
+            ReadOutcome::Done => {}
+            ReadOutcome::TimedOut => {
+                NetMetrics::inc(&shared.metrics.read_timeouts);
+                protocol_error(tx, shared, 0, "frame header timed out".into());
+                return;
+            }
+            _ => return,
+        }
+        if &hdr == b"GET " {
+            // An HTTP scrape. Unambiguous: as a length prefix these four
+            // bytes would claim a ~0.5 GiB frame, far over any sane cap.
+            serve_http(stream, tx, shared, clock);
+            return;
+        }
+        let len = match check_frame_len(u32::from_le_bytes(hdr), shared.max_frame_bytes) {
+            Ok(len) => len,
+            Err(e) => {
+                NetMetrics::inc(&shared.metrics.oversized_frames);
+                protocol_error(tx, shared, 0, e.to_string());
+                return;
+            }
+        };
+        let mut payload = vec![0u8; len];
+        match read_full(stream, &mut payload, &mut clock, shared) {
+            ReadOutcome::Done => {}
+            ReadOutcome::TimedOut => {
+                NetMetrics::inc(&shared.metrics.read_timeouts);
+                protocol_error(tx, shared, 0, "frame body timed out".into());
+                return;
+            }
+            ReadOutcome::Eof => {
+                // A torn frame is a protocol violation even though the
+                // peer is gone; count it so truncation is observable.
+                NetMetrics::inc(&shared.metrics.protocol_errors);
+                return;
+            }
+            _ => return,
+        }
+        NetMetrics::inc(&shared.metrics.frames_read);
+        let req = match decode_request(&payload) {
+            Ok(req) => req,
+            Err(e) => {
+                protocol_error(tx, shared, 0, e.to_string());
+                return;
+            }
+        };
+        if !handle_request(req, tx, shared) {
+            return;
+        }
+    }
+}
+
+/// Counts and answers a malformed frame, after which the caller closes
+/// the connection (its framing state is no longer trustworthy).
+fn protocol_error(tx: &SyncSender<Reply>, shared: &Shared, id: u64, detail: String) {
+    NetMetrics::inc(&shared.metrics.protocol_errors);
+    let _ = tx.send(Reply::Ready(Response {
+        id,
+        body: ResponseBody::Rejected {
+            status: WireStatus::ProtocolError,
+            detail,
+        },
+    }));
+}
+
+/// Submits one decoded request. Returns `false` when the connection
+/// should close (writer backpressure channel gone).
+fn handle_request(req: Request, tx: &SyncSender<Reply>, shared: &Arc<Shared>) -> bool {
+    let reply = match req {
+        Request::Shutdown { id } => {
+            if shared.allow_remote_shutdown {
+                NetMetrics::inc(&shared.metrics.shutdown_requests);
+                shared.signal_shutdown_requested();
+                Reply::Ready(Response {
+                    id,
+                    body: ResponseBody::ShutdownOk,
+                })
+            } else {
+                Reply::Ready(Response {
+                    id,
+                    body: ResponseBody::Rejected {
+                        status: WireStatus::Unsupported,
+                        detail: "remote shutdown is disabled on this listener".into(),
+                    },
+                })
+            }
+        }
+        Request::Forward(r) => {
+            let (id, key, xs, opts) = prepare(&shared.metrics, r);
+            match shared.gateway.try_submit_forward_opts(&key, xs, opts) {
+                Admission::Admitted(h) => Reply::Forward(id, h),
+                other => Reply::Ready(rejection(id, &other)),
+            }
+        }
+        Request::Classify(r) => {
+            let (id, key, xs, opts) = prepare(&shared.metrics, r);
+            match shared.gateway.try_submit_classify_opts(&key, xs, opts) {
+                Admission::Admitted(h) => Reply::Classify(id, h),
+                other => Reply::Ready(rejection(id, &other)),
+            }
+        }
+    };
+    // A blocking send is the per-connection inflight bound: when the
+    // writer is `max_inflight` responses behind, reads stall right here
+    // and TCP backpressures the client.
+    tx.send(reply).is_ok()
+}
+
+fn prepare(
+    metrics: &NetMetrics,
+    r: InferenceRequest,
+) -> (u64, ModelKey, Vec<Vec<f32>>, SubmitOptions) {
+    NetMetrics::inc(&metrics.requests);
+    let key = ModelKey::new(r.model, r.format);
+    let mut opts = SubmitOptions::new();
+    if r.deadline_ms > 0 {
+        opts = opts.deadline_in(Duration::from_millis(u64::from(r.deadline_ms)));
+    }
+    (r.id, key, r.xs, opts)
+}
+
+/// Maps an `Admission` rejection onto its wire verdict.
+fn rejection<T>(id: u64, adm: &Admission<T>) -> Response {
+    let (status, detail) = match adm {
+        Admission::Admitted(_) => unreachable!("admitted requests carry handles"),
+        Admission::QueueFull => (WireStatus::QueueFull, "submission ring full".into()),
+        Admission::RateLimited => (WireStatus::RateLimited, "model rate limit exceeded".into()),
+        Admission::ModelUnknown(key) => (WireStatus::ModelUnknown, format!("no model {key}")),
+        Admission::Unsupported(what) => (WireStatus::Unsupported, what.clone()),
+        Admission::Closed => (WireStatus::Closed, "gateway closed".into()),
+        Admission::Degraded => (WireStatus::Degraded, "serving engine degraded".into()),
+    };
+    Response {
+        id,
+        body: ResponseBody::Rejected { status, detail },
+    }
+}
+
+// ---- HTTP /metrics -----------------------------------------------------
+
+fn serve_http(
+    stream: &mut TcpStream,
+    tx: &SyncSender<Reply>,
+    shared: &Arc<Shared>,
+    mut clock: Option<Instant>,
+) {
+    // "GET " is already consumed; read the rest of the head (capped) up
+    // to the blank line, on the same slow-loris clock as binary frames.
+    let mut head = Vec::with_capacity(256);
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        let mut byte = [0u8; 1];
+        match read_full(stream, &mut byte, &mut clock, shared) {
+            ReadOutcome::Done => head.push(byte[0]),
+            _ => return,
+        }
+    }
+    let path = head
+        .split(|&b| b == b' ')
+        .next()
+        .map(|p| String::from_utf8_lossy(p).into_owned())
+        .unwrap_or_default();
+    let (status_line, body) = if path.starts_with("/metrics") {
+        NetMetrics::inc(&shared.metrics.http_scrapes);
+        ("HTTP/1.1 200 OK", shared.render_metrics())
+    } else {
+        ("HTTP/1.1 404 Not Found", "not found\n".to_string())
+    };
+    let resp = format!(
+        "{status_line}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = tx.send(Reply::Raw(resp.into_bytes()));
+}
+
+// ---- per-connection writer ---------------------------------------------
+
+fn write_loop(stream: TcpStream, rx: Receiver<Reply>, shared: &Shared) {
+    let mut out = io::BufWriter::new(stream);
+    for reply in rx {
+        let bytes = match reply {
+            Reply::Raw(bytes) => bytes,
+            Reply::Ready(resp) => {
+                NetMetrics::inc(&shared.metrics.frames_written);
+                encode_response(&resp)
+            }
+            Reply::Forward(id, h) => {
+                NetMetrics::inc(&shared.metrics.frames_written);
+                encode_response(&Response {
+                    id,
+                    body: resolve(&h, shared, ResponseBody::ForwardOk),
+                })
+            }
+            Reply::Classify(id, h) => {
+                NetMetrics::inc(&shared.metrics.frames_written);
+                encode_response(&Response {
+                    id,
+                    body: resolve(&h, shared, |classes| {
+                        ResponseBody::ClassifyOk(classes.into_iter().map(|c| c as u32).collect())
+                    }),
+                })
+            }
+        };
+        if out.write_all(&bytes).is_err() || out.flush().is_err() {
+            // Peer went away mid-write; keep draining replies so every
+            // admitted handle still gets resolved (metrics conserve).
+            continue;
+        }
+    }
+}
+
+/// Resolves one admitted request. Blocks in shutdown-aware slices: under
+/// normal operation the gateway's own deadline/watchdog machinery
+/// guarantees resolution; during a drain the remaining budget is the
+/// drain deadline, past which the request is cancelled and reported
+/// [`WireStatus::Closed`].
+fn resolve<T: Clone>(
+    h: &GatewayHandle<T>,
+    shared: &Shared,
+    ok: impl FnOnce(Vec<T>) -> ResponseBody,
+) -> ResponseBody {
+    loop {
+        if let Some(result) = h.wait_timeout(POLL_SLICE) {
+            return match result {
+                Ok(v) => ok(v),
+                Err(e) => ResponseBody::Rejected {
+                    status: wire_status_of_error(&e),
+                    detail: e.to_string(),
+                },
+            };
+        }
+        if shared.shutting_down() && shared.drain_expired() {
+            h.cancel();
+            // The cancel resolves the handle; report what actually
+            // happened to it (usually Cancelled) rather than guessing.
+            let result = h.wait();
+            return match result {
+                Ok(v) => ok(v),
+                Err(e) => ResponseBody::Rejected {
+                    status: wire_status_of_error(&e),
+                    detail: format!("drain deadline passed: {e}"),
+                },
+            };
+        }
+    }
+}

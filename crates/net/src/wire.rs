@@ -1,0 +1,544 @@
+//! Pure encode/decode for the length-prefixed binary wire protocol.
+//!
+//! Every frame on the wire is a little-endian `u32` payload length
+//! followed by exactly that many payload bytes. Decoding never touches a
+//! socket: [`decode_request`] and [`decode_response`] work on the payload
+//! slice alone, which is what makes the protocol property-testable
+//! (encode ∘ decode must be the identity for every frame type) and lets
+//! the server validate the length prefix *before* allocating a buffer
+//! for it.
+//!
+//! Request payload layout (all integers little-endian):
+//!
+//! | field       | bytes | notes                                        |
+//! |-------------|-------|----------------------------------------------|
+//! | opcode      | 1     | 1 = forward, 2 = classify, 0x5A = shutdown   |
+//! | request_id  | 8     | echoed verbatim in the response              |
+//! | model name  | 2 + n | u16 length, then UTF-8 bytes                 |
+//! | format      | 2 + n | descriptor string, e.g. `posit<8,0>`         |
+//! | deadline_ms | 4     | relative deadline; 0 = none                  |
+//! | n_samples   | 4     | rows in the feature matrix                   |
+//! | n_features  | 2     | columns (uniform across rows)                |
+//! | features    | 4·n·f | f32 bits, row-major                          |
+//!
+//! A shutdown request stops after `request_id`. Response payloads carry a
+//! status byte (see [`WireStatus`]), a body-kind byte, the echoed
+//! request id, then a kind-specific body.
+
+/// Number of bytes in the frame length prefix.
+pub const LEN_PREFIX_BYTES: usize = 4;
+
+/// Default ceiling on a single frame's payload size (4 MiB). Anything
+/// larger is rejected from the 4-byte prefix alone, before any buffer
+/// for the payload is allocated.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 4 << 20;
+
+/// Opcode for a forward (per-sample output bit patterns) request.
+pub const OP_FORWARD: u8 = 1;
+/// Opcode for a classify (per-sample argmax index) request.
+pub const OP_CLASSIFY: u8 = 2;
+/// Opcode asking the server to begin a graceful drain. Distinctive value
+/// so a stray zeroed buffer never reads as "shut down".
+pub const OP_SHUTDOWN: u8 = 0x5A;
+
+/// Response body kind: no body (shutdown ack).
+const KIND_EMPTY: u8 = 0;
+/// Response body kind: forward output bits.
+const KIND_FORWARD: u8 = 1;
+/// Response body kind: classify indices.
+const KIND_CLASSIFY: u8 = 2;
+/// Response body kind: UTF-8 detail message on a non-OK status.
+const KIND_ERROR: u8 = 3;
+
+/// Typed per-request verdict carried in every response frame, mirroring
+/// each [`dp_gateway::Admission`] rejection and [`dp_gateway::GatewayError`]
+/// plus the transport-level verdicts the gateway never sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireStatus {
+    /// The request was admitted and produced a result body.
+    Ok = 0,
+    /// `Admission::QueueFull` — the submission ring was full.
+    QueueFull = 1,
+    /// `Admission::RateLimited` — the model's token bucket was empty.
+    RateLimited = 2,
+    /// `Admission::ModelUnknown` — no such model@format registered.
+    ModelUnknown = 3,
+    /// `Admission::Unsupported` — the request shape is not servable.
+    Unsupported = 4,
+    /// `Admission::Closed` / `GatewayError::Closed` — gateway shut down.
+    Closed = 5,
+    /// `GatewayError::Shed` — an overload policy evicted the request.
+    Shed = 6,
+    /// `GatewayError::DeadlineExceeded` — the relative deadline passed.
+    DeadlineExceeded = 7,
+    /// `GatewayError::Cancelled` — cancelled at a chunk boundary.
+    Cancelled = 8,
+    /// `JobError::Stalled` — the watchdog respawned the worker.
+    Stalled = 9,
+    /// `JobError::Panicked` — the serving job panicked.
+    Failed = 10,
+    /// `Admission::Degraded` / `GatewayError::Degraded` — panic budget
+    /// tripped; the engine is refusing work until reset.
+    Degraded = 11,
+    /// The frame itself was malformed (bad opcode, truncated payload,
+    /// oversized length prefix…). The connection closes after this.
+    ProtocolError = 12,
+    /// The server is at its connection cap; retry later.
+    Busy = 13,
+}
+
+impl WireStatus {
+    /// Decodes a status byte; `None` for codes this build doesn't know.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        use WireStatus::*;
+        Some(match v {
+            0 => Ok,
+            1 => QueueFull,
+            2 => RateLimited,
+            3 => ModelUnknown,
+            4 => Unsupported,
+            5 => Closed,
+            6 => Shed,
+            7 => DeadlineExceeded,
+            8 => Cancelled,
+            9 => Stalled,
+            10 => Failed,
+            11 => Degraded,
+            12 => ProtocolError,
+            13 => Busy,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase name, used in logs and the README mapping table.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WireStatus::Ok => "ok",
+            WireStatus::QueueFull => "queue_full",
+            WireStatus::RateLimited => "rate_limited",
+            WireStatus::ModelUnknown => "model_unknown",
+            WireStatus::Unsupported => "unsupported",
+            WireStatus::Closed => "closed",
+            WireStatus::Shed => "shed",
+            WireStatus::DeadlineExceeded => "deadline_exceeded",
+            WireStatus::Cancelled => "cancelled",
+            WireStatus::Stalled => "stalled",
+            WireStatus::Failed => "failed",
+            WireStatus::Degraded => "degraded",
+            WireStatus::ProtocolError => "protocol_error",
+            WireStatus::Busy => "busy",
+        }
+    }
+}
+
+impl std::fmt::Display for WireStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Quantized forward pass: per-sample output bit patterns.
+    Forward(InferenceRequest),
+    /// Classification: per-sample argmax class index.
+    Classify(InferenceRequest),
+    /// Ask the server to begin its graceful drain (if enabled).
+    Shutdown {
+        /// Echoed back in the acknowledgement.
+        id: u64,
+    },
+}
+
+/// The common body of forward/classify requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceRequest {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Logical model name (`iris`).
+    pub model: String,
+    /// Format descriptor (`posit<8,0>`, `float<8,4,3>`, `fixed<8,6>`).
+    pub format: String,
+    /// Relative deadline in milliseconds; 0 means none. Mapped onto
+    /// `SubmitOptions::deadline_in` at admission.
+    pub deadline_ms: u32,
+    /// Feature rows; every row must have the same length.
+    pub xs: Vec<Vec<f32>>,
+}
+
+impl Request {
+    /// The request id (echoed in the response frame).
+    pub fn id(&self) -> u64 {
+        match self {
+            Request::Forward(r) | Request::Classify(r) => r.id,
+            Request::Shutdown { id } => *id,
+        }
+    }
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request id this response answers.
+    pub id: u64,
+    /// Result or typed rejection.
+    pub body: ResponseBody,
+}
+
+/// The result side of a [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Forward succeeded: one row of output bit patterns per sample.
+    ForwardOk(Vec<Vec<u32>>),
+    /// Classify succeeded: one class index per sample.
+    ClassifyOk(Vec<u32>),
+    /// Shutdown acknowledged; the server is draining.
+    ShutdownOk,
+    /// The request was rejected or failed; `status` is never
+    /// [`WireStatus::Ok`] and `detail` is a human-readable reason.
+    Rejected {
+        /// Typed verdict (see the README mapping table).
+        status: WireStatus,
+        /// Free-form diagnostic, safe to log.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// The status byte this response encodes to.
+    pub fn status(&self) -> WireStatus {
+        match &self.body {
+            ResponseBody::Rejected { status, .. } => *status,
+            _ => WireStatus::Ok,
+        }
+    }
+}
+
+/// Why a payload failed to decode. The server answers any of these with
+/// [`WireStatus::ProtocolError`] and closes the connection (framing
+/// state is no longer trustworthy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The length prefix exceeded the configured frame cap.
+    Oversized {
+        /// Length the prefix claimed.
+        len: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// The payload ended before the named field.
+    Truncated(&'static str),
+    /// Bytes remained after the last field of a complete frame.
+    TrailingBytes(usize),
+    /// Unknown request opcode byte.
+    UnknownOpcode(u8),
+    /// Unknown response status byte.
+    UnknownStatus(u8),
+    /// Unknown response body-kind byte, or a kind inconsistent with the
+    /// status (e.g. an error body on an OK status).
+    UnknownKind(u8),
+    /// A name/format/detail field was not valid UTF-8.
+    BadUtf8(&'static str),
+    /// The declared row/column counts disagree with the payload size.
+    SizeMismatch(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Truncated(field) => write!(f, "payload truncated at {field}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::UnknownStatus(s) => write!(f, "unknown status byte {s}"),
+            WireError::UnknownKind(k) => write!(f, "unknown or inconsistent body kind {k}"),
+            WireError::BadUtf8(field) => write!(f, "{field} is not valid UTF-8"),
+            WireError::SizeMismatch(what) => write!(f, "declared sizes disagree: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Validates a frame length prefix against a cap. Called on the raw
+/// 4-byte prefix so oversized frames are rejected **before** any payload
+/// buffer is allocated.
+pub fn check_frame_len(len: u32, max: u32) -> Result<usize, WireError> {
+    if len > max {
+        Err(WireError::Oversized { len, max })
+    } else {
+        Ok(len as usize)
+    }
+}
+
+// ---- little-endian cursor ----------------------------------------------
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated(field));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, field)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self, field: &'static str) -> Result<String, WireError> {
+        let n = self.u16(field)? as usize;
+        let bytes = self.take(n, field)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8(field))
+    }
+
+    fn done(self) -> Result<(), WireError> {
+        let rest = self.buf.len() - self.pos;
+        if rest != 0 {
+            return Err(WireError::TrailingBytes(rest));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    assert!(s.len() <= u16::MAX as usize, "string field over 64 KiB");
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+// ---- requests ----------------------------------------------------------
+
+/// Encodes a request as a complete frame: length prefix plus payload.
+///
+/// Panics if the feature rows are ragged or a string field exceeds
+/// 64 KiB — both are caller bugs, not wire conditions.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match req {
+        Request::Shutdown { id } => {
+            payload.push(OP_SHUTDOWN);
+            put_u64(&mut payload, *id);
+        }
+        Request::Forward(r) | Request::Classify(r) => {
+            payload.push(if matches!(req, Request::Forward(_)) {
+                OP_FORWARD
+            } else {
+                OP_CLASSIFY
+            });
+            put_u64(&mut payload, r.id);
+            put_str16(&mut payload, &r.model);
+            put_str16(&mut payload, &r.format);
+            put_u32(&mut payload, r.deadline_ms);
+            let n_features = r.xs.first().map_or(0, Vec::len);
+            assert!(
+                r.xs.iter().all(|row| row.len() == n_features),
+                "ragged feature rows"
+            );
+            assert!(n_features <= u16::MAX as usize, "over 65535 features");
+            put_u32(&mut payload, r.xs.len() as u32);
+            put_u16(&mut payload, n_features as u16);
+            for row in &r.xs {
+                for &v in row {
+                    put_u32(&mut payload, v.to_bits());
+                }
+            }
+        }
+    }
+    frame(payload)
+}
+
+/// Decodes a request payload (the bytes after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut c = Cur::new(payload);
+    let op = c.u8("opcode")?;
+    if op == OP_SHUTDOWN {
+        let id = c.u64("request_id")?;
+        c.done()?;
+        return Ok(Request::Shutdown { id });
+    }
+    if op != OP_FORWARD && op != OP_CLASSIFY {
+        return Err(WireError::UnknownOpcode(op));
+    }
+    let id = c.u64("request_id")?;
+    let model = c.str16("model name")?;
+    let format = c.str16("format descriptor")?;
+    let deadline_ms = c.u32("deadline_ms")?;
+    let n_samples = c.u32("n_samples")? as usize;
+    let n_features = c.u16("n_features")? as usize;
+    // Cross-check the declared matrix against the actual payload length
+    // before reserving anything: a frame that lies about n_samples must
+    // not make us allocate for the lie.
+    let expect = n_samples
+        .checked_mul(n_features)
+        .and_then(|cells| cells.checked_mul(4))
+        .ok_or(WireError::SizeMismatch("feature matrix overflows"))?;
+    if payload.len() - c.pos != expect {
+        return Err(WireError::SizeMismatch("feature matrix vs payload length"));
+    }
+    let mut xs = Vec::with_capacity(n_samples);
+    for _ in 0..n_samples {
+        let mut row = Vec::with_capacity(n_features);
+        for _ in 0..n_features {
+            row.push(f32::from_bits(c.u32("feature")?));
+        }
+        xs.push(row);
+    }
+    c.done()?;
+    let body = InferenceRequest {
+        id,
+        model,
+        format,
+        deadline_ms,
+        xs,
+    };
+    Ok(if op == OP_FORWARD {
+        Request::Forward(body)
+    } else {
+        Request::Classify(body)
+    })
+}
+
+// ---- responses ---------------------------------------------------------
+
+/// Encodes a response as a complete frame: length prefix plus payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.push(resp.status() as u8);
+    match &resp.body {
+        ResponseBody::ShutdownOk => {
+            payload.push(KIND_EMPTY);
+            put_u64(&mut payload, resp.id);
+        }
+        ResponseBody::ForwardOk(bits) => {
+            payload.push(KIND_FORWARD);
+            put_u64(&mut payload, resp.id);
+            let n_outputs = bits.first().map_or(0, Vec::len);
+            assert!(
+                bits.iter().all(|row| row.len() == n_outputs),
+                "ragged output rows"
+            );
+            assert!(n_outputs <= u16::MAX as usize, "over 65535 outputs");
+            put_u32(&mut payload, bits.len() as u32);
+            put_u16(&mut payload, n_outputs as u16);
+            for row in bits {
+                for &b in row {
+                    put_u32(&mut payload, b);
+                }
+            }
+        }
+        ResponseBody::ClassifyOk(classes) => {
+            payload.push(KIND_CLASSIFY);
+            put_u64(&mut payload, resp.id);
+            put_u32(&mut payload, classes.len() as u32);
+            for &cls in classes {
+                put_u32(&mut payload, cls);
+            }
+        }
+        ResponseBody::Rejected { status, detail } => {
+            assert!(
+                *status != WireStatus::Ok,
+                "Rejected body cannot carry WireStatus::Ok"
+            );
+            payload.push(KIND_ERROR);
+            put_u64(&mut payload, resp.id);
+            put_str16(&mut payload, detail);
+        }
+    }
+    frame(payload)
+}
+
+/// Decodes a response payload (the bytes after the length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut c = Cur::new(payload);
+    let status_byte = c.u8("status")?;
+    let status = WireStatus::from_u8(status_byte).ok_or(WireError::UnknownStatus(status_byte))?;
+    let kind = c.u8("body kind")?;
+    let id = c.u64("request_id")?;
+    let body = match (status, kind) {
+        (WireStatus::Ok, KIND_EMPTY) => ResponseBody::ShutdownOk,
+        (WireStatus::Ok, KIND_FORWARD) => {
+            let n_samples = c.u32("n_samples")? as usize;
+            let n_outputs = c.u16("n_outputs")? as usize;
+            let expect = n_samples
+                .checked_mul(n_outputs)
+                .and_then(|cells| cells.checked_mul(4))
+                .ok_or(WireError::SizeMismatch("output matrix overflows"))?;
+            if payload.len() - c.pos != expect {
+                return Err(WireError::SizeMismatch("output matrix vs payload length"));
+            }
+            let mut bits = Vec::with_capacity(n_samples);
+            for _ in 0..n_samples {
+                let mut row = Vec::with_capacity(n_outputs);
+                for _ in 0..n_outputs {
+                    row.push(c.u32("output bits")?);
+                }
+                bits.push(row);
+            }
+            ResponseBody::ForwardOk(bits)
+        }
+        (WireStatus::Ok, KIND_CLASSIFY) => {
+            let n = c.u32("n_samples")? as usize;
+            if payload.len() - c.pos != n * 4 {
+                return Err(WireError::SizeMismatch("class list vs payload length"));
+            }
+            let mut classes = Vec::with_capacity(n);
+            for _ in 0..n {
+                classes.push(c.u32("class index")?);
+            }
+            ResponseBody::ClassifyOk(classes)
+        }
+        (s, KIND_ERROR) if s != WireStatus::Ok => ResponseBody::Rejected {
+            status,
+            detail: c.str16("detail")?,
+        },
+        (_, k) => return Err(WireError::UnknownKind(k)),
+    };
+    c.done()?;
+    Ok(Response { id, body })
+}
+
+fn frame(payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(LEN_PREFIX_BYTES + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}

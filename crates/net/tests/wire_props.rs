@@ -1,0 +1,251 @@
+//! Wire-protocol unit + property tests: encode ∘ decode is the identity
+//! for every frame type, and every malformation class decodes to a
+//! typed [`WireError`] instead of a panic or a bogus frame.
+
+use dp_net::wire::{
+    check_frame_len, decode_request, decode_response, encode_request, encode_response,
+    InferenceRequest, Request, Response, ResponseBody, WireError, WireStatus, LEN_PREFIX_BYTES,
+};
+use proptest::prelude::*;
+
+/// Strips the length prefix off an encoded frame, asserting it matches.
+fn payload(frame: &[u8]) -> &[u8] {
+    let len = u32::from_le_bytes(frame[..LEN_PREFIX_BYTES].try_into().unwrap()) as usize;
+    assert_eq!(frame.len(), LEN_PREFIX_BYTES + len, "bad length prefix");
+    &frame[LEN_PREFIX_BYTES..]
+}
+
+fn non_ok_statuses() -> Vec<WireStatus> {
+    (1..=13).map(|b| WireStatus::from_u8(b).unwrap()).collect()
+}
+
+// ---- property tests: round trips ---------------------------------------
+
+prop_compose! {
+    fn inference_body()(
+        id in any::<u64>(),
+        model in prop::collection::vec(97u8..=122, 0..12),
+        format in prop::collection::vec(33u8..=126, 0..16),
+        deadline_ms in 0u32..100_000,
+        xs in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 0..6), 0..8),
+        n_features in 0usize..6,
+    ) -> InferenceRequest {
+        // Rows must be uniform; resize every row to one width.
+        let xs: Vec<Vec<f32>> = xs
+            .into_iter()
+            .map(|mut row| { row.resize(n_features, 0.5); row })
+            .collect();
+        InferenceRequest {
+            id,
+            model: String::from_utf8(model).unwrap(),
+            format: String::from_utf8(format).unwrap(),
+            deadline_ms,
+            xs,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn forward_request_round_trips(body in inference_body()) {
+        let req = Request::Forward(body);
+        let frame = encode_request(&req);
+        prop_assert_eq!(decode_request(payload(&frame)).unwrap(), req);
+    }
+
+    #[test]
+    fn classify_request_round_trips(body in inference_body()) {
+        let req = Request::Classify(body);
+        let frame = encode_request(&req);
+        prop_assert_eq!(decode_request(payload(&frame)).unwrap(), req);
+    }
+
+    #[test]
+    fn shutdown_request_round_trips(id in any::<u64>()) {
+        let req = Request::Shutdown { id };
+        let frame = encode_request(&req);
+        prop_assert_eq!(decode_request(payload(&frame)).unwrap(), req);
+    }
+
+    #[test]
+    fn forward_response_round_trips(
+        id in any::<u64>(),
+        bits in prop::collection::vec(
+            prop::collection::vec(any::<u32>(), 0..5), 0..6),
+        n_outputs in 0usize..5,
+    ) {
+        let bits: Vec<Vec<u32>> = bits
+            .into_iter()
+            .map(|mut row| { row.resize(n_outputs, 7); row })
+            .collect();
+        let resp = Response { id, body: ResponseBody::ForwardOk(bits) };
+        let frame = encode_response(&resp);
+        prop_assert_eq!(decode_response(payload(&frame)).unwrap(), resp);
+    }
+
+    #[test]
+    fn classify_response_round_trips(
+        id in any::<u64>(),
+        classes in prop::collection::vec(0u32..1000, 0..20),
+    ) {
+        let resp = Response { id, body: ResponseBody::ClassifyOk(classes) };
+        let frame = encode_response(&resp);
+        prop_assert_eq!(decode_response(payload(&frame)).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejection_response_round_trips(
+        id in any::<u64>(),
+        status_ix in 0usize..13,
+        detail in prop::collection::vec(32u8..=126, 0..40),
+    ) {
+        let resp = Response {
+            id,
+            body: ResponseBody::Rejected {
+                status: non_ok_statuses()[status_ix],
+                detail: String::from_utf8(detail).unwrap(),
+            },
+        };
+        let frame = encode_response(&resp);
+        prop_assert_eq!(decode_response(payload(&frame)).unwrap(), resp);
+    }
+
+    #[test]
+    fn truncating_any_request_prefix_yields_typed_error(
+        body in inference_body(),
+        cut_num in any::<u16>(),
+    ) {
+        // Any strict prefix of a valid payload must decode to an error,
+        // never to a (different) valid frame or a panic.
+        let frame = encode_request(&Request::Forward(body));
+        let p = payload(&frame);
+        let cut = (cut_num as usize) % p.len().max(1);
+        prop_assert!(decode_request(&p[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncating_any_response_prefix_yields_typed_error(
+        id in any::<u64>(),
+        classes in prop::collection::vec(0u32..9, 1..8),
+        cut_num in any::<u16>(),
+    ) {
+        let frame = encode_response(&Response { id, body: ResponseBody::ClassifyOk(classes) });
+        let p = payload(&frame);
+        let cut = (cut_num as usize) % p.len();
+        prop_assert!(decode_response(&p[..cut]).is_err());
+    }
+}
+
+// ---- targeted malformation tests ---------------------------------------
+
+fn sample_request() -> Request {
+    Request::Forward(InferenceRequest {
+        id: 42,
+        model: "iris".into(),
+        format: "posit<8,0>".into(),
+        deadline_ms: 250,
+        xs: vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+    })
+}
+
+#[test]
+fn shutdown_response_round_trips() {
+    let resp = Response {
+        id: 9,
+        body: ResponseBody::ShutdownOk,
+    };
+    let frame = encode_response(&resp);
+    assert_eq!(decode_response(payload(&frame)).unwrap(), resp);
+}
+
+#[test]
+fn unknown_opcode_is_rejected() {
+    let mut p = payload(&encode_request(&sample_request())).to_vec();
+    p[0] = 0x77;
+    assert_eq!(decode_request(&p), Err(WireError::UnknownOpcode(0x77)));
+}
+
+#[test]
+fn unknown_status_and_kind_are_rejected() {
+    let resp = Response {
+        id: 1,
+        body: ResponseBody::ClassifyOk(vec![0]),
+    };
+    let mut p = payload(&encode_response(&resp)).to_vec();
+    p[0] = 200;
+    assert_eq!(decode_response(&p), Err(WireError::UnknownStatus(200)));
+
+    let mut p = payload(&encode_response(&resp)).to_vec();
+    p[1] = 9; // bogus body kind
+    assert_eq!(decode_response(&p), Err(WireError::UnknownKind(9)));
+}
+
+#[test]
+fn error_body_on_ok_status_is_inconsistent() {
+    // status Ok + kind error would let a peer smuggle a "rejection" that
+    // reads as success; the decoder must refuse the combination.
+    let resp = Response {
+        id: 1,
+        body: ResponseBody::Rejected {
+            status: WireStatus::Shed,
+            detail: "x".into(),
+        },
+    };
+    let mut p = payload(&encode_response(&resp)).to_vec();
+    p[0] = 0; // flip status to Ok, leaving the error body kind
+    assert!(matches!(
+        decode_response(&p),
+        Err(WireError::UnknownKind(_))
+    ));
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut p = payload(&encode_request(&Request::Shutdown { id: 3 })).to_vec();
+    p.push(0);
+    assert_eq!(decode_request(&p), Err(WireError::TrailingBytes(1)));
+}
+
+#[test]
+fn lying_sample_counts_are_rejected_without_allocating() {
+    // The header claims 2^31 samples but carries 16 bytes of features;
+    // the decoder must refuse from arithmetic alone (a Vec::with_capacity
+    // on the lie would abort the process).
+    let mut p = payload(&encode_request(&sample_request())).to_vec();
+    // n_samples lives right after opcode + id + two str16 fields + u32.
+    let off = 1 + 8 + (2 + 4) + (2 + 10) + 4;
+    p[off..off + 4].copy_from_slice(&0x8000_0000u32.to_le_bytes());
+    assert!(matches!(
+        decode_request(&p),
+        Err(WireError::SizeMismatch(_))
+    ));
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    assert_eq!(check_frame_len(4096, 4096), Ok(4096));
+    assert_eq!(
+        check_frame_len(4097, 4096),
+        Err(WireError::Oversized {
+            len: 4097,
+            max: 4096
+        })
+    );
+    // The "GET " HTTP sniff as a length prefix is far over any sane cap,
+    // which is what makes sharing the port unambiguous.
+    let get = u32::from_le_bytes(*b"GET ");
+    assert!(check_frame_len(get, dp_net::DEFAULT_MAX_FRAME_BYTES).is_err());
+}
+
+#[test]
+fn status_codes_are_stable_and_self_inverse() {
+    for b in 0..=13u8 {
+        let s = WireStatus::from_u8(b).unwrap();
+        assert_eq!(s as u8, b, "{s} must encode back to {b}");
+    }
+    assert_eq!(WireStatus::from_u8(14), None);
+    assert_eq!(WireStatus::from_u8(255), None);
+}

@@ -1,0 +1,85 @@
+//! Serve the iris model over TCP: the deployable shape of the Deep
+//! Positron datapath. Trains deterministically (seed 42 — `net_client`
+//! trains the identical model to verify bit-identity over the wire),
+//! registers posit/minifloat/fixed variants, binds a `dp_net` listener
+//! and serves until a remote shutdown request, then drains gracefully
+//! and prints the final settled metrics.
+//!
+//! ```text
+//! cargo run --release --example net_serve [ADDR]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:0`; the bound address is printed as
+//! `LISTENING <addr>` so drivers (the e2e CI job) can parse it. The
+//! final Prometheus exposition is printed between `==== FINAL METRICS`
+//! markers after the drain, when every lifecycle conservation law holds
+//! exactly.
+
+use deep_positron::train::{train, TrainConfig};
+use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
+use dp_fixed::FixedFormat;
+use dp_gateway::Gateway;
+use dp_minifloat::FloatFormat;
+use dp_net::NetServer;
+use dp_posit::PositFormat;
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    // Deterministic model: identical constants in net_client's `verify`
+    // mode reproduce it bit-for-bit on the client side.
+    let split = dp_datasets::iris::load(42).split(50, 42).normalized();
+    let mut mlp = Mlp::new(&[4, 16, 3], 42);
+    train(
+        &mut mlp,
+        &split.train,
+        TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            lr: 0.01,
+            seed: 42,
+        },
+    );
+
+    let gw = Arc::new(
+        Gateway::builder()
+            .chunk_samples(16)
+            .queue_capacity(64)
+            .drain_deadline(Duration::from_secs(10))
+            .build(),
+    );
+    let formats = [
+        NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+        NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+        NumericFormat::Fixed(FixedFormat::new(8, 6).unwrap()),
+    ];
+    for fmt in formats {
+        let key = gw
+            .registry()
+            .register("iris", QuantizedMlp::quantize(&mlp, fmt))
+            .expect("example formats have EMAC datapaths");
+        println!("registered {key}");
+    }
+
+    let server = NetServer::builder(Arc::clone(&gw))
+        .allow_remote_shutdown(true)
+        .drain_deadline(Duration::from_secs(10))
+        .read_timeout(Duration::from_secs(2))
+        .bind(&addr)
+        .expect("bind listener");
+    println!("LISTENING {}", server.local_addr());
+    std::io::stdout().flush().expect("flush stdout");
+
+    server.wait_for_shutdown_request();
+    println!("shutdown requested; draining");
+    server.shutdown();
+
+    println!("==== FINAL METRICS ====");
+    print!("{}", server.render_metrics());
+    println!("==== END FINAL METRICS ====");
+}
