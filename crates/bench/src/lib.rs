@@ -3,8 +3,6 @@
 //! Shared plumbing (CSV/table writers, sweep definitions) for the binaries
 //! that regenerate every table and figure of the paper. See `src/bin/` for
 //! the per-artifact entry points and `benches/` for criterion benchmarks.
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod accuracy;
 pub mod report;

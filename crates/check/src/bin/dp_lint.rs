@@ -1,0 +1,88 @@
+//! Workspace lint driver: runs every [`dp_check::rules`] rule and
+//! reports findings as text and machine-readable JSON.
+//!
+//! ```text
+//! dp_lint [--root DIR] [--json PATH] [--rules-doc] [--quiet]
+//! ```
+//!
+//! * `--root DIR`    workspace root (default: current directory)
+//! * `--json PATH`   also write the JSON report to PATH
+//! * `--rules-doc`   print the rule table as markdown and exit (CI
+//!   diffs this against the README section)
+//! * `--quiet`       suppress per-finding lines (JSON/exit code only)
+//!
+//! Exit status: 0 when clean, 1 on any unsuppressed finding, 2 on
+//! usage errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut rules_doc = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_path = Some(PathBuf::from(v)),
+                None => return usage("--json needs a value"),
+            },
+            "--rules-doc" => rules_doc = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("dp_lint [--root DIR] [--json PATH] [--rules-doc] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if rules_doc {
+        print!("{}", dp_check::rules::rules_doc());
+        return ExitCode::SUCCESS;
+    }
+
+    if !root.join("Cargo.toml").exists() {
+        return usage(&format!(
+            "`{}` has no Cargo.toml; pass the workspace root via --root",
+            root.display()
+        ));
+    }
+
+    let report = dp_check::rules::run(&root);
+    if let Some(path) = &json_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("dp_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        for f in &report.findings {
+            println!("{}", f.to_line());
+        }
+    }
+    eprintln!(
+        "dp_lint: {} files scanned, {} sites justified/suppressed, {} finding(s)",
+        report.scanned,
+        report.suppressed,
+        report.findings.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("dp_lint: {msg}");
+    eprintln!("usage: dp_lint [--root DIR] [--json PATH] [--rules-doc] [--quiet]");
+    ExitCode::from(2)
+}

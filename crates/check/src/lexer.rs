@@ -1,0 +1,338 @@
+//! A minimal Rust lexer for line-oriented source rules.
+//!
+//! This is *not* a parser: it separates each source line into three
+//! channels — code (with comment text and literal contents blanked to
+//! spaces, quotes preserved), comment text, and string-literal
+//! contents — which is exactly enough for token-level rules like
+//! "`Ordering::Relaxed` must carry a `relaxed-ok:` comment" without
+//! false matches inside strings or docs. Zero-dependency by the same
+//! philosophy as the `rand`/`proptest` shims.
+//!
+//! Handled: line and (nested) block comments, plain/byte strings with
+//! escapes, raw strings `r#"…"#` with any number of `#`, char literals,
+//! and the char-vs-lifetime ambiguity (`'a'` vs `'a`).
+
+/// One source line split into channels.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// The line with comments and literal contents blanked to spaces.
+    pub code: String,
+    /// Comment text on this line (all comments concatenated).
+    pub comment: String,
+    /// String-literal content segments on this line.
+    pub strings: Vec<String>,
+}
+
+/// A whole file, line by line.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// Lines in file order (index 0 is line 1).
+    pub lines: Vec<LexedLine>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested depth.
+    Block(u32),
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##`; the payload is the `#` count.
+    RawStr(u32),
+}
+
+/// Lexes `src` into per-line channels.
+pub fn lex(src: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut line = LexedLine::default();
+    let mut cur_string = String::new();
+    let mut mode = Mode::Code;
+    let mut i = 0usize;
+
+    // Ends the current line, flushing any in-flight string segment.
+    macro_rules! newline {
+        () => {{
+            if matches!(mode, Mode::Str | Mode::RawStr(_)) && !cur_string.is_empty() {
+                line.strings.push(std::mem::take(&mut cur_string));
+            }
+            out.lines.push(std::mem::take(&mut line));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            newline!();
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(1);
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    line.code.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Possible raw/byte string prefix: r"... r#"... b"... br#"...
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (c == 'r' || j > i + 1 || hashes == 0) {
+                        // Emit the prefix + opening quote as code, enter string.
+                        for &p in &chars[i..=j] {
+                            line.code.push(p);
+                        }
+                        mode = if hashes > 0 || chars[if c == 'b' { i + 1 } else { i }] == 'r' {
+                            Mode::RawStr(hashes)
+                        } else {
+                            Mode::Str
+                        };
+                        i = j + 1;
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime.
+                    if next == Some('\\') {
+                        // Escaped char literal: '\x' or '\u{…}' etc.
+                        line.code.push('\'');
+                        i += 2; // consume ' and backslash
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            line.code.push(' ');
+                            i += 1;
+                        }
+                        if chars.get(i) == Some(&'\'') {
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        // 'x' one-char literal.
+                        line.code.push('\'');
+                        line.code.push(' ');
+                        line.code.push('\'');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep as code.
+                        line.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            Mode::Block(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::Block(depth + 1);
+                    line.code.push_str("  ");
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' && next == Some('\n') {
+                    // Line continuation: consume only the backslash so the
+                    // main loop still sees the newline and line numbers
+                    // stay in sync with the source.
+                    cur_string.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                } else if c == '\\' && next.is_some() {
+                    cur_string.push(c);
+                    cur_string.push(next.unwrap_or(' '));
+                    line.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    line.strings.push(std::mem::take(&mut cur_string));
+                    line.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur_string.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    line.strings.push(std::mem::take(&mut cur_string));
+                    line.code.push('"');
+                    for _ in 0..hashes {
+                        line.code.push('#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    cur_string.push(c);
+                    line.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Flush a final line only when the file doesn't end in a newline.
+    if !line.code.is_empty()
+        || !line.comment.is_empty()
+        || !line.strings.is_empty()
+        || !cur_string.is_empty()
+    {
+        newline!();
+    }
+    out
+}
+
+/// True when `chars[i]` is preceded by an identifier character (so an
+/// `r`/`b` here is the tail of a name like `for`, not a string prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+impl LexedFile {
+    /// Per-line mask of `#[cfg(test)]`-gated regions (brace-matched from
+    /// the attribute's item) — used to exempt in-file test modules from
+    /// production-code rules. Lines in files under `tests/` should be
+    /// masked by the caller instead.
+    pub fn test_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.lines.len()];
+        let mut i = 0usize;
+        while i < self.lines.len() {
+            let sq = squash(&self.lines[i].code);
+            if sq.contains("#[cfg(test)]") || sq.contains("#[cfg(all(test,") {
+                // Find the opening brace of the gated item, then match it.
+                let mut depth = 0i64;
+                let mut opened = false;
+                let mut j = i;
+                while j < self.lines.len() {
+                    mask[j] = true;
+                    for c in self.lines[j].code.chars() {
+                        match c {
+                            '{' => {
+                                depth += 1;
+                                opened = true;
+                            }
+                            '}' => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if opened && depth <= 0 {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+        mask
+    }
+}
+
+/// Removes all whitespace, making token-sequence matching trivial.
+pub fn squash(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_separated() {
+        let f = lex("let x = \"Ordering::Relaxed\"; // relaxed-ok: reason\n");
+        assert!(!f.lines[0].code.contains("Relaxed"));
+        assert_eq!(f.lines[0].strings, vec!["Ordering::Relaxed".to_string()]);
+        assert!(f.lines[0].comment.contains("relaxed-ok: reason"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let f = lex("/* a /* b */ still */ code() /// doc\n");
+        assert!(f.lines[0].code.contains("code()"));
+        assert!(!f.lines[0].code.contains("still"));
+        assert!(f.lines[0].comment.contains("b"));
+        assert!(f.lines[0].comment.contains("doc"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let f = lex("let a = r#\"quote \" inside\"#; let b = \"esc\\\"aped\";\n");
+        assert_eq!(f.lines[0].strings.len(), 2);
+        assert_eq!(f.lines[0].strings[0], "quote \" inside");
+        assert_eq!(f.lines[0].strings[1], "esc\\\"aped");
+        assert!(!f.lines[0].code.contains("inside"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(f.lines[0].code.contains("&'a str"));
+        assert!(!f.lines[0].code.contains("'x'"));
+        let g = lex("let c = '\\n'; let l: &'static str = \"s\";\n");
+        assert!(g.lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn multiline_strings_segment_per_line() {
+        let f = lex("let s = \"line one\nline two\";\nOrdering::Relaxed\n");
+        assert_eq!(f.lines[0].strings, vec!["line one".to_string()]);
+        assert_eq!(f.lines[1].strings, vec!["line two".to_string()]);
+        assert!(f.lines[2].code.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let f = lex("let s = \"a \\\n    b\";\nOrdering::Relaxed\n");
+        assert_eq!(f.lines.len(), 3);
+        assert!(f.lines[2].code.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn test_mask_covers_gated_module() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn a() {}\n}\nfn prod2() {}\n";
+        let mask = lex(src).test_mask();
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+}

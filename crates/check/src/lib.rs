@@ -1,0 +1,44 @@
+//! # dp_check — in-tree static analysis + deterministic concurrency checking
+//!
+//! The serving stack (ring, handles, limiter, pool, watchdog) is
+//! hand-rolled concurrent code with >100 atomic-ordering call sites,
+//! and this container has no loom, miri, or TSan. This crate makes the
+//! invariants mechanically falsifiable, the same move `dp_fault` made
+//! for fault handling — extended from faults to schedules and source
+//! invariants. Two engines share one report schema ([`report`]):
+//!
+//! * **`dp_lint`** (`cargo run -p dp_check --bin dp_lint`) — a
+//!   token-level source linter ([`lexer`] + [`rules`]): atomic-ordering
+//!   justification sweeps (`relaxed-ok:` / `seqcst-ok:`), panic hygiene
+//!   on serving paths, the bounded-everything channel rule, workspace
+//!   `forbid(unsafe_code)` coverage, wire-decode determinism, and the
+//!   Prometheus row-drift check ported from CI python. Machine-readable
+//!   JSON findings; nonzero exit on any unsuppressed finding.
+//! * **interleaving checker** ([`sched`] + [`sync`]) — a seeded
+//!   PCT-style scheduler that serializes instrumented threads and
+//!   explores thousands of interleavings per seed across named yield
+//!   points (`check_yield!`), with an instrumented mutex/condvar pair
+//!   that records a lock-order graph (cycle ⇒ deadlock finding) and
+//!   deterministic virtual timeouts. The serving crates opt in behind
+//!   their `check-yield` feature; default builds compile all hooks out.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod sched;
+pub mod sync;
+
+pub use report::{Finding, Report};
+pub use sched::yield_point;
+
+/// Names a linearization point for the interleaving checker.
+///
+/// Expands to a call to [`yield_point`]; the serving crates wrap it in
+/// their own `check_yield!` that compiles to nothing without their
+/// `check-yield` feature, so release builds carry no hook code.
+#[macro_export]
+macro_rules! check_yield {
+    ($point:expr) => {
+        $crate::yield_point($point)
+    };
+}

@@ -1,0 +1,165 @@
+//! The finding/report schema shared by both `dp_check` engines.
+//!
+//! `dp_lint` (static rules over source text) and the interleaving
+//! checker (runtime invariants over scheduled executions) both emit
+//! [`Finding`]s and serialize them through the same hand-rolled JSON
+//! writer — the workspace has no serde, so the writer follows the
+//! `BENCH_*.json` convention: a stable, diffable layout produced by
+//! plain string formatting.
+
+use std::fmt::Write as _;
+
+/// One problem found by a rule or a scheduled run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule identifier (e.g. `relaxed-justified`, `deadlock`).
+    pub rule: String,
+    /// Repo-relative file the finding anchors to, or a pseudo-path like
+    /// `<schedule seed=7>` for runtime findings.
+    pub file: String,
+    /// 1-based line number; 0 when the finding has no line anchor.
+    pub line: usize,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub hint: String,
+}
+
+impl Finding {
+    /// Builds a finding; `line` 0 means "whole file / no line anchor".
+    pub fn new(
+        rule: &str,
+        file: impl Into<String>,
+        line: usize,
+        message: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule: rule.to_string(),
+            file: file.into(),
+            line,
+            message: message.into(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Renders as `file:line: [rule] message (hint)` for terminals.
+    pub fn to_line(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        );
+        if !self.hint.is_empty() {
+            let _ = write!(s, " ({})", self.hint);
+        }
+        s
+    }
+}
+
+/// A full report: findings plus scan bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Which engine produced this (`dp_lint` or `dp_check-sched`).
+    pub tool: String,
+    /// Everything unsuppressed the engine found.
+    pub findings: Vec<Finding>,
+    /// Files (or schedules) examined.
+    pub scanned: usize,
+    /// Sites whose annotation/allowlist suppressed a would-be finding.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// A fresh, empty report for `tool`.
+    pub fn new(tool: &str) -> Self {
+        Report {
+            tool: tool.to_string(),
+            ..Report::default()
+        }
+    }
+
+    /// True when nothing unsuppressed was found.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes the report as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"tool\": \"{}\",", escape(&self.tool));
+        let _ = writeln!(s, "  \"scanned\": {},", self.scanned);
+        let _ = writeln!(s, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(s, "  \"finding_count\": {},", self.findings.len());
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            let _ = write!(s, "\"rule\": \"{}\", ", escape(&f.rule));
+            let _ = write!(s, "\"file\": \"{}\", ", escape(&f.file));
+            let _ = write!(s, "\"line\": {}, ", f.line);
+            let _ = write!(s, "\"message\": \"{}\", ", escape(&f.message));
+            let _ = write!(s, "\"hint\": \"{}\"", escape(&f.hint));
+            s.push('}');
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report::new("dp_lint");
+        r.scanned = 2;
+        r.findings.push(Finding::new(
+            "demo",
+            "a \"b\".rs",
+            3,
+            "line1\nline2",
+            "tab\there",
+        ));
+        let j = r.to_json();
+        assert!(j.contains("\"finding_count\": 1,"));
+        assert!(j.contains(r#""file": "a \"b\".rs""#));
+        assert!(j.contains(r#"line1\nline2"#));
+        assert!(j.contains(r#"tab\there"#));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid() {
+        let r = Report::new("dp_lint");
+        assert!(r.is_clean());
+        let j = r.to_json();
+        assert!(j.contains("\"findings\": []"));
+    }
+}

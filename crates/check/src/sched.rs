@@ -1,0 +1,706 @@
+//! Seeded deterministic interleaving scheduler (PCT-style).
+//!
+//! The checker runs real threads over real structures but **serializes**
+//! them: exactly one scheduled thread executes at a time, and every
+//! handoff happens at an explicit decision point — a `check_yield!`
+//! call, a [`crate::sync::Mutex`] acquire/release, or a
+//! [`crate::sync::Condvar`] wait/notify. Which thread runs next is
+//! decided by PCT (probabilistic concurrency testing): each thread
+//! gets a random priority from a seeded xorshift64\* stream (the same
+//! generator family as `dp_fault::FaultPlan`), the highest-priority
+//! runnable thread always runs, and `d` preemption points per run drop
+//! the running thread's priority below everyone else's. Small `d`
+//! provably covers all bugs of preemption depth `d` with good
+//! probability, and the whole schedule is a pure function of the seed:
+//! same seed ⇒ identical trace, which [`explore`] exploits to walk
+//! thousands of distinct schedules per master seed.
+//!
+//! Blocking is virtualized. A scheduled thread that would block on an
+//! instrumented mutex or condvar parks with the scheduler instead of
+//! the OS; `wait_timeout` durations are ignored and fire
+//! deterministically only when no thread is runnable (virtual time).
+//! If nothing is runnable and no timeout is pending, the run is a
+//! **deadlock**: the scheduler reports a [`Finding`] naming every
+//! blocked thread and aborts the schedule by unwinding all of them.
+//! Lock acquisition also feeds a label-level lock-order graph; any
+//! cycle becomes a `lock-order-cycle` finding (see [`crate::sync`]).
+//!
+//! Threads that never touch an instrumented primitive (e.g. worker
+//! pools spawned internally by the structure under test) simply run
+//! unscheduled; instrumented calls from unregistered threads delegate
+//! straight to `std`. Scheduled runs therefore must not *contend* with
+//! unscheduled threads on the same instrumented locks — keep scheduled
+//! tests component-level.
+
+use crate::report::Finding;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// xorshift64\* (same recurrence as `dp_fault::FaultPlan`'s stream).
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        // seed | 1 displaces the all-zero fixed point.
+        XorShift64 { state: seed | 1 }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+/// Why a thread is not runnable.
+#[derive(Debug, Clone, PartialEq)]
+enum Blocked {
+    /// Parked on an instrumented mutex (by address key).
+    OnMutex { key: usize, label: &'static str },
+    /// Parked on an instrumented condvar; `timeout` waits may be woken
+    /// by virtual time when nothing else can run.
+    OnCondvar { key: usize, timeout: bool },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TState {
+    Ready,
+    Blocked(Blocked),
+    Done,
+}
+
+#[derive(Debug)]
+struct ThreadRec {
+    state: TState,
+    priority: u64,
+    /// Set when a virtual timeout (not a notify) woke the thread.
+    woke_by_timeout: bool,
+}
+
+/// Everything the scheduler knows about the run in flight.
+struct Core {
+    seed: u64,
+    threads: Vec<ThreadRec>,
+    current: usize,
+    rng: XorShift64,
+    preempt_at: BTreeSet<u64>,
+    /// Next value handed out when a preemption lowers a priority.
+    low_water: u64,
+    step: u64,
+    max_steps: u64,
+    trace: Vec<(usize, String)>,
+    findings: Vec<Finding>,
+    aborted: bool,
+    /// Instrumented-mutex holders: key → scheduled holder tid.
+    holders: BTreeMap<usize, usize>,
+    /// Per-thread stack of held lock labels (for order edges).
+    held: Vec<Vec<&'static str>>,
+    /// Label-level lock-order edges `from → to`.
+    edges: BTreeSet<(&'static str, &'static str)>,
+}
+
+const NO_THREAD: usize = usize::MAX;
+
+struct Global {
+    mu: Mutex<Option<Core>>,
+    cv: Condvar,
+}
+
+fn global() -> &'static Global {
+    static G: OnceLock<Global> = OnceLock::new();
+    G.get_or_init(|| Global {
+        mu: Mutex::new(None),
+        cv: Condvar::new(),
+    })
+}
+
+/// Fast-path gate: scheduled runs are rare, instrumented call sites are
+/// hot.
+// relaxed-ok: pure enable flag; the slow path re-synchronizes through
+// the scheduler's own mutex before reading any shared state.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Payload used to unwind threads when a schedule aborts; filtered out
+/// of panic findings.
+const ABORT_PAYLOAD: &str = "dp_check: schedule aborted";
+
+fn lock_core() -> MutexGuard<'static, Option<Core>> {
+    // panic-ok: threads unwound by an abort may poison the scheduler
+    // mutex; recovering the guard is always safe because Core is
+    // repaired or replaced at run boundaries.
+    global().mu.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The scheduled tid of the calling thread, if any run is active.
+pub(crate) fn scheduled_tid() -> Option<usize> {
+    // relaxed-ok: pure fast-path gate — a stale read only skips
+    // instrumentation for a thread that was never registered anyway.
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    TID.with(|t| t.get())
+}
+
+/// One finished schedule: the decision trace and any findings.
+#[derive(Debug)]
+pub struct ScheduleOutcome {
+    /// Seed the schedule was derived from.
+    pub seed: u64,
+    /// Total decision points taken.
+    pub steps: u64,
+    /// `(thread, point)` decision sequence — identical across runs of
+    /// the same seed and bodies.
+    pub trace: Vec<(usize, String)>,
+    /// Deadlocks, lock-order cycles, in-schedule panics, overruns.
+    pub findings: Vec<Finding>,
+}
+
+impl ScheduleOutcome {
+    /// A stable 64-bit fingerprint of the decision trace.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.trace.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Aggregate of [`explore`]: how much schedule space a seed covered.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Schedules executed.
+    pub schedules: usize,
+    /// Distinct decision traces among them.
+    pub distinct_traces: usize,
+    /// Decision points across all schedules.
+    pub total_steps: u64,
+    /// Findings from every schedule, in run order.
+    pub findings: Vec<Finding>,
+}
+
+/// Runs `bodies` as scheduled threads under one seeded PCT schedule.
+///
+/// Returns after every body has finished (or been unwound by an
+/// abort). Runs are serialized process-wide; instrumentation outside
+/// an active run costs one relaxed atomic load.
+pub fn run_schedule(
+    seed: u64,
+    preemptions: usize,
+    bodies: Vec<Box<dyn FnOnce() + Send>>,
+) -> ScheduleOutcome {
+    static RUN_LOCK: Mutex<()> = Mutex::new(());
+    // panic-ok: a failed assertion inside a scheduled test body must
+    // not wedge every later schedule in the process.
+    let _serial = RUN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let n = bodies.len();
+    let mut rng = XorShift64::new(seed);
+    let mut threads = Vec::with_capacity(n);
+    for _ in 0..n {
+        threads.push(ThreadRec {
+            state: TState::Ready,
+            // Priorities start well above the preemption low-water
+            // region so demotions always land below every base draw.
+            priority: (1 << 32) + rng.below(1 << 32),
+            woke_by_timeout: false,
+        });
+    }
+    let mut preempt_at = BTreeSet::new();
+    for _ in 0..preemptions {
+        // Drawn from the first 128 decision points: component-level
+        // schedules rarely run longer, and a draw past the run's end is
+        // a preemption that never fires (PCT wants them uniform over
+        // the actual run length, which we cannot know up front).
+        preempt_at.insert(1 + rng.below(128));
+    }
+    let mut core = Core {
+        seed,
+        threads,
+        current: NO_THREAD,
+        rng,
+        preempt_at,
+        low_water: 1 << 16,
+        step: 0,
+        max_steps: 200_000,
+        trace: Vec::new(),
+        findings: Vec::new(),
+        aborted: false,
+        holders: BTreeMap::new(),
+        held: vec![Vec::new(); n],
+        edges: BTreeSet::new(),
+    };
+    core.current = core.pick_next();
+    *lock_core() = Some(core);
+    ACTIVE.store(true, Ordering::SeqCst); // seqcst-ok: run-boundary publish, identical to dp_fault::install
+
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(tid, body)| {
+            std::thread::spawn(move || {
+                TID.with(|t| t.set(Some(tid)));
+                wait_for_turn(tid);
+                let result = catch_unwind(AssertUnwindSafe(body));
+                finish_thread(tid, result.err());
+            })
+        })
+        .collect();
+    for h in handles {
+        // panic-ok: finish_thread caught every body panic, so a join
+        // error here means the runner itself is broken.
+        h.join().expect("scheduled thread must not die unwinding");
+    }
+
+    ACTIVE.store(false, Ordering::SeqCst); // seqcst-ok: run-boundary publish, identical to dp_fault::clear
+                                           // panic-ok: Some() was installed above and only taken here.
+    let mut core = lock_core().take().expect("scheduler core present");
+    detect_lock_cycles(&mut core);
+    ScheduleOutcome {
+        seed,
+        steps: core.step,
+        trace: core.trace,
+        findings: core.findings,
+    }
+}
+
+/// Runs `runs` schedules, each with a fresh seed drawn from
+/// `master_seed`'s stream; `mk(i)` builds the thread bodies for run
+/// `i` (construct fresh structures per run).
+pub fn explore(
+    master_seed: u64,
+    runs: usize,
+    preemptions: usize,
+    mut mk: impl FnMut(usize) -> Vec<Box<dyn FnOnce() + Send>>,
+) -> ExploreOutcome {
+    let mut rng = XorShift64::new(master_seed);
+    let mut fingerprints = BTreeSet::new();
+    let mut out = ExploreOutcome {
+        schedules: 0,
+        distinct_traces: 0,
+        total_steps: 0,
+        findings: Vec::new(),
+    };
+    for i in 0..runs {
+        let seed = rng.next();
+        let res = run_schedule(seed, preemptions, mk(i));
+        out.schedules += 1;
+        out.total_steps += res.steps;
+        fingerprints.insert(res.fingerprint());
+        out.findings.extend(res.findings);
+    }
+    out.distinct_traces = fingerprints.len();
+    out
+}
+
+/// Explicit named decision point; no-op outside an active schedule or
+/// on unregistered threads.
+pub fn yield_point(point: &'static str) {
+    let Some(tid) = scheduled_tid() else { return };
+    let mut guard = lock_core();
+    if guard.is_none() {
+        return;
+    }
+    if decide(&mut guard, tid, point.to_string()) {
+        block_until_turn(guard, tid);
+    }
+}
+
+/// Records a decision step for `tid` and possibly switches `current`.
+/// Caller must then wait for its turn if it lost it. Returns `false`
+/// when the schedule is aborting and the caller must not park — in
+/// particular for hooks reached from destructors during the abort
+/// unwind itself, where a second panic would abort the process.
+fn decide(guard: &mut MutexGuard<'_, Option<Core>>, tid: usize, point: String) -> bool {
+    let Some(core) = guard.as_mut() else {
+        return false;
+    };
+    if core.aborted {
+        if std::thread::panicking() {
+            return false;
+        }
+        drop_abort();
+    }
+    core.trace.push((tid, point));
+    core.step += 1;
+    if core.step > core.max_steps {
+        core.findings.push(Finding::new(
+            "schedule-overrun",
+            format!("<schedule seed={}>", core.seed),
+            0,
+            format!(
+                "schedule exceeded {} decision points without terminating",
+                core.max_steps
+            ),
+            "look for an unbounded retry loop between yield points",
+        ));
+        abort(core);
+        if std::thread::panicking() {
+            return false;
+        }
+        drop_abort();
+    }
+    if core.preempt_at.contains(&core.step) {
+        // PCT preemption: drop the running thread below everyone.
+        core.low_water -= 1;
+        core.threads[tid].priority = core.low_water;
+    }
+    let next = core.pick_next();
+    if next == NO_THREAD {
+        core.resolve_stall(tid);
+    } else {
+        core.current = next;
+    }
+    global().cv.notify_all();
+    true
+}
+
+/// Parks until `current == tid`, honoring aborts.
+fn block_until_turn(mut guard: MutexGuard<'static, Option<Core>>, tid: usize) {
+    loop {
+        let Some(core) = guard.as_mut() else { return };
+        if core.aborted {
+            if std::thread::panicking() {
+                return;
+            }
+            drop(guard);
+            drop_abort();
+        }
+        if core.current == tid && core.threads[tid].state == TState::Ready {
+            return;
+        }
+        // panic-ok: poison recovery, same reasoning as lock_core.
+        guard = global().cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn wait_for_turn(tid: usize) {
+    let guard = lock_core();
+    if guard.is_none() {
+        return;
+    }
+    block_until_turn(guard, tid);
+}
+
+/// Unwinds the calling scheduled thread as part of a schedule abort.
+fn drop_abort() -> ! {
+    // panic-ok: this is the abort mechanism itself — the unwind is
+    // caught by the thread wrapper and recorded, never propagated.
+    panic!("{ABORT_PAYLOAD}");
+}
+
+fn abort(core: &mut Core) {
+    core.aborted = true;
+    // Wake everything so blocked threads can unwind.
+    for t in core.threads.iter_mut() {
+        if t.state != TState::Done {
+            t.state = TState::Ready;
+        }
+    }
+}
+
+/// Marks `tid` finished (recording a panic finding when `err` is a
+/// real failure, not an abort unwind) and hands the turn on.
+fn finish_thread(tid: usize, err: Option<Box<dyn std::any::Any + Send>>) {
+    let mut guard = lock_core();
+    let Some(core) = guard.as_mut() else { return };
+    if let Some(payload) = err {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        if !msg.contains(ABORT_PAYLOAD) {
+            core.findings.push(Finding::new(
+                "panic-in-schedule",
+                format!("<schedule seed={}>", core.seed),
+                0,
+                format!("scheduled thread {tid} panicked: {msg}"),
+                "replay with the same seed to reproduce the interleaving",
+            ));
+        }
+    }
+    core.threads[tid].state = TState::Done;
+    core.trace.push((tid, "thread.exit".to_string()));
+    if core.current == tid || core.current == NO_THREAD {
+        let next = core.pick_next();
+        if next == NO_THREAD {
+            core.resolve_stall(tid);
+        } else {
+            core.current = next;
+        }
+    }
+    global().cv.notify_all();
+}
+
+impl Core {
+    /// Highest-priority Ready thread, or NO_THREAD.
+    fn pick_next(&self) -> usize {
+        let mut best = NO_THREAD;
+        for (tid, t) in self.threads.iter().enumerate() {
+            if t.state == TState::Ready
+                && (best == NO_THREAD || t.priority > self.threads[best].priority)
+            {
+                best = tid;
+            }
+        }
+        best
+    }
+
+    /// Called when nothing is Ready: fire a virtual timeout if one is
+    /// pending, report a deadlock if threads are parked, or let the
+    /// run end if everyone is Done.
+    fn resolve_stall(&mut self, at_tid: usize) {
+        let timeout_waiters: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t.state,
+                    TState::Blocked(Blocked::OnCondvar { timeout: true, .. })
+                )
+            })
+            .map(|(tid, _)| tid)
+            .collect();
+        if !timeout_waiters.is_empty() {
+            let pick = timeout_waiters[self.rng.below(timeout_waiters.len() as u64) as usize];
+            self.threads[pick].state = TState::Ready;
+            self.threads[pick].woke_by_timeout = true;
+            self.trace.push((pick, "virtual-timeout".to_string()));
+            self.current = pick;
+            return;
+        }
+        let blocked: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(tid, t)| match &t.state {
+                TState::Blocked(Blocked::OnMutex { label, .. }) => {
+                    Some(format!("thread {tid} waiting on mutex `{label}`"))
+                }
+                TState::Blocked(Blocked::OnCondvar { .. }) => {
+                    Some(format!("thread {tid} waiting on a condvar"))
+                }
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            self.findings.push(Finding::new(
+                "deadlock",
+                format!("<schedule seed={}>", self.seed),
+                0,
+                format!(
+                    "no runnable thread after step {} (decided at thread {at_tid}): {}",
+                    self.step,
+                    blocked.join("; ")
+                ),
+                "replay with the same seed; check the lock-order and missing-notify paths",
+            ));
+            abort(self);
+        }
+        self.current = NO_THREAD;
+    }
+}
+
+// ---- hooks for crate::sync ------------------------------------------------
+
+/// Records a successful instrumented-lock acquisition.
+pub(crate) fn mutex_acquired(key: usize, label: &'static str) {
+    let Some(tid) = scheduled_tid() else { return };
+    let mut guard = lock_core();
+    let Some(core) = guard.as_mut() else { return };
+    // Edges from every currently-held label, including a self-edge
+    // when two same-label instances overlap (reported as a cycle —
+    // label-level ordering cannot prove those safe).
+    for &from in &core.held[tid] {
+        core.edges.insert((from, label));
+    }
+    core.held[tid].push(label);
+    core.holders.insert(key, tid);
+}
+
+/// Parks the calling scheduled thread until `key`'s holder releases.
+pub(crate) fn block_on_mutex(key: usize, label: &'static str) {
+    let Some(tid) = scheduled_tid() else { return };
+    let mut guard = lock_core();
+    {
+        let Some(core) = guard.as_mut() else { return };
+        core.threads[tid].state = TState::Blocked(Blocked::OnMutex { key, label });
+    }
+    if decide(&mut guard, tid, format!("mutex.blocked:{label}")) {
+        block_until_turn(guard, tid);
+    } else if let Some(core) = lock_core().as_mut() {
+        // Aborting: never leave the record parked, the run is tearing
+        // down and nothing will wake it.
+        core.threads[tid].state = TState::Ready;
+    }
+}
+
+/// Records an instrumented-lock release and hands wakeups out.
+pub(crate) fn mutex_released(key: usize, label: &'static str) {
+    let Some(tid) = scheduled_tid() else { return };
+    let mut guard = lock_core();
+    {
+        let Some(core) = guard.as_mut() else { return };
+        if let Some(pos) = core.held[tid].iter().rposition(|&l| l == label) {
+            core.held[tid].remove(pos);
+        }
+        core.holders.remove(&key);
+        for t in core.threads.iter_mut() {
+            if matches!(t.state, TState::Blocked(Blocked::OnMutex { key: k, .. }) if k == key) {
+                t.state = TState::Ready;
+            }
+        }
+    }
+    if decide(&mut guard, tid, format!("mutex.unlock:{label}")) {
+        block_until_turn(guard, tid);
+    }
+}
+
+/// Registers the calling scheduled thread as a waiter on condvar `key`
+/// **before** the associated mutex is released. No decision happens
+/// here — the thread keeps running until the guard drop's
+/// `mutex.unlock` decision, which then parks it in one atomic step.
+/// Registering first closes the missed-wakeup window where a notifier
+/// scheduled during the unlock found no waiter yet (the classic lost
+/// wakeup, which here showed up as a false `deadlock` finding).
+pub(crate) fn condvar_prepare_wait(key: usize, timeout: bool) {
+    let Some(tid) = scheduled_tid() else { return };
+    let mut guard = lock_core();
+    let Some(core) = guard.as_mut() else { return };
+    core.threads[tid].state = TState::Blocked(Blocked::OnCondvar { key, timeout });
+    core.threads[tid].woke_by_timeout = false;
+}
+
+/// Completes a condvar wait begun by [`condvar_prepare_wait`]: reports
+/// whether a virtual timeout (not a notify) woke the thread, and
+/// repairs the thread record if an abort tore the run down while the
+/// registration was still parked on paper.
+pub(crate) fn condvar_finish_wait() -> bool {
+    let Some(tid) = scheduled_tid() else {
+        return false;
+    };
+    let mut guard = lock_core();
+    let Some(core) = guard.as_mut() else {
+        return false;
+    };
+    if matches!(core.threads[tid].state, TState::Blocked(_)) {
+        core.threads[tid].state = TState::Ready;
+    }
+    core.threads[tid].woke_by_timeout
+}
+
+/// Wakes one (seeded choice) or all scheduled waiters of condvar `key`.
+pub(crate) fn notify(key: usize, all: bool) {
+    let Some(tid) = scheduled_tid() else { return };
+    let mut guard = lock_core();
+    {
+        let Some(core) = guard.as_mut() else { return };
+        let waiters: Vec<usize> = core
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.state, TState::Blocked(Blocked::OnCondvar { key: k, .. }) if k == key)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if !waiters.is_empty() {
+            if all {
+                for w in waiters {
+                    core.threads[w].state = TState::Ready;
+                }
+            } else {
+                let pick = waiters[core.rng.below(waiters.len() as u64) as usize];
+                core.threads[pick].state = TState::Ready;
+            }
+        }
+    }
+    let label = if all {
+        "condvar.notify_all"
+    } else {
+        "condvar.notify_one"
+    };
+    if decide(&mut guard, tid, label.to_string()) {
+        block_until_turn(guard, tid);
+    }
+}
+
+// ---- lock-order cycle detection -------------------------------------------
+
+/// DFS over the label-level edge set; any cycle is a finding.
+fn detect_lock_cycles(core: &mut Core) {
+    let nodes: BTreeSet<&'static str> = core.edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    // Self-edges (two same-label instances held together) are reported
+    // directly: label-level ordering cannot prove them safe.
+    for &(a, b) in &core.edges {
+        if a == b {
+            core.findings.push(Finding::new(
+                "lock-order-cycle",
+                format!("<schedule seed={}>", core.seed),
+                0,
+                format!("two `{a}` locks were held at once; same-label instances have no order"),
+                "give each instance a distinct label or impose an index order",
+            ));
+        }
+    }
+    let mut visiting: Vec<&'static str> = Vec::new();
+    let mut done: BTreeSet<&'static str> = BTreeSet::new();
+    for &start in &nodes {
+        if done.contains(start) {
+            continue;
+        }
+        dfs(start, core, &mut visiting, &mut done);
+    }
+}
+
+fn dfs(
+    node: &'static str,
+    core: &mut Core,
+    visiting: &mut Vec<&'static str>,
+    done: &mut BTreeSet<&'static str>,
+) {
+    if let Some(pos) = visiting.iter().position(|&n| n == node) {
+        let cycle: Vec<&str> = visiting[pos..].to_vec();
+        core.findings.push(Finding::new(
+            "lock-order-cycle",
+            format!("<schedule seed={}>", core.seed),
+            0,
+            format!("lock-order cycle: {} -> {}", cycle.join(" -> "), node),
+            "acquire these locks in one global order on every path",
+        ));
+        return;
+    }
+    if done.contains(node) {
+        return;
+    }
+    visiting.push(node);
+    let nexts: Vec<&'static str> = core
+        .edges
+        .iter()
+        .filter(|&&(a, b)| a == node && a != b)
+        .map(|&(_, b)| b)
+        .collect();
+    for n in nexts {
+        dfs(n, core, visiting, done);
+    }
+    visiting.pop();
+    done.insert(node);
+}

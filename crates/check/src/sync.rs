@@ -1,0 +1,319 @@
+//! Instrumented drop-in `Mutex`/`Condvar` for the interleaving checker.
+//!
+//! The serving crates alias `std::sync::{Mutex, Condvar}` through a
+//! per-crate `check` module; with their `check-yield` feature enabled
+//! the alias points here instead. Outside an active schedule (or on
+//! threads the scheduler doesn't own) every call delegates straight to
+//! `std` after one relaxed atomic load, so the wrappers are safe to
+//! leave compiled in during ordinary feature-enabled test runs.
+//!
+//! Under a schedule:
+//!
+//! * `lock()` becomes a decision point. Contended acquisition parks
+//!   the thread with the scheduler (never the OS), so blocking is a
+//!   deterministic scheduling event.
+//! * every successful acquisition records label-level lock-order
+//!   edges; a cycle across the run becomes a `lock-order-cycle`
+//!   finding ([`crate::sched`]).
+//! * `Condvar::wait` releases the lock, parks with the scheduler, and
+//!   re-acquires on wakeup; `wait_timeout` ignores the duration and
+//!   fires only as a deterministic *virtual* timeout when nothing else
+//!   can run. Spurious wakeups are allowed, exactly like `std`.
+//!
+//! `RwLock` is deliberately not wrapped: the serving stack uses it
+//! only on registry/metrics read paths, which the checker treats as
+//! uninstrumented (documented in the README coverage notes).
+
+use crate::sched;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError};
+use std::time::Duration;
+
+/// A `std::sync::Mutex` with a scheduler label.
+pub struct Mutex<T> {
+    label: &'static str,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard mirroring `std::sync::MutexGuard`.
+pub struct MutexGuard<'a, T> {
+    /// `Some` until dropped; `Option` so `Drop` can release the std
+    /// guard before telling the scheduler.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    owner: &'a Mutex<T>,
+    /// Whether the acquiring thread was scheduled (decides the drop
+    /// path, which must match the acquire path even if a schedule
+    /// starts or ends mid-hold).
+    scheduled: bool,
+}
+
+impl<T> Mutex<T> {
+    /// An unlabeled mutex (label shows as `?` in traces/findings).
+    pub fn new(value: T) -> Self {
+        Self::new_labeled("?", value)
+    }
+
+    /// A mutex whose `label` names it in traces, lock-order edges and
+    /// deadlock findings. Use one label per *role* (`"ring.state"`),
+    /// not per instance, so ordering discipline is checked role-wide.
+    pub fn new_labeled(label: &'static str, value: T) -> Self {
+        Mutex {
+            label,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Acquires the lock; a decision point under an active schedule.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if sched::scheduled_tid().is_none() {
+            return wrap(self.inner.lock(), self, false);
+        }
+        loop {
+            sched::yield_point(self.label);
+            match self.inner.try_lock() {
+                Ok(g) => {
+                    sched::mutex_acquired(self.key(), self.label);
+                    return Ok(MutexGuard {
+                        inner: Some(g),
+                        owner: self,
+                        scheduled: true,
+                    });
+                }
+                Err(TryLockError::WouldBlock) => {
+                    sched::block_on_mutex(self.key(), self.label);
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    sched::mutex_acquired(self.key(), self.label);
+                    return Err(PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        owner: self,
+                        scheduled: true,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+fn wrap<'a, T>(
+    res: LockResult<std::sync::MutexGuard<'a, T>>,
+    owner: &'a Mutex<T>,
+    scheduled: bool,
+) -> LockResult<MutexGuard<'a, T>> {
+    match res {
+        Ok(g) => Ok(MutexGuard {
+            inner: Some(g),
+            owner,
+            scheduled,
+        }),
+        Err(p) => Err(PoisonError::new(MutexGuard {
+            inner: Some(p.into_inner()),
+            owner,
+            scheduled,
+        })),
+    }
+}
+
+impl<T> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").field("label", &self.label).finish()
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // panic-ok: `inner` is only None after Drop has run.
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // panic-ok: `inner` is only None after Drop has run.
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let was_held = self.inner.take().is_some();
+        if was_held && self.scheduled && sched::scheduled_tid().is_some() {
+            sched::mutex_released(self.owner.key(), self.owner.label);
+        }
+    }
+}
+
+/// Result of [`Condvar::wait_timeout`]; mirrors
+/// `std::sync::WaitTimeoutResult` (which has no public constructor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by (virtual or real) timeout.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A `std::sync::Condvar` whose scheduled waits park with the
+/// scheduler instead of the OS.
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Blocks until notified (spurious wakeups allowed, like `std`).
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.scheduled && sched::scheduled_tid().is_some() {
+            let owner = guard.owner;
+            // Register as a waiter while still holding the lock, so the
+            // release decision below parks us atomically — a notifier
+            // scheduled during the unlock already sees the registration.
+            sched::condvar_prepare_wait(self.key(), false);
+            drop(guard); // releases the lock; its decision point parks us
+            sched::condvar_finish_wait();
+            owner.lock()
+        } else {
+            let mut guard = guard;
+            let owner = guard.owner;
+            // panic-ok: `inner` is only None after Drop has run.
+            let std_guard = guard.inner.take().expect("guard already released");
+            let scheduled = guard.scheduled;
+            std::mem::forget(guard); // std guard moved out; skip Drop
+            wrap(self.inner.wait(std_guard), owner, scheduled)
+        }
+    }
+
+    /// Blocks until notified or timed out. Under a schedule the
+    /// duration is ignored: the timeout fires deterministically only
+    /// when no thread is runnable (virtual time).
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if guard.scheduled && sched::scheduled_tid().is_some() {
+            let owner = guard.owner;
+            // Same registered-before-release dance as `wait`.
+            sched::condvar_prepare_wait(self.key(), true);
+            drop(guard);
+            let timed_out = sched::condvar_finish_wait();
+            match owner.lock() {
+                Ok(g) => Ok((g, WaitTimeoutResult(timed_out))),
+                Err(p) => Err(PoisonError::new((
+                    p.into_inner(),
+                    WaitTimeoutResult(timed_out),
+                ))),
+            }
+        } else {
+            let mut guard = guard;
+            let owner = guard.owner;
+            // panic-ok: `inner` is only None after Drop has run.
+            let std_guard = guard.inner.take().expect("guard already released");
+            let scheduled = guard.scheduled;
+            std::mem::forget(guard);
+            match self.inner.wait_timeout(std_guard, dur) {
+                Ok((g, t)) => Ok((
+                    MutexGuard {
+                        inner: Some(g),
+                        owner,
+                        scheduled,
+                    },
+                    WaitTimeoutResult(t.timed_out()),
+                )),
+                Err(p) => {
+                    let (g, t) = p.into_inner();
+                    Err(PoisonError::new((
+                        MutexGuard {
+                            inner: Some(g),
+                            owner,
+                            scheduled,
+                        },
+                        WaitTimeoutResult(t.timed_out()),
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Wakes one waiter (the scheduled pick is seeded-deterministic).
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+        sched::notify(self.key(), false);
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+        sched::notify(self.key(), true);
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscheduled_paths_delegate_to_std() {
+        let m = Mutex::new_labeled("test.m", 1u32);
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        assert_eq!(*m.lock().unwrap(), 2);
+
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (g, res) = cv.wait_timeout(g, Duration::from_millis(5)).unwrap();
+        assert!(res.timed_out());
+        drop(g);
+    }
+
+    #[test]
+    fn poisoning_propagates_like_std() {
+        let m = std::sync::Arc::new(Mutex::new_labeled("test.poison", 0u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        let v = *m.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(v, 0);
+    }
+}

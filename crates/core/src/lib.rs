@@ -35,8 +35,6 @@
 //!     );
 //! }
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod batch;

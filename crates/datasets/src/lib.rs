@@ -28,8 +28,6 @@
 //! assert_eq!(split.test.len(), 50);
 //! assert_eq!(split.train.dim(), 4);
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod data;
 pub mod iris;

@@ -42,8 +42,6 @@
 //! assert_eq!(dp_posit::convert::to_f64(fmt, emac.result()), 1.25);
 //! # Ok::<(), dp_posit::FormatError>(())
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 mod acc;
 mod fixed_emac;

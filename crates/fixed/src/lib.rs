@@ -23,8 +23,6 @@
 //! assert_eq!((a + a).to_f64(), Q8_6::FORMAT.max_value()); // saturates
 //! # Ok::<(), dp_fixed::FormatError>(())
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod format;
 pub mod lut;

@@ -1,0 +1,54 @@
+//! Compile-time seam for the `dp_check` interleaving checker (feature
+//! `check-yield`), mirroring the [`crate::faults`] pattern: with the
+//! feature on, the crate's mutexes and condvars are the instrumented
+//! `dp_check::sync` pair and `check_yield!` names a scheduling decision
+//! point; without it they alias `std::sync` and the macro compiles to
+//! nothing, so release builds carry no hook code.
+//!
+//! Labels passed to [`mutex`] name a lock *role* (`"gateway.ring"`), not
+//! an instance — the checker's lock-order graph and deadlock findings
+//! are per-role.
+
+#[cfg(feature = "check-yield")]
+pub(crate) use dp_check::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "check-yield"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// A mutex labelled for the checker; the label is compiled out without
+/// the `check-yield` feature.
+#[cfg(feature = "check-yield")]
+pub(crate) fn mutex<T>(label: &'static str, value: T) -> Mutex<T> {
+    Mutex::new_labeled(label, value)
+}
+
+/// A mutex labelled for the checker; the label is compiled out without
+/// the `check-yield` feature.
+#[cfg(not(feature = "check-yield"))]
+pub(crate) fn mutex<T>(_label: &'static str, value: T) -> Mutex<T> {
+    Mutex::new(value)
+}
+
+/// A condition variable (instrumented only under `check-yield`).
+pub(crate) fn condvar() -> Condvar {
+    Condvar::new()
+}
+
+/// Names a linearization point for the interleaving checker. Expands to
+/// nothing without the `check-yield` feature.
+#[cfg(feature = "check-yield")]
+macro_rules! check_yield {
+    ($point:expr) => {
+        dp_check::check_yield!($point)
+    };
+}
+
+/// Names a linearization point for the interleaving checker. Expands to
+/// nothing without the `check-yield` feature.
+#[cfg(not(feature = "check-yield"))]
+macro_rules! check_yield {
+    ($point:expr) => {{
+        let _ = $point;
+    }};
+}
+
+pub(crate) use check_yield;

@@ -37,10 +37,11 @@
 //! resolve promptly rather than hanging, and [`GatewayHandle::wait_timeout`]
 //! bounds any residual wait.
 
+use crate::check::check_yield;
 use crate::faults;
 use crate::handle::{GatewayError, GatewayHandle, HandleCell};
 use crate::limiter::{RateLimit, TokenBucket};
-use crate::metrics::{GatewayMetrics, MetricsSnapshot, ModelMetrics};
+use crate::metrics::{bump, bump_by, GatewayMetrics, MetricsSnapshot, ModelMetrics};
 use crate::ring::{SubmissionRing, TryPush};
 use deep_positron::{NumericFormat, QuantizedMlp};
 use dp_serve::{
@@ -200,6 +201,8 @@ impl<T> Admission<T> {
     pub fn expect_admitted(self) -> GatewayHandle<T> {
         match self {
             Admission::Admitted(h) => h,
+            // panic-ok: documented test/bench sugar — the method name
+            // promises the panic on any rejection verdict.
             other => panic!("expected admission, got {other:?}"),
         }
     }
@@ -229,12 +232,8 @@ impl<T: Clone + Send + 'static> Request<T> {
     /// Resolves the request without dispatching it.
     fn resolve_undispatched(self, reason: GatewayError) {
         match reason {
-            GatewayError::Shed => {
-                self.model_metrics.shed.fetch_add(1, Ordering::Relaxed);
-            }
-            GatewayError::DeadlineExceeded => {
-                self.model_metrics.expired.fetch_add(1, Ordering::Relaxed);
-            }
+            GatewayError::Shed => bump(&self.model_metrics.shed),
+            GatewayError::DeadlineExceeded => bump(&self.model_metrics.expired),
             _ => {}
         }
         self.cell.resolve(Err(reason));
@@ -281,8 +280,13 @@ impl<T: Clone + Send + 'static> Request<T> {
             faults::fire(faults::points::PANIC_IN_CHUNK, Some(&fault_scope));
             let result = eval(m, chunk, &eval_cancel);
             match &result {
-                Err(JobError::Cancelled) => guard.ctx.cancelled.store(true, Ordering::SeqCst),
-                Err(_) => guard.ctx.failed.store(true, Ordering::SeqCst),
+                // relaxed-ok: (audited, was SeqCst) the store is ordered
+                // before this thread's `remaining` decrement, whose
+                // release/acquire chain publishes it to the last chunk
+                // out — see `ChunkGuard::drop`.
+                Err(JobError::Cancelled) => guard.ctx.cancelled.store(true, Ordering::Relaxed),
+                // relaxed-ok: (audited, was SeqCst) see the arm above.
+                Err(_) => guard.ctx.failed.store(true, Ordering::Relaxed),
                 Ok(_) => {}
             }
             result
@@ -293,20 +297,20 @@ impl<T: Clone + Send + 'static> Request<T> {
         };
         match engine.try_dispatch_with(model, xs, opts, per_chunk) {
             Ok(inner) => {
-                metrics.dispatched.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.dispatched);
                 cell.dispatched(inner);
             }
             Err(ServeError::Degraded) => {
                 // The panic budget tripped between admission and dispatch:
                 // the admitted request is dropped with a typed verdict.
-                metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.rejected_degraded);
                 cell.resolve(Err(GatewayError::Degraded));
             }
             Err(_) => {
                 // Engine closed under a still-queued request (only
                 // possible if the engine is shut down out from under the
                 // gateway): resolve rather than hang the handle.
-                metrics.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.dropped_closed);
                 cell.resolve(Err(GatewayError::Closed));
             }
         }
@@ -339,33 +343,42 @@ struct ChunkGuard {
 impl Drop for ChunkGuard {
     fn drop(&mut self) {
         let ctx = &self.ctx;
+        check_yield!("gateway.chunk.settle");
         if std::thread::panicking() {
-            ctx.failed.store(true, Ordering::SeqCst);
+            // relaxed-ok: (audited, was SeqCst) ordered before this
+            // thread's decrement below; the countdown's release/acquire
+            // chain publishes it to the last chunk out.
+            ctx.failed.store(true, Ordering::Relaxed);
         }
-        if ctx.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-            if ctx.failed.load(Ordering::SeqCst) {
-                ctx.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                ctx.model_metrics.failed.fetch_add(1, Ordering::Relaxed);
-            } else if ctx.cancelled.load(Ordering::SeqCst) {
+        // AcqRel (audited, was SeqCst): every chunk's flag stores are
+        // ordered before its own decrement; each decrement releases and
+        // the final one (observing 1) acquires the whole chain, so the
+        // last chunk out sees every other chunk's `failed`/`cancelled`
+        // stores — the same edge `Arc::drop` uses to free its payload.
+        // No path here compares against any other atomic, so the SeqCst
+        // total order bought nothing.
+        if ctx.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // relaxed-ok: (audited, was SeqCst) the AcqRel decrement
+            // above already synchronized with every store (same for the
+            // `cancelled` load below).
+            if ctx.failed.load(Ordering::Relaxed) {
+                bump(&ctx.metrics.failed);
+                bump(&ctx.model_metrics.failed);
+            // relaxed-ok: see the `failed` load above.
+            } else if ctx.cancelled.load(Ordering::Relaxed) {
                 // Cancelled mid-flight: neither completed nor failed.
-                ctx.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                bump(&ctx.metrics.cancelled);
             } else {
                 // Service time covers completed requests only, so
                 // service_ns / completed is a true per-model mean (a
                 // failed request would otherwise inflate it).
                 let ns = ctx.started.elapsed().as_nanos() as u64;
                 ctx.metrics.service.record_ns(ns);
-                ctx.model_metrics
-                    .service_ns
-                    .fetch_add(ns, Ordering::Relaxed);
-                ctx.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                ctx.model_metrics.completed.fetch_add(1, Ordering::Relaxed);
-                ctx.metrics
-                    .samples_completed
-                    .fetch_add(ctx.samples, Ordering::Relaxed);
-                ctx.model_metrics
-                    .samples
-                    .fetch_add(ctx.samples, Ordering::Relaxed);
+                bump_by(&ctx.model_metrics.service_ns, ns);
+                bump(&ctx.metrics.completed);
+                bump(&ctx.model_metrics.completed);
+                bump_by(&ctx.metrics.samples_completed, ctx.samples);
+                bump_by(&ctx.model_metrics.samples, ctx.samples);
             }
         }
     }
@@ -587,7 +600,7 @@ impl GatewayBuilder {
                         drain_deadline,
                     )
                 })
-                .expect("spawn gateway dispatcher")
+                .expect("spawn gateway dispatcher") // panic-ok: thread spawn fails only on OS resource exhaustion at construction
         };
         Gateway {
             engine,
@@ -624,16 +637,12 @@ fn discard(
         bucket.refund(entry.samples() as f64);
     }
     match reason {
-        GatewayError::DeadlineExceeded => {
-            metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
-        }
-        GatewayError::Cancelled => {
-            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-        }
+        GatewayError::DeadlineExceeded => bump(&metrics.deadline_exceeded),
+        GatewayError::Cancelled => bump(&metrics.cancelled),
         GatewayError::Closed => {
             // Only the bounded-drain abort path discards with `Closed`.
-            metrics.drain_aborted.fetch_add(1, Ordering::Relaxed);
-            metrics.dropped_closed.fetch_add(1, Ordering::Relaxed);
+            bump(&metrics.drain_aborted);
+            bump(&metrics.dropped_closed);
         }
         _ => {}
     }
@@ -956,9 +965,11 @@ impl Gateway {
         let dispatcher = self
             .dispatcher
             .lock()
-            .expect("dispatcher handle lock")
+            .expect("dispatcher handle lock") // panic-ok: only poisoned if close/drop itself panicked mid-take
             .take();
         if let Some(h) = dispatcher {
+            // panic-ok: dispatcher_loop resolves every entry and catches
+            // nothing — a panic there is a gateway bug worth surfacing.
             h.join().expect("gateway dispatcher never panics");
         }
         // The dispatcher has handed every surviving request to the engine;
@@ -980,19 +991,19 @@ impl Gateway {
         may_block: bool,
     ) -> Admission<T> {
         let metrics = &self.metrics;
-        metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        bump(&metrics.submitted);
         if self.engine.is_degraded() {
             // Degraded read-only-metrics mode: reject before touching the
             // ring so already-admitted work keeps draining undisturbed.
-            metrics.rejected_degraded.fetch_add(1, Ordering::Relaxed);
+            bump(&metrics.rejected_degraded);
             return Admission::Degraded;
         }
         let Some(model) = self.engine.registry().get(key) else {
-            metrics.model_unknown.fetch_add(1, Ordering::Relaxed);
+            bump(&metrics.model_unknown);
             return Admission::ModelUnknown(key.clone());
         };
         if needs_emac && matches!(model.format, NumericFormat::F32) {
-            metrics.unsupported.fetch_add(1, Ordering::Relaxed);
+            bump(&metrics.unsupported);
             return Admission::Unsupported(format!(
                 "{key}: raw EMAC activations are undefined for the f32 baseline"
             ));
@@ -1002,10 +1013,10 @@ impl Gateway {
             // limiter — zero samples cost zero tokens).
             let model_metrics = metrics.model(key);
             let (handle, cell) = GatewayHandle::pending();
-            metrics.admitted.fetch_add(1, Ordering::Relaxed);
-            metrics.completed.fetch_add(1, Ordering::Relaxed);
-            model_metrics.admitted.fetch_add(1, Ordering::Relaxed);
-            model_metrics.completed.fetch_add(1, Ordering::Relaxed);
+            bump(&metrics.admitted);
+            bump(&metrics.completed);
+            bump(&model_metrics.admitted);
+            bump(&model_metrics.completed);
             cell.resolve(Ok(Vec::new()));
             return Admission::Admitted(handle);
         }
@@ -1016,7 +1027,7 @@ impl Gateway {
         let bucket = self.limiters.get(key.name());
         if let Some(bucket) = bucket {
             if !bucket.try_acquire(cost) {
-                metrics.rate_limited.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.rate_limited);
                 return Admission::RateLimited;
             }
         }
@@ -1045,15 +1056,15 @@ impl Gateway {
         };
         match outcome {
             TryPush::Pushed => {
-                metrics.admitted.fetch_add(1, Ordering::Relaxed);
-                model_metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.admitted);
+                bump(&model_metrics.admitted);
                 metrics.note_depth(self.ring.len() as u64);
                 Admission::Admitted(handle)
             }
             TryPush::PushedEvicting(evicted) => {
-                metrics.admitted.fetch_add(1, Ordering::Relaxed);
-                model_metrics.admitted.fetch_add(1, Ordering::Relaxed);
-                metrics.shed_evicted.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.admitted);
+                bump(&model_metrics.admitted);
+                bump(&metrics.shed_evicted);
                 metrics.note_depth(self.ring.len() as u64);
                 // The evictee served nothing either: refund the tokens
                 // *it* was charged (its model may differ from this one's).
@@ -1064,7 +1075,7 @@ impl Gateway {
                 Admission::Admitted(handle)
             }
             TryPush::Full(entry) => {
-                metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.shed_queue_full);
                 // The shed request served nothing: give its tokens back so
                 // overload doesn't burn the client's rate budget on top of
                 // rejecting the work.
@@ -1077,7 +1088,7 @@ impl Gateway {
                 Admission::QueueFull
             }
             TryPush::Closed(entry) => {
-                metrics.rejected_closed.fetch_add(1, Ordering::Relaxed);
+                bump(&metrics.rejected_closed);
                 if let Some(bucket) = bucket {
                     bucket.refund(cost);
                 }
@@ -1094,10 +1105,10 @@ impl Drop for Gateway {
         let dispatcher = self
             .dispatcher
             .lock()
-            .expect("dispatcher handle lock")
+            .expect("dispatcher handle lock") // panic-ok: see `Gateway::close`
             .take();
         if let Some(h) = dispatcher {
-            h.join().expect("gateway dispatcher never panics");
+            h.join().expect("gateway dispatcher never panics"); // panic-ok: see `Gateway::close`
         }
         // `self.engine` (the last Arc once the dispatcher is gone) drops
         // after this body: the pool drains every dispatched job and joins

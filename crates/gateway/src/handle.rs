@@ -19,8 +19,9 @@
 //! already expired or evicted keeps reporting the same verdict however
 //! late the engine-side result limps in.
 
+use crate::check::{self, check_yield, MutexGuard};
 use dp_serve::{BatchHandle, CancelToken, JobError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why an admitted request failed to produce a value.
@@ -97,19 +98,29 @@ enum HandleState<T> {
 }
 
 pub(crate) struct HandleCell<T> {
-    state: Mutex<HandleState<T>>,
-    ready: Condvar,
+    state: check::Mutex<HandleState<T>>,
+    ready: check::Condvar,
     /// The request's cancellation token, shared with its chunk jobs.
     cancel: CancelToken,
 }
 
 impl<T> HandleCell<T> {
+    /// The handle-state lock.
+    fn st(&self) -> MutexGuard<'_, HandleState<T>> {
+        // panic-ok: the handle lock is only poisoned if a holder panicked
+        // mid-section; the sections here are enum swaps and clones of
+        // caller data — a poisoned lock means the resolution state is
+        // already torn and no verdict would be trustworthy.
+        self.state.lock().expect("gateway handle lock")
+    }
+
     /// Resolves the request (shed, closed, expired, cancelled, or an
     /// inline empty result) and wakes every waiter. **First resolution
     /// wins**: an already-resolved cell is left untouched, so a late
     /// verdict can never clobber the one callers may have seen.
     pub(crate) fn resolve(&self, result: Result<Vec<T>, GatewayError>) {
-        let mut st = self.state.lock().expect("gateway handle lock");
+        check_yield!("handle.resolve");
+        let mut st = self.st();
         if matches!(*st, HandleState::Resolved(_)) {
             return;
         }
@@ -120,7 +131,8 @@ impl<T> HandleCell<T> {
     /// Transitions `Queued` → `Dispatched`, attaching the engine handle
     /// that will deliver the value.
     pub(crate) fn dispatched(&self, inner: BatchHandle<T>) {
-        let mut st = self.state.lock().expect("gateway handle lock");
+        check_yield!("handle.dispatched");
+        let mut st = self.st();
         if matches!(*st, HandleState::Queued) {
             *st = HandleState::Dispatched(inner);
             self.ready.notify_all();
@@ -141,7 +153,8 @@ impl<T: Clone> HandleCell<T> {
         &self,
         result: Result<Vec<T>, GatewayError>,
     ) -> Result<Vec<T>, GatewayError> {
-        let mut st = self.state.lock().expect("gateway handle lock");
+        check_yield!("handle.cache");
+        let mut st = self.st();
         if let HandleState::Resolved(existing) = &*st {
             return existing.clone();
         }
@@ -172,8 +185,8 @@ impl<T> GatewayHandle<T> {
     /// it.
     pub(crate) fn pending() -> (Self, Arc<HandleCell<T>>) {
         let cell = Arc::new(HandleCell {
-            state: Mutex::new(HandleState::Queued),
-            ready: Condvar::new(),
+            state: check::mutex("gateway.handle", HandleState::Queued),
+            ready: check::condvar(),
             cancel: CancelToken::new(),
         });
         (
@@ -187,7 +200,7 @@ impl<T> GatewayHandle<T> {
     /// Where the request currently is. `Done` covers success, job failure
     /// and shed/closed verdicts alike.
     pub fn stage(&self) -> RequestStage {
-        match &*self.cell.state.lock().expect("gateway handle lock") {
+        match &*self.cell.st() {
             HandleState::Queued => RequestStage::Queued,
             HandleState::Dispatched(_) => RequestStage::Dispatched,
             HandleState::Resolved(_) => RequestStage::Done,
@@ -197,7 +210,7 @@ impl<T> GatewayHandle<T> {
     /// Whether a result (or shed/failure verdict) is available without
     /// blocking.
     pub fn is_done(&self) -> bool {
-        match &*self.cell.state.lock().expect("gateway handle lock") {
+        match &*self.cell.st() {
             HandleState::Resolved(_) => true,
             HandleState::Dispatched(h) => h.is_done(),
             HandleState::Queued => false,
@@ -219,7 +232,8 @@ impl<T> GatewayHandle<T> {
     /// * Already resolved → no-op; the existing verdict sticks.
     pub fn cancel(&self) {
         self.cell.cancel.cancel();
-        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        check_yield!("handle.cancel");
+        let mut st = self.cell.st();
         match &*st {
             HandleState::Resolved(_) => return,
             HandleState::Queued => {
@@ -244,7 +258,8 @@ impl<T: Clone> GatewayHandle<T> {
     /// A request that was shed, expired or evicted resolves promptly: its
     /// cached verdict comes back on the very next `poll`, never a spin.
     pub fn poll(&self) -> Option<Result<Vec<T>, GatewayError>> {
-        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        check_yield!("handle.poll");
+        let mut st = self.cell.st();
         match &*st {
             HandleState::Resolved(r) => Some(r.clone()),
             HandleState::Queued => None,
@@ -272,11 +287,12 @@ impl<T: Clone> GatewayHandle<T> {
     /// [`GatewayError::Cancelled`] after a cancel, [`GatewayError::Job`]
     /// when a dispatched chunk failed.
     pub fn wait(&self) -> Result<Vec<T>, GatewayError> {
-        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        let mut st = self.cell.st();
         loop {
             match &*st {
                 HandleState::Resolved(r) => return r.clone(),
                 HandleState::Queued => {
+                    // panic-ok: see `HandleCell::st`
                     st = self.cell.ready.wait(st).expect("gateway handle lock");
                 }
                 HandleState::Dispatched(_) => {
@@ -284,9 +300,11 @@ impl<T: Clone> GatewayHandle<T> {
                     // "a waiter owns it" placeholder), release the lock,
                     // and block on the engine side; concurrent waiters
                     // sleep on the condvar until we cache the resolution.
+                    check_yield!("handle.wait_take");
                     let HandleState::Dispatched(inner) =
                         std::mem::replace(&mut *st, HandleState::Queued)
                     else {
+                        // panic-ok: the match arm above guarantees the variant
                         unreachable!("matched Dispatched above")
                     };
                     drop(st);
@@ -306,7 +324,7 @@ impl<T: Clone> GatewayHandle<T> {
     /// is in play.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<T>, GatewayError>> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.cell.state.lock().expect("gateway handle lock");
+        let mut st = self.cell.st();
         loop {
             match &*st {
                 HandleState::Resolved(r) => return Some(r.clone()),
@@ -319,13 +337,15 @@ impl<T: Clone> GatewayHandle<T> {
                         .cell
                         .ready
                         .wait_timeout(st, deadline - now)
-                        .expect("gateway handle lock");
+                        .expect("gateway handle lock"); // panic-ok: see `HandleCell::st`
                     st = guard;
                 }
                 HandleState::Dispatched(_) => {
+                    check_yield!("handle.wait_take");
                     let HandleState::Dispatched(inner) =
                         std::mem::replace(&mut *st, HandleState::Queued)
                     else {
+                        // panic-ok: the match arm above guarantees the variant
                         unreachable!("matched Dispatched above")
                     };
                     drop(st);
@@ -338,7 +358,8 @@ impl<T: Clone> GatewayHandle<T> {
                             // Timed out with the engine still working: put
                             // the inner handle back for future waiters
                             // (unless a verdict landed meanwhile).
-                            let mut st = self.cell.state.lock().expect("gateway handle lock");
+                            check_yield!("handle.restore");
+                            let mut st = self.cell.st();
                             if matches!(*st, HandleState::Queued) {
                                 *st = HandleState::Dispatched(inner);
                             }
@@ -348,6 +369,107 @@ impl<T: Clone> GatewayHandle<T> {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Seeded PCT interleave tests (compiled only with `--features
+/// check-yield`): the checker drives double-`wait`, poll-after-cancel
+/// and the cancel-vs-resolve race through ≥1000 schedules per seed.
+/// Assertions run *inside* the scheduled bodies — a violated invariant
+/// surfaces as a panic-in-schedule finding, so `findings.is_empty()`
+/// is the pass condition for every run at once.
+#[cfg(all(test, feature = "check-yield"))]
+mod interleave_tests {
+    use super::*;
+    use dp_check::sched::explore;
+
+    const SEEDS: [u64; 3] = [0x6A7E_0001, 0x6A7E_0002, 0x6A7E_0003];
+    const RUNS: usize = 1000;
+
+    /// Two waiters race the resolver. Both must come home with the same
+    /// (only) resolution whatever order the three threads interleave in,
+    /// including the ISSUE's prime suspect: both waiters parked before
+    /// the resolve, or one arriving after the verdict is already cached.
+    #[test]
+    fn double_wait_sees_one_resolution_under_every_schedule() {
+        for master in SEEDS {
+            let out = explore(master, RUNS, 3, |_| {
+                let (handle, cell) = GatewayHandle::<u32>::pending();
+                let handle = Arc::new(handle);
+                let h1 = Arc::clone(&handle);
+                let h2 = Arc::clone(&handle);
+                vec![
+                    Box::new(move || {
+                        assert_eq!(h1.wait(), Ok(vec![7]));
+                    }) as Box<dyn FnOnce() + Send>,
+                    Box::new(move || {
+                        // The bounded-wait path: generous real-time bound,
+                        // virtualized by the scheduler if the run stalls.
+                        let got = h2.wait_timeout(Duration::from_secs(60));
+                        assert_eq!(got, Some(Ok(vec![7])));
+                    }),
+                    Box::new(move || {
+                        cell.resolve(Ok(vec![7]));
+                    }),
+                ]
+            });
+            assert_eq!(out.schedules, RUNS);
+            assert!(
+                out.findings.is_empty(),
+                "seed {master:#x}: {:?}",
+                out.findings
+            );
+            assert!(
+                out.distinct_traces >= 4,
+                "seed {master:#x}: the seed is not steering the schedule \
+                 ({} distinct traces)",
+                out.distinct_traces
+            );
+        }
+    }
+
+    /// Cancel races a late resolve while an observer waits. First
+    /// resolution wins and then *sticks*: whatever verdict the observer's
+    /// `wait` returns, every later `poll` and `wait` must repeat it, and
+    /// `poll` directly after `cancel` returns must never be `None`.
+    #[test]
+    fn cancel_resolve_race_verdict_is_stable() {
+        for master in SEEDS {
+            let out = explore(master, RUNS, 3, |_| {
+                let (handle, cell) = GatewayHandle::<u32>::pending();
+                let handle = Arc::new(handle);
+                let hc = Arc::clone(&handle);
+                let ho = Arc::clone(&handle);
+                vec![
+                    Box::new(move || {
+                        hc.cancel();
+                        // Poll-after-cancel: cancel always leaves the
+                        // handle resolved, so a spin here is a bug.
+                        let polled = hc.poll();
+                        assert!(polled.is_some(), "poll after cancel spun");
+                    }) as Box<dyn FnOnce() + Send>,
+                    Box::new(move || {
+                        cell.resolve(Ok(vec![9]));
+                    }),
+                    Box::new(move || {
+                        let first = ho.wait();
+                        assert!(
+                            first == Ok(vec![9]) || first == Err(GatewayError::Cancelled),
+                            "unexpected verdict {first:?}"
+                        );
+                        // The cached verdict must repeat verbatim.
+                        assert_eq!(ho.poll(), Some(first.clone()));
+                        assert_eq!(ho.wait(), first);
+                    }),
+                ]
+            });
+            assert_eq!(out.schedules, RUNS);
+            assert!(
+                out.findings.is_empty(),
+                "seed {master:#x}: {:?}",
+                out.findings
+            );
         }
     }
 }

@@ -82,9 +82,8 @@
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
+mod check;
 mod faults;
 pub mod gateway;
 pub mod handle;

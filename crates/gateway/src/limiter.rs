@@ -12,7 +12,7 @@
 //! budget — the paper's multi-format comparison traffic counts as one
 //! model's load, not three.
 
-use std::sync::Mutex;
+use crate::check::{self, check_yield, MutexGuard};
 use std::time::Instant;
 
 /// A token-bucket limit: sustained rate plus burst headroom.
@@ -47,7 +47,7 @@ struct BucketState {
 #[derive(Debug)]
 pub(crate) struct TokenBucket {
     limit: RateLimit,
-    state: Mutex<BucketState>,
+    state: check::Mutex<BucketState>,
 }
 
 impl TokenBucket {
@@ -58,18 +58,31 @@ impl TokenBucket {
         };
         TokenBucket {
             limit,
-            state: Mutex::new(BucketState {
-                tokens: limit.burst,
-                last_refill: Instant::now(),
-            }),
+            state: check::mutex(
+                "gateway.limiter",
+                BucketState {
+                    tokens: limit.burst,
+                    last_refill: Instant::now(),
+                },
+            ),
         }
+    }
+
+    /// The bucket lock.
+    fn st(&self) -> MutexGuard<'_, BucketState> {
+        // panic-ok: the bucket lock is only poisoned if a holder panicked
+        // mid-section; the sections are pure float arithmetic that cannot
+        // panic, so a poisoned bucket means worse problems than a lost
+        // rate limit.
+        self.state.lock().expect("token bucket lock")
     }
 
     /// Returns `cost` tokens to the bucket (capped at `burst`) — used
     /// when a charged request is subsequently shed without serving
     /// anything, so overload doesn't also burn the client's rate budget.
     pub(crate) fn refund(&self, cost: f64) {
-        let mut st = self.state.lock().expect("token bucket lock");
+        check_yield!("limiter.refund");
+        let mut st = self.st();
         st.tokens = (st.tokens + cost.clamp(0.0, self.limit.burst)).min(self.limit.burst);
     }
 
@@ -79,7 +92,8 @@ impl TokenBucket {
     /// unconditionally starved.
     pub(crate) fn try_acquire(&self, cost: f64) -> bool {
         let cost = cost.clamp(0.0, self.limit.burst);
-        let mut st = self.state.lock().expect("token bucket lock");
+        check_yield!("limiter.try_acquire");
+        let mut st = self.st();
         let now = Instant::now();
         let refill = now.duration_since(st.last_refill).as_secs_f64() * self.limit.samples_per_sec;
         st.tokens = (st.tokens + refill).min(self.limit.burst);

@@ -44,7 +44,10 @@ impl Histogram {
     /// Records one duration (clamped into the bucket range). Lock-free.
     pub fn record_ns(&self, ns: u64) {
         let idx = (63 - ns.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        // relaxed-ok: independent monotone counters; observers tolerate
+        // torn cross-bucket reads (quantiles are already ±2× by design).
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // relaxed-ok: monotone sum; same tolerance as the buckets.
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
@@ -54,8 +57,13 @@ impl Histogram {
             counts: self
                 .buckets
                 .iter()
+                // relaxed-ok: no ordering makes a multi-word copy atomic;
+                // each bucket is individually monotone, which is all the
+                // quantile math needs.
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            // relaxed-ok: monotone sum; may lag the buckets by in-flight
+            // records, which snapshot consumers tolerate.
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
         }
     }
@@ -176,17 +184,33 @@ pub struct GatewayMetrics {
     per_model: RwLock<HashMap<String, Arc<ModelMetrics>>>,
 }
 
+/// Bumps a metrics counter by one.
+pub(crate) fn bump(counter: &AtomicU64) {
+    // relaxed-ok: independent monotone counter; nothing orders against it
+    // and `snapshot` explicitly tolerates cross-counter skew.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `v` to a metrics counter.
+pub(crate) fn bump_by(counter: &AtomicU64, v: u64) {
+    // relaxed-ok: see `bump`.
+    counter.fetch_add(v, Ordering::Relaxed);
+}
+
 impl GatewayMetrics {
     /// The per-model counters for `key`, created on first use.
     pub fn model(&self, key: &ModelKey) -> Arc<ModelMetrics> {
         let name = key.to_string();
+        // panic-ok: per-model table holders never panic while writing
+        // (insertion of a Default cannot unwind), so poisoning here means
+        // the process is already lost.
         if let Some(m) = self.per_model.read().expect("metrics lock").get(&name) {
             return Arc::clone(m);
         }
         Arc::clone(
             self.per_model
                 .write()
-                .expect("metrics lock")
+                .expect("metrics lock") // panic-ok: same invariant as the read path above
                 .entry(name)
                 .or_default(),
         )
@@ -194,6 +218,8 @@ impl GatewayMetrics {
 
     /// Records a ring-depth observation, maintaining the high-water mark.
     pub(crate) fn note_depth(&self, depth: u64) {
+        // relaxed-ok: fetch_max keeps the peak monotone on its own; no
+        // other memory is published through this counter.
         self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
     }
 
@@ -201,11 +227,18 @@ impl GatewayMetrics {
     /// `queue_depth` is supplied by the caller (the gateway reads its
     /// ring), since the ring is not owned by the metrics.
     pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        // relaxed-ok: (audited) every counter below is an independent
+        // monotone u64; writers bump several counters per request without
+        // any enclosing atomicity, so no load ordering could make the
+        // snapshot transactionally consistent — stronger orderings would
+        // only add fences without tightening any observable guarantee.
+        // Cross-counter invariants (admitted ≥ dispatched, …) hold only
+        // at quiescence, which is what the tests assert.
         let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let mut per_model: Vec<ModelSnapshot> = self
             .per_model
             .read()
-            .expect("metrics lock")
+            .expect("metrics lock") // panic-ok: see `model()` — writers cannot unwind mid-write
             .iter()
             .map(|(key, m)| ModelSnapshot {
                 key: key.clone(),
@@ -308,6 +341,43 @@ pub struct MetricsSnapshot {
     pub service: HistogramSnapshot,
     pub per_model: Vec<ModelSnapshot>,
 }
+
+/// Every metric family the Prometheus exposition emits, as full literal
+/// `(name, kind)` rows in emission order. This is the drift anchor: the
+/// `prom-drift` lint extracts these names and diffs them against the
+/// committed `results/smoke/gateway_metrics.prom` artifact, and a golden
+/// test pins them to what [`MetricsSnapshot::to_prometheus`] actually
+/// renders — so adding, renaming or dropping a metric without updating
+/// both the artifact and this table fails CI.
+pub const PROM_TYPE_ROWS: &[(&str, &str)] = &[
+    ("dp_gateway_submitted_total", "counter"),
+    ("dp_gateway_admitted_total", "counter"),
+    ("dp_gateway_shed_queue_full_total", "counter"),
+    ("dp_gateway_shed_evicted_total", "counter"),
+    ("dp_gateway_rate_limited_total", "counter"),
+    ("dp_gateway_model_unknown_total", "counter"),
+    ("dp_gateway_unsupported_total", "counter"),
+    ("dp_gateway_rejected_closed_total", "counter"),
+    ("dp_gateway_rejected_degraded_total", "counter"),
+    ("dp_gateway_dispatched_total", "counter"),
+    ("dp_gateway_dropped_closed_total", "counter"),
+    ("dp_gateway_deadline_exceeded_total", "counter"),
+    ("dp_gateway_cancelled_total", "counter"),
+    ("dp_gateway_drain_aborted_total", "counter"),
+    ("dp_gateway_completed_total", "counter"),
+    ("dp_gateway_failed_total", "counter"),
+    ("dp_gateway_samples_completed_total", "counter"),
+    ("dp_gateway_queue_depth", "gauge"),
+    ("dp_gateway_queue_depth_peak", "gauge"),
+    ("dp_gateway_worker_stalled_total", "counter"),
+    ("dp_gateway_workers_respawned_total", "counter"),
+    ("dp_gateway_degraded", "gauge"),
+    ("dp_gateway_queue_wait_ns", "histogram"),
+    ("dp_gateway_service_ns", "histogram"),
+    ("dp_gateway_model_requests_total", "counter"),
+    ("dp_gateway_model_samples_total", "counter"),
+    ("dp_gateway_model_service_ns_total", "counter"),
+];
 
 impl MetricsSnapshot {
     /// Requests shed in total (full-ring rejections + evictions).
@@ -509,6 +579,13 @@ impl MetricsSnapshot {
 mod tests {
     use super::*;
 
+    /// Test-only counter bump, keeping the ordering annotation in one
+    /// place.
+    fn add(c: &AtomicU64, v: u64) {
+        // relaxed-ok: single-threaded test setup; nothing to order against.
+        c.fetch_add(v, Ordering::Relaxed);
+    }
+
     #[test]
     fn histogram_buckets_and_quantiles() {
         let h = Histogram::default();
@@ -534,11 +611,11 @@ mod tests {
     #[test]
     fn snapshot_json_is_valid_shape() {
         let m = GatewayMetrics::default();
-        m.submitted.fetch_add(7, Ordering::Relaxed);
-        m.admitted.fetch_add(5, Ordering::Relaxed);
-        m.shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        add(&m.submitted, 7);
+        add(&m.admitted, 5);
+        add(&m.shed_queue_full, 2);
         let mm = m.model(&ModelKey::new("iris", "posit<8,0>"));
-        mm.admitted.fetch_add(5, Ordering::Relaxed);
+        add(&mm.admitted, 5);
         m.queue_wait.record_ns(500);
         let snap = m.snapshot(3);
         assert_eq!(snap.submitted, 7);
@@ -568,27 +645,27 @@ mod tests {
         // gauges, truncated cumulative histogram buckets, +Inf/_sum/_count
         // and labelled per-model rows, in this exact order.
         let m = GatewayMetrics::default();
-        m.submitted.fetch_add(7, Ordering::Relaxed);
-        m.admitted.fetch_add(5, Ordering::Relaxed);
-        m.shed_queue_full.fetch_add(2, Ordering::Relaxed);
-        m.rate_limited.fetch_add(1, Ordering::Relaxed);
-        m.dispatched.fetch_add(5, Ordering::Relaxed);
-        m.completed.fetch_add(4, Ordering::Relaxed);
-        m.failed.fetch_add(1, Ordering::Relaxed);
-        m.samples_completed.fetch_add(40, Ordering::Relaxed);
-        m.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        add(&m.submitted, 7);
+        add(&m.admitted, 5);
+        add(&m.shed_queue_full, 2);
+        add(&m.rate_limited, 1);
+        add(&m.dispatched, 5);
+        add(&m.completed, 4);
+        add(&m.failed, 1);
+        add(&m.samples_completed, 40);
+        add(&m.deadline_exceeded, 1);
         m.note_depth(6);
         m.queue_wait.record_ns(1000); // bucket [512, 1024) → le="1023"
         m.queue_wait.record_ns(1000);
         m.service.record_ns(5000); // bucket [4096, 8192) → le="8191"
         let mm = m.model(&ModelKey::new("iris", "posit<8,0>"));
-        mm.admitted.fetch_add(5, Ordering::Relaxed);
-        mm.completed.fetch_add(4, Ordering::Relaxed);
-        mm.failed.fetch_add(1, Ordering::Relaxed);
-        mm.shed.fetch_add(2, Ordering::Relaxed);
-        mm.expired.fetch_add(1, Ordering::Relaxed);
-        mm.samples.fetch_add(40, Ordering::Relaxed);
-        mm.service_ns.fetch_add(5000, Ordering::Relaxed);
+        add(&mm.admitted, 5);
+        add(&mm.completed, 4);
+        add(&mm.failed, 1);
+        add(&mm.shed, 2);
+        add(&mm.expired, 1);
+        add(&mm.samples, 40);
+        add(&mm.service_ns, 5000);
 
         let golden = "\
 # TYPE dp_gateway_submitted_total counter
@@ -684,7 +761,7 @@ dp_gateway_model_service_ns_total{model=\"iris@posit<8,0>\"} 5000
     fn prometheus_empty_histograms_and_label_escaping() {
         let m = GatewayMetrics::default();
         let mm = m.model(&ModelKey::new("we\"ird\\name", "posit<8,0>"));
-        mm.admitted.fetch_add(1, Ordering::Relaxed);
+        add(&mm.admitted, 1);
         let text = m.snapshot(0).to_prometheus();
         // Empty histograms keep the mandatory +Inf/_sum/_count series and
         // emit no finite buckets.
@@ -705,8 +782,36 @@ dp_gateway_model_service_ns_total{model=\"iris@posit<8,0>\"} 5000
         let m = GatewayMetrics::default();
         let a = m.model(&ModelKey::new("iris", "posit<8,0>"));
         let b = m.model(&ModelKey::new("iris", "posit<8,0>"));
-        a.completed.fetch_add(1, Ordering::Relaxed);
+        add(&a.completed, 1);
+        // relaxed-ok: same-thread read of a counter bumped above.
         assert_eq!(b.completed.load(Ordering::Relaxed), 1);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn prom_type_rows_match_rendered_exposition() {
+        // PROM_TYPE_ROWS is the drift anchor the `prom-drift` lint keys
+        // on; this pins it to what `to_prometheus` actually renders —
+        // every family, kind and order, with at least one per-model row
+        // so the labelled families appear.
+        let m = GatewayMetrics::default();
+        let _ = m.model(&ModelKey::new("iris", "posit<8,0>"));
+        let text = m.snapshot(0).to_prometheus();
+        let rendered: Vec<(String, String)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|l| {
+                let mut it = l.split_whitespace();
+                (
+                    it.next().unwrap_or_default().to_string(),
+                    it.next().unwrap_or_default().to_string(),
+                )
+            })
+            .collect();
+        let expected: Vec<(String, String)> = PROM_TYPE_ROWS
+            .iter()
+            .map(|(n, k)| (n.to_string(), k.to_string()))
+            .collect();
+        assert_eq!(rendered, expected);
     }
 }

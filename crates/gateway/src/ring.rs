@@ -15,8 +15,8 @@
 //! benches), and an idle condition (`empty ∧ not mid-dispatch`) that
 //! `wait_idle` callers block on.
 
+use crate::check::{self, check_yield, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Outcome of a non-blocking push.
@@ -47,27 +47,30 @@ struct RingState<E> {
 
 pub(crate) struct SubmissionRing<E> {
     capacity: usize,
-    state: Mutex<RingState<E>>,
+    state: check::Mutex<RingState<E>>,
     /// Wakes the dispatcher: work arrived, pause flipped, or closing.
-    work: Condvar,
+    work: check::Condvar,
     /// Wakes producers blocked on space and idle-waiters: an entry left
     /// the queue, a dispatch finished, or closing.
-    space: Condvar,
+    space: check::Condvar,
 }
 
 impl<E> SubmissionRing<E> {
     pub(crate) fn new(capacity: usize) -> Self {
         SubmissionRing {
             capacity: capacity.max(1),
-            state: Mutex::new(RingState {
-                queue: VecDeque::with_capacity(capacity.max(1)),
-                closing: false,
-                closed_at: None,
-                paused: false,
-                dispatching: false,
-            }),
-            work: Condvar::new(),
-            space: Condvar::new(),
+            state: check::mutex(
+                "gateway.ring",
+                RingState {
+                    queue: VecDeque::with_capacity(capacity.max(1)),
+                    closing: false,
+                    closed_at: None,
+                    paused: false,
+                    dispatching: false,
+                },
+            ),
+            work: check::condvar(),
+            space: check::condvar(),
         }
     }
 
@@ -75,14 +78,24 @@ impl<E> SubmissionRing<E> {
         self.capacity
     }
 
+    /// The ring lock.
+    fn st(&self) -> MutexGuard<'_, RingState<E>> {
+        // panic-ok: the ring lock is only poisoned if a holder panicked
+        // inside a critical section; every section here is VecDeque/flag
+        // manipulation that cannot panic, so poisoning means the state is
+        // already untrustworthy and serving from it would be worse.
+        self.state.lock().expect("ring lock")
+    }
+
     pub(crate) fn len(&self) -> usize {
-        self.state.lock().expect("ring lock").queue.len()
+        self.st().queue.len()
     }
 
     /// Non-blocking push. With `evict_oldest`, a full ring makes room by
     /// handing the oldest entry back for the caller to shed.
     pub(crate) fn try_push(&self, entry: E, evict_oldest: bool) -> TryPush<E> {
-        let mut st = self.state.lock().expect("ring lock");
+        check_yield!("ring.try_push");
+        let mut st = self.st();
         if st.closing {
             return TryPush::Closed(entry);
         }
@@ -90,6 +103,9 @@ impl<E> SubmissionRing<E> {
             if !evict_oldest {
                 return TryPush::Full(entry);
             }
+            check_yield!("ring.evict");
+            // panic-ok: the full branch guarantees `queue.len() >= capacity
+            // >= 1`, so the queue cannot be empty here.
             let oldest = st.queue.pop_front().expect("capacity >= 1, queue full");
             st.queue.push_back(entry);
             drop(st);
@@ -105,7 +121,8 @@ impl<E> SubmissionRing<E> {
     /// Blocking push (`Block` policy): waits for space instead of
     /// shedding. Returns the entry if the ring closed while waiting.
     pub(crate) fn push_blocking(&self, entry: E) -> Result<(), E> {
-        let mut st = self.state.lock().expect("ring lock");
+        check_yield!("ring.push_blocking");
+        let mut st = self.st();
         loop {
             if st.closing {
                 return Err(entry);
@@ -116,7 +133,7 @@ impl<E> SubmissionRing<E> {
                 self.work.notify_one();
                 return Ok(());
             }
-            st = self.space.wait(st).expect("ring lock");
+            st = self.space.wait(st).expect("ring lock"); // panic-ok: see `SubmissionRing::st`
         }
     }
 
@@ -125,7 +142,8 @@ impl<E> SubmissionRing<E> {
     /// shutdown never strands an admitted request. Marks the ring as
     /// mid-dispatch; pair every `Some` with [`SubmissionRing::dispatch_done`].
     pub(crate) fn pop_for_dispatch(&self) -> Option<E> {
-        let mut st = self.state.lock().expect("ring lock");
+        check_yield!("ring.pop");
+        let mut st = self.st();
         loop {
             // Closing overrides pause: the backlog always drains.
             if !st.paused || st.closing {
@@ -141,14 +159,15 @@ impl<E> SubmissionRing<E> {
                     return None;
                 }
             }
-            st = self.work.wait(st).expect("ring lock");
+            st = self.work.wait(st).expect("ring lock"); // panic-ok: see `SubmissionRing::st`
         }
     }
 
     /// Marks the in-flight dispatch as finished (the entry reached the
     /// engine or was resolved), letting idle-waiters re-check.
     pub(crate) fn dispatch_done(&self) {
-        let mut st = self.state.lock().expect("ring lock");
+        check_yield!("ring.dispatch_done");
+        let mut st = self.st();
         st.dispatching = false;
         drop(st);
         self.space.notify_all();
@@ -156,20 +175,20 @@ impl<E> SubmissionRing<E> {
 
     /// Blocks until the ring is idle: empty and not mid-dispatch.
     pub(crate) fn wait_empty(&self) {
-        let mut st = self.state.lock().expect("ring lock");
+        let mut st = self.st();
         while !st.queue.is_empty() || st.dispatching {
-            st = self.space.wait(st).expect("ring lock");
+            st = self.space.wait(st).expect("ring lock"); // panic-ok: see `SubmissionRing::st`
         }
     }
 
     /// Stalls dispatch (admission continues — the backlog grows).
     pub(crate) fn pause(&self) {
-        self.state.lock().expect("ring lock").paused = true;
+        self.st().paused = true;
     }
 
     /// Resumes dispatch.
     pub(crate) fn resume(&self) {
-        let mut st = self.state.lock().expect("ring lock");
+        let mut st = self.st();
         st.paused = false;
         drop(st);
         self.work.notify_all();
@@ -178,7 +197,8 @@ impl<E> SubmissionRing<E> {
     /// Begins shutdown: rejects new pushes, lets the dispatcher drain the
     /// backlog, wakes every blocked producer and waiter.
     pub(crate) fn close(&self) {
-        let mut st = self.state.lock().expect("ring lock");
+        check_yield!("ring.close");
+        let mut st = self.st();
         st.closing = true;
         if st.closed_at.is_none() {
             st.closed_at = Some(Instant::now());
@@ -191,7 +211,113 @@ impl<E> SubmissionRing<E> {
     /// The instant shutdown began, if [`SubmissionRing::close`] has been
     /// called. The dispatcher bounds its backlog drain against this.
     pub(crate) fn closing_since(&self) -> Option<Instant> {
-        self.state.lock().expect("ring lock").closed_at
+        self.st().closed_at
+    }
+}
+
+/// Seeded PCT interleave tests (compiled only with `--features
+/// check-yield`): the conservation law behind the gateway's metrics —
+/// every admitted entry has exactly one fate — checked across ≥1000
+/// schedules per seed with real producer/dispatcher thread bodies.
+#[cfg(all(test, feature = "check-yield"))]
+mod interleave_tests {
+    use super::*;
+    use dp_check::sched::explore;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn bump(c: &AtomicUsize) {
+        // relaxed-ok: per-run test tally, read only after the schedule
+        // has joined every thread.
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(c: &AtomicUsize) -> usize {
+        // relaxed-ok: see `bump` — the run's threads are already joined.
+        c.load(Ordering::Relaxed)
+    }
+
+    /// Two producers push four entries through a capacity-2 ring with
+    /// `ShedOldest` eviction while one dispatcher drains; the last
+    /// producer out closes the ring. Under every schedule:
+    /// `popped + evicted == submitted` (no entry is lost or doubled),
+    /// and neither `Full` nor `Closed` can occur (eviction always makes
+    /// room; close happens only after the final push).
+    #[test]
+    fn every_entry_has_exactly_one_fate_under_every_schedule() {
+        for master in [0x21C6_0001u64, 0x21C6_0002, 0x21C6_0003] {
+            let mut audits: Vec<[Arc<AtomicUsize>; 3]> = Vec::new();
+            let out = explore(master, 1000, 3, |_| {
+                let ring = Arc::new(SubmissionRing::new(2));
+                let popped = Arc::new(AtomicUsize::new(0));
+                let evicted = Arc::new(AtomicUsize::new(0));
+                let anomalies = Arc::new(AtomicUsize::new(0));
+                let live_producers = Arc::new(AtomicUsize::new(2));
+                audits.push([
+                    Arc::clone(&popped),
+                    Arc::clone(&evicted),
+                    Arc::clone(&anomalies),
+                ]);
+                let mut bodies: Vec<Box<dyn FnOnce() + Send>> = (0..2u32)
+                    .map(|p| {
+                        let ring = Arc::clone(&ring);
+                        let evicted = Arc::clone(&evicted);
+                        let anomalies = Arc::clone(&anomalies);
+                        let live = Arc::clone(&live_producers);
+                        Box::new(move || {
+                            for i in 0..2u32 {
+                                match ring.try_push(p * 2 + i, true) {
+                                    TryPush::Pushed => {}
+                                    TryPush::PushedEvicting(_) => bump(&evicted),
+                                    TryPush::Full(_) | TryPush::Closed(_) => bump(&anomalies),
+                                }
+                            }
+                            // Last producer out begins shutdown, so the
+                            // dispatcher's drain loop terminates. AcqRel:
+                            // the close must happen-after both push runs.
+                            if live.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                ring.close();
+                            }
+                        }) as Box<dyn FnOnce() + Send>
+                    })
+                    .collect();
+                let dispatcher_ring = Arc::clone(&ring);
+                let dispatcher_popped = Arc::clone(&popped);
+                bodies.push(Box::new(move || {
+                    while dispatcher_ring.pop_for_dispatch().is_some() {
+                        bump(&dispatcher_popped);
+                        dispatcher_ring.dispatch_done();
+                    }
+                }));
+                bodies
+            });
+            assert_eq!(out.schedules, 1000);
+            assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+            assert!(
+                out.distinct_traces >= 10,
+                "seed {master:#x}: the seed is not steering the schedule \
+                 ({} distinct traces)",
+                out.distinct_traces
+            );
+            let mut eviction_seen = false;
+            for (run, [popped, evicted, anomalies]) in audits.iter().enumerate() {
+                assert_eq!(get(anomalies), 0, "seed {master:#x} run {run}: Full/Closed");
+                assert_eq!(
+                    get(popped) + get(evicted),
+                    4,
+                    "seed {master:#x} run {run}: conservation broken \
+                     (popped {}, evicted {})",
+                    get(popped),
+                    get(evicted)
+                );
+                eviction_seen |= get(evicted) > 0;
+            }
+            assert!(
+                eviction_seen,
+                "seed {master:#x}: no schedule ever filled the ring — the \
+                 test is not exercising the eviction path"
+            );
+        }
     }
 }
 

@@ -29,8 +29,6 @@
 //! assert!(r.fmax_hz > 5e7 && r.luts > 100);
 //! # Ok::<(), dp_posit::FormatError>(())
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod accelerator;
 pub mod calib;

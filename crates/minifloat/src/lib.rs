@@ -26,8 +26,6 @@
 //! assert_eq!((a * b).to_f64(), 3.75);
 //! # Ok::<(), dp_minifloat::FormatError>(())
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod convert;

@@ -51,6 +51,8 @@ pub struct NetMetrics {
 impl NetMetrics {
     /// Bumps a counter by one.
     pub(crate) fn inc(counter: &AtomicU64) {
+        // relaxed-ok: independent monotone counter; a scrape tolerates
+        // cross-counter skew and nothing publishes data through it.
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -76,12 +78,15 @@ impl NetMetrics {
         ];
         for (name, v) in counters {
             let _ = writeln!(s, "# TYPE dp_net_{name}_total counter");
+            // relaxed-ok: no memory order makes an 11-counter scrape
+            // atomic; each row is individually coherent and that is all
+            // the exposition format promises.
             let _ = writeln!(s, "dp_net_{name}_total {}", v.load(Ordering::Relaxed));
         }
         let open = self
             .connections_accepted
-            .load(Ordering::Relaxed)
-            .saturating_sub(self.connections_closed.load(Ordering::Relaxed));
+            .load(Ordering::Relaxed) // relaxed-ok: see the counter loop above
+            .saturating_sub(self.connections_closed.load(Ordering::Relaxed)); // relaxed-ok: see above
         let _ = writeln!(s, "# TYPE dp_net_connections_open gauge");
         let _ = writeln!(s, "dp_net_connections_open {open}");
         s

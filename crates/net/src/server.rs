@@ -142,7 +142,7 @@ impl NetServerBuilder {
             std::thread::Builder::new()
                 .name("dp-net-accept".into())
                 .spawn(move || accept_loop(listener, shared))
-                .expect("spawn accept thread")
+                .expect("spawn accept thread") // panic-ok: thread spawn fails only on OS resource exhaustion at bind time
         };
         Ok(NetServer {
             shared,
@@ -174,10 +174,17 @@ struct Shared {
 
 impl Shared {
     fn shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        // Acquire (audited, was SeqCst): pairs with the Release store in
+        // `drain`. Nothing is published through the flag (the drain
+        // instant travels via `shutdown_at`'s mutex), but Acquire/Release
+        // keeps the conventional flag idiom without SeqCst's total order,
+        // which no site here compares against another atomic to need.
+        self.shutdown.load(Ordering::Acquire)
     }
 
     fn drain_expired(&self) -> bool {
+        // panic-ok: only poisoned if a drain path panicked mid-store;
+        // the critical section is a plain Option write that cannot panic.
         match *self.shutdown_at.lock().expect("shutdown_at lock") {
             Some(t0) => t0.elapsed() >= self.drain_deadline,
             None => false,
@@ -185,6 +192,8 @@ impl Shared {
     }
 
     fn signal_shutdown_requested(&self) {
+        // panic-ok: critical sections on this flag are single bool writes
+        // that cannot panic; poisoning implies a torn unwinding already.
         let mut req = self.shutdown_requested.lock().expect("shutdown flag lock");
         *req = true;
         self.shutdown_cv.notify_all();
@@ -240,7 +249,7 @@ impl NetServer {
             .shared
             .shutdown_requested
             .lock()
-            .expect("shutdown flag lock")
+            .expect("shutdown flag lock") // panic-ok: see `Shared::signal_shutdown_requested`
     }
 
     /// Blocks until a shutdown request arrives (remote opcode or a local
@@ -251,13 +260,13 @@ impl NetServer {
             .shared
             .shutdown_requested
             .lock()
-            .expect("shutdown flag lock");
+            .expect("shutdown flag lock"); // panic-ok: see `Shared::signal_shutdown_requested`
         while !*req {
             req = self
                 .shared
                 .shutdown_cv
                 .wait(req)
-                .expect("shutdown condvar wait");
+                .expect("shutdown condvar wait"); // panic-ok: see `Shared::signal_shutdown_requested`
         }
     }
 
@@ -273,17 +282,27 @@ impl NetServer {
     }
 
     fn drain(&self, close_gateway: bool) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Release (audited, was SeqCst): pairs with the Acquire load in
+        // `Shared::shutting_down`; see the note there.
+        self.shared.shutdown.store(true, Ordering::Release);
         {
+            // panic-ok: see `Shared::drain_expired`
             let mut at = self.shared.shutdown_at.lock().expect("shutdown_at lock");
             at.get_or_insert_with(Instant::now);
         }
         self.shared.signal_shutdown_requested();
+        // panic-ok: only poisoned if a concurrent drain panicked in `take`
         if let Some(h) = self.accept.lock().expect("accept handle lock").take() {
+            // panic-ok: accept_loop handles every io::Error arm without
+            // panicking — a panic there is a front-end bug worth surfacing.
             h.join().expect("accept thread never panics");
         }
+        // panic-ok: the conns table's critical sections are Vec ops on
+        // non-panicking paths; see `Shared::signal_shutdown_requested`.
         let conns = std::mem::take(&mut *self.shared.conns.lock().expect("conns lock"));
         for h in conns {
+            // panic-ok: run_connection catches protocol errors as frames,
+            // not panics; a panic is a front-end bug worth surfacing.
             h.join().expect("connection thread never panics");
         }
         if close_gateway {
@@ -310,22 +329,26 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     break;
                 }
                 let _ = stream.set_nodelay(true);
-                if shared.live_conns.load(Ordering::SeqCst) >= shared.max_connections {
+                // relaxed-ok: (audited, was SeqCst) only this accept
+                // thread increments, so check-then-add cannot over-admit;
+                // the count gates admission and orders no other data.
+                if shared.live_conns.load(Ordering::Relaxed) >= shared.max_connections {
                     NetMetrics::inc(&shared.metrics.connections_rejected);
                     reject_busy(stream);
                     continue;
                 }
                 NetMetrics::inc(&shared.metrics.connections_accepted);
-                shared.live_conns.fetch_add(1, Ordering::SeqCst);
+                shared.live_conns.fetch_add(1, Ordering::Relaxed); // relaxed-ok: see the cap check above
                 let conn_shared = Arc::clone(&shared);
                 let handle = std::thread::Builder::new()
                     .name("dp-net-conn".into())
                     .spawn(move || {
                         run_connection(stream, &conn_shared);
-                        conn_shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+                        conn_shared.live_conns.fetch_sub(1, Ordering::Relaxed); // relaxed-ok: see the cap check in accept_loop
                         NetMetrics::inc(&conn_shared.metrics.connections_closed);
                     })
-                    .expect("spawn connection thread");
+                    .expect("spawn connection thread"); // panic-ok: thread spawn fails only on OS resource exhaustion
+                                                        // panic-ok: see `NetServer::drain`
                 let mut conns = shared.conns.lock().expect("conns lock");
                 conns.retain(|h| !h.is_finished());
                 conns.push(handle);
@@ -427,7 +450,7 @@ fn run_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
         std::thread::Builder::new()
             .name("dp-net-write".into())
             .spawn(move || write_loop(write_half, rx, &shared))
-            .expect("spawn connection writer")
+            .expect("spawn connection writer") // panic-ok: thread spawn fails only on OS resource exhaustion
     };
 
     read_loop(&mut stream, &tx, shared);
@@ -435,6 +458,8 @@ fn run_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     // Reader done (EOF, protocol error, or shutdown): close the intake
     // side so the writer drains what is in flight and exits.
     drop(tx);
+    // panic-ok: write_loop treats every io::Error as connection death
+    // without panicking; a panic is a front-end bug worth surfacing.
     writer.join().expect("connection writer never panics");
 }
 

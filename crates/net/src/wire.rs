@@ -301,14 +301,18 @@ impl<'a> Cur<'a> {
     }
 
     fn u16(&mut self, field: &'static str) -> Result<u16, WireError> {
+        // panic-ok: `take(2, ..)` returned exactly 2 bytes, so the array
+        // conversion is infallible (same for u32/u64 below).
         Ok(u16::from_le_bytes(self.take(2, field)?.try_into().unwrap()))
     }
 
     fn u32(&mut self, field: &'static str) -> Result<u32, WireError> {
+        // panic-ok: see `u16` — `take` returned exactly 4 bytes.
         Ok(u32::from_le_bytes(self.take(4, field)?.try_into().unwrap()))
     }
 
     fn u64(&mut self, field: &'static str) -> Result<u64, WireError> {
+        // panic-ok: see `u16` — `take` returned exactly 8 bytes.
         Ok(u64::from_le_bytes(self.take(8, field)?.try_into().unwrap()))
     }
 

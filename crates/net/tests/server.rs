@@ -165,14 +165,14 @@ fn oversized_frame_is_rejected_without_reading_the_body() {
         server
             .metrics()
             .oversized_frames
-            .load(std::sync::atomic::Ordering::Relaxed),
+            .load(std::sync::atomic::Ordering::Relaxed), // relaxed-ok: single quiesced counter read
         1
     );
     assert_eq!(
         server
             .metrics()
             .protocol_errors
-            .load(std::sync::atomic::Ordering::Relaxed),
+            .load(std::sync::atomic::Ordering::Relaxed), // relaxed-ok: single quiesced counter read
         1
     );
 }
@@ -204,7 +204,7 @@ fn truncated_frame_counts_as_protocol_error() {
         let n = server
             .metrics()
             .protocol_errors
-            .load(std::sync::atomic::Ordering::Relaxed);
+            .load(std::sync::atomic::Ordering::Relaxed); // relaxed-ok: polled until visible; no data rides on it
         if n == 1 {
             break;
         }
@@ -229,7 +229,7 @@ fn slow_loris_partial_frame_times_out() {
         server
             .metrics()
             .read_timeouts
-            .load(std::sync::atomic::Ordering::Relaxed),
+            .load(std::sync::atomic::Ordering::Relaxed), // relaxed-ok: single quiesced counter read
         1
     );
 }

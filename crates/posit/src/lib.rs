@@ -53,8 +53,6 @@
 //! q.add_product(b.to_bits(), b.to_bits());
 //! assert_eq!(dp_posit::convert::to_f64(fmt, q.to_posit()), 3.0);
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
 pub mod convert;
 pub mod decode;

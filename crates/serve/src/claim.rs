@@ -1,0 +1,157 @@
+//! First-claimant-wins completion guard ([`ClaimCell`]).
+//!
+//! A chunk job's completion can come from three racing paths: the worker
+//! finishing (or panicking) normally, the chunk-boundary cancellation
+//! check, and the watchdog's stall handler after the worker was
+//! abandoned. Exactly one of them may touch the completion handle — a
+//! second completion would corrupt the batch accounting (`remaining`
+//! underflow). The cell is that race's single linearization point,
+//! named so the interleaving checker can schedule around it
+//! (`check-yield` feature) and tests can assert first-claimant
+//! uniqueness directly.
+
+use crate::check::check_yield;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One-shot claim flag: the first `claim` wins, every later one loses.
+#[derive(Debug, Default)]
+pub(crate) struct ClaimCell {
+    claimed: AtomicBool,
+}
+
+impl ClaimCell {
+    /// A fresh, unclaimed cell.
+    pub(crate) fn new() -> Self {
+        ClaimCell::default()
+    }
+
+    /// Whether some path already claimed the completion (advisory: a
+    /// `false` answer can be stale by the time the caller acts; use
+    /// [`ClaimCell::claim`] to decide).
+    pub(crate) fn is_claimed(&self) -> bool {
+        self.claimed.load(Ordering::Acquire)
+    }
+
+    /// Attempts to claim the completion; `true` for exactly one caller
+    /// across the cell's lifetime. `point` names the claiming path for
+    /// the interleaving checker's schedule traces.
+    ///
+    /// AcqRel (audited: was SeqCst before the cell was factored out):
+    /// the RMW already guarantees a single winner on its own, Release
+    /// publishes the winner's prior writes, and Acquire lets a loser see
+    /// everything the winner published — no claimant path compares
+    /// against any *other* atomic, so the SeqCst total order bought
+    /// nothing.
+    pub(crate) fn claim(&self, point: &'static str) -> bool {
+        check_yield!(point);
+        !self.claimed.swap(true, Ordering::AcqRel)
+    }
+}
+
+/// Seeded PCT interleave tests (compiled only with `--features
+/// check-yield`): the checker drives the *real* three-way completion
+/// race through ≥1000 schedules per seed instead of hoping the OS
+/// scheduler stumbles into the bad ordering.
+#[cfg(all(test, feature = "check-yield"))]
+mod interleave_tests {
+    use super::*;
+    use dp_check::sched::explore;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn bump(c: &AtomicUsize) {
+        // relaxed-ok: per-run test tally, read only after the schedule
+        // has joined every thread.
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(c: &AtomicUsize) -> usize {
+        // relaxed-ok: see `bump` — the run's threads are already joined.
+        c.load(Ordering::Relaxed)
+    }
+
+    /// The race the cell exists for: worker completion, the
+    /// chunk-boundary cancellation check, and the watchdog stall handler
+    /// all claim at once. Every explored schedule must produce exactly
+    /// one winner, and every loser must observe the cell as claimed.
+    #[test]
+    fn completion_stall_cancel_race_has_one_winner_per_schedule() {
+        const POINTS: [&str; 3] = [
+            "engine.chunk.complete",
+            "engine.chunk.stall",
+            "engine.chunk.cancel",
+        ];
+        for master in [0x51AB_0001u64, 0x51AB_0002, 0x51AB_0003] {
+            let mut audits: Vec<Arc<AtomicUsize>> = Vec::new();
+            let out = explore(master, 1000, 3, |_| {
+                let cell = Arc::new(ClaimCell::new());
+                let winners = Arc::new(AtomicUsize::new(0));
+                audits.push(Arc::clone(&winners));
+                POINTS
+                    .iter()
+                    .map(|&point| {
+                        let cell = Arc::clone(&cell);
+                        let winners = Arc::clone(&winners);
+                        Box::new(move || {
+                            if cell.claim(point) {
+                                bump(&winners);
+                            }
+                            // Win or lose, the claim is settled from the
+                            // claimant's point of view afterwards.
+                            assert!(cell.is_claimed());
+                        }) as Box<dyn FnOnce() + Send>
+                    })
+                    .collect()
+            });
+            assert_eq!(out.schedules, 1000);
+            assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+            assert!(
+                out.distinct_traces >= 4,
+                "seed {master:#x}: the seed is not steering the schedule \
+                 ({} distinct traces)",
+                out.distinct_traces
+            );
+            for (run, winners) in audits.iter().enumerate() {
+                assert_eq!(
+                    get(winners),
+                    1,
+                    "seed {master:#x} run {run}: completion claimed {} times",
+                    get(winners)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_claim_wins_exactly_once() {
+        let cell = ClaimCell::new();
+        assert!(!cell.is_claimed());
+        assert!(cell.claim("test.first"));
+        assert!(cell.is_claimed());
+        assert!(!cell.claim("test.second"));
+        assert!(!cell.claim("test.third"));
+    }
+
+    #[test]
+    fn concurrent_claimants_produce_one_winner() {
+        for _ in 0..64 {
+            let cell = Arc::new(ClaimCell::new());
+            let winners: usize = (0..4)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    std::thread::spawn(move || usize::from(cell.claim("test.race")))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|t| t.join().expect("claimant thread"))
+                .sum();
+            assert_eq!(winners, 1);
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! datapath, results are **bit-identical** to per-sample
 //! [`QuantizedMlp::forward_bits`].
 
+use crate::claim::ClaimCell;
 use crate::faults;
 use crate::handle::{BatchHandle, JobError, JobHandle};
 use crate::pool::{Job, PanicBudget, PoolStats, WatchdogConfig, WorkerPool};
@@ -128,11 +129,16 @@ impl CancelToken {
     /// everything after the next check point is skipped and the affected
     /// handles resolve with [`JobError::Cancelled`].
     pub fn cancel(&self) {
+        // seqcst-ok: standalone cancellation flag with no payload; the
+        // cold full fence keeps a cancel immediately visible to every
+        // chunk-boundary check.
         self.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // seqcst-ok: pairs with the store in `cancel`; read at chunk and
+        // sample boundaries, well off the per-MAC hot path.
         self.cancelled.load(Ordering::SeqCst)
     }
 }
@@ -335,8 +341,10 @@ impl ServeEngine {
                 let cancel = cancel.clone();
                 // First claimant — normal completion, panic poisoning, or
                 // stall resolution — completes the chunk; the rest no-op.
-                let claimed = Arc::new(AtomicBool::new(false));
+                let claimed = Arc::new(ClaimCell::new());
                 let stall_claimed = Arc::clone(&claimed);
+                // relaxed-ok: round-robin placement hint only; a torn or
+                // reordered read just shifts which slot a chunk lands on.
                 let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
                 let job = Job::with_stall_handler(
                     move || {
@@ -344,7 +352,7 @@ impl ServeEngine {
                         // A planned sleep here wedges the worker exactly
                         // like a runaway evaluation would.
                         faults::fire(faults::points::STALL_WORKER, scope);
-                        if claimed.load(Ordering::SeqCst) {
+                        if claimed.is_claimed() {
                             // The watchdog already failed this chunk while
                             // the worker was wedged; don't evaluate it.
                             return;
@@ -352,7 +360,7 @@ impl ServeEngine {
                         // Chunk-boundary cancellation check; the cancel-
                         // aware evaluators additionally check per sample.
                         if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                            if !claimed.swap(true, Ordering::SeqCst) {
+                            if claimed.claim("engine.chunk.cancel") {
                                 completer.complete_chunk(index, Err(JobError::Cancelled));
                             }
                             return;
@@ -368,12 +376,12 @@ impl ServeEngine {
                         match catch_unwind(AssertUnwindSafe(|| per_chunk(&model, &chunk))) {
                             Ok(result) => {
                                 let dropped = faults::fire(faults::points::DROP_COMPLETION, scope);
-                                if !dropped && !claimed.swap(true, Ordering::SeqCst) {
+                                if !dropped && claimed.claim("engine.chunk.complete") {
                                     completer.complete_chunk(index, result);
                                 }
                             }
                             Err(payload) => {
-                                if !claimed.swap(true, Ordering::SeqCst) {
+                                if claimed.claim("engine.chunk.panic") {
                                     completer.complete_chunk(index, Err(JobError::Panicked));
                                 }
                                 std::panic::resume_unwind(payload);
@@ -381,7 +389,7 @@ impl ServeEngine {
                         }
                     },
                     move || {
-                        if !stall_claimed.swap(true, Ordering::SeqCst) {
+                        if stall_claimed.claim("engine.chunk.stall") {
                             stall_completer.complete_chunk(index, Err(JobError::Stalled));
                         }
                     },
@@ -491,25 +499,25 @@ impl ServeEngine {
         }
         let (handle, completer) = JobHandle::pending();
         let stall_completer = completer.clone();
-        let claimed = Arc::new(AtomicBool::new(false));
+        let claimed = Arc::new(ClaimCell::new());
         let stall_claimed = Arc::clone(&claimed);
         self.pool
             .spawn(Job::with_stall_handler(
                 move || match catch_unwind(AssertUnwindSafe(f)) {
                     Ok(v) => {
-                        if !claimed.swap(true, Ordering::SeqCst) {
+                        if claimed.claim("engine.job.complete") {
                             completer.complete(Ok(v));
                         }
                     }
                     Err(payload) => {
-                        if !claimed.swap(true, Ordering::SeqCst) {
+                        if claimed.claim("engine.job.panic") {
                             completer.complete(Err(JobError::Panicked));
                         }
                         std::panic::resume_unwind(payload);
                     }
                 },
                 move || {
-                    if !stall_claimed.swap(true, Ordering::SeqCst) {
+                    if stall_claimed.claim("engine.job.stall") {
                         stall_completer.complete(Err(JobError::Stalled));
                     }
                 },
@@ -576,7 +584,7 @@ impl ServeEngine {
 pub fn forward_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<Vec<u32>> {
     let mut emacs = model
         .make_layer_emacs()
-        .expect("admission validated the format");
+        .expect("admission validated the format"); // panic-ok: registry admission excludes formats without an EMAC datapath
     chunk
         .iter()
         .map(|x| model.forward_bits_with(&mut emacs, x))
@@ -617,7 +625,7 @@ pub fn forward_chunk_cancellable(
 ) -> Result<Vec<Vec<u32>>, JobError> {
     let mut emacs = model
         .make_layer_emacs()
-        .expect("admission validated the format");
+        .expect("admission validated the format"); // panic-ok: registry admission excludes formats without an EMAC datapath
     let mut out = Vec::with_capacity(chunk.len());
     for x in chunk {
         if cancel.is_cancelled() {

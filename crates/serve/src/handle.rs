@@ -11,7 +11,8 @@
 //! A job that panics poisons **only its own handle** ([`JobError::Panicked`]);
 //! the pool and every other in-flight request are unaffected.
 
-use std::sync::{Arc, Condvar, Mutex};
+use crate::check::{self, check_yield, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a submitted job failed to produce a value.
@@ -50,6 +51,14 @@ struct Cell<T> {
     done: Condvar,
 }
 
+impl<T> Cell<T> {
+    fn st(&self) -> check::MutexGuard<'_, CellState<T>> {
+        // panic-ok: holders only swap the enum in place; no unwind, so
+        // poisoning is unreachable.
+        self.state.lock().expect("handle lock")
+    }
+}
+
 /// Handle to one submitted job. Single-consumer: the value can be taken
 /// exactly once (by [`JobHandle::poll`] or [`JobHandle::wait`]).
 pub struct JobHandle<T> {
@@ -68,8 +77,8 @@ impl<T> JobHandle<T> {
     /// Creates a pending handle and its completer side.
     pub(crate) fn pending() -> (Self, JobCompleter<T>) {
         let cell = Arc::new(Cell {
-            state: Mutex::new(CellState::Pending),
-            done: Condvar::new(),
+            state: check::mutex("serve.job_handle", CellState::Pending),
+            done: check::condvar(),
         });
         (
             JobHandle {
@@ -81,17 +90,15 @@ impl<T> JobHandle<T> {
 
     /// Whether the job has finished (successfully or not).
     pub fn is_done(&self) -> bool {
-        !matches!(
-            *self.cell.state.lock().expect("handle lock"),
-            CellState::Pending
-        )
+        !matches!(*self.cell.st(), CellState::Pending)
     }
 
     /// Takes the result if the job has finished, `None` while it is still
     /// queued or running. A second call after the result was taken returns
     /// `None`.
     pub fn poll(&self) -> Option<Result<T, JobError>> {
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
+        check_yield!("handle.job.poll");
         match std::mem::replace(&mut *st, CellState::Taken) {
             CellState::Done(r) => Some(r),
             other @ CellState::Pending => {
@@ -112,14 +119,18 @@ impl<T> JobHandle<T> {
     ///
     /// Panics if the result was already taken by [`JobHandle::poll`].
     pub fn wait(self) -> Result<T, JobError> {
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
         loop {
+            check_yield!("handle.job.wait_take");
             match std::mem::replace(&mut *st, CellState::Taken) {
                 CellState::Done(r) => return r,
                 CellState::Pending => {
                     *st = CellState::Pending;
+                    // panic-ok: see `Cell::st`.
                     st = self.cell.done.wait(st).expect("handle lock");
                 }
+                // panic-ok: documented contract — waiting after `poll`
+                // took the value is a caller bug.
                 CellState::Taken => panic!("job result already taken"),
             }
         }
@@ -131,8 +142,9 @@ impl<T> JobHandle<T> {
     /// taken.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, JobError>> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
         loop {
+            check_yield!("handle.job.wait_take");
             match std::mem::replace(&mut *st, CellState::Taken) {
                 CellState::Done(r) => return Some(r),
                 CellState::Pending => {
@@ -145,7 +157,7 @@ impl<T> JobHandle<T> {
                         .cell
                         .done
                         .wait_timeout(st, deadline - now)
-                        .expect("handle lock");
+                        .expect("handle lock"); // panic-ok: see `Cell::st`
                     st = guard;
                 }
                 CellState::Taken => return None,
@@ -171,7 +183,10 @@ impl<T> Clone for JobCompleter<T> {
 
 impl<T> JobCompleter<T> {
     pub(crate) fn complete(&self, result: Result<T, JobError>) {
-        *self.cell.state.lock().expect("handle lock") = CellState::Done(result);
+        let mut st = self.cell.st();
+        check_yield!("handle.job.complete");
+        *st = CellState::Done(result);
+        drop(st);
         self.cell.done.notify_all();
     }
 }
@@ -189,6 +204,14 @@ struct BatchCell<T> {
     done: Condvar,
 }
 
+impl<T> BatchCell<T> {
+    fn st(&self) -> check::MutexGuard<'_, BatchState<T>> {
+        // panic-ok: holders only move parts/flags; no unwind, so
+        // poisoning is unreachable.
+        self.state.lock().expect("handle lock")
+    }
+}
+
 /// Handle to a batch request that admission split into chunk jobs.
 ///
 /// The result is the concatenation of the per-chunk outputs in the
@@ -202,7 +225,7 @@ pub struct BatchHandle<T> {
 
 impl<T> std::fmt::Debug for BatchHandle<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let st = self.cell.state.lock().expect("handle lock");
+        let st = self.cell.st();
         f.debug_struct("BatchHandle")
             .field("chunks", &st.parts.len())
             .field("remaining", &st.remaining)
@@ -214,13 +237,16 @@ impl<T> BatchHandle<T> {
     /// Creates a handle expecting `chunks` chunk completions.
     pub(crate) fn pending(chunks: usize) -> (Self, BatchCompleter<T>) {
         let cell = Arc::new(BatchCell {
-            state: Mutex::new(BatchState {
-                parts: (0..chunks).map(|_| None).collect(),
-                remaining: chunks,
-                failed: None,
-                taken: false,
-            }),
-            done: Condvar::new(),
+            state: check::mutex(
+                "serve.batch_handle",
+                BatchState {
+                    parts: (0..chunks).map(|_| None).collect(),
+                    remaining: chunks,
+                    failed: None,
+                    taken: false,
+                },
+            ),
+            done: check::condvar(),
         });
         (
             BatchHandle {
@@ -232,7 +258,7 @@ impl<T> BatchHandle<T> {
 
     /// Number of chunks still queued or running.
     pub fn chunks_remaining(&self) -> usize {
-        self.cell.state.lock().expect("handle lock").remaining
+        self.cell.st().remaining
     }
 
     /// Whether every chunk has finished.
@@ -243,7 +269,8 @@ impl<T> BatchHandle<T> {
     /// Takes the assembled result if every chunk has finished, `None`
     /// otherwise (or after the result was already taken).
     pub fn poll(&self) -> Option<Result<Vec<T>, JobError>> {
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
+        check_yield!("handle.batch.poll");
         if st.remaining > 0 || st.taken {
             return None;
         }
@@ -260,10 +287,12 @@ impl<T> BatchHandle<T> {
     ///
     /// Panics if the result was already taken by [`BatchHandle::poll`].
     pub fn wait(self) -> Result<Vec<T>, JobError> {
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
         while st.remaining > 0 {
+            // panic-ok: see `BatchCell::st`.
             st = self.cell.done.wait(st).expect("handle lock");
         }
+        check_yield!("handle.batch.wait_take");
         assert!(!st.taken, "batch result already taken");
         Self::take(&mut st)
     }
@@ -273,7 +302,7 @@ impl<T> BatchHandle<T> {
     /// usable) or if the result was already taken.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<T>, JobError>> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
         while st.remaining > 0 {
             let now = Instant::now();
             if now >= deadline {
@@ -283,7 +312,7 @@ impl<T> BatchHandle<T> {
                 .cell
                 .done
                 .wait_timeout(st, deadline - now)
-                .expect("handle lock");
+                .expect("handle lock"); // panic-ok: see `BatchCell::st`
             st = guard;
         }
         if st.taken {
@@ -299,6 +328,8 @@ impl<T> BatchHandle<T> {
         }
         let mut out = Vec::new();
         for part in st.parts.iter_mut() {
+            // panic-ok: callers only reach `take` at `remaining == 0`
+            // with no failure, which means every part was filled.
             out.extend(part.take().expect("all chunks completed"));
         }
         Ok(out)
@@ -320,7 +351,8 @@ impl<T> Clone for BatchCompleter<T> {
 
 impl<T> BatchCompleter<T> {
     pub(crate) fn complete_chunk(&self, index: usize, result: Result<Vec<T>, JobError>) {
-        let mut st = self.cell.state.lock().expect("handle lock");
+        let mut st = self.cell.st();
+        check_yield!("handle.batch.complete_chunk");
         match result {
             Ok(part) => st.parts[index] = Some(part),
             Err(err) => st.failed = Some(err),

@@ -43,9 +43,9 @@
 //! # let _ = classes;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
 
+pub(crate) mod check;
+pub(crate) mod claim;
 pub mod engine;
 pub mod faults;
 pub mod handle;

@@ -37,10 +37,11 @@
 //!   `dp_gateway`) consult the flag and reject new work with a typed
 //!   error until an operator calls [`WorkerPool::reset_degraded`].
 
+use crate::check::{self, check_yield, Condvar, Mutex};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -198,6 +199,14 @@ struct WorkerWatch {
     stall_handler: Mutex<Option<Box<dyn FnOnce() + Send + 'static>>>,
 }
 
+impl WorkerWatch {
+    /// The parked stall handler (lock order: `state` before this).
+    fn handler(&self) -> check::MutexGuard<'_, Option<Box<dyn FnOnce() + Send + 'static>>> {
+        // panic-ok: holders only move the boxed handler; no unwind.
+        self.stall_handler.lock().expect("stall handler lock")
+    }
+}
+
 struct Shared {
     state: Mutex<State>,
     /// Signalled when work arrives or shutdown flips.
@@ -231,12 +240,31 @@ impl Shared {
         self.epoch.elapsed().as_millis() as u64 + 1
     }
 
+    /// The central queue/accounting lock.
+    fn st(&self) -> check::MutexGuard<'_, State> {
+        // panic-ok: no holder of the state lock can unwind — jobs run
+        // outside every lock — so poisoning is unreachable.
+        self.state.lock().expect("pool lock")
+    }
+
+    /// Worker `i`'s LIFO slot (lock order: `state` before any slot).
+    fn slot(&self, i: usize) -> check::MutexGuard<'_, Vec<Job>> {
+        // panic-ok: slot holders only push/pop a Vec; no unwind.
+        self.slots[i].lock().expect("slot lock")
+    }
+
+    /// The worker-thread handle table (lock order: `state` before this).
+    fn thread_table(&self) -> check::MutexGuard<'_, Vec<Option<JoinHandle<()>>>> {
+        // panic-ok: holders only swap Option handles; no unwind.
+        self.threads.lock().expect("threads lock")
+    }
+
     /// Pops the next job for worker `me`: own slot newest-first, then the
     /// injector, then steal oldest-first from the other slots. Must be
     /// called with the `state` lock held (`st` is that guard's contents).
     fn take_job(&self, st: &mut State, me: usize) -> Option<Job> {
         if st.queued_local > 0 {
-            if let Some(job) = self.slots[me].lock().expect("slot lock").pop() {
+            if let Some(job) = self.slot(me).pop() {
                 st.queued_local -= 1;
                 return Some(job);
             }
@@ -248,7 +276,7 @@ impl Shared {
             let n = self.slots.len();
             for off in 1..n {
                 let victim = (me + off) % n;
-                let mut slot = self.slots[victim].lock().expect("slot lock");
+                let mut slot = self.slot(victim);
                 if !slot.is_empty() {
                     let job = slot.remove(0);
                     st.queued_local -= 1;
@@ -264,6 +292,7 @@ impl Shared {
     fn note_panic(&self) {
         let Some(budget) = self.budget else { return };
         let now = Instant::now();
+        // panic-ok: holders only mutate a VecDeque; no unwind.
         let mut times = self.panic_times.lock().expect("panic budget lock");
         times.push_back(now);
         while let Some(&front) = times.front() {
@@ -274,6 +303,9 @@ impl Shared {
             }
         }
         if times.len() as u64 > u64::from(budget.max_panics) {
+            // seqcst-ok: standalone admission flag read lock-free by the
+            // engine/gateway; the cold full fence keeps the degraded flip
+            // immediately visible to every admission thread.
             self.degraded.store(true, Ordering::SeqCst);
         }
     }
@@ -303,6 +335,8 @@ fn spawn_worker(shared: &Arc<Shared>, slot: usize, gen: u64) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("dp-serve-worker-{slot}-g{gen}"))
         .spawn(move || worker_loop(&shared, slot, gen))
+        // panic-ok: thread spawn fails only on resource exhaustion at
+        // pool construction / respawn; no graceful degradation exists.
         .expect("spawn pool worker")
 }
 
@@ -323,23 +357,28 @@ impl WorkerPool {
     ) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                injector: VecDeque::new(),
-                queued_local: 0,
-                active: 0,
-                shutdown: false,
-            }),
-            work: Condvar::new(),
-            progress: Condvar::new(),
-            slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            state: check::mutex(
+                "pool.state",
+                State {
+                    injector: VecDeque::new(),
+                    queued_local: 0,
+                    active: 0,
+                    shutdown: false,
+                },
+            ),
+            work: check::condvar(),
+            progress: check::condvar(),
+            slots: (0..workers)
+                .map(|_| check::mutex("pool.slot", Vec::new()))
+                .collect(),
             watches: (0..workers)
                 .map(|_| WorkerWatch {
                     gen: AtomicU64::new(0),
                     busy_since_ms: AtomicU64::new(0),
-                    stall_handler: Mutex::new(None),
+                    stall_handler: check::mutex("pool.stall_handler", None),
                 })
                 .collect(),
-            threads: Mutex::new((0..workers).map(|_| None).collect()),
+            threads: check::mutex("pool.threads", (0..workers).map(|_| None).collect()),
             epoch: Instant::now(),
             jobs_run: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -347,10 +386,10 @@ impl WorkerPool {
             respawned: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             budget,
-            panic_times: Mutex::new(VecDeque::new()),
+            panic_times: check::mutex("pool.panic_times", VecDeque::new()),
         });
         {
-            let mut threads = shared.threads.lock().expect("threads lock");
+            let mut threads = shared.thread_table();
             for i in 0..workers {
                 threads[i] = Some(spawn_worker(&shared, i, 0));
             }
@@ -360,6 +399,7 @@ impl WorkerPool {
             std::thread::Builder::new()
                 .name("dp-serve-watchdog".to_string())
                 .spawn(move || watchdog_loop(&shared, cfg))
+                // panic-ok: see `spawn_worker`.
                 .expect("spawn pool watchdog")
         });
         WorkerPool { shared, watchdog }
@@ -372,12 +412,15 @@ impl WorkerPool {
 
     /// Observability counters.
     pub fn stats(&self) -> PoolStats {
+        // relaxed-ok: independent monotone counters; a stats read needs
+        // no ordering against the workers that bump them.
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         PoolStats {
             workers: self.shared.slots.len(),
-            jobs_run: self.shared.jobs_run.load(Ordering::Relaxed),
-            panics: self.shared.panics.load(Ordering::Relaxed),
-            stalled: self.shared.stalled.load(Ordering::Relaxed),
-            respawned: self.shared.respawned.load(Ordering::Relaxed),
+            jobs_run: ld(&self.shared.jobs_run),
+            panics: ld(&self.shared.panics),
+            stalled: ld(&self.shared.stalled),
+            respawned: ld(&self.shared.respawned),
             degraded: self.is_degraded(),
         }
     }
@@ -386,6 +429,8 @@ impl WorkerPool {
     /// (and still accepts jobs — admission layers are the ones expected to
     /// consult this flag and reject with a typed error).
     pub fn is_degraded(&self) -> bool {
+        // seqcst-ok: pairs with the SeqCst stores in `note_panic` /
+        // `reset_degraded`; lock-free admission check off the hot loop.
         self.shared.degraded.load(Ordering::SeqCst)
     }
 
@@ -395,8 +440,9 @@ impl WorkerPool {
         self.shared
             .panic_times
             .lock()
-            .expect("panic budget lock")
+            .expect("panic budget lock") // panic-ok: see `note_panic`
             .clear();
+        // seqcst-ok: pairs with the loads in `is_degraded`.
         self.shared.degraded.store(false, Ordering::SeqCst);
     }
 
@@ -406,7 +452,7 @@ impl WorkerPool {
     ///
     /// [`ShuttingDown`] once [`WorkerPool::shutdown`] has begun.
     pub fn spawn(&self, job: Job) -> Result<(), ShuttingDown> {
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.st();
         if st.shutdown {
             return Err(ShuttingDown);
         }
@@ -429,7 +475,7 @@ impl WorkerPool {
     /// from the batch was enqueued.
     pub fn spawn_batch(&self, jobs: Vec<(usize, Job)>) -> Result<(), ShuttingDown> {
         let n_slots = self.shared.slots.len();
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.st();
         if st.shutdown {
             return Err(ShuttingDown);
         }
@@ -437,7 +483,7 @@ impl WorkerPool {
         for (hint, job) in jobs {
             let slot = hint % n_slots;
             st.queued_local += 1;
-            self.shared.slots[slot].lock().expect("slot lock").push(job);
+            self.shared.slot(slot).push(job);
         }
         drop(st);
         if n == 1 {
@@ -452,7 +498,7 @@ impl WorkerPool {
     /// jobs currently executing. This is the pressure signal admission
     /// layers (the `dp_gateway` dispatcher) throttle on.
     pub fn queue_depth(&self) -> usize {
-        self.shared.state.lock().expect("pool lock").depth()
+        self.shared.st().depth()
     }
 
     /// Blocks until [`WorkerPool::queue_depth`] drops below `below` (or
@@ -462,12 +508,13 @@ impl WorkerPool {
     /// (draining semantics) — and under a watchdog even a wedged worker's
     /// accounting is settled.
     pub fn wait_depth_below(&self, below: usize) -> usize {
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.st();
         loop {
             let depth = st.depth();
             if depth < below || st.is_drained() {
                 return depth;
             }
+            // panic-ok: see `Shared::st` — the state lock cannot poison.
             st = self.shared.progress.wait(st).expect("pool lock");
         }
     }
@@ -477,7 +524,7 @@ impl WorkerPool {
     /// first (the depth condition still false).
     pub fn wait_depth_below_for(&self, below: usize, timeout: Duration) -> Option<usize> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.st();
         loop {
             let depth = st.depth();
             if depth < below || st.is_drained() {
@@ -491,7 +538,7 @@ impl WorkerPool {
                 .shared
                 .progress
                 .wait_timeout(st, deadline - now)
-                .expect("pool lock");
+                .expect("pool lock"); // panic-ok: see `Shared::st`
             st = guard;
         }
     }
@@ -505,12 +552,12 @@ impl WorkerPool {
     /// [`ShuttingDown`] once [`WorkerPool::shutdown`] has begun.
     pub fn spawn_at(&self, hint: usize, job: Job) -> Result<(), ShuttingDown> {
         let slot = hint % self.shared.slots.len();
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.st();
         if st.shutdown {
             return Err(ShuttingDown);
         }
         st.queued_local += 1;
-        self.shared.slots[slot].lock().expect("slot lock").push(job);
+        self.shared.slot(slot).push(job);
         drop(st);
         // One waker suffices: whichever worker wakes reaches the job via
         // its own slot, the injector, or the steal scan.
@@ -520,8 +567,9 @@ impl WorkerPool {
 
     /// Blocks until every submitted job has finished executing.
     pub fn wait_idle(&self) {
-        let mut st = self.shared.state.lock().expect("pool lock");
+        let mut st = self.shared.st();
         while !st.is_drained() {
+            // panic-ok: see `Shared::st` — the state lock cannot poison.
             st = self.shared.progress.wait(st).expect("pool lock");
         }
     }
@@ -532,7 +580,7 @@ impl WorkerPool {
     /// later joins the workers.
     pub fn begin_shutdown(&self) {
         {
-            let mut st = self.shared.state.lock().expect("pool lock");
+            let mut st = self.shared.st();
             if st.shutdown {
                 return;
             }
@@ -550,13 +598,16 @@ impl WorkerPool {
     pub fn shutdown(&mut self) {
         self.begin_shutdown();
         let handles: Vec<JoinHandle<()>> = {
-            let mut threads = self.shared.threads.lock().expect("threads lock");
+            let mut threads = self.shared.thread_table();
             threads.iter_mut().filter_map(Option::take).collect()
         };
         for h in handles {
+            // panic-ok: the worker loop catches job panics; an unwind
+            // here is a pool bug worth crashing loudly on.
             h.join().expect("pool worker never panics");
         }
         if let Some(w) = self.watchdog.take() {
+            // panic-ok: same contract as the worker join above.
             w.join().expect("pool watchdog never panics");
         }
     }
@@ -572,27 +623,35 @@ fn worker_loop(shared: &Shared, me: usize, my_gen: u64) {
     let watch = &shared.watches[me];
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool lock");
+            let mut st = shared.st();
             loop {
-                if watch.gen.load(Ordering::SeqCst) != my_gen {
+                // relaxed-ok: (audited, was SeqCst) every access to `gen`
+                // — this check, the post-job check, and the watchdog's
+                // bump — happens under the state lock, which already
+                // orders them; the fence bought nothing.
+                if watch.gen.load(Ordering::Relaxed) != my_gen {
                     // Abandoned while idle (cannot happen today — the
                     // watchdog only retires busy workers — but harmless
                     // and future-proof).
                     return;
                 }
                 if let Some(mut job) = shared.take_job(&mut st, me) {
+                    check_yield!("pool.worker.pickup");
                     st.active += 1;
                     // Heartbeat + stall handler are published before the
                     // job runs, all under the state lock the watchdog
                     // scans under.
-                    *watch.stall_handler.lock().expect("stall handler lock") =
-                        job.on_stalled.take();
-                    watch.busy_since_ms.store(shared.now_ms(), Ordering::SeqCst);
+                    *watch.handler() = job.on_stalled.take();
+                    let now = shared.now_ms();
+                    // relaxed-ok: (audited, was SeqCst) only written and
+                    // read under the state lock, like `gen`.
+                    watch.busy_since_ms.store(now, Ordering::Relaxed);
                     break job;
                 }
                 if st.shutdown {
                     return;
                 }
+                // panic-ok: see `Shared::st` — the state lock cannot poison.
                 st = shared.work.wait(st).expect("pool lock");
             }
         };
@@ -600,20 +659,25 @@ fn worker_loop(shared: &Shared, me: usize, my_gen: u64) {
         // job (the engine layer has already arranged for the request's
         // completion handle to be poisoned).
         let panicked = catch_unwind(AssertUnwindSafe(job.run)).is_err();
-        let mut st = shared.state.lock().expect("pool lock");
-        if watch.gen.load(Ordering::SeqCst) != my_gen {
+        let mut st = shared.st();
+        check_yield!("pool.worker.settle");
+        // relaxed-ok: under the state lock; see the pickup-loop note.
+        if watch.gen.load(Ordering::Relaxed) != my_gen {
             // The watchdog declared this worker stalled while the job ran:
             // it already settled `active`/`jobs_run`, ran the stall
             // handler, and handed the slot (heartbeat included) to a
             // replacement. Exit without touching anything.
             return;
         }
-        watch.busy_since_ms.store(0, Ordering::SeqCst);
-        *watch.stall_handler.lock().expect("stall handler lock") = None;
+        // relaxed-ok: under the state lock; see the pickup-loop note.
+        watch.busy_since_ms.store(0, Ordering::Relaxed);
+        *watch.handler() = None;
         if panicked {
+            // relaxed-ok: monotone counter; stats reads need no ordering.
             shared.panics.fetch_add(1, Ordering::Relaxed);
             shared.note_panic();
         }
+        // relaxed-ok: monotone counter; drain waiters sync via the lock.
         shared.jobs_run.fetch_add(1, Ordering::Relaxed);
         st.active -= 1;
         drop(st);
@@ -630,37 +694,41 @@ fn watchdog_loop(shared: &Arc<Shared>, cfg: WatchdogConfig) {
     loop {
         let mut handlers: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
         {
-            let mut st = shared.state.lock().expect("pool lock");
+            let mut st = shared.st();
             if st.shutdown && st.is_drained() {
                 return;
             }
             let now = shared.now_ms();
             for (i, watch) in shared.watches.iter().enumerate() {
-                let busy = watch.busy_since_ms.load(Ordering::SeqCst);
+                // relaxed-ok: under the state lock; see `worker_loop`.
+                let busy = watch.busy_since_ms.load(Ordering::Relaxed);
                 if busy == 0 || now.saturating_sub(busy) < stall_ms {
                     continue;
                 }
+                check_yield!("pool.watchdog.claim");
                 // Stalled: retire this worker's generation. The wedged
                 // thread will see the bump when (if ever) its job returns
                 // and exit without double-accounting.
-                let next_gen = watch.gen.load(Ordering::SeqCst) + 1;
-                watch.gen.store(next_gen, Ordering::SeqCst);
-                watch.busy_since_ms.store(0, Ordering::SeqCst);
+                // relaxed-ok: under the state lock; see `worker_loop`.
+                let next_gen = watch.gen.load(Ordering::Relaxed) + 1;
+                // relaxed-ok: under the state lock; see `worker_loop`.
+                watch.gen.store(next_gen, Ordering::Relaxed);
+                // relaxed-ok: under the state lock; see `worker_loop`.
+                watch.busy_since_ms.store(0, Ordering::Relaxed);
                 st.active -= 1;
+                // relaxed-ok: monotone counters; see `worker_loop`.
                 shared.jobs_run.fetch_add(1, Ordering::Relaxed);
+                // relaxed-ok: monotone counters; see `worker_loop`.
                 shared.stalled.fetch_add(1, Ordering::Relaxed);
-                if let Some(h) = watch
-                    .stall_handler
-                    .lock()
-                    .expect("stall handler lock")
-                    .take()
-                {
+                if let Some(h) = watch.handler().take() {
                     handlers.push(h);
                 }
                 // Respawn on the same slot; dropping the old handle
                 // detaches the wedged thread.
                 let replacement = spawn_worker(shared, i, next_gen);
-                shared.threads.lock().expect("threads lock")[i] = Some(replacement);
+                shared.thread_table()[i] = Some(replacement);
+                check_yield!("pool.watchdog.respawn");
+                // relaxed-ok: monotone counter; see `worker_loop`.
                 shared.respawned.fetch_add(1, Ordering::Relaxed);
             }
             if handlers.is_empty() {
@@ -668,7 +736,7 @@ fn watchdog_loop(shared: &Arc<Shared>, cfg: WatchdogConfig) {
                 let (guard, _timeout) = shared
                     .progress
                     .wait_timeout(st, cfg.poll_interval)
-                    .expect("pool lock");
+                    .expect("pool lock"); // panic-ok: see `Shared::st`
                 drop(guard);
                 continue;
             }
@@ -687,11 +755,25 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    /// Test-only counter bump, keeping the ordering annotation in one
+    /// place.
+    fn bump(c: &AtomicUsize) {
+        // seqcst-ok: cross-thread test counter; SeqCst keeps the
+        // assertions free of ordering caveats at test-only cost.
+        c.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Test-only counter read; see [`bump`].
+    fn get(c: &AtomicUsize) -> usize {
+        // seqcst-ok: pairs with `bump`.
+        c.load(Ordering::SeqCst)
+    }
+
     fn counting_job(counter: &Arc<AtomicUsize>) -> Job {
         let counter = Arc::clone(counter);
         Job::new(move || {
             std::thread::sleep(Duration::from_micros(200));
-            counter.fetch_add(1, Ordering::SeqCst);
+            bump(&counter);
         })
     }
 
@@ -707,7 +789,7 @@ mod tests {
             }
         }
         pool.wait_idle();
-        assert_eq!(counter.load(Ordering::SeqCst), 40);
+        assert_eq!(get(&counter), 40);
         assert_eq!(pool.stats().jobs_run, 40);
         assert_eq!(pool.stats().panics, 0);
     }
@@ -721,11 +803,11 @@ mod tests {
         }
         // Shut down immediately: every queued job must still run.
         pool.shutdown();
-        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(get(&counter), 64);
         // Submissions after shutdown are rejected.
         assert!(pool.spawn(counting_job(&counter)).is_err());
         assert!(pool.spawn_at(0, counting_job(&counter)).is_err());
-        assert_eq!(counter.load(Ordering::SeqCst), 64);
+        assert_eq!(get(&counter), 64);
     }
 
     #[test]
@@ -735,7 +817,7 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         pool.spawn(counting_job(&counter)).unwrap();
         pool.wait_idle();
-        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        assert_eq!(get(&counter), 1);
         let stats = pool.stats();
         assert_eq!(stats.panics, 1);
         assert_eq!(stats.jobs_run, 2);
@@ -751,7 +833,7 @@ mod tests {
             pool.spawn_at(0, counting_job(&counter)).unwrap();
         }
         pool.wait_idle();
-        assert_eq!(counter.load(Ordering::SeqCst), 32);
+        assert_eq!(get(&counter), 32);
     }
 
     #[test]
@@ -768,12 +850,12 @@ mod tests {
         let jobs: Vec<(usize, Job)> = (0..10).map(|i| (i, counting_job(&counter))).collect();
         pool.spawn_batch(jobs).unwrap();
         pool.wait_idle();
-        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(get(&counter), 10);
         pool.shutdown();
         // After shutdown: the whole batch is rejected, nothing runs.
         let jobs: Vec<(usize, Job)> = (0..10).map(|i| (i, counting_job(&counter))).collect();
         assert!(pool.spawn_batch(jobs).is_err());
-        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(get(&counter), 10);
         assert_eq!(pool.stats().jobs_run, 10);
     }
 
@@ -807,7 +889,7 @@ mod tests {
         }
         assert_eq!(pool.wait_depth_below(1), 0);
         assert_eq!(pool.queue_depth(), 0);
-        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(get(&counter), 5);
     }
 
     #[test]
@@ -858,7 +940,7 @@ mod tests {
                 // Wedge the only worker well past the stall threshold.
                 || std::thread::sleep(Duration::from_millis(400)),
                 move || {
-                    stalled_seen.fetch_add(1, Ordering::SeqCst);
+                    bump(&stalled_seen);
                 },
             ))
             .unwrap();
@@ -867,8 +949,8 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         pool.spawn(counting_job(&counter)).unwrap();
         pool.wait_idle();
-        assert_eq!(counter.load(Ordering::SeqCst), 1);
-        assert_eq!(stalled_seen.load(Ordering::SeqCst), 1);
+        assert_eq!(get(&counter), 1);
+        assert_eq!(get(&stalled_seen), 1);
         let stats = pool.stats();
         assert_eq!(stats.stalled, 1);
         assert_eq!(stats.respawned, 1);

@@ -85,6 +85,22 @@ impl ModelRegistry {
         Self::default()
     }
 
+    /// Read access to the model table.
+    fn rd(&self) -> std::sync::RwLockReadGuard<'_, HashMap<ModelKey, Arc<QuantizedMlp>>> {
+        // panic-ok: the registry lock is only poisoned if a reader/writer
+        // panicked while holding it; every critical section here is a
+        // HashMap operation that cannot panic, so poisoning means memory
+        // corruption already happened and continuing would serve from a
+        // torn table.
+        self.models.read().expect("registry lock")
+    }
+
+    /// Write access to the model table.
+    fn wr(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<ModelKey, Arc<QuantizedMlp>>> {
+        // panic-ok: see `ModelRegistry::rd`.
+        self.models.write().expect("registry lock")
+    }
+
     /// Registers `model` under `name`, deriving the format descriptor from
     /// the model itself. Returns the key; an existing entry under the same
     /// key is replaced (in-flight requests keep their `Arc`).
@@ -112,25 +128,20 @@ impl ModelRegistry {
                 reason: e.reason().to_string(),
             });
         }
-        self.models
-            .write()
-            .expect("registry lock")
-            .insert(key.clone(), Arc::new(model));
+        self.wr().insert(key.clone(), Arc::new(model));
         Ok(key)
     }
 
     /// Looks up a model by key.
     pub fn get(&self, key: &ModelKey) -> Option<Arc<QuantizedMlp>> {
-        self.models.read().expect("registry lock").get(key).cloned()
+        self.rd().get(key).cloned()
     }
 
     /// All keys registered under a logical name (one per format),
     /// sorted by format descriptor for determinism.
     pub fn formats_of(&self, name: &str) -> Vec<ModelKey> {
         let mut keys: Vec<ModelKey> = self
-            .models
-            .read()
-            .expect("registry lock")
+            .rd()
             .keys()
             .filter(|k| k.name == name)
             .cloned()
@@ -141,25 +152,19 @@ impl ModelRegistry {
 
     /// Every registered key, sorted for determinism.
     pub fn keys(&self) -> Vec<ModelKey> {
-        let mut keys: Vec<ModelKey> = self
-            .models
-            .read()
-            .expect("registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut keys: Vec<ModelKey> = self.rd().keys().cloned().collect();
         keys.sort_by(|a, b| (&a.name, &a.format).cmp(&(&b.name, &b.format)));
         keys
     }
 
     /// Removes a model, returning it if present.
     pub fn remove(&self, key: &ModelKey) -> Option<Arc<QuantizedMlp>> {
-        self.models.write().expect("registry lock").remove(key)
+        self.wr().remove(key)
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock").len()
+        self.rd().len()
     }
 
     /// Whether the registry is empty.
