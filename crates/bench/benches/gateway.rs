@@ -11,7 +11,7 @@ use deep_positron::train::{train, TrainConfig};
 use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
 use dp_bench::timing::{measure, out_path, render_measurements, smoke, write_json, Measurement};
 use dp_fixed::FixedFormat;
-use dp_gateway::{Admission, Gateway, GatewayError, OverloadPolicy, SubmitOptions};
+use dp_gateway::{Admission, Gateway, GatewayError, OverloadPolicy, SubmitOptions, TraceConfig};
 use dp_minifloat::FloatFormat;
 use dp_posit::PositFormat;
 use dp_serve::ModelKey;
@@ -38,10 +38,19 @@ fn formats() -> [(&'static str, NumericFormat); 3] {
 }
 
 fn gateway(policy: OverloadPolicy, mlp: &Mlp) -> (Gateway, Vec<ModelKey>) {
+    gateway_traced(policy, mlp, TraceConfig::off())
+}
+
+fn gateway_traced(
+    policy: OverloadPolicy,
+    mlp: &Mlp,
+    trace: TraceConfig,
+) -> (Gateway, Vec<ModelKey>) {
     let gw = Gateway::builder()
         .chunk_samples(16)
         .queue_capacity(QUEUE_CAPACITY)
         .policy(policy)
+        .trace(trace)
         .build();
     let keys = formats()
         .iter()
@@ -113,6 +122,38 @@ fn main() {
     }));
     let steady_snap = gw_steady.snapshot();
     drop(gw_steady);
+
+    // The same steady-state workload with the flight recorder sampling
+    // every request (worst-case trace overhead: one Arc per admission,
+    // atomic stage stamps, seqlock publication at resolve). CI pins this
+    // row within 10% of steady_mixed3_gateway.
+    let (gw_traced, keys) = gateway_traced(
+        OverloadPolicy::ShedNewest,
+        &mlp,
+        TraceConfig::every_request(),
+    );
+    rows.push(measure(
+        "steady_mixed3_traced",
+        (steady_requests * req_samples) as u64,
+        || {
+            let handles: Vec<_> = (0..steady_requests)
+                .map(|r| {
+                    gw_traced
+                        .try_submit_forward(&keys[r % keys.len()], black_box(req.clone()))
+                        .expect_admitted()
+                })
+                .collect();
+            handles
+                .iter()
+                .map(|h| h.wait().unwrap().len())
+                .sum::<usize>()
+        },
+    ));
+    let traced_stats = gw_traced
+        .recorder()
+        .map(|r| r.stats())
+        .expect("traced gateway has a recorder");
+    drop(gw_traced);
 
     // Burst at 2× capacity, ShedNewest: dispatch paused while the burst
     // lands (so the ring genuinely fills), then released; the overflow is
@@ -242,6 +283,13 @@ fn main() {
                 steady_snap.submitted,
                 steady_snap.admitted,
                 steady_snap.shed_total()
+            ),
+        ),
+        (
+            "traced",
+            format!(
+                "begun={} published={} dropped_contended={}",
+                traced_stats.begun, traced_stats.published, traced_stats.dropped_contended
             ),
         ),
         (

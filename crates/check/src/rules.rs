@@ -37,6 +37,12 @@ pub const CONCURRENCY_CRATES: &[&str] = &[
     "crates/check",
 ];
 
+/// Crates whose serving paths must read time through the
+/// `dp_trace::Clock` seam rather than `Instant::now()` directly —
+/// otherwise manual-clock tests and deterministic replays silently see
+/// a different timeline than production.
+pub const CLOCK_SEAM_CRATES: &[&str] = &["crates/serve", "crates/gateway", "crates/net"];
+
 /// All implemented rules, in reporting order.
 pub const RULES: &[Rule] = &[
     Rule {
@@ -74,6 +80,12 @@ pub const RULES: &[Rule] = &[
         scope: "crates/net/src/wire.rs",
         suppression: "`// time-ok: <reason>`",
         summary: "No `Instant::now()` / `SystemTime::now()` in wire decode paths (decode stays deterministic).",
+    },
+    Rule {
+        id: "clock-via-seam",
+        scope: "serve, gateway, net (non-test code; `wire.rs` has its own stricter rule)",
+        suppression: "`// clock-ok: <reason>`",
+        summary: "Raw `Instant::now()` / `SystemTime::now()` on serving paths must go through the `dp_trace::Clock` seam.",
     },
     Rule {
         id: "prom-drift",
@@ -197,6 +209,17 @@ fn check_file(member: &str, rel: &str, lexed: &LexedFile, report: &mut Report) {
                 "time-ok:",
                 "clock read inside `dp_net::wire`",
                 "keep frame encode/decode pure; resolve deadlines at admission in the server layer",
+            );
+        }
+        if CLOCK_SEAM_CRATES.contains(&member)
+            && !is_wire // wire.rs answers to the stricter wire-decode-deterministic rule
+            && !test_code
+            && (sq.contains("Instant::now(") || sq.contains("SystemTime::now("))
+        {
+            site(
+                report, lexed, idx, "clock-via-seam", rel, lineno, "clock-ok:",
+                "raw clock read on a serving path without a `clock-ok:` justification",
+                "read time through the `dp_trace::Clock` seam (thread a clock handle in), or justify the wall-clock read in a `// clock-ok: …` comment on or above the line",
             );
         }
     }
@@ -543,7 +566,46 @@ mod tests {
         let r = findings_for("crates/net", "crates/net/src/wire.rs", src);
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].rule, "wire-decode-deterministic");
-        assert!(findings_for("crates/net", "crates/net/src/server.rs", src).is_clean());
+        // Outside wire.rs the read is clock-via-seam's business instead.
+        let r = findings_for("crates/net", "crates/net/src/server.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "clock-via-seam");
+    }
+
+    #[test]
+    fn clock_reads_on_serving_paths_need_the_seam_or_a_marker() {
+        let bad = "let now = Instant::now();\n";
+        let r = findings_for("crates/serve", "crates/serve/src/pool.rs", bad);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "clock-via-seam");
+        assert_eq!(r.findings[0].line, 1);
+
+        let wall = "let t = SystemTime::now();\n";
+        let r = findings_for("crates/net", "crates/net/src/server.rs", wall);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "clock-via-seam");
+
+        let ok = "let now = Instant::now(); // clock-ok: rate limiting is a real-time contract\n";
+        let r = findings_for("crates/gateway", "crates/gateway/src/limiter.rs", ok);
+        assert!(r.is_clean());
+        assert_eq!(r.suppressed, 1);
+
+        let above = "// clock-ok: drain-deadline anchor\nst.closed_at = Some(Instant::now());\n";
+        assert!(findings_for("crates/gateway", "crates/gateway/src/ring.rs", above).is_clean());
+    }
+
+    #[test]
+    fn clock_seam_rule_skips_tests_wire_and_out_of_scope_crates() {
+        let src = "let now = Instant::now();\n";
+        // Test files and #[cfg(test)] blocks drive manual clocks anyway.
+        assert!(findings_for("crates/serve", "crates/serve/tests/x.rs", src).is_clean());
+        // wire.rs answers to wire-decode-deterministic, not this rule.
+        let r = findings_for("crates/net", "crates/net/src/wire.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "wire-decode-deterministic");
+        // The seam itself (dp_trace) and the numeric crates are out of scope.
+        assert!(findings_for("crates/trace", "crates/trace/src/clock.rs", src).is_clean());
+        assert!(findings_for("crates/bench", "crates/bench/src/x.rs", src).is_clean());
     }
 
     #[test]

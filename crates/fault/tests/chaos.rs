@@ -492,3 +492,79 @@ fn seeded_probabilistic_storm_reproduces_the_exact_outcome_sequence() {
     );
     assert_ne!(a_outcomes, c_outcomes, "different seeds should diverge");
 }
+
+#[test]
+fn trace_terminals_partition_matches_counters_under_chaos() {
+    let _guard = serial();
+    // Chaos conservation: injected chunk panics + overload shed + expiry
+    // + cancellation in one run, with the flight recorder sampling every
+    // request. The recorder's terminal events must partition exactly into
+    // the Prometheus counters — no double terminals, nothing unaccounted.
+    // (Stalls surface through the same ChunkGuard path as failures, so
+    // the panic injection covers that accounting seam too.)
+    dp_fault::install(dp_fault::FaultPlan::seeded(77).inject_for_model(
+        points::PANIC_IN_CHUNK,
+        "iris",
+        Trigger::FirstN(2),
+        FaultAction::Panic,
+    ));
+    let (mlp, split) = trained_iris();
+    let gw = Gateway::builder()
+        .workers(2)
+        .chunk_samples(4)
+        .queue_capacity(8)
+        .policy(OverloadPolicy::ShedNewest)
+        .trace(dp_gateway::TraceConfig::every_request())
+        .build();
+    let key = gw.registry().register("iris", quantized(&mlp)).unwrap();
+    let xs = batch(&split, 4); // one chunk per request
+
+    gw.pause_dispatch();
+    let cap = gw.queue_capacity();
+    let mut admitted = Vec::new();
+    let mut shed = 0u64;
+    for i in 0..2 * cap {
+        let opts = if i == 1 || i == 2 {
+            SubmitOptions::new().deadline(Instant::now())
+        } else {
+            SubmitOptions::new()
+        };
+        match gw.try_submit_forward_opts(&key, xs.clone(), opts) {
+            Admission::Admitted(h) => admitted.push(h),
+            Admission::QueueFull => shed += 1,
+            other => panic!("unexpected verdict: {other:?}"),
+        }
+    }
+    admitted[4].cancel();
+    admitted[5].cancel();
+    gw.resume_dispatch();
+    for h in &admitted {
+        h.wait_timeout(WAIT)
+            .expect("no admitted handle may hang")
+            .ok();
+    }
+    gw.close();
+
+    let snap = gw.snapshot();
+    let stats = gw.recorder().expect("tracing is on").stats();
+    use dp_gateway::TerminalKind;
+    assert_eq!(stats.begun, cap as u64 + shed);
+    assert_eq!(stats.terminals_total(), stats.begun);
+    assert_eq!(stats.dup_terminals, 0);
+    assert_eq!(stats.terminal(TerminalKind::Completed), snap.completed);
+    assert_eq!(stats.terminal(TerminalKind::Failed), snap.failed);
+    assert_eq!(
+        stats.terminal(TerminalKind::Expired),
+        snap.deadline_exceeded
+    );
+    assert_eq!(stats.terminal(TerminalKind::Cancelled), snap.cancelled);
+    assert_eq!(
+        stats.terminal(TerminalKind::Shed),
+        snap.shed_queue_full + snap.shed_evicted
+    );
+    // The injected panics actually fired and were accounted as failures.
+    assert_eq!(snap.failed, 2);
+    assert_eq!(snap.deadline_exceeded, 2);
+    assert_eq!(snap.cancelled, 2);
+    dp_fault::clear();
+}

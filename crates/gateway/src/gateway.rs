@@ -49,8 +49,9 @@ use dp_serve::{
     EngineConfig, JobError, ModelKey, ModelRegistry, PanicBudget, ServeEngine, ServeError,
     WatchdogConfig,
 };
+use dp_trace::{Clock, Recorder, TerminalKind, TraceConfig, TraceCtx};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -113,6 +114,15 @@ pub struct SubmitOptions {
     /// not yet acted on — dispatch stays FIFO until priority classes land
     /// (see ROADMAP); recorded now so the wire format is forward-stable.
     pub priority_hint: Option<u8>,
+    /// Request id for the flight recorder: network front ends pass the
+    /// wire request id so timelines correlate with client logs; `None`
+    /// makes the gateway assign one (high bit set, to keep the spaces
+    /// visually apart). Also the deterministic sampler input.
+    pub trace_id: Option<u64>,
+    /// When the request's frame was received off the wire, so traced
+    /// timelines include the pre-admission network stage. `None` for
+    /// in-process submissions.
+    pub received: Option<Instant>,
 }
 
 impl SubmitOptions {
@@ -129,6 +139,9 @@ impl SubmitOptions {
 
     /// Sets the deadline `timeout` from now.
     pub fn deadline_in(mut self, timeout: Duration) -> Self {
+        // clock-ok: caller-side sugar computing an absolute wall-clock
+        // deadline at the submission boundary; the gateway's seam-based
+        // clock only *checks* deadlines, it does not mint them.
         self.deadline = Some(Instant::now() + timeout);
         self
     }
@@ -137,6 +150,27 @@ impl SubmitOptions {
     pub fn priority_hint(mut self, hint: u8) -> Self {
         self.priority_hint = Some(hint);
         self
+    }
+
+    /// Attaches a trace identity: the request id the flight recorder
+    /// samples on and renders, plus the frame-receive instant (network
+    /// front ends stamp this so timelines start at the wire).
+    pub fn traced_from(mut self, trace_id: u64, received: Instant) -> Self {
+        self.trace_id = Some(trace_id);
+        self.received = Some(received);
+        self
+    }
+}
+
+/// Maps a gateway verdict onto its flight-recorder terminal kind.
+fn terminal_of(e: &GatewayError) -> TerminalKind {
+    match e {
+        GatewayError::Shed => TerminalKind::Shed,
+        GatewayError::Closed => TerminalKind::Closed,
+        GatewayError::DeadlineExceeded => TerminalKind::Expired,
+        GatewayError::Cancelled => TerminalKind::Cancelled,
+        GatewayError::Degraded => TerminalKind::Degraded,
+        GatewayError::Job(_) => TerminalKind::Failed,
     }
 }
 
@@ -226,6 +260,9 @@ struct Request<T> {
     priority_hint: Option<u8>,
     /// The handle's cancel token, shared with the chunk jobs at dispatch.
     cancel: CancelToken,
+    /// Flight-recorder context (`None` when tracing is off); stamped at
+    /// each pipeline stage, emits the terminal event at resolution.
+    trace: Option<TraceCtx>,
 }
 
 impl<T: Clone + Send + 'static> Request<T> {
@@ -236,12 +273,21 @@ impl<T: Clone + Send + 'static> Request<T> {
             GatewayError::DeadlineExceeded => bump(&self.model_metrics.expired),
             _ => {}
         }
+        if let Some(t) = &self.trace {
+            t.resolve(terminal_of(&reason));
+        }
         self.cell.resolve(Err(reason));
     }
 
     /// Forwards to the engine, wiring per-chunk completion accounting and
     /// the request's cancel token.
-    fn dispatch(self, engine: &ServeEngine, metrics: &Arc<GatewayMetrics>, eval: ChunkEval<T>) {
+    fn dispatch(
+        self,
+        engine: &ServeEngine,
+        metrics: &Arc<GatewayMetrics>,
+        clock: &Clock,
+        eval: ChunkEval<T>,
+    ) {
         let Request {
             model_name,
             model,
@@ -252,22 +298,32 @@ impl<T: Clone + Send + 'static> Request<T> {
             deadline: _,
             priority_hint: _,
             cancel,
+            trace,
         } = self;
+        let now = clock.now();
         metrics
             .queue_wait
-            .record_ns(enqueued.elapsed().as_nanos() as u64);
+            .record_ns(now.saturating_duration_since(enqueued).as_nanos() as u64);
         let n_chunks = xs.len().div_ceil(engine.chunk_samples());
+        if let Some(t) = &trace {
+            t.dispatched(n_chunks as u64);
+        }
         let ctx = Arc::new(RequestCtx {
             remaining: AtomicUsize::new(n_chunks),
             failed: AtomicBool::new(false),
             cancelled: AtomicBool::new(false),
-            started: Instant::now(),
+            started: now,
+            clock: clock.clone(),
             samples: xs.len() as u64,
             metrics: Arc::clone(metrics),
             model_metrics,
+            trace,
         });
         let eval_cancel = cancel.clone();
         let fault_scope = model_name.clone();
+        // For the dispatch-failure arms below: the context (and the trace
+        // handle inside it) moves into the per-chunk closure.
+        let trace_err = ctx.trace.clone();
         let per_chunk = move |m: &QuantizedMlp, chunk: &[Vec<f32>]| {
             // The guard's Drop runs even if `eval` panics (during the
             // unwind the engine's job wrapper catches), so every chunk is
@@ -304,6 +360,9 @@ impl<T: Clone + Send + 'static> Request<T> {
                 // The panic budget tripped between admission and dispatch:
                 // the admitted request is dropped with a typed verdict.
                 bump(&metrics.rejected_degraded);
+                if let Some(t) = &trace_err {
+                    t.resolve(TerminalKind::Degraded);
+                }
                 cell.resolve(Err(GatewayError::Degraded));
             }
             Err(_) => {
@@ -311,6 +370,9 @@ impl<T: Clone + Send + 'static> Request<T> {
                 // possible if the engine is shut down out from under the
                 // gateway): resolve rather than hang the handle.
                 bump(&metrics.dropped_closed);
+                if let Some(t) = &trace_err {
+                    t.resolve(TerminalKind::Closed);
+                }
                 cell.resolve(Err(GatewayError::Closed));
             }
         }
@@ -323,9 +385,13 @@ struct RequestCtx {
     failed: AtomicBool,
     cancelled: AtomicBool,
     started: Instant,
+    /// The gateway's clock seam: service time is measured on it so the
+    /// interleaving checker can virtualize trace/metric time.
+    clock: Clock,
     samples: u64,
     metrics: Arc<GatewayMetrics>,
     model_metrics: Arc<ModelMetrics>,
+    trace: Option<TraceCtx>,
 }
 
 /// Decrements the chunk countdown on drop (normal return *or* panic
@@ -357,6 +423,9 @@ impl Drop for ChunkGuard {
         // stores — the same edge `Arc::drop` uses to free its payload.
         // No path here compares against any other atomic, so the SeqCst
         // total order bought nothing.
+        if let Some(t) = &ctx.trace {
+            t.chunk_done();
+        }
         if ctx.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // relaxed-ok: (audited, was SeqCst) the AcqRel decrement
             // above already synchronized with every store (same for the
@@ -364,21 +433,34 @@ impl Drop for ChunkGuard {
             if ctx.failed.load(Ordering::Relaxed) {
                 bump(&ctx.metrics.failed);
                 bump(&ctx.model_metrics.failed);
+                if let Some(t) = &ctx.trace {
+                    t.resolve(TerminalKind::Failed);
+                }
             // relaxed-ok: see the `failed` load above.
             } else if ctx.cancelled.load(Ordering::Relaxed) {
                 // Cancelled mid-flight: neither completed nor failed.
                 bump(&ctx.metrics.cancelled);
+                if let Some(t) = &ctx.trace {
+                    t.resolve(TerminalKind::Cancelled);
+                }
             } else {
                 // Service time covers completed requests only, so
                 // service_ns / completed is a true per-model mean (a
                 // failed request would otherwise inflate it).
-                let ns = ctx.started.elapsed().as_nanos() as u64;
+                let ns = ctx
+                    .clock
+                    .now()
+                    .saturating_duration_since(ctx.started)
+                    .as_nanos() as u64;
                 ctx.metrics.service.record_ns(ns);
                 bump_by(&ctx.model_metrics.service_ns, ns);
                 bump(&ctx.metrics.completed);
                 bump(&ctx.model_metrics.completed);
                 bump_by(&ctx.metrics.samples_completed, ctx.samples);
                 bump_by(&ctx.model_metrics.samples, ctx.samples);
+                if let Some(t) = &ctx.trace {
+                    t.resolve(TerminalKind::Completed);
+                }
             }
         }
     }
@@ -430,10 +512,10 @@ impl Pending {
         }
     }
 
-    fn dispatch(self, engine: &ServeEngine, metrics: &Arc<GatewayMetrics>) {
+    fn dispatch(self, engine: &ServeEngine, metrics: &Arc<GatewayMetrics>, clock: &Clock) {
         match self {
-            Pending::Forward(r) => r.dispatch(engine, metrics, forward_chunk_cancellable),
-            Pending::Classify(r) => r.dispatch(engine, metrics, classify_chunk_cancellable),
+            Pending::Forward(r) => r.dispatch(engine, metrics, clock, forward_chunk_cancellable),
+            Pending::Classify(r) => r.dispatch(engine, metrics, clock, classify_chunk_cancellable),
         }
     }
 }
@@ -452,6 +534,8 @@ pub struct GatewayBuilder {
     drain_deadline: Duration,
     watchdog: Option<WatchdogConfig>,
     panic_budget: Option<PanicBudget>,
+    trace: TraceConfig,
+    clock: Option<Clock>,
 }
 
 impl Default for GatewayBuilder {
@@ -467,6 +551,8 @@ impl Default for GatewayBuilder {
             drain_deadline: Duration::from_secs(30),
             watchdog: None,
             panic_budget: None,
+            trace: TraceConfig::default(),
+            clock: None,
         }
     }
 }
@@ -558,6 +644,23 @@ impl GatewayBuilder {
         self
     }
 
+    /// Flight-recorder configuration (see [`TraceConfig`]). The default
+    /// records every 16th request into a 64-slot ring plus every slow
+    /// exemplar; [`TraceConfig::off`] disables tracing entirely (no
+    /// recorder is allocated, the hot path carries a `None`).
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = cfg;
+        self
+    }
+
+    /// Overrides the gateway's clock seam (default: [`Clock::real`]).
+    /// Tests pass [`Clock::manual`] so queue-wait, service time and
+    /// slow-exemplar thresholds are deterministic.
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Builds the gateway: spawns the engine's worker pool (plus its
     /// watchdog, if configured) and the dispatcher thread.
     pub fn build(self) -> Gateway {
@@ -583,11 +686,19 @@ impl GatewayBuilder {
                 .collect(),
         );
         let drain_deadline = self.drain_deadline;
+        let clock = self.clock.unwrap_or_default();
+        let recorder = if self.trace.enabled {
+            Some(Recorder::new(self.trace, clock.clone()))
+        } else {
+            None
+        };
         let dispatcher = {
             let ring = Arc::clone(&ring);
             let engine = Arc::clone(&engine);
             let metrics = Arc::clone(&metrics);
             let limiters = Arc::clone(&limiters);
+            let clock = clock.clone();
+            let recorder = recorder.clone();
             std::thread::Builder::new()
                 .name("dp-gateway-dispatch".into())
                 .spawn(move || {
@@ -598,6 +709,8 @@ impl GatewayBuilder {
                         &limiters,
                         max_inflight,
                         drain_deadline,
+                        &clock,
+                        recorder.as_ref(),
                     )
                 })
                 .expect("spawn gateway dispatcher") // panic-ok: thread spawn fails only on OS resource exhaustion at construction
@@ -609,16 +722,20 @@ impl GatewayBuilder {
             limiters,
             policy: self.policy,
             max_inflight,
+            clock,
+            recorder,
+            next_req_id: AtomicU64::new(1),
             dispatcher: Mutex::new(Some(dispatcher)),
         }
     }
 }
 
 /// Why the dispatcher discarded a popped entry instead of dispatching it.
-fn dead_verdict(entry: &Pending) -> Option<GatewayError> {
+/// `now` comes off the gateway's clock seam so expiry is virtualizable.
+fn dead_verdict(entry: &Pending, now: Instant) -> Option<GatewayError> {
     if entry.is_cancelled() {
         Some(GatewayError::Cancelled)
-    } else if entry.deadline().is_some_and(|d| Instant::now() >= d) {
+    } else if entry.deadline().is_some_and(|d| now >= d) {
         Some(GatewayError::DeadlineExceeded)
     } else {
         None
@@ -655,6 +772,7 @@ fn discard(
 /// `max_inflight` chunk jobs. During shutdown the backlog drain is
 /// bounded by `drain_deadline`; past it, remaining entries resolve
 /// `Closed` instead of feeding a saturated engine.
+#[allow(clippy::too_many_arguments)] // one call site, in the builder
 fn dispatcher_loop(
     ring: &SubmissionRing<Pending>,
     engine: &Arc<ServeEngine>,
@@ -662,12 +780,21 @@ fn dispatcher_loop(
     limiters: &HashMap<String, TokenBucket>,
     max_inflight: usize,
     drain_deadline: Duration,
+    clock: &Clock,
+    recorder: Option<&Arc<Recorder>>,
 ) {
     let mut drain_logged = false;
     while let Some(entry) = ring.pop_for_dispatch() {
         // Fault seam: a planned sleep here models dispatcher latency and
         // deterministically widens the expiry-vs-dispatch race window.
         faults::fire(faults::points::DELAY_DISPATCH, Some(entry.model_name()));
+
+        // Dispatch-side queue-depth sample for `/statusz`: together with
+        // the admission-side samples this brackets the depth every request
+        // saw around its ring transit.
+        if let Some(rec) = recorder {
+            rec.note_queue_depth(ring.len());
+        }
 
         // Headroom accounting: this request becomes `chunks` atomic pool
         // jobs, so wait until they fit under the cap — not merely until
@@ -681,7 +808,7 @@ fn dispatcher_loop(
         let chunks = entry.samples().div_ceil(engine.chunk_samples()).max(1);
         let headroom = max_inflight.saturating_sub(chunks);
         let verdict = loop {
-            if let Some(v) = dead_verdict(&entry) {
+            if let Some(v) = dead_verdict(&entry, clock.now()) {
                 break Some(v);
             }
             if let Some(closed_at) = ring.closing_since() {
@@ -695,7 +822,7 @@ fn dispatcher_loop(
             {
                 // Final screen right before dispatch, narrowing the
                 // expiry-vs-dispatch race to the engine handoff itself.
-                break dead_verdict(&entry);
+                break dead_verdict(&entry, clock.now());
             }
         };
         match verdict {
@@ -709,7 +836,7 @@ fn dispatcher_loop(
                 }
                 discard(entry, reason, metrics, limiters);
             }
-            None => entry.dispatch(engine, metrics),
+            None => entry.dispatch(engine, metrics, clock),
         }
         ring.dispatch_done();
     }
@@ -730,6 +857,14 @@ pub struct Gateway {
     limiters: Arc<HashMap<String, TokenBucket>>,
     policy: OverloadPolicy,
     max_inflight: usize,
+    /// The clock seam every gateway timestamp reads through.
+    clock: Clock,
+    /// Flight recorder (`None` when built with [`TraceConfig::off`]).
+    recorder: Option<Arc<Recorder>>,
+    /// Request-id generator for submissions that don't carry a wire id
+    /// ([`SubmitOptions::trace_id`] `None`): ids get the high bit set so
+    /// gateway-assigned and wire id spaces stay visually apart.
+    next_req_id: AtomicU64,
     /// Taken (and joined) by whichever of [`Gateway::close`] / drop runs
     /// first; a `Mutex` so the close seam works through `&self` (network
     /// front ends hold the gateway in an `Arc`).
@@ -762,6 +897,29 @@ impl Gateway {
     /// The model registry (register/lookup/unregister models here).
     pub fn registry(&self) -> &ModelRegistry {
         self.engine.registry()
+    }
+
+    /// Unregisters a model **and prunes its per-model metrics row**, so a
+    /// churny register/unregister workload doesn't grow the metrics map
+    /// (and the `/metrics` exposition) without bound. Returns whether the
+    /// key was registered. Prefer this over `registry().remove(..)`, which
+    /// leaves the metrics row behind.
+    pub fn unregister(&self, key: &ModelKey) -> bool {
+        let removed = self.engine.registry().remove(key).is_some();
+        // Prune unconditionally: a row can exist for a key that was
+        // already unregistered through the raw registry seam.
+        self.metrics.prune_model(key);
+        removed
+    }
+
+    /// The flight recorder behind `/tracez`, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
+    }
+
+    /// The gateway's clock seam (shared with the recorder).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The backing serving engine (pool stats, queue depth).
@@ -981,6 +1139,23 @@ impl Gateway {
         self.engine.close();
     }
 
+    /// Opens a flight-recorder context for an admitted request: wire ids
+    /// pass through ([`SubmitOptions::trace_id`]), in-process submissions
+    /// get a gateway-assigned id with the high bit set.
+    fn begin_trace(
+        &self,
+        rec: &Arc<Recorder>,
+        key: &ModelKey,
+        samples: u64,
+        opts: &SubmitOptions,
+    ) -> TraceCtx {
+        let req_id = opts.trace_id.unwrap_or_else(|| {
+            // relaxed-ok: unique-id counter; no ordering with other memory.
+            self.next_req_id.fetch_add(1, Ordering::Relaxed) | (1 << 63)
+        });
+        rec.begin(req_id, &key.to_string(), samples, opts.received)
+    }
+
     fn admit<T: Clone + Send + 'static>(
         &self,
         key: &ModelKey,
@@ -1017,6 +1192,13 @@ impl Gateway {
             bump(&metrics.completed);
             bump(&model_metrics.admitted);
             bump(&model_metrics.completed);
+            // Even the inline path opens and closes a trace context, so
+            // "every admitted request emits exactly one terminal event"
+            // holds without carve-outs.
+            if let Some(rec) = &self.recorder {
+                let t = self.begin_trace(rec, key, 0, &opts);
+                t.resolve(TerminalKind::Completed);
+            }
             cell.resolve(Ok(Vec::new()));
             return Admission::Admitted(handle);
         }
@@ -1034,16 +1216,25 @@ impl Gateway {
         let model_metrics = metrics.model(key);
         let (handle, cell) = GatewayHandle::pending();
         let cancel = cell.cancel_token();
+        // The trace context opens only once every pre-admission screen has
+        // passed: a rejected-before-admission request (unknown model,
+        // rate-limited, degraded, unsupported) never begins a trace, so
+        // recorder `begun` equals terminal events at quiescence.
+        let trace = self
+            .recorder
+            .as_ref()
+            .map(|rec| self.begin_trace(rec, key, xs.len() as u64, &opts));
         let entry = wrap(Request {
             model_name: key.name().to_string(),
             model,
             xs,
             cell,
             model_metrics: Arc::clone(&model_metrics),
-            enqueued: Instant::now(),
+            enqueued: self.clock.now(),
             deadline: opts.deadline,
             priority_hint: opts.priority_hint,
             cancel,
+            trace: trace.clone(),
         });
         let outcome = if may_block && matches!(self.policy, OverloadPolicy::Block) {
             match self.ring.push_blocking(entry) {
@@ -1059,6 +1250,12 @@ impl Gateway {
                 bump(&metrics.admitted);
                 bump(&model_metrics.admitted);
                 metrics.note_depth(self.ring.len() as u64);
+                if let Some(t) = &trace {
+                    t.enqueued();
+                }
+                if let Some(rec) = &self.recorder {
+                    rec.note_queue_depth(self.ring.len());
+                }
                 Admission::Admitted(handle)
             }
             TryPush::PushedEvicting(evicted) => {
@@ -1066,6 +1263,12 @@ impl Gateway {
                 bump(&model_metrics.admitted);
                 bump(&metrics.shed_evicted);
                 metrics.note_depth(self.ring.len() as u64);
+                if let Some(t) = &trace {
+                    t.enqueued();
+                }
+                if let Some(rec) = &self.recorder {
+                    rec.note_queue_depth(self.ring.len());
+                }
                 // The evictee served nothing either: refund the tokens
                 // *it* was charged (its model may differ from this one's).
                 if let Some(b) = self.limiters.get(evicted.model_name()) {

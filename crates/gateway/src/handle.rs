@@ -323,12 +323,16 @@ impl<T: Clone> GatewayHandle<T> {
     /// chaos tests and latency-sensitive callers hang-free whatever fault
     /// is in play.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<T>, GatewayError>> {
+        // clock-ok: caller-side wall-clock wait bound (the OS condvar wait
+        // below is real-time anyway); the serving pipeline's own
+        // timestamps go through the dp_trace clock seam.
         let deadline = Instant::now() + timeout;
         let mut st = self.cell.st();
         loop {
             match &*st {
                 HandleState::Resolved(r) => return Some(r.clone()),
                 HandleState::Queued => {
+                    // clock-ok: see the deadline note above.
                     let now = Instant::now();
                     if now >= deadline {
                         return None;
@@ -349,6 +353,7 @@ impl<T: Clone> GatewayHandle<T> {
                         unreachable!("matched Dispatched above")
                     };
                     drop(st);
+                    // clock-ok: see the deadline note above.
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     match inner.wait_timeout(remaining) {
                         Some(r) => {

@@ -95,3 +95,8 @@ pub use gateway::{Admission, Gateway, GatewayBuilder, OverloadPolicy, SubmitOpti
 pub use handle::{GatewayError, GatewayHandle, RequestStage};
 pub use limiter::RateLimit;
 pub use metrics::{GatewayMetrics, HistogramSnapshot, MetricsSnapshot, ModelSnapshot};
+// Flight-recorder surface, re-exported so front ends configure tracing
+// through the gateway without a direct dp_trace dependency.
+pub use dp_trace::{
+    Clock, DepthSummary, Recorder, RecorderStats, TerminalKind, Timeline, TraceConfig,
+};

@@ -62,6 +62,9 @@ impl TokenBucket {
                 "gateway.limiter",
                 BucketState {
                     tokens: limit.burst,
+                    // clock-ok: rate limiting is a real-time contract
+                    // (tokens per wall-clock second), not a serving-path
+                    // timestamp; the trace clock never virtualizes it.
                     last_refill: Instant::now(),
                 },
             ),
@@ -94,6 +97,7 @@ impl TokenBucket {
         let cost = cost.clamp(0.0, self.limit.burst);
         check_yield!("limiter.try_acquire");
         let mut st = self.st();
+        // clock-ok: see `last_refill` in the constructor.
         let now = Instant::now();
         let refill = now.duration_since(st.last_refill).as_secs_f64() * self.limit.samples_per_sec;
         st.tokens = (st.tokens + refill).min(self.limit.burst);

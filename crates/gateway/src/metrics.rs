@@ -216,6 +216,20 @@ impl GatewayMetrics {
         )
     }
 
+    /// Drops the per-model counter row for `key`, if any; returns whether
+    /// a row existed. Called by `Gateway::unregister` so a churny
+    /// register/unregister workload doesn't grow the per-model map (and
+    /// every later `/metrics` exposition) one leaked row per retired
+    /// model. Outstanding `Arc<ModelMetrics>` clones held by in-flight
+    /// requests stay valid — they just stop being visible to snapshots.
+    pub fn prune_model(&self, key: &ModelKey) -> bool {
+        self.per_model
+            .write()
+            .expect("metrics lock") // panic-ok: see `model()` — writers cannot unwind mid-write
+            .remove(&key.to_string())
+            .is_some()
+    }
+
     /// Records a ring-depth observation, maintaining the high-water mark.
     pub(crate) fn note_depth(&self, depth: u64) {
         // relaxed-ok: fetch_max keeps the peak monotone on its own; no
@@ -786,6 +800,38 @@ dp_gateway_model_service_ns_total{model=\"iris@posit<8,0>\"} 5000
         // relaxed-ok: same-thread read of a counter bumped above.
         assert_eq!(b.completed.load(Ordering::Relaxed), 1);
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn prune_model_removes_the_row_and_later_expositions() {
+        // Regression: per-model rows used to live forever — every
+        // register/serve/unregister cycle leaked one row into the map and
+        // every subsequent /metrics exposition.
+        let m = GatewayMetrics::default();
+        let keep = ModelKey::new("keep", "posit<8,0>");
+        let churn = ModelKey::new("churn", "posit<8,0>");
+        let kept = m.model(&keep);
+        let churned = m.model(&churn);
+        add(&kept.completed, 2);
+        add(&churned.completed, 5);
+        assert_eq!(m.snapshot(0).per_model.len(), 2);
+
+        assert!(m.prune_model(&churn), "row existed, prune reports it");
+        assert!(!m.prune_model(&churn), "second prune is a no-op");
+        let snap = m.snapshot(0);
+        assert_eq!(snap.per_model.len(), 1);
+        assert_eq!(snap.per_model[0].key, keep.to_string());
+        let prom = snap.to_prometheus();
+        assert!(!prom.contains("churn@"), "{prom}");
+        // A held Arc survives the prune (in-flight requests keep
+        // counting); re-requesting the key starts a fresh row.
+        add(&churned.completed, 1);
+        // relaxed-ok: same-thread read of the counter bumped above.
+        assert_eq!(churned.completed.load(Ordering::Relaxed), 6);
+        let fresh = m.model(&churn);
+        assert!(!Arc::ptr_eq(&fresh, &churned));
+        // relaxed-ok: fresh row was never bumped.
+        assert_eq!(fresh.completed.load(Ordering::Relaxed), 0);
     }
 
     #[test]

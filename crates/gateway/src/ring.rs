@@ -201,6 +201,8 @@ impl<E> SubmissionRing<E> {
         let mut st = self.st();
         st.closing = true;
         if st.closed_at.is_none() {
+            // clock-ok: drain-deadline anchor — shutdown must be bounded
+            // in wall time even under a virtualized trace clock.
             st.closed_at = Some(Instant::now());
         }
         drop(st);

@@ -128,16 +128,41 @@ impl NetClient {
 /// Scrapes `GET /metrics` over a throwaway HTTP/1.0 connection and
 /// returns the exposition body.
 pub fn scrape_metrics(addr: impl ToSocketAddrs) -> io::Result<String> {
+    match http_get(addr, "/metrics")? {
+        (200, body) => Ok(body),
+        (status, _) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("scrape failed: HTTP {status}"),
+        )),
+    }
+}
+
+/// One-shot `GET` against the server's debug endpoints (`/metrics`,
+/// `/tracez`, `/statusz`, `/healthz`); returns the status code and body.
+/// Unlike [`scrape_metrics`] a non-200 is returned, not an error — the
+/// health probe's 503 is a meaningful answer.
+pub fn http_get(addr: impl ToSocketAddrs, path: &str) -> io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;
     match raw.split_once("\r\n\r\n") {
-        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
-        Some((head, _)) => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("scrape failed: {}", head.lines().next().unwrap_or("")),
-        )),
+        Some((head, body)) => {
+            let status = head
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "malformed status line: {}",
+                            head.lines().next().unwrap_or("")
+                        ),
+                    )
+                })?;
+            Ok((status, body.to_string()))
+        }
         None => Err(io::Error::new(
             io::ErrorKind::UnexpectedEof,
             "no HTTP header terminator in scrape response",

@@ -32,7 +32,7 @@ pub mod metrics;
 pub mod server;
 pub mod wire;
 
-pub use client::{scrape_metrics, NetClient};
+pub use client::{http_get, scrape_metrics, NetClient};
 pub use metrics::NetMetrics;
 pub use server::{wire_status_of_error, NetServer, NetServerBuilder};
 pub use wire::{

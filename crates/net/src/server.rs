@@ -124,6 +124,9 @@ impl NetServerBuilder {
         let shared = Arc::new(Shared {
             gateway: self.gateway,
             metrics: NetMetrics::default(),
+            // clock-ok: construction-time anchor for the /statusz uptime
+            // line; never compared against serving-path stamps.
+            started: Instant::now(),
             max_frame_bytes: self.max_frame_bytes,
             max_connections: self.max_connections,
             max_inflight: self.max_inflight,
@@ -155,6 +158,8 @@ impl NetServerBuilder {
 struct Shared {
     gateway: Arc<Gateway>,
     metrics: NetMetrics,
+    /// Bind time, for the `/statusz` uptime line.
+    started: Instant,
     max_frame_bytes: u32,
     max_connections: usize,
     max_inflight: usize,
@@ -202,6 +207,82 @@ impl Shared {
     fn render_metrics(&self) -> String {
         let mut s = self.gateway.snapshot().to_prometheus();
         s.push_str(&self.metrics.to_prometheus());
+        s
+    }
+
+    /// The `/statusz` body: uptime, build info, drain/degraded state,
+    /// connection and queue occupancy, per-worker busy/idle, the
+    /// queue-depth reservoir and recorder totals — the one-page "is this
+    /// process healthy and why" view.
+    fn render_statusz(&self) -> String {
+        use std::fmt::Write as _;
+        let gw = &self.gateway;
+        let mut s = String::with_capacity(1024);
+        let _ = writeln!(s, "dp_net statusz");
+        let _ = writeln!(s, "version: {}", env!("CARGO_PKG_VERSION"));
+        let _ = writeln!(s, "uptime_s: {}", self.started.elapsed().as_secs());
+        let _ = writeln!(s, "draining: {}", self.shutting_down());
+        let _ = writeln!(s, "degraded: {}", gw.is_degraded());
+        let _ = writeln!(
+            s,
+            "connections: live {} / max {}",
+            // relaxed-ok: debug occupancy read; see accept_loop's cap check.
+            self.live_conns.load(Ordering::Relaxed),
+            self.max_connections
+        );
+        let _ = writeln!(
+            s,
+            "queue: depth {} / capacity {}",
+            gw.queue_depth(),
+            gw.queue_capacity()
+        );
+        let engine = gw.engine();
+        let stats = engine.stats();
+        let _ = writeln!(
+            s,
+            "engine: workers {} jobs_run {} panics {} stalled {} respawned {}",
+            stats.workers, stats.jobs_run, stats.panics, stats.stalled, stats.respawned
+        );
+        for (i, busy) in engine.worker_busy_ms().iter().enumerate() {
+            match busy {
+                0 => {
+                    let _ = writeln!(s, "worker[{i}]: idle");
+                }
+                ms => {
+                    let _ = writeln!(s, "worker[{i}]: busy {ms}ms");
+                }
+            }
+        }
+        match gw.recorder() {
+            Some(rec) => {
+                let t = rec.stats();
+                let _ = writeln!(
+                    s,
+                    "trace: begun {} terminals {} published {} slow {} dropped {} dup {}",
+                    t.begun,
+                    t.terminals_total(),
+                    t.published,
+                    t.slow_captured,
+                    t.dropped_contended,
+                    t.dup_terminals
+                );
+                match rec.queue_depth_summary() {
+                    Some(d) => {
+                        let _ = writeln!(
+                            s,
+                            "queue_depth_reservoir: min {} mean {:.1} max {} (n={})",
+                            d.min, d.mean, d.max, d.count
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(s, "queue_depth_reservoir: empty");
+                    }
+                }
+            }
+            None => {
+                let _ = writeln!(s, "trace: disabled");
+            }
+        }
         s
     }
 }
@@ -288,6 +369,8 @@ impl NetServer {
         {
             // panic-ok: see `Shared::drain_expired`
             let mut at = self.shared.shutdown_at.lock().expect("shutdown_at lock");
+            // clock-ok: real-time drain-budget anchor — shutdown must be
+            // bounded in wall time even under a virtualized trace clock.
             at.get_or_insert_with(Instant::now);
         }
         self.shared.signal_shutdown_requested();
@@ -416,6 +499,8 @@ fn read_full(
         match stream.read(&mut buf[filled..]) {
             Ok(0) => return ReadOutcome::Eof,
             Ok(n) => {
+                // clock-ok: slow-loris guard — a wall-clock bound on hostile
+                // peers; doubles as the trace timeline's receive stamp.
                 frame_clock.get_or_insert_with(Instant::now);
                 filled += n;
             }
@@ -514,7 +599,9 @@ fn read_loop(stream: &mut TcpStream, tx: &SyncSender<Reply>, shared: &Arc<Shared
                 return;
             }
         };
-        if !handle_request(req, tx, shared) {
+        // The slow-loris clock started at the frame's first byte — that
+        // same instant is the trace timeline's "received" stamp.
+        if !handle_request(req, tx, shared, clock) {
             return;
         }
     }
@@ -535,7 +622,12 @@ fn protocol_error(tx: &SyncSender<Reply>, shared: &Shared, id: u64, detail: Stri
 
 /// Submits one decoded request. Returns `false` when the connection
 /// should close (writer backpressure channel gone).
-fn handle_request(req: Request, tx: &SyncSender<Reply>, shared: &Arc<Shared>) -> bool {
+fn handle_request(
+    req: Request,
+    tx: &SyncSender<Reply>,
+    shared: &Arc<Shared>,
+    received: Option<Instant>,
+) -> bool {
     let reply = match req {
         Request::Shutdown { id } => {
             if shared.allow_remote_shutdown {
@@ -556,14 +648,14 @@ fn handle_request(req: Request, tx: &SyncSender<Reply>, shared: &Arc<Shared>) ->
             }
         }
         Request::Forward(r) => {
-            let (id, key, xs, opts) = prepare(&shared.metrics, r);
+            let (id, key, xs, opts) = prepare(&shared.metrics, r, received);
             match shared.gateway.try_submit_forward_opts(&key, xs, opts) {
                 Admission::Admitted(h) => Reply::Forward(id, h),
                 other => Reply::Ready(rejection(id, &other)),
             }
         }
         Request::Classify(r) => {
-            let (id, key, xs, opts) = prepare(&shared.metrics, r);
+            let (id, key, xs, opts) = prepare(&shared.metrics, r, received);
             match shared.gateway.try_submit_classify_opts(&key, xs, opts) {
                 Admission::Admitted(h) => Reply::Classify(id, h),
                 other => Reply::Ready(rejection(id, &other)),
@@ -579,6 +671,7 @@ fn handle_request(req: Request, tx: &SyncSender<Reply>, shared: &Arc<Shared>) ->
 fn prepare(
     metrics: &NetMetrics,
     r: InferenceRequest,
+    received: Option<Instant>,
 ) -> (u64, ModelKey, Vec<Vec<f32>>, SubmitOptions) {
     NetMetrics::inc(&metrics.requests);
     let key = ModelKey::new(r.model, r.format);
@@ -586,6 +679,10 @@ fn prepare(
     if r.deadline_ms > 0 {
         opts = opts.deadline_in(Duration::from_millis(u64::from(r.deadline_ms)));
     }
+    // Wire identity for the flight recorder: `/tracez` timelines carry
+    // the client's request id, starting at the frame-receive stamp.
+    opts.trace_id = Some(r.id);
+    opts.received = received;
     (r.id, key, r.xs, opts)
 }
 
@@ -624,19 +721,57 @@ fn serve_http(
             _ => return,
         }
     }
+    // The first token is the request target including any query string
+    // (`/tracez?format=json` arrives as one token).
     let path = head
         .split(|&b| b == b' ')
         .next()
         .map(|p| String::from_utf8_lossy(p).into_owned())
         .unwrap_or_default();
-    let (status_line, body) = if path.starts_with("/metrics") {
+    const TEXT: &str = "text/plain; version=0.0.4";
+    let (status_line, content_type, body) = if path.starts_with("/metrics") {
         NetMetrics::inc(&shared.metrics.http_scrapes);
-        ("HTTP/1.1 200 OK", shared.render_metrics())
+        ("HTTP/1.1 200 OK", TEXT, shared.render_metrics())
+    } else if path.starts_with("/tracez") {
+        NetMetrics::inc(&shared.metrics.http_scrapes);
+        match shared.gateway.recorder() {
+            Some(rec) if path.contains("format=json") => {
+                ("HTTP/1.1 200 OK", "application/json", rec.render_json())
+            }
+            Some(rec) => ("HTTP/1.1 200 OK", TEXT, rec.render_text()),
+            None => (
+                "HTTP/1.1 404 Not Found",
+                TEXT,
+                "tracing disabled (gateway built with TraceConfig::off)\n".to_string(),
+            ),
+        }
+    } else if path.starts_with("/statusz") {
+        NetMetrics::inc(&shared.metrics.http_scrapes);
+        ("HTTP/1.1 200 OK", TEXT, shared.render_statusz())
+    } else if path.starts_with("/healthz") {
+        // Readiness: a draining or degraded process should fall out of
+        // its load balancer before requests start bouncing.
+        NetMetrics::inc(&shared.metrics.http_scrapes);
+        if shared.shutting_down() {
+            (
+                "HTTP/1.1 503 Service Unavailable",
+                TEXT,
+                "draining\n".to_string(),
+            )
+        } else if shared.gateway.is_degraded() {
+            (
+                "HTTP/1.1 503 Service Unavailable",
+                TEXT,
+                "degraded\n".to_string(),
+            )
+        } else {
+            ("HTTP/1.1 200 OK", TEXT, "ok\n".to_string())
+        }
     } else {
-        ("HTTP/1.1 404 Not Found", "not found\n".to_string())
+        ("HTTP/1.1 404 Not Found", TEXT, "not found\n".to_string())
     };
     let resp = format!(
-        "{status_line}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+        "{status_line}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );

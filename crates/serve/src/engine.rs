@@ -222,6 +222,12 @@ impl ServeEngine {
         self.chunk_samples
     }
 
+    /// Per-worker busy time in milliseconds (`0` = idle); see
+    /// [`WorkerPool::worker_busy_ms`](crate::pool::WorkerPool::worker_busy_ms).
+    pub fn worker_busy_ms(&self) -> Vec<u64> {
+        self.pool.worker_busy_ms()
+    }
+
     /// Queued + running pool jobs — the backpressure signal a bounded
     /// front end (the `dp_gateway` dispatcher) throttles on.
     pub fn queue_depth(&self) -> usize {

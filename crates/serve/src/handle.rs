@@ -141,6 +141,8 @@ impl<T> JobHandle<T> {
     /// wait again, poll, or abandon it) or if the result was already
     /// taken.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, JobError>> {
+        // clock-ok: caller-side wall-clock wait bound (the OS condvar
+        // wait below is real-time anyway).
         let deadline = Instant::now() + timeout;
         let mut st = self.cell.st();
         loop {
@@ -149,6 +151,7 @@ impl<T> JobHandle<T> {
                 CellState::Done(r) => return Some(r),
                 CellState::Pending => {
                     *st = CellState::Pending;
+                    // clock-ok: see the deadline note above.
                     let now = Instant::now();
                     if now >= deadline {
                         return None;
@@ -301,9 +304,11 @@ impl<T> BatchHandle<T> {
     /// within `timeout`, returns `None` on timeout (the handle stays
     /// usable) or if the result was already taken.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Vec<T>, JobError>> {
+        // clock-ok: caller-side wall-clock wait bound; see above.
         let deadline = Instant::now() + timeout;
         let mut st = self.cell.st();
         while st.remaining > 0 {
+            // clock-ok: see the deadline note above.
             let now = Instant::now();
             if now >= deadline {
                 return None;

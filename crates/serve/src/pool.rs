@@ -291,6 +291,8 @@ impl Shared {
     /// the trailing-window count exceeds it.
     fn note_panic(&self) {
         let Some(budget) = self.budget else { return };
+        // clock-ok: the panic budget's trailing window is a wall-clock
+        // supervision contract, independent of the trace clock seam.
         let now = Instant::now();
         // panic-ok: holders only mutate a VecDeque; no unwind.
         let mut times = self.panic_times.lock().expect("panic budget lock");
@@ -379,6 +381,7 @@ impl WorkerPool {
                 })
                 .collect(),
             threads: check::mutex("pool.threads", (0..workers).map(|_| None).collect()),
+            // clock-ok: construction-time anchor for busy-ms deltas, never compared to seam time
             epoch: Instant::now(),
             jobs_run: AtomicU64::new(0),
             panics: AtomicU64::new(0),
@@ -423,6 +426,26 @@ impl WorkerPool {
             respawned: ld(&self.shared.respawned),
             degraded: self.is_degraded(),
         }
+    }
+
+    /// Per-worker busy time: `0` for an idle slot, else how many
+    /// milliseconds the slot's current job has been running. Observability
+    /// only (the `/statusz` endpoint renders it); values are heartbeat
+    /// snapshots and may lag a worker's actual state by one store.
+    pub fn worker_busy_ms(&self) -> Vec<u64> {
+        let now = self.shared.now_ms();
+        self.shared
+            .watches
+            .iter()
+            .map(|w| {
+                // relaxed-ok: single-word heartbeat observation; staleness
+                // only skews a debug rendering.
+                match w.busy_since_ms.load(Ordering::Relaxed) {
+                    0 => 0,
+                    since => now.saturating_sub(since).max(1),
+                }
+            })
+            .collect()
     }
 
     /// Whether the panic budget has tripped. The pool itself still drains
@@ -523,6 +546,8 @@ impl WorkerPool {
     /// soon as the depth condition holds, or `None` if `timeout` elapses
     /// first (the depth condition still false).
     pub fn wait_depth_below_for(&self, below: usize, timeout: Duration) -> Option<usize> {
+        // clock-ok: caller-side wall-clock wait bound (the OS condvar
+        // wait below is real-time anyway).
         let deadline = Instant::now() + timeout;
         let mut st = self.shared.st();
         loop {
@@ -530,6 +555,7 @@ impl WorkerPool {
             if depth < below || st.is_drained() {
                 return Some(depth);
             }
+            // clock-ok: see the deadline note above.
             let now = Instant::now();
             if now >= deadline {
                 return None;

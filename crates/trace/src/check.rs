@@ -1,0 +1,26 @@
+//! Compile-time seam for the `dp_check` interleaving checker (feature
+//! `check-yield`), mirroring `dp_serve::check`: with the feature on,
+//! `check_yield!` names a scheduling decision point the checker can
+//! preempt at; without it the macro compiles to nothing, so release
+//! builds carry no hook code. The recorder has no locks to instrument —
+//! only yield points around its slot claim/publish/read sequences.
+
+/// Names a linearization point for the interleaving checker. Expands to
+/// nothing without the `check-yield` feature.
+#[cfg(feature = "check-yield")]
+macro_rules! check_yield {
+    ($point:expr) => {
+        dp_check::check_yield!($point)
+    };
+}
+
+/// Names a linearization point for the interleaving checker. Expands to
+/// nothing without the `check-yield` feature.
+#[cfg(not(feature = "check-yield"))]
+macro_rules! check_yield {
+    ($point:expr) => {{
+        let _ = $point;
+    }};
+}
+
+pub(crate) use check_yield;

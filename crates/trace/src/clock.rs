@@ -1,0 +1,143 @@
+//! The workspace clock seam: one handle every serving-path timestamp
+//! goes through, so tests and the interleaving checker can virtualize
+//! time instead of racing the wall clock.
+//!
+//! A [`Clock`] is either **real** (reads `Instant::now()` against a
+//! fixed epoch) or **manual** (a virtual nanosecond counter advanced
+//! explicitly by tests). Serving code holds a cloned handle and calls
+//! [`Clock::now`]/[`Clock::now_ns`] wherever it used to call
+//! `Instant::now()` directly; the `clock-via-seam` lint enforces the
+//! convention on serve/gateway/net hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared clock handle; cloning is cheap (one `Arc`).
+#[derive(Debug, Clone)]
+pub struct Clock {
+    inner: Arc<ClockInner>,
+}
+
+#[derive(Debug)]
+struct ClockInner {
+    /// The instant nanosecond 0 maps to. Captured once at construction so
+    /// `now_ns` is a plain subtraction on the real path.
+    epoch: Instant,
+    /// `Some(counter)` makes the clock manual: `now_ns` reads the counter
+    /// instead of the wall clock and [`Clock::advance`] moves it.
+    virt: Option<AtomicU64>,
+}
+
+impl Clock {
+    /// A real clock: timestamps come from the wall clock, measured from a
+    /// construction-time epoch.
+    pub fn real() -> Self {
+        Clock {
+            inner: Arc::new(ClockInner {
+                // clock-ok: this constructor IS the seam's single wall-clock
+                // anchor; every later read is elapsed-since-epoch.
+                epoch: Instant::now(),
+                virt: None,
+            }),
+        }
+    }
+
+    /// A manual clock starting at nanosecond 0; time moves only through
+    /// [`Clock::advance`]. Used by tests and the interleaving checker so
+    /// schedules are independent of host timing.
+    pub fn manual() -> Self {
+        Clock {
+            inner: Arc::new(ClockInner {
+                // clock-ok: epoch anchor for mapping virtual nanoseconds
+                // back onto `Instant` arithmetic; never read as "now".
+                epoch: Instant::now(),
+                virt: Some(AtomicU64::new(0)),
+            }),
+        }
+    }
+
+    /// Whether this is a manual (virtualized) clock.
+    pub fn is_manual(&self) -> bool {
+        self.inner.virt.is_some()
+    }
+
+    /// Nanoseconds since the clock's epoch. Monotone on both paths.
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner.virt {
+            // relaxed-ok: the counter is a single monotone word; readers
+            // need no ordering against other memory, only a value that
+            // never runs backwards, which the atomic itself guarantees.
+            Some(v) => v.load(Ordering::Relaxed),
+            None => {
+                // clock-ok: the real branch of the seam itself.
+                let ns = self.inner.epoch.elapsed().as_nanos();
+                u64::try_from(ns).unwrap_or(u64::MAX)
+            }
+        }
+    }
+
+    /// The current time as an `Instant` (epoch + [`Clock::now_ns`]): on a
+    /// real clock this equals `Instant::now()` to within measurement; on a
+    /// manual clock it is the virtual time mapped onto the epoch, so code
+    /// comparing deadlines built from the same clock stays consistent.
+    pub fn now(&self) -> Instant {
+        self.inner.epoch + Duration::from_nanos(self.now_ns())
+    }
+
+    /// The instant nanosecond 0 maps to.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Advances a manual clock by `d`; no-op on a real clock (the wall
+    /// clock advances itself).
+    pub fn advance(&self, d: Duration) {
+        if let Some(v) = &self.inner.virt {
+            let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            // relaxed-ok: monotone counter bump; see `now_ns`.
+            v.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::real()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_tracks_wall_time() {
+        let c = Clock::real();
+        assert!(!c.is_manual());
+        let a = c.now_ns();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now_ns();
+        assert!(b > a, "{b} <= {a}");
+        // `now()` stays consistent with Instant comparisons.
+        assert!(c.now() >= c.epoch());
+        c.advance(Duration::from_secs(1)); // no-op on real clocks
+        assert!(c.now_ns() < 900_000_000, "advance moved a real clock");
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = Clock::manual();
+        assert!(c.is_manual());
+        assert_eq!(c.now_ns(), 0);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.now_ns(), 0);
+        c.advance(Duration::from_micros(5));
+        assert_eq!(c.now_ns(), 5_000);
+        assert_eq!(c.now(), c.epoch() + Duration::from_micros(5));
+        // Clones share the counter.
+        let c2 = c.clone();
+        c2.advance(Duration::from_micros(1));
+        assert_eq!(c.now_ns(), 6_000);
+    }
+}

@@ -1,0 +1,31 @@
+//! `dp_trace` — request-lifecycle flight recorder for the serving stack.
+//!
+//! Prometheus counters say *how many* requests expired; this crate says
+//! *which* and *where the time went*. A [`TraceCtx`] opened at gateway
+//! admission rides the request through the pipeline (net receive →
+//! admission → ring enqueue → dispatch → per-chunk service → terminal
+//! verdict), stamping each stage with one wait-free atomic store. At
+//! the terminal event, sampled requests (deterministic seeded
+//! request-id hash — reproducible in tests and under `check-yield`) and
+//! slow exemplars (latency over [`TraceConfig::slow_threshold`]) are
+//! published into a preallocated seqlock ring the `/tracez` endpoint
+//! renders live, without ever blocking the hot path.
+//!
+//! The crate also owns the workspace **clock seam** ([`Clock`]):
+//! serving paths read time through a shared handle that tests and the
+//! interleaving checker can virtualize; the `clock-via-seam` lint keeps
+//! raw `Instant::now()` off those paths.
+//!
+//! std-only and dependency-free (the optional `check-yield` feature
+//! compiles in `dp_check` scheduling hooks), like the rest of the
+//! workspace's serving layers.
+
+mod check;
+mod clock;
+mod recorder;
+
+pub use clock::Clock;
+pub use recorder::{
+    splitmix64, DepthSummary, Recorder, RecorderStats, TerminalKind, Timeline, TraceConfig,
+    TraceCtx,
+};

@@ -18,7 +18,7 @@
 use deep_positron::train::{train, TrainConfig};
 use deep_positron::{Mlp, NumericFormat, QuantizedMlp};
 use dp_fixed::FixedFormat;
-use dp_gateway::Gateway;
+use dp_gateway::{Gateway, TraceConfig};
 use dp_minifloat::FloatFormat;
 use dp_net::NetServer;
 use dp_posit::PositFormat;
@@ -51,6 +51,9 @@ fn main() {
             .chunk_samples(16)
             .queue_capacity(64)
             .drain_deadline(Duration::from_secs(10))
+            // Sample every request so the e2e job's /tracez scrape always
+            // sees complete timelines (the default is 1-in-16).
+            .trace(TraceConfig::every_request())
             .build(),
     );
     let formats = [
