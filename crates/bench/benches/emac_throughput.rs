@@ -1,12 +1,19 @@
-//! EMAC software-model throughput, **per slice kernel**: exact MACs per
-//! second for each format family through [`dp_emac::Emac::dot_slice`],
-//! one row per kernel the format band can run —
+//! EMAC software-model throughput, **per slice and tile kernel**: exact
+//! MACs per second for each format family through
+//! [`dp_emac::Emac::dot_slice`] and [`dp_emac::Emac::dot_tile`], one row
+//! per kernel the format band can run —
 //!
 //! * `*_product_table` — finished-product table (n ≤ 8, i128 window),
 //! * `*_batched_fused` — gathered fused operands, hi/lo-lane accumulate,
 //! * `*_scalar` — the per-element `mac()` loop on the same fast unit
 //!   (PR 1's scalar fused-LUT path, the pre-slice baseline),
 //! * `*_reference` — the pre-LUT bit-field + `WideInt` datapath,
+//! * `*_product_tile` / `*_fused_tile` / `*_per_column_scalar` — the
+//!   weight-stationary tile kernels: one `dot_tile` of the same row
+//!   against B = 8 activation columns (cache-blocked product table,
+//!   row-gathered fused operands, or the per-column wrap), with
+//!   `elems = K × B` so MACs/sec is directly comparable to the row
+//!   kernels,
 //!
 //! plus the quire for posits. Every row asserts the unit really selected
 //! the kernel it claims to measure, so a silent fallback to a slower path
@@ -16,7 +23,7 @@
 //! baseline `BENCH_emac.json` at the repository root.
 
 use dp_bench::timing::{measure, out_path, render_measurements, write_json, Measurement};
-use dp_emac::{Emac, FixedEmac, FloatEmac, MacKernel, PositEmac};
+use dp_emac::{Emac, FixedEmac, FloatEmac, MacKernel, PositEmac, TileKernel};
 use dp_fixed::FixedFormat;
 use dp_minifloat::FloatFormat;
 use dp_posit::{PositFormat, Quire};
@@ -24,6 +31,10 @@ use std::hint::black_box;
 
 /// Dot-product length (the paper's k = 128 reference accumulation count).
 const K: usize = 128;
+
+/// Batch width of the tile rows (the smallest width the ISSUE's
+/// batch ≥ 8 target cares about; serving chunks are 64).
+const TILE_B: usize = 8;
 
 fn patterns(mask: u32, skip: u32) -> (Vec<u32>, Vec<u32>) {
     let mut s = 0xfeed_f00d_dead_beefu64;
@@ -39,6 +50,29 @@ fn patterns(mask: u32, skip: u32) -> (Vec<u32>, Vec<u32>) {
         xs.push(if b == skip { 0 } else { b });
     }
     (ws, xs)
+}
+
+/// `TILE_B` activation columns of length `K` (same pattern policy as
+/// [`patterns`], distinct stream per column).
+fn tile_cols(mask: u32, skip: u32) -> Vec<Vec<u32>> {
+    let mut s = 0x0ddb_a115_c01a_b007u64;
+    (0..TILE_B)
+        .map(|_| {
+            (0..K)
+                .map(|_| {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    let a = (s as u32) & mask;
+                    if a == skip {
+                        0
+                    } else {
+                        a
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// One `dot_slice` row: asserts the unit runs `kernel`, then measures the
@@ -67,6 +101,35 @@ fn slice_row<E: Emac>(
     ));
 }
 
+/// One `dot_tile` row: asserts the unit runs the `tile` kernel at
+/// `TILE_B` columns, then measures one whole weight-stationary tile
+/// (`K × TILE_B` MACs per iteration, so MACs/sec compares directly with
+/// the per-row kernels).
+fn tile_row<E: Emac>(
+    rows: &mut Vec<Measurement>,
+    label: &str,
+    mut unit: E,
+    tile: TileKernel,
+    ws: &[u32],
+    cols: &[Vec<u32>],
+) {
+    assert_eq!(
+        unit.tile_kernel(cols.len()),
+        tile,
+        "{label}: unit did not select the {tile} tile kernel"
+    );
+    let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+    let mut out = vec![0u32; cols.len()];
+    rows.push(measure(
+        &format!("{label}_dot{K}x{TILE_B}_{tile}"),
+        (K * cols.len()) as u64,
+        || {
+            unit.dot_tile(black_box(0), black_box(ws), black_box(&col_refs), &mut out);
+            out[0]
+        },
+    ));
+}
+
 /// One scalar-loop row (`mac()` per element) on an already-built unit —
 /// the pre-slice PR 1 baseline for fast units, the pre-LUT reference for
 /// `new_reference()` units.
@@ -89,8 +152,29 @@ fn mac_loop_row<E: Emac>(
 fn bench_posit(rows: &mut Vec<Measurement>, n: u32, es: u32) {
     let fmt = PositFormat::new(n, es).unwrap();
     let (ws, xs) = patterns(fmt.mask(), fmt.nar_bits());
+    let cols = tile_cols(fmt.mask(), fmt.nar_bits());
     let label = format!("posit{n}e{es}");
     let expected = PositEmac::new(fmt, K as u64).kernel();
+    tile_row(
+        rows,
+        &label,
+        PositEmac::new(fmt, K as u64),
+        PositEmac::new(fmt, K as u64).tile_kernel(TILE_B),
+        &ws,
+        &cols,
+    );
+    if expected == MacKernel::ProductTable {
+        // The gathered-fused tile on the same 8-bit format, for the
+        // blocked-product-vs-gather comparison at matched width.
+        tile_row(
+            rows,
+            &label,
+            PositEmac::new(fmt, K as u64).with_kernel_cap(MacKernel::BatchedFused),
+            TileKernel::GatherFused,
+            &ws,
+            &cols,
+        );
+    }
 
     if expected == MacKernel::ProductTable {
         slice_row(
@@ -156,7 +240,26 @@ fn bench_posit(rows: &mut Vec<Measurement>, n: u32, es: u32) {
 fn bench_float(rows: &mut Vec<Measurement>, label: &str, we: u32, wf: u32) {
     let fmt = FloatFormat::new(we, wf).unwrap();
     let (ws, xs) = patterns(fmt.mask(), fmt.nan_bits());
+    let cols = tile_cols(fmt.mask(), fmt.nan_bits());
     let expected = FloatEmac::new(fmt, K as u64).kernel();
+    tile_row(
+        rows,
+        label,
+        FloatEmac::new(fmt, K as u64),
+        FloatEmac::new(fmt, K as u64).tile_kernel(TILE_B),
+        &ws,
+        &cols,
+    );
+    if expected == MacKernel::ProductTable {
+        tile_row(
+            rows,
+            label,
+            FloatEmac::new(fmt, K as u64).with_kernel_cap(MacKernel::BatchedFused),
+            TileKernel::GatherFused,
+            &ws,
+            &cols,
+        );
+    }
 
     if expected == MacKernel::ProductTable {
         slice_row(
@@ -204,7 +307,26 @@ fn bench_float(rows: &mut Vec<Measurement>, label: &str, we: u32, wf: u32) {
 fn bench_fixed(rows: &mut Vec<Measurement>, label: &str, n: u32, q: u32) {
     let fmt = FixedFormat::new(n, q).unwrap();
     let (ws, xs) = patterns((1u32 << n) - 1, 1 << n);
+    let cols = tile_cols((1u32 << n) - 1, 1 << n);
     let expected = FixedEmac::new(fmt, K as u64).kernel();
+    tile_row(
+        rows,
+        label,
+        FixedEmac::new(fmt, K as u64),
+        FixedEmac::new(fmt, K as u64).tile_kernel(TILE_B),
+        &ws,
+        &cols,
+    );
+    if expected == MacKernel::ProductTable {
+        tile_row(
+            rows,
+            label,
+            FixedEmac::new(fmt, K as u64).with_kernel_cap(MacKernel::BatchedFused),
+            TileKernel::GatherFused,
+            &ws,
+            &cols,
+        );
+    }
 
     if expected == MacKernel::ProductTable {
         slice_row(
@@ -268,7 +390,9 @@ fn main() {
     println!("{}", render_measurements(&rows));
 
     // Headline speedups per format: each kernel over the reference path
-    // (fixed point has no WideInt reference; its baseline is scalar_mac).
+    // (fixed point has no WideInt reference; its baseline is scalar_mac),
+    // plus each tile kernel over its per-row counterpart at matched
+    // MACs/sec (tile rows carry K × TILE_B elems per iteration).
     let find = |name: &str| rows.iter().find(|m| m.name == name);
     for label in [
         "posit8e0",
@@ -295,6 +419,22 @@ fn main() {
                 );
             }
         }
+        for (tile, row_kernel) in [
+            ("product_tile", "product_table"),
+            ("fused_tile", "batched_fused"),
+            ("per_column_scalar", "scalar"),
+        ] {
+            if let (Some(t), Some(r)) = (
+                find(&format!("{label}_dot{K}x{TILE_B}_{tile}")),
+                find(&format!("{label}_dot{K}_{row_kernel}")),
+            ) {
+                println!(
+                    "{label} {tile}: {:.2}x MACs/sec over {} at B={TILE_B}",
+                    t.elems_per_sec() / r.elems_per_sec(),
+                    r.name,
+                );
+            }
+        }
     }
 
     let path = out_path("emac");
@@ -302,6 +442,7 @@ fn main() {
         ("bench", "emac_throughput".to_string()),
         ("command", "cargo bench --bench emac_throughput".to_string()),
         ("k", K.to_string()),
+        ("tile_b", TILE_B.to_string()),
         (
             "note",
             "elems = MACs; one row per slice kernel through dot_slice: *_product_table = \
@@ -309,7 +450,10 @@ fn main() {
              operands + hi/lo-lane i128 (or 256-bit) accumulate (<= 16 bits), *_scalar = \
              dot_slice on the scalar band; *_scalar_mac = per-element mac() loop on the same \
              fast unit (PR 1's scalar fused-LUT baseline); *_reference = pre-LUT bit-field + \
-             WideInt datapath"
+             WideInt datapath. dot{K}x{B} rows run dot_tile (weight-stationary tile, B \
+             activation columns, elems = K*B): *_product_tile = cache-blocked product table, \
+             *_fused_tile = weight row's fused operands gathered once for all columns, \
+             *_per_column_scalar = per-column wrap on the scalar band"
                 .to_string(),
         ),
     ];

@@ -96,6 +96,25 @@ where
     par_map_with_threads(xs, threads, init, f)
 }
 
+/// Chunk-at-a-time [`par_map_with`]: each worker hands its **whole
+/// contiguous chunk** to `f` in one call instead of one sample at a time,
+/// so the callee can run tile-level kernels across the chunk (the
+/// weight-stationary [`dp_emac::Emac::dot_tile`] sweep in
+/// `QuantizedMlp::forward_batch_bits_with`, in practice). `f` must return
+/// exactly one result per sample, in sample order; ordering and thread
+/// policy match [`par_map_with`].
+pub fn par_chunk_map_with<S, R, I, F>(xs: &[Vec<f32>], init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[Vec<f32>]) -> Vec<R> + Sync,
+{
+    let threads = batch_threads()
+        .min(xs.len() / MIN_SAMPLES_PER_THREAD)
+        .max(1);
+    par_chunk_map_with_threads(xs, threads, init, f)
+}
+
 /// Why a chunk of a scoped batch failed.
 ///
 /// The scoped engine used to `expect` on worker joins, so one poisoned
@@ -144,6 +163,28 @@ where
     }
 }
 
+/// [`par_chunk_map_with`] with an explicit worker count — the policy-free
+/// core, public so the chunked spawn/merge path can be exercised directly
+/// and so worker-count invariance of the tile sweep can be pinned even on
+/// single-core machines. A panicking chunk worker re-raises the original
+/// panic payload on the caller.
+pub fn par_chunk_map_with_threads<S, R, I, F>(
+    xs: &[Vec<f32>],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[Vec<f32>]) -> Vec<R> + Sync,
+{
+    match par_chunk_map_impl(xs, threads, init, f) {
+        Ok(out) => out,
+        Err((_, payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Fallible [`par_map_with_threads`]: a panicking chunk worker is reported
 /// as [`BatchError::ChunkPanicked`] (after every other chunk finished)
 /// instead of tearing down the caller, so admission layers can shed the
@@ -167,9 +208,8 @@ where
         .map_err(|(chunk, _payload)| BatchError::ChunkPanicked { chunk })
 }
 
-/// Shared core: maps in parallel, reporting the first failed chunk with
-/// its original panic payload so each wrapper can choose between the
-/// typed error and a faithful re-raise.
+/// Per-sample core: the chunked engine with `f` lifted to map each chunk
+/// one sample at a time.
 fn par_map_impl<S, R, I, F>(
     xs: &[Vec<f32>],
     threads: usize,
@@ -181,12 +221,33 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &[f32]) -> R + Sync,
 {
+    par_chunk_map_impl(xs, threads, init, |state, slice| {
+        slice.iter().map(|x| f(state, x)).collect()
+    })
+}
+
+/// Shared core: maps whole contiguous chunks in parallel, reporting the
+/// first failed chunk with its original panic payload so each wrapper can
+/// choose between the typed error and a faithful re-raise.
+fn par_chunk_map_impl<S, R, I, F>(
+    xs: &[Vec<f32>],
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, (usize, Box<dyn std::any::Any + Send>)>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[Vec<f32>]) -> Vec<R> + Sync,
+{
     if threads <= 1 || xs.len() <= 1 {
         // One chunk on the caller's thread; a panic is still reported as
         // that chunk failing (everything is discarded on unwind).
         return std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut state = init();
-            xs.iter().map(|x| f(&mut state, x)).collect()
+            let out = f(&mut state, xs);
+            debug_assert_eq!(out.len(), xs.len(), "chunk map must be 1:1");
+            out
         }))
         .map_err(|payload| (0, payload));
     }
@@ -199,7 +260,9 @@ where
             .map(|slice| {
                 scope.spawn(|| {
                     let mut state = init();
-                    slice.iter().map(|x| f(&mut state, x)).collect::<Vec<R>>()
+                    let part = f(&mut state, slice);
+                    debug_assert_eq!(part.len(), slice.len(), "chunk map must be 1:1");
+                    part
                 })
             })
             .collect();
@@ -309,6 +372,26 @@ mod tests {
             .downcast_ref::<&str>()
             .unwrap()
             .contains("serial boom"));
+    }
+
+    #[test]
+    fn par_chunk_map_preserves_order_and_hands_whole_chunks() {
+        let xs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        for threads in [1usize, 3, 10, 1000] {
+            let out = par_chunk_map_with_threads(
+                &xs,
+                threads,
+                || (),
+                |(), chunk| {
+                    // Each worker sees one contiguous chunk and maps it 1:1.
+                    assert!(!chunk.is_empty());
+                    chunk.iter().map(|x| x[0] as usize).collect()
+                },
+            );
+            assert_eq!(out, (0..10).collect::<Vec<_>>(), "threads = {threads}");
+        }
+        let none: Vec<Vec<f32>> = Vec::new();
+        assert!(par_chunk_map_with(&none, || (), |(), c| vec![0usize; c.len()]).is_empty());
     }
 
     #[test]

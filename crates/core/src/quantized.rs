@@ -13,11 +13,15 @@
 //! so a whole layer streams through the cache linearly. Dataset-scale
 //! entry points ([`QuantizedMlp::forward_batch`],
 //! [`QuantizedMlp::infer_batch`], [`QuantizedMlp::accuracy`]) partition
-//! samples across threads, with each thread building its per-layer EMAC
-//! array once and reusing it for every sample — construction, decode
-//! tables and accumulator sizing are amortized across the batch exactly
-//! the way a hardware EMAC array is amortized across a request stream.
-//! Results are bit-identical to per-sample [`QuantizedMlp::forward_bits`].
+//! samples across threads; each thread builds its per-layer EMAC array
+//! once and sweeps its whole contiguous chunk through
+//! [`QuantizedMlp::forward_batch_bits_with`], which evaluates each layer
+//! across the entire chunk before advancing — every neuron's weight row is
+//! fed to [`dp_emac::Emac::dot_tile`] exactly once per layer, so the
+//! weight-stationary tile kernels amortize operand gather and product-table
+//! traffic across the batch the way a hardware EMAC array is amortized
+//! across a request stream. Results are bit-identical to per-sample
+//! [`QuantizedMlp::forward_bits`] (the tile contract).
 //!
 //! Partitioning policy (thread counts, chunking, the scoped-thread
 //! fallback) lives in [`crate::batch`]; the persistent serving path —
@@ -28,7 +32,7 @@
 //! bit-identical too.
 
 pub use crate::batch::batch_threads;
-use crate::batch::par_map_with;
+use crate::batch::{par_chunk_map_with, par_map_with};
 use crate::format::NumericFormat;
 use crate::mlp::Mlp;
 use crate::tensor::argmax;
@@ -267,10 +271,75 @@ impl QuantizedMlp {
             .map(|emacs| emacs.iter().map(|u| u.kernel()).collect())
     }
 
+    /// The tile-level [`dp_emac::TileKernel`] each layer's EMAC runs when
+    /// [`QuantizedMlp::forward_batch_bits_with`] sweeps a chunk of `batch`
+    /// samples (in layer order), or `None` for the `F32` baseline. `batch
+    /// ≤ 1` reports the per-column wrap of [`QuantizedMlp::layer_kernels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the format has no EMAC datapath, like
+    /// [`QuantizedMlp::make_layer_emacs`].
+    pub fn layer_tile_kernels(&self, batch: usize) -> Option<Vec<dp_emac::TileKernel>> {
+        self.make_layer_emacs()
+            .map(|emacs| emacs.iter().map(|u| u.tile_kernel(batch)).collect())
+    }
+
+    /// Whole-chunk EMAC inference with caller-owned EMACs: evaluates each
+    /// layer across **all** of `xs` before advancing to the next, feeding
+    /// every neuron's weight row to [`dp_emac::Emac::dot_tile`] once per
+    /// layer so the tile kernels gather fused operands or cache-block the
+    /// product table across the batch. Per sample, the output is
+    /// bit-identical to [`QuantizedMlp::forward_bits_with`] (the tile
+    /// contract); this is the batch engine's and the serving chunk path's
+    /// inner loop.
+    pub fn forward_batch_bits_with(
+        &self,
+        emacs: &mut [EmacUnit],
+        xs: &[Vec<f32>],
+    ) -> Vec<Vec<u32>> {
+        debug_assert_eq!(emacs.len(), self.layers.len());
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let b = xs.len();
+        let mut acts: Vec<Vec<u32>> = xs.iter().map(|x| self.quantize_input(x)).collect();
+        let last = self.layers.len() - 1;
+        let mut row_out = vec![0u32; b];
+        for (li, (layer, emac)) in self.layers.iter().zip(emacs).enumerate() {
+            let cols: Vec<&[u32]> = acts.iter().map(|a| a.as_slice()).collect();
+            let mut next: Vec<Vec<u32>> = vec![Vec::with_capacity(layer.fan_out()); b];
+            for (wrow, &bias) in layer.weight_rows().zip(layer.biases()) {
+                emac.dot_tile(bias, wrow, &cols, &mut row_out);
+                for (&out, sample) in row_out.iter().zip(next.iter_mut()) {
+                    sample.push(if li != last {
+                        self.format.relu_bits(out)
+                    } else {
+                        out
+                    });
+                }
+            }
+            acts = next;
+        }
+        acts
+    }
+
+    /// Predicted classes for a whole chunk via the tile sweep — the
+    /// classify counterpart of [`QuantizedMlp::forward_batch_bits_with`],
+    /// shared by [`QuantizedMlp::infer_batch`] and the `dp_serve` chunk
+    /// path. Agrees with per-sample [`QuantizedMlp::infer_with`] exactly.
+    pub fn infer_batch_with(&self, emacs: &mut [EmacUnit], xs: &[Vec<f32>]) -> Vec<usize> {
+        self.forward_batch_bits_with(emacs, xs)
+            .iter()
+            .map(|bits| self.argmax_bits(bits))
+            .collect()
+    }
+
     /// EMAC inference over a whole batch, bit-identical to calling
     /// [`QuantizedMlp::forward_bits`] per sample but with the samples
-    /// partitioned across threads and per-layer EMACs reused within each
-    /// thread.
+    /// partitioned across threads, per-layer EMACs reused within each
+    /// thread, and each thread's chunk evaluated as one weight-stationary
+    /// tile sweep per layer ([`QuantizedMlp::forward_batch_bits_with`]).
     ///
     /// Thread count defaults to the machine's available parallelism
     /// (capped by the batch size) and can be pinned with the
@@ -284,10 +353,10 @@ impl QuantizedMlp {
             !matches!(self.format, NumericFormat::F32),
             "forward_batch requires a low-precision format"
         );
-        par_map_with(
+        par_chunk_map_with(
             xs,
             || self.make_layer_emacs().expect("low-precision format"),
-            |emacs, x| self.forward_bits_with(emacs, x),
+            |emacs, chunk| self.forward_batch_bits_with(emacs, chunk),
         )
     }
 
@@ -300,14 +369,15 @@ impl QuantizedMlp {
     }
 
     /// Predicted classes for a whole batch (parallel, EMACs reused per
-    /// thread); agrees with per-sample [`QuantizedMlp::infer`] exactly.
+    /// thread, one tile sweep per layer per chunk); agrees with per-sample
+    /// [`QuantizedMlp::infer`] exactly.
     pub fn infer_batch(&self, xs: &[Vec<f32>]) -> Vec<usize> {
         match self.format {
             NumericFormat::F32 => par_map_with(xs, || (), |(), x| self.infer_inexact(x)),
-            _ => par_map_with(
+            _ => par_chunk_map_with(
                 xs,
                 || self.make_layer_emacs().expect("low-precision format"),
-                |emacs, x| self.infer_with(emacs, x),
+                |emacs, chunk| self.infer_batch_with(emacs, chunk),
             ),
         }
     }
@@ -560,6 +630,97 @@ mod tests {
                 assert_eq!(q.forward_bits(x), scalar_forward(x), "{fmt}");
             }
         }
+    }
+
+    #[test]
+    fn chunk_tile_sweep_is_bit_identical_to_per_sample() {
+        // forward_batch_bits_with evaluates a whole chunk layer-by-layer
+        // through dot_tile; per sample it must match forward_bits exactly,
+        // across every tile band and at ragged chunk widths.
+        let (mlp, split) = trained_iris();
+        for fmt in [
+            NumericFormat::Posit(PositFormat::new(8, 0).unwrap()),
+            NumericFormat::Posit(PositFormat::new(16, 1).unwrap()),
+            NumericFormat::Posit(PositFormat::new(17, 1).unwrap()),
+            NumericFormat::Float(FloatFormat::new(4, 3).unwrap()),
+            NumericFormat::Fixed(FixedFormat::new(8, 5).unwrap()),
+            NumericFormat::Fixed(FixedFormat::new(16, 10).unwrap()),
+        ] {
+            let q = QuantizedMlp::quantize(&mlp, fmt);
+            for take in [1usize, 7, 25] {
+                let xs: Vec<Vec<f32>> = split.test.features.iter().take(take).cloned().collect();
+                let mut emacs = q.make_layer_emacs().unwrap();
+                let chunk = q.forward_batch_bits_with(&mut emacs, &xs);
+                let per_sample: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+                assert_eq!(chunk, per_sample, "{fmt} B={take}");
+                let mut emacs = q.make_layer_emacs().unwrap();
+                let preds = q.infer_batch_with(&mut emacs, &xs);
+                let scalar_preds: Vec<usize> = xs.iter().map(|x| q.infer(x)).collect();
+                assert_eq!(preds, scalar_preds, "{fmt} B={take}");
+            }
+            let mut emacs = q.make_layer_emacs().unwrap();
+            assert!(q.forward_batch_bits_with(&mut emacs, &[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn chunk_worker_count_does_not_change_results() {
+        use crate::batch::par_chunk_map_with_threads;
+        let (mlp, split) = trained_iris();
+        let q = QuantizedMlp::quantize(&mlp, NumericFormat::Posit(PositFormat::new(8, 0).unwrap()));
+        let xs: Vec<Vec<f32>> = split
+            .test
+            .features
+            .iter()
+            .cycle()
+            .take(100)
+            .cloned()
+            .collect();
+        let run = |threads: usize| {
+            par_chunk_map_with_threads(
+                &xs,
+                threads,
+                || q.make_layer_emacs().unwrap(),
+                |emacs, chunk| q.forward_batch_bits_with(emacs, chunk),
+            )
+        };
+        let serial = run(1);
+        // The tile width is the chunk width, so worker count changes B —
+        // bit-identity must hold anyway (per-column tile contract).
+        for threads in [2, 4, 7, 1000] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+        let per_sample: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+        assert_eq!(serial, per_sample);
+    }
+
+    #[test]
+    fn layer_tile_kernels_reports_batch_width_selection() {
+        use dp_emac::{MacKernel, TileKernel};
+        let (mlp, _) = trained_iris();
+        let by_fmt = |fmt: NumericFormat, b: usize| {
+            QuantizedMlp::quantize(&mlp, fmt)
+                .layer_tile_kernels(b)
+                .expect("low-precision format")
+        };
+        let p8 = NumericFormat::Posit(PositFormat::new(8, 0).unwrap());
+        let p16 = NumericFormat::Posit(PositFormat::new(16, 1).unwrap());
+        let p17 = NumericFormat::Posit(PositFormat::new(17, 1).unwrap());
+        assert!(by_fmt(p8, 64)
+            .iter()
+            .all(|&k| k == TileKernel::BlockedProduct));
+        assert!(by_fmt(p8, 1)
+            .iter()
+            .all(|&k| k == TileKernel::PerColumn(MacKernel::ProductTable)));
+        assert!(by_fmt(p16, 64)
+            .iter()
+            .all(|&k| k == TileKernel::GatherFused));
+        assert!(by_fmt(p17, 64)
+            .iter()
+            .all(|&k| k == TileKernel::PerColumn(MacKernel::Scalar)));
+        assert!(QuantizedMlp::quantize(&mlp, NumericFormat::F32)
+            .layer_tile_kernels(64)
+            .is_none());
     }
 
     #[test]

@@ -139,7 +139,10 @@ pub fn simulate(qmlp: &QuantizedMlp, inputs: &[Vec<f32>]) -> (Vec<usize>, Stream
 
 /// One layer of EMAC evaluation on quantized activations (ReLU on hidden
 /// layers, identity on the readout — same semantics as
-/// [`QuantizedMlp::forward_bits`]).
+/// [`QuantizedMlp::forward_bits`]). The streaming FSM advances one input
+/// at a time, so each weight row goes through [`Emac::dot_tile`] with a
+/// single activation column — the B = 1 per-column wrap of the row
+/// kernels, same entry point as the batch tile sweep.
 fn layer_forward(qmlp: &QuantizedMlp, l: usize, acts: &[u32]) -> Vec<u32> {
     let layer = &qmlp.layers[l];
     let last = qmlp.layers.len() - 1;
@@ -147,17 +150,16 @@ fn layer_forward(qmlp: &QuantizedMlp, l: usize, acts: &[u32]) -> Vec<u32> {
         .format
         .make_emac(layer.fan_in() as u64)
         .expect("streaming requires a low-precision format");
+    let mut out = [0u32];
     layer
         .weight_rows()
         .zip(layer.biases())
         .map(|(wrow, &bias)| {
-            emac.set_bias(bias);
-            emac.dot_slice(wrow, acts);
-            let out = emac.result();
+            emac.dot_tile(bias, wrow, &[acts], &mut out);
             if l != last {
-                qmlp.format.relu_bits(out)
+                qmlp.format.relu_bits(out[0])
             } else {
-                out
+                out[0]
             }
         })
         .collect()

@@ -1,6 +1,7 @@
 //! The fixed-point EMAC (paper Fig. 3).
 
 use crate::ceil_log2;
+use crate::kernel::{PRODUCT_TILE_BLOCK, TILE_COL_GROUP};
 use crate::unit::Emac;
 use crate::{MacKernel, UnsupportedFormat};
 use dp_fixed::lut::{DecodeLut, ProductLut};
@@ -48,6 +49,11 @@ pub struct FixedEmac {
     /// (`n ≤ 16`, [`MacKernel::BatchedFused`]).
     batched: bool,
     count: u64,
+    /// Sign-extended weight-row scratch for the gather tile, retained
+    /// across [`Emac::dot_tile`] calls so a tile sweep over a layer does
+    /// not allocate per weight row. Never semantic: cleared and refilled
+    /// on each gather-tile call.
+    gather: Vec<i64>,
 }
 
 impl FixedEmac {
@@ -89,6 +95,7 @@ impl FixedEmac {
             product: dp_fixed::lut::product_cached(fmt),
             batched: fmt.n() <= 16,
             count: 0,
+            gather: Vec::new(),
         })
     }
 
@@ -157,6 +164,105 @@ impl FixedEmac {
             partial += sext(w) * sext(a);
         }
         *acc += partial as i128;
+    }
+
+    /// One column of the gather tile ([`crate::TileKernel::GatherFused`]):
+    /// the 4-chunk partial-sum loop over a pre-sign-extended weight row,
+    /// returning the seeded accumulator value. Exact integer adds
+    /// commute, so the result is bit-identical to the per-column row
+    /// kernel.
+    #[inline(always)]
+    fn tile_direct_col<F: Fn(u32) -> i64>(sext: F, seed: i128, wsext: &[i64], col: &[u32]) -> i128 {
+        let mut acc = seed;
+        let mut wc = wsext.chunks_exact(4);
+        let mut ac = col.chunks_exact(4);
+        for (w4, a4) in (&mut wc).zip(&mut ac) {
+            let mut partial = 0i64;
+            for j in 0..4 {
+                partial += w4[j] * sext(a4[j]);
+            }
+            acc += partial as i128;
+        }
+        let mut partial = 0i64;
+        for (&w, &a) in wc.remainder().iter().zip(ac.remainder()) {
+            partial += w * sext(a);
+        }
+        acc += partial as i128;
+        acc
+    }
+
+    /// One ≤ [`TILE_COL_GROUP`]-column group of the cache-blocked product
+    /// tile body ([`crate::TileKernel::BlockedProduct`]): K tiled in
+    /// [`PRODUCT_TILE_BLOCK`]-weight blocks so a block's `2^n`-entry table
+    /// rows stay hot across the group. A full group runs the 4-wide
+    /// micro-kernel — four independent i64 partials (|entry| < 2^14, so
+    /// even a 32-entry block partial is nowhere near overflow) share each
+    /// weight's hot table row; partial groups stream in pairs plus a
+    /// single-column tail — folding into per-column i128 registers held
+    /// in a fixed stack array (no heap traffic).
+    #[inline(always)]
+    fn tile_product_group(
+        table: &'static ProductLut,
+        seed: i128,
+        weights: &[u32],
+        cols: &[&[u32]],
+        accs: &mut [i128; TILE_COL_GROUP],
+    ) {
+        let g = cols.len();
+        debug_assert!(0 < g && g <= TILE_COL_GROUP);
+        accs.fill(seed);
+        for (kb, wblock) in weights.chunks(PRODUCT_TILE_BLOCK).enumerate() {
+            let base = kb * PRODUCT_TILE_BLOCK;
+            let end = base + wblock.len();
+            if g == TILE_COL_GROUP {
+                let [mut p0, mut p1, mut p2, mut p3] = [0i64; 4];
+                let (c0, c1) = (&cols[0][base..end], &cols[1][base..end]);
+                let (c2, c3) = (&cols[2][base..end], &cols[3][base..end]);
+                for ((((&w, &a0), &a1), &a2), &a3) in wblock.iter().zip(c0).zip(c1).zip(c2).zip(c3)
+                {
+                    let row = table.row(w);
+                    p0 += Self::row_product(row, a0);
+                    p1 += Self::row_product(row, a1);
+                    p2 += Self::row_product(row, a2);
+                    p3 += Self::row_product(row, a3);
+                }
+                accs[0] += p0 as i128;
+                accs[1] += p1 as i128;
+                accs[2] += p2 as i128;
+                accs[3] += p3 as i128;
+                continue;
+            }
+            let mut j = 0;
+            while j + 2 <= g {
+                let (mut p0, mut p1) = (0i64, 0i64);
+                let (c0, c1) = (&cols[j][base..end], &cols[j + 1][base..end]);
+                for ((&w, &a0), &a1) in wblock.iter().zip(c0).zip(c1) {
+                    let row = table.row(w);
+                    p0 += Self::row_product(row, a0);
+                    p1 += Self::row_product(row, a1);
+                }
+                accs[j] += p0 as i128;
+                accs[j + 1] += p1 as i128;
+                j += 2;
+            }
+            if j < g {
+                let mut partial = 0i64;
+                for (&w, &a) in wblock.iter().zip(&cols[j][base..end]) {
+                    partial += Self::row_product(table.row(w), a);
+                }
+                accs[j] += partial as i128;
+            }
+        }
+    }
+
+    /// One product fetched from a weight's contiguous table row
+    /// ([`ProductLut::row`]): the tile resolves the row base once per
+    /// weight and shares it across the group's columns, so each step is
+    /// a masked index with no weight shift and no bounds check (the row
+    /// length is a power of two).
+    #[inline(always)]
+    fn row_product(row: &[i32], a: u32) -> i64 {
+        row[(a as usize) & (row.len() - 1)] as i64
     }
 }
 
@@ -235,6 +341,84 @@ impl Emac for FixedEmac {
         for (&w, &a) in weights.iter().zip(activations) {
             self.acc += self.sext(w) as i128 * self.sext(a) as i128;
         }
+    }
+
+    fn dot_tile(&mut self, bias: u32, weights: &[u32], cols: &[&[u32]], out: &mut [u32]) {
+        assert_eq!(
+            cols.len(),
+            out.len(),
+            "dot_tile: column/output length mismatch"
+        );
+        for col in cols {
+            assert_eq!(
+                col.len(),
+                weights.len(),
+                "dot_tile: column/weight length mismatch"
+            );
+        }
+        let (k, b) = (weights.len(), cols.len());
+        if b == 0 {
+            return;
+        }
+        debug_assert!(k as u64 <= self.capacity, "fixed EMAC over capacity");
+        if b >= 2 && (self.product.is_some() || self.batched) {
+            self.set_bias(bias);
+            let seed = self.acc;
+            // Product band cache-blocks the table; the batched band
+            // sign-extends the weight row once. Same gates as `kernel()`.
+            if let Some(table) = self.product {
+                let mut accs = [0i128; TILE_COL_GROUP];
+                for (cg, og) in cols
+                    .chunks(TILE_COL_GROUP)
+                    .zip(out.chunks_mut(TILE_COL_GROUP))
+                {
+                    Self::tile_product_group(table, seed, weights, cg, &mut accs);
+                    for (acc, slot) in accs.iter().zip(og.iter_mut()) {
+                        self.acc = *acc;
+                        *slot = self.result();
+                    }
+                }
+            } else {
+                let mut wsext = std::mem::take(&mut self.gather);
+                wsext.clear();
+                let n = self.fmt.n();
+                let lut = self.lut;
+                match lut {
+                    Some(l) => wsext.extend(weights.iter().map(|&p| l.decode(p))),
+                    None => {
+                        let sh = 64 - n;
+                        wsext.extend(weights.iter().map(|&p| (((p as u64) << sh) as i64) >> sh));
+                    }
+                }
+                for (col, slot) in cols.iter().zip(out.iter_mut()) {
+                    let acc = match lut {
+                        Some(l) => Self::tile_direct_col(|p| l.decode(p), seed, &wsext, col),
+                        None => {
+                            let sh = 64 - n;
+                            Self::tile_direct_col(
+                                |p| (((p as u64) << sh) as i64) >> sh,
+                                seed,
+                                &wsext,
+                                col,
+                            )
+                        }
+                    };
+                    self.acc = acc;
+                    *slot = self.result();
+                }
+                self.gather = wsext;
+            }
+            self.count = (k * b) as u64;
+            return;
+        }
+        // Per-column baseline: B == 1 keeps the row kernels, the scalar
+        // band stays the differential reference at any width.
+        for (col, slot) in cols.iter().zip(out.iter_mut()) {
+            self.set_bias(bias);
+            self.dot_slice(weights, col);
+            *slot = self.result();
+        }
+        self.count = (k * b) as u64;
     }
 
     fn kernel(&self) -> MacKernel {

@@ -2,7 +2,7 @@
 
 use crate::acc::Accum;
 use crate::ceil_log2;
-use crate::kernel::I128Lanes;
+use crate::kernel::{I128Lanes, PRODUCT_TILE_BLOCK, TILE_COL_GROUP};
 use crate::unit::Emac;
 use crate::MacKernel;
 use dp_minifloat::lut::{DecodeLut, EmacDirect, EmacEntry, EmacLut, ProductEntry, ProductLut};
@@ -81,6 +81,11 @@ pub struct FloatEmac {
     offset: i32,
     count: u64,
     poisoned: bool,
+    /// Gathered weight-operand scratch for the fused tile, retained
+    /// across [`Emac::dot_tile`] calls so a tile sweep over a layer does
+    /// not allocate per weight row. Never semantic: cleared and refilled
+    /// on each gather-tile call.
+    gather: Vec<EmacEntry>,
 }
 
 impl FloatEmac {
@@ -164,6 +169,7 @@ impl FloatEmac {
             offset: -offset,
             count: 0,
             poisoned: false,
+            gather: Vec::new(),
         }
     }
 
@@ -272,6 +278,22 @@ impl FloatEmac {
         lanes.add((p.product() as u128) << p.shift(), p.negate());
     }
 
+    /// One finished-product step against a weight's contiguous table row
+    /// ([`ProductLut::row`]): the product tile resolves the row base once
+    /// per weight and shares it across the group's columns, so each step
+    /// is a masked index with no weight shift and no bounds check (the
+    /// row length is a power of two).
+    #[inline(always)]
+    fn product_row_step(row: &[ProductEntry], lanes: &mut I128Lanes, special: &mut u32, a: u32) {
+        let p = row[(a as usize) & (row.len() - 1)];
+        *special |= p.0 & ProductEntry::SPECIAL_BIT;
+        debug_assert!(
+            p.shift() + (64 - p.product().leading_zeros()) <= 127,
+            "product-table kernel requires the i128 window"
+        );
+        lanes.add_select((p.product() as u128) << p.shift(), p.negate());
+    }
+
     /// The batched fused-operand loop on the `i128` window, monomorphized
     /// per entry source (per-pattern table vs computed bit fields) so the
     /// inner loop is a plain gather → multiply → shifted lane-add. The net
@@ -341,6 +363,249 @@ impl FloatEmac {
             acc.add_shifted_u128((prod >> tz) as u128, shift as usize, negate);
         }
         special
+    }
+
+    /// The cache-blocked product tile ([`crate::TileKernel::BlockedProduct`]):
+    /// columns processed in [`TILE_COL_GROUP`]-wide register groups (lane
+    /// accumulators in fixed stack arrays, no heap traffic), K tiled in
+    /// [`PRODUCT_TILE_BLOCK`]-weight blocks kept hot across each group.
+    /// Exact integer adds commute, so the reordered accumulation is
+    /// bit-identical to the per-column row kernel.
+    fn tile_product(
+        &mut self,
+        table: &'static ProductLut,
+        bias: u32,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        self.set_bias(bias);
+        let seed_poisoned = self.poisoned;
+        let Accum::Small(seed) = &self.acc else {
+            unreachable!("product tile requires the i128 window")
+        };
+        let seed = *seed;
+        for (cg, og) in cols
+            .chunks(TILE_COL_GROUP)
+            .zip(out.chunks_mut(TILE_COL_GROUP))
+        {
+            self.tile_product_group(table, seed, seed_poisoned, weights, cg, og);
+        }
+    }
+
+    /// One ≤ [`TILE_COL_GROUP`]-column group of the product tile. A full
+    /// group runs the 4-wide micro-kernel — each weight's table row is
+    /// fetched once and shared by four independent lane chains held in
+    /// locals; partial groups stream in pairs plus a single-column tail.
+    fn tile_product_group(
+        &mut self,
+        table: &'static ProductLut,
+        seed: i128,
+        seed_poisoned: bool,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        let g = cols.len();
+        debug_assert!(0 < g && g <= TILE_COL_GROUP && out.len() == g);
+        let mut lanes = [I128Lanes::from_i128(seed); TILE_COL_GROUP];
+        let mut specials = [0u32; TILE_COL_GROUP];
+        for (kb, wblock) in weights.chunks(PRODUCT_TILE_BLOCK).enumerate() {
+            let base = kb * PRODUCT_TILE_BLOCK;
+            let end = base + wblock.len();
+            if g == TILE_COL_GROUP {
+                let (mut l0, mut l1, mut l2, mut l3) = (lanes[0], lanes[1], lanes[2], lanes[3]);
+                let (mut s0, mut s1, mut s2, mut s3) =
+                    (specials[0], specials[1], specials[2], specials[3]);
+                let (c0, c1) = (&cols[0][base..end], &cols[1][base..end]);
+                let (c2, c3) = (&cols[2][base..end], &cols[3][base..end]);
+                for ((((&w, &a0), &a1), &a2), &a3) in wblock.iter().zip(c0).zip(c1).zip(c2).zip(c3)
+                {
+                    let row = table.row(w);
+                    Self::product_row_step(row, &mut l0, &mut s0, a0);
+                    Self::product_row_step(row, &mut l1, &mut s1, a1);
+                    Self::product_row_step(row, &mut l2, &mut s2, a2);
+                    Self::product_row_step(row, &mut l3, &mut s3, a3);
+                }
+                lanes = [l0, l1, l2, l3];
+                specials = [s0, s1, s2, s3];
+                continue;
+            }
+            let mut j = 0;
+            while j + 2 <= g {
+                let (mut l0, mut l1) = (lanes[j], lanes[j + 1]);
+                let (mut s0, mut s1) = (specials[j], specials[j + 1]);
+                let (c0, c1) = (&cols[j][base..end], &cols[j + 1][base..end]);
+                for ((&w, &a0), &a1) in wblock.iter().zip(c0).zip(c1) {
+                    let row = table.row(w);
+                    Self::product_row_step(row, &mut l0, &mut s0, a0);
+                    Self::product_row_step(row, &mut l1, &mut s1, a1);
+                }
+                lanes[j] = l0;
+                lanes[j + 1] = l1;
+                specials[j] = s0;
+                specials[j + 1] = s1;
+                j += 2;
+            }
+            if j < g {
+                let mut l0 = lanes[j];
+                let mut s0 = specials[j];
+                for (&w, &a) in wblock.iter().zip(&cols[j][base..end]) {
+                    Self::product_row_step(table.row(w), &mut l0, &mut s0, a);
+                }
+                lanes[j] = l0;
+                specials[j] = s0;
+            }
+        }
+        for j in 0..g {
+            self.acc = Accum::Small(lanes[j].into_i128());
+            self.poisoned = seed_poisoned || specials[j] != 0;
+            out[j] = self.result();
+        }
+    }
+
+    /// One gathered-operand step of the fused tile on the `i128` window.
+    /// The possibly-negative net shift stays exact — the product carries
+    /// at least `−net` trailing zeros.
+    #[inline(always)]
+    fn fused_step(
+        wf2: i32,
+        ew: EmacEntry,
+        ea: EmacEntry,
+        lanes: &mut I128Lanes,
+        special: &mut u64,
+    ) {
+        *special |= (ew.0 | ea.0) & EmacEntry::SPECIAL_BIT;
+        let prod = ew.field() * ea.field();
+        let net = ew.biased_scale() as i32 + ea.biased_scale() as i32 - wf2;
+        debug_assert!(
+            prod == 0 || net >= 0 || prod.trailing_zeros() >= (-net) as u32,
+            "float products are multiples of min_sub²"
+        );
+        let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+        let term = if net >= 0 {
+            (prod as u128) << net
+        } else {
+            (prod as u128) >> (-net)
+        };
+        lanes.add_select(term, negate);
+    }
+
+    /// The gather tile on the `i128` window
+    /// ([`crate::TileKernel::GatherFused`]): weight operands gathered
+    /// once, the columns streamed four at a time through the same
+    /// branch-free inner loop as [`FloatEmac::dot_fused_small`] — four
+    /// independent lane chains per pass sharing each gathered weight
+    /// entry.
+    #[inline(always)]
+    fn tile_fused_small<F: Fn(u32) -> EmacEntry>(
+        &mut self,
+        entry: F,
+        seed: i128,
+        seed_poisoned: bool,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        let wf2 = 2 * self.fmt.wf() as i32;
+        let mut wents = std::mem::take(&mut self.gather);
+        wents.clear();
+        wents.extend(weights.iter().map(|&w| entry(w)));
+        let mut j = 0;
+        while j + 4 <= cols.len() {
+            let [mut l0, mut l1, mut l2, mut l3] = [I128Lanes::from_i128(seed); 4];
+            let [mut s0, mut s1, mut s2, mut s3] = [0u64; 4];
+            for ((((&ew, &a0), &a1), &a2), &a3) in wents
+                .iter()
+                .zip(cols[j].iter())
+                .zip(cols[j + 1].iter())
+                .zip(cols[j + 2].iter())
+                .zip(cols[j + 3].iter())
+            {
+                Self::fused_step(wf2, ew, entry(a0), &mut l0, &mut s0);
+                Self::fused_step(wf2, ew, entry(a1), &mut l1, &mut s1);
+                Self::fused_step(wf2, ew, entry(a2), &mut l2, &mut s2);
+                Self::fused_step(wf2, ew, entry(a3), &mut l3, &mut s3);
+            }
+            for (i, (lane, sp)) in [l0, l1, l2, l3]
+                .into_iter()
+                .zip([s0, s1, s2, s3])
+                .enumerate()
+            {
+                self.acc = Accum::Small(lane.into_i128());
+                self.poisoned = seed_poisoned || sp != 0;
+                out[j + i] = self.result();
+            }
+            j += 4;
+        }
+        while j + 2 <= cols.len() {
+            let (mut lanes0, mut lanes1) = (I128Lanes::from_i128(seed), I128Lanes::from_i128(seed));
+            let (mut sp0, mut sp1) = (0u64, 0u64);
+            for ((&ew, &a0), &a1) in wents.iter().zip(cols[j].iter()).zip(cols[j + 1].iter()) {
+                Self::fused_step(wf2, ew, entry(a0), &mut lanes0, &mut sp0);
+                Self::fused_step(wf2, ew, entry(a1), &mut lanes1, &mut sp1);
+            }
+            self.acc = Accum::Small(lanes0.into_i128());
+            self.poisoned = seed_poisoned || sp0 != 0;
+            out[j] = self.result();
+            self.acc = Accum::Small(lanes1.into_i128());
+            self.poisoned = seed_poisoned || sp1 != 0;
+            out[j + 1] = self.result();
+            j += 2;
+        }
+        if j < cols.len() {
+            let mut lanes = I128Lanes::from_i128(seed);
+            let mut special = 0u64;
+            for (&ew, &a) in wents.iter().zip(cols[j].iter()) {
+                Self::fused_step(wf2, ew, entry(a), &mut lanes, &mut special);
+            }
+            self.acc = Accum::Small(lanes.into_i128());
+            self.poisoned = seed_poisoned || special != 0;
+            out[j] = self.result();
+        }
+        self.gather = wents;
+    }
+
+    /// The gather tile on the medium/wide native windows: gathered weight
+    /// operands, per-column [`Accum`] registers cloned from the bias seed.
+    #[inline(always)]
+    fn tile_fused_wide<F: Fn(u32) -> EmacEntry>(
+        &mut self,
+        entry: F,
+        seed: Accum,
+        seed_poisoned: bool,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        let wf2 = 2 * self.fmt.wf() as i32;
+        let mut wents = std::mem::take(&mut self.gather);
+        wents.clear();
+        wents.extend(weights.iter().map(|&w| entry(w)));
+        for (col, slot) in cols.iter().zip(out.iter_mut()) {
+            let mut acc = seed.clone();
+            let mut special = false;
+            for (&ew, &a) in wents.iter().zip(col.iter()) {
+                let ea = entry(a);
+                if (ew.0 | ea.0) & EmacEntry::SPECIAL_BIT != 0 {
+                    special = true;
+                    continue;
+                }
+                let prod = ew.field() * ea.field();
+                if prod == 0 {
+                    continue;
+                }
+                let tz = prod.trailing_zeros() as i32;
+                let shift = ew.biased_scale() as i32 + ea.biased_scale() as i32 + tz - wf2;
+                debug_assert!(shift >= 0, "float products are multiples of min_sub²");
+                let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+                acc.add_shifted_u128((prod >> tz) as u128, shift as usize, negate);
+            }
+            self.acc = acc;
+            self.poisoned = seed_poisoned || special;
+            *slot = self.result();
+        }
+        self.gather = wents;
     }
 }
 
@@ -419,6 +684,83 @@ impl Emac for FloatEmac {
         for (&w, &a) in weights.iter().zip(activations) {
             self.mac_uncounted(w, a);
         }
+    }
+
+    fn dot_tile(&mut self, bias: u32, weights: &[u32], cols: &[&[u32]], out: &mut [u32]) {
+        assert_eq!(
+            cols.len(),
+            out.len(),
+            "dot_tile: column/output length mismatch"
+        );
+        for col in cols {
+            assert_eq!(
+                col.len(),
+                weights.len(),
+                "dot_tile: column/weight length mismatch"
+            );
+        }
+        let (k, b) = (weights.len(), cols.len());
+        if b == 0 {
+            return;
+        }
+        debug_assert!(k as u64 <= self.capacity, "float EMAC over capacity");
+        if b >= 2 {
+            // Product band: cache-blocked tile. Same gate as `kernel()`.
+            if let (Some(table), true) = (self.product, self.acc.is_small()) {
+                self.tile_product(table, bias, weights, cols, out);
+                self.count = (k * b) as u64;
+                return;
+            }
+            // Fused band: gather the weight operands once, stream columns.
+            if let (Some(t), true) = (self.fast, self.acc.is_native()) {
+                self.set_bias(bias);
+                let seed_poisoned = self.poisoned;
+                match (self.acc.clone(), t) {
+                    (Accum::Small(seed), FastOperands::Lut(tab)) => self.tile_fused_small(
+                        |p| tab.entry(p),
+                        seed,
+                        seed_poisoned,
+                        weights,
+                        cols,
+                        out,
+                    ),
+                    (Accum::Small(seed), FastOperands::Direct(d)) => self.tile_fused_small(
+                        |p| d.entry(p),
+                        seed,
+                        seed_poisoned,
+                        weights,
+                        cols,
+                        out,
+                    ),
+                    (seed, FastOperands::Lut(tab)) => self.tile_fused_wide(
+                        |p| tab.entry(p),
+                        seed,
+                        seed_poisoned,
+                        weights,
+                        cols,
+                        out,
+                    ),
+                    (seed, FastOperands::Direct(d)) => self.tile_fused_wide(
+                        |p| d.entry(p),
+                        seed,
+                        seed_poisoned,
+                        weights,
+                        cols,
+                        out,
+                    ),
+                }
+                self.count = (k * b) as u64;
+                return;
+            }
+        }
+        // Per-column baseline: B == 1 keeps the row kernels, the scalar
+        // band stays the differential reference at any width.
+        for (col, slot) in cols.iter().zip(out.iter_mut()) {
+            self.set_bias(bias);
+            self.dot_slice(weights, col);
+            *slot = self.result();
+        }
+        self.count = (k * b) as u64;
     }
 
     fn kernel(&self) -> MacKernel {

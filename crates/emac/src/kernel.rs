@@ -29,6 +29,34 @@
 //! Every kernel accumulates the same exact integer terms in the same
 //! order, so kernel choice can never change a result bit — pinned by the
 //! `kernel_equivalence` test suite.
+//!
+//! ## Tile level
+//!
+//! One rung above the row kernels sits the weight-stationary tile:
+//! [`crate::Emac::dot_tile`] evaluates one weight row against `B`
+//! activation columns in a single dispatch, and the unit selects a
+//! [`TileKernel`] per call from the same (band, accumulator-window) table
+//! extended by a batch-width axis:
+//!
+//! * `B ≤ 1` — a tile is just a row; the per-column body wraps today's
+//!   row kernel ([`TileKernel::PerColumn`]).
+//! * [`TileKernel::GatherFused`] — the `batched_fused` band at `B ≥ 2`
+//!   gathers the weight row's fused operands **once** and streams every
+//!   column through them, halving table traffic versus per-sample rows.
+//!   The inner loop is branch-shaped for `std::simd` (independent
+//!   per-lane adds, no cross-iteration dependencies) with the manual
+//!   two-lane [`I128Lanes`] accumulate as the portable fallback.
+//! * [`TileKernel::BlockedProduct`] — the `product_table` band at `B ≥ 2`
+//!   cache-blocks the `2^(2n)`-entry finished-product table: the K
+//!   dimension is tiled in [`PRODUCT_TILE_BLOCK`]-weight blocks so a
+//!   block's table rows (one contiguous `2^n`-entry line per weight) stay
+//!   hot across all `B` columns instead of the full table being re-walked
+//!   once per sample.
+//!
+//! Tile choice follows the row kernel (`with_kernel_cap` therefore steps
+//! tile selection down too), and every tile body is pinned bit-identical
+//! to the per-column `set_bias → dot_slice → result` reference by the
+//! `tile_equivalence` test suite.
 
 use std::fmt;
 
@@ -64,6 +92,73 @@ impl MacKernel {
 }
 
 impl fmt::Display for MacKernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Weights per K-block of the cache-blocked product tile. Each weight owns
+/// one contiguous `2^n`-entry table row (1 KiB at n = 8, 4-byte entries),
+/// so a block keeps ≤ 32 KiB of table lines — comfortably inside L1 —
+/// resident while all `B` columns stream through it.
+pub const PRODUCT_TILE_BLOCK: usize = 32;
+
+/// Columns per register group of the tile kernels. A full group runs as
+/// a 4-wide micro-kernel: four independent lane chains held in locals
+/// (4 × `u128` ≈ 8 GPRs — fits the x86-64 register file where 8 chains
+/// would spill), each weight's table row or gathered operand fetched
+/// **once** and shared by all four columns. Partial groups fall back to
+/// a two-chain pair loop plus a single-column tail; wider batches are
+/// processed group by group, and per-group accumulator state lives in
+/// fixed-size stack arrays (no heap traffic on the tile path).
+pub(crate) const TILE_COL_GROUP: usize = 4;
+
+/// Which tile-level kernel [`crate::Emac::dot_tile`] runs for a given
+/// batch width — the row-kernel table of [`MacKernel`] extended by a
+/// batch-width axis. `B ≤ 1` always wraps the row kernel; at `B ≥ 2` the
+/// fused band gathers weight operands once ([`TileKernel::GatherFused`]),
+/// the product band cache-blocks its table
+/// ([`TileKernel::BlockedProduct`]), and the scalar band stays the
+/// per-column differential baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileKernel {
+    /// Per-column loop over the wrapped row kernel: `B ≤ 1` tiles and the
+    /// scalar band.
+    PerColumn(MacKernel),
+    /// Weight-stationary gather tile: the row's fused operands (LUT /
+    /// split / computed / sign-extension) are gathered once, then every
+    /// column streams through a monomorphized branch-free inner loop.
+    GatherFused,
+    /// Cache-blocked finished-product tile: K is tiled in
+    /// [`PRODUCT_TILE_BLOCK`]-weight blocks kept hot across all columns.
+    BlockedProduct,
+}
+
+impl TileKernel {
+    /// Stable snake_case name, used in bench row names and reports. Tile
+    /// fast paths end in `_tile`; per-column wrappers name the row kernel
+    /// they loop.
+    pub fn name(self) -> &'static str {
+        match self {
+            TileKernel::BlockedProduct => "product_tile",
+            TileKernel::GatherFused => "fused_tile",
+            TileKernel::PerColumn(MacKernel::ProductTable) => "per_column_product_table",
+            TileKernel::PerColumn(MacKernel::BatchedFused) => "per_column_batched_fused",
+            TileKernel::PerColumn(MacKernel::Scalar) => "per_column_scalar",
+        }
+    }
+
+    /// The row kernel this tile body accumulates through.
+    pub fn row_kernel(self) -> MacKernel {
+        match self {
+            TileKernel::BlockedProduct => MacKernel::ProductTable,
+            TileKernel::GatherFused => MacKernel::BatchedFused,
+            TileKernel::PerColumn(k) => k,
+        }
+    }
+}
+
+impl fmt::Display for TileKernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -107,6 +202,19 @@ impl I128Lanes {
         }
     }
 
+    /// Branchless form of [`I128Lanes::add`]: folds `negate` into a
+    /// two's-complement mask (`(m ^ mask) − mask`) instead of a branch.
+    /// The tile kernels run four lane chains abreast, so one
+    /// unpredictable sign branch per chain per weight flushes the work
+    /// of all four — the masked form wins there, while the single-chain
+    /// row kernels keep the branchy form (measured faster with one
+    /// chain, where the predictor can learn a repeated row's signs).
+    #[inline]
+    pub(crate) fn add_select(&mut self, magnitude: u128, negate: bool) {
+        let mask = (negate as u128).wrapping_neg();
+        self.acc = self.acc.wrapping_add((magnitude ^ mask).wrapping_sub(mask));
+    }
+
     /// Rejoins the lanes into the `i128` register.
     #[inline]
     pub(crate) fn into_i128(self) -> i128 {
@@ -126,6 +234,38 @@ mod tests {
         // Ordering encodes "fanciness": caps compare against it.
         assert!(MacKernel::Scalar < MacKernel::BatchedFused);
         assert!(MacKernel::BatchedFused < MacKernel::ProductTable);
+    }
+
+    #[test]
+    fn tile_kernel_names_and_row_kernels_are_stable() {
+        assert_eq!(TileKernel::BlockedProduct.name(), "product_tile");
+        assert_eq!(TileKernel::GatherFused.to_string(), "fused_tile");
+        assert_eq!(
+            TileKernel::PerColumn(MacKernel::Scalar).name(),
+            "per_column_scalar"
+        );
+        assert_eq!(
+            TileKernel::PerColumn(MacKernel::BatchedFused).name(),
+            "per_column_batched_fused"
+        );
+        assert_eq!(
+            TileKernel::PerColumn(MacKernel::ProductTable).name(),
+            "per_column_product_table"
+        );
+        assert_eq!(
+            TileKernel::BlockedProduct.row_kernel(),
+            MacKernel::ProductTable
+        );
+        assert_eq!(
+            TileKernel::GatherFused.row_kernel(),
+            MacKernel::BatchedFused
+        );
+        assert_eq!(
+            TileKernel::PerColumn(MacKernel::Scalar).row_kernel(),
+            MacKernel::Scalar
+        );
+        // The block keeps at most 32 KiB of 8-bit table rows resident.
+        const { assert!(PRODUCT_TILE_BLOCK * (1 << 8) * 4 <= 32 * 1024) }
     }
 
     #[test]

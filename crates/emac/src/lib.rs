@@ -53,7 +53,7 @@ mod unit;
 pub use acc::{Acc256, Accum, Window, MEDIUM_ACC_MAX_BITS, SMALL_ACC_MAX_BITS};
 pub use fixed_emac::FixedEmac;
 pub use float_emac::FloatEmac;
-pub use kernel::MacKernel;
+pub use kernel::{MacKernel, TileKernel, PRODUCT_TILE_BLOCK};
 pub use posit_emac::PositEmac;
 pub use unit::{Emac, EmacUnit};
 

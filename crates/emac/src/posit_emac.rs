@@ -2,7 +2,7 @@
 
 use crate::acc::Accum;
 use crate::ceil_log2;
-use crate::kernel::I128Lanes;
+use crate::kernel::{I128Lanes, PRODUCT_TILE_BLOCK, TILE_COL_GROUP};
 use crate::unit::Emac;
 use crate::{MacKernel, UnsupportedFormat};
 use dp_posit::lut::{DecodeLut, EmacEntry, EmacLut, ProductEntry, ProductLut, SplitLut};
@@ -112,6 +112,11 @@ pub struct PositEmac {
     sf_bias: i32,
     count: u64,
     nar: bool,
+    /// Gathered weight-operand scratch for the fused tile, retained
+    /// across [`Emac::dot_tile`] calls so a tile sweep over a layer does
+    /// not allocate per weight row. Never semantic: cleared and refilled
+    /// on each gather-tile call.
+    gather: Vec<EmacEntry>,
 }
 
 impl PositEmac {
@@ -228,6 +233,7 @@ impl PositEmac {
             sf_bias: 2 * fmt.max_scale(),
             count: 0,
             nar: false,
+            gather: Vec::new(),
         }
     }
 
@@ -354,6 +360,22 @@ impl PositEmac {
         lanes.add((p.product() as u128) << p.shift(), p.negate());
     }
 
+    /// One finished-product step against a weight's contiguous table row
+    /// ([`ProductLut::row`]): the product tile resolves the row base once
+    /// per weight and shares it across the group's columns, so each step
+    /// is a masked index with no weight shift and no bounds check (the
+    /// row length is a power of two).
+    #[inline(always)]
+    fn product_row_step(row: &[ProductEntry], lanes: &mut I128Lanes, nar: &mut u32, a: u32) {
+        let p = row[(a as usize) & (row.len() - 1)];
+        *nar |= p.0 & ProductEntry::NAR_BIT;
+        debug_assert!(
+            p.shift() + (64 - p.product().leading_zeros()) <= 127,
+            "product-table kernel requires the i128 window"
+        );
+        lanes.add_select((p.product() as u128) << p.shift(), p.negate());
+    }
+
     /// The batched fused-operand loop on the `i128` window, monomorphized
     /// per entry source (monolithic table vs split extraction) so the
     /// inner loop is a plain gather → multiply → shifted lane-add with no
@@ -407,6 +429,230 @@ impl PositEmac {
             acc.add_shifted_u128(prod as u128, shift as usize, negate);
         }
         nar
+    }
+
+    /// The cache-blocked product tile ([`crate::TileKernel::BlockedProduct`]):
+    /// columns are processed in [`TILE_COL_GROUP`]-wide register groups,
+    /// each group's lane accumulators living in fixed stack arrays (no
+    /// heap traffic), with K tiled in [`PRODUCT_TILE_BLOCK`]-weight
+    /// blocks so a block's `2^n`-entry table rows stay hot across the
+    /// group. Exact integer adds commute, so the reordered accumulation
+    /// is bit-identical to the per-column row kernel.
+    fn tile_product(
+        &mut self,
+        table: &'static ProductLut,
+        bias: u32,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        self.set_bias(bias);
+        let seed_nar = self.nar;
+        let Accum::Small(seed) = &self.acc else {
+            unreachable!("product tile requires the i128 window")
+        };
+        let seed = *seed;
+        for (cg, og) in cols
+            .chunks(TILE_COL_GROUP)
+            .zip(out.chunks_mut(TILE_COL_GROUP))
+        {
+            self.tile_product_group(table, seed, seed_nar, weights, cg, og);
+        }
+    }
+
+    /// One ≤ [`TILE_COL_GROUP`]-column group of the product tile. A full
+    /// group runs the 4-wide micro-kernel — each weight's table row is
+    /// fetched once and shared by four independent lane chains held in
+    /// locals; partial groups stream in pairs plus a single-column tail.
+    fn tile_product_group(
+        &mut self,
+        table: &'static ProductLut,
+        seed: i128,
+        seed_nar: bool,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        let g = cols.len();
+        debug_assert!(0 < g && g <= TILE_COL_GROUP && out.len() == g);
+        let mut lanes = [I128Lanes::from_i128(seed); TILE_COL_GROUP];
+        let mut nars = [0u32; TILE_COL_GROUP];
+        for (kb, wblock) in weights.chunks(PRODUCT_TILE_BLOCK).enumerate() {
+            let base = kb * PRODUCT_TILE_BLOCK;
+            let end = base + wblock.len();
+            if g == TILE_COL_GROUP {
+                let (mut l0, mut l1, mut l2, mut l3) = (lanes[0], lanes[1], lanes[2], lanes[3]);
+                let (mut n0, mut n1, mut n2, mut n3) = (nars[0], nars[1], nars[2], nars[3]);
+                let (c0, c1) = (&cols[0][base..end], &cols[1][base..end]);
+                let (c2, c3) = (&cols[2][base..end], &cols[3][base..end]);
+                for ((((&w, &a0), &a1), &a2), &a3) in wblock.iter().zip(c0).zip(c1).zip(c2).zip(c3)
+                {
+                    let row = table.row(w);
+                    Self::product_row_step(row, &mut l0, &mut n0, a0);
+                    Self::product_row_step(row, &mut l1, &mut n1, a1);
+                    Self::product_row_step(row, &mut l2, &mut n2, a2);
+                    Self::product_row_step(row, &mut l3, &mut n3, a3);
+                }
+                lanes = [l0, l1, l2, l3];
+                nars = [n0, n1, n2, n3];
+                continue;
+            }
+            let mut j = 0;
+            while j + 2 <= g {
+                let (mut l0, mut l1) = (lanes[j], lanes[j + 1]);
+                let (mut n0, mut n1) = (nars[j], nars[j + 1]);
+                let (c0, c1) = (&cols[j][base..end], &cols[j + 1][base..end]);
+                for ((&w, &a0), &a1) in wblock.iter().zip(c0).zip(c1) {
+                    let row = table.row(w);
+                    Self::product_row_step(row, &mut l0, &mut n0, a0);
+                    Self::product_row_step(row, &mut l1, &mut n1, a1);
+                }
+                lanes[j] = l0;
+                lanes[j + 1] = l1;
+                nars[j] = n0;
+                nars[j + 1] = n1;
+                j += 2;
+            }
+            if j < g {
+                let mut l0 = lanes[j];
+                let mut n0 = nars[j];
+                for (&w, &a) in wblock.iter().zip(&cols[j][base..end]) {
+                    Self::product_row_step(table.row(w), &mut l0, &mut n0, a);
+                }
+                lanes[j] = l0;
+                nars[j] = n0;
+            }
+        }
+        for j in 0..g {
+            self.acc = Accum::Small(lanes[j].into_i128());
+            self.nar = seed_nar || nars[j] != 0;
+            out[j] = self.result();
+        }
+    }
+
+    /// One gathered-operand step of the fused tile on the `i128` window.
+    #[inline(always)]
+    fn fused_step(ew: EmacEntry, ea: EmacEntry, lanes: &mut I128Lanes, nar: &mut u64) {
+        *nar |= (ew.0 | ea.0) & EmacEntry::NAR_BIT;
+        let prod = ew.field() * ea.field();
+        let shift = (ew.biased_scale() + ea.biased_scale()) as u32;
+        let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+        lanes.add_select((prod as u128) << shift, negate);
+    }
+
+    /// The gather tile on the `i128` window
+    /// ([`crate::TileKernel::GatherFused`]): the weight row's fused
+    /// operands are gathered **once**, then the columns stream four at a
+    /// time through the same branch-free inner loop as
+    /// [`PositEmac::dot_fused_small`] — per-lane adds only, four
+    /// independent lane chains per pass sharing each gathered weight
+    /// entry, shaped for a future `std::simd` lowering with
+    /// [`I128Lanes`] as the lane fallback.
+    #[inline(always)]
+    fn tile_fused_small<F: Fn(u32) -> EmacEntry>(
+        &mut self,
+        entry: F,
+        seed: i128,
+        seed_nar: bool,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        let mut wents = std::mem::take(&mut self.gather);
+        wents.clear();
+        wents.extend(weights.iter().map(|&w| entry(w)));
+        let mut j = 0;
+        while j + 4 <= cols.len() {
+            let [mut l0, mut l1, mut l2, mut l3] = [I128Lanes::from_i128(seed); 4];
+            let [mut n0, mut n1, mut n2, mut n3] = [0u64; 4];
+            for ((((&ew, &a0), &a1), &a2), &a3) in wents
+                .iter()
+                .zip(cols[j].iter())
+                .zip(cols[j + 1].iter())
+                .zip(cols[j + 2].iter())
+                .zip(cols[j + 3].iter())
+            {
+                Self::fused_step(ew, entry(a0), &mut l0, &mut n0);
+                Self::fused_step(ew, entry(a1), &mut l1, &mut n1);
+                Self::fused_step(ew, entry(a2), &mut l2, &mut n2);
+                Self::fused_step(ew, entry(a3), &mut l3, &mut n3);
+            }
+            for (i, (lane, nar)) in [l0, l1, l2, l3]
+                .into_iter()
+                .zip([n0, n1, n2, n3])
+                .enumerate()
+            {
+                self.acc = Accum::Small(lane.into_i128());
+                self.nar = seed_nar || nar != 0;
+                out[j + i] = self.result();
+            }
+            j += 4;
+        }
+        while j + 2 <= cols.len() {
+            let (mut lanes0, mut lanes1) = (I128Lanes::from_i128(seed), I128Lanes::from_i128(seed));
+            let (mut nar0, mut nar1) = (0u64, 0u64);
+            for ((&ew, &a0), &a1) in wents.iter().zip(cols[j].iter()).zip(cols[j + 1].iter()) {
+                Self::fused_step(ew, entry(a0), &mut lanes0, &mut nar0);
+                Self::fused_step(ew, entry(a1), &mut lanes1, &mut nar1);
+            }
+            self.acc = Accum::Small(lanes0.into_i128());
+            self.nar = seed_nar || nar0 != 0;
+            out[j] = self.result();
+            self.acc = Accum::Small(lanes1.into_i128());
+            self.nar = seed_nar || nar1 != 0;
+            out[j + 1] = self.result();
+            j += 2;
+        }
+        if j < cols.len() {
+            let mut lanes = I128Lanes::from_i128(seed);
+            let mut nar = 0u64;
+            for (&ew, &a) in wents.iter().zip(cols[j].iter()) {
+                Self::fused_step(ew, entry(a), &mut lanes, &mut nar);
+            }
+            self.acc = Accum::Small(lanes.into_i128());
+            self.nar = seed_nar || nar != 0;
+            out[j] = self.result();
+        }
+        self.gather = wents;
+    }
+
+    /// The gather tile on the medium/wide native windows: gathered weight
+    /// operands, per-column [`Accum`] registers cloned from the bias seed.
+    #[inline(always)]
+    fn tile_fused_wide<F: Fn(u32) -> EmacEntry>(
+        &mut self,
+        entry: F,
+        seed: Accum,
+        seed_nar: bool,
+        weights: &[u32],
+        cols: &[&[u32]],
+        out: &mut [u32],
+    ) {
+        let mut wents = std::mem::take(&mut self.gather);
+        wents.clear();
+        wents.extend(weights.iter().map(|&w| entry(w)));
+        for (col, slot) in cols.iter().zip(out.iter_mut()) {
+            let mut acc = seed.clone();
+            let mut nar = false;
+            for (&ew, &a) in wents.iter().zip(col.iter()) {
+                let ea = entry(a);
+                if (ew.0 | ea.0) & EmacEntry::NAR_BIT != 0 {
+                    nar = true;
+                    continue;
+                }
+                let prod = ew.field() * ea.field();
+                if prod == 0 {
+                    continue;
+                }
+                let shift = ew.biased_scale() + ea.biased_scale();
+                let negate = (ew.0 ^ ea.0) & EmacEntry::SIGN_BIT != 0;
+                acc.add_shifted_u128(prod as u128, shift as usize, negate);
+            }
+            self.acc = acc;
+            self.nar = seed_nar || nar;
+            *slot = self.result();
+        }
+        self.gather = wents;
     }
 }
 
@@ -491,6 +737,63 @@ impl Emac for PositEmac {
         for (&w, &a) in weights.iter().zip(activations) {
             self.mac_uncounted(w, a);
         }
+    }
+
+    fn dot_tile(&mut self, bias: u32, weights: &[u32], cols: &[&[u32]], out: &mut [u32]) {
+        assert_eq!(
+            cols.len(),
+            out.len(),
+            "dot_tile: column/output length mismatch"
+        );
+        for col in cols {
+            assert_eq!(
+                col.len(),
+                weights.len(),
+                "dot_tile: column/weight length mismatch"
+            );
+        }
+        let (k, b) = (weights.len(), cols.len());
+        if b == 0 {
+            return;
+        }
+        debug_assert!(k as u64 <= self.capacity, "posit EMAC over capacity");
+        if b >= 2 {
+            // Product band: cache-blocked tile. Same gate as `kernel()`.
+            if let (Some(table), true) = (self.product, self.acc.is_small()) {
+                self.tile_product(table, bias, weights, cols, out);
+                self.count = (k * b) as u64;
+                return;
+            }
+            // Fused band: gather the weight operands once, stream columns.
+            if let (Some(t), true) = (self.fast, self.acc.is_native()) {
+                self.set_bias(bias);
+                let seed_nar = self.nar;
+                match (self.acc.clone(), t) {
+                    (Accum::Small(seed), FastOperands::Fused(tab)) => {
+                        self.tile_fused_small(|p| tab.entry(p), seed, seed_nar, weights, cols, out)
+                    }
+                    (Accum::Small(seed), FastOperands::Split(s)) => {
+                        self.tile_fused_small(|p| s.entry(p), seed, seed_nar, weights, cols, out)
+                    }
+                    (seed, FastOperands::Fused(tab)) => {
+                        self.tile_fused_wide(|p| tab.entry(p), seed, seed_nar, weights, cols, out)
+                    }
+                    (seed, FastOperands::Split(s)) => {
+                        self.tile_fused_wide(|p| s.entry(p), seed, seed_nar, weights, cols, out)
+                    }
+                }
+                self.count = (k * b) as u64;
+                return;
+            }
+        }
+        // Per-column baseline: B == 1 keeps the row kernels, the scalar
+        // band stays the differential reference at any width.
+        for (col, slot) in cols.iter().zip(out.iter_mut()) {
+            self.set_bias(bias);
+            self.dot_slice(weights, col);
+            *slot = self.result();
+        }
+        self.count = (k * b) as u64;
     }
 
     fn kernel(&self) -> MacKernel {

@@ -1,6 +1,6 @@
 //! The [`Emac`] trait and the format-erased [`EmacUnit`].
 
-use crate::{FixedEmac, FloatEmac, MacKernel, PositEmac};
+use crate::{FixedEmac, FloatEmac, MacKernel, PositEmac, TileKernel};
 
 /// Common interface of the three exact multiply-and-accumulate units.
 ///
@@ -44,6 +44,45 @@ pub trait Emac {
     /// per format band × accumulator window; see [`MacKernel`]).
     fn kernel(&self) -> MacKernel {
         MacKernel::Scalar
+    }
+
+    /// Weight-stationary tile evaluation: for each activation column
+    /// `cols[j]`, `out[j]` receives exactly what
+    /// `set_bias(bias); dot_slice(weights, cols[j]); result()` would
+    /// produce — bit-identical per column, dispatched once so the unit can
+    /// run its tile-level [`TileKernel`] (gather the weight row's fused
+    /// operands once for every column, or cache-block the finished-product
+    /// table across the batch). The batch engine's and the serving chunk
+    /// path's inner loop.
+    ///
+    /// Bookkeeping contract: a non-empty tile leaves [`Emac::macs_done`]
+    /// at exactly `weights.len() × cols.len()` (the per-column `set_bias`
+    /// of the reference expansion resets the counter, so the tile counts
+    /// the whole `K × B` sweep instead of only its last column), and the
+    /// accumulator/poison state equals that after evaluating the **last**
+    /// column. An empty `cols` is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cols` and `out` differ in length or any column's
+    /// length differs from `weights.len()`.
+    fn dot_tile(&mut self, bias: u32, weights: &[u32], cols: &[&[u32]], out: &mut [u32]);
+
+    /// The tile-level kernel [`Emac::dot_tile`] runs for a tile of
+    /// `batch` activation columns: `B ≤ 1` wraps the row kernel, the
+    /// product band cache-blocks its table, the fused band gathers weight
+    /// operands once, and the scalar band stays per-column (see
+    /// [`TileKernel`]). Kernel caps step this down exactly as they step
+    /// [`Emac::kernel`] down.
+    fn tile_kernel(&self, batch: usize) -> TileKernel {
+        if batch <= 1 {
+            return TileKernel::PerColumn(self.kernel());
+        }
+        match self.kernel() {
+            MacKernel::ProductTable => TileKernel::BlockedProduct,
+            MacKernel::BatchedFused => TileKernel::GatherFused,
+            MacKernel::Scalar => TileKernel::PerColumn(MacKernel::Scalar),
+        }
     }
 
     /// Rounds the accumulated sum once and returns its bit pattern.
@@ -97,6 +136,12 @@ impl Emac for EmacUnit {
     }
     fn kernel(&self) -> MacKernel {
         dispatch!(self, u => u.kernel())
+    }
+    fn dot_tile(&mut self, bias: u32, weights: &[u32], cols: &[&[u32]], out: &mut [u32]) {
+        dispatch!(self, u => u.dot_tile(bias, weights, cols, out))
+    }
+    fn tile_kernel(&self, batch: usize) -> TileKernel {
+        dispatch!(self, u => u.tile_kernel(batch))
     }
     fn result(&self) -> u32 {
         dispatch!(self, u => u.result())

@@ -1,0 +1,418 @@
+//! Tile-kernel equivalence: [`Emac::dot_tile`] must be bit-identical, per
+//! column, to the `set_bias → dot_slice → result` expansion on every input,
+//! or a tile fast path is a silent numerics change.
+//!
+//! Coverage, per the tile bands:
+//! * **Blocked product (n ≤ 8)** — exhaustive over all `2^(2n)` operand
+//!   pairs at batch widths B ∈ {1, 8} for posit⟨8, es ∈ {0,1,2}⟩, the
+//!   8-bit minifloat and an 8-bit fixed format, against the reference
+//!   datapath (the slice row covers every weight pattern, each column
+//!   holds one constant activation pattern).
+//! * **Gathered fused (9–16 bits)** and **per-column scalar (> 16 bits)**
+//!   — randomized tile-vs-expansion bit-identity with random biases,
+//!   including K = 0, B ∈ {0, 1} and ragged (non-power-of-two) B.
+//! * **Accounting** — a non-empty tile leaves `macs_done` at exactly
+//!   K × B, agreeing with slice/scalar/reference paths fed the same
+//!   K × B workload; B = 0 is a state no-op.
+//! * **Selection** — `tile_kernel(B)` pins per band and batch width,
+//!   steps down under `with_kernel_cap` and under accumulator-window
+//!   spills exactly as the row kernel does.
+
+use dp_emac::{Emac, EmacUnit, FixedEmac, FloatEmac, MacKernel, PositEmac, TileKernel};
+use dp_fixed::FixedFormat;
+use dp_minifloat::FloatFormat;
+use dp_posit::PositFormat;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed | 1;
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    }
+}
+
+/// Runs one tile through `unit.dot_tile` and checks every column against
+/// the per-column `set_bias → dot_slice → result` expansion on a clone of
+/// the same unit (same kernel selection), plus the K × B accounting and
+/// the last-column state contract.
+fn tile_vs_expansion<E: Emac + Clone>(unit: &mut E, bias: u32, ws: &[u32], cols: &[Vec<u32>]) {
+    let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+    let mut out = vec![0u32; cols.len()];
+    unit.dot_tile(bias, ws, &col_refs, &mut out);
+    let mut expansion = unit.clone();
+    for (col, &got) in cols.iter().zip(&out) {
+        expansion.set_bias(bias);
+        expansion.dot_slice(ws, col);
+        assert_eq!(got, expansion.result(), "tile vs expansion column");
+    }
+    if !cols.is_empty() {
+        assert_eq!(
+            unit.macs_done(),
+            (ws.len() * cols.len()) as u64,
+            "tile macs_done must be K × B"
+        );
+        assert_eq!(
+            unit.result(),
+            out[cols.len() - 1],
+            "unit state after the tile must equal the last column's"
+        );
+    }
+}
+
+#[test]
+fn posit8_tile_matches_reference_exhaustively() {
+    // All 65 536 (w, a) pairs per es: the weight row is every bit pattern
+    // once, each column holds one constant activation pattern, so 256
+    // columns sweep every pair. Run as 32 tiles of B = 8 (blocked-product
+    // fast path) and as 256 tiles of B = 1 (per-column wrap), both against
+    // the WideInt reference datapath.
+    for es in [0u32, 1, 2] {
+        let fmt = PositFormat::new(8, es).unwrap();
+        let all: Vec<u32> = fmt.patterns().collect();
+        let mut unit = PositEmac::new(fmt, 256);
+        assert_eq!(unit.tile_kernel(8), TileKernel::BlockedProduct, "{fmt}");
+        let mut reference = PositEmac::new_reference(fmt, 256);
+        let bias = all[all.len() / 3];
+        let mut expected = Vec::with_capacity(all.len());
+        for &a in &all {
+            reference.set_bias(bias);
+            for &w in &all {
+                reference.mac(w, a);
+            }
+            expected.push(reference.result());
+        }
+        for (tile, want) in all.chunks(8).zip(expected.chunks(8)) {
+            let cols: Vec<Vec<u32>> = tile.iter().map(|&a| vec![a; all.len()]).collect();
+            let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+            let mut out = vec![0u32; cols.len()];
+            unit.dot_tile(bias, &all, &col_refs, &mut out);
+            assert_eq!(out, want, "{fmt} B=8 tile");
+        }
+        for (&a, &want) in all.iter().zip(&expected) {
+            let col = vec![a; all.len()];
+            let mut out = [0u32];
+            unit.dot_tile(bias, &all, &[&col], &mut out);
+            assert_eq!(out[0], want, "{fmt} B=1 a={a:#x}");
+        }
+    }
+}
+
+#[test]
+fn minifloat8_tile_matches_reference_exhaustively() {
+    let fmt = FloatFormat::new(4, 3).unwrap();
+    let all: Vec<u32> = fmt.patterns().collect();
+    let mut unit = FloatEmac::new(fmt, 256);
+    assert_eq!(unit.tile_kernel(8), TileKernel::BlockedProduct);
+    let mut reference = FloatEmac::new_reference(fmt, 256);
+    let bias = all[all.len() / 3];
+    let mut expected = Vec::with_capacity(all.len());
+    for &a in &all {
+        reference.set_bias(bias);
+        for &w in &all {
+            reference.mac(w, a);
+        }
+        expected.push(reference.result());
+    }
+    for (tile, want) in all.chunks(8).zip(expected.chunks(8)) {
+        let cols: Vec<Vec<u32>> = tile.iter().map(|&a| vec![a; all.len()]).collect();
+        let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut out = vec![0u32; cols.len()];
+        unit.dot_tile(bias, &all, &col_refs, &mut out);
+        assert_eq!(out, want, "B=8 tile");
+    }
+    for (&a, &want) in all.iter().zip(&expected) {
+        let col = vec![a; all.len()];
+        let mut out = [0u32];
+        unit.dot_tile(bias, &all, &[&col], &mut out);
+        assert_eq!(out[0], want, "B=1 a={a:#x}");
+    }
+}
+
+#[test]
+fn fixed8_tile_matches_scalar_exhaustively() {
+    // The fixed unit has no WideInt variant; its scalar-capped twin is the
+    // reference datapath.
+    let fmt = FixedFormat::new(8, 6).unwrap();
+    let all: Vec<u32> = (0..256u32).collect();
+    let mut unit = FixedEmac::new(fmt, 256);
+    assert_eq!(unit.tile_kernel(8), TileKernel::BlockedProduct);
+    let mut scalar = FixedEmac::new(fmt, 256).with_kernel_cap(MacKernel::Scalar);
+    let bias = 0x5au32;
+    let mut expected = Vec::with_capacity(all.len());
+    for &a in &all {
+        scalar.set_bias(bias);
+        for &w in &all {
+            scalar.mac(w, a);
+        }
+        expected.push(scalar.result());
+    }
+    for (tile, want) in all.chunks(8).zip(expected.chunks(8)) {
+        let cols: Vec<Vec<u32>> = tile.iter().map(|&a| vec![a; all.len()]).collect();
+        let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut out = vec![0u32; cols.len()];
+        unit.dot_tile(bias, &all, &col_refs, &mut out);
+        assert_eq!(out, want, "B=8 tile");
+    }
+    for (&a, &want) in all.iter().zip(&expected) {
+        let col = vec![a; all.len()];
+        let mut out = [0u32];
+        unit.dot_tile(bias, &all, &[&col], &mut out);
+        assert_eq!(out[0], want, "B=1 a={a:#x}");
+    }
+}
+
+#[test]
+fn posit_gathered_and_scalar_tiles_match_randomized() {
+    // 13–16-bit formats (gathered fused tile over split/monolithic
+    // operands) and > 16-bit formats (per-column scalar) — random tiles
+    // with random biases, always including K = 0, B ∈ {0, 1} and ragged
+    // batch widths.
+    let mut next = xorshift(0x711e_c0de ^ 0x51ce_ba7c_4ed0_7e57);
+    for (n, es, want) in [
+        (13u32, 0u32, TileKernel::GatherFused),
+        (14, 1, TileKernel::GatherFused),
+        (16, 2, TileKernel::GatherFused),
+        (17, 1, TileKernel::PerColumn(MacKernel::Scalar)),
+        (20, 2, TileKernel::PerColumn(MacKernel::Scalar)),
+    ] {
+        let fmt = PositFormat::new(n, es).unwrap();
+        for trial in 0..60 {
+            let (k, b) = match trial {
+                0 => (0usize, 8usize),
+                1 => (24, 0),
+                2 => (24, 1),
+                3 => (24, 7),
+                _ => ((next() % 48) as usize, (next() % 11) as usize),
+            };
+            let mut unit = PositEmac::new(fmt, k.max(1) as u64);
+            if b >= 2 {
+                assert_eq!(unit.tile_kernel(b), want, "{fmt}");
+            }
+            let bias = (next() as u32) & fmt.mask();
+            let ws: Vec<u32> = (0..k).map(|_| (next() as u32) & fmt.mask()).collect();
+            let cols: Vec<Vec<u32>> = (0..b)
+                .map(|_| (0..k).map(|_| (next() as u32) & fmt.mask()).collect())
+                .collect();
+            tile_vs_expansion(&mut unit, bias, &ws, &cols);
+        }
+    }
+}
+
+#[test]
+fn minifloat_gathered_and_scalar_tiles_match_randomized() {
+    let mut next = xorshift(0xf10a_7b47_0000_711e ^ 0xffff);
+    for (we, wf, want) in [
+        (4u32, 8u32, TileKernel::GatherFused),             // n = 13
+        (5, 10, TileKernel::GatherFused),                  // n = 16
+        (5, 11, TileKernel::PerColumn(MacKernel::Scalar)), // n = 17
+        (8, 14, TileKernel::PerColumn(MacKernel::Scalar)), // n = 23
+    ] {
+        let fmt = FloatFormat::new(we, wf).unwrap();
+        for trial in 0..60 {
+            let (k, b) = match trial {
+                0 => (0usize, 8usize),
+                1 => (24, 0),
+                2 => (24, 1),
+                3 => (24, 7),
+                _ => ((next() % 48) as usize, (next() % 11) as usize),
+            };
+            let mut unit = FloatEmac::new(fmt, k.max(1) as u64);
+            if b >= 2 {
+                assert_eq!(unit.tile_kernel(b), want, "{fmt}");
+            }
+            let bias = (next() as u32) & fmt.mask();
+            let ws: Vec<u32> = (0..k).map(|_| (next() as u32) & fmt.mask()).collect();
+            let cols: Vec<Vec<u32>> = (0..b)
+                .map(|_| (0..k).map(|_| (next() as u32) & fmt.mask()).collect())
+                .collect();
+            tile_vs_expansion(&mut unit, bias, &ws, &cols);
+        }
+    }
+}
+
+#[test]
+fn fixed_gathered_and_scalar_tiles_match_randomized() {
+    let mut next = xorshift(0xf1ed_711e_4ed0_5eed ^ 0xaaaa);
+    for (n, q, want) in [
+        (13u32, 6u32, TileKernel::GatherFused),
+        (16, 8, TileKernel::GatherFused),
+        (17, 8, TileKernel::PerColumn(MacKernel::Scalar)),
+        (24, 12, TileKernel::PerColumn(MacKernel::Scalar)),
+    ] {
+        let fmt = FixedFormat::new(n, q).unwrap();
+        let mask = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        for trial in 0..60 {
+            let (k, b) = match trial {
+                0 => (0usize, 8usize),
+                1 => (24, 0),
+                2 => (24, 1),
+                3 => (24, 7),
+                _ => ((next() % 48) as usize, (next() % 11) as usize),
+            };
+            let mut unit = FixedEmac::new(fmt, k.max(1) as u64);
+            if b >= 2 {
+                assert_eq!(unit.tile_kernel(b), want, "{fmt}");
+            }
+            let bias = (next() as u32) & mask;
+            let ws: Vec<u32> = (0..k).map(|_| (next() as u32) & mask).collect();
+            let cols: Vec<Vec<u32>> = (0..b)
+                .map(|_| (0..k).map(|_| (next() as u32) & mask).collect())
+                .collect();
+            tile_vs_expansion(&mut unit, bias, &ws, &cols);
+        }
+    }
+}
+
+#[test]
+fn tile_macs_done_is_k_times_b_on_every_band() {
+    // The accounting audit, per band: a tile of K weights × B columns
+    // leaves macs_done at exactly K × B — the same count a scalar unit and
+    // the reference datapath report after an identical K × B workload —
+    // including the K = 0, B = 1 and ragged-B edge cases. B = 0 must not
+    // touch the counter at all.
+    let mut next = xorshift(0xacc0_0117_ab1e_5eed);
+    for n in [8u32, 16, 17] {
+        let fmt = PositFormat::new(n, 1).unwrap();
+        for (k, b) in [(24usize, 8usize), (24, 1), (24, 5), (0, 8), (7, 3)] {
+            let mut unit = PositEmac::new(fmt, k.max(1) as u64);
+            let ws: Vec<u32> = (0..k).map(|_| (next() as u32) & fmt.mask()).collect();
+            let cols: Vec<Vec<u32>> = (0..b)
+                .map(|_| (0..k).map(|_| (next() as u32) & fmt.mask()).collect())
+                .collect();
+            let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+            let mut out = vec![0u32; b];
+            unit.dot_tile(0, &ws, &col_refs, &mut out);
+            assert_eq!(unit.macs_done(), (k * b) as u64, "posit<{n},1> K={k} B={b}");
+
+            let mut scalar = PositEmac::new(fmt, k.max(1) as u64);
+            let mut reference = PositEmac::new_reference(fmt, k.max(1) as u64);
+            for col in &cols {
+                scalar.set_bias(0);
+                reference.set_bias(0);
+                for (&w, &a) in ws.iter().zip(col) {
+                    scalar.mac(w, a);
+                    reference.mac(w, a);
+                }
+            }
+            if b > 0 {
+                // The per-column expansion's counter resets each set_bias,
+                // so it reports only the last column's K; the tile keeps
+                // the whole sweep. Their *workloads* are identical.
+                assert_eq!(scalar.macs_done(), k as u64);
+                assert_eq!(reference.macs_done(), k as u64);
+                assert_eq!(
+                    unit.macs_done(),
+                    scalar.macs_done() * b as u64,
+                    "tile count = per-column count × B"
+                );
+            }
+
+            // B = 0 leaves all state untouched.
+            let before = unit.macs_done();
+            unit.dot_tile(0, &ws, &[], &mut []);
+            assert_eq!(unit.macs_done(), before, "B=0 must be a no-op");
+        }
+    }
+}
+
+#[test]
+fn tile_kernels_pin_per_band_and_batch_width() {
+    // B ≤ 1 always wraps the row kernel; B ≥ 2 promotes the product band
+    // to the blocked tile and the fused band to the gathered tile, while
+    // the scalar band stays per-column. Kernel caps and accumulator-window
+    // spills step the tile down exactly as they step the row kernel down.
+    let p8 = PositFormat::new(8, 1).unwrap();
+    let p16 = PositFormat::new(16, 1).unwrap();
+    let p17 = PositFormat::new(17, 1).unwrap();
+    for b in [0usize, 1] {
+        assert_eq!(
+            PositEmac::new(p8, 128).tile_kernel(b),
+            TileKernel::PerColumn(MacKernel::ProductTable)
+        );
+        assert_eq!(
+            PositEmac::new(p16, 128).tile_kernel(b),
+            TileKernel::PerColumn(MacKernel::BatchedFused)
+        );
+    }
+    for b in [2usize, 8, 64] {
+        assert_eq!(
+            PositEmac::new(p8, 128).tile_kernel(b),
+            TileKernel::BlockedProduct
+        );
+        assert_eq!(
+            PositEmac::new(p16, 128).tile_kernel(b),
+            TileKernel::GatherFused
+        );
+        assert_eq!(
+            PositEmac::new(p17, 128).tile_kernel(b),
+            TileKernel::PerColumn(MacKernel::Scalar)
+        );
+    }
+
+    // Caps step the tile down without changing results.
+    assert_eq!(
+        PositEmac::new(p8, 128)
+            .with_kernel_cap(MacKernel::BatchedFused)
+            .tile_kernel(8),
+        TileKernel::GatherFused
+    );
+    assert_eq!(
+        PositEmac::new(p8, 128)
+            .with_kernel_cap(MacKernel::Scalar)
+            .tile_kernel(8),
+        TileKernel::PerColumn(MacKernel::Scalar)
+    );
+
+    // Accumulator-window spills demote tiles like they demote row kernels:
+    // posit<8,2> at k = 2^40 spills the i128 window (no product table);
+    // posit<16,2> at k = 256 spills Acc256 (no native window at all).
+    let spill8 = PositEmac::new(PositFormat::new(8, 2).unwrap(), 1 << 40);
+    assert_eq!(spill8.kernel(), MacKernel::BatchedFused);
+    assert_eq!(spill8.tile_kernel(8), TileKernel::GatherFused);
+    let spill16 = PositEmac::new(PositFormat::new(16, 2).unwrap(), 256);
+    assert_eq!(spill16.kernel(), MacKernel::Scalar);
+    assert_eq!(
+        spill16.tile_kernel(8),
+        TileKernel::PerColumn(MacKernel::Scalar)
+    );
+
+    // The erased unit dispatches tile selection like the concrete units.
+    let erased = EmacUnit::Posit(PositEmac::new(p8, 128));
+    assert_eq!(erased.tile_kernel(8), TileKernel::BlockedProduct);
+    assert_eq!(
+        erased.tile_kernel(1),
+        TileKernel::PerColumn(MacKernel::ProductTable)
+    );
+}
+
+#[test]
+fn spilled_window_tiles_stay_bit_identical() {
+    // The demoted tiles must still honour the per-column contract: run the
+    // posit<16,2>/k=256 spill case (per-column scalar tile) against the
+    // reference datapath.
+    let fmt = PositFormat::new(16, 2).unwrap();
+    let mut unit = PositEmac::new(fmt, 256);
+    assert_eq!(
+        unit.tile_kernel(4),
+        TileKernel::PerColumn(MacKernel::Scalar)
+    );
+    let mut next = xorshift(0x0b5e_55ed_ca11_ab1e);
+    let ws: Vec<u32> = (0..256).map(|_| (next() as u32) & fmt.mask()).collect();
+    let cols: Vec<Vec<u32>> = (0..4)
+        .map(|_| (0..256).map(|_| (next() as u32) & fmt.mask()).collect())
+        .collect();
+    let col_refs: Vec<&[u32]> = cols.iter().map(|c| c.as_slice()).collect();
+    let mut out = vec![0u32; 4];
+    unit.dot_tile(0, &ws, &col_refs, &mut out);
+    let mut reference = PositEmac::new_reference(fmt, 256);
+    for (col, &got) in cols.iter().zip(&out) {
+        reference.set_bias(0);
+        for (&w, &a) in ws.iter().zip(col) {
+            reference.mac(w, a);
+        }
+        assert_eq!(got, reference.result(), "spilled tile vs reference");
+    }
+    assert_eq!(unit.macs_done(), 256 * 4);
+}

@@ -151,6 +151,19 @@ impl ProductLut {
         self.entries[(((weight & mask) as usize) << self.n) | (activation & mask) as usize] as i64
     }
 
+    /// The contiguous `2^n`-entry row for `weight`: element `a` of the
+    /// returned slice is `entry(weight, a)` (stored narrow as `i32`).
+    /// The tile kernels resolve a weight's row base once and index it
+    /// per column, hoisting the weight shift out of the column-wide
+    /// inner step — and because the row length is a power of two,
+    /// `row[(a & (len − 1)) as usize]` needs no bounds check.
+    #[inline]
+    pub fn row(&self, weight: u32) -> &[i32] {
+        let mask = (1u32 << self.n) - 1;
+        let base = ((weight & mask) as usize) << self.n;
+        &self.entries[base..base + (1usize << self.n)]
+    }
+
     /// Number of table entries (`2^(2n)`).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -209,8 +222,11 @@ mod tests {
                 (((bits as u64) << sh) as i64) >> sh
             };
             for w in 0..(1u32 << n) {
+                let row = lut.row(w);
+                assert_eq!(row.len(), 1usize << n);
                 for a in 0..(1u32 << n) {
                     assert_eq!(lut.entry(w, a), sext(w) * sext(a), "{fmt} {w:#x}×{a:#x}");
+                    assert_eq!(row[a as usize] as i64, lut.entry(w, a), "{fmt} {w:#x} row");
                 }
             }
         }

@@ -933,8 +933,9 @@ impl Gateway {
     }
 
     /// A consistent-enough copy of every counter plus the current ring
-    /// depth and the engine's supervision health (stalls, respawns,
-    /// degraded flag), ready for [`MetricsSnapshot::to_json`] /
+    /// depth, the engine's supervision health (stalls, respawns,
+    /// degraded flag) and the flight recorder's queue-depth reservoir,
+    /// ready for [`MetricsSnapshot::to_json`] /
     /// [`MetricsSnapshot::to_prometheus`].
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot(self.ring.len());
@@ -942,6 +943,10 @@ impl Gateway {
         snap.worker_stalled = stats.stalled;
         snap.workers_respawned = stats.respawned;
         snap.degraded = stats.degraded;
+        snap.queue_depth_reservoir = self
+            .recorder
+            .as_ref()
+            .and_then(|rec| rec.queue_depth_summary());
         snap
     }
 

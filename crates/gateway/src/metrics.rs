@@ -13,6 +13,7 @@
 //! allow-list).
 
 use dp_serve::ModelKey;
+use dp_trace::DepthSummary;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -284,11 +285,13 @@ impl GatewayMetrics {
             completed: ld(&self.completed),
             failed: ld(&self.failed),
             samples_completed: ld(&self.samples_completed),
-            // Engine-sourced health fields: zero here, post-filled by
-            // `Gateway::snapshot` from the pool's supervision stats.
+            // Engine- and recorder-sourced fields: zero/`None` here,
+            // post-filled by `Gateway::snapshot` from the pool's
+            // supervision stats and the flight recorder's reservoir.
             worker_stalled: 0,
             workers_respawned: 0,
             degraded: false,
+            queue_depth_reservoir: None,
             queue_depth,
             queue_depth_peak: ld(&self.queue_depth_peak),
             queue_wait: self.queue_wait.snapshot(),
@@ -351,6 +354,12 @@ pub struct MetricsSnapshot {
     /// Ring backlog at snapshot time.
     pub queue_depth: usize,
     pub queue_depth_peak: u64,
+    /// Recent queue-depth reservoir summary (trace-recorder-sourced:
+    /// filled by `Gateway::snapshot` from
+    /// `dp_trace::Recorder::queue_depth_summary`; `None` in a bare
+    /// `GatewayMetrics::snapshot`, when tracing is off, or before the
+    /// first enqueue).
+    pub queue_depth_reservoir: Option<DepthSummary>,
     pub queue_wait: HistogramSnapshot,
     pub service: HistogramSnapshot,
     pub per_model: Vec<ModelSnapshot>,
@@ -383,6 +392,7 @@ pub const PROM_TYPE_ROWS: &[(&str, &str)] = &[
     ("dp_gateway_samples_completed_total", "counter"),
     ("dp_gateway_queue_depth", "gauge"),
     ("dp_gateway_queue_depth_peak", "gauge"),
+    ("dp_gateway_queue_depth_reservoir", "summary"),
     ("dp_gateway_worker_stalled_total", "counter"),
     ("dp_gateway_workers_respawned_total", "counter"),
     ("dp_gateway_degraded", "gauge"),
@@ -511,6 +521,21 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "dp_gateway_queue_depth {}", self.queue_depth);
         let _ = writeln!(s, "# TYPE dp_gateway_queue_depth_peak gauge");
         let _ = writeln!(s, "dp_gateway_queue_depth_peak {}", self.queue_depth_peak);
+        // The dispatcher's recent-depth reservoir as a three-row summary.
+        // `stat` (not `quantile`) because min/mean/max are not quantile
+        // ranks; the `_count` series is always present so the family
+        // survives in the exposition (and the drift anchor) when tracing
+        // is off.
+        let reservoir = "dp_gateway_queue_depth_reservoir";
+        let _ = writeln!(s, "# TYPE {reservoir} summary");
+        if let Some(d) = &self.queue_depth_reservoir {
+            for (stat, v) in [("min", d.min), ("mean", d.mean), ("max", d.max)] {
+                let _ = writeln!(s, "{reservoir}{{stat=\"{stat}\"}} {v}");
+            }
+            let _ = writeln!(s, "{reservoir}_count {}", d.count);
+        } else {
+            let _ = writeln!(s, "{reservoir}_count 0");
+        }
         let _ = writeln!(s, "# TYPE dp_gateway_worker_stalled_total counter");
         let _ = writeln!(s, "dp_gateway_worker_stalled_total {}", self.worker_stalled);
         let _ = writeln!(s, "# TYPE dp_gateway_workers_respawned_total counter");
@@ -720,6 +745,11 @@ dp_gateway_samples_completed_total 40
 dp_gateway_queue_depth 3
 # TYPE dp_gateway_queue_depth_peak gauge
 dp_gateway_queue_depth_peak 6
+# TYPE dp_gateway_queue_depth_reservoir summary
+dp_gateway_queue_depth_reservoir{stat=\"min\"} 1
+dp_gateway_queue_depth_reservoir{stat=\"mean\"} 3
+dp_gateway_queue_depth_reservoir{stat=\"max\"} 6
+dp_gateway_queue_depth_reservoir_count 4
 # TYPE dp_gateway_worker_stalled_total counter
 dp_gateway_worker_stalled_total 0
 # TYPE dp_gateway_workers_respawned_total counter
@@ -768,7 +798,16 @@ dp_gateway_model_samples_total{model=\"iris@posit<8,0>\"} 40
 # TYPE dp_gateway_model_service_ns_total counter
 dp_gateway_model_service_ns_total{model=\"iris@posit<8,0>\"} 5000
 ";
-        assert_eq!(m.snapshot(3).to_prometheus(), golden);
+        // Post-fill the recorder-sourced reservoir the way
+        // `Gateway::snapshot` does, so the summary's labelled rows render.
+        let mut snap = m.snapshot(3);
+        snap.queue_depth_reservoir = Some(DepthSummary {
+            min: 1,
+            max: 6,
+            mean: 3,
+            count: 4,
+        });
+        assert_eq!(snap.to_prometheus(), golden);
     }
 
     #[test]

@@ -308,6 +308,18 @@ impl ProductLut {
         self.entries[(((weight & mask) as usize) << self.n) | (activation & mask) as usize]
     }
 
+    /// The contiguous `2^n`-entry row for `weight`: element `a` of the
+    /// returned slice is `entry(weight, a)`. The tile kernels resolve a
+    /// weight's row base once and index it per column, hoisting the
+    /// weight shift out of the column-wide inner step — and because the
+    /// row length is a power of two, `row[(a & (len − 1)) as usize]`
+    /// needs no bounds check.
+    #[inline]
+    pub fn row(&self, weight: u32) -> &[ProductEntry] {
+        let base = ((weight & self.fmt.mask()) as usize) << self.n;
+        &self.entries[base..base + (1usize << self.n)]
+    }
+
     /// Number of table entries (`2^(2n)`).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -529,8 +541,11 @@ mod tests {
             assert!(!products.is_empty());
             assert_eq!(products.format(), fmt);
             for w in fmt.patterns() {
+                let row = products.row(w);
+                assert_eq!(row.len() as u64, fmt.pattern_count());
                 for a in fmt.patterns() {
                     let p = products.entry(w, a);
+                    assert_eq!(row[a as usize].0, p.0, "{fmt} {w:#x}×{a:#x} row");
                     let (ew, ea) = (operands.entry(w), operands.entry(a));
                     if ew.is_special() || ea.is_special() {
                         assert!(p.is_special(), "{fmt} {w:#x}×{a:#x}");

@@ -734,11 +734,18 @@ fn serve_http(
         ("HTTP/1.1 200 OK", TEXT, shared.render_metrics())
     } else if path.starts_with("/tracez") {
         NetMetrics::inc(&shared.metrics.http_scrapes);
+        // `?slow` restricts the listing to slow exemplars; composes with
+        // `format=json` (`/tracez?format=json&slow`).
+        let slow_only = path
+            .split_once('?')
+            .is_some_and(|(_, q)| q.split('&').any(|p| p == "slow" || p == "slow=1"));
         match shared.gateway.recorder() {
-            Some(rec) if path.contains("format=json") => {
-                ("HTTP/1.1 200 OK", "application/json", rec.render_json())
-            }
-            Some(rec) => ("HTTP/1.1 200 OK", TEXT, rec.render_text()),
+            Some(rec) if path.contains("format=json") => (
+                "HTTP/1.1 200 OK",
+                "application/json",
+                rec.render_json(slow_only),
+            ),
+            Some(rec) => ("HTTP/1.1 200 OK", TEXT, rec.render_text(slow_only)),
             None => (
                 "HTTP/1.1 404 Not Found",
                 TEXT,

@@ -389,6 +389,21 @@ fn debug_endpoints_serve_tracez_statusz_healthz_live() {
     assert_eq!(status, 200);
     assert!(json.trim_start().starts_with('{'), "{json}");
 
+    // /tracez?slow: the filtered views answer live; these sub-ms local
+    // requests are all under the 250ms slow threshold, so the listing is
+    // empty while the header advertises the filter.
+    let (status, slow_text) = dp_net::http_get(addr, "/tracez?slow").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        slow_text.contains("showing slow exemplars only"),
+        "{slow_text}"
+    );
+    assert!(!slow_text.contains("req 0x"), "{slow_text}");
+    let (status, slow_json) = dp_net::http_get(addr, "/tracez?format=json&slow").unwrap();
+    assert_eq!(status, 200);
+    assert!(slow_json.contains("\"slow_only\": true"), "{slow_json}");
+    assert!(!slow_json.contains("\"req_id\""), "{slow_json}");
+
     // Cross-check against the recorder directly: 3 complete timelines
     // with admit ≤ dispatch ≤ first-chunk ≤ resolve.
     let timelines = gw.recorder().unwrap().timelines();

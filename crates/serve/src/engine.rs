@@ -8,12 +8,12 @@
 //! [`EngineConfig::chunk_samples`], spreads the chunks round-robin across
 //! the workers' LIFO slots (idle workers steal), and returns a completion
 //! handle immediately. Each chunk job builds the model's per-layer EMAC
-//! array once and reuses it across its samples, so the pool amortizes
-//! EMAC construction exactly like the scoped-thread batch engine — and
-//! because the inner loop is the same
-//! [`QuantizedMlp::forward_bits_with`] / [`QuantizedMlp::infer_with`]
-//! datapath, results are **bit-identical** to per-sample
-//! [`QuantizedMlp::forward_bits`].
+//! array once and sweeps its whole chunk through the weight-stationary
+//! tile kernels ([`QuantizedMlp::forward_batch_bits_with`]: one
+//! `dp_emac::Emac::dot_tile` call per neuron per layer, operand gather
+//! and product-table traffic amortized across the chunk's samples) — and
+//! because the tile contract is per-column bit-identity, results are
+//! **bit-identical** to per-sample [`QuantizedMlp::forward_bits`].
 
 use crate::claim::ClaimCell;
 use crate::faults;
@@ -575,11 +575,15 @@ impl ServeEngine {
 }
 
 /// The canonical per-chunk forward evaluation: build the model's
-/// per-layer EMAC array once, reuse it across the chunk's samples. This is
-/// the **single** definition shared by [`ServeEngine::submit_forward`] and
-/// external front ends (`dp_gateway`), so every admission path runs the
-/// identical datapath and stays bit-identical to per-sample
-/// [`QuantizedMlp::forward_bits`].
+/// per-layer EMAC array once, then run the whole chunk as one
+/// weight-stationary tile sweep per layer
+/// ([`QuantizedMlp::forward_batch_bits_with`] — each neuron's weight row
+/// goes through `dp_emac::Emac::dot_tile` exactly once, with the chunk's
+/// samples as the tile's activation columns). This is the **single**
+/// definition shared by [`ServeEngine::submit_forward`] and external front
+/// ends (`dp_gateway`), so every admission path runs the identical
+/// datapath and stays bit-identical to per-sample
+/// [`QuantizedMlp::forward_bits`] (the tile contract).
 ///
 /// # Panics
 ///
@@ -591,22 +595,16 @@ pub fn forward_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<Vec<u32>> 
     let mut emacs = model
         .make_layer_emacs()
         .expect("admission validated the format"); // panic-ok: registry admission excludes formats without an EMAC datapath
-    chunk
-        .iter()
-        .map(|x| model.forward_bits_with(&mut emacs, x))
-        .collect()
+    model.forward_batch_bits_with(&mut emacs, chunk)
 }
 
-/// The canonical per-chunk classification: EMAC-reuse datapath where one
-/// exists, plain float math for the `F32` baseline. Shared by
+/// The canonical per-chunk classification: the tile-sweep datapath where
+/// an EMAC exists, plain float math for the `F32` baseline. Shared by
 /// [`ServeEngine::submit_classify`] and external front ends (`dp_gateway`)
 /// — see [`forward_chunk`].
 pub fn classify_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<usize> {
     match model.make_layer_emacs() {
-        Some(mut emacs) => chunk
-            .iter()
-            .map(|x| model.infer_with(&mut emacs, x))
-            .collect(),
+        Some(mut emacs) => model.infer_batch_with(&mut emacs, chunk),
         None => chunk.iter().map(|x| model.infer(x)).collect(),
     }
 }
@@ -615,7 +613,9 @@ pub fn classify_chunk(model: &QuantizedMlp, chunk: &[Vec<f32>]) -> Vec<usize> {
 /// returns [`JobError::Cancelled`] as soon as it fires, so an abandoned
 /// batch stops burning its worker within one sample's latency. Already-
 /// computed samples are discarded — a cancelled request has no partial
-/// result.
+/// result. Deliberately stays on the per-sample datapath (no tile sweep):
+/// a layer-wide tile would push the earliest cancellation point out to a
+/// whole chunk-layer's latency.
 ///
 /// # Errors
 ///

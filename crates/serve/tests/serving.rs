@@ -393,3 +393,44 @@ fn empty_batch_completes_immediately() {
     let handle = engine.submit_forward(&key, Vec::new()).unwrap();
     assert_eq!(handle.wait().unwrap(), Vec::<Vec<u32>>::new());
 }
+
+#[test]
+fn chunked_tile_evaluation_is_bit_identical_to_per_sample() {
+    // forward_chunk/classify_chunk now run one weight-stationary tile
+    // sweep per layer over the whole chunk (dot_tile, B = chunk width);
+    // per sample they must match forward_bits / infer exactly — at the
+    // production chunk width of 64, at ragged widths, at B = 1, and for
+    // the 16-bit formats whose gathered-fused tile rides the split-table
+    // operands.
+    let (mlp, split) = trained_iris();
+    let mut formats = mixed_formats();
+    formats.push(NumericFormat::Posit(PositFormat::new(16, 1).unwrap()));
+    formats.push(NumericFormat::Float(FloatFormat::new(5, 10).unwrap()));
+    formats.push(NumericFormat::Fixed(FixedFormat::new(16, 10).unwrap()));
+    let xs: Vec<Vec<f32>> = split
+        .test
+        .features
+        .iter()
+        .cycle()
+        .take(64)
+        .cloned()
+        .collect();
+    for fmt in formats {
+        let q = QuantizedMlp::quantize(&mlp, fmt);
+        let direct: Vec<Vec<u32>> = xs.iter().map(|x| q.forward_bits(x)).collect();
+        let classes: Vec<usize> = xs.iter().map(|x| q.infer(x)).collect();
+        for width in [64usize, 13, 1] {
+            let chunk = &xs[..width];
+            assert_eq!(
+                dp_serve::forward_chunk(&q, chunk),
+                direct[..width],
+                "{fmt} forward_chunk B={width}"
+            );
+            assert_eq!(
+                dp_serve::classify_chunk(&q, chunk),
+                classes[..width],
+                "{fmt} classify_chunk B={width}"
+            );
+        }
+    }
+}

@@ -604,7 +604,9 @@ impl Recorder {
     }
 
     /// Renders recent timelines as human-readable text (`/tracez`).
-    pub fn render_text(&self) -> String {
+    /// `slow_only` restricts the listing to the slow-exemplar subset
+    /// (`/tracez?slow`) — the recorder-wide stats header stays unfiltered.
+    pub fn render_text(&self, slow_only: bool) -> String {
         use std::fmt::Write as _;
         let stats = self.stats();
         let mut s = String::new();
@@ -616,11 +618,22 @@ impl Recorder {
         );
         let _ = writeln!(
             s,
-            "sampling 1-in-{} (seed {:#x}), slow threshold {:?}, {} slots",
-            self.cfg.sample_every, self.cfg.seed, self.cfg.slow_threshold, self.cfg.slots
+            "sampling 1-in-{} (seed {:#x}), slow threshold {:?}, {} slots{}",
+            self.cfg.sample_every,
+            self.cfg.seed,
+            self.cfg.slow_threshold,
+            self.cfg.slots,
+            if slow_only {
+                ", showing slow exemplars only"
+            } else {
+                ""
+            },
         );
         let us = |ns: u64, base: u64| (ns.saturating_sub(base)) as f64 / 1_000.0;
         for t in self.timelines() {
+            if slow_only && !t.slow {
+                continue;
+            }
             let _ = writeln!(
                 s,
                 "req {:#018x} model={} samples={} chunks={}/{} terminal={}{}",
@@ -649,8 +662,10 @@ impl Recorder {
 
     /// Renders recorder state as JSON (`/tracez?format=json`);
     /// hand-rolled like the rest of the workspace (serde is outside the
-    /// offline dependency allow-list).
-    pub fn render_json(&self) -> String {
+    /// offline dependency allow-list). `slow_only` restricts the
+    /// `timelines` array to the slow-exemplar subset
+    /// (`/tracez?format=json&slow`); the stats fields stay unfiltered.
+    pub fn render_json(&self, slow_only: bool) -> String {
         use std::fmt::Write as _;
         let stats = self.stats();
         let mut s = String::from("{\n");
@@ -666,8 +681,12 @@ impl Recorder {
             "  \"slow_threshold_ns\": {},",
             u64::try_from(self.cfg.slow_threshold.as_nanos()).unwrap_or(u64::MAX)
         );
+        let _ = writeln!(s, "  \"slow_only\": {slow_only},");
         s.push_str("  \"timelines\": [");
-        let timelines = self.timelines();
+        let mut timelines = self.timelines();
+        if slow_only {
+            timelines.retain(|t| t.slow);
+        }
         for (i, t) in timelines.iter().enumerate() {
             let comma = if i + 1 < timelines.len() { "," } else { "" };
             let _ = write!(
@@ -1011,15 +1030,45 @@ mod tests {
         ctx.chunk_done();
         assert!(ctx.resolve(TerminalKind::Completed));
         rec.note_queue_depth(2);
-        let text = rec.render_text();
+        let text = rec.render_text(false);
         assert!(text.contains("model=iris@posit<8,0>"), "{text}");
         assert!(text.contains("terminal=completed"), "{text}");
         assert!(text.contains("sampling 1-in-1"), "{text}");
-        let json = rec.render_json();
+        let json = rec.render_json(false);
         assert!(json.contains("\"req_id\": 42"), "{json}");
         assert!(json.contains("\"terminal\": \"completed\""), "{json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn slow_only_rendering_filters_to_slow_exemplars() {
+        // One fast request, one pushed past the slow threshold; the
+        // `?slow` views must list only the exemplar while the stats
+        // header stays recorder-wide.
+        let rec = manual_recorder(TraceConfig::every_request());
+        let clock = rec.clock().clone();
+        let fast = rec.begin(0x01, "iris@posit<8,0>", 1, None);
+        assert!(fast.resolve(TerminalKind::Completed));
+        let slow = rec.begin(0x02, "iris@posit<8,0>", 1, None);
+        clock.advance(Duration::from_secs(1)); // default threshold 250ms
+        assert!(slow.resolve(TerminalKind::Completed));
+
+        let text = rec.render_text(true);
+        assert!(text.contains("showing slow exemplars only"), "{text}");
+        assert!(text.contains("req 0x0000000000000002"), "{text}");
+        assert!(!text.contains("req 0x0000000000000001"), "{text}");
+        // The unfiltered view still lists both.
+        let all = rec.render_text(false);
+        assert!(all.contains("req 0x0000000000000001"), "{all}");
+
+        let json = rec.render_json(true);
+        assert!(json.contains("\"slow_only\": true"), "{json}");
+        assert!(json.contains("\"req_id\": 2"), "{json}");
+        assert!(!json.contains("\"req_id\": 1,"), "{json}");
+        // Recorder-wide stats are unfiltered: both requests published.
+        assert!(json.contains("\"published\": 2"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Trains one float MLP on Iris, quantizes it across the three format
 //! families and all three kernel bands (n ≤ 8 product table, 9–16 batched
 //! fused, > 16 scalar), registers everything in one `dp_serve` engine,
-//! prints the kernel each model's layers selected, and verifies a served
+//! prints the row kernel each model's layers selected plus the tile
+//! kernel the serving chunk width promotes it to, and verifies a served
 //! batch stays bit-identical to per-sample `forward_bits` on every model.
 //!
 //! Run with `cargo run --release --example kernel_sweep`.
@@ -39,26 +40,35 @@ fn main() {
         NumericFormat::Fixed(FixedFormat::new(16, 10).unwrap()),
     ];
 
+    let chunk_samples = 32;
     let engine = ServeEngine::new(EngineConfig {
-        chunk_samples: 32,
+        chunk_samples,
         ..EngineConfig::default()
     });
     println!("kernel selection per registered model (layer dims 4-12-3):\n");
-    println!("{:<22} {:>6}  kernels (one per layer)", "model", "bits");
+    println!(
+        "{:<22} {:>6}  {:<34} tile kernel (chunk = {chunk_samples})",
+        "model", "bits", "row kernel (one per layer)"
+    );
     let mut models = Vec::new();
     for fmt in formats {
         let q = QuantizedMlp::quantize(&mlp, fmt);
         let kernels = q.layer_kernels().expect("low-precision format");
+        let tiles = q
+            .layer_tile_kernels(chunk_samples)
+            .expect("low-precision format");
         let key = engine
             .registry()
             .register("iris", q.clone())
             .expect("all sweep formats have EMAC datapaths");
         let rendered: Vec<String> = kernels.iter().map(|k| k.to_string()).collect();
+        let tile_rendered: Vec<String> = tiles.iter().map(|k| k.to_string()).collect();
         println!(
-            "{:<22} {:>6}  {}",
+            "{:<22} {:>6}  {:<34} {}",
             key.to_string(),
             fmt.n(),
-            rendered.join(", ")
+            rendered.join(", "),
+            tile_rendered.join(", ")
         );
         models.push((key, q));
     }
